@@ -1,0 +1,93 @@
+//! Criterion throughput benches for the adder models: the RTL-level
+//! designs (RN / lazy SR / eager SR), the golden reference, and the fast
+//! GEMM kernel, all on the paper's E6M5 accumulator format.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use srmac_core::{EagerCorrection, FpAdder, RoundingDesign};
+use srmac_fp::{ops, FpFormat, RoundMode};
+use srmac_qgemm::{AccumRounding, FastAdder};
+use srmac_rng::SplitMix64;
+
+fn operands(fmt: FpFormat, n: usize) -> Vec<(u64, u64, u64)> {
+    let mut rng = SplitMix64::new(42);
+    (0..n)
+        .map(|_| {
+            (
+                rng.next_u64() & fmt.bits_mask(),
+                rng.next_u64() & fmt.bits_mask(),
+                rng.next_u64() & srmac_fp::mask(13),
+            )
+        })
+        .collect()
+}
+
+fn bench_adders(c: &mut Criterion) {
+    let fmt = FpFormat::e6m5();
+    let ops_set = operands(fmt, 1024);
+    let mut g = c.benchmark_group("adder_e6m5");
+    g.sample_size(20);
+
+    let rn = FpAdder::new(fmt, RoundingDesign::Nearest);
+    g.bench_function("rtl_rn", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, w) in &ops_set {
+                acc ^= rn.add(black_box(x), black_box(y), w);
+            }
+            acc
+        })
+    });
+
+    let lazy = FpAdder::new(fmt, RoundingDesign::SrLazy { r: 13 });
+    g.bench_function("rtl_sr_lazy_r13", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, w) in &ops_set {
+                acc ^= lazy.add(black_box(x), black_box(y), w);
+            }
+            acc
+        })
+    });
+
+    let eager = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact },
+    );
+    g.bench_function("rtl_sr_eager_r13", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, w) in &ops_set {
+                acc ^= eager.add(black_box(x), black_box(y), w);
+            }
+            acc
+        })
+    });
+
+    g.bench_function("golden_sr_r13", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, w) in &ops_set {
+                acc ^= ops::add(fmt, black_box(x), black_box(y), RoundMode::Stochastic {
+                    r: 13,
+                    word: w,
+                });
+            }
+            acc
+        })
+    });
+
+    let fast = FastAdder::new(fmt, AccumRounding::Stochastic { r: 13 });
+    g.bench_function("fast_sr_r13", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, w) in &ops_set {
+                acc ^= fast.add(black_box(x), black_box(y), w);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_adders);
+criterion_main!(benches);

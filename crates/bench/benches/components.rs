@@ -1,0 +1,75 @@
+//! Criterion benches for the smaller components: LFSR bit generation, the
+//! exact multiplier, one full MAC step, and the hardware cost model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use srmac_core::{ExactMultiplier, MacConfig, MacUnit};
+use srmac_fp::FpFormat;
+use srmac_hwcost::{AdderConfig, AsicModel, DesignKind};
+use srmac_rng::{GaloisLfsr, RandomBits, SplitMix64};
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+    g.sample_size(20);
+
+    let mut lfsr = GaloisLfsr::new(13, 0xACE1);
+    g.bench_function("lfsr13_next_bits", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..256 {
+                acc ^= lfsr.next_bits(13);
+            }
+            acc
+        })
+    });
+
+    let mut sm = SplitMix64::new(1);
+    g.bench_function("splitmix_next_bits", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..256 {
+                acc ^= sm.next_bits(13);
+            }
+            acc
+        })
+    });
+
+    let mult = ExactMultiplier::new(FpFormat::e5m2(), FpFormat::e6m5()).unwrap();
+    let pairs: Vec<(u64, u64)> = {
+        let mut rng = SplitMix64::new(2);
+        (0..256).map(|_| (rng.next_u64() & 0xFF, rng.next_u64() & 0xFF)).collect()
+    };
+    g.bench_function("exact_multiplier_fp8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc ^= mult.multiply(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+
+    let mut mac = MacUnit::new(MacConfig::paper_best()).unwrap();
+    g.bench_function("mac_unit_step", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                mac.mac(black_box(x), black_box(y));
+            }
+            mac.acc_bits()
+        })
+    });
+
+    g.bench_function("asic_model_calibration", |b| {
+        b.iter(AsicModel::calibrated)
+    });
+
+    let model = AsicModel::calibrated();
+    let cfg = AdderConfig::new(DesignKind::SrEager, FpFormat::e6m5().with_subnormals(false), 13);
+    g.bench_function("asic_model_cost_query", |b| {
+        b.iter(|| model.cost(black_box(&cfg)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the GEMM engines: exact f32 vs the bit-exact
+//! low-precision MAC emulation (RN and SR accumulation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_rng::SplitMix64;
+use srmac_tensor::{F32Engine, GemmEngine};
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let (m, k, n) = (64usize, 128, 64);
+    let a = rand_vec(m * k, 1);
+    let b = rand_vec(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+
+    let mut g = c.benchmark_group("gemm_64x128x64");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements((m * k * n) as u64));
+
+    let f32e = F32Engine::new(1);
+    g.bench_function("f32_1thread", |bch| {
+        bch.iter(|| f32e.gemm(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+
+    let rn = MacGemm::new(MacGemmConfig::fp8_fp12(AccumRounding::Nearest, true).with_threads(1));
+    g.bench_function("mac_fp12_rn_1thread", |bch| {
+        bch.iter(|| rn.gemm(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+
+    let sr = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
+    );
+    g.bench_function("mac_fp12_sr13_1thread", |bch| {
+        bch.iter(|| sr.gemm(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+
+    let sr2 = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(2),
+    );
+    g.bench_function("mac_fp12_sr13_2threads", |bch| {
+        bch.iter(|| sr2.gemm(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("quantize_f32_to_fp8");
+    g.sample_size(20);
+    let xs = rand_vec(64 * 1024, 3);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    let engine = MacGemm::new(MacGemmConfig::fp8_fp12(AccumRounding::Nearest, true));
+    g.bench_function("quantize_64k", |bch| {
+        bch.iter(|| engine.quantize_codes(black_box(&xs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Development probe: find a task difficulty where the paper's accuracy
+//! ordering (FP32 ~ SR r=13 > RN E6M5 >> SR r=4) becomes visible at laptop
+//! scale. Sweeps generator profiles over the critical configurations.
+
+use srmac_bench::configs::AccumSetup;
+use srmac_bench::{env_or, run_training};
+use srmac_models::{data, resnet, TrainConfig};
+
+fn main() {
+    let train_n: usize = env_or("SRMAC_TRAIN", 480);
+    let test_n: usize = env_or("SRMAC_TEST", 200);
+    let size: usize = env_or("SRMAC_SIZE", 12);
+    let width: usize = env_or("SRMAC_WIDTH", 4);
+    let epochs: usize = env_or("SRMAC_EPOCHS", 8);
+    let batch: usize = env_or("SRMAC_BATCH", 32);
+
+    let setups = [
+        AccumSetup::Fp32Baseline,
+        AccumSetup::Rn { e: 6, m: 5, subnormals: true },
+        AccumSetup::Sr { e: 6, m: 5, r: 4, subnormals: true },
+        AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: true },
+    ];
+
+    for (pname, profile) in [
+        (
+            "hard1 (n.50 a.30 j.10)",
+            data::Profile { angle_step: 0.30, base_freq: 2.0, freq_step: 0.5, noise: 0.50, jitter: 0.10 },
+        ),
+        (
+            "hard2 (n.65 a.24 j.14)",
+            data::Profile { angle_step: 0.24, base_freq: 2.2, freq_step: 0.4, noise: 0.65, jitter: 0.14 },
+        ),
+        (
+            "hard3 (n.80 a.20 j.18)",
+            data::Profile { angle_step: 0.20, base_freq: 2.4, freq_step: 0.35, noise: 0.80, jitter: 0.18 },
+        ),
+    ] {
+        let train_ds = data::generate(profile, train_n, size, 1);
+        let test_ds = data::generate(profile, test_n, size, 2);
+        let cfg = TrainConfig { epochs, batch_size: batch, lr: 0.1, ..TrainConfig::default() };
+        print!("{pname}: ");
+        for setup in setups {
+            let t0 = std::time::Instant::now();
+            let h = run_training(
+                |e| resnet::resnet20(e, width, 10, 42),
+                setup.engine(9, 2),
+                &train_ds,
+                &test_ds,
+                &cfg,
+            );
+            print!(
+                "{}={:.1}% ({:.0}s)  ",
+                match setup {
+                    AccumSetup::Fp32Baseline => "fp32".to_owned(),
+                    AccumSetup::Rn { .. } => "rnE6M5".to_owned(),
+                    AccumSetup::Sr { r, .. } => format!("sr{r}"),
+                },
+                h.final_accuracy(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        println!();
+    }
+}

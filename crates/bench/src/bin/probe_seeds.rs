@@ -1,0 +1,54 @@
+//! Development probe: per-seed variance of the critical configurations at
+//! the candidate table-III difficulty.
+
+use srmac_bench::configs::AccumSetup;
+use srmac_bench::{env_or, run_training};
+use srmac_models::{data, resnet, TrainConfig};
+
+fn main() {
+    let profile = data::Profile {
+        angle_step: 0.30,
+        base_freq: 2.0,
+        freq_step: 0.5,
+        noise: 0.50,
+        jitter: 0.10,
+    };
+    let train_n: usize = env_or("SRMAC_TRAIN", 480);
+    let epochs: usize = env_or("SRMAC_EPOCHS", 8);
+    let train_ds = data::generate(profile, train_n, 12, 1);
+    let test_ds = data::generate(profile, 200, 12, 2);
+
+    for setup in [
+        AccumSetup::Fp32Baseline,
+        AccumSetup::Rn { e: 6, m: 5, subnormals: true },
+        AccumSetup::Sr { e: 6, m: 5, r: 4, subnormals: true },
+        AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: true },
+    ] {
+        print!("{:<28}", setup.label());
+        let seeds: u64 = match setup {
+            AccumSetup::Fp32Baseline => 6,
+            _ => 3,
+        };
+        let mut accs = Vec::new();
+        for seed in 0..seeds {
+            let cfg = TrainConfig {
+                epochs,
+                batch_size: 32,
+                lr: 0.1,
+                seed: 1000 + seed,
+                ..TrainConfig::default()
+            };
+            let h = run_training(
+                |e| resnet::resnet20(e, 4, 10, 42 + seed),
+                setup.engine(77 + seed, 2),
+                &train_ds,
+                &test_ds,
+                &cfg,
+            );
+            accs.push(h.final_accuracy());
+            print!(" {:.1}", h.final_accuracy());
+        }
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        println!("   mean {mean:.1}%");
+    }
+}

@@ -1,0 +1,49 @@
+//! Development probe: sweep data/optimizer settings on the f32 engine to
+//! find a laptop-scale operating point where the FP32 baseline learns
+//! decisively (the precondition for every training table).
+
+use std::sync::Arc;
+
+use srmac_bench::env_or;
+use srmac_models::{data, resnet, trainer, TrainConfig};
+use srmac_tensor::{F32Engine, GemmEngine};
+
+fn main() {
+    let train_n: usize = env_or("SRMAC_TRAIN", 480);
+    let test_n: usize = env_or("SRMAC_TEST", 200);
+    let size: usize = env_or("SRMAC_SIZE", 12);
+    let width: usize = env_or("SRMAC_WIDTH", 4);
+
+    for noise in [0.15f64, 0.3] {
+        for angle in [0.55f64, 0.75] {
+            for lr in [0.05f32, 0.1] {
+                for epochs in [10usize, 20] {
+                    let profile = data::Profile {
+                        angle_step: angle,
+                        base_freq: 1.5,
+                        freq_step: 0.8,
+                        noise,
+                        jitter: 0.05,
+                    };
+                    let train_ds = data::generate(profile, train_n, size, 1);
+                    let test_ds = data::generate(profile, test_n, size, 2);
+                    let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::default());
+                    let mut net = resnet::resnet20(&engine, width, 10, 3);
+                    let cfg = TrainConfig {
+                        epochs,
+                        batch_size: 16,
+                        lr,
+                        ..TrainConfig::default()
+                    };
+                    let h = trainer::train(&mut net, &train_ds, &test_ds, &cfg);
+                    println!(
+                        "noise {noise:.2} angle {angle:.2} lr {lr:.2} epochs {epochs:>2}: final {:>5.1}% best {:>5.1}% loss {:.3}",
+                        h.final_accuracy(),
+                        h.best_accuracy(),
+                        h.train_loss.last().unwrap()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The swamping/stagnation microbenchmark behind the paper's motivation
+//! (Sec. II: SR "is particularly effective against stagnation, a frequent
+//! occurrence when computing the sum of a large number of terms with small
+//! magnitude and a large forward error is produced").
+//!
+//! Accumulates N small uniform terms into an E6M5 accumulator with RN and
+//! with SR at several r, and reports the relative forward error against the
+//! exact sum — the pure-numerics shape underlying Table III: RN stagnates
+//! once the running sum dwarfs the addend; SR with enough random bits stays
+//! unbiased; SR with tiny r truncates sub-2^-r-ULP increments and collapses
+//! hardest of all.
+
+use srmac_bench::table;
+use srmac_core::{EagerCorrection, MacConfig, MacUnit, RoundingDesign};
+use srmac_rng::SplitMix64;
+
+fn run(design: RoundingDesign, n: usize, seed: u64) -> f64 {
+    let mut mac = MacUnit::new(MacConfig::fp8_fp12(design, true).with_seed(seed)).unwrap();
+    let mut rng = SplitMix64::new(seed ^ 0xABCD);
+    let mut exact = 0.0f64;
+    let fp8 = mac.config().mul_fmt;
+    for _ in 0..n {
+        // Small positive terms in [0.25, 0.75), exactly representable-ish in
+        // FP8 after RN quantization; track the exact sum of the quantized
+        // values so the only error source is accumulation.
+        let x = 0.25 + rng.next_f64() * 0.5;
+        let q = fp8.quantize_f64(x, srmac_fp::RoundMode::NearestEven).bits;
+        let xq = fp8.decode_f64(q);
+        let one = fp8.quantize_f64(1.0, srmac_fp::RoundMode::NearestEven).bits;
+        mac.mac(q, one);
+        exact += xq;
+    }
+    (mac.acc_f64() - exact).abs() / exact
+}
+
+fn main() {
+    let trials = srmac_bench::env_or("SRMAC_TRIALS", 8u64);
+    let designs: Vec<(String, RoundingDesign)> = vec![
+        ("RN".into(), RoundingDesign::Nearest),
+        ("SR r=4".into(), RoundingDesign::SrEager { r: 4, correction: EagerCorrection::Exact }),
+        ("SR r=9".into(), RoundingDesign::SrEager { r: 9, correction: EagerCorrection::Exact }),
+        ("SR r=13".into(), RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact }),
+    ];
+    let lens = [64usize, 256, 1024, 4096, 16384];
+
+    let mut rows = Vec::new();
+    for (label, design) in &designs {
+        let mut row = vec![label.clone()];
+        for &n in &lens {
+            let mut err = 0.0;
+            for t in 0..trials {
+                err += run(*design, n, 100 + t);
+            }
+            row.push(format!("{:.4}", err / trials as f64));
+        }
+        rows.push(row);
+    }
+    println!("Stagnation microbenchmark — mean relative forward error of sum(x_i), E6M5 accumulator");
+    println!("(terms ~U[0.25,0.75); error vs exact sum of the FP8-quantized terms; {trials} trials)\n");
+    let mut headers = vec!["design"];
+    let len_labels: Vec<String> = lens.iter().map(|n| format!("N={n}")).collect();
+    headers.extend(len_labels.iter().map(String::as_str));
+    println!("{}", table::render(&headers, &rows));
+    println!("expected shape: RN error grows with N (stagnation: the sum stops once");
+    println!("ULP(sum) exceeds the terms); SR r>=9 stays small and roughly flat; SR r=4");
+    println!("saturates hardest (increments below 2^-4 ULP are silently truncated).");
+}

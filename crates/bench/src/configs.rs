@@ -1,0 +1,99 @@
+//! Accumulation configurations of the paper's training tables, mapped to
+//! GEMM engines.
+
+use std::sync::Arc;
+
+use srmac_fp::FpFormat;
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_tensor::{F32Engine, GemmEngine};
+
+/// A training-table row: which arithmetic the GEMMs run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumSetup {
+    /// Full `f32` training (the paper's "FP32 Baseline", E8M23 RN).
+    Fp32Baseline,
+    /// FP8 multipliers with an RN accumulator of the given format.
+    Rn {
+        /// Accumulator exponent bits.
+        e: u32,
+        /// Accumulator stored significand bits.
+        m: u32,
+        /// Subnormal support.
+        subnormals: bool,
+    },
+    /// FP8 multipliers with an SR accumulator of the given format.
+    Sr {
+        /// Accumulator exponent bits.
+        e: u32,
+        /// Accumulator stored significand bits.
+        m: u32,
+        /// Random bits.
+        r: u32,
+        /// Subnormal support.
+        subnormals: bool,
+    },
+}
+
+impl AccumSetup {
+    /// Builds the GEMM engine for this configuration.
+    #[must_use]
+    pub fn engine(&self, seed: u64, threads: usize) -> Arc<dyn GemmEngine> {
+        match *self {
+            AccumSetup::Fp32Baseline => Arc::new(F32Engine::new(threads)),
+            AccumSetup::Rn { e, m, subnormals } => {
+                let acc = FpFormat::of(e, m).with_subnormals(subnormals);
+                let cfg = MacGemmConfig::fp8_acc(acc, AccumRounding::Nearest, subnormals)
+                    .with_seed(seed)
+                    .with_threads(threads);
+                Arc::new(MacGemm::new(cfg))
+            }
+            AccumSetup::Sr { e, m, r, subnormals } => {
+                let acc = FpFormat::of(e, m).with_subnormals(subnormals);
+                let cfg =
+                    MacGemmConfig::fp8_acc(acc, AccumRounding::Stochastic { r }, subnormals)
+                        .with_seed(seed)
+                        .with_threads(threads);
+                Arc::new(MacGemm::new(cfg))
+            }
+        }
+    }
+
+    /// The paper's table label for this row.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            AccumSetup::Fp32Baseline => "FP32 Baseline   E8M23      ".to_owned(),
+            AccumSetup::Rn { e, m, subnormals } => format!(
+                "RN {}  E{}M{}   ",
+                if subnormals { "W/ Sub " } else { "W/O Sub" },
+                e,
+                m
+            ),
+            AccumSetup::Sr { e, m, r, subnormals } => format!(
+                "SR {}  E{}M{} r={:<2}",
+                if subnormals { "W/ Sub " } else { "W/O Sub" },
+                e,
+                m,
+                r
+            ),
+        }
+    }
+
+    /// The Table III row set (ResNet-20 / CIFAR-10), with the paper's
+    /// reported accuracies.
+    #[must_use]
+    pub fn table3_rows() -> Vec<(AccumSetup, f64)> {
+        vec![
+            (AccumSetup::Fp32Baseline, 91.47),
+            (AccumSetup::Rn { e: 5, m: 10, subnormals: true }, 91.1),
+            (AccumSetup::Rn { e: 8, m: 7, subnormals: true }, 88.79),
+            (AccumSetup::Rn { e: 6, m: 5, subnormals: true }, 83.03),
+            (AccumSetup::Sr { e: 6, m: 5, r: 4, subnormals: true }, 43.11),
+            (AccumSetup::Sr { e: 6, m: 5, r: 9, subnormals: true }, 89.34),
+            (AccumSetup::Sr { e: 6, m: 5, r: 11, subnormals: true }, 90.7),
+            (AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: true }, 91.39),
+            (AccumSetup::Sr { e: 6, m: 5, r: 11, subnormals: false }, 90.67),
+            (AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: false }, 91.39),
+        ]
+    }
+}

@@ -1,0 +1,202 @@
+//! The MAC front-end: an exact widening floating-point multiplier.
+//!
+//! "This is an exact variant that computes the product of two pm-bit
+//! precision values with Em exponent bits as a pa := 2pm-bit precision
+//! result with Ea := Em+1 exponent bits. Taking this full result eliminates
+//! the need for rounding that would otherwise consume extra logic. For
+//! example, our reference FP8 design with E5M2 multiplier inputs will output
+//! FP12 E6M5 results." (paper, Sec. III)
+
+use srmac_fp::{ops, FpFormat, FpValue};
+
+use crate::adder::pack_result;
+
+/// Error constructing an [`ExactMultiplier`] whose output format cannot hold
+/// every product exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InexactProductError {
+    fmt_in: FpFormat,
+    fmt_out: FpFormat,
+}
+
+impl std::fmt::Display for InexactProductError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "products of {} values are not exactly representable in {} (need p_out >= 2*p_in and E_out > E_in)",
+            self.fmt_in, self.fmt_out
+        )
+    }
+}
+
+impl std::error::Error for InexactProductError {}
+
+/// An exact widening multiplier from `fmt_in` to `fmt_out`.
+///
+/// Subnormal handling follows the format flags: without subnormal support,
+/// subnormal inputs read as zero and subnormal-range products flush to zero
+/// (the paper's "W/O Sub" configuration); with it, every product is exact.
+///
+/// # Examples
+///
+/// ```
+/// use srmac_core::ExactMultiplier;
+/// use srmac_fp::{FpFormat, RoundMode};
+///
+/// let m = ExactMultiplier::new(FpFormat::e5m2(), FpFormat::e6m5())?;
+/// let fp8 = FpFormat::e5m2();
+/// let a = fp8.quantize_f64(1.5, RoundMode::NearestEven).bits;
+/// let b = fp8.quantize_f64(-2.5, RoundMode::NearestEven).bits;
+/// let p = m.multiply(a, b);
+/// assert_eq!(FpFormat::e6m5().decode_f64(p), -3.75);
+/// # Ok::<(), srmac_core::InexactProductError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExactMultiplier {
+    fmt_in: FpFormat,
+    fmt_out: FpFormat,
+}
+
+impl ExactMultiplier {
+    /// Creates the multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InexactProductError`] unless `fmt_out` has at least `2 p_in`
+    /// significand bits and at least one more exponent bit than `fmt_in`.
+    pub fn new(fmt_in: FpFormat, fmt_out: FpFormat) -> Result<Self, InexactProductError> {
+        if !ops::product_is_exact(fmt_in, fmt_out) {
+            return Err(InexactProductError { fmt_in, fmt_out });
+        }
+        Ok(Self { fmt_in, fmt_out })
+    }
+
+    /// The input operand format.
+    #[must_use]
+    pub fn input_format(&self) -> FpFormat {
+        self.fmt_in
+    }
+
+    /// The product format.
+    #[must_use]
+    pub fn output_format(&self) -> FpFormat {
+        self.fmt_out
+    }
+
+    /// Multiplies two `fmt_in` encodings into an exact `fmt_out` encoding.
+    #[must_use]
+    pub fn multiply(&self, a: u64, b: u64) -> u64 {
+        let (fin, fout) = (self.fmt_in, self.fmt_out);
+        let va = fin.decode(a);
+        let vb = fin.decode(b);
+        if va.is_nan() || vb.is_nan() {
+            return fout.nan_bits();
+        }
+        let neg = va.is_negative() != vb.is_negative();
+        match (&va, &vb) {
+            (FpValue::Inf { .. }, FpValue::Zero { .. })
+            | (FpValue::Zero { .. }, FpValue::Inf { .. }) => return fout.nan_bits(),
+            (FpValue::Inf { .. }, _) | (_, FpValue::Inf { .. }) => return fout.inf_bits(neg),
+            (FpValue::Zero { .. }, _) | (_, FpValue::Zero { .. }) => return fout.zero_bits(neg),
+            _ => {}
+        }
+        let (FpValue::Finite { exp: ea, sig: sa, .. }, FpValue::Finite { exp: eb, sig: sb, .. }) =
+            (va, vb)
+        else {
+            unreachable!("specials handled above")
+        };
+
+        // Exact significand product (up to 2*p_in bits) and exponent sum.
+        let sig = (sa as u64) * (sb as u64);
+        let exp = ea + eb;
+
+        // Left-justify into the output precision; the shift is non-negative
+        // by the format guarantee, so the product is always exact.
+        let p_out = fout.precision() as i32;
+        let msb = 63 - sig.leading_zeros() as i32;
+        let q_nat = exp + msb - (p_out - 1);
+        let q = if fout.subnormals() { q_nat.max(fout.min_quantum()) } else { q_nat };
+        debug_assert!(q <= exp, "product needs at most a left shift: always exact");
+        let kept = sig << (exp - q) as u32;
+        pack_result(fout, neg, kept, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srmac_fp::RoundMode;
+
+    /// The multiplier model must agree with the golden `mul` on every input
+    /// pair, and the result must always be exact.
+    fn check_exhaustive(fin: FpFormat, fout: FpFormat) {
+        let m = ExactMultiplier::new(fin, fout).unwrap();
+        for a in fin.iter_encodings() {
+            for b in fin.iter_encodings() {
+                let got = m.multiply(a, b);
+                let gold = ops::mul_full(fin, fout, a, b, RoundMode::NearestEven);
+                assert_eq!(
+                    got, gold.bits,
+                    "{fin}->{fout}: {a:#x} * {b:#x}: model {got:#x} vs golden {:#x}",
+                    gold.bits
+                );
+                if !fin.is_nan(a) && !fin.is_nan(b) && !fin.is_inf(a) && !fin.is_inf(b) {
+                    // Exactness, modulo the documented subnormal flush.
+                    if fout.subnormals() {
+                        assert!(!gold.flags.inexact, "{a:#x} * {b:#x} inexact");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn e5m2_to_e6m5_exhaustive() {
+        check_exhaustive(FpFormat::e5m2(), FpFormat::e6m5());
+    }
+
+    #[test]
+    fn e5m2_to_e6m5_without_subnormals_exhaustive() {
+        check_exhaustive(
+            FpFormat::e5m2().with_subnormals(false),
+            FpFormat::e6m5().with_subnormals(false),
+        );
+    }
+
+    #[test]
+    fn e4m3_to_e5m8_exhaustive() {
+        // The other FP8 format, into a custom 14-bit exact product format.
+        check_exhaustive(FpFormat::e4m3(), FpFormat::of(5, 8));
+    }
+
+    #[test]
+    fn products_match_f64_semantics() {
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        let m = ExactMultiplier::new(fin, fout).unwrap();
+        for a in fin.iter_encodings() {
+            for b in fin.iter_encodings() {
+                if fin.is_nan(a) || fin.is_nan(b) {
+                    continue;
+                }
+                let want = fin.decode_f64(a) * fin.decode_f64(b); // exact in f64
+                let got = fout.decode_f64(m.multiply(a, b));
+                if want.is_nan() {
+                    assert!(got.is_nan(), "{a:#x}*{b:#x}");
+                } else {
+                    assert_eq!(got, want, "{a:#x}*{b:#x}");
+                    if want == 0.0 {
+                        assert_eq!(got.is_sign_negative(), want.is_sign_negative());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_narrow_output() {
+        assert!(ExactMultiplier::new(FpFormat::e5m2(), FpFormat::e5m10()).is_err());
+        let err = ExactMultiplier::new(FpFormat::e4m3(), FpFormat::e6m5()).unwrap_err();
+        assert!(err.to_string().contains("not exactly representable"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests (proptest) for the RTL-level models: equivalence
+//! with the golden arithmetic and design-to-design invariants under
+//! arbitrary inputs and random words.
+
+use proptest::prelude::*;
+use srmac_core::{golden_mode, EagerCorrection, FpAdder, MacConfig, MacUnit, RoundingDesign};
+use srmac_fp::{ops, FpFormat, RoundMode};
+
+fn formats() -> Vec<FpFormat> {
+    vec![
+        FpFormat::e6m5(),
+        FpFormat::e6m5().with_subnormals(false),
+        FpFormat::e5m10(),
+        FpFormat::e8m7(),
+        FpFormat::e8m23(),
+    ]
+}
+
+fn arb_format() -> impl Strategy<Value = FpFormat> {
+    (0..formats().len()).prop_map(|i| formats()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    /// Every design equals the golden reference on every input.
+    #[test]
+    fn rtl_equals_golden(
+        fmt in arb_format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        word in any::<u64>(),
+        design_pick in 0u8..3,
+    ) {
+        let a = a & fmt.bits_mask();
+        let b = b & fmt.bits_mask();
+        let r = fmt.precision() + 3;
+        let design = match design_pick {
+            0 => RoundingDesign::Nearest,
+            1 => RoundingDesign::SrLazy { r },
+            _ => RoundingDesign::SrEager { r, correction: EagerCorrection::Exact },
+        };
+        let adder = FpAdder::new(fmt, design);
+        prop_assert_eq!(
+            adder.add(a, b, word),
+            ops::add(fmt, a, b, golden_mode(design, word)),
+            "{:?} {:?}: {:#x} + {:#x} word {:#x}", fmt, design, a, b, word
+        );
+    }
+
+    /// Eager(Exact) == lazy for every input and word (the paper's claim).
+    #[test]
+    fn eager_equals_lazy(
+        fmt in arb_format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        word in any::<u64>(),
+        r in 3u32..=27,
+    ) {
+        let a = a & fmt.bits_mask();
+        let b = b & fmt.bits_mask();
+        let lazy = FpAdder::new(fmt, RoundingDesign::SrLazy { r });
+        let eager = FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::Exact });
+        prop_assert_eq!(lazy.add(a, b, word), eager.add(a, b, word));
+    }
+
+    /// SR with word 0 equals truncation toward zero (T + 0 never carries),
+    /// and SR with the all-ones word rounds up whenever any tail bit is set
+    /// within the random window.
+    #[test]
+    fn sr_word_extremes(
+        fmt in arb_format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let a = a & fmt.bits_mask();
+        let b = b & fmt.bits_mask();
+        let r = 9;
+        let adder = FpAdder::new(fmt, RoundingDesign::SrLazy { r });
+        let down = ops::add(fmt, a, b, RoundMode::TowardZero);
+        let sr0 = adder.add(a, b, 0);
+        // Overflow differs by definition: truncation saturates at the
+        // largest finite value, SR (like RN) overflows to infinity.
+        let sign_mask = 1u64 << (fmt.bits() - 1);
+        let overflowed = fmt.is_inf(sr0)
+            && !fmt.is_inf(a)
+            && !fmt.is_inf(b)
+            && (down & !sign_mask) == fmt.max_finite_bits(false);
+        if !overflowed {
+            prop_assert_eq!(sr0, down);
+        }
+    }
+
+    /// The MAC accumulator never produces a non-canonical NaN and survives
+    /// arbitrary operand streams without panicking.
+    #[test]
+    fn mac_is_total(ops_stream in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..60)) {
+        let mut mac = MacUnit::new(MacConfig::paper_best()).unwrap();
+        let fp8 = mac.config().mul_fmt;
+        for (a, b) in ops_stream {
+            let acc = mac.mac(a & fp8.bits_mask(), b & fp8.bits_mask());
+            let f = mac.config().acc_fmt;
+            // acc is always a valid encoding of the accumulator format.
+            prop_assert_eq!(acc & f.bits_mask(), acc);
+        }
+    }
+
+    /// Multiplier results are exact: decode(a)*decode(b) == decode(product)
+    /// in f64 (which holds all E5M2 products exactly).
+    #[test]
+    fn multiplier_products_exact(a in any::<u64>(), b in any::<u64>()) {
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        let a = a & fin.bits_mask();
+        let b = b & fin.bits_mask();
+        prop_assume!(!fin.is_nan(a) && !fin.is_nan(b));
+        let m = srmac_core::ExactMultiplier::new(fin, fout).unwrap();
+        let got = fout.decode_f64(m.multiply(a, b));
+        let want = fin.decode_f64(a) * fin.decode_f64(b);
+        if want.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}

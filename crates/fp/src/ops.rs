@@ -1,0 +1,374 @@
+//! Golden bit-exact arithmetic: addition/subtraction and multiplication on
+//! encoded values, with any [`RoundMode`].
+//!
+//! These routines compute the *exact* real result internally (using wide
+//! integers, plus an exactness-preserving compression for very distant
+//! operands) and then round once. They are the ground truth against which
+//! the RTL-level models in `srmac-core` are verified.
+
+use crate::format::{mask128, FpFormat};
+use crate::round::{Flags, RoundMode, Rounded};
+use crate::value::FpValue;
+
+/// Adds two encoded values of the same format, rounding with `mode`.
+///
+/// Shorthand for [`add_full`] discarding the flags.
+#[must_use]
+pub fn add(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> u64 {
+    add_full(fmt, a, b, mode).bits
+}
+
+/// Subtracts `b` from `a` (`a + (-b)`).
+#[must_use]
+pub fn sub(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> u64 {
+    add(fmt, a, fmt.negate(b), mode)
+}
+
+/// Adds two encoded values of the same format, returning flags.
+///
+/// Semantics follow IEEE-754 where applicable:
+/// - NaN operands (or `inf + -inf`) produce the canonical NaN;
+/// - exact zero results of nonzero operands are `+0`;
+/// - `-0 + -0 = -0`, any other zero pairing gives `+0`;
+/// - with subnormal support disabled, subnormal inputs read as zero and
+///   subnormal-range outputs flush to zero.
+#[must_use]
+pub fn add_full(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> Rounded {
+    let va = fmt.decode(a);
+    let vb = fmt.decode(b);
+
+    // Specials.
+    if va.is_nan() || vb.is_nan() {
+        let invalid = !va.is_nan() && !vb.is_nan();
+        return Rounded { bits: fmt.nan_bits(), flags: Flags { invalid, ..Flags::default() } };
+    }
+    match (va, vb) {
+        (FpValue::Inf { neg: n1 }, FpValue::Inf { neg: n2 }) => {
+            return if n1 == n2 {
+                Rounded { bits: fmt.inf_bits(n1), flags: Flags::default() }
+            } else {
+                Rounded { bits: fmt.nan_bits(), flags: Flags { invalid: true, ..Flags::default() } }
+            };
+        }
+        (FpValue::Inf { neg }, _) | (_, FpValue::Inf { neg }) => {
+            return Rounded { bits: fmt.inf_bits(neg), flags: Flags::default() };
+        }
+        (FpValue::Zero { neg: n1 }, FpValue::Zero { neg: n2 }) => {
+            return Rounded { bits: fmt.zero_bits(n1 && n2), flags: Flags::default() };
+        }
+        (FpValue::Zero { .. }, FpValue::Finite { .. }) => {
+            // b is representable as-is (it decoded to finite), but re-encode
+            // to normalize flushed-subnormal inputs.
+            return Rounded { bits: b & fmt.bits_mask(), flags: Flags::default() };
+        }
+        (FpValue::Finite { .. }, FpValue::Zero { .. }) => {
+            return Rounded { bits: a & fmt.bits_mask(), flags: Flags::default() };
+        }
+        _ => {}
+    }
+
+    let (FpValue::Finite { neg: mut na, exp: mut ea, sig: mut sa },
+         FpValue::Finite { neg: mut nb, exp: mut eb, sig: mut sb }) = (va, vb)
+    else {
+        unreachable!("specials handled above")
+    };
+
+    // Order by magnitude: x = larger, y = smaller.
+    if va.cmp_mag(&vb) == std::cmp::Ordering::Less {
+        std::mem::swap(&mut na, &mut nb);
+        std::mem::swap(&mut ea, &mut eb);
+        std::mem::swap(&mut sa, &mut sb);
+    }
+    let d = ea - eb;
+    debug_assert!(d >= 0, "ULP exponents must be ordered after the magnitude swap");
+    let d = d as u32;
+
+    // Fraction bits carried below x's ULP. Wide enough that the fuzzy
+    // region of the sigma-compression (see below) sits strictly below every
+    // bit position the rounding mode inspects.
+    let f_bits = fmt.precision() + mode.tail_depth().max(2) + 4;
+    debug_assert!(fmt.precision() + f_bits + 1 < 128, "datapath width exceeds u128");
+
+    let x = sa << f_bits;
+    // Align y; if it is shifted entirely past the window, compress the
+    // dropped bits into a single "sigma" flag (exactness argument: the
+    // dropped value is < 1 unit of the window LSB, which is > tail_depth + 2
+    // positions below the result's last inspected bit).
+    let (y, sigma) = if d <= f_bits {
+        (sb << (f_bits - d), false)
+    } else {
+        let sh = d - f_bits;
+        let y = if sh >= 128 { 0 } else { sb >> sh };
+        let dropped = if sh >= 128 { sb } else { sb & mask128(sh) };
+        (y, dropped != 0)
+    };
+
+    let effective_sub = na != nb;
+    let (s, trailing_ones, extra_sticky) = if effective_sub {
+        debug_assert!(x >= y);
+        if sigma {
+            // True value is (x - y) - delta with 0 < delta < 1 window unit:
+            // the bit string is (x - y - 1) followed by infinite ones.
+            (x - y - 1, true, false)
+        } else {
+            (x - y, false, false)
+        }
+    } else {
+        (x + y, false, sigma)
+    };
+
+    if s == 0 {
+        debug_assert!(!trailing_ones);
+        // Exact cancellation: +0 (IEEE round-to-nearest convention).
+        return Rounded { bits: fmt.zero_bits(false), flags: Flags::default() };
+    }
+
+    fmt.round_finite(na, ea - f_bits as i32, s, trailing_ones, extra_sticky, mode)
+}
+
+/// Multiplies two `fmt_in` encodings into `fmt_out`, rounding with `mode`.
+///
+/// The significand product is computed exactly before the single rounding,
+/// so `fmt_in == fmt_out` behaves like an IEEE fused operation and a wide
+/// enough `fmt_out` (at least `2p` significand bits and `E+1` exponent bits)
+/// makes the product exact — the paper's MAC multiplier configuration
+/// (E5M2 inputs, E6M5 output).
+#[must_use]
+pub fn mul_full(fmt_in: FpFormat, fmt_out: FpFormat, a: u64, b: u64, mode: RoundMode) -> Rounded {
+    let va = fmt_in.decode(a);
+    let vb = fmt_in.decode(b);
+
+    if va.is_nan() || vb.is_nan() {
+        return Rounded { bits: fmt_out.nan_bits(), flags: Flags::default() };
+    }
+    let neg = va.is_negative() != vb.is_negative();
+    match (&va, &vb) {
+        (FpValue::Inf { .. }, FpValue::Zero { .. }) | (FpValue::Zero { .. }, FpValue::Inf { .. }) => {
+            return Rounded {
+                bits: fmt_out.nan_bits(),
+                flags: Flags { invalid: true, ..Flags::default() },
+            };
+        }
+        (FpValue::Inf { .. }, _) | (_, FpValue::Inf { .. }) => {
+            return Rounded { bits: fmt_out.inf_bits(neg), flags: Flags::default() };
+        }
+        (FpValue::Zero { .. }, _) | (_, FpValue::Zero { .. }) => {
+            return Rounded { bits: fmt_out.zero_bits(neg), flags: Flags::default() };
+        }
+        _ => {}
+    }
+    let (FpValue::Finite { exp: ea, sig: sa, .. }, FpValue::Finite { exp: eb, sig: sb, .. }) =
+        (va, vb)
+    else {
+        unreachable!("specials handled above")
+    };
+    debug_assert!(sa < 1 << 25 && sb < 1 << 25);
+    fmt_out.round_finite(neg, ea + eb, sa * sb, false, false, mode)
+}
+
+/// Multiplies two encodings, discarding flags.
+#[must_use]
+pub fn mul(fmt_in: FpFormat, fmt_out: FpFormat, a: u64, b: u64, mode: RoundMode) -> u64 {
+    mul_full(fmt_in, fmt_out, a, b, mode).bits
+}
+
+/// True if `fmt_out` can represent every product of two `fmt_in` values
+/// exactly (ignoring subnormal flushing when `fmt_out` lacks subnormals):
+/// requires `p_out >= 2 * p_in` and an exponent field wider by one bit.
+#[must_use]
+pub fn product_is_exact(fmt_in: FpFormat, fmt_out: FpFormat) -> bool {
+    fmt_out.precision() >= 2 * fmt_in.precision()
+        && fmt_out.exp_bits() >= fmt_in.exp_bits() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FpFormat;
+
+    const RN: RoundMode = RoundMode::NearestEven;
+
+    fn enc(fmt: &FpFormat, x: f64) -> u64 {
+        let q = fmt.quantize_f64(x, RN);
+        assert!(!q.flags.inexact, "{x} not representable in {fmt}");
+        q.bits
+    }
+
+    #[test]
+    fn simple_sums() {
+        let f = FpFormat::e6m5();
+        let one = enc(&f, 1.0);
+        let two = enc(&f, 2.0);
+        assert_eq!(f.decode_f64(add(f, one, one, RN)), 2.0);
+        assert_eq!(f.decode_f64(add(f, one, two, RN)), 3.0);
+        assert_eq!(f.decode_f64(sub(f, two, one, RN)), 1.0);
+        assert_eq!(f.decode_f64(sub(f, one, one, RN)), 0.0);
+    }
+
+    #[test]
+    fn addition_matches_f64_when_small_distance() {
+        // For operands whose exponents are close, the f64 sum is exact, so
+        // quantizing it equals our golden add.
+        let f = FpFormat::e6m5();
+        let mut patterns = Vec::new();
+        for bits in f.iter_encodings() {
+            if !f.is_nan(bits) && !f.is_inf(bits) {
+                patterns.push(bits);
+            }
+        }
+        let mut checked = 0usize;
+        for &a in patterns.iter().step_by(7) {
+            for &b in patterns.iter().step_by(11) {
+                let xa = f.decode_f64(a);
+                let xb = f.decode_f64(b);
+                if xa == 0.0 || xb == 0.0 {
+                    continue;
+                }
+                let (ea, eb) = (xa.abs().log2().floor(), xb.abs().log2().floor());
+                if (ea - eb).abs() > 40.0 {
+                    continue; // f64 sum no longer exact
+                }
+                let exact = xa + xb; // exact in f64: p=6 each, distance <= 40
+                let expect = f.quantize_f64(exact, RN).bits;
+                let got = add(f, a, b, RN);
+                assert_eq!(
+                    f.decode_f64(got),
+                    f.decode_f64(expect),
+                    "{xa} + {xb}: got {}, want {}",
+                    f.decode_f64(got),
+                    f.decode_f64(expect)
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 10_000, "exercised {checked} pairs");
+    }
+
+    #[test]
+    fn far_subtraction_with_sigma_compression() {
+        let f = FpFormat::e8m7();
+        // 1.0 - tiny: tiny is many ULPs below the window; exact result is
+        // just under 1.0 and must round back to 1.0 under RN.
+        let one = enc(&f, 1.0);
+        let tiny = enc(&f, 2f64.powi(-100));
+        let rn = add(f, one, f.negate(tiny), RN);
+        assert_eq!(f.decode_f64(rn), 1.0);
+        // Under SR, 1 - tiny rounds down to prev(1.0) for at most one random
+        // word in 2^r (eps is all-ones) — i.e. rounds *up* to 1.0 for all
+        // word != 0.
+        let r = 9;
+        let mut to_one = 0;
+        for word in 0..(1u64 << r) {
+            let v = add(f, one, f.negate(tiny), RoundMode::Stochastic { r, word });
+            if f.decode_f64(v) == 1.0 {
+                to_one += 1;
+            }
+        }
+        assert_eq!(to_one, (1 << r) - 1);
+    }
+
+    #[test]
+    fn far_addition_sigma_is_sticky_only() {
+        let f = FpFormat::e8m7();
+        let one = enc(&f, 1.0);
+        let tiny = enc(&f, 2f64.powi(-100));
+        // RN: 1 + tiny rounds to 1.0 (tail guard 0).
+        assert_eq!(f.decode_f64(add(f, one, tiny, RN)), 1.0);
+        // SR truncates the sub-2^-r tail: never rounds up.
+        for word in [0u64, 1, 100, 511] {
+            let v = add(f, one, tiny, RoundMode::Stochastic { r: 9, word });
+            assert_eq!(f.decode_f64(v), 1.0);
+        }
+    }
+
+    #[test]
+    fn signed_zero_rules() {
+        let f = FpFormat::e6m5();
+        let pz = f.zero_bits(false);
+        let nz = f.zero_bits(true);
+        assert_eq!(add(f, nz, nz, RN), nz);
+        assert_eq!(add(f, pz, nz, RN), pz);
+        assert_eq!(add(f, nz, pz, RN), pz);
+        let one = enc(&f, 1.0);
+        // x + (-x) = +0
+        assert_eq!(add(f, one, f.negate(one), RN), pz);
+    }
+
+    #[test]
+    fn special_value_rules() {
+        let f = FpFormat::e6m5();
+        let inf = f.inf_bits(false);
+        let ninf = f.inf_bits(true);
+        let one = enc(&f, 1.0);
+        assert!(f.is_nan(add(f, inf, ninf, RN)));
+        assert_eq!(add(f, inf, one, RN), inf);
+        assert_eq!(add(f, one, ninf, RN), ninf);
+        assert!(f.is_nan(add(f, f.nan_bits(), one, RN)));
+        assert!(f.is_nan(mul(f, f, inf, f.zero_bits(false), RN)));
+        assert_eq!(mul(f, f, inf, f.negate(one), RN), ninf);
+    }
+
+    #[test]
+    fn addition_overflow_saturates_to_inf() {
+        let f = FpFormat::e5m2();
+        let maxf = f.max_finite_bits(false);
+        let r = add_full(f, maxf, maxf, RN);
+        assert!(r.flags.overflow);
+        assert!(f.is_inf(r.bits));
+    }
+
+    #[test]
+    fn e5m2_products_exact_into_e6m5() {
+        assert!(product_is_exact(FpFormat::e5m2(), FpFormat::e6m5()));
+        assert!(!product_is_exact(FpFormat::e4m3(), FpFormat::e6m5()));
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        for a in fin.iter_encodings() {
+            for b in fin.iter_encodings() {
+                if fin.is_nan(a) || fin.is_nan(b) || fin.is_inf(a) || fin.is_inf(b) {
+                    continue;
+                }
+                let r = mul_full(fin, fout, a, b, RN);
+                assert!(
+                    !r.flags.inexact,
+                    "product of {:#04x} and {:#04x} must be exact in E6M5",
+                    a, b
+                );
+                let exact = fin.decode_f64(a) * fin.decode_f64(b); // exact in f64
+                assert_eq!(fout.decode_f64(r.bits), exact);
+            }
+        }
+    }
+
+    #[test]
+    fn e5m2_products_without_subnormals_flush() {
+        let fin = FpFormat::e5m2().with_subnormals(false);
+        let fout = FpFormat::e6m5().with_subnormals(false);
+        // Smallest normal product = 2^-14 * 2^-14 = 2^-28 >= 2^-30: exact.
+        let min_n = fin.min_normal_bits(false);
+        let r = mul_full(fin, fout, min_n, min_n, RN);
+        assert!(!r.flags.inexact);
+        assert_eq!(fout.decode_f64(r.bits), 2f64.powi(-28));
+        // Subnormal inputs decode as zero.
+        let sub = fin.pack(false, 0, 1);
+        let one = fin.pack(false, 15, 0);
+        let r = mul_full(fin, fout, sub, one, RN);
+        assert_eq!(r.bits, fout.zero_bits(false));
+    }
+
+    #[test]
+    fn sr_add_unbiased_over_all_words() {
+        // Mean of SR results over all 2^r words equals the exact value (when
+        // eps has <= r bits) — the unbiasedness that defeats stagnation.
+        let f = FpFormat::e6m5();
+        let one = enc(&f, 1.0);
+        let small = enc(&f, 2f64.powi(-9)); // eps = 2^-4 ulp of 1.0
+        let r = 8;
+        let mut acc = 0.0;
+        for word in 0..(1u64 << r) {
+            acc += f.decode_f64(add(f, one, small, RoundMode::Stochastic { r, word }));
+        }
+        let mean = acc / f64::from(1u32 << r);
+        assert!((mean - (1.0 + 2f64.powi(-9))).abs() < 1e-12, "mean = {mean}");
+    }
+}

@@ -1,0 +1,510 @@
+//! Rounding machinery: round-to-nearest-even, truncation and stochastic
+//! rounding of exact values into a target format.
+//!
+//! Stochastic rounding follows the hardware semantics of the paper's Fig. 1
+//! (add an `r`-bit random word to the discarded tail; a carry out rounds up):
+//! with tail fraction `eps_x`, the result rounds up for exactly
+//! `floor(eps_x * 2^r)` of the `2^r` possible random words — "x will be
+//! rounded up in `2^r * eps_x` cases out of `2^r`" (paper, Sec. II-A).
+
+use crate::format::{mask, mask128, FpFormat};
+
+/// Maximum supported number of stochastic-rounding random bits.
+pub const MAX_SR_BITS: u32 = 64;
+
+/// A rounding mode for [`FpFormat::round_finite`] and the golden operations
+/// in [`crate::ops`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundMode {
+    /// IEEE-754 round-to-nearest, ties to even.
+    NearestEven,
+    /// Truncation toward zero.
+    TowardZero,
+    /// Stochastic rounding with an `r`-bit random word.
+    ///
+    /// `word` is consumed modulo `2^r`; callers draw a fresh word per
+    /// operation (the paper's LFSR "operates in parallel and asynchronously"
+    /// with the datapath).
+    Stochastic {
+        /// Number of random bits `r` (1..=64).
+        r: u32,
+        /// The random word for this operation.
+        word: u64,
+    },
+}
+
+impl RoundMode {
+    /// Number of tail bits the mode inspects (`r` for SR, 2 for RN-even's
+    /// guard+sticky reading, 0 for truncation).
+    #[must_use]
+    pub fn tail_depth(&self) -> u32 {
+        match self {
+            RoundMode::NearestEven => 2,
+            RoundMode::TowardZero => 0,
+            RoundMode::Stochastic { r, .. } => *r,
+        }
+    }
+}
+
+/// Exception flags produced by a rounding or arithmetic operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// The result differs from the exact value.
+    pub inexact: bool,
+    /// The exact value overflowed the format's range.
+    pub overflow: bool,
+    /// A nonzero value was flushed to zero (or denormalized inexactly).
+    pub underflow: bool,
+    /// An invalid operation produced NaN.
+    pub invalid: bool,
+}
+
+impl Flags {
+    /// Merges two flag sets (bitwise OR of each flag).
+    #[must_use]
+    pub fn merge(self, other: Flags) -> Flags {
+        Flags {
+            inexact: self.inexact || other.inexact,
+            overflow: self.overflow || other.overflow,
+            underflow: self.underflow || other.underflow,
+            invalid: self.invalid || other.invalid,
+        }
+    }
+}
+
+/// Result of rounding an exact value into a format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rounded {
+    /// The encoded result.
+    pub bits: u64,
+    /// Exception flags.
+    pub flags: Flags,
+}
+
+/// The discarded-tail summary a rounding decision is based on; exposed for
+/// the RTL models in `srmac-core`, whose datapaths compute the same values
+/// structurally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailInfo {
+    /// First discarded bit (the guard bit).
+    pub guard: bool,
+    /// OR of every discarded bit below the guard.
+    pub sticky: bool,
+    /// The top `r` discarded bits as an integer (SR modes only, else 0).
+    pub t: u64,
+    /// True if any discarded bit is set.
+    pub inexact: bool,
+}
+
+impl FpFormat {
+    /// Rounds the exact value `(-1)^neg * sig * 2^exp` into this format.
+    ///
+    /// `trailing_ones` asserts that the exact value carries an infinite
+    /// string of 1 bits immediately below `sig`'s LSB (used by the golden
+    /// adder to represent far-path subtraction borrows exactly).
+    /// `extra_sticky` asserts additional nonzero value strictly below every
+    /// bit position the mode inspects; it only influences the sticky bit and
+    /// the inexact flag.
+    ///
+    /// Overflow rounds to infinity for [`RoundMode::NearestEven`] and
+    /// [`RoundMode::Stochastic`], and to the largest finite value for
+    /// [`RoundMode::TowardZero`]. Without subnormal support, results in the
+    /// subnormal range flush to zero after rounding at the normal quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig == 0` (use the zero encodings directly) or if a
+    /// stochastic mode requests more than [`MAX_SR_BITS`] bits.
+    #[must_use]
+    pub fn round_finite(
+        &self,
+        neg: bool,
+        exp: i32,
+        sig: u128,
+        trailing_ones: bool,
+        extra_sticky: bool,
+        mode: RoundMode,
+    ) -> Rounded {
+        assert!(sig != 0, "round_finite requires a nonzero significand");
+        let p = self.precision();
+        let r = match mode {
+            RoundMode::Stochastic { r, .. } => {
+                assert!(
+                    (1..=MAX_SR_BITS).contains(&r),
+                    "stochastic rounding needs 1..={MAX_SR_BITS} random bits"
+                );
+                r
+            }
+            _ => 1,
+        };
+
+        let msb = 127 - sig.leading_zeros() as i32;
+        // Natural (normalized) quantum, and the format's minimum quantum.
+        let qn = exp + msb - (p as i32 - 1);
+        let q = if self.subnormals() { qn.max(self.min_quantum()) } else { qn };
+        let drop = q - exp; // Number of low bits of `sig` that fall below the quantum.
+
+        let (mut kept, tail) = split_at_quantum(sig, drop, r, trailing_ones);
+        let mut q = q;
+        let sticky = tail.sticky || extra_sticky;
+        let inexact = tail.inexact || extra_sticky;
+
+        let round_up = match mode {
+            RoundMode::NearestEven => tail.guard && (sticky || (kept & 1 == 1)),
+            RoundMode::TowardZero => false,
+            RoundMode::Stochastic { r, word } => {
+                u128::from(tail.t) + u128::from(word & mask(r)) >= (1u128 << r)
+            }
+        };
+        if round_up {
+            kept += 1;
+            if kept == 1u128 << p {
+                kept >>= 1;
+                q += 1;
+            }
+        }
+
+        let mut flags = Flags { inexact, ..Flags::default() };
+        if kept == 0 {
+            flags.underflow = inexact;
+            return Rounded { bits: self.zero_bits(neg), flags };
+        }
+
+        if kept >= 1u128 << (p - 1) {
+            // Normal-form result.
+            let e_unbiased = q + p as i32 - 1;
+            if e_unbiased > self.emax() {
+                flags.overflow = true;
+                flags.inexact = true;
+                let bits = match mode {
+                    RoundMode::TowardZero => self.max_finite_bits(neg),
+                    _ => self.inf_bits(neg),
+                };
+                return Rounded { bits, flags };
+            }
+            if e_unbiased < self.emin() {
+                // Only reachable without subnormal support (the quantum is
+                // not clamped): flush to zero.
+                debug_assert!(!self.subnormals());
+                flags.underflow = true;
+                flags.inexact = true;
+                return Rounded { bits: self.zero_bits(neg), flags };
+            }
+            let e_field = (e_unbiased + self.bias()) as u64;
+            let m = (kept as u64) & self.man_mask();
+            Rounded { bits: self.pack(neg, e_field, m), flags }
+        } else {
+            // Subnormal result: only arises when the quantum was clamped.
+            debug_assert!(self.subnormals() && q == self.min_quantum());
+            flags.underflow = inexact;
+            Rounded { bits: self.pack(neg, 0, kept as u64), flags }
+        }
+    }
+
+    /// Quantizes an `f64` into this format with the given rounding mode.
+    ///
+    /// The decomposition of the input is exact, so no double rounding occurs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srmac_fp::{FpFormat, RoundMode};
+    ///
+    /// let f = FpFormat::e5m2();
+    /// let one = f.quantize_f64(1.0, RoundMode::NearestEven).bits;
+    /// assert_eq!(f.decode_f64(one), 1.0);
+    /// // 1.1 is not representable in E5M2; RN picks the nearest neighbor.
+    /// let q = f.quantize_f64(1.1, RoundMode::NearestEven);
+    /// assert!(q.flags.inexact);
+    /// assert_eq!(f.decode_f64(q.bits), 1.0);
+    /// ```
+    #[must_use]
+    pub fn quantize_f64(&self, x: f64, mode: RoundMode) -> Rounded {
+        if x.is_nan() {
+            return Rounded {
+                bits: self.nan_bits(),
+                flags: Flags::default(),
+            };
+        }
+        let neg = x.is_sign_negative();
+        if x.is_infinite() {
+            return Rounded { bits: self.inf_bits(neg), flags: Flags::default() };
+        }
+        if x == 0.0 {
+            return Rounded { bits: self.zero_bits(neg), flags: Flags::default() };
+        }
+        let b = x.abs().to_bits();
+        let e_field = (b >> 52) as i32;
+        let frac = b & ((1u64 << 52) - 1);
+        let (sig, exp) = if e_field == 0 {
+            (u128::from(frac), -1074)
+        } else {
+            (u128::from(frac | (1u64 << 52)), e_field - 1075)
+        };
+        self.round_finite(neg, exp, sig, false, false, mode)
+    }
+
+    /// Quantizes an `f32` into this format (via exact promotion to `f64`).
+    #[must_use]
+    pub fn quantize_f32(&self, x: f32, mode: RoundMode) -> Rounded {
+        self.quantize_f64(f64::from(x), mode)
+    }
+}
+
+/// Splits `sig` (with `drop` low bits below the quantum, possibly negative
+/// or > 128, and optional infinite trailing ones below the LSB) into the
+/// kept significand and the tail summary read `r` bits deep.
+fn split_at_quantum(sig: u128, drop: i32, r: u32, trailing_ones: bool) -> (u128, TailInfo) {
+    if drop <= 0 {
+        // Every bit of `sig` is at or above the quantum. Gap positions
+        // between the quantum and sig's LSB are filled by the virtual ones.
+        let up = (-drop) as u32;
+        debug_assert!(up < 32, "quantum unexpectedly far below significand");
+        let kept = (sig << up) | if trailing_ones { mask128(up) } else { 0 };
+        let tail = TailInfo {
+            guard: trailing_ones,
+            sticky: trailing_ones,
+            t: if trailing_ones { mask(r) } else { 0 },
+            inexact: trailing_ones,
+        };
+        return (kept, tail);
+    }
+
+    let drop = drop as u32;
+    let kept = shr_saturating(sig, drop);
+
+    // Virtual tail string: bit i (i = 1 = just below the quantum, counting
+    // down) is sig bit (drop - i) for drop - i in [0, 128), and
+    // `trailing_ones` below that.
+    let guard = tail_bit(sig, drop, 1, trailing_ones);
+
+    // sticky: any bit strictly below the guard.
+    let below_guard_from_sig = if drop >= 2 { low_bits_nonzero(sig, drop - 1) } else { false };
+    let sticky = below_guard_from_sig || trailing_ones;
+
+    // t: the top r tail bits as an integer.
+    let t = {
+        let from_sig = if drop >= r {
+            (shr_saturating(sig, drop - r) as u64) & mask(r)
+        } else {
+            ((sig as u64) & mask(drop)) << (r - drop)
+        };
+        let pad = if trailing_ones && drop < r { mask(r - drop) } else { 0 };
+        from_sig | pad
+    };
+
+    let inexact = low_bits_nonzero(sig, drop) || trailing_ones;
+    (kept, TailInfo { guard, sticky, t, inexact })
+}
+
+/// Bit `i` (1-based from the top) of the virtual tail string.
+fn tail_bit(sig: u128, drop: u32, i: u32, trailing_ones: bool) -> bool {
+    if i > drop {
+        return trailing_ones;
+    }
+    let pos = drop - i;
+    if pos >= 128 {
+        false
+    } else {
+        (sig >> pos) & 1 == 1
+    }
+}
+
+fn shr_saturating(x: u128, n: u32) -> u128 {
+    if n >= 128 {
+        0
+    } else {
+        x >> n
+    }
+}
+
+fn low_bits_nonzero(x: u128, n: u32) -> bool {
+    x & mask128(n.min(128)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RN: RoundMode = RoundMode::NearestEven;
+
+    fn dec(fmt: &FpFormat, bits: u64) -> f64 {
+        fmt.decode_f64(bits)
+    }
+
+    #[test]
+    fn quantize_exact_values_roundtrip() {
+        for fmt in [FpFormat::e5m2(), FpFormat::e6m5(), FpFormat::e5m10(), FpFormat::e8m7()] {
+            for bits in fmt.iter_encodings() {
+                if fmt.is_nan(bits) {
+                    continue;
+                }
+                let v = dec(&fmt, bits);
+                let q = fmt.quantize_f64(v, RN);
+                assert!(!q.flags.inexact, "{fmt}: {v} should quantize exactly");
+                assert_eq!(
+                    dec(&fmt, q.bits),
+                    v,
+                    "{fmt}: roundtrip of {bits:#x} ({v}) gave {:#x}",
+                    q.bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_even_ties() {
+        let f = FpFormat::e5m2(); // ULP of 1.0 is 0.25
+        // 1.125 is exactly between 1.0 and 1.25 -> ties to even (1.0).
+        assert_eq!(dec(&f, f.quantize_f64(1.125, RN).bits), 1.0);
+        // 1.375 is between 1.25 and 1.5 -> ties to even (1.5).
+        assert_eq!(dec(&f, f.quantize_f64(1.375, RN).bits), 1.5);
+        // Slightly above the tie rounds up.
+        assert_eq!(dec(&f, f.quantize_f64(1.126, RN).bits), 1.25);
+    }
+
+    #[test]
+    fn toward_zero_truncates() {
+        let f = FpFormat::e5m2();
+        let q = f.quantize_f64(1.24, RoundMode::TowardZero);
+        assert_eq!(dec(&f, q.bits), 1.0);
+        let q = f.quantize_f64(-1.24, RoundMode::TowardZero);
+        assert_eq!(dec(&f, q.bits), -1.0);
+    }
+
+    #[test]
+    fn overflow_behaviour_per_mode() {
+        let f = FpFormat::e5m2(); // max finite 57344
+        let big = 1.0e9;
+        let q = f.quantize_f64(big, RN);
+        assert!(q.flags.overflow);
+        assert!(f.is_inf(q.bits));
+        let q = f.quantize_f64(big, RoundMode::TowardZero);
+        assert!(q.flags.overflow);
+        assert_eq!(q.bits, f.max_finite_bits(false));
+        let q = f.quantize_f64(-big, RoundMode::Stochastic { r: 8, word: 0 });
+        assert!(q.flags.overflow);
+        assert_eq!(q.bits, f.inf_bits(true));
+    }
+
+    #[test]
+    fn rn_overflow_boundary() {
+        let f = FpFormat::e5m2();
+        // Values below maxfinite + ulp/2 round down to maxfinite.
+        let maxf = 57344.0;
+        let half_ulp = 4096.0; // ulp at emax = 2^15 * 2^-2 = 8192; half = 4096
+        let q = f.quantize_f64(maxf + half_ulp - 1.0, RN);
+        assert_eq!(q.bits, f.max_finite_bits(false));
+        let q = f.quantize_f64(maxf + half_ulp, RN);
+        assert!(f.is_inf(q.bits));
+    }
+
+    #[test]
+    fn subnormal_quantization() {
+        let f = FpFormat::e5m2();
+        // Min subnormal 2^-16; half of it ties to even (0).
+        let q = f.quantize_f64(2f64.powi(-17), RN);
+        assert_eq!(dec(&f, q.bits), 0.0);
+        assert!(q.flags.underflow);
+        let q = f.quantize_f64(2f64.powi(-17) * 1.5, RN);
+        assert_eq!(dec(&f, q.bits), 2f64.powi(-16));
+        // Subnormal-exact values stay exact.
+        let q = f.quantize_f64(3.0 * 2f64.powi(-16), RN);
+        assert!(!q.flags.inexact);
+        assert_eq!(dec(&f, q.bits), 3.0 * 2f64.powi(-16));
+    }
+
+    #[test]
+    fn flush_to_zero_without_subnormals() {
+        let f = FpFormat::e5m2().with_subnormals(false);
+        // 3 * 2^-16 is subnormal-range: flushed even though it is exact
+        // with subnormal support.
+        let q = f.quantize_f64(3.0 * 2f64.powi(-16), RN);
+        assert_eq!(q.bits, f.zero_bits(false));
+        assert!(q.flags.underflow);
+        // Values that round (at the *normal* quantum) to >= 2^emin survive.
+        let q = f.quantize_f64(2f64.powi(-14) * 0.999, RN);
+        assert_eq!(dec(&f, q.bits), 2f64.powi(-14));
+    }
+
+    #[test]
+    fn stochastic_rounding_exhaustive_distribution() {
+        // For x strictly between two E5M2 neighbors, the number of r-bit
+        // words that round up must be exactly floor(eps * 2^r).
+        let f = FpFormat::e5m2();
+        let r = 6;
+        // x = 1.0 + 3/16 ulp-of-1.0... use 1.0 + 0.25 * k/64 for several k.
+        for k in [1u32, 7, 17, 32, 45, 63] {
+            let x = 1.0 + 0.25 * f64::from(k) / 64.0;
+            let mut ups = 0u32;
+            for word in 0..(1u64 << r) {
+                let q = f.quantize_f64(x, RoundMode::Stochastic { r, word });
+                let v = dec(&f, q.bits);
+                assert!(v == 1.0 || v == 1.25, "SR must pick a neighbor");
+                if v == 1.25 {
+                    ups += 1;
+                }
+            }
+            assert_eq!(ups, k, "eps = {k}/64 must round up in exactly {k} cases");
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_truncates_below_r() {
+        // Tail bits beyond position r are dropped: with eps < 2^-r the value
+        // never rounds up (the r = 4 accuracy-collapse mechanism).
+        let f = FpFormat::e5m2();
+        let r = 4;
+        let x = 1.0 + 0.25 / 64.0; // eps = 1/64 < 1/16
+        for word in 0..(1u64 << r) {
+            let q = f.quantize_f64(x, RoundMode::Stochastic { r, word });
+            assert_eq!(dec(&f, q.bits), 1.0);
+        }
+        // Same value with r = 6 rounds up for exactly one word.
+        let mut ups = 0;
+        for word in 0..(1u64 << 6) {
+            let q = f.quantize_f64(x, RoundMode::Stochastic { r: 6, word });
+            if dec(&f, q.bits) == 1.25 {
+                ups += 1;
+            }
+        }
+        assert_eq!(ups, 1);
+    }
+
+    #[test]
+    fn trailing_ones_round_like_the_limit() {
+        // value = (2 - 2^-inf) should round to 2.0 under RN.
+        let f = FpFormat::e5m2();
+        let rounded = f.round_finite(false, -63, mask128(64), true, false, RN);
+        assert_eq!(dec(&f, rounded.bits), 2.0);
+        // Under SR with r bits it rounds up for all but... T = all ones, so
+        // any nonzero word carries: 2^r - 1 of 2^r words round up.
+        let r = 5;
+        let mut ups = 0;
+        for word in 0..(1u64 << r) {
+            let rr =
+                f.round_finite(false, -63, mask128(64), true, false, RoundMode::Stochastic { r, word });
+            if dec(&f, rr.bits) == 2.0 {
+                ups += 1;
+            }
+        }
+        assert_eq!(ups, (1 << r) - 1);
+    }
+
+    #[test]
+    fn negative_values_round_magnitude() {
+        let f = FpFormat::e5m2();
+        let q = f.quantize_f64(-1.1, RN);
+        assert_eq!(dec(&f, q.bits), -1.0);
+        let q = f.quantize_f64(-1.2, RN);
+        assert_eq!(dec(&f, q.bits), -1.25);
+    }
+
+    #[test]
+    fn significand_carry_propagates_to_exponent() {
+        let f = FpFormat::e5m2();
+        // 1.75 + ulp/2 up = rounds to 2.0 (carry out of significand).
+        let q = f.quantize_f64(1.875, RN);
+        assert_eq!(dec(&f, q.bits), 2.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) for the golden arithmetic: algebraic
+//! invariants that must hold for every format, rounding mode and input.
+
+use proptest::prelude::*;
+use srmac_fp::{ops, FpFormat, FpValue, RoundMode};
+
+fn formats() -> Vec<FpFormat> {
+    vec![
+        FpFormat::e3m2(),
+        FpFormat::e4m3(),
+        FpFormat::e5m2(),
+        FpFormat::e5m2().with_subnormals(false),
+        FpFormat::e6m5(),
+        FpFormat::e6m5().with_subnormals(false),
+        FpFormat::e5m10(),
+        FpFormat::e8m7(),
+    ]
+}
+
+fn arb_format() -> impl Strategy<Value = FpFormat> {
+    (0..formats().len()).prop_map(|i| formats()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// Addition is commutative for every rounding mode (the golden add is
+    /// symmetric after the magnitude swap).
+    #[test]
+    fn add_commutes(
+        fmt in arb_format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        word in any::<u64>(),
+        r in 1u32..=20,
+    ) {
+        let a = a & fmt.bits_mask();
+        let b = b & fmt.bits_mask();
+        for mode in [
+            RoundMode::NearestEven,
+            RoundMode::TowardZero,
+            RoundMode::Stochastic { r, word },
+        ] {
+            prop_assert_eq!(ops::add(fmt, a, b, mode), ops::add(fmt, b, a, mode));
+        }
+    }
+
+    /// x + 0 == x for finite x, and x - x == +0.
+    #[test]
+    fn add_identity_and_inverse(fmt in arb_format(), a in any::<u64>(), word in any::<u64>()) {
+        let a = a & fmt.bits_mask();
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_inf(a));
+        let mode = RoundMode::Stochastic { r: 9, word };
+        let zero = fmt.zero_bits(false);
+        let got = ops::add(fmt, a, zero, mode);
+        // Flushed-subnormal inputs re-encode to zero; otherwise identity.
+        if fmt.decode(a).is_zero() {
+            prop_assert!(fmt.is_zero(got));
+        } else {
+            prop_assert_eq!(got, a & fmt.bits_mask());
+        }
+        if !fmt.decode(a).is_zero() {
+            prop_assert_eq!(ops::add(fmt, a, fmt.negate(a), mode), zero);
+        }
+    }
+
+    /// The result of any rounding lies on one of the two neighbors of the
+    /// exact sum: SR/RN never skip past a representable value.
+    #[test]
+    fn rounding_stays_between_neighbors(
+        fmt in arb_format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        word in any::<u64>(),
+    ) {
+        let a = a & fmt.bits_mask();
+        let b = b & fmt.bits_mask();
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_nan(b) && !fmt.is_inf(a) && !fmt.is_inf(b));
+        let exact = fmt.decode_f64(a) + fmt.decode_f64(b); // exact when fmt is small? not always -
+        // use RZ and "RZ + 1 step" instead of f64 to bound the result.
+        let mode = RoundMode::Stochastic { r: 11, word };
+        let down = ops::add(fmt, a, b, RoundMode::TowardZero);
+        let got = ops::add(fmt, a, b, mode);
+        if got == down {
+            return Ok(());
+        }
+        // Otherwise `got` must be exactly one encoding step above `down` in
+        // magnitude (or the infinity that follows max-finite).
+        let sign_mask = 1u64 << (fmt.bits() - 1);
+        let down_mag = down & !sign_mask;
+        let got_mag = got & !sign_mask;
+        prop_assert_eq!(
+            got_mag,
+            down_mag + 1,
+            "SR must land on a neighbor: exact ~ {}, down {:#x}, got {:#x}",
+            exact, down, got
+        );
+    }
+
+    /// Monotonicity of RN addition: for a fixed addend c >= 0 and
+    /// magnitudes a <= b (same sign), add(a, c) <= add(b, c).
+    #[test]
+    fn rn_addition_is_monotone(
+        fmt in arb_format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let sign_mask = 1u64 << (fmt.bits() - 1);
+        let a = a & fmt.bits_mask() & !sign_mask;
+        let b = b & fmt.bits_mask() & !sign_mask;
+        let c = c & fmt.bits_mask() & !sign_mask;
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_nan(b) && !fmt.is_nan(c));
+        prop_assume!(!fmt.is_inf(a) && !fmt.is_inf(b) && !fmt.is_inf(c));
+        let (lo, hi) = if fmt.decode_f64(a) <= fmt.decode_f64(b) { (a, b) } else { (b, a) };
+        let x = fmt.decode_f64(ops::add(fmt, lo, c, RoundMode::NearestEven));
+        let y = fmt.decode_f64(ops::add(fmt, hi, c, RoundMode::NearestEven));
+        prop_assert!(x <= y, "monotonicity: {x} > {y}");
+    }
+
+    /// Quantize/decode roundtrip: decode(quantize(x)) is one of the two
+    /// format neighbors of x, and quantizing a decoded value is exact.
+    #[test]
+    fn quantize_roundtrip(fmt in arb_format(), bits in any::<u64>()) {
+        let bits = bits & fmt.bits_mask();
+        prop_assume!(!fmt.is_nan(bits));
+        let x = fmt.decode_f64(bits);
+        let q = fmt.quantize_f64(x, RoundMode::NearestEven);
+        prop_assert!(!q.flags.inexact);
+        prop_assert_eq!(fmt.decode_f64(q.bits).to_bits(), x.to_bits());
+    }
+
+    /// Multiplication commutes and respects signs.
+    #[test]
+    fn mul_commutes(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        word in any::<u64>(),
+    ) {
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        let a = a & fin.bits_mask();
+        let b = b & fin.bits_mask();
+        for mode in [RoundMode::NearestEven, RoundMode::Stochastic { r: 7, word }] {
+            prop_assert_eq!(
+                ops::mul(fin, fout, a, b, mode),
+                ops::mul(fin, fout, b, a, mode)
+            );
+        }
+    }
+
+    /// SR expectation: the exhaustive-word average of SR results equals the
+    /// exact value when the tail fits in r bits (unbiasedness).
+    #[test]
+    fn sr_exhaustive_mean_is_exact_for_short_tails(
+        mant in 0u64..32,
+        shift in 1u32..5,
+    ) {
+        let fmt = FpFormat::e6m5();
+        // x = 1.0, y = mant * 2^-(5 + shift): tail length <= shift + 5 bits.
+        let r = 10;
+        let one = fmt.quantize_f64(1.0, RoundMode::NearestEven).bits;
+        let yv = mant as f64 * 2f64.powi(-(5 + shift as i32) - 5);
+        let y = fmt.quantize_f64(yv, RoundMode::NearestEven);
+        prop_assume!(!y.flags.inexact);
+        let mut acc = 0.0f64;
+        for word in 0..(1u64 << r) {
+            acc += fmt.decode_f64(ops::add(fmt, one, y.bits, RoundMode::Stochastic { r, word }));
+        }
+        let mean = acc / f64::from(1u32 << r);
+        let exact = 1.0 + fmt.decode_f64(y.bits);
+        prop_assert!((mean - exact).abs() < 1e-12, "mean {mean} vs exact {exact}");
+    }
+
+    /// Decoded values always re-encode to themselves through FpValue.
+    #[test]
+    fn decode_is_stable(fmt in arb_format(), bits in any::<u64>()) {
+        let bits = bits & fmt.bits_mask();
+        match fmt.decode(bits) {
+            FpValue::Finite { neg, exp, sig } => {
+                let r = fmt.round_finite(neg, exp, sig, false, false, RoundMode::NearestEven);
+                prop_assert!(!r.flags.inexact);
+                prop_assert_eq!(fmt.decode(r.bits), fmt.decode(bits));
+            }
+            FpValue::Nan => prop_assert!(fmt.is_nan(bits)),
+            FpValue::Inf { neg } => prop_assert_eq!(fmt.inf_bits(neg), bits),
+            FpValue::Zero { .. } => {}
+        }
+    }
+}

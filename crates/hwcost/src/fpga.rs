@@ -1,0 +1,130 @@
+//! FPGA (Virtex UltraScale+ VU9P / Vivado) cost model: LUT / FF / delay
+//! estimates per adder configuration, calibrated on the paper's Table II.
+//!
+//! Table II has only four rows, so this model is kept deliberately small
+//! (three coefficients per metric) and is validated on orderings — the
+//! eager design must save LUTs and delay versus the lazy one, as the paper
+//! reports (251 vs 344 LUTs, 8.04 vs 8.76 ns).
+
+use crate::asic::Geometry;
+use crate::linalg::nnls;
+use crate::paper::{table2, AdderConfig};
+
+/// Modelled FPGA cost of one configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FpgaCost {
+    /// 6-input LUT count.
+    pub luts: f64,
+    /// Flip-flop count.
+    pub ffs: f64,
+    /// Combinational delay in ns.
+    pub delay: f64,
+}
+
+/// The calibrated FPGA model.
+///
+/// # Examples
+///
+/// ```
+/// use srmac_hwcost::{AdderConfig, DesignKind, FpgaModel};
+/// use srmac_fp::FpFormat;
+///
+/// let model = FpgaModel::calibrated();
+/// let fmt = FpFormat::e6m5().with_subnormals(false);
+/// let eager = model.cost(&AdderConfig::new(DesignKind::SrEager, fmt, 13));
+/// let lazy = model.cost(&AdderConfig::new(DesignKind::SrLazy, fmt, 13));
+/// assert!(eager.luts < lazy.luts);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpgaModel {
+    lut_coefs: Vec<f64>,
+    ff_coefs: Vec<f64>,
+    delay_coefs: Vec<f64>,
+}
+
+impl FpgaModel {
+    /// Calibrates on Table II.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        let points = table2();
+        let geos: Vec<Geometry> = points.iter().map(|p| Geometry::of(&p.config)).collect();
+
+        // LUTs: datapath bits map ~1:1 to LUTs; shifters dominate on FPGA.
+        let lut_rows: Vec<Vec<f64>> = geos.iter().map(Self::lut_features).collect();
+        let lut_y: Vec<f64> = points.iter().map(|p| p.luts).collect();
+        let w: Vec<f64> = lut_y.iter().map(|&v| 1.0 / v).collect();
+        let lut_coefs = nnls(&lut_rows, &lut_y, &w);
+
+        let ff_rows: Vec<Vec<f64>> = geos.iter().map(Self::ff_features).collect();
+        let ff_y: Vec<f64> = points.iter().map(|p| p.ffs).collect();
+        let w: Vec<f64> = ff_y.iter().map(|&v| 1.0 / v).collect();
+        let ff_coefs = nnls(&ff_rows, &ff_y, &w);
+
+        let d_rows: Vec<Vec<f64>> = geos.iter().map(|g| g.delay_features()).collect();
+        let d_y: Vec<f64> = points.iter().map(|p| p.delay).collect();
+        let w: Vec<f64> = d_y.iter().map(|&v| 1.0 / v).collect();
+        let delay_coefs = nnls(&d_rows, &d_y, &w);
+
+        Self { lut_coefs, ff_coefs, delay_coefs }
+    }
+
+    fn lut_features(g: &Geometry) -> Vec<f64> {
+        let log2c = |w: u32| f64::from(32 - w.next_power_of_two().leading_zeros() - 1);
+        vec![
+            1.0,
+            f64::from(g.main_adder + g.increment + g.round_adder + 2 * g.exp_width),
+            f64::from(g.align_width) * log2c(g.align_width)
+                + f64::from(g.norm_width) * log2c(g.norm_width)
+                + f64::from(g.norm_width), // LZD folds into LUT fabric
+        ]
+    }
+
+    fn ff_features(g: &Geometry) -> Vec<f64> {
+        // Interface/pipeline registers scale with format width; SR designs
+        // add the LFSR state.
+        vec![1.0, f64::from(g.exp_width + g.increment), f64::from(g.lfsr_bits)]
+    }
+
+    /// Predicts the FPGA cost of a configuration.
+    #[must_use]
+    pub fn cost(&self, config: &AdderConfig) -> FpgaCost {
+        let g = Geometry::of(config);
+        let dotp = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        FpgaCost {
+            luts: dotp(&self.lut_coefs, &Self::lut_features(&g)),
+            ffs: dotp(&self.ff_coefs, &Self::ff_features(&g)),
+            delay: dotp(&self.delay_coefs, &g.delay_features()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::DesignKind;
+    use srmac_fp::FpFormat;
+
+    #[test]
+    fn fits_table2_reasonably() {
+        let model = FpgaModel::calibrated();
+        for p in table2() {
+            let c = model.cost(&p.config);
+            let lut_err = (c.luts - p.luts).abs() / p.luts;
+            let d_err = (c.delay - p.delay).abs() / p.delay;
+            assert!(lut_err < 0.15, "{}: LUT err {lut_err:.3}", p.config.label());
+            assert!(d_err < 0.10, "{}: delay err {d_err:.3}", p.config.label());
+        }
+    }
+
+    #[test]
+    fn eager_saves_luts_and_delay_on_fpga() {
+        let model = FpgaModel::calibrated();
+        let fmt = FpFormat::e6m5().with_subnormals(false);
+        let eager = model.cost(&AdderConfig::new(DesignKind::SrEager, fmt, 13));
+        let lazy = model.cost(&AdderConfig::new(DesignKind::SrLazy, fmt, 13));
+        assert!(eager.luts < lazy.luts);
+        assert!(eager.delay < lazy.delay);
+        // FFs are dominated by the LFSR: equal between the two SR designs.
+        assert!((eager.ffs - lazy.ffs).abs() < 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The paper's published measurements (Tables I, II and V), used to
+//! calibrate and validate the cost models and reprinted by the experiment
+//! harness next to our model's numbers.
+
+use srmac_fp::FpFormat;
+
+/// Rounding design kind, as enumerated in the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Round to nearest even.
+    Rn,
+    /// Classic (lazy) stochastic rounding.
+    SrLazy,
+    /// The proposed (eager) stochastic rounding.
+    SrEager,
+}
+
+impl DesignKind {
+    /// Table label, e.g. `"SR eager"`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignKind::Rn => "RN",
+            DesignKind::SrLazy => "SR lazy",
+            DesignKind::SrEager => "SR eager",
+        }
+    }
+}
+
+/// One adder configuration row of the paper's cost tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdderConfig {
+    /// Rounding design.
+    pub kind: DesignKind,
+    /// Operand format; its subnormal flag is the "W/ Sub" / "W/O Sub" axis.
+    pub fmt: FpFormat,
+    /// Random bits (0 for RN).
+    pub r: u32,
+}
+
+impl AdderConfig {
+    /// Builds a configuration; for SR designs with `r == 0`, the paper's
+    /// default `r = p + 3` is applied.
+    #[must_use]
+    pub fn new(kind: DesignKind, fmt: FpFormat, r: u32) -> Self {
+        let r = match kind {
+            DesignKind::Rn => 0,
+            _ if r == 0 => fmt.precision() + 3,
+            _ => r,
+        };
+        Self { kind, fmt, r }
+    }
+
+    /// Human-readable configuration label matching the paper's tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} E{}M{}{}",
+            self.kind.label(),
+            if self.fmt.subnormals() { "W/ Sub" } else { "W/O Sub" },
+            self.fmt.exp_bits(),
+            self.fmt.man_bits(),
+            if self.r > 0 { format!(" r={}", self.r) } else { String::new() }
+        )
+    }
+}
+
+/// A (energy nW/MHz, area µm², delay ns) measurement from the paper's 28nm
+/// synthesis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsicPoint {
+    /// Configuration.
+    pub config: AdderConfig,
+    /// Energy in nW/MHz.
+    pub energy: f64,
+    /// Area in µm².
+    pub area: f64,
+    /// Delay in ns.
+    pub delay: f64,
+}
+
+fn fmt_of(e: u32, m: u32, sub: bool) -> FpFormat {
+    FpFormat::of(e, m).with_subnormals(sub)
+}
+
+/// The four formats of Table I in paper order.
+#[must_use]
+pub fn table1_formats() -> [(u32, u32); 4] {
+    [(8, 23), (5, 10), (8, 7), (6, 5)]
+}
+
+/// Table I: 28nm hardware cost of all 24 FP adder configurations
+/// (r = p + 3 for the SR designs).
+#[must_use]
+pub fn table1() -> Vec<AsicPoint> {
+    let rows: [(DesignKind, bool, u32, u32, u32, f64, f64, f64); 24] = [
+        (DesignKind::Rn, true, 8, 23, 0, 1.17, 1404.01, 4.71),
+        (DesignKind::Rn, true, 5, 10, 0, 0.65, 692.62, 2.73),
+        (DesignKind::Rn, true, 8, 7, 0, 0.52, 581.05, 2.14),
+        (DesignKind::Rn, true, 6, 5, 0, 0.42, 479.81, 1.88),
+        (DesignKind::Rn, false, 8, 23, 0, 1.15, 1337.42, 4.69),
+        (DesignKind::Rn, false, 5, 10, 0, 0.64, 662.43, 2.75),
+        (DesignKind::Rn, false, 8, 7, 0, 0.52, 562.44, 2.28),
+        (DesignKind::Rn, false, 6, 5, 0, 0.42, 462.67, 1.88),
+        (DesignKind::SrLazy, true, 8, 23, 27, 1.62, 1897.36, 5.19),
+        (DesignKind::SrLazy, true, 5, 10, 14, 0.89, 938.73, 2.99),
+        (DesignKind::SrLazy, true, 8, 7, 11, 0.66, 833.84, 2.77),
+        (DesignKind::SrLazy, true, 6, 5, 9, 0.57, 636.64, 2.20),
+        (DesignKind::SrLazy, false, 8, 23, 27, 1.48, 1677.37, 5.50),
+        (DesignKind::SrLazy, false, 5, 10, 14, 0.81, 839.34, 3.18),
+        (DesignKind::SrLazy, false, 8, 7, 11, 0.64, 751.74, 2.83),
+        (DesignKind::SrLazy, false, 6, 5, 9, 0.57, 615.10, 2.05),
+        (DesignKind::SrEager, true, 8, 23, 27, 1.37, 1550.89, 4.75),
+        (DesignKind::SrEager, true, 5, 10, 14, 0.76, 777.48, 2.72),
+        (DesignKind::SrEager, true, 8, 7, 11, 0.61, 670.41, 2.33),
+        (DesignKind::SrEager, true, 6, 5, 9, 0.50, 549.49, 1.87),
+        (DesignKind::SrEager, false, 8, 23, 27, 1.35, 1497.52, 4.73),
+        (DesignKind::SrEager, false, 5, 10, 14, 0.70, 718.41, 2.63),
+        (DesignKind::SrEager, false, 8, 7, 11, 0.61, 661.54, 2.50),
+        (DesignKind::SrEager, false, 6, 5, 9, 0.51, 558.63, 1.87),
+    ];
+    rows.iter()
+        .map(|&(kind, sub, e, m, r, energy, area, delay)| AsicPoint {
+            config: AdderConfig::new(kind, fmt_of(e, m, sub), r),
+            energy,
+            area,
+            delay,
+        })
+        .collect()
+}
+
+/// Table V: impact of the number of random bits `r` on the eager E6M5
+/// design without subnormals (delay ns, area µm², energy nW/MHz), plus the
+/// RN FP16/FP32 reference rows.
+#[must_use]
+pub fn table5_sweep() -> Vec<AsicPoint> {
+    let rows: [(u32, f64, f64, f64); 5] = [
+        (4, 1.85, 508.36, 0.46),
+        (7, 1.87, 540.19, 0.49),
+        (9, 1.87, 558.63, 0.51),
+        (11, 1.93, 579.19, 0.53),
+        (13, 1.93, 601.71, 0.56),
+    ];
+    rows.iter()
+        .map(|&(r, delay, area, energy)| AsicPoint {
+            config: AdderConfig::new(DesignKind::SrEager, fmt_of(6, 5, false), r),
+            energy,
+            area,
+            delay,
+        })
+        .collect()
+}
+
+/// Table V's reference rows: RN W/ Sub FP16 and FP32.
+#[must_use]
+pub fn table5_references() -> Vec<AsicPoint> {
+    vec![
+        AsicPoint {
+            config: AdderConfig::new(DesignKind::Rn, fmt_of(5, 10, true), 0),
+            energy: 0.65,
+            area: 692.62,
+            delay: 2.73,
+        },
+        AsicPoint {
+            config: AdderConfig::new(DesignKind::Rn, fmt_of(8, 23, true), 0),
+            energy: 1.17,
+            area: 1404.01,
+            delay: 4.71,
+        },
+    ]
+}
+
+/// One FPGA implementation row of Table II (Virtex UltraScale+ VU9P).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FpgaPoint {
+    /// Configuration.
+    pub config: AdderConfig,
+    /// 6-input LUTs.
+    pub luts: f64,
+    /// Flip-flops.
+    pub ffs: f64,
+    /// Delay in ns.
+    pub delay: f64,
+}
+
+/// Table II: FPGA implementation results for FP adder designs.
+#[must_use]
+pub fn table2() -> Vec<FpgaPoint> {
+    vec![
+        FpgaPoint {
+            config: AdderConfig::new(DesignKind::Rn, fmt_of(5, 10, true), 0),
+            luts: 302.0,
+            ffs: 49.0,
+            delay: 8.30,
+        },
+        FpgaPoint {
+            config: AdderConfig::new(DesignKind::Rn, fmt_of(5, 10, false), 0),
+            luts: 301.0,
+            ffs: 49.0,
+            delay: 8.29,
+        },
+        FpgaPoint {
+            config: AdderConfig::new(DesignKind::SrLazy, fmt_of(6, 5, false), 13),
+            luts: 344.0,
+            ffs: 59.0,
+            delay: 8.76,
+        },
+        FpgaPoint {
+            config: AdderConfig::new(DesignKind::SrEager, fmt_of(6, 5, false), 13),
+            luts: 251.0,
+            ffs: 59.0,
+            delay: 8.04,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_24_unique_rows_with_paper_defaults() {
+        let t = table1();
+        assert_eq!(t.len(), 24);
+        for p in &t {
+            if p.config.kind != DesignKind::Rn {
+                assert_eq!(p.config.r, p.config.fmt.precision() + 3, "{:?}", p.config);
+            }
+        }
+    }
+
+    #[test]
+    fn table5_r9_row_matches_table1() {
+        let t1 = table1();
+        let t5 = table5_sweep();
+        let r9 = t5.iter().find(|p| p.config.r == 9).unwrap();
+        let t1_row = t1
+            .iter()
+            .find(|p| {
+                p.config.kind == DesignKind::SrEager
+                    && !p.config.fmt.subnormals()
+                    && p.config.fmt.man_bits() == 5
+            })
+            .unwrap();
+        assert_eq!(r9.area, t1_row.area);
+        assert_eq!(r9.energy, t1_row.energy);
+        assert_eq!(r9.delay, t1_row.delay);
+    }
+
+    #[test]
+    fn labels_render() {
+        let c = AdderConfig::new(DesignKind::SrEager, fmt_of(6, 5, false), 13);
+        assert_eq!(c.label(), "SR eager W/O Sub E6M5 r=13");
+        let c = AdderConfig::new(DesignKind::Rn, fmt_of(8, 23, true), 0);
+        assert_eq!(c.label(), "RN W/ Sub E8M23");
+    }
+}

@@ -1,0 +1,41 @@
+//! # srmac-models: the paper's DNN workloads
+//!
+//! Model definitions (ResNet-20, ResNet-50, VGG16 — with width knobs for
+//! laptop-scale runs), deterministic synthetic datasets standing in for
+//! CIFAR-10 and Imagewoof, and the training harness implementing the
+//! paper's Sec. IV-A recipe (SGD momentum 0.9, cosine annealing, dynamic
+//! loss scaling from 1024).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use srmac_models::{data, resnet, trainer};
+//! use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+//! use srmac_tensor::GemmEngine;
+//!
+//! // Train a slim ResNet-20 with every GEMM on the paper's best MAC
+//! // (E6M5 accumulator, eager SR, r = 13, no subnormals).
+//! let engine: Arc<dyn GemmEngine> = Arc::new(MacGemm::new(
+//!     MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false),
+//! ));
+//! let mut net = resnet::resnet20(&engine, 8, 10, 0);
+//! let train_ds = data::synth_cifar10(400, 16, 1);
+//! let test_ds = data::synth_cifar10(200, 16, 2);
+//! let h = trainer::train(&mut net, &train_ds, &test_ds, &trainer::TrainConfig::default());
+//! println!("final accuracy: {:.2}%", h.final_accuracy());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod blocks;
+pub mod data;
+pub mod resnet;
+pub mod trainer;
+pub mod vgg;
+
+pub use blocks::ResidualBlock;
+pub use data::{synth_cifar10, synth_imagewoof, Dataset, NUM_CLASSES};
+pub use trainer::{evaluate, train, History, TrainConfig};

@@ -1,0 +1,146 @@
+//! ResNet models: the CIFAR-style ResNet-20 and the bottleneck ResNet-50
+//! of the paper's Sec. IV, with a width knob for laptop-scale runs
+//! (`width = 16` reproduces the paper-exact ResNet-20 shape).
+
+use std::sync::Arc;
+
+use srmac_rng::SplitMix64;
+use srmac_tensor::init::uniform_fan_in;
+use srmac_tensor::layers::{BatchNorm2d, GlobalAvgPool, Linear, Relu};
+use srmac_tensor::{GemmEngine, Sequential};
+
+use crate::blocks::{conv, ResidualBlock};
+
+/// CIFAR-style ResNet-20: a 3x3 stem, three stages of three basic blocks at
+/// widths `(w, 2w, 4w)` with strides `(1, 2, 2)`, global average pooling
+/// and a linear classifier. `width = 16` is the paper's exact model.
+#[must_use]
+pub fn resnet20(
+    engine: &Arc<dyn GemmEngine>,
+    width: usize,
+    classes: usize,
+    seed: u64,
+) -> Sequential {
+    resnet_basic(engine, width, &[3, 3, 3], classes, seed)
+}
+
+/// A basic-block ResNet with `blocks[i]` blocks in stage `i`.
+#[must_use]
+pub fn resnet_basic(
+    engine: &Arc<dyn GemmEngine>,
+    width: usize,
+    blocks: &[usize],
+    classes: usize,
+    seed: u64,
+) -> Sequential {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Sequential::new();
+    net.push(conv(3, width, 3, 1, 1, engine, &mut rng));
+    net.push(BatchNorm2d::new(width));
+    net.push(Relu::new());
+    let mut in_c = width;
+    for (stage, &nblocks) in blocks.iter().enumerate() {
+        let out_c = width << stage;
+        for b in 0..nblocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            net.push(ResidualBlock::basic(in_c, out_c, stride, engine, &mut rng));
+            in_c = out_c;
+        }
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(in_c, classes, uniform_fan_in(&[classes, in_c], in_c, &mut rng), engine.clone()));
+    net
+}
+
+/// Bottleneck ResNet-50 adapted to small inputs (3x3 stem, no max-pool):
+/// stages of `(3, 4, 6, 3)` bottleneck blocks at widths `(w, 2w, 4w, 8w)`
+/// (expansion 4) with strides `(1, 2, 2, 2)`. `width = 64` is the paper's
+/// exact model up to the stem.
+#[must_use]
+pub fn resnet50(
+    engine: &Arc<dyn GemmEngine>,
+    width: usize,
+    classes: usize,
+    seed: u64,
+) -> Sequential {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Sequential::new();
+    net.push(conv(3, width, 3, 1, 1, engine, &mut rng));
+    net.push(BatchNorm2d::new(width));
+    net.push(Relu::new());
+    let stages = [3usize, 4, 6, 3];
+    let mut in_c = width;
+    for (stage, &nblocks) in stages.iter().enumerate() {
+        let w = width << stage;
+        for b in 0..nblocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            net.push(ResidualBlock::bottleneck(in_c, w, stride, engine, &mut rng));
+            in_c = w * 4;
+        }
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(in_c, classes, uniform_fan_in(&[classes, in_c], in_c, &mut rng), engine.clone()));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srmac_tensor::layers::Layer;
+    use srmac_tensor::{F32Engine, Tensor};
+
+    fn engine() -> Arc<dyn GemmEngine> {
+        Arc::new(F32Engine::new(2))
+    }
+
+    #[test]
+    fn resnet20_shapes_and_param_count() {
+        let e = engine();
+        let mut net = resnet20(&e, 16, 10, 0);
+        // The paper-exact ResNet-20 has ~0.27M parameters.
+        let params = net.param_count();
+        assert!(
+            (250_000..300_000).contains(&params),
+            "ResNet-20 has {params} params, expected ~0.27M"
+        );
+        let x = Tensor::zeros(&[2, 3, 32, 32]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet20_slim_forward_backward() {
+        let e = engine();
+        let mut net = resnet20(&e, 8, 10, 1);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = net.backward(&Tensor::zeros(&[2, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn resnet50_slim_forward_backward() {
+        let e = engine();
+        let mut net = resnet50(&e, 4, 10, 2);
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 10]);
+        let dx = net.backward(&Tensor::zeros(&[1, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn resnet50_has_50_conv_or_fc_layers_worth_of_depth() {
+        // 1 stem + (3+4+6+3) blocks * 3 convs + 1 fc = 50.
+        let e = engine();
+        let mut net = resnet50(&e, 4, 10, 3);
+        let desc = net.describe();
+        let convs = desc.matches("Conv2d").count();
+        let projections = desc.matches("+ proj").count();
+        // 1 stem + (3+4+6+3) blocks * 3 convs; projections render separately.
+        assert_eq!(convs, 49, "conv count");
+        assert_eq!(projections, 4, "one projection per stage");
+        let _ = net.param_count();
+    }
+}

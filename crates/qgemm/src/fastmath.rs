@@ -1,0 +1,460 @@
+//! Fast fixed-format scalar kernels: a `u64` specialization of the golden
+//! rounding/addition algorithms of `srmac-fp`, for the inner loops of the
+//! GEMM emulation. Exhaustively verified against the golden implementation
+//! (see the `fast_vs_golden` tests): same bits, always.
+
+use srmac_fp::{mask, FpFormat};
+
+/// Accumulation rounding mode of the fast kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccumRounding {
+    /// IEEE round-to-nearest-even.
+    Nearest,
+    /// Stochastic rounding with `r` random bits per operation.
+    Stochastic {
+        /// Number of random bits.
+        r: u32,
+    },
+}
+
+impl AccumRounding {
+    fn r(&self) -> u32 {
+        match self {
+            AccumRounding::Nearest => 2,
+            AccumRounding::Stochastic { r } => *r,
+        }
+    }
+}
+
+/// A fixed-format floating-point adder specialized for narrow formats
+/// (`p <= 12`, `E <= 8`, `r <= 24`), operating on encodings in `u64` words.
+#[derive(Clone, Copy, Debug)]
+pub struct FastAdder {
+    fmt: FpFormat,
+    mode: AccumRounding,
+    p: u32,
+    mbits: u32,
+    emask: u64,
+    mmask: u64,
+    magmask: u64,
+    signbit: u64,
+    qmin: i32,
+    emin: i32,
+    emax: i32,
+    bias: i32,
+    sub: bool,
+    f: u32,
+    rmask: u64,
+}
+
+impl FastAdder {
+    /// Creates the adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format or `r` exceeds the fast-path envelope.
+    #[must_use]
+    pub fn new(fmt: FpFormat, mode: AccumRounding) -> Self {
+        let p = fmt.precision();
+        let r = mode.r();
+        assert!(p <= 12, "fast adder supports p <= 12");
+        assert!(r <= 24, "fast adder supports r <= 24");
+        let f = r.max(2) + p + 4;
+        assert!(2 * p + r + 8 < 64, "fast path must fit u64");
+        Self {
+            fmt,
+            mode,
+            p,
+            mbits: fmt.man_bits(),
+            emask: mask(fmt.exp_bits()),
+            mmask: fmt.man_mask(),
+            magmask: mask(fmt.bits() - 1),
+            signbit: 1 << (fmt.bits() - 1),
+            qmin: fmt.min_quantum(),
+            emin: fmt.emin(),
+            emax: fmt.emax(),
+            bias: fmt.bias(),
+            sub: fmt.subnormals(),
+            f,
+            rmask: mask(r),
+        }
+    }
+
+    /// The format this adder operates on.
+    #[must_use]
+    pub fn format(&self) -> FpFormat {
+        self.fmt
+    }
+
+    /// Adds two encodings with the rounding word `word` (ignored for RN).
+    ///
+    /// Bit-identical to `srmac_fp::ops::add` with the corresponding mode.
+    #[inline]
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64, word: u64) -> u64 {
+        let ea = (a >> self.mbits) & self.emask;
+        let eb = (b >> self.mbits) & self.emask;
+        if ea == self.emask || eb == self.emask {
+            return self.add_special(a, b);
+        }
+        let ma = a & self.mmask;
+        let mb = b & self.mmask;
+        let sa = a & self.signbit != 0;
+        let sb = b & self.signbit != 0;
+        let a_zero = ea == 0 && (ma == 0 || !self.sub);
+        let b_zero = eb == 0 && (mb == 0 || !self.sub);
+        if a_zero || b_zero {
+            if a_zero && b_zero {
+                return if sa && sb { self.signbit } else { 0 };
+            }
+            return if a_zero { b } else { a };
+        }
+
+        // ULP-anchored decode.
+        let dec = |e: u64, m: u64| -> (i32, u64) {
+            if e == 0 {
+                (self.qmin, m)
+            } else {
+                (e as i32 - self.bias - self.mbits as i32, m | (1 << self.mbits))
+            }
+        };
+        let (mut expa, mut siga) = dec(ea, ma);
+        let (mut expb, mut sigb) = dec(eb, mb);
+        let (mut na, mut nb) = (sa, sb);
+
+        // Magnitude order via the integer-compare trick (same format).
+        if (b & self.magmask) > (a & self.magmask) {
+            std::mem::swap(&mut expa, &mut expb);
+            std::mem::swap(&mut siga, &mut sigb);
+            std::mem::swap(&mut na, &mut nb);
+        } else if (a & self.magmask) == (b & self.magmask) && na != nb {
+            return 0; // exact cancellation -> +0
+        }
+        let d = (expa - expb) as u32;
+
+        let x = siga << self.f;
+        let (y, sigma) = if d <= self.f {
+            (sigb << (self.f - d), false)
+        } else {
+            let sh = d - self.f;
+            if sh >= 64 {
+                (0, sigb != 0)
+            } else {
+                (sigb >> sh, sigb & mask(sh) != 0)
+            }
+        };
+
+        let (s, ones, extra_sticky) = if na != nb {
+            if sigma {
+                (x - y - 1, true, false)
+            } else {
+                (x - y, false, false)
+            }
+        } else {
+            (x + y, false, sigma)
+        };
+        if s == 0 {
+            return 0;
+        }
+        self.round_pack(na, expa - self.f as i32, s, ones, extra_sticky, word)
+    }
+
+    /// Rounds `(-1)^neg * s * 2^exp` (with optional trailing ones / extra
+    /// sticky) into the format. `u64` port of `FpFormat::round_finite`.
+    #[inline]
+    fn round_pack(
+        &self,
+        neg: bool,
+        exp: i32,
+        s: u64,
+        ones: bool,
+        extra_sticky: bool,
+        word: u64,
+    ) -> u64 {
+        let p = self.p;
+        let msb = 63 - s.leading_zeros() as i32;
+        let qn = exp + msb - (p as i32 - 1);
+        let mut q = if self.sub { qn.max(self.qmin) } else { qn };
+        let drop = q - exp;
+
+        let (mut kept, up, inexact) = if drop <= 0 {
+            debug_assert!(!ones, "trailing ones cannot reach the exact path here");
+            ((s << (-drop) as u32), false, extra_sticky)
+        } else {
+            let dr = drop as u32;
+            debug_assert!(dr < 64);
+            let kept = s >> dr;
+            let tail = s & mask(dr);
+            let up = match self.mode {
+                AccumRounding::Nearest => {
+                    let guard = (tail >> (dr - 1)) & 1 == 1;
+                    let sticky =
+                        (dr >= 2 && tail & mask(dr - 1) != 0) || ones || extra_sticky;
+                    guard && (sticky || kept & 1 == 1)
+                }
+                AccumRounding::Stochastic { r } => {
+                    let t = if dr >= r {
+                        tail >> (dr - r)
+                    } else {
+                        (tail << (r - dr)) | if ones { mask(r - dr) } else { 0 }
+                    };
+                    t + (word & self.rmask) >= 1 << r
+                }
+            };
+            (kept, up, tail != 0 || ones || extra_sticky)
+        };
+        let _ = inexact;
+        if up {
+            kept += 1;
+            if kept == 1 << p {
+                kept >>= 1;
+                q += 1;
+            }
+        }
+        let sbit = if neg { self.signbit } else { 0 };
+        if kept == 0 {
+            return sbit;
+        }
+        if kept < 1 << (p - 1) {
+            if !self.sub {
+                return sbit;
+            }
+            return sbit | kept;
+        }
+        let e = q + p as i32 - 1;
+        if e > self.emax {
+            return sbit | (self.emask << self.mbits); // infinity
+        }
+        if e < self.emin {
+            return sbit; // flush (only without subnormals)
+        }
+        sbit | (((e + self.bias) as u64) << self.mbits) | (kept & self.mmask)
+    }
+
+    #[cold]
+    fn add_special(&self, a: u64, b: u64) -> u64 {
+        let mode = match self.mode {
+            AccumRounding::Nearest => srmac_fp::RoundMode::NearestEven,
+            AccumRounding::Stochastic { r } => srmac_fp::RoundMode::Stochastic { r, word: 0 },
+        };
+        srmac_fp::ops::add(self.fmt, a, b, mode)
+    }
+}
+
+/// A fast, saturating `f32 -> small format` round-to-nearest quantizer.
+///
+/// Values beyond the largest finite target value clamp to it (the standard
+/// FP8 training practice — dynamic loss scaling keeps ranges in check);
+/// NaN propagates.
+#[derive(Clone, Copy, Debug)]
+pub struct FastQuantizer {
+    fmt: FpFormat,
+    p: u32,
+    mbits: u32,
+    mmask: u64,
+    signbit: u64,
+    qmin: i32,
+    emin: i32,
+    emax: i32,
+    bias: i32,
+    sub: bool,
+}
+
+impl FastQuantizer {
+    /// Creates the quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for formats beyond the fast-path envelope (`p <= 12`).
+    #[must_use]
+    pub fn new(fmt: FpFormat) -> Self {
+        assert!(fmt.precision() <= 12, "fast quantizer supports p <= 12");
+        Self {
+            fmt,
+            p: fmt.precision(),
+            mbits: fmt.man_bits(),
+            mmask: fmt.man_mask(),
+            signbit: 1 << (fmt.bits() - 1),
+            qmin: fmt.min_quantum(),
+            emin: fmt.emin(),
+            emax: fmt.emax(),
+            bias: fmt.bias(),
+            sub: fmt.subnormals(),
+        }
+    }
+
+    /// The target format.
+    #[must_use]
+    pub fn format(&self) -> FpFormat {
+        self.fmt
+    }
+
+    /// Quantizes one value (round-to-nearest-even, saturating).
+    #[inline]
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> u64 {
+        let b = x.to_bits();
+        let sbit = if b >> 31 == 1 { self.signbit } else { 0 };
+        let abs = b & 0x7FFF_FFFF;
+        if abs >= 0x7F80_0000 {
+            if abs > 0x7F80_0000 {
+                return self.fmt.nan_bits();
+            }
+            return sbit | self.fmt.max_finite_bits(false); // saturate infinity
+        }
+        if abs == 0 {
+            return sbit;
+        }
+        let e = (abs >> 23) as i32;
+        let m = u64::from(abs) & 0x7F_FFFF;
+        let (sig, exp) = if e == 0 { (m, -149) } else { (m | 0x80_0000, e - 150) };
+
+        // Round-to-nearest-even at the target quantum.
+        let msb = 63 - sig.leading_zeros() as i32;
+        let qn = exp + msb - (self.p as i32 - 1);
+        let mut q = if self.sub { qn.max(self.qmin) } else { qn };
+        let drop = q - exp;
+        let mut kept = if drop <= 0 {
+            if -drop >= 64 {
+                0
+            } else {
+                sig << (-drop) as u32
+            }
+        } else if drop >= 64 {
+            0
+        } else {
+            let dr = drop as u32;
+            let kept = sig >> dr;
+            let tail = sig & mask(dr);
+            let guard = (tail >> (dr - 1)) & 1 == 1;
+            let sticky = dr >= 2 && tail & mask(dr - 1) != 0;
+            kept + u64::from(guard && (sticky || kept & 1 == 1))
+        };
+        if kept == 1 << self.p {
+            kept >>= 1;
+            q += 1;
+        }
+        if kept == 0 {
+            return sbit;
+        }
+        if kept < 1 << (self.p - 1) {
+            if !self.sub {
+                return sbit;
+            }
+            return sbit | kept;
+        }
+        let e_res = q + self.p as i32 - 1;
+        if e_res > self.emax {
+            return sbit | self.fmt.max_finite_bits(false); // saturate
+        }
+        if e_res < self.emin {
+            return sbit;
+        }
+        sbit | (((e_res + self.bias) as u64) << self.mbits) | (kept & self.mmask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srmac_fp::{ops, RoundMode};
+    use srmac_rng::SplitMix64;
+
+    #[test]
+    fn fast_add_vs_golden_e6m5_exhaustive() {
+        for sub in [true, false] {
+            let fmt = FpFormat::e6m5().with_subnormals(sub);
+            for (mode, words) in [
+                (AccumRounding::Nearest, vec![0u64]),
+                (AccumRounding::Stochastic { r: 9 }, vec![0u64, 0x0F3, 0x1FF]),
+                (AccumRounding::Stochastic { r: 13 }, vec![0u64, 0x1ACE]),
+            ] {
+                let fast = FastAdder::new(fmt, mode);
+                for a in fmt.iter_encodings() {
+                    for b in fmt.iter_encodings() {
+                        for &w in &words {
+                            let gold_mode = match mode {
+                                AccumRounding::Nearest => RoundMode::NearestEven,
+                                AccumRounding::Stochastic { r } => {
+                                    RoundMode::Stochastic { r, word: w }
+                                }
+                            };
+                            let want = ops::add(fmt, a, b, gold_mode);
+                            let got = fast.add(a, b, w);
+                            // NaN payloads: both canonicalize.
+                            assert_eq!(
+                                got, want,
+                                "{fmt} {mode:?}: {a:#x}+{b:#x} w={w:#x}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_add_vs_golden_wider_formats_random() {
+        let mut rng = SplitMix64::new(42);
+        for fmt in [FpFormat::e5m10(), FpFormat::e8m7(), FpFormat::e8m7().with_subnormals(false)]
+        {
+            let r = fmt.precision() + 3;
+            let fast = FastAdder::new(fmt, AccumRounding::Stochastic { r });
+            for _ in 0..200_000 {
+                let a = rng.next_u64() & fmt.bits_mask();
+                let b = rng.next_u64() & fmt.bits_mask();
+                let w = rng.next_u64() & mask(r);
+                let want = ops::add(fmt, a, b, RoundMode::Stochastic { r, word: w });
+                assert_eq!(fast.add(a, b, w), want, "{fmt}: {a:#x}+{b:#x} w={w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_quantize_vs_golden_random_and_edges() {
+        let mut rng = SplitMix64::new(77);
+        for fmt in [
+            FpFormat::e5m2(),
+            FpFormat::e5m2().with_subnormals(false),
+            FpFormat::e4m3(),
+            FpFormat::e6m5(),
+        ] {
+            let q = FastQuantizer::new(fmt);
+            let check = |x: f32| {
+                let got = q.quantize(x);
+                let gold = fmt.quantize_f32(x, RoundMode::NearestEven);
+                let want = if fmt.is_inf(gold.bits) {
+                    // The fast quantizer saturates instead of overflowing.
+                    let neg = x < 0.0;
+                    fmt.max_finite_bits(neg)
+                } else {
+                    gold.bits
+                };
+                if x.is_nan() {
+                    assert!(fmt.is_nan(got));
+                } else {
+                    assert_eq!(got, want, "{fmt}: quantize({x})");
+                }
+            };
+            for x in [
+                0.0f32, -0.0, 1.0, -1.0, 0.1, -0.1, 1e9, -1e9, 1e-9, -1e-9, f32::NAN,
+                f32::INFINITY, f32::NEG_INFINITY, f32::MIN_POSITIVE, 6e-8,
+            ] {
+                check(x);
+            }
+            for _ in 0..300_000 {
+                check(f32::from_bits(rng.next_u64() as u32));
+            }
+            // Dense coverage around the format's own grid.
+            for bits in fmt.iter_encodings() {
+                if fmt.is_nan(bits) || fmt.is_inf(bits) {
+                    continue;
+                }
+                let v = fmt.decode_f64(bits) as f32;
+                check(v);
+                check(v * (1.0 + 1e-3));
+                check(v * (1.0 - 1e-3));
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # srmac-qgemm: bit-exact low-precision GEMM
+//!
+//! The Rust counterpart of the paper's "software-based bit-accurate
+//! emulation flow" (Sec. IV): a [`MacGemm`] engine that performs every
+//! matrix multiplication of the training stack exactly as an array of the
+//! paper's MAC units would — operands quantized to FP8 (E5M2, round to
+//! nearest, saturating), products exact in the accumulator format, and the
+//! accumulator updated sequentially with round-to-nearest or stochastic
+//! rounding at a chosen number of random bits `r`.
+//!
+//! The scalar kernels ([`FastAdder`], [`FastQuantizer`]) are `u64`
+//! specializations of the golden arithmetic in `srmac-fp`, verified
+//! bit-for-bit against it (exhaustively for the paper's E6M5 accumulator);
+//! under round-to-nearest the whole engine is verified element-by-element
+//! against the RTL-level `srmac_core::MacUnit`.
+//!
+//! # Example
+//!
+//! ```
+//! use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+//! use srmac_tensor::GemmEngine;
+//!
+//! // The paper's best configuration: E6M5 accumulator, SR, r = 13, no
+//! // subnormals.
+//! let engine = MacGemm::new(MacGemmConfig::fp8_fp12(
+//!     AccumRounding::Stochastic { r: 13 },
+//!     false,
+//! ));
+//! let (a, b) = ([1.0f32, 2.0, 3.0, 4.0], [0.5f32, -1.0, 0.25, 2.0]);
+//! let mut out = [0.0f32; 4];
+//! engine.gemm(2, 2, 2, &a, &b, &mut out);
+//! assert_eq!(out[0], 1.0); // 1.0*0.5 + 2.0*0.25
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod fastmath;
+mod lut;
+
+pub use engine::{MacGemm, MacGemmConfig};
+pub use fastmath::{AccumRounding, FastAdder, FastQuantizer};
+pub use lut::ProductLut;

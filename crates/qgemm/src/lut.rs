@@ -1,0 +1,105 @@
+//! Precomputed product tables: FP8 x FP8 -> accumulator-format encodings,
+//! built once per engine from the RTL-verified exact multiplier.
+
+use srmac_core::ExactMultiplier;
+use srmac_fp::{ops, FpFormat, RoundMode};
+
+/// A dense product lookup table for 8-bit-or-smaller multiplier formats.
+#[derive(Debug, Clone)]
+pub struct ProductLut {
+    fmt_in: FpFormat,
+    fmt_out: FpFormat,
+    width: u32,
+    table: Vec<u16>,
+}
+
+impl ProductLut {
+    /// Builds the table. Products are exact when the output format is wide
+    /// enough (the paper's configuration); otherwise they are rounded RN
+    /// once, which is what a fused multiplier-rounding stage would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input format is wider than 8 bits or the output format
+    /// wider than 16.
+    #[must_use]
+    pub fn build(fmt_in: FpFormat, fmt_out: FpFormat) -> Self {
+        assert!(fmt_in.bits() <= 8, "LUT input format must be at most 8 bits");
+        assert!(fmt_out.bits() <= 16, "LUT output format must be at most 16 bits");
+        let n = 1usize << fmt_in.bits();
+        let mut table = vec![0u16; n * n];
+        if let Ok(mult) = ExactMultiplier::new(fmt_in, fmt_out) {
+            for a in 0..n {
+                for b in 0..n {
+                    table[(a << fmt_in.bits()) | b] =
+                        mult.multiply(a as u64, b as u64) as u16;
+                }
+            }
+        } else {
+            for a in 0..n {
+                for b in 0..n {
+                    table[(a << fmt_in.bits()) | b] =
+                        ops::mul(fmt_in, fmt_out, a as u64, b as u64, RoundMode::NearestEven)
+                            as u16;
+                }
+            }
+        }
+        Self { fmt_in, fmt_out, width: fmt_in.bits(), table }
+    }
+
+    /// The multiplier input format.
+    #[must_use]
+    pub fn input_format(&self) -> FpFormat {
+        self.fmt_in
+    }
+
+    /// The product format.
+    #[must_use]
+    pub fn output_format(&self) -> FpFormat {
+        self.fmt_out
+    }
+
+    /// Looks up the product of two input-format encodings.
+    #[inline]
+    #[must_use]
+    pub fn product(&self, a: u8, b: u8) -> u16 {
+        self.table[((a as usize) << self.width) | b as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_matches_multiplier_exhaustively() {
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        let lut = ProductLut::build(fin, fout);
+        let m = ExactMultiplier::new(fin, fout).unwrap();
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                assert_eq!(
+                    u64::from(lut.product(a as u8, b as u8)),
+                    m.multiply(u64::from(a), u64::from(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_rounds_when_output_is_narrow() {
+        // E5M2 products into FP16 (E5M10): representable except for deep
+        // underflow; the table must match the golden RN multiplication.
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e5m10();
+        let lut = ProductLut::build(fin, fout);
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                let want =
+                    ops::mul(fin, fout, u64::from(a), u64::from(b), RoundMode::NearestEven);
+                assert_eq!(u64::from(lut.product(a as u8, b as u8)), want);
+            }
+        }
+    }
+}

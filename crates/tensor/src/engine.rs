@@ -1,0 +1,171 @@
+//! The GEMM abstraction: every matrix multiplication of the training stack
+//! goes through a [`GemmEngine`], so the arithmetic of the forward and
+//! backward passes can be swapped between exact `f32` and the bit-exact
+//! low-precision MAC emulation in `srmac-qgemm` — the paper's "software-
+//! based bit-accurate emulation flow" (Sec. IV).
+
+use crate::Tensor;
+
+/// A matrix-multiplication backend: `out = A (m x k) * B (k x n)`.
+///
+/// Implementations must be deterministic for a fixed configuration, because
+/// the experiment tables rely on reproducible runs.
+pub trait GemmEngine: Send + Sync {
+    /// Computes `out = A * B`, overwriting `out` (row-major slices).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if slice lengths disagree with
+    /// `m * k`, `k * n`, `m * n`.
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// Short human-readable description (used in experiment tables).
+    fn name(&self) -> String;
+}
+
+/// Exact `f32` GEMM (accumulation in `f32`, i.e. IEEE round-to-nearest at
+/// E8M23 per operation) — the paper's "FP32 Baseline" row. Parallelized
+/// over row blocks.
+#[derive(Debug, Clone)]
+pub struct F32Engine {
+    threads: usize,
+}
+
+impl Default for F32Engine {
+    fn default() -> Self {
+        Self::new(available_threads())
+    }
+}
+
+/// Number of worker threads to use by default.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl F32Engine {
+    /// Creates the engine with an explicit thread count (min 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+}
+
+impl GemmEngine for F32Engine {
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "A must be m x k");
+        assert_eq!(b.len(), k * n, "B must be k x n");
+        assert_eq!(out.len(), m * n, "out must be m x n");
+        let threads = if m * n * k < 64 * 1024 { 1 } else { self.threads };
+        let chunk = m.div_ceil(threads.max(1)).max(1);
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                let a = &a[ci * chunk * k..];
+                scope.spawn(move || {
+                    for (row_o, out_row) in out_chunk.chunks_mut(n).enumerate() {
+                        let a_row = &a[row_o * k..row_o * k + k];
+                        out_row.iter_mut().for_each(|v| *v = 0.0);
+                        for (l, &av) in a_row.iter().enumerate() {
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let b_row = &b[l * n..l * n + n];
+                            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    fn name(&self) -> String {
+        "f32 (FP32 baseline)".to_owned()
+    }
+}
+
+/// Multiplies `a (m x k)` by `b (k x n)` into a fresh tensor using `engine`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes are not 2-D and compatible.
+#[must_use]
+pub fn matmul(engine: &dyn GemmEngine, a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree");
+    let mut out = Tensor::zeros(&[m, n]);
+    engine.gemm(m, k, n, a.data(), b.data(), out.data_mut());
+    out
+}
+
+/// Materializes the transpose of a row-major `rows x cols` slice.
+#[must_use]
+pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(src.len(), rows * cols);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a[i * k + l] * b[l * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn f32_engine_matches_naive_small() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let mut out = vec![0.0f32; m * n];
+        F32Engine::new(2).gemm(m, k, n, &a, &b, &mut out);
+        // Identical accumulation order => bitwise equal.
+        assert_eq!(out, naive_gemm(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn f32_engine_threaded_matches_naive_large() {
+        let (m, k, n) = (64, 37, 29);
+        let mut s = 1u32;
+        let mut next = || {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (s >> 8) as f32 / (1 << 24) as f32 - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut out = vec![0.0f32; m * n];
+        F32Engine::new(4).gemm(m, k, n, &a, &b, &mut out);
+        assert_eq!(out, naive_gemm(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn matmul_and_transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = matmul(&F32Engine::new(1), &a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[4.0, 5.0, 10.0, 11.0]);
+
+        let t = transpose(a.data(), 2, 3);
+        assert_eq!(t, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Parameter initialization (Kaiming/He schemes for the ReLU networks the
+//! paper trains).
+
+use srmac_rng::SplitMix64;
+
+use crate::Tensor;
+
+/// Kaiming-normal initialization: `N(0, sqrt(2 / fan_in))`.
+#[must_use]
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut SplitMix64) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| (rng.next_normal() * std) as f32)
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Uniform initialization in `[-bound, bound]` with the linear-layer default
+/// `bound = 1 / sqrt(fan_in)`.
+#[must_use]
+pub fn uniform_fan_in(shape: &[usize], fan_in: usize, rng: &mut SplitMix64) -> Tensor {
+    let bound = 1.0 / (fan_in.max(1) as f64).sqrt();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| ((rng.next_f64() * 2.0 - 1.0) * bound) as f32)
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_variance_is_right() {
+        let mut rng = SplitMix64::new(3);
+        let t = kaiming_normal(&[64, 144], 144, &mut rng);
+        let n = t.numel() as f64;
+        let mean: f64 = t.data().iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let var: f64 =
+            t.data().iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+        let expect = 2.0 / 144.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expect).abs() / expect < 0.1, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = SplitMix64::new(4);
+        let t = uniform_fan_in(&[10, 100], 100, &mut rng);
+        assert!(t.data().iter().all(|&v| v.abs() <= 0.1 + f32::EPSILON));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_normal(&[8, 8], 8, &mut SplitMix64::new(9));
+        let b = kaiming_normal(&[8, 8], 8, &mut SplitMix64::new(9));
+        assert_eq!(a.data(), b.data());
+    }
+}

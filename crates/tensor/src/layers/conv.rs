@@ -1,0 +1,218 @@
+//! 2-D convolution via im2row + GEMM, the paper's "FWD and BWD passes ...
+//! implemented as General Matrix Multiplications" (Sec. II-B). All three
+//! products — forward, weight gradient and data gradient — run on the
+//! session's GEMM engine and therefore on the emulated low-precision MAC
+//! when the experiment configures one.
+
+use std::sync::Arc;
+
+use crate::engine::{transpose, GemmEngine};
+use crate::layers::{Layer, Param};
+use crate::Tensor;
+
+/// A 2-D convolution (square kernel, no bias — a norm layer follows in all
+/// the paper's models).
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param, // [out_c, in_c * k * k]
+    engine: Arc<dyn GemmEngine>,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    rows: Vec<f32>, // im2row matrix, [ns, K]
+    in_shape: [usize; 4],
+    out_hw: (usize, usize),
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+impl Conv2d {
+    /// Creates a convolution with the given geometry; `weight` must have
+    /// shape `[out_c, in_c * k * k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a weight shape mismatch.
+    #[must_use]
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        weight: Tensor,
+        engine: Arc<dyn GemmEngine>,
+    ) -> Self {
+        assert_eq!(
+            weight.shape(),
+            &[out_c, in_c * k * k],
+            "conv weight must be [out_c, in_c*k*k]"
+        );
+        Self { in_c, out_c, k, stride, pad, weight: Param::new(weight, true), engine, cache: None }
+    }
+
+    /// Output spatial size for an input of height/width `s`.
+    #[must_use]
+    pub fn out_size(&self, s: usize) -> usize {
+        (s + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    fn im2row(&self, x: &Tensor) -> (Vec<f32>, (usize, usize)) {
+        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let kk = self.k;
+        let kdim = c * kk * kk;
+        let mut rows = vec![0.0f32; n * oh * ow * kdim];
+        let xd = x.data();
+        for img in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &mut rows
+                        [((img * oh + oy) * ow + ox) * kdim..((img * oh + oy) * ow + ox + 1) * kdim];
+                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
+                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
+                    for ch in 0..c {
+                        for ky in 0..kk {
+                            let iy = iy0 + ky as isize;
+                            for kx in 0..kk {
+                                let ix = ix0 + kx as isize;
+                                let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                                {
+                                    xd[((img * c + ch) * h + iy as usize) * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                row[(ch * kk + ky) * kk + kx] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (rows, (oh, ow))
+    }
+
+    fn col2im(&self, drows: &[f32], shape: [usize; 4], oh: usize, ow: usize) -> Tensor {
+        let [n, c, h, w] = shape;
+        let kk = self.k;
+        let kdim = c * kk * kk;
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let dxd = dx.data_mut();
+        for img in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &drows
+                        [((img * oh + oy) * ow + ox) * kdim..((img * oh + oy) * ow + ox + 1) * kdim];
+                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
+                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
+                    for ch in 0..c {
+                        for ky in 0..kk {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kk {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                dxd[((img * c + ch) * h + iy as usize) * w + ix as usize] +=
+                                    row[(ch * kk + ky) * kk + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "conv expects NCHW input");
+        assert_eq!(x.shape()[1], self.in_c, "channel mismatch");
+        let [n, _, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let (rows, (oh, ow)) = self.im2row(x);
+        let ns = n * oh * ow;
+        let kdim = self.in_c * self.k * self.k;
+
+        // Yt (ns x out_c) = rows (ns x K) * W^T (K x out_c).
+        let wt = transpose(self.weight.value.data(), self.out_c, kdim);
+        let mut yt = vec![0.0f32; ns * self.out_c];
+        self.engine.gemm(ns, kdim, self.out_c, &rows, &wt, &mut yt);
+
+        // Scatter [n*oh*ow, out_c] -> [n, out_c, oh, ow].
+        let mut y = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let yd = y.data_mut();
+        let spatial = oh * ow;
+        for img in 0..n {
+            for s in 0..spatial {
+                for oc in 0..self.out_c {
+                    yd[(img * self.out_c + oc) * spatial + s] =
+                        yt[(img * spatial + s) * self.out_c + oc];
+                }
+            }
+        }
+
+        if train {
+            self.cache = Some(Cache { rows, in_shape: [n, self.in_c, h, w], out_hw: (oh, ow) });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward(train=true)");
+        let [n, _, _, _] = cache.in_shape;
+        let (oh, ow) = cache.out_hw;
+        let spatial = oh * ow;
+        let ns = n * spatial;
+        let kdim = self.in_c * self.k * self.k;
+        let gd = grad.data();
+
+        // Gather grad into both layouts used by the two products.
+        let mut dy_ocns = vec![0.0f32; self.out_c * ns]; // [oc, n*s]
+        let mut dy_nsoc = vec![0.0f32; ns * self.out_c]; // [n*s, oc]
+        for img in 0..n {
+            for oc in 0..self.out_c {
+                for s in 0..spatial {
+                    let v = gd[(img * self.out_c + oc) * spatial + s];
+                    dy_ocns[oc * ns + img * spatial + s] = v;
+                    dy_nsoc[(img * spatial + s) * self.out_c + oc] = v;
+                }
+            }
+        }
+
+        // dW (out_c x K) = dY (out_c x ns) * rows (ns x K).
+        let mut dw = vec![0.0f32; self.out_c * kdim];
+        self.engine.gemm(self.out_c, ns, kdim, &dy_ocns, &cache.rows, &mut dw);
+        for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *g += d;
+        }
+
+        // dRows (ns x K) = dY (ns x out_c) * W (out_c x K).
+        let mut drows = vec![0.0f32; ns * kdim];
+        self.engine.gemm(ns, self.out_c, kdim, &dy_nsoc, self.weight.value.data(), &mut drows);
+        self.col2im(&drows, cache.in_shape, oh, ow)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Conv2d({}->{}, k{}, s{}, p{})",
+            self.in_c, self.out_c, self.k, self.stride, self.pad
+        )
+    }
+}

@@ -1,0 +1,98 @@
+//! A fully connected layer (the classifier head of the paper's models).
+
+use std::sync::Arc;
+
+use crate::engine::{transpose, GemmEngine};
+use crate::layers::{Layer, Param};
+use crate::Tensor;
+
+/// `y = x W^T + b` with `W: [out, in]`, `x: [N, in]`.
+pub struct Linear {
+    in_f: usize,
+    out_f: usize,
+    weight: Param,
+    bias: Param,
+    engine: Arc<dyn GemmEngine>,
+    cache: Option<Tensor>,
+}
+
+impl std::fmt::Debug for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+impl Linear {
+    /// Creates the layer; `weight` must be `[out, in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a weight shape mismatch.
+    #[must_use]
+    pub fn new(in_f: usize, out_f: usize, weight: Tensor, engine: Arc<dyn GemmEngine>) -> Self {
+        assert_eq!(weight.shape(), &[out_f, in_f], "linear weight must be [out, in]");
+        Self {
+            in_f,
+            out_f,
+            weight: Param::new(weight, true),
+            bias: Param::new(Tensor::zeros(&[out_f]), false),
+            engine,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "linear expects [N, in]");
+        assert_eq!(x.shape()[1], self.in_f, "feature mismatch");
+        let n = x.shape()[0];
+        let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
+        let mut y = Tensor::zeros(&[n, self.out_f]);
+        self.engine.gemm(n, self.in_f, self.out_f, x.data(), &wt, y.data_mut());
+        let bd = self.bias.value.data().to_vec();
+        for row in y.data_mut().chunks_mut(self.out_f) {
+            for (v, b) in row.iter_mut().zip(&bd) {
+                *v += b;
+            }
+        }
+        if train {
+            self.cache = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("backward before forward(train=true)");
+        let n = x.shape()[0];
+
+        // dW (out x in) = dY^T (out x N) * X (N x in).
+        let dyt = transpose(grad.data(), n, self.out_f);
+        let mut dw = vec![0.0f32; self.out_f * self.in_f];
+        self.engine.gemm(self.out_f, n, self.in_f, &dyt, x.data(), &mut dw);
+        for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *g += d;
+        }
+
+        // db = column sums of dY.
+        for row in grad.data().chunks(self.out_f) {
+            for (g, d) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+
+        // dX (N x in) = dY (N x out) * W (out x in).
+        let mut dx = Tensor::zeros(&[n, self.in_f]);
+        self.engine.gemm(n, self.out_f, self.in_f, grad.data(), self.weight.value.data(), dx.data_mut());
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!("Linear({}->{})", self.in_f, self.out_f)
+    }
+}

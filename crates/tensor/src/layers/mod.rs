@@ -1,0 +1,151 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Layers own their parameters and gradients and cache whatever activations
+//! their backward pass needs. Convolutions and linear layers route every
+//! matrix product through the session's [`GemmEngine`](crate::GemmEngine) —
+//! that is the hook the low-precision MAC emulation plugs into.
+
+mod act;
+mod conv;
+mod linear;
+mod norm;
+
+pub use act::{Flatten, GlobalAvgPool, MaxPool2, Relu};
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+
+use crate::Tensor;
+
+/// A learnable parameter with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to the value.
+    pub grad: Tensor,
+    /// Whether weight decay applies (disabled for biases and norm affines,
+    /// following common practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    #[must_use]
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad, decay }
+    }
+}
+
+/// A differentiable module: single input, single output, stateful backward.
+///
+/// `forward(.., train=true)` must cache what `backward` needs; `backward`
+/// consumes that cache, accumulates parameter gradients, and returns the
+/// input gradient.
+pub trait Layer: Send {
+    /// Computes the output for `x`.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad` (d loss / d output) to the input, accumulating
+    /// parameter gradients along the way.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Visits every parameter (used by optimizers). Default: none.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Human-readable layer description.
+    fn describe(&self) -> String {
+        "layer".to_owned()
+    }
+}
+
+/// A sequential container.
+///
+/// # Examples
+///
+/// ```
+/// use srmac_tensor::{Sequential, Tensor};
+/// use srmac_tensor::layers::{Relu, Layer};
+///
+/// let mut net = Sequential::new();
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]), false);
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total parameter element count.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.value.numel());
+        count
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("Sequential[{}]", inner.join(", "))
+    }
+}

@@ -1,0 +1,51 @@
+//! # srmac-tensor: a minimal CPU deep-learning framework
+//!
+//! The training substrate for the SR-MAC reproduction: dense tensors,
+//! explicitly differentiated layers (convolution, linear, batch
+//! normalization, activations, pooling), softmax cross-entropy, SGD with
+//! momentum, cosine-annealing learning rates and dynamic loss scaling —
+//! the exact recipe of the paper's Sec. IV-A.
+//!
+//! Its load-bearing abstraction is [`GemmEngine`]: every matrix product of
+//! the forward *and* backward passes dispatches through it, so training can
+//! run on exact `f32` (the paper's FP32 baseline) or on the bit-exact
+//! low-precision MAC emulation from `srmac-qgemm` by swapping one object.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use srmac_tensor::{F32Engine, Sequential, Tensor, softmax_cross_entropy};
+//! use srmac_tensor::layers::{Layer, Linear, Relu};
+//! use srmac_tensor::init::kaiming_normal;
+//! use srmac_rng::SplitMix64;
+//!
+//! let engine: Arc<dyn srmac_tensor::GemmEngine> = Arc::new(F32Engine::new(1));
+//! let mut rng = SplitMix64::new(1);
+//! let mut net = Sequential::new();
+//! net.push(Linear::new(4, 8, kaiming_normal(&[8, 4], 4, &mut rng), engine.clone()));
+//! net.push(Relu::new());
+//! net.push(Linear::new(8, 2, kaiming_normal(&[2, 8], 8, &mut rng), engine));
+//!
+//! let x = Tensor::zeros(&[3, 4]);
+//! let logits = net.forward(&x, true);
+//! let (_loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 0]);
+//! net.backward(&grad);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod engine;
+pub mod init;
+pub mod layers;
+mod loss;
+pub mod optim;
+mod tensor;
+
+pub use engine::{available_threads, matmul, transpose, F32Engine, GemmEngine};
+pub use layers::{Layer, Param, Sequential};
+pub use loss::{count_correct, softmax_cross_entropy};
+pub use optim::{CosineLr, LossScaler, Sgd};
+pub use tensor::Tensor;

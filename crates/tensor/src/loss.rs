@@ -1,0 +1,110 @@
+//! Softmax cross-entropy loss.
+
+use crate::Tensor;
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// Returns `(mean_loss, d loss / d logits)` for logits `[N, C]` and integer
+/// `labels` (`len N`). Numerically stabilized with a per-row max shift.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use srmac_tensor::{softmax_cross_entropy, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![5.0, -5.0, -5.0, 5.0], &[2, 2]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(loss < 0.01); // confidently correct
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// ```
+#[must_use]
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f64;
+    for (row_i, (row, &label)) in logits.data().chunks(c).zip(labels).enumerate() {
+        assert!(label < c, "label {label} out of range");
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - maxv).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let logz = z.ln();
+        loss += f64::from(logz - (row[label] - maxv));
+        let g = &mut grad.data_mut()[row_i * c..(row_i + 1) * c];
+        for (j, (gj, &e)) in g.iter_mut().zip(&exps).enumerate() {
+            let p = e / z;
+            *gj = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / f64::from(n as u32)) as f32, grad)
+}
+
+/// Counts correct argmax predictions.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+#[must_use]
+pub fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n);
+    logits
+        .data()
+        .chunks(c)
+        .zip(labels)
+        .filter(|(row, &label)| {
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map_or(0, |(i, _)| i);
+            pred == label
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - 10f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let data = vec![0.3, -0.7, 1.2, 0.1, 0.9, -0.2];
+        let labels = [2usize, 0];
+        let logits = Tensor::from_vec(data.clone(), &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..data.len() {
+            let mut plus = data.clone();
+            plus[i] += eps;
+            let mut minus = data.clone();
+            minus[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&Tensor::from_vec(plus, &[2, 3]), &labels);
+            let (lm, _) = softmax_cross_entropy(&Tensor::from_vec(minus, &[2, 3]), &labels);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "index {i}: numeric {num} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counting() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, 9.0, 1.0], &[2, 3]);
+        assert_eq!(count_correct(&logits, &[2, 1]), 2);
+        assert_eq!(count_correct(&logits, &[0, 1]), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Optimization: SGD with momentum and weight decay, the cosine-annealing
+//! learning-rate schedule, and dynamic loss scaling — exactly the training
+//! recipe of the paper's Sec. IV-A.
+
+use crate::layers::Layer;
+use crate::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled-ish
+/// (L2) weight decay: `v <- mu*v + (g + wd*w); w <- w - lr*v`.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Momentum coefficient (the paper uses 0.9).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (applied to parameters flagged `decay`).
+    pub weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates the optimizer.
+    #[must_use]
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        Self { momentum, weight_decay, velocities: Vec::new() }
+    }
+
+    /// Applies one update with learning rate `lr`, consuming the gradients
+    /// currently stored in the model (scaled by `grad_scale`), then zeroes
+    /// them. Velocity slots are keyed by parameter visit order.
+    pub fn step(&mut self, model: &mut dyn Layer, lr: f32, grad_scale: f32) {
+        let mut idx = 0usize;
+        let velocities = &mut self.velocities;
+        let (mu, wd) = (self.momentum, self.weight_decay);
+        model.visit_params(&mut |p| {
+            if velocities.len() == idx {
+                velocities.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocities[idx];
+            assert_eq!(v.shape(), p.value.shape(), "model structure changed mid-training");
+            let decay = if p.decay { wd } else { 0.0 };
+            for ((vi, wi), gi) in
+                v.data_mut().iter_mut().zip(p.value.data_mut()).zip(p.grad.data())
+            {
+                let g = gi * grad_scale + decay * *wi;
+                *vi = mu * *vi + g;
+                *wi -= lr * *vi;
+            }
+            p.grad.zero_();
+            idx += 1;
+        });
+    }
+
+    /// Zeroes all gradients without updating.
+    pub fn zero_grad(model: &mut dyn Layer) {
+        model.visit_params(&mut |p| p.grad.zero_());
+    }
+}
+
+/// Cosine annealing schedule: `lr(t) = eta_min + (lr0 - eta_min) *
+/// (1 + cos(pi t / T)) / 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineLr {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Total schedule length (epochs or steps — caller's choice of unit).
+    pub t_max: usize,
+    /// Final learning rate.
+    pub eta_min: f32,
+}
+
+impl CosineLr {
+    /// Creates the schedule.
+    #[must_use]
+    pub fn new(base: f32, t_max: usize) -> Self {
+        Self { base, t_max, eta_min: 0.0 }
+    }
+
+    /// Learning rate at time `t`.
+    #[must_use]
+    pub fn at(&self, t: usize) -> f32 {
+        let t = t.min(self.t_max) as f32 / self.t_max.max(1) as f32;
+        self.eta_min + (self.base - self.eta_min) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+/// Dynamic loss scaling (Micikevicius et al., as used by the paper with an
+/// initial factor of 1024): multiply the loss gradient by `scale`; if any
+/// resulting gradient is non-finite, skip the step and halve the scale;
+/// after `growth_interval` good steps, double it.
+#[derive(Debug, Clone, Copy)]
+pub struct LossScaler {
+    scale: f32,
+    good_steps: u32,
+    /// Steps between scale doublings.
+    pub growth_interval: u32,
+}
+
+impl LossScaler {
+    /// Creates a scaler with the paper's initial factor of 1024.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_scale(1024.0)
+    }
+
+    /// Creates a scaler with an explicit initial factor.
+    #[must_use]
+    pub fn with_scale(scale: f32) -> Self {
+        Self { scale, good_steps: 0, growth_interval: 2000 }
+    }
+
+    /// The current scale.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Reports whether the gradients of the scaled backward pass were all
+    /// finite; returns `true` if the optimizer step should proceed.
+    pub fn update(&mut self, grads_finite: bool) -> bool {
+        if grads_finite {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale = (self.scale * 2.0).min(65536.0);
+                self.good_steps = 0;
+            }
+            true
+        } else {
+            self.scale = (self.scale * 0.5).max(1.0);
+            self.good_steps = 0;
+            false
+        }
+    }
+}
+
+impl Default for LossScaler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Param;
+
+    /// One scalar parameter, loss = w (grad preset by tests).
+    struct OneParam {
+        p: Param,
+    }
+
+    impl Layer for OneParam {
+        fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+            x.clone()
+        }
+        fn backward(&mut self, grad: &Tensor) -> Tensor {
+            grad.clone()
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut m = OneParam { p: Param::new(Tensor::from_vec(vec![1.0], &[1]), false) };
+        let mut opt = Sgd::new(0.9, 0.0);
+        m.p.grad.data_mut()[0] = 1.0;
+        opt.step(&mut m, 0.1, 1.0);
+        assert!((m.p.value.data()[0] - 0.9).abs() < 1e-6);
+        // Gradient was zeroed by the step.
+        assert_eq!(m.p.grad.data()[0], 0.0);
+        // Next step with zero grad still moves by momentum.
+        opt.step(&mut m, 0.1, 1.0);
+        assert!((m.p.value.data()[0] - 0.81).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_respects_flag() {
+        let mut m = OneParam { p: Param::new(Tensor::from_vec(vec![1.0], &[1]), true) };
+        let mut opt = Sgd::new(0.0, 0.1);
+        opt.step(&mut m, 1.0, 1.0);
+        assert!((m.p.value.data()[0] - 0.9).abs() < 1e-6);
+
+        let mut m = OneParam { p: Param::new(Tensor::from_vec(vec![1.0], &[1]), false) };
+        let mut opt = Sgd::new(0.0, 0.1);
+        opt.step(&mut m, 1.0, 1.0);
+        assert_eq!(m.p.value.data()[0], 1.0);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineLr::new(0.1, 100);
+        assert!((s.at(0) - 0.1).abs() < 1e-7);
+        assert!((s.at(50) - 0.05).abs() < 1e-7);
+        assert!(s.at(100) < 1e-7);
+    }
+
+    #[test]
+    fn loss_scaler_backs_off_and_grows() {
+        let mut s = LossScaler::with_scale(1024.0);
+        s.growth_interval = 2;
+        assert!(!s.update(false));
+        assert_eq!(s.scale(), 512.0);
+        assert!(s.update(true));
+        assert!(s.update(true));
+        assert_eq!(s.scale(), 1024.0, "doubled after growth_interval good steps");
+    }
+}

@@ -1,0 +1,149 @@
+//! A minimal dense `f32` tensor.
+
+use std::fmt;
+
+/// A dense row-major `f32` tensor with a dynamic shape.
+///
+/// Deliberately small: just what the layer zoo needs (storage, shape
+/// bookkeeping, and a few elementwise helpers). All heavy math lives in the
+/// GEMM engines.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match shape {shape:?}"
+        );
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the storage.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on element-count mismatch.
+    #[must_use]
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape to {shape:?} changes element count"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Fills with zeros in place.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// True if every element is finite.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// In-place scaling.
+    pub fn scale_(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Elementwise sum with another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, ...]", self.data[0], self.data[1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.numel(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(t.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length must match")]
+    fn mismatched_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0], &[2]);
+    }
+
+    #[test]
+    fn reshape_and_ops() {
+        let mut t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0], &[2, 2]).reshaped(&[4]);
+        assert_eq!(t.shape(), &[4]);
+        t.scale_(2.0);
+        assert_eq!(t.data(), &[2.0, -4.0, 6.0, 8.0]);
+        let u = Tensor::from_vec(vec![1.0; 4], &[4]);
+        t.add_assign(&u);
+        assert_eq!(t.data(), &[3.0, -3.0, 7.0, 9.0]);
+        assert!(t.all_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,75 @@
+//! Hardware cost report: query the calibrated 28nm cost model for any adder
+//! or MAC configuration, including ones outside the paper's tables.
+//!
+//! Run with: `cargo run --release --example hw_report`
+
+use srmac::fp::FpFormat;
+use srmac::hwcost::{AdderConfig, AsicModel, DesignKind, FpgaModel, Geometry};
+
+fn main() {
+    let asic = AsicModel::calibrated();
+    let fpga = FpgaModel::calibrated();
+
+    println!("=== calibrated 28nm model — adder configurations ===\n");
+    println!(
+        "{:<34} {:>9} {:>9} {:>9} | {:>6} {:>5}",
+        "configuration", "area um2", "delay ns", "nW/MHz", "LUTs", "FFs"
+    );
+    for (kind, label) in [
+        (DesignKind::Rn, "RN"),
+        (DesignKind::SrLazy, "SR lazy"),
+        (DesignKind::SrEager, "SR eager"),
+    ] {
+        for (e, m) in [(8, 23), (5, 10), (8, 7), (6, 5), (4, 3)] {
+            let fmt = FpFormat::of(e, m).with_subnormals(false);
+            let cfg = AdderConfig::new(kind, fmt, 0);
+            let c = asic.cost(&cfg);
+            let f = fpga.cost(&cfg);
+            println!(
+                "{:<34} {:>9.1} {:>9.2} {:>9.2} | {:>6.0} {:>5.0}",
+                format!("{label} E{e}M{m} (r={})", cfg.r),
+                c.area,
+                c.delay,
+                c.energy,
+                f.luts,
+                f.ffs
+            );
+        }
+        println!();
+    }
+
+    println!("=== full MAC units (exact multiplier + adder + accumulator register) ===\n");
+    for (mul, acc, label) in [
+        (FpFormat::e5m2(), FpFormat::e6m5(), "FP8 E5M2 -> FP12 E6M5 (paper)"),
+        (FpFormat::e4m3(), FpFormat::of(5, 8), "FP8 E4M3 -> E5M8 (extension)"),
+    ] {
+        for kind in [DesignKind::Rn, DesignKind::SrEager] {
+            let cfg = AdderConfig::new(kind, acc.with_subnormals(false), 13);
+            let c = asic.mac_cost(mul, &cfg);
+            println!(
+                "{:<46} {:>9.1} um2 {:>7.2} ns {:>7.2} nW/MHz",
+                format!("{label}, {}", kind.label()),
+                c.area,
+                c.delay,
+                c.energy
+            );
+        }
+    }
+
+    println!("\n=== structural geometry of the paper's best adder (E6M5, eager, r=13) ===\n");
+    let g = Geometry::of(&AdderConfig::new(
+        DesignKind::SrEager,
+        FpFormat::e6m5().with_subnormals(false),
+        13,
+    ));
+    println!("{g:#?}");
+    let lazy_g = Geometry::of(&AdderConfig::new(
+        DesignKind::SrLazy,
+        FpFormat::e6m5().with_subnormals(false),
+        13,
+    ));
+    println!(
+        "\nnormalization datapath: eager {} bits vs lazy {} bits — the paper's \"p + 2 versus p + r\"",
+        g.norm_width, lazy_g.norm_width
+    );
+}

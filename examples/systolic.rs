@@ -1,0 +1,54 @@
+//! The paper's future-work target: an output-stationary systolic array of
+//! SR-MAC processing elements. Runs a blocked matrix multiplication on a
+//! small array, reports cycle counts and utilization, and contrasts RN vs
+//! eager-SR accumulation quality at array scale.
+//!
+//! Run with: `cargo run --release --example systolic`
+
+use srmac::unit::{
+    array_throughput, EagerCorrection, MacConfig, RoundingDesign, SystolicArray,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (m, k, n) = (16, 512, 16);
+    // A matrix pair whose exact product is uniform: every C element is the
+    // sum of 512 products of 0.5 * 0.5 = 128 * ... -> 0.25 * 512 = 128.
+    let a = vec![0.5f64; m * k];
+    let b = vec![0.5f64; k * n];
+    let exact = 0.25 * k as f64;
+
+    println!("C = A({m}x{k}) x B({k}x{n}) on an 8x8 output-stationary SR-MAC array\n");
+    for (label, design) in [
+        ("RN accumulation", RoundingDesign::Nearest),
+        (
+            "eager SR, r = 13",
+            RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact },
+        ),
+    ] {
+        let mut array = SystolicArray::new(
+            MacConfig::fp8_fp12(design, true).with_seed(3),
+            8,
+            8,
+        )?;
+        let (c, stats) = array.matmul_f64(m, k, n, &a, &b);
+        let mean = c.iter().sum::<f64>() / c.len() as f64;
+        let max_err = c.iter().fold(0.0f64, |acc, &v| acc.max((v - exact).abs() / exact));
+        println!(
+            "{label:<18} mean C = {mean:>8.2} (exact {exact})  max rel err {:>6.2}%  [{} tiles, {} cycles, {} MACs]",
+            max_err * 100.0,
+            stats.tiles,
+            stats.cycles,
+            stats.macs
+        );
+    }
+
+    let (fill, util) = array_throughput(8, 8, k);
+    println!(
+        "\narray pipeline: {fill} fill cycles per tile, steady-state utilization {:.1}%",
+        util * 100.0
+    );
+    println!("\nthe RN array freezes every accumulator at the swamping point, while the");
+    println!("SR array tracks the exact product — with the eager adder's per-PE cost");
+    println!("saving multiplied by all 64 PEs (the paper's closing argument).");
+    Ok(())
+}
