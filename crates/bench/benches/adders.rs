@@ -51,7 +51,10 @@ fn bench_adders(c: &mut Criterion) {
 
     let eager = FpAdder::new(
         fmt,
-        RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact },
+        RoundingDesign::SrEager {
+            r: 13,
+            correction: EagerCorrection::Exact,
+        },
     );
     g.bench_function("rtl_sr_eager_r13", |b| {
         b.iter(|| {
@@ -67,10 +70,12 @@ fn bench_adders(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for &(x, y, w) in &ops_set {
-                acc ^= ops::add(fmt, black_box(x), black_box(y), RoundMode::Stochastic {
-                    r: 13,
-                    word: w,
-                });
+                acc ^= ops::add(
+                    fmt,
+                    black_box(x),
+                    black_box(y),
+                    RoundMode::Stochastic { r: 13, word: w },
+                );
             }
             acc
         })

@@ -36,7 +36,9 @@ fn bench_components(c: &mut Criterion) {
     let mult = ExactMultiplier::new(FpFormat::e5m2(), FpFormat::e6m5()).unwrap();
     let pairs: Vec<(u64, u64)> = {
         let mut rng = SplitMix64::new(2);
-        (0..256).map(|_| (rng.next_u64() & 0xFF, rng.next_u64() & 0xFF)).collect()
+        (0..256)
+            .map(|_| (rng.next_u64() & 0xFF, rng.next_u64() & 0xFF))
+            .collect()
     };
     g.bench_function("exact_multiplier_fp8", |b| {
         b.iter(|| {
@@ -58,12 +60,14 @@ fn bench_components(c: &mut Criterion) {
         })
     });
 
-    g.bench_function("asic_model_calibration", |b| {
-        b.iter(AsicModel::calibrated)
-    });
+    g.bench_function("asic_model_calibration", |b| b.iter(AsicModel::calibrated));
 
     let model = AsicModel::calibrated();
-    let cfg = AdderConfig::new(DesignKind::SrEager, FpFormat::e6m5().with_subnormals(false), 13);
+    let cfg = AdderConfig::new(
+        DesignKind::SrEager,
+        FpFormat::e6m5().with_subnormals(false),
+        13,
+    );
     g.bench_function("asic_model_cost_query", |b| {
         b.iter(|| model.cost(black_box(&cfg)))
     });

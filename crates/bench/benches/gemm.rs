@@ -1,5 +1,11 @@
 //! Criterion benches for the GEMM engines: exact f32 vs the bit-exact
-//! low-precision MAC emulation (RN and SR accumulation).
+//! low-precision MAC emulation (RN and SR accumulation), the prepared-
+//! operand pipeline vs the one-shot path, persistent-pool vs per-call
+//! scoped threading, and a ResNet-20-shaped GEMM sequence with weight
+//! operands packed once and reused.
+//!
+//! The sequence results (and the headline packed-vs-seed speedup) are
+//! recorded in `BENCH_gemm.json` at the workspace root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
@@ -9,6 +15,22 @@ use srmac_tensor::{F32Engine, GemmEngine};
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = SplitMix64::new(seed);
     (0..n).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+/// Activation-like data: `sparsity` of the entries are exact zeros, the
+/// profile post-ReLU feature maps (plus im2row padding) actually show.
+fn relu_sparse_vec(n: usize, seed: u64, sparsity: f64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let v = rng.next_f32() - 0.5;
+            if rng.next_f64() < sparsity {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
 }
 
 fn bench_gemm(c: &mut Criterion) {
@@ -57,5 +79,217 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+/// Packed vs one-shot on a single weight-stationary product, and the
+/// persistent-pool engine vs the seed's per-call scoped spawning.
+fn bench_packed_vs_oneshot(c: &mut Criterion) {
+    let (m, k, n) = (64usize, 144, 16);
+    let a = relu_sparse_vec(m * k, 11, 0.6);
+    let b = rand_vec(k * n, 12);
+    let mut out = vec![0.0f32; m * n];
+    let engine = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
+    );
+
+    let mut g = c.benchmark_group("gemm_pipeline_64x144x16");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements((m * k * n) as u64));
+    g.bench_function("seed_scoped_oneshot", |bch| {
+        bch.iter(|| engine.gemm_scoped(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+    g.bench_function("pooled_oneshot", |bch| {
+        bch.iter(|| engine.gemm(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+    let pb = engine.pack_b(k, n, &b);
+    g.bench_function("packed_weight_reused", |bch| {
+        bch.iter(|| {
+            let pa = engine.pack_a(m, k, black_box(&a));
+            engine.gemm_packed(m, k, n, &pa, &pb, &mut out);
+        })
+    });
+    let pa = engine.pack_a(m, k, &a);
+    g.bench_function("both_packed_reused", |bch| {
+        bch.iter(|| engine.gemm_packed(m, k, n, black_box(&pa), black_box(&pb), &mut out))
+    });
+    g.finish();
+}
+
+/// The forward GEMM shapes of a (width-scaled) ResNet-20; with
+/// `with_backward`, also the data-gradient products that reuse the same
+/// weights.
+fn resnet20_weight_gemm_shapes(
+    batch: usize,
+    size: usize,
+    width: usize,
+    with_backward: bool,
+) -> Vec<(usize, usize, usize)> {
+    let mut shapes = Vec::new();
+    let mut s = size;
+    // Stem 3x3 conv.
+    shapes.push((batch * s * s, 27, width));
+    let mut in_c = width;
+    for stage in 0..3usize {
+        let out_c = width << stage;
+        for block in 0..3usize {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            if stride == 2 {
+                s /= 2;
+            }
+            shapes.push((batch * s * s, in_c * 9, out_c)); // conv1 forward
+            shapes.push((batch * s * s, out_c * 9, out_c)); // conv2 forward
+            if in_c != out_c || stride != 1 {
+                shapes.push((batch * s * s, in_c, out_c)); // 1x1 projection
+            }
+            if with_backward {
+                // Data-gradient products of the two convs (dY * W).
+                shapes.push((batch * s * s, out_c, in_c * 9));
+                shapes.push((batch * s * s, out_c, out_c * 9));
+            }
+            in_c = out_c;
+        }
+    }
+    // Classifier head (and its data gradient when training).
+    shapes.push((batch, in_c, 10));
+    if with_backward {
+        shapes.push((batch, 10, in_c));
+    }
+    shapes
+}
+
+/// Benches one ResNet-20-shaped GEMM sequence with ReLU-sparse
+/// activations/gradients: the seed path (per-call quantize + B-transpose +
+/// scoped spawn, dense kernel) against the prepared pipeline (weights
+/// packed once and reused, activations packed per call with
+/// zero-compaction, persistent workers).
+fn bench_gemm_sequence(c: &mut Criterion, group: &str, shapes: &[(usize, usize, usize)]) {
+    let engine = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
+    );
+    let activations: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, k, _))| relu_sparse_vec(m * k, 100 + i as u64, 0.6))
+        .collect();
+    let weights: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, k, n))| rand_vec(k * n, 500 + i as u64))
+        .collect();
+    let mut outs: Vec<Vec<f32>> = shapes
+        .iter()
+        .map(|&(m, _, n)| vec![0.0f32; m * n])
+        .collect();
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+
+    g.bench_function("seed_scoped_repack", |bch| {
+        bch.iter(|| {
+            for (i, &(m, k, n)) in shapes.iter().enumerate() {
+                engine.gemm_scoped(m, k, n, &activations[i], &weights[i], &mut outs[i]);
+            }
+        })
+    });
+
+    // Weights packed once, outside the hot loop — the trainer does this
+    // once per optimizer step, the evaluator once per weight update.
+    let packed_weights: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, k, n))| engine.pack_b(k, n, &weights[i]))
+        .collect();
+    g.bench_function("prepared_weight_reuse", |bch| {
+        bch.iter(|| {
+            for (i, &(m, k, n)) in shapes.iter().enumerate() {
+                let pa = engine.pack_a(m, k, &activations[i]);
+                engine.gemm_packed(m, k, n, &pa, &packed_weights[i], &mut outs[i]);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Two ResNet-20-shaped sequences at laptop scale (width 8, 16x16 inputs):
+/// a batch-4 training step (forward + data-gradient products) and the
+/// serving-oriented batch-1 streaming evaluation, where cached weight
+/// packs pay off most (the ROADMAP's request-serving scenario).
+fn bench_resnet20_sequences(c: &mut Criterion) {
+    let train = resnet20_weight_gemm_shapes(4, 16, 8, true);
+    bench_gemm_sequence(c, "resnet20_train_step", &train);
+    let eval = resnet20_weight_gemm_shapes(1, 16, 8, false);
+    bench_gemm_sequence(c, "resnet20_eval_stream", &eval);
+}
+
+/// Writes the collected measurements (and the headline sequence speedup)
+/// to `BENCH_gemm.json` at the workspace root.
+fn write_summary(c: &mut Criterion) {
+    let results = c.results();
+    let find = |group: &str, name: &str| {
+        results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let fmt_opt =
+        |v: Option<f64>, digits: usize| v.map_or("null".to_owned(), |v| format!("{v:.digits$}"));
+    let sequence_entry = |group: &str| {
+        let seed = find(group, "seed_scoped_repack");
+        let prepared = find(group, "prepared_weight_reuse");
+        let speedup = match (seed, prepared) {
+            (Some(s), Some(p)) if p > 0.0 => Some(s / p),
+            _ => None,
+        };
+        (
+            format!(
+                "{{\n    \"seed_scoped_repack_ns\": {},\n    \
+                 \"prepared_weight_reuse_ns\": {},\n    \
+                 \"speedup_prepared_vs_seed\": {}\n  }}",
+                fmt_opt(seed, 1),
+                fmt_opt(prepared, 1),
+                fmt_opt(speedup, 3),
+            ),
+            speedup,
+        )
+    };
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.group,
+            r.name,
+            r.median_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let (train_json, train_speedup) = sequence_entry("resnet20_train_step");
+    let (eval_json, eval_speedup) = sequence_entry("resnet20_eval_stream");
+    json.push_str(&format!(
+        "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json}\n}}\n"
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        if let Some(s) = train_speedup {
+            println!("resnet20_train_step speedup (prepared vs seed): {s:.2}x");
+        }
+        if let Some(s) = eval_speedup {
+            println!("resnet20_eval_stream speedup (prepared vs seed): {s:.2}x");
+        }
+        println!("summary -> {path}");
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_packed_vs_oneshot,
+    bench_resnet20_sequences,
+    write_summary
+);
 criterion_main!(benches);

@@ -30,7 +30,9 @@ fn quantize_terms(n: usize, seed: u64) -> (Vec<u64>, f64) {
 /// Sequential MAC accumulation (the hardware baseline).
 fn sequential(design: RoundingDesign, terms: &[u64], seed: u64) -> f64 {
     let mut mac = MacUnit::new(MacConfig::fp8_fp12(design, true).with_seed(seed)).unwrap();
-    let one = FpFormat::e5m2().quantize_f64(1.0, RoundMode::NearestEven).bits;
+    let one = FpFormat::e5m2()
+        .quantize_f64(1.0, RoundMode::NearestEven)
+        .bits;
     for &t in terms {
         mac.mac(t, one);
     }
@@ -40,14 +42,15 @@ fn sequential(design: RoundingDesign, terms: &[u64], seed: u64) -> f64 {
 /// Blocked accumulation: `blocks` sub-accumulators, summed at the end.
 fn blocked(design: RoundingDesign, terms: &[u64], seed: u64, blocks: usize) -> f64 {
     let cfg = MacConfig::fp8_fp12(design, true);
-    let one = FpFormat::e5m2().quantize_f64(1.0, RoundMode::NearestEven).bits;
+    let one = FpFormat::e5m2()
+        .quantize_f64(1.0, RoundMode::NearestEven)
+        .bits;
     let adder = FpAdder::new(cfg.acc_fmt, cfg.design);
     let mut lfsr = GaloisLfsr::new(cfg.design.random_bits().clamp(4, 64), seed ^ 0xB10C);
     let r = cfg.design.random_bits();
     let mut partials = Vec::new();
     for (i, chunk) in terms.chunks(terms.len().div_ceil(blocks)).enumerate() {
-        let mut mac =
-            MacUnit::new(cfg.with_seed(seed.wrapping_add(i as u64 * 77))).unwrap();
+        let mut mac = MacUnit::new(cfg.with_seed(seed.wrapping_add(i as u64 * 77))).unwrap();
         for &t in chunk {
             mac.mac(t, one);
         }
@@ -96,8 +99,20 @@ fn main() {
 
     let designs: Vec<(&str, RoundingDesign)> = vec![
         ("RN", RoundingDesign::Nearest),
-        ("SR r=9", RoundingDesign::SrEager { r: 9, correction: EagerCorrection::Exact }),
-        ("SR r=13", RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact }),
+        (
+            "SR r=9",
+            RoundingDesign::SrEager {
+                r: 9,
+                correction: EagerCorrection::Exact,
+            },
+        ),
+        (
+            "SR r=13",
+            RoundingDesign::SrEager {
+                r: 13,
+                correction: EagerCorrection::Exact,
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -122,7 +137,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["design", "sequential", "blocked x16", "blocked x64", "pairwise tree"],
+            &[
+                "design",
+                "sequential",
+                "blocked x16",
+                "blocked x64",
+                "pairwise tree"
+            ],
             &rows
         )
     );

@@ -3,9 +3,9 @@
 //! variants. Prints each panel as CSV (paper series and model series) plus
 //! an ASCII bar chart of the paper data.
 
+use srmac_fp::FpFormat;
 use srmac_hwcost::paper::{table1, table1_formats, AdderConfig, DesignKind};
 use srmac_hwcost::AsicModel;
-use srmac_fp::FpFormat;
 
 const VARIANTS: [(DesignKind, bool, &str); 6] = [
     (DesignKind::Rn, true, "RN, Sub ON"),
@@ -62,11 +62,19 @@ fn main() {
             }
             println!(
                 "{label},paper,{}",
-                paper_vals.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(",")
+                paper_vals
+                    .iter()
+                    .map(|v| format!("{v:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
             println!(
                 "{label},model,{}",
-                model_vals.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(",")
+                model_vals
+                    .iter()
+                    .map(|v| format!("{v:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
             paper_rows.push((label, paper_vals));
         }
@@ -82,6 +90,8 @@ fn main() {
         }
         println!();
     }
-    println!("shape checks: eager < lazy everywhere; E6M5 < E8M7 < E5M10 < E8M23 within each design;");
+    println!(
+        "shape checks: eager < lazy everywhere; E6M5 < E8M7 < E5M10 < E8M23 within each design;"
+    );
     println!("removing subnormal support reduces cost (within synthesis noise).");
 }

@@ -16,28 +16,65 @@ fn main() {
 
     let setups = [
         AccumSetup::Fp32Baseline,
-        AccumSetup::Rn { e: 6, m: 5, subnormals: true },
-        AccumSetup::Sr { e: 6, m: 5, r: 4, subnormals: true },
-        AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: true },
+        AccumSetup::Rn {
+            e: 6,
+            m: 5,
+            subnormals: true,
+        },
+        AccumSetup::Sr {
+            e: 6,
+            m: 5,
+            r: 4,
+            subnormals: true,
+        },
+        AccumSetup::Sr {
+            e: 6,
+            m: 5,
+            r: 13,
+            subnormals: true,
+        },
     ];
 
     for (pname, profile) in [
         (
             "hard1 (n.50 a.30 j.10)",
-            data::Profile { angle_step: 0.30, base_freq: 2.0, freq_step: 0.5, noise: 0.50, jitter: 0.10 },
+            data::Profile {
+                angle_step: 0.30,
+                base_freq: 2.0,
+                freq_step: 0.5,
+                noise: 0.50,
+                jitter: 0.10,
+            },
         ),
         (
             "hard2 (n.65 a.24 j.14)",
-            data::Profile { angle_step: 0.24, base_freq: 2.2, freq_step: 0.4, noise: 0.65, jitter: 0.14 },
+            data::Profile {
+                angle_step: 0.24,
+                base_freq: 2.2,
+                freq_step: 0.4,
+                noise: 0.65,
+                jitter: 0.14,
+            },
         ),
         (
             "hard3 (n.80 a.20 j.18)",
-            data::Profile { angle_step: 0.20, base_freq: 2.4, freq_step: 0.35, noise: 0.80, jitter: 0.18 },
+            data::Profile {
+                angle_step: 0.20,
+                base_freq: 2.4,
+                freq_step: 0.35,
+                noise: 0.80,
+                jitter: 0.18,
+            },
         ),
     ] {
         let train_ds = data::generate(profile, train_n, size, 1);
         let test_ds = data::generate(profile, test_n, size, 2);
-        let cfg = TrainConfig { epochs, batch_size: batch, lr: 0.1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs,
+            batch_size: batch,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
         print!("{pname}: ");
         for setup in setups {
             let t0 = std::time::Instant::now();

@@ -1,0 +1,73 @@
+//! Quick cost probe for the pack/plan pipeline (not an experiment table).
+use std::time::Instant;
+
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_rng::SplitMix64;
+use srmac_tensor::GemmEngine;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+fn main() {
+    // Thread-spawn cost.
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        std::thread::scope(|s| {
+            s.spawn(|| std::hint::black_box(1 + 1));
+        });
+    }
+    println!(
+        "spawn+join: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / 200.0
+    );
+
+    let engine = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
+    );
+    for (m, k, n) in [
+        (64usize, 72usize, 8usize),
+        (256, 144, 16),
+        (64, 288, 32),
+        (16, 64, 10),
+    ] {
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut out = vec![0.0f32; m * n];
+        let reps = (50_000_000 / (m * k * n)).max(10);
+
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.pack_b(k, n, &b));
+        }
+        let pack_b = t.elapsed().as_secs_f64() / reps as f64;
+
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.pack_a(m, k, &a));
+        }
+        let pack_a = t.elapsed().as_secs_f64() / reps as f64;
+
+        let pa = engine.pack_a(m, k, &a);
+        let pb = engine.pack_b(k, n, &b);
+        let t = Instant::now();
+        for _ in 0..reps {
+            engine.gemm_packed(m, k, n, &pa, &pb, &mut out);
+        }
+        let dots = t.elapsed().as_secs_f64() / reps as f64;
+
+        let t = Instant::now();
+        for _ in 0..reps {
+            engine.gemm_scoped(m, k, n, &a, &b, &mut out);
+        }
+        let scoped = t.elapsed().as_secs_f64() / reps as f64;
+
+        println!(
+            "{m}x{k}x{n}: pack_a {:.1}us pack_b {:.1}us dots {:.1}us scoped {:.1}us | per-step dot {:.2}ns quant {:.2}ns",
+            pack_a * 1e6, pack_b * 1e6, dots * 1e6, scoped * 1e6,
+            dots * 1e9 / (m * k * n) as f64,
+            pack_a * 1e9 / (m * k) as f64,
+        );
+    }
+}

@@ -20,9 +20,23 @@ fn main() {
 
     for setup in [
         AccumSetup::Fp32Baseline,
-        AccumSetup::Rn { e: 6, m: 5, subnormals: true },
-        AccumSetup::Sr { e: 6, m: 5, r: 4, subnormals: true },
-        AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: true },
+        AccumSetup::Rn {
+            e: 6,
+            m: 5,
+            subnormals: true,
+        },
+        AccumSetup::Sr {
+            e: 6,
+            m: 5,
+            r: 4,
+            subnormals: true,
+        },
+        AccumSetup::Sr {
+            e: 6,
+            m: 5,
+            r: 13,
+            subnormals: true,
+        },
     ] {
         print!("{:<28}", setup.label());
         let seeds: u64 = match setup {

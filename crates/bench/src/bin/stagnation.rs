@@ -37,9 +37,27 @@ fn main() {
     let trials = srmac_bench::env_or("SRMAC_TRIALS", 8u64);
     let designs: Vec<(String, RoundingDesign)> = vec![
         ("RN".into(), RoundingDesign::Nearest),
-        ("SR r=4".into(), RoundingDesign::SrEager { r: 4, correction: EagerCorrection::Exact }),
-        ("SR r=9".into(), RoundingDesign::SrEager { r: 9, correction: EagerCorrection::Exact }),
-        ("SR r=13".into(), RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact }),
+        (
+            "SR r=4".into(),
+            RoundingDesign::SrEager {
+                r: 4,
+                correction: EagerCorrection::Exact,
+            },
+        ),
+        (
+            "SR r=9".into(),
+            RoundingDesign::SrEager {
+                r: 9,
+                correction: EagerCorrection::Exact,
+            },
+        ),
+        (
+            "SR r=13".into(),
+            RoundingDesign::SrEager {
+                r: 13,
+                correction: EagerCorrection::Exact,
+            },
+        ),
     ];
     let lens = [64usize, 256, 1024, 4096, 16384];
 
@@ -55,8 +73,12 @@ fn main() {
         }
         rows.push(row);
     }
-    println!("Stagnation microbenchmark — mean relative forward error of sum(x_i), E6M5 accumulator");
-    println!("(terms ~U[0.25,0.75); error vs exact sum of the FP8-quantized terms; {trials} trials)\n");
+    println!(
+        "Stagnation microbenchmark — mean relative forward error of sum(x_i), E6M5 accumulator"
+    );
+    println!(
+        "(terms ~U[0.25,0.75); error vs exact sum of the FP8-quantized terms; {trials} trials)\n"
+    );
     let mut headers = vec!["design"];
     let len_labels: Vec<String> = lens.iter().map(|n| format!("N={n}")).collect();
     headers.extend(len_labels.iter().map(String::as_str));

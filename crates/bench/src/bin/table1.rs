@@ -59,12 +59,13 @@ fn main() {
     let mut best_area = (0.0f64, String::new());
     let mut best_delay_m = 0.0f64;
     let mut best_area_m = 0.0f64;
-    for lazy in points.iter().filter(|p| p.config.kind == DesignKind::SrLazy) {
+    for lazy in points
+        .iter()
+        .filter(|p| p.config.kind == DesignKind::SrLazy)
+    {
         let eager = points
             .iter()
-            .find(|p| {
-                p.config.kind == DesignKind::SrEager && p.config.fmt == lazy.config.fmt
-            })
+            .find(|p| p.config.kind == DesignKind::SrEager && p.config.fmt == lazy.config.fmt)
             .expect("matching eager row");
         let d_save = 1.0 - eager.delay / lazy.delay;
         let a_save = 1.0 - eager.area / lazy.area;

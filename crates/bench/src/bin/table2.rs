@@ -24,7 +24,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["Configuration", "LUT paper", "LUT model", "FF paper", "FF model", "D paper", "D model"],
+            &[
+                "Configuration",
+                "LUT paper",
+                "LUT model",
+                "FF paper",
+                "FF model",
+                "D paper",
+                "D model"
+            ],
             &rows
         )
     );

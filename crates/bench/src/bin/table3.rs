@@ -17,8 +17,10 @@ use srmac_tensor::available_threads;
 fn main() {
     let scale = Scale::from_env();
     let threads = srmac_bench::env_or("SRMAC_THREADS", available_threads());
-    println!("Table III — ResNet-20(width {}) on SynthCIFAR10 ({} train / {} test, {}x{}, {} epochs)",
-        scale.width, scale.train_n, scale.test_n, scale.size, scale.size, scale.epochs);
+    println!(
+        "Table III — ResNet-20(width {}) on SynthCIFAR10 ({} train / {} test, {}x{}, {} epochs)",
+        scale.width, scale.train_n, scale.test_n, scale.size, scale.size, scale.epochs
+    );
     println!("paper: ResNet-20(16) on CIFAR-10, 165 epochs; compare shape, not absolutes\n");
 
     let train_ds = data::synth_cifar10(scale.train_n, scale.size, scale.seed);

@@ -13,8 +13,25 @@ fn rows() -> Vec<(AccumSetup, f64, f64)> {
     // (setup, paper VGG16 acc, paper ResNet-50 acc)
     vec![
         (AccumSetup::Fp32Baseline, 93.46, 80.94),
-        (AccumSetup::Rn { e: 5, m: 10, subnormals: true }, 93.06, 80.3),
-        (AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: false }, 93.11, 80.33),
+        (
+            AccumSetup::Rn {
+                e: 5,
+                m: 10,
+                subnormals: true,
+            },
+            93.06,
+            80.3,
+        ),
+        (
+            AccumSetup::Sr {
+                e: 6,
+                m: 5,
+                r: 13,
+                subnormals: false,
+            },
+            93.11,
+            80.33,
+        ),
     ]
 }
 
@@ -91,7 +108,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["Model/Dataset", "Configuration", "Accuracy (%)", "Best (%)", "Paper (%)"],
+            &[
+                "Model/Dataset",
+                "Configuration",
+                "Accuracy (%)",
+                "Best (%)",
+                "Paper (%)"
+            ],
             &out_rows
         )
     );

@@ -4,9 +4,9 @@
 //! Table I); the other r values are held-out model predictions.
 
 use srmac_bench::table;
+use srmac_fp::FpFormat;
 use srmac_hwcost::paper::{table5_references, table5_sweep, AdderConfig, DesignKind};
 use srmac_hwcost::AsicModel;
-use srmac_fp::FpFormat;
 
 fn main() {
     let model = AsicModel::calibrated();
@@ -35,18 +35,31 @@ fn main() {
             format!("{:.2}", c.energy),
         ]);
     }
-    println!("Table V — hardware overhead vs random bits r (r != 9 rows are held-out predictions)\n");
+    println!(
+        "Table V — hardware overhead vs random bits r (r != 9 rows are held-out predictions)\n"
+    );
     println!(
         "{}",
         table::render(
-            &["Configuration", "D paper", "D model", "A paper", "A model", "E paper", "E model"],
+            &[
+                "Configuration",
+                "D paper",
+                "D model",
+                "A paper",
+                "A model",
+                "E paper",
+                "E model"
+            ],
             &rows
         )
     );
 
     // Headline: r = 13 eager vs RN FP16 ("29.3% and 13.1% savings in
     // latency and area ... w.r.t. an FP16 accumulator with RN support").
-    let ours = table5_sweep().into_iter().find(|p| p.config.r == 13).unwrap();
+    let ours = table5_sweep()
+        .into_iter()
+        .find(|p| p.config.r == 13)
+        .unwrap();
     let fp16 = &table5_references()[0];
     println!(
         "r=13 eager E6M5 vs RN FP16: paper {:.1}% latency, {:.1}% area, {:.1}% energy savings",

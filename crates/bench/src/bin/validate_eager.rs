@@ -35,9 +35,20 @@ fn main() {
     let r = srmac_bench::env_or("SRMAC_R", 9u32);
     let pairs = srmac_bench::env_or("SRMAC_PAIRS", 10_000usize);
     let lazy = FpAdder::new(fmt, RoundingDesign::SrLazy { r });
-    let eager = FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::Exact });
-    let sumbit =
-        FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::SumBit });
+    let eager = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::Exact,
+        },
+    );
+    let sumbit = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::SumBit,
+        },
+    );
 
     let mut rng = SplitMix64::new(0xE5E5);
     let mut tested = 0usize;
@@ -93,7 +104,11 @@ fn main() {
         // rounding quantum (clamped to the subnormal quantum).
         let exact = xa + xb;
         let m = exact.unsigned_abs();
-        let msb = if m == 0 { 0 } else { 127 - m.leading_zeros() as i32 };
+        let msb = if m == 0 {
+            0
+        } else {
+            127 - m.leading_zeros() as i32
+        };
         if m != 0 && msb >= fmt.emax() + 1 + 40 {
             // |sum| >= 2^(emax+1): every rounding overflows to infinity; the
             // random word is irrelevant. Verify exactly that.
@@ -137,12 +152,8 @@ fn main() {
         "  trace coverage: far-add {}, far-sub {}, close {}, special/trivial {}",
         paths[0], paths[1], paths[2], paths[3]
     );
-    println!(
-        "  eager(Exact) == lazy per-word:            {eager_lazy_equal}/{tested} pairs"
-    );
-    println!(
-        "  up-count == floor(eps*2^r) exactly:       {count_exact}/{tested} pairs"
-    );
+    println!("  eager(Exact) == lazy per-word:            {eager_lazy_equal}/{tested} pairs");
+    println!("  up-count == floor(eps*2^r) exactly:       {count_exact}/{tested} pairs");
     println!(
         "  SumBit (literal prose) divergent pairs:   {sumbit_divergent_pairs}/{tested}, max probability error {:.4}",
         sumbit_max_prob_err
@@ -152,6 +163,12 @@ fn main() {
     println!("for the Exact reading; the literal sum-bit reading shows measurable bias,");
     println!("supporting the reconstruction in DESIGN.md §2.2.");
 
-    assert_eq!(eager_lazy_equal, tested, "eager(Exact) must equal lazy everywhere");
-    assert_eq!(count_exact, tested, "up-counts must match the SR definition exactly");
+    assert_eq!(
+        eager_lazy_equal, tested,
+        "eager(Exact) must equal lazy everywhere"
+    );
+    assert_eq!(
+        count_exact, tested,
+        "up-counts must match the SR definition exactly"
+    );
 }

@@ -47,12 +47,16 @@ impl AccumSetup {
                     .with_threads(threads);
                 Arc::new(MacGemm::new(cfg))
             }
-            AccumSetup::Sr { e, m, r, subnormals } => {
+            AccumSetup::Sr {
+                e,
+                m,
+                r,
+                subnormals,
+            } => {
                 let acc = FpFormat::of(e, m).with_subnormals(subnormals);
-                let cfg =
-                    MacGemmConfig::fp8_acc(acc, AccumRounding::Stochastic { r }, subnormals)
-                        .with_seed(seed)
-                        .with_threads(threads);
+                let cfg = MacGemmConfig::fp8_acc(acc, AccumRounding::Stochastic { r }, subnormals)
+                    .with_seed(seed)
+                    .with_threads(threads);
                 Arc::new(MacGemm::new(cfg))
             }
         }
@@ -69,7 +73,12 @@ impl AccumSetup {
                 e,
                 m
             ),
-            AccumSetup::Sr { e, m, r, subnormals } => format!(
+            AccumSetup::Sr {
+                e,
+                m,
+                r,
+                subnormals,
+            } => format!(
                 "SR {}  E{}M{} r={:<2}",
                 if subnormals { "W/ Sub " } else { "W/O Sub" },
                 e,
@@ -85,15 +94,84 @@ impl AccumSetup {
     pub fn table3_rows() -> Vec<(AccumSetup, f64)> {
         vec![
             (AccumSetup::Fp32Baseline, 91.47),
-            (AccumSetup::Rn { e: 5, m: 10, subnormals: true }, 91.1),
-            (AccumSetup::Rn { e: 8, m: 7, subnormals: true }, 88.79),
-            (AccumSetup::Rn { e: 6, m: 5, subnormals: true }, 83.03),
-            (AccumSetup::Sr { e: 6, m: 5, r: 4, subnormals: true }, 43.11),
-            (AccumSetup::Sr { e: 6, m: 5, r: 9, subnormals: true }, 89.34),
-            (AccumSetup::Sr { e: 6, m: 5, r: 11, subnormals: true }, 90.7),
-            (AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: true }, 91.39),
-            (AccumSetup::Sr { e: 6, m: 5, r: 11, subnormals: false }, 90.67),
-            (AccumSetup::Sr { e: 6, m: 5, r: 13, subnormals: false }, 91.39),
+            (
+                AccumSetup::Rn {
+                    e: 5,
+                    m: 10,
+                    subnormals: true,
+                },
+                91.1,
+            ),
+            (
+                AccumSetup::Rn {
+                    e: 8,
+                    m: 7,
+                    subnormals: true,
+                },
+                88.79,
+            ),
+            (
+                AccumSetup::Rn {
+                    e: 6,
+                    m: 5,
+                    subnormals: true,
+                },
+                83.03,
+            ),
+            (
+                AccumSetup::Sr {
+                    e: 6,
+                    m: 5,
+                    r: 4,
+                    subnormals: true,
+                },
+                43.11,
+            ),
+            (
+                AccumSetup::Sr {
+                    e: 6,
+                    m: 5,
+                    r: 9,
+                    subnormals: true,
+                },
+                89.34,
+            ),
+            (
+                AccumSetup::Sr {
+                    e: 6,
+                    m: 5,
+                    r: 11,
+                    subnormals: true,
+                },
+                90.7,
+            ),
+            (
+                AccumSetup::Sr {
+                    e: 6,
+                    m: 5,
+                    r: 13,
+                    subnormals: true,
+                },
+                91.39,
+            ),
+            (
+                AccumSetup::Sr {
+                    e: 6,
+                    m: 5,
+                    r: 11,
+                    subnormals: false,
+                },
+                90.67,
+            ),
+            (
+                AccumSetup::Sr {
+                    e: 6,
+                    m: 5,
+                    r: 13,
+                    subnormals: false,
+                },
+                91.39,
+            ),
         ]
     }
 }

@@ -33,7 +33,10 @@ use srmac_tensor::{GemmEngine, Sequential};
 /// Reads a numeric environment knob.
 #[must_use]
 pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The common experiment scale, assembled from environment knobs.

@@ -77,7 +77,10 @@ pub(crate) fn far_path(
         ((tau_true as u64) << (tw - out_len), false)
     } else {
         let sh = out_len - tw;
-        (shr_sat(tau_true, sh) as u64, tau_true & mask128(sh.min(127)) != 0)
+        (
+            shr_sat(tau_true, sh) as u64,
+            tau_true & mask128(sh.min(127)) != 0,
+        )
     };
     trace.sigma = sigma;
 
@@ -98,7 +101,11 @@ pub(crate) fn far_path(
 
     // ---- Main addition (stage iii) --------------------------------------
     let x_win = mx << 1;
-    let s_main = if sub { x_win - y_win - borrow } else { x_win + y_win };
+    let s_main = if sub {
+        x_win - y_win - borrow
+    } else {
+        x_win + y_win
+    };
     debug_assert!(s_main >= 1 << (p - 1) && s_main < 1 << (p + 2));
     trace.s_main = s_main;
 
@@ -106,9 +113,16 @@ pub(crate) fn far_path(
     let q0 = ex - 1; // weight exponent of the window LSB
     let msb = 63 - s_main.leading_zeros() as i32;
     let q_nat = q0 + msb - (p as i32 - 1);
-    let q = if fmt.subnormals() { q_nat.max(fmt.min_quantum()) } else { q_nat };
+    let q = if fmt.subnormals() {
+        q_nat.max(fmt.min_quantum())
+    } else {
+        q_nat
+    };
     let drop = (q - q0) as u32;
-    debug_assert!(drop <= 2, "far-path normalization shifts by at most one position each way");
+    debug_assert!(
+        drop <= 2,
+        "far-path normalization shifts by at most one position each way"
+    );
     let kept = s_main >> drop;
     let s_left = s_main & mask(drop);
     trace.drop = drop;

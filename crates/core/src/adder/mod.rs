@@ -227,7 +227,10 @@ impl FpAdder {
     #[must_use]
     pub fn add_traced(&self, a: u64, b: u64, word: u64) -> (u64, AdderTrace) {
         let fmt = self.fmt;
-        let mut trace = AdderTrace { round_word: word, ..AdderTrace::default() };
+        let mut trace = AdderTrace {
+            round_word: word,
+            ..AdderTrace::default()
+        };
 
         if let Some(bits) = add_specials(fmt, a, b) {
             trace.result = bits;
@@ -240,8 +243,11 @@ impl FpAdder {
 
         // Swap so x has the larger magnitude.
         let swap = fmt.decode(a).cmp_mag(&fmt.decode(b)) == std::cmp::Ordering::Less;
-        let (nx, ex, mx, ny, ey, my) =
-            if swap { (nb, eb, sb, na, ea, sa) } else { (na, ea, sa, nb, eb, sb) };
+        let (nx, ex, mx, ny, ey, my) = if swap {
+            (nb, eb, sb, na, ea, sa)
+        } else {
+            (na, ea, sa, nb, eb, sb)
+        };
         trace.swapped = swap;
         let sub = nx != ny;
         trace.effective_sub = sub;
@@ -271,13 +277,13 @@ pub(crate) fn add_specials(fmt: FpFormat, a: u64, b: u64) -> Option<u64> {
         return Some(fmt.nan_bits());
     }
     match (va, vb) {
-        (FpValue::Inf { neg: n1 }, FpValue::Inf { neg: n2 }) => {
-            Some(if n1 == n2 { fmt.inf_bits(n1) } else { fmt.nan_bits() })
-        }
+        (FpValue::Inf { neg: n1 }, FpValue::Inf { neg: n2 }) => Some(if n1 == n2 {
+            fmt.inf_bits(n1)
+        } else {
+            fmt.nan_bits()
+        }),
         (FpValue::Inf { neg }, _) | (_, FpValue::Inf { neg }) => Some(fmt.inf_bits(neg)),
-        (FpValue::Zero { neg: n1 }, FpValue::Zero { neg: n2 }) => {
-            Some(fmt.zero_bits(n1 && n2))
-        }
+        (FpValue::Zero { neg: n1 }, FpValue::Zero { neg: n2 }) => Some(fmt.zero_bits(n1 && n2)),
         (FpValue::Zero { .. }, FpValue::Finite { .. }) => Some(b & fmt.bits_mask()),
         (FpValue::Finite { .. }, FpValue::Zero { .. }) => Some(a & fmt.bits_mask()),
         _ => None,
@@ -324,7 +330,11 @@ fn close_path(
     let q0 = ex - 1;
     let msb = 63 - s.leading_zeros() as i32;
     let q_nat = q0 + msb - (p as i32 - 1);
-    let q = if fmt.subnormals() { q_nat.max(fmt.min_quantum()) } else { q_nat };
+    let q = if fmt.subnormals() {
+        q_nat.max(fmt.min_quantum())
+    } else {
+        q_nat
+    };
     let drop = q - q0;
     debug_assert!(drop <= 2, "close path discards at most two bits");
     let (kept, tail, tail_len) = if drop <= 0 {
@@ -339,7 +349,11 @@ fn close_path(
 
     let r = design.random_bits().max(1);
     // Left-align the tail into an r-bit rounding field.
-    let t = if tail_len <= r { tail << (r - tail_len) } else { tail >> (tail_len - r) };
+    let t = if tail_len <= r {
+        tail << (r - tail_len)
+    } else {
+        tail >> (tail_len - r)
+    };
     let guard = tail_len > 0 && (tail >> (tail_len - 1)) & 1 == 1;
     let sticky = tail_len > 1 && tail & mask(tail_len - 1) != 0;
     trace.tail_t = t;
@@ -360,7 +374,11 @@ fn close_path(
 /// without-subnormals flush, and exponent overflow to infinity.
 pub(crate) fn pack_result(fmt: FpFormat, neg: bool, kept: u64, q: i32) -> u64 {
     let p = fmt.precision();
-    let (kept, q) = if kept == 1 << p { (kept >> 1, q + 1) } else { (kept, q) };
+    let (kept, q) = if kept == 1 << p {
+        (kept >> 1, q + 1)
+    } else {
+        (kept, q)
+    };
     debug_assert!(kept < 1 << p);
     if kept == 0 {
         return fmt.zero_bits(neg);

@@ -41,8 +41,7 @@ mod multiplier;
 mod systolic;
 
 pub use adder::{
-    golden_mode, AdderTrace, EagerCorrection, FpAdder, PathTaken, RoundingDesign,
-    StickyRoundTrace,
+    golden_mode, AdderTrace, EagerCorrection, FpAdder, PathTaken, RoundingDesign, StickyRoundTrace,
 };
 pub use mac::{MacConfig, MacUnit};
 pub use multiplier::{ExactMultiplier, InexactProductError};

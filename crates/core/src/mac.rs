@@ -50,7 +50,10 @@ impl MacConfig {
     #[must_use]
     pub fn paper_best() -> Self {
         Self::fp8_fp12(
-            RoundingDesign::SrEager { r: 13, correction: crate::EagerCorrection::Exact },
+            RoundingDesign::SrEager {
+                r: 13,
+                correction: crate::EagerCorrection::Exact,
+            },
             false,
         )
     }
@@ -88,7 +91,13 @@ impl MacUnit {
         // The LFSR width matches r (min hardware); RN units carry none, but
         // the model keeps a dummy one for uniformity.
         let lfsr = GaloisLfsr::new(r.clamp(4, 64), config.seed);
-        Ok(Self { config, multiplier, adder, lfsr, acc: config.acc_fmt.zero_bits(false) })
+        Ok(Self {
+            config,
+            multiplier,
+            adder,
+            lfsr,
+            acc: config.acc_fmt.zero_bits(false),
+        })
     }
 
     /// The unit's configuration.
@@ -133,7 +142,11 @@ impl MacUnit {
 
     /// Overwrites the accumulator with the RN quantization of `x`.
     pub fn set_acc_f64(&mut self, x: f64) {
-        self.acc = self.config.acc_fmt.quantize_f64(x, RoundMode::NearestEven).bits;
+        self.acc = self
+            .config
+            .acc_fmt
+            .quantize_f64(x, RoundMode::NearestEven)
+            .bits;
     }
 
     /// One MAC operation on multiplier-format encodings; returns the new
@@ -155,8 +168,16 @@ impl MacUnit {
     /// One MAC operation on `f64` inputs, quantized RN to the multiplier
     /// format first (the software-convenience entry point).
     pub fn mac_f64(&mut self, a: f64, b: f64) -> f64 {
-        let fa = self.config.mul_fmt.quantize_f64(a, RoundMode::NearestEven).bits;
-        let fb = self.config.mul_fmt.quantize_f64(b, RoundMode::NearestEven).bits;
+        let fa = self
+            .config
+            .mul_fmt
+            .quantize_f64(a, RoundMode::NearestEven)
+            .bits;
+        let fb = self
+            .config
+            .mul_fmt
+            .quantize_f64(b, RoundMode::NearestEven)
+            .bits;
         self.mac(fa, fb);
         self.acc_f64()
     }
@@ -202,7 +223,10 @@ mod tests {
         for design in [
             RoundingDesign::Nearest,
             RoundingDesign::SrLazy { r: 9 },
-            RoundingDesign::SrEager { r: 9, correction: EagerCorrection::Exact },
+            RoundingDesign::SrEager {
+                r: 9,
+                correction: EagerCorrection::Exact,
+            },
         ] {
             let mut mac = MacUnit::new(MacConfig::fp8_fp12(design, true)).unwrap();
             for _ in 0..8 {
@@ -228,7 +252,10 @@ mod tests {
         // The same accumulation under SR makes expected progress: with
         // eps = 0.5/8 = 1/16 per add, 64 adds raise the accumulator by
         // roughly 32 on average.
-        let design = RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact };
+        let design = RoundingDesign::SrEager {
+            r: 13,
+            correction: EagerCorrection::Exact,
+        };
         let mut total = 0.0;
         let trials = 40;
         for seed in 0..trials {
@@ -249,7 +276,10 @@ mod tests {
 
     #[test]
     fn dot_is_deterministic_per_seed() {
-        let design = RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact };
+        let design = RoundingDesign::SrEager {
+            r: 13,
+            correction: EagerCorrection::Exact,
+        };
         let xs: Vec<f64> = (0..50).map(|i| 0.01 * f64::from(i)).collect();
         let ys: Vec<f64> = (0..50).map(|i| 0.02 * f64::from(50 - i)).collect();
         let run = |seed| {

@@ -100,8 +100,14 @@ impl ExactMultiplier {
             (FpValue::Zero { .. }, _) | (_, FpValue::Zero { .. }) => return fout.zero_bits(neg),
             _ => {}
         }
-        let (FpValue::Finite { exp: ea, sig: sa, .. }, FpValue::Finite { exp: eb, sig: sb, .. }) =
-            (va, vb)
+        let (
+            FpValue::Finite {
+                exp: ea, sig: sa, ..
+            },
+            FpValue::Finite {
+                exp: eb, sig: sb, ..
+            },
+        ) = (va, vb)
         else {
             unreachable!("specials handled above")
         };
@@ -115,7 +121,11 @@ impl ExactMultiplier {
         let p_out = fout.precision() as i32;
         let msb = 63 - sig.leading_zeros() as i32;
         let q_nat = exp + msb - (p_out - 1);
-        let q = if fout.subnormals() { q_nat.max(fout.min_quantum()) } else { q_nat };
+        let q = if fout.subnormals() {
+            q_nat.max(fout.min_quantum())
+        } else {
+            q_nat
+        };
         debug_assert!(q <= exp, "product needs at most a left shift: always exact");
         let kept = sig << (exp - q) as u32;
         pack_result(fout, neg, kept, q)

@@ -88,7 +88,14 @@ impl SystolicArray {
                 ),
             })
             .collect();
-        Ok(Self { config, rows, cols, multiplier, adder, pes })
+        Ok(Self {
+            config,
+            rows,
+            cols,
+            multiplier,
+            adder,
+            pes,
+        })
     }
 
     /// Array height in PEs.
@@ -213,11 +220,16 @@ impl SystolicArray {
     ) -> (Vec<f64>, SystolicStats) {
         let fmt = self.config.mul_fmt;
         let q = |xs: &[f64]| -> Vec<u64> {
-            xs.iter().map(|&x| fmt.quantize_f64(x, RoundMode::NearestEven).bits).collect()
+            xs.iter()
+                .map(|&x| fmt.quantize_f64(x, RoundMode::NearestEven).bits)
+                .collect()
         };
         let (c, stats) = self.matmul(m, k, n, &q(a), &q(b));
         let acc = self.config.acc_fmt;
-        (c.into_iter().map(|bits| acc.decode_f64(bits)).collect(), stats)
+        (
+            c.into_iter().map(|bits| acc.decode_f64(bits)).collect(),
+            stats,
+        )
     }
 }
 
@@ -247,10 +259,16 @@ mod tests {
         let fp8 = config.mul_fmt;
         let mut rng = SplitMix64::new(4);
         let qa: Vec<u64> = (0..m * k)
-            .map(|_| fp8.quantize_f64(rng.next_f64() * 4.0 - 2.0, RoundMode::NearestEven).bits)
+            .map(|_| {
+                fp8.quantize_f64(rng.next_f64() * 4.0 - 2.0, RoundMode::NearestEven)
+                    .bits
+            })
             .collect();
         let qb: Vec<u64> = (0..k * n)
-            .map(|_| fp8.quantize_f64(rng.next_f64() * 4.0 - 2.0, RoundMode::NearestEven).bits)
+            .map(|_| {
+                fp8.quantize_f64(rng.next_f64() * 4.0 - 2.0, RoundMode::NearestEven)
+                    .bits
+            })
             .collect();
         let (c, stats) = array.matmul(m, k, n, &qa, &qb);
         assert_eq!(stats.macs, (m * k * n) as u64);
@@ -271,7 +289,10 @@ mod tests {
     #[test]
     fn systolic_sr_is_deterministic_and_tile_shape_invariant_in_rn() {
         let config = MacConfig::fp8_fp12(
-            RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact },
+            RoundingDesign::SrEager {
+                r: 13,
+                correction: EagerCorrection::Exact,
+            },
             false,
         )
         .with_seed(11);

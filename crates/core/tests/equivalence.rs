@@ -11,7 +11,10 @@ fn designs(r: u32) -> Vec<RoundingDesign> {
     vec![
         RoundingDesign::Nearest,
         RoundingDesign::SrLazy { r },
-        RoundingDesign::SrEager { r, correction: EagerCorrection::Exact },
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::Exact,
+        },
     ]
 }
 
@@ -114,8 +117,8 @@ fn wide_formats_stressed_near_exponent_extremes() {
             let pick = |rng: &mut SplitMix64| {
                 let edge = rng.next_below(4);
                 let e = match edge {
-                    0 => rng.next_below(3),                       // subnormal region
-                    1 => (1 << e_bits) - 1 - rng.next_below(2),   // specials/max
+                    0 => rng.next_below(3),                     // subnormal region
+                    1 => (1 << e_bits) - 1 - rng.next_below(2), // specials/max
                     _ => rng.next_below(1 << e_bits),
                 };
                 let m = rng.next_u64() & fmt.man_mask();
@@ -137,12 +140,19 @@ fn eager_exact_equals_lazy_per_word() {
     // The paper's headline equivalence, strengthened: same inputs, same
     // random word => identical encodings, in both normalization cases.
     let mut rng = SplitMix64::new(7);
-    for fmt in [FpFormat::e6m5(), FpFormat::e6m5().with_subnormals(false), FpFormat::e5m10()] {
+    for fmt in [
+        FpFormat::e6m5(),
+        FpFormat::e6m5().with_subnormals(false),
+        FpFormat::e5m10(),
+    ] {
         for r in [4u32, 9, 13] {
             let lazy = FpAdder::new(fmt, RoundingDesign::SrLazy { r });
             let eager = FpAdder::new(
                 fmt,
-                RoundingDesign::SrEager { r, correction: EagerCorrection::Exact },
+                RoundingDesign::SrEager {
+                    r,
+                    correction: EagerCorrection::Exact,
+                },
             );
             for _ in 0..120_000 {
                 let a = rng.next_u64() & fmt.bits_mask();
@@ -179,8 +189,13 @@ fn sec3b_probability_validation() {
     // add/sub, carry/no-carry/cancel, subnormal outputs).
     let fmt = FpFormat::e6m5();
     let r = 9;
-    let eager =
-        FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::Exact });
+    let eager = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::Exact,
+        },
+    );
     let mut rng = SplitMix64::new(0x5EC3B);
     let mut pairs_checked = 0u32;
     while pairs_checked < 400 {
@@ -206,7 +221,11 @@ fn sec3b_probability_validation() {
         if !lo.flags.inexact {
             // Representable sums round identically for every word; check a few.
             for word in [0u64, 1, (1 << r) - 1] {
-                assert_eq!(eager.add(a, b, word), lo.bits, "exact sum must be word-independent");
+                assert_eq!(
+                    eager.add(a, b, word),
+                    lo.bits,
+                    "exact sum must be word-independent"
+                );
             }
             pairs_checked += 1;
             continue;
@@ -249,10 +268,20 @@ fn sumbit_ablation_is_biased_in_shift_case() {
     // matches (previous test). This documents DESIGN.md §2.2.
     let fmt = FpFormat::e6m5();
     let r = 9;
-    let exact =
-        FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::Exact });
-    let sumbit =
-        FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::SumBit });
+    let exact = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::Exact,
+        },
+    );
+    let sumbit = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::SumBit,
+        },
+    );
     // x = 1.0, y = -eps with a tail that dies right below tau_1: the
     // sub-tail is zero, so the exact design's C differs from a uniform sum
     // bit. Scan a few candidates.
@@ -274,7 +303,10 @@ fn sumbit_ablation_is_biased_in_shift_case() {
             break;
         }
     }
-    assert!(found_divergence, "SumBit should diverge from Exact on some far-path subtraction");
+    assert!(
+        found_divergence,
+        "SumBit should diverge from Exact on some far-path subtraction"
+    );
 }
 
 #[test]

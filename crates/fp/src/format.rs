@@ -73,7 +73,11 @@ impl FpFormat {
         if !(2..=MAX_EXP_BITS).contains(&exp_bits) || !(1..=MAX_MAN_BITS).contains(&man_bits) {
             return Err(FormatError { exp_bits, man_bits });
         }
-        Ok(Self { exp_bits, man_bits, subnormals: true })
+        Ok(Self {
+            exp_bits,
+            man_bits,
+            subnormals: true,
+        })
     }
 
     /// Like [`FpFormat::new`] but panics on invalid widths; for the fixed
@@ -90,7 +94,10 @@ impl FpFormat {
     /// Returns a copy of this format with subnormal support set to `enabled`.
     #[must_use]
     pub fn with_subnormals(self, enabled: bool) -> Self {
-        Self { subnormals: enabled, ..self }
+        Self {
+            subnormals: enabled,
+            ..self
+        }
     }
 
     /// FP8 E5M2, the paper's multiplier input format.

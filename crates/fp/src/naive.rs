@@ -41,14 +41,24 @@ impl Grid {
     /// support.
     #[must_use]
     pub fn new(fmt: FpFormat) -> Self {
-        assert!(fmt.subnormals(), "the naive oracle requires subnormal support");
-        assert!(fmt.min_quantum() >= -SCALE, "format too fine for the oracle scale");
+        assert!(
+            fmt.subnormals(),
+            "the naive oracle requires subnormal support"
+        );
+        assert!(
+            fmt.min_quantum() >= -SCALE,
+            "format too fine for the oracle scale"
+        );
         assert!(fmt.emax() <= 40, "format too wide for the oracle scale");
         let mut pairs: Vec<(i128, Option<u64>)> = Vec::new();
         for bits in fmt.iter_encodings() {
             match fmt.decode(bits) {
                 FpValue::Zero { neg: false } => pairs.push((0, Some(bits))),
-                FpValue::Finite { neg: false, exp, sig } => {
+                FpValue::Finite {
+                    neg: false,
+                    exp,
+                    sig,
+                } => {
                     pairs.push((scaled(exp, sig), Some(bits)));
                 }
                 _ => {}
@@ -75,7 +85,12 @@ impl Grid {
                 .expect("grid has finite values"),
         );
         let (values, encodings) = pairs.into_iter().unzip();
-        Self { fmt, values, encodings, max_finite }
+        Self {
+            fmt,
+            values,
+            encodings,
+            max_finite,
+        }
     }
 
     /// The format this grid belongs to.
@@ -126,7 +141,7 @@ impl Grid {
                     std::cmp::Ordering::Equal => {
                         // Tie: choose the candidate whose encoding has an
                         // even significand LSB (virtual points count as even).
-                        let lo_even = self.encodings[lo_i].map_or(true, |b| b & 1 == 0);
+                        let lo_even = self.encodings[lo_i].is_none_or(|b| b & 1 == 0);
                         !lo_even
                     }
                 }
@@ -272,7 +287,11 @@ mod tests {
                 if fmt.is_nan(a) || fmt.is_nan(b) {
                     continue;
                 }
-                assert_eq!(g.add(a, b, RN), ops::add(fmt, a, b, RN), "RN a={a:#x} b={b:#x}");
+                assert_eq!(
+                    g.add(a, b, RN),
+                    ops::add(fmt, a, b, RN),
+                    "RN a={a:#x} b={b:#x}"
+                );
                 for word in [0u64, 1, 9, 20, 31] {
                     let mode = RoundMode::Stochastic { r: 5, word };
                     assert_eq!(
@@ -282,7 +301,11 @@ mod tests {
                     );
                 }
                 let rz = RoundMode::TowardZero;
-                assert_eq!(g.add(a, b, rz), ops::add(fmt, a, b, rz), "RZ a={a:#x} b={b:#x}");
+                assert_eq!(
+                    g.add(a, b, rz),
+                    ops::add(fmt, a, b, rz),
+                    "RZ a={a:#x} b={b:#x}"
+                );
             }
         }
     }
@@ -297,14 +320,7 @@ mod tests {
         for _ in 0..20_000 {
             x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             let v = (x % (g.max_finite() * 2)).abs();
-            let got = fmt.round_finite(
-                false,
-                -SCALE,
-                v.max(1) as u128,
-                false,
-                false,
-                RN,
-            );
+            let got = fmt.round_finite(false, -SCALE, v.max(1) as u128, false, false, RN);
             let want = g.round(v.max(1), RN);
             assert_eq!(got.bits, want, "v={v}");
         }

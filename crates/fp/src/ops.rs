@@ -40,35 +40,72 @@ pub fn add_full(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> Rounded {
     // Specials.
     if va.is_nan() || vb.is_nan() {
         let invalid = !va.is_nan() && !vb.is_nan();
-        return Rounded { bits: fmt.nan_bits(), flags: Flags { invalid, ..Flags::default() } };
+        return Rounded {
+            bits: fmt.nan_bits(),
+            flags: Flags {
+                invalid,
+                ..Flags::default()
+            },
+        };
     }
     match (va, vb) {
         (FpValue::Inf { neg: n1 }, FpValue::Inf { neg: n2 }) => {
             return if n1 == n2 {
-                Rounded { bits: fmt.inf_bits(n1), flags: Flags::default() }
+                Rounded {
+                    bits: fmt.inf_bits(n1),
+                    flags: Flags::default(),
+                }
             } else {
-                Rounded { bits: fmt.nan_bits(), flags: Flags { invalid: true, ..Flags::default() } }
+                Rounded {
+                    bits: fmt.nan_bits(),
+                    flags: Flags {
+                        invalid: true,
+                        ..Flags::default()
+                    },
+                }
             };
         }
         (FpValue::Inf { neg }, _) | (_, FpValue::Inf { neg }) => {
-            return Rounded { bits: fmt.inf_bits(neg), flags: Flags::default() };
+            return Rounded {
+                bits: fmt.inf_bits(neg),
+                flags: Flags::default(),
+            };
         }
         (FpValue::Zero { neg: n1 }, FpValue::Zero { neg: n2 }) => {
-            return Rounded { bits: fmt.zero_bits(n1 && n2), flags: Flags::default() };
+            return Rounded {
+                bits: fmt.zero_bits(n1 && n2),
+                flags: Flags::default(),
+            };
         }
         (FpValue::Zero { .. }, FpValue::Finite { .. }) => {
             // b is representable as-is (it decoded to finite), but re-encode
             // to normalize flushed-subnormal inputs.
-            return Rounded { bits: b & fmt.bits_mask(), flags: Flags::default() };
+            return Rounded {
+                bits: b & fmt.bits_mask(),
+                flags: Flags::default(),
+            };
         }
         (FpValue::Finite { .. }, FpValue::Zero { .. }) => {
-            return Rounded { bits: a & fmt.bits_mask(), flags: Flags::default() };
+            return Rounded {
+                bits: a & fmt.bits_mask(),
+                flags: Flags::default(),
+            };
         }
         _ => {}
     }
 
-    let (FpValue::Finite { neg: mut na, exp: mut ea, sig: mut sa },
-         FpValue::Finite { neg: mut nb, exp: mut eb, sig: mut sb }) = (va, vb)
+    let (
+        FpValue::Finite {
+            neg: mut na,
+            exp: mut ea,
+            sig: mut sa,
+        },
+        FpValue::Finite {
+            neg: mut nb,
+            exp: mut eb,
+            sig: mut sb,
+        },
+    ) = (va, vb)
     else {
         unreachable!("specials handled above")
     };
@@ -80,14 +117,20 @@ pub fn add_full(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> Rounded {
         std::mem::swap(&mut sa, &mut sb);
     }
     let d = ea - eb;
-    debug_assert!(d >= 0, "ULP exponents must be ordered after the magnitude swap");
+    debug_assert!(
+        d >= 0,
+        "ULP exponents must be ordered after the magnitude swap"
+    );
     let d = d as u32;
 
     // Fraction bits carried below x's ULP. Wide enough that the fuzzy
     // region of the sigma-compression (see below) sits strictly below every
     // bit position the rounding mode inspects.
     let f_bits = fmt.precision() + mode.tail_depth().max(2) + 4;
-    debug_assert!(fmt.precision() + f_bits + 1 < 128, "datapath width exceeds u128");
+    debug_assert!(
+        fmt.precision() + f_bits + 1 < 128,
+        "datapath width exceeds u128"
+    );
 
     let x = sa << f_bits;
     // Align y; if it is shifted entirely past the window, compress the
@@ -120,7 +163,10 @@ pub fn add_full(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> Rounded {
     if s == 0 {
         debug_assert!(!trailing_ones);
         // Exact cancellation: +0 (IEEE round-to-nearest convention).
-        return Rounded { bits: fmt.zero_bits(false), flags: Flags::default() };
+        return Rounded {
+            bits: fmt.zero_bits(false),
+            flags: Flags::default(),
+        };
     }
 
     fmt.round_finite(na, ea - f_bits as i32, s, trailing_ones, extra_sticky, mode)
@@ -139,26 +185,45 @@ pub fn mul_full(fmt_in: FpFormat, fmt_out: FpFormat, a: u64, b: u64, mode: Round
     let vb = fmt_in.decode(b);
 
     if va.is_nan() || vb.is_nan() {
-        return Rounded { bits: fmt_out.nan_bits(), flags: Flags::default() };
+        return Rounded {
+            bits: fmt_out.nan_bits(),
+            flags: Flags::default(),
+        };
     }
     let neg = va.is_negative() != vb.is_negative();
     match (&va, &vb) {
-        (FpValue::Inf { .. }, FpValue::Zero { .. }) | (FpValue::Zero { .. }, FpValue::Inf { .. }) => {
+        (FpValue::Inf { .. }, FpValue::Zero { .. })
+        | (FpValue::Zero { .. }, FpValue::Inf { .. }) => {
             return Rounded {
                 bits: fmt_out.nan_bits(),
-                flags: Flags { invalid: true, ..Flags::default() },
+                flags: Flags {
+                    invalid: true,
+                    ..Flags::default()
+                },
             };
         }
         (FpValue::Inf { .. }, _) | (_, FpValue::Inf { .. }) => {
-            return Rounded { bits: fmt_out.inf_bits(neg), flags: Flags::default() };
+            return Rounded {
+                bits: fmt_out.inf_bits(neg),
+                flags: Flags::default(),
+            };
         }
         (FpValue::Zero { .. }, _) | (_, FpValue::Zero { .. }) => {
-            return Rounded { bits: fmt_out.zero_bits(neg), flags: Flags::default() };
+            return Rounded {
+                bits: fmt_out.zero_bits(neg),
+                flags: Flags::default(),
+            };
         }
         _ => {}
     }
-    let (FpValue::Finite { exp: ea, sig: sa, .. }, FpValue::Finite { exp: eb, sig: sb, .. }) =
-        (va, vb)
+    let (
+        FpValue::Finite {
+            exp: ea, sig: sa, ..
+        },
+        FpValue::Finite {
+            exp: eb, sig: sb, ..
+        },
+    ) = (va, vb)
     else {
         unreachable!("specials handled above")
     };
@@ -177,8 +242,7 @@ pub fn mul(fmt_in: FpFormat, fmt_out: FpFormat, a: u64, b: u64, mode: RoundMode)
 /// requires `p_out >= 2 * p_in` and an exponent field wider by one bit.
 #[must_use]
 pub fn product_is_exact(fmt_in: FpFormat, fmt_out: FpFormat) -> bool {
-    fmt_out.precision() >= 2 * fmt_in.precision()
-        && fmt_out.exp_bits() >= fmt_in.exp_bits() + 1
+    fmt_out.precision() >= 2 * fmt_in.precision() && fmt_out.exp_bits() > fmt_in.exp_bits()
 }
 
 #[cfg(test)]
@@ -369,6 +433,9 @@ mod tests {
             acc += f.decode_f64(add(f, one, small, RoundMode::Stochastic { r, word }));
         }
         let mean = acc / f64::from(1u32 << r);
-        assert!((mean - (1.0 + 2f64.powi(-9))).abs() < 1e-12, "mean = {mean}");
+        assert!(
+            (mean - (1.0 + 2f64.powi(-9))).abs() < 1e-12,
+            "mean = {mean}"
+        );
     }
 }

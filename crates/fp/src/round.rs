@@ -141,7 +141,11 @@ impl FpFormat {
         let msb = 127 - sig.leading_zeros() as i32;
         // Natural (normalized) quantum, and the format's minimum quantum.
         let qn = exp + msb - (p as i32 - 1);
-        let q = if self.subnormals() { qn.max(self.min_quantum()) } else { qn };
+        let q = if self.subnormals() {
+            qn.max(self.min_quantum())
+        } else {
+            qn
+        };
         let drop = q - exp; // Number of low bits of `sig` that fall below the quantum.
 
         let (mut kept, tail) = split_at_quantum(sig, drop, r, trailing_ones);
@@ -164,10 +168,16 @@ impl FpFormat {
             }
         }
 
-        let mut flags = Flags { inexact, ..Flags::default() };
+        let mut flags = Flags {
+            inexact,
+            ..Flags::default()
+        };
         if kept == 0 {
             flags.underflow = inexact;
-            return Rounded { bits: self.zero_bits(neg), flags };
+            return Rounded {
+                bits: self.zero_bits(neg),
+                flags,
+            };
         }
 
         if kept >= 1u128 << (p - 1) {
@@ -188,16 +198,25 @@ impl FpFormat {
                 debug_assert!(!self.subnormals());
                 flags.underflow = true;
                 flags.inexact = true;
-                return Rounded { bits: self.zero_bits(neg), flags };
+                return Rounded {
+                    bits: self.zero_bits(neg),
+                    flags,
+                };
             }
             let e_field = (e_unbiased + self.bias()) as u64;
             let m = (kept as u64) & self.man_mask();
-            Rounded { bits: self.pack(neg, e_field, m), flags }
+            Rounded {
+                bits: self.pack(neg, e_field, m),
+                flags,
+            }
         } else {
             // Subnormal result: only arises when the quantum was clamped.
             debug_assert!(self.subnormals() && q == self.min_quantum());
             flags.underflow = inexact;
-            Rounded { bits: self.pack(neg, 0, kept as u64), flags }
+            Rounded {
+                bits: self.pack(neg, 0, kept as u64),
+                flags,
+            }
         }
     }
 
@@ -228,10 +247,16 @@ impl FpFormat {
         }
         let neg = x.is_sign_negative();
         if x.is_infinite() {
-            return Rounded { bits: self.inf_bits(neg), flags: Flags::default() };
+            return Rounded {
+                bits: self.inf_bits(neg),
+                flags: Flags::default(),
+            };
         }
         if x == 0.0 {
-            return Rounded { bits: self.zero_bits(neg), flags: Flags::default() };
+            return Rounded {
+                bits: self.zero_bits(neg),
+                flags: Flags::default(),
+            };
         }
         let b = x.abs().to_bits();
         let e_field = (b >> 52) as i32;
@@ -279,7 +304,11 @@ fn split_at_quantum(sig: u128, drop: i32, r: u32, trailing_ones: bool) -> (u128,
     let guard = tail_bit(sig, drop, 1, trailing_ones);
 
     // sticky: any bit strictly below the guard.
-    let below_guard_from_sig = if drop >= 2 { low_bits_nonzero(sig, drop - 1) } else { false };
+    let below_guard_from_sig = if drop >= 2 {
+        low_bits_nonzero(sig, drop - 1)
+    } else {
+        false
+    };
     let sticky = below_guard_from_sig || trailing_ones;
 
     // t: the top r tail bits as an integer.
@@ -289,12 +318,24 @@ fn split_at_quantum(sig: u128, drop: i32, r: u32, trailing_ones: bool) -> (u128,
         } else {
             ((sig as u64) & mask(drop)) << (r - drop)
         };
-        let pad = if trailing_ones && drop < r { mask(r - drop) } else { 0 };
+        let pad = if trailing_ones && drop < r {
+            mask(r - drop)
+        } else {
+            0
+        };
         from_sig | pad
     };
 
     let inexact = low_bits_nonzero(sig, drop) || trailing_ones;
-    (kept, TailInfo { guard, sticky, t, inexact })
+    (
+        kept,
+        TailInfo {
+            guard,
+            sticky,
+            t,
+            inexact,
+        },
+    )
 }
 
 /// Bit `i` (1-based from the top) of the virtual tail string.
@@ -334,7 +375,12 @@ mod tests {
 
     #[test]
     fn quantize_exact_values_roundtrip() {
-        for fmt in [FpFormat::e5m2(), FpFormat::e6m5(), FpFormat::e5m10(), FpFormat::e8m7()] {
+        for fmt in [
+            FpFormat::e5m2(),
+            FpFormat::e6m5(),
+            FpFormat::e5m10(),
+            FpFormat::e8m7(),
+        ] {
             for bits in fmt.iter_encodings() {
                 if fmt.is_nan(bits) {
                     continue;
@@ -355,7 +401,7 @@ mod tests {
     #[test]
     fn nearest_even_ties() {
         let f = FpFormat::e5m2(); // ULP of 1.0 is 0.25
-        // 1.125 is exactly between 1.0 and 1.25 -> ties to even (1.0).
+                                  // 1.125 is exactly between 1.0 and 1.25 -> ties to even (1.0).
         assert_eq!(dec(&f, f.quantize_f64(1.125, RN).bits), 1.0);
         // 1.375 is between 1.25 and 1.5 -> ties to even (1.5).
         assert_eq!(dec(&f, f.quantize_f64(1.375, RN).bits), 1.5);
@@ -482,8 +528,14 @@ mod tests {
         let r = 5;
         let mut ups = 0;
         for word in 0..(1u64 << r) {
-            let rr =
-                f.round_finite(false, -63, mask128(64), true, false, RoundMode::Stochastic { r, word });
+            let rr = f.round_finite(
+                false,
+                -63,
+                mask128(64),
+                true,
+                false,
+                RoundMode::Stochastic { r, word },
+            );
             if dec(&f, rr.bits) == 2.0 {
                 ups += 1;
             }

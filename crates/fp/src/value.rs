@@ -54,7 +54,11 @@ impl FpValue {
         match self {
             FpValue::Finite { neg, exp, sig } => {
                 let tz = sig.trailing_zeros();
-                FpValue::Finite { neg, exp: exp + tz as i32, sig: sig >> tz }
+                FpValue::Finite {
+                    neg,
+                    exp: exp + tz as i32,
+                    sig: sig >> tz,
+                }
             }
             other => other,
         }
@@ -94,7 +98,11 @@ impl FpValue {
             FpValue::Nan => FpValue::Nan,
             FpValue::Inf { neg } => FpValue::Inf { neg: !neg },
             FpValue::Zero { neg } => FpValue::Zero { neg: !neg },
-            FpValue::Finite { neg, exp, sig } => FpValue::Finite { neg: !neg, exp, sig },
+            FpValue::Finite { neg, exp, sig } => FpValue::Finite {
+                neg: !neg,
+                exp,
+                sig,
+            },
         }
     }
 
@@ -187,14 +195,22 @@ impl FpFormat {
     pub fn decode(&self, bits: u64) -> FpValue {
         let (neg, e, m) = self.unpack(bits);
         if e == self.exp_special() {
-            return if m == 0 { FpValue::Inf { neg } } else { FpValue::Nan };
+            return if m == 0 {
+                FpValue::Inf { neg }
+            } else {
+                FpValue::Nan
+            };
         }
         if e == 0 {
             if m == 0 || !self.subnormals() {
                 return FpValue::Zero { neg };
             }
             // Subnormal: value = m * 2^(emin - M).
-            return FpValue::Finite { neg, exp: self.min_quantum(), sig: u128::from(m) };
+            return FpValue::Finite {
+                neg,
+                exp: self.min_quantum(),
+                sig: u128::from(m),
+            };
         }
         let sig = u128::from(m) | (1u128 << self.man_bits());
         let exp = (e as i32 - self.bias()) - self.man_bits() as i32;
@@ -254,8 +270,19 @@ mod tests {
 
     #[test]
     fn normalized_strips_trailing_zeros() {
-        let v = FpValue::Finite { neg: false, exp: -4, sig: 0b1100 };
-        assert_eq!(v.normalized(), FpValue::Finite { neg: false, exp: -2, sig: 0b11 });
+        let v = FpValue::Finite {
+            neg: false,
+            exp: -4,
+            sig: 0b1100,
+        };
+        assert_eq!(
+            v.normalized(),
+            FpValue::Finite {
+                neg: false,
+                exp: -2,
+                sig: 0b11
+            }
+        );
         assert_eq!(v.to_f64(), 0.75);
     }
 

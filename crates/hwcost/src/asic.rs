@@ -87,15 +87,15 @@ impl Geometry {
         // exp diff -> swap -> align shift -> main add (or eager sticky in
         // parallel) -> LZD+norm shift -> rounding adder -> increment.
         let round_path = match self.lfsr_bits {
-            0 => 2,                        // RN decision logic
+            0 => 2,                                                     // RN decision logic
             _ if self.norm_width > self.main_adder => self.round_adder, // lazy
-            _ => 2,                        // eager: 2-bit correction only
+            _ => 2, // eager: 2-bit correction only
         };
         vec![
             1.0,
             f64::from(self.exp_width + self.main_adder + self.increment + round_path),
             Self::log2c(self.align_width) + Self::log2c(self.norm_width),
-            Self::log2c(self.norm_width), // LZD tree depth
+            Self::log2c(self.norm_width),          // LZD tree depth
             f64::from(self.subnormal_unit.min(1)), // clamp/mux stages
         ]
     }
@@ -181,7 +181,11 @@ impl AsicModel {
         let energy_w: Vec<f64> = energy_y.iter().map(|&v| 1.0 / v).collect();
         let energy_coefs = nnls(&energy_rows, &energy_y, &energy_w);
 
-        Self { area_coefs, delay_coefs, energy_coefs }
+        Self {
+            area_coefs,
+            delay_coefs,
+            energy_coefs,
+        }
     }
 
     /// Predicts the cost of a configuration.
@@ -194,7 +198,11 @@ impl AsicModel {
             &self.energy_coefs,
             &[1.0, area, f64::from(g.round_adder + g.lfsr_bits)],
         );
-        AsicCost { area, delay, energy }
+        AsicCost {
+            area,
+            delay,
+            energy,
+        }
     }
 
     /// Cost of a full MAC unit: exact multiplier (`pm x pm` partial-product
@@ -228,10 +236,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Mean and maximum relative error of the model against a measurement set,
 /// per metric: `(area, delay, energy)`.
 #[must_use]
-pub fn relative_errors(
-    model: &AsicModel,
-    points: &[crate::paper::AsicPoint],
-) -> [(f64, f64); 3] {
+pub fn relative_errors(model: &AsicModel, points: &[crate::paper::AsicPoint]) -> [(f64, f64); 3] {
     let mut acc = [(0.0f64, 0.0f64); 3];
     for p in points {
         let c = model.cost(&p.config);
@@ -277,14 +282,21 @@ mod tests {
             let area_err = (c.area - p.area).abs() / p.area;
             let delay_err = (c.delay - p.delay).abs() / p.delay;
             assert!(area_err < 0.10, "r={}: area err {area_err:.3}", p.config.r);
-            assert!(delay_err < 0.12, "r={}: delay err {delay_err:.3}", p.config.r);
+            assert!(
+                delay_err < 0.12,
+                "r={}: delay err {delay_err:.3}",
+                p.config.r
+            );
         }
         // And the trend must be monotone in r.
         let costs: Vec<f64> = table5_sweep()
             .iter()
             .map(|p| model.cost(&p.config).area)
             .collect();
-        assert!(costs.windows(2).all(|w| w[0] < w[1]), "area must grow with r");
+        assert!(
+            costs.windows(2).all(|w| w[0] < w[1]),
+            "area must grow with r"
+        );
     }
 
     #[test]
@@ -304,8 +316,11 @@ mod tests {
         }
         // Narrower accumulators are cheaper across the board.
         for kind in [DesignKind::Rn, DesignKind::SrLazy, DesignKind::SrEager] {
-            let cost =
-                |e, m| model.cost(&AdderConfig::new(kind, FpFormat::of(e, m), 0)).area;
+            let cost = |e, m| {
+                model
+                    .cost(&AdderConfig::new(kind, FpFormat::of(e, m), 0))
+                    .area
+            };
             assert!(cost(6, 5) < cost(8, 7));
             assert!(cost(8, 7) < cost(5, 10));
             assert!(cost(5, 10) < cost(8, 23));

@@ -65,7 +65,11 @@ impl FpgaModel {
         let w: Vec<f64> = d_y.iter().map(|&v| 1.0 / v).collect();
         let delay_coefs = nnls(&d_rows, &d_y, &w);
 
-        Self { lut_coefs, ff_coefs, delay_coefs }
+        Self {
+            lut_coefs,
+            ff_coefs,
+            delay_coefs,
+        }
     }
 
     fn lut_features(g: &Geometry) -> Vec<f64> {
@@ -82,7 +86,11 @@ impl FpgaModel {
     fn ff_features(g: &Geometry) -> Vec<f64> {
         // Interface/pipeline registers scale with format width; SR designs
         // add the LFSR state.
-        vec![1.0, f64::from(g.exp_width + g.increment), f64::from(g.lfsr_bits)]
+        vec![
+            1.0,
+            f64::from(g.exp_width + g.increment),
+            f64::from(g.lfsr_bits),
+        ]
     }
 
     /// Predicts the FPGA cost of a configuration.

@@ -69,8 +69,9 @@ fn gauss_solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         assert!(m[col][col].abs() > 1e-14, "degenerate calibration system");
         for row in (col + 1)..n {
             let f = m[row][col] / m[col][col];
-            for k in col..n {
-                m[row][k] -= f * m[col][k];
+            let (above, below) = m.split_at_mut(row);
+            for (cell, &src) in below[0][col..n].iter_mut().zip(&above[col][col..n]) {
+                *cell -= f * src;
             }
             b[row] -= f * b[col];
         }
@@ -108,11 +109,7 @@ mod tests {
     fn clamps_negative_coefficients() {
         // Best unconstrained fit would use a negative coefficient; nnls
         // must return only non-negative ones.
-        let a = vec![
-            vec![1.0, 1.0],
-            vec![2.0, 1.0],
-            vec![3.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]];
         let y = vec![3.0, 2.0, 1.0]; // decreasing: slope would be negative
         let w = vec![1.0; 3];
         let x = nnls(&a, &y, &w);

@@ -57,10 +57,18 @@ impl AdderConfig {
         format!(
             "{} {} E{}M{}{}",
             self.kind.label(),
-            if self.fmt.subnormals() { "W/ Sub" } else { "W/O Sub" },
+            if self.fmt.subnormals() {
+                "W/ Sub"
+            } else {
+                "W/O Sub"
+            },
             self.fmt.exp_bits(),
             self.fmt.man_bits(),
-            if self.r > 0 { format!(" r={}", self.r) } else { String::new() }
+            if self.r > 0 {
+                format!(" r={}", self.r)
+            } else {
+                String::new()
+            }
         )
     }
 }
@@ -93,7 +101,9 @@ pub fn table1_formats() -> [(u32, u32); 4] {
 /// (r = p + 3 for the SR designs).
 #[must_use]
 pub fn table1() -> Vec<AsicPoint> {
-    let rows: [(DesignKind, bool, u32, u32, u32, f64, f64, f64); 24] = [
+    // (kind, subnormals, exp bits, man bits, r, delay, area, energy).
+    type Row = (DesignKind, bool, u32, u32, u32, f64, f64, f64);
+    let rows: [Row; 24] = [
         (DesignKind::Rn, true, 8, 23, 0, 1.17, 1404.01, 4.71),
         (DesignKind::Rn, true, 5, 10, 0, 0.65, 692.62, 2.73),
         (DesignKind::Rn, true, 8, 7, 0, 0.52, 581.05, 2.14),

@@ -56,7 +56,11 @@ impl ResidualBlock {
         main.push(conv(out_c, out_c, 3, 1, 1, engine, rng));
         main.push(BatchNorm2d::new(out_c));
         let shortcut = Self::projection(in_c, out_c, stride, engine, rng);
-        Self { main, shortcut, relu_mask: Vec::new() }
+        Self {
+            main,
+            shortcut,
+            relu_mask: Vec::new(),
+        }
     }
 
     /// A bottleneck (1x1 -> 3x3 -> 1x1, expansion 4) block.
@@ -79,7 +83,11 @@ impl ResidualBlock {
         main.push(conv(width, out_c, 1, 1, 0, engine, rng));
         main.push(BatchNorm2d::new(out_c));
         let shortcut = Self::projection(in_c, out_c, stride, engine, rng);
-        Self { main, shortcut, relu_mask: Vec::new() }
+        Self {
+            main,
+            shortcut,
+            relu_mask: Vec::new(),
+        }
     }
 
     fn projection(
@@ -119,7 +127,11 @@ impl Layer for ResidualBlock {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(grad.numel(), self.relu_mask.len(), "backward before forward(train=true)");
+        assert_eq!(
+            grad.numel(),
+            self.relu_mask.len(),
+            "backward before forward(train=true)"
+        );
         let mut dz = grad.clone();
         for (g, &m) in dz.data_mut().iter_mut().zip(&self.relu_mask) {
             if !m {
@@ -146,7 +158,11 @@ impl Layer for ResidualBlock {
         format!(
             "Residual[{}{}]",
             self.main.describe(),
-            if self.shortcut.is_some() { " + proj" } else { "" }
+            if self.shortcut.is_some() {
+                " + proj"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -204,7 +220,10 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let mut b = ResidualBlock::basic(4, 4, 1, &e, &mut rng);
         let mut x = Tensor::zeros(&[1, 4, 4, 4]);
-        x.data_mut().iter_mut().enumerate().for_each(|(i, v)| *v = (i % 7) as f32 * 0.3 + 0.1);
+        x.data_mut()
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = (i % 7) as f32 * 0.3 + 0.1);
         let y = b.forward(&x, true);
         let g = Tensor::from_vec(vec![1.0; y.numel()], y.shape());
         let dx = b.backward(&g);

@@ -63,7 +63,10 @@ impl Dataset {
             labels.push(self.labels[i]);
         }
         let b = idx.len();
-        (Tensor::from_vec(data, &[b, 3, self.size, self.size]), labels)
+        (
+            Tensor::from_vec(data, &[b, 3, self.size, self.size]),
+            labels,
+        )
     }
 }
 
@@ -88,14 +91,26 @@ impl Profile {
     /// enough headroom below for degraded arithmetic to show.
     #[must_use]
     pub fn cifar() -> Self {
-        Self { angle_step: 0.32, base_freq: 2.0, freq_step: 0.5, noise: 0.45, jitter: 0.10 }
+        Self {
+            angle_step: 0.32,
+            base_freq: 2.0,
+            freq_step: 0.5,
+            noise: 0.45,
+            jitter: 0.10,
+        }
     }
 
     /// Imagewoof-like difficulty ("a more challenging dataset"): closer
     /// class parameters, stronger noise and jitter.
     #[must_use]
     pub fn imagewoof() -> Self {
-        Self { angle_step: 0.24, base_freq: 2.2, freq_step: 0.4, noise: 0.60, jitter: 0.14 }
+        Self {
+            angle_step: 0.24,
+            base_freq: 2.2,
+            freq_step: 0.4,
+            noise: 0.60,
+            jitter: 0.14,
+        }
     }
 }
 
@@ -105,7 +120,7 @@ impl Profile {
 /// round-robin.
 #[must_use]
 pub fn generate(profile: Profile, n: usize, size: usize, seed: u64) -> Dataset {
-    let mut rng = SplitMix64::new(seed ^ 0xDA7A_5E7);
+    let mut rng = SplitMix64::new(seed ^ 0x0DA7_A5E7);
     let plane = size * size;
     let mut images = Vec::with_capacity(n * 3 * plane);
     let mut labels = Vec::with_capacity(n);
@@ -142,7 +157,11 @@ pub fn generate(profile: Profile, n: usize, size: usize, seed: u64) -> Dataset {
             }
         }
     }
-    Dataset { images, labels, size }
+    Dataset {
+        images,
+        labels,
+        size,
+    }
 }
 
 /// SynthCIFAR10: the CIFAR-10 stand-in.
@@ -235,7 +254,11 @@ mod tests {
             c.iter_mut().for_each(|v| *v /= n as f32);
         }
         let dist = |a: &[f32; 6], b: &[f32; 6]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         let mut min_between = f32::INFINITY;
         for i in 0..NUM_CLASSES {

@@ -48,7 +48,12 @@ pub fn resnet_basic(
         }
     }
     net.push(GlobalAvgPool::new());
-    net.push(Linear::new(in_c, classes, uniform_fan_in(&[classes, in_c], in_c, &mut rng), engine.clone()));
+    net.push(Linear::new(
+        in_c,
+        classes,
+        uniform_fan_in(&[classes, in_c], in_c, &mut rng),
+        engine.clone(),
+    ));
     net
 }
 
@@ -79,7 +84,12 @@ pub fn resnet50(
         }
     }
     net.push(GlobalAvgPool::new());
-    net.push(Linear::new(in_c, classes, uniform_fan_in(&[classes, in_c], in_c, &mut rng), engine.clone()));
+    net.push(Linear::new(
+        in_c,
+        classes,
+        uniform_fan_in(&[classes, in_c], in_c, &mut rng),
+        engine.clone(),
+    ));
     net
 }
 

@@ -116,7 +116,9 @@ pub fn train(
             }
         }
         let acc = evaluate(model, test, cfg.batch_size);
-        history.train_loss.push((epoch_loss / batches.max(1) as f64) as f32);
+        history
+            .train_loss
+            .push((epoch_loss / batches.max(1) as f64) as f32);
         history.test_acc.push(acc);
         if cfg.verbose {
             eprintln!(
@@ -150,8 +152,12 @@ mod tests {
     use super::*;
     use crate::data::synth_cifar10;
     use crate::resnet::resnet20;
-    use std::sync::Arc;
+    use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+    use srmac_rng::SplitMix64;
+    use srmac_tensor::init::kaiming_normal;
+    use srmac_tensor::layers::{Conv2d, GlobalAvgPool, Linear, Relu};
     use srmac_tensor::{F32Engine, GemmEngine};
+    use std::sync::Arc;
 
     #[test]
     fn f32_training_learns_synthetic_classes() {
@@ -176,7 +182,83 @@ mod tests {
             h.best_accuracy()
         );
         // Loss must come down substantially.
-        assert!(h.train_loss.last().unwrap() < &1.8, "loss: {:?}", h.train_loss);
+        assert!(
+            h.train_loss.last().unwrap() < &1.8,
+            "loss: {:?}",
+            h.train_loss
+        );
+    }
+
+    /// A small conv net with the weight-pack caching of every GEMM-backed
+    /// layer switched on or off.
+    fn small_net(engine: &Arc<dyn GemmEngine>, cached: bool) -> Sequential {
+        let mut rng = SplitMix64::new(5);
+        let mut net = Sequential::new();
+        net.push(
+            Conv2d::new(
+                3,
+                6,
+                3,
+                1,
+                1,
+                kaiming_normal(&[6, 27], 27, &mut rng),
+                engine.clone(),
+            )
+            .with_weight_pack_caching(cached),
+        );
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(
+            Linear::new(6, 10, kaiming_normal(&[10, 6], 6, &mut rng), engine.clone())
+                .with_weight_pack_caching(cached),
+        );
+        net
+    }
+
+    #[test]
+    fn weight_pack_caching_does_not_change_history() {
+        // Caching packed weights is an execution-plan change, not a numeric
+        // one: the full training History (losses, accuracies, scaler
+        // trajectory) must be bitwise unchanged — on the exact f32 engine
+        // and on the paper's SR MAC engine, whose per-element rounding
+        // streams must not notice *when* operands were quantized.
+        let engines: Vec<Arc<dyn GemmEngine>> = vec![
+            Arc::new(F32Engine::new(2)),
+            Arc::new(MacGemm::new(
+                MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(2),
+            )),
+            Arc::new(MacGemm::new(MacGemmConfig::fp8_fp12(
+                AccumRounding::Nearest,
+                true,
+            ))),
+        ];
+        let train_ds = synth_cifar10(48, 8, 21);
+        let test_ds = synth_cifar10(32, 8, 22);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 12,
+            ..TrainConfig::default()
+        };
+        for engine in &engines {
+            let mut cached_net = small_net(engine, true);
+            let mut uncached_net = small_net(engine, false);
+            let cached = train(&mut cached_net, &train_ds, &test_ds, &cfg);
+            let uncached = train(&mut uncached_net, &train_ds, &test_ds, &cfg);
+            assert_eq!(cached.train_loss, uncached.train_loss, "{}", engine.name());
+            assert_eq!(cached.test_acc, uncached.test_acc, "{}", engine.name());
+            assert_eq!(
+                cached.skipped_steps,
+                uncached.skipped_steps,
+                "{}",
+                engine.name()
+            );
+            assert_eq!(
+                cached.final_scale,
+                uncached.final_scale,
+                "{}",
+                engine.name()
+            );
+        }
     }
 
     #[test]
@@ -186,7 +268,11 @@ mod tests {
             let mut net = resnet20(&engine, 4, 10, 7);
             let train_ds = synth_cifar10(60, 8, 3);
             let test_ds = synth_cifar10(40, 8, 4);
-            let cfg = TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                ..TrainConfig::default()
+            };
             train(&mut net, &train_ds, &test_ds, &cfg).test_acc
         };
         assert_eq!(run(), run());

@@ -11,7 +11,9 @@ use srmac_tensor::{GemmEngine, Sequential};
 use crate::blocks::conv;
 
 /// The standard VGG16 channel plan; `0` marks a 2x2 max-pool.
-const PLAN: [usize; 18] = [64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0];
+const PLAN: [usize; 18] = [
+    64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
+];
 
 /// Builds VGG16-BN for `size x size` inputs (`size` must be divisible by
 /// 32); all channels are divided by `width_div`.
@@ -28,8 +30,14 @@ pub fn vgg16(
     size: usize,
     seed: u64,
 ) -> Sequential {
-    assert!(size % 32 == 0, "VGG16 needs input size divisible by 32");
-    assert!(width_div >= 1 && 64 % width_div == 0, "width_div must divide 64");
+    assert!(
+        size.is_multiple_of(32),
+        "VGG16 needs input size divisible by 32"
+    );
+    assert!(
+        width_div >= 1 && 64 % width_div == 0,
+        "width_div must divide 64"
+    );
     let mut rng = SplitMix64::new(seed);
     let mut net = Sequential::new();
     let mut in_c = 3usize;
@@ -47,7 +55,12 @@ pub fn vgg16(
     // After 5 pools a 32x32 input is 1x1; larger inputs keep (size/32)^2.
     let feat = in_c * (size / 32) * (size / 32);
     net.push(Flatten::new());
-    net.push(Linear::new(feat, classes, uniform_fan_in(&[classes, feat], feat, &mut rng), engine.clone()));
+    net.push(Linear::new(
+        feat,
+        classes,
+        uniform_fan_in(&[classes, feat], feat, &mut rng),
+        engine.clone(),
+    ));
     net
 }
 

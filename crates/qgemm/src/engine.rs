@@ -3,13 +3,39 @@
 //! the software equivalent of tiling the paper's MAC units over a matrix
 //! multiplication, and the Rust counterpart of its "PyTorch software-based
 //! bit-accurate emulation flow ... custom CUDA kernels" (Sec. IV).
+//!
+//! # Pack/plan lifecycle
+//!
+//! [`MacGemm`] implements the prepared-operand pipeline of
+//! [`GemmEngine`]: [`GemmEngine::pack_a`] quantizes a matrix to row-major
+//! FP8 codes, [`GemmEngine::pack_b`] quantizes *and* materializes the
+//! column-major transpose (so every dot product reads both operands
+//! contiguously), and [`GemmEngine::gemm_packed`] runs only the
+//! accumulation loops. The one-shot [`GemmEngine::gemm`] is the trait's
+//! default composition of the three. Packing depends only on the operand
+//! values and the multiplier format — never on the accumulator format,
+//! rounding mode, seed or thread count — so a packed weight can be reused
+//! across forward, backward and evaluation products, and even across
+//! engines that share a multiplier format.
+//!
+//! # Determinism contract
+//!
+//! Every output element draws its stochastic-rounding words from a
+//! `SplitMix64` stream seeded by `(engine seed, row, column)`; the stream
+//! advances once per non-zero product in `k` order. Results are therefore
+//! a pure function of `(values, config.seed)` — independent of packing,
+//! chunking, the worker-pool size and call order.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 
 use srmac_fp::FpFormat;
 use srmac_rng::SplitMix64;
-use srmac_tensor::GemmEngine;
+use srmac_tensor::{GemmEngine, PackSide, PackedOperand};
 
 use crate::fastmath::{AccumRounding, FastAdder, FastQuantizer};
 use crate::lut::ProductLut;
+use crate::pool::WorkerPool;
 
 /// Configuration of a [`MacGemm`] engine.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +93,246 @@ impl MacGemmConfig {
     }
 }
 
+/// The shareable inner accumulation kernel: everything a worker needs to
+/// compute output rows from packed codes. Lives behind an `Arc` so pool
+/// jobs (which must be `'static`) can hold it without copying tables.
+#[derive(Debug)]
+struct MacKernel {
+    lut: ProductLut,
+    adder: FastAdder,
+    decode: Vec<f32>,
+    /// Accumulator-format magnitude mask (all bits except the sign).
+    acc_mag_mask: u64,
+    rounding: AccumRounding,
+    seed: u64,
+}
+
+impl MacKernel {
+    /// The zero-product skip rule shared by every accumulation loop — the
+    /// load-bearing invariant that makes CSR compaction bit-exact: adding
+    /// `(+/-)0` never changes a (non-negative-zero) accumulator and never
+    /// consumes a rounding word.
+    #[inline]
+    fn is_zero_prod(&self, p: u16) -> bool {
+        u64::from(p) & self.acc_mag_mask == 0
+    }
+
+    /// One full dot product in MAC semantics.
+    fn dot(&self, a: &[u8], b_colmajor: &[u8], rng: &mut SplitMix64) -> u16 {
+        let mut acc: u64 = 0;
+        match self.rounding {
+            AccumRounding::Nearest => {
+                for (&ca, &cb) in a.iter().zip(b_colmajor) {
+                    let p = self.lut.product(ca, cb);
+                    if !self.is_zero_prod(p) {
+                        acc = self.adder.add(acc, u64::from(p), 0);
+                    }
+                }
+            }
+            AccumRounding::Stochastic { .. } => {
+                for (&ca, &cb) in a.iter().zip(b_colmajor) {
+                    let p = self.lut.product(ca, cb);
+                    if !self.is_zero_prod(p) {
+                        acc = self.adder.add(acc, u64::from(p), rng.next_u64());
+                    }
+                }
+            }
+        }
+        acc as u16
+    }
+
+    /// One dot product over a compacted (zero-free) A row: `ids`/`cods`
+    /// hold the k-indices and codes of the row's non-zero-magnitude
+    /// entries, in ascending k order. Bit-identical to [`MacKernel::dot`]
+    /// whenever B holds no NaN codes: products against a zero-magnitude A
+    /// code are exactly `+/-0` then, so the dense loop would skip them
+    /// without drawing a rounding word — exactly what skipping the entry
+    /// outright does.
+    fn dot_compact(&self, ids: &[u32], cods: &[u8], bcol: &[u8], rng: &mut SplitMix64) -> u16 {
+        let mut acc: u64 = 0;
+        match self.rounding {
+            AccumRounding::Nearest => {
+                for (&ci, &ca) in ids.iter().zip(cods) {
+                    let p = self.lut.product(ca, bcol[ci as usize]);
+                    if !self.is_zero_prod(p) {
+                        acc = self.adder.add(acc, u64::from(p), 0);
+                    }
+                }
+            }
+            AccumRounding::Stochastic { .. } => {
+                for (&ci, &ca) in ids.iter().zip(cods) {
+                    let p = self.lut.product(ca, bcol[ci as usize]);
+                    if !self.is_zero_prod(p) {
+                        acc = self.adder.add(acc, u64::from(p), rng.next_u64());
+                    }
+                }
+            }
+        }
+        acc as u16
+    }
+
+    /// Computes output rows `row0 .. row0 + rows` into `block` (rows x n).
+    fn compute_rows(
+        &self,
+        acode: &[u8],
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        row0: usize,
+        block: &mut [f32],
+    ) {
+        for (ri, out_row) in block.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let arow = &acode[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                let acc = self.dot(arow, &bcode_t[j * k..(j + 1) * k], &mut rng);
+                *o = self.decode[acc as usize];
+            }
+        }
+    }
+
+    /// Four independent compacted dot products interleaved (columns
+    /// `j .. j + 4` of the same output row). The accumulation chains are
+    /// serially dependent within themselves but independent of each other,
+    /// so interleaving hides adder latency without touching any element's
+    /// operation order — results stay bit-identical to running
+    /// [`MacKernel::dot_compact`] four times.
+    fn dot4_compact(
+        &self,
+        ids: &[u32],
+        cods: &[u8],
+        bcols: [&[u8]; 4],
+        rngs: &mut [SplitMix64; 4],
+    ) -> [u16; 4] {
+        let mut acc = [0u64; 4];
+        let sr = !matches!(self.rounding, AccumRounding::Nearest);
+        for (&ci, &ca) in ids.iter().zip(cods) {
+            let p = [
+                self.lut.product(ca, bcols[0][ci as usize]),
+                self.lut.product(ca, bcols[1][ci as usize]),
+                self.lut.product(ca, bcols[2][ci as usize]),
+                self.lut.product(ca, bcols[3][ci as usize]),
+            ];
+            for lane in 0..4 {
+                if !self.is_zero_prod(p[lane]) {
+                    let word = if sr { rngs[lane].next_u64() } else { 0 };
+                    acc[lane] = self.adder.add(acc[lane], u64::from(p[lane]), word);
+                }
+            }
+        }
+        [acc[0] as u16, acc[1] as u16, acc[2] as u16, acc[3] as u16]
+    }
+
+    /// Compacted-A variant of [`MacKernel::compute_rows`] (requires a
+    /// NaN-free B operand; see [`MacKernel::dot_compact`]). Columns are
+    /// processed in latency-hiding groups of four.
+    fn compute_rows_compact(
+        &self,
+        compact: &CompactA,
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        row0: usize,
+        block: &mut [f32],
+    ) {
+        for (ri, out_row) in block.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let (s, e) = (compact.row_ptr[i] as usize, compact.row_ptr[i + 1] as usize);
+            let ids = &compact.idx[s..e];
+            let cods = &compact.code[s..e];
+            let mut j = 0usize;
+            while j + 3 < n {
+                let mut rngs = [
+                    SplitMix64::new(mix_seed(self.seed, i, j)),
+                    SplitMix64::new(mix_seed(self.seed, i, j + 1)),
+                    SplitMix64::new(mix_seed(self.seed, i, j + 2)),
+                    SplitMix64::new(mix_seed(self.seed, i, j + 3)),
+                ];
+                let accs = self.dot4_compact(
+                    ids,
+                    cods,
+                    [
+                        &bcode_t[j * k..(j + 1) * k],
+                        &bcode_t[(j + 1) * k..(j + 2) * k],
+                        &bcode_t[(j + 2) * k..(j + 3) * k],
+                        &bcode_t[(j + 3) * k..(j + 4) * k],
+                    ],
+                    &mut rngs,
+                );
+                for (lane, &a) in accs.iter().enumerate() {
+                    out_row[j + lane] = self.decode[a as usize];
+                }
+                j += 4;
+            }
+            while j < n {
+                let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                let acc = self.dot_compact(ids, cods, &bcode_t[j * k..(j + 1) * k], &mut rng);
+                out_row[j] = self.decode[acc as usize];
+                j += 1;
+            }
+        }
+    }
+}
+
+/// CSR-style compaction of a row-major code matrix: per row, the k-indices
+/// and codes of the non-zero-magnitude entries. Post-ReLU activations and
+/// im2row padding make left operands substantially sparse in practice, and
+/// skipping zero entries is exact (their products are `+/-0`, which the
+/// accumulation loop ignores without consuming randomness).
+#[derive(Debug)]
+struct CompactA {
+    row_ptr: Vec<u32>,
+    idx: Vec<u32>,
+    code: Vec<u8>,
+}
+
+/// [`PackedOperand`] payload for the A side: dense row-major codes (for
+/// the NaN-fallback path) plus the zero-skipping compaction.
+#[derive(Debug)]
+struct MacPackedA {
+    codes: Arc<Vec<u8>>,
+    compact: Arc<CompactA>,
+    fingerprint: u64,
+}
+
+/// [`PackedOperand`] payload for the B side: column-major codes and
+/// whether any of them is a NaN (which forces the dense A path to keep
+/// `0 * NaN = NaN` propagation bit-exact).
+#[derive(Debug)]
+struct MacPackedB {
+    codes_t: Arc<Vec<u8>>,
+    has_nan: bool,
+    fingerprint: u64,
+}
+
+/// The A-side execution plan of one product: compacted when B is NaN-free
+/// (the fast path), dense otherwise.
+#[derive(Clone, Debug)]
+enum AWork {
+    Dense(Arc<Vec<u8>>),
+    Compact(Arc<CompactA>),
+}
+
+impl AWork {
+    fn compute_rows(
+        &self,
+        kernel: &MacKernel,
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        row0: usize,
+        block: &mut [f32],
+    ) {
+        match self {
+            AWork::Dense(codes) => kernel.compute_rows(codes, bcode_t, k, n, row0, block),
+            AWork::Compact(compact) => {
+                kernel.compute_rows_compact(compact, bcode_t, k, n, row0, block);
+            }
+        }
+    }
+}
+
 /// A [`GemmEngine`] where every scalar operation is a bit-exact MAC-unit
 /// step: operands quantize to FP8 (RN, saturating), products are exact, and
 /// the accumulator is a low-precision float updated with RN or SR — in the
@@ -76,18 +342,21 @@ impl MacGemmConfig {
 /// output element, making results independent of the thread partition.
 /// (Hardware uses the Galois LFSR of `srmac-rng`; both are uniform sources,
 /// and the LFSR-driven `MacUnit` is verified separately.)
+///
+/// Worker threads are spawned once at construction and reused by every
+/// call (see [`WorkerPool`]); dropping the engine joins them.
 #[derive(Debug)]
 pub struct MacGemm {
     config: MacGemmConfig,
-    lut: ProductLut,
     quant: FastQuantizer,
-    adder: FastAdder,
-    decode: Vec<f32>,
     zero_code: u8,
+    kernel: Arc<MacKernel>,
+    pool: Option<WorkerPool>,
 }
 
 impl MacGemm {
-    /// Builds the engine (precomputes product and decode tables).
+    /// Builds the engine (precomputes product and decode tables, spawns the
+    /// worker pool when `config.threads > 1`).
     ///
     /// # Panics
     ///
@@ -102,7 +371,23 @@ impl MacGemm {
             .map(|bits| config.acc_fmt.decode_f64(bits) as f32)
             .collect();
         let zero_code = config.mul_fmt.zero_bits(false) as u8;
-        Self { config, lut, quant, adder, decode, zero_code }
+        let kernel = Arc::new(MacKernel {
+            lut,
+            adder,
+            decode,
+            acc_mag_mask: !(1 << (config.acc_fmt.bits() - 1))
+                & srmac_fp::mask(config.acc_fmt.bits()),
+            rounding: config.rounding,
+            seed: config.seed,
+        });
+        let pool = (config.threads > 1).then(|| WorkerPool::new(config.threads));
+        Self {
+            config,
+            quant,
+            zero_code,
+            kernel,
+            pool,
+        }
     }
 
     /// The engine configuration.
@@ -121,31 +406,145 @@ impl MacGemm {
     /// stagnation study): returns the final accumulator encoding.
     #[must_use]
     pub fn dot_codes(&self, a: &[u8], b_colmajor: &[u8], rng: &mut SplitMix64) -> u16 {
-        let mut acc: u64 = 0;
-        let is_zero_prod = |p: u16| -> bool {
-            // Adding (+/-)0 never changes a (non-negative-zero) accumulator.
-            u64::from(p) & !(1 << (self.config.acc_fmt.bits() - 1))
-                == 0
+        self.kernel.dot(a, b_colmajor, rng)
+    }
+
+    /// The multiplier-format fingerprint packed operands carry: engines
+    /// sharing it produce (and accept) identical codes.
+    fn fingerprint(&self) -> u64 {
+        let f = self.config.mul_fmt;
+        (u64::from(f.exp_bits()) << 9) | (u64::from(f.man_bits()) << 1) | u64::from(f.subnormals())
+    }
+
+    fn unpack_a<'p>(&self, p: &'p PackedOperand, rows: usize, cols: usize) -> &'p MacPackedA {
+        assert_eq!(p.side(), PackSide::A, "operand packed for the wrong side");
+        assert_eq!(
+            (p.rows(), p.cols()),
+            (rows, cols),
+            "packed operand shape mismatch"
+        );
+        let payload = p
+            .payload::<MacPackedA>()
+            .expect("operand was not packed by a MacGemm engine");
+        assert_eq!(
+            payload.fingerprint,
+            self.fingerprint(),
+            "operand was packed for a different multiplier format"
+        );
+        payload
+    }
+
+    fn unpack_b<'p>(&self, p: &'p PackedOperand, rows: usize, cols: usize) -> &'p MacPackedB {
+        assert_eq!(p.side(), PackSide::B, "operand packed for the wrong side");
+        assert_eq!(
+            (p.rows(), p.cols()),
+            (rows, cols),
+            "packed operand shape mismatch"
+        );
+        let payload = p
+            .payload::<MacPackedB>()
+            .expect("operand was not packed by a MacGemm engine");
+        assert_eq!(
+            payload.fingerprint,
+            self.fingerprint(),
+            "operand was packed for a different multiplier format"
+        );
+        payload
+    }
+
+    /// Decides the effective worker count for one call (small products run
+    /// inline: the work is cheaper than a pool round-trip).
+    fn effective_threads(&self, m: usize, k: usize, n: usize) -> usize {
+        if m * n * k < 32 * 1024 {
+            1
+        } else {
+            self.pool.as_ref().map_or(1, WorkerPool::threads)
+        }
+    }
+
+    fn gemm_codes(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        awork: &AWork,
+        bcode_t: &Arc<Vec<u8>>,
+        out: &mut [f32],
+    ) {
+        let threads = self.effective_threads(m, k, n);
+        let chunk = m.div_ceil(threads).max(1);
+        if threads == 1 || chunk >= m {
+            awork.compute_rows(&self.kernel, bcode_t, k, n, 0, out);
+            return;
+        }
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let (tx, rx) = channel::<(usize, Vec<f32>)>();
+        let jobs = m.div_ceil(chunk);
+        for ci in 0..jobs {
+            let kernel = Arc::clone(&self.kernel);
+            let awork = awork.clone();
+            let bcode_t = Arc::clone(bcode_t);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                let row0 = ci * chunk;
+                let rows = chunk.min(m - row0);
+                let mut block = vec![0.0f32; rows * n];
+                awork.compute_rows(&kernel, &bcode_t, k, n, row0, &mut block);
+                let _ = tx.send((ci, block));
+            }));
+        }
+        drop(tx);
+        let mut completed = 0usize;
+        for (ci, block) in rx.iter().take(jobs) {
+            out[ci * chunk * n..ci * chunk * n + block.len()].copy_from_slice(&block);
+            completed += 1;
+        }
+        // A job that panics drops its sender without sending; silently
+        // returning a partial result would corrupt training numerics.
+        assert_eq!(completed, jobs, "a GEMM worker job died before completing");
+    }
+
+    /// One-shot GEMM through per-call `std::thread::scope` spawning — the
+    /// pre-pool reference path, kept for the pooled-vs-scoped benchmark and
+    /// as an equivalence oracle in tests. Results are bitwise identical to
+    /// [`GemmEngine::gemm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with `m * k`, `k * n`, `m * n`.
+    pub fn gemm_scoped(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "A must be m x k");
+        assert_eq!(b.len(), k * n, "B must be k x n");
+        assert_eq!(out.len(), m * n, "out must be m x n");
+        let acode = self.quantize_codes(a);
+        let bcode_t = self.transpose_codes(&self.quantize_codes(b), k, n);
+        let threads = if m * n * k < 32 * 1024 {
+            1
+        } else {
+            self.config.threads.max(1)
         };
-        match self.config.rounding {
-            AccumRounding::Nearest => {
-                for (&ca, &cb) in a.iter().zip(b_colmajor) {
-                    let p = self.lut.product(ca, cb);
-                    if !is_zero_prod(p) {
-                        acc = self.adder.add(acc, u64::from(p), 0);
-                    }
-                }
+        let chunk = m.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                let acode = &acode;
+                let bcode_t = &bcode_t;
+                let kernel = &self.kernel;
+                scope.spawn(move || {
+                    kernel.compute_rows(acode, bcode_t, k, n, ci * chunk, out_chunk);
+                });
             }
-            AccumRounding::Stochastic { .. } => {
-                for (&ca, &cb) in a.iter().zip(b_colmajor) {
-                    let p = self.lut.product(ca, cb);
-                    if !is_zero_prod(p) {
-                        acc = self.adder.add(acc, u64::from(p), rng.next_u64());
-                    }
-                }
+        });
+    }
+
+    /// Transposes row-major `rows x cols` codes into column-major order.
+    fn transpose_codes(&self, codes: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+        let mut t = vec![self.zero_code; rows * cols];
+        for l in 0..rows {
+            for j in 0..cols {
+                t[j * rows + l] = codes[l * cols + j];
             }
         }
-        acc as u16
+        t
     }
 }
 
@@ -157,44 +556,68 @@ fn mix_seed(seed: u64, i: usize, j: usize) -> u64 {
 }
 
 impl GemmEngine for MacGemm {
-    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-        assert_eq!(a.len(), m * k, "A must be m x k");
-        assert_eq!(b.len(), k * n, "B must be k x n");
-        assert_eq!(out.len(), m * n, "out must be m x n");
-
-        let acode = self.quantize_codes(a);
-        // B transposed to column-major so each dot product is contiguous.
-        let bcode_t = {
-            let bc = self.quantize_codes(b);
-            let mut t = vec![self.zero_code; n * k];
-            for l in 0..k {
-                for j in 0..n {
-                    t[j * k + l] = bc[l * n + j];
+    fn pack_a(&self, rows: usize, cols: usize, a: &[f32]) -> PackedOperand {
+        assert_eq!(a.len(), rows * cols, "A must be rows x cols");
+        // Quantize and CSR-compact the non-zero-magnitude entries in one
+        // pass (packing left operands is per-call work on the hot path).
+        let mag_mask = srmac_fp::mask(self.config.mul_fmt.bits() - 1) as u8;
+        let mut codes = Vec::with_capacity(rows * cols);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        let mut idx = Vec::new();
+        let mut code = Vec::new();
+        for row in a.chunks(cols.max(1)) {
+            for (c, &x) in row.iter().enumerate() {
+                let cd = self.quant.quantize(x) as u8;
+                codes.push(cd);
+                if cd & mag_mask != 0 {
+                    idx.push(c as u32);
+                    code.push(cd);
                 }
             }
-            t
+            row_ptr.push(u32::try_from(idx.len()).expect("operand too large to compact"));
+        }
+        let payload = MacPackedA {
+            codes: Arc::new(codes),
+            compact: Arc::new(CompactA { row_ptr, idx, code }),
+            fingerprint: self.fingerprint(),
         };
+        PackedOperand::new(PackSide::A, rows, cols, Box::new(payload))
+    }
 
-        let threads = if m * n * k < 32 * 1024 { 1 } else { self.config.threads.max(1) };
-        let chunk = m.div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            for (ci, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
-                let acode = &acode;
-                let bcode_t = &bcode_t;
-                scope.spawn(move || {
-                    let row0 = ci * chunk;
-                    for (ri, out_row) in out_chunk.chunks_mut(n).enumerate() {
-                        let i = row0 + ri;
-                        let arow = &acode[i * k..(i + 1) * k];
-                        for (j, o) in out_row.iter_mut().enumerate() {
-                            let mut rng = SplitMix64::new(mix_seed(self.config.seed, i, j));
-                            let acc = self.dot_codes(arow, &bcode_t[j * k..(j + 1) * k], &mut rng);
-                            *o = self.decode[acc as usize];
-                        }
-                    }
-                });
-            }
-        });
+    fn pack_b(&self, rows: usize, cols: usize, b: &[f32]) -> PackedOperand {
+        assert_eq!(b.len(), rows * cols, "B must be rows x cols");
+        let codes = self.quantize_codes(b);
+        let fmt = self.config.mul_fmt;
+        let has_nan = codes.iter().any(|&c| fmt.is_nan(u64::from(c)));
+        let codes_t = self.transpose_codes(&codes, rows, cols);
+        let payload = MacPackedB {
+            codes_t: Arc::new(codes_t),
+            has_nan,
+            fingerprint: self.fingerprint(),
+        };
+        PackedOperand::new(PackSide::B, rows, cols, Box::new(payload))
+    }
+
+    fn gemm_packed(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), m * n, "out must be m x n");
+        let a = self.unpack_a(a, m, k);
+        let b = self.unpack_b(b, k, n);
+        let awork = if b.has_nan {
+            AWork::Dense(Arc::clone(&a.codes))
+        } else {
+            AWork::Compact(Arc::clone(&a.compact))
+        };
+        let bcode_t = Arc::clone(&b.codes_t);
+        self.gemm_codes(m, k, n, &awork, &bcode_t, out);
     }
 
     fn name(&self) -> String {
@@ -212,7 +635,11 @@ impl GemmEngine for MacGemm {
             c.acc_fmt.exp_bits(),
             c.acc_fmt.man_bits(),
             rnd,
-            if c.acc_fmt.subnormals() { "W/ Sub" } else { "W/O Sub" },
+            if c.acc_fmt.subnormals() {
+                "W/ Sub"
+            } else {
+                "W/O Sub"
+            },
         )
     }
 }
@@ -225,7 +652,9 @@ mod tests {
 
     fn rand_vec(n: usize, seed: u64, scale: f32) -> Vec<f32> {
         let mut rng = SplitMix64::new(seed);
-        (0..n).map(|_| (rng.next_f64() as f32 - 0.5) * scale).collect()
+        (0..n)
+            .map(|_| (rng.next_f64() as f32 - 0.5) * scale)
+            .collect()
     }
 
     #[test]
@@ -250,11 +679,7 @@ mod tests {
                     let qb = fp8.quantize_f32(b[l * n + j], srmac_fp::RoundMode::NearestEven);
                     mac.mac(qa.bits, qb.bits);
                 }
-                assert_eq!(
-                    out[i * n + j],
-                    mac.acc_f64() as f32,
-                    "element ({i},{j})"
-                );
+                assert_eq!(out[i * n + j], mac.acc_f64() as f32, "element ({i},{j})");
             }
         }
     }
@@ -275,6 +700,118 @@ mod tests {
         }
         assert_eq!(outs[0], outs[1], "1 vs 2 threads");
         assert_eq!(outs[0], outs[2], "1 vs 4 threads");
+    }
+
+    #[test]
+    fn packed_gemm_is_bitwise_identical_and_reusable() {
+        // Same values through the one-shot, packed (reused twice), and
+        // scoped-reference paths must agree bit for bit, under both RN and
+        // SR, with and without the worker pool.
+        let (m, k, n) = (23, 65, 11);
+        let a = rand_vec(m * k, 31, 2.0);
+        let b = rand_vec(k * n, 32, 2.0);
+        for rounding in [AccumRounding::Nearest, AccumRounding::Stochastic { r: 13 }] {
+            for threads in [1usize, 4] {
+                let cfg = MacGemmConfig::fp8_fp12(rounding, false).with_threads(threads);
+                let engine = MacGemm::new(cfg);
+                let mut one_shot = vec![0.0f32; m * n];
+                engine.gemm(m, k, n, &a, &b, &mut one_shot);
+
+                let mut scoped = vec![0.0f32; m * n];
+                engine.gemm_scoped(m, k, n, &a, &b, &mut scoped);
+                assert_eq!(one_shot, scoped, "{rounding:?} t={threads}: scoped");
+
+                let pa = engine.pack_a(m, k, &a);
+                let pb = engine.pack_b(k, n, &b);
+                for trial in 0..2 {
+                    let mut packed = vec![0.0f32; m * n];
+                    engine.gemm_packed(m, k, n, &pa, &pb, &mut packed);
+                    assert_eq!(
+                        one_shot, packed,
+                        "{rounding:?} t={threads} reuse {trial}: packed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_operands_transfer_between_same_format_engines() {
+        // Packing depends only on the multiplier format: codes packed by an
+        // RN engine feed an SR engine with the same mul_fmt.
+        let (m, k, n) = (4, 40, 3);
+        let a = rand_vec(m * k, 41, 1.0);
+        let b = rand_vec(k * n, 42, 1.0);
+        let packer = MacGemm::new(MacGemmConfig::fp8_fp12(AccumRounding::Nearest, false));
+        let runner = MacGemm::new(MacGemmConfig::fp8_fp12(
+            AccumRounding::Stochastic { r: 13 },
+            false,
+        ));
+        let pa = packer.pack_a(m, k, &a);
+        let pb = packer.pack_b(k, n, &b);
+        let mut via_transfer = vec![0.0f32; m * n];
+        runner.gemm_packed(m, k, n, &pa, &pb, &mut via_transfer);
+        let mut direct = vec![0.0f32; m * n];
+        runner.gemm(m, k, n, &a, &b, &mut direct);
+        assert_eq!(via_transfer, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "different multiplier format")]
+    fn packed_operand_format_mismatch_panics() {
+        let with_sub = MacGemm::new(MacGemmConfig::fp8_fp12(AccumRounding::Nearest, true));
+        let without_sub = MacGemm::new(MacGemmConfig::fp8_fp12(AccumRounding::Nearest, false));
+        let pa = with_sub.pack_a(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let pb = with_sub.pack_b(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![0.0f32; 4];
+        without_sub.gemm_packed(2, 2, 2, &pa, &pb, &mut out);
+    }
+
+    #[test]
+    fn sparse_and_nan_inputs_match_the_dense_reference() {
+        // The compacted A path must be bitwise identical to the dense
+        // scoped reference on heavily sparse inputs (ReLU-style zeros drawn
+        // into A), and a NaN in B must force the exact dense semantics
+        // (0 * NaN = NaN reaches the accumulator).
+        let (m, k, n) = (9, 48, 6);
+        let mut rng = SplitMix64::new(91);
+        let mut a = rand_vec(m * k, 92, 2.0);
+        for v in a.iter_mut() {
+            if rng.next_f64() < 0.6 {
+                *v = 0.0;
+            }
+        }
+        for rounding in [AccumRounding::Nearest, AccumRounding::Stochastic { r: 13 }] {
+            for subnormals in [true, false] {
+                let engine = MacGemm::new(MacGemmConfig::fp8_fp12(rounding, subnormals));
+                for nan_in_b in [false, true] {
+                    let mut b = rand_vec(k * n, 93, 2.0);
+                    if nan_in_b {
+                        b[k * n / 2] = f32::NAN;
+                    }
+                    let mut reference = vec![0.0f32; m * n];
+                    engine.gemm_scoped(m, k, n, &a, &b, &mut reference);
+                    let mut packed = vec![0.0f32; m * n];
+                    let (pa, pb) = (engine.pack_a(m, k, &a), engine.pack_b(k, n, &b));
+                    engine.gemm_packed(m, k, n, &pa, &pb, &mut packed);
+                    let same = reference
+                        .iter()
+                        .zip(&packed)
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(
+                        same,
+                        "{rounding:?} sub={subnormals} nan_in_b={nan_in_b}: \
+                         {reference:?} vs {packed:?}"
+                    );
+                    if nan_in_b {
+                        assert!(
+                            packed.iter().any(|v| v.is_nan()),
+                            "a NaN code must propagate into some output"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

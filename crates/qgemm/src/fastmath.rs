@@ -110,24 +110,35 @@ impl FastAdder {
             return if a_zero { b } else { a };
         }
 
-        // ULP-anchored decode.
+        // ULP-anchored decode (branchless: `hid` is the implicit bit, zero
+        // for subnormal encodings, and the subnormal exponent select is a
+        // mask-blend — both compile to straight-line code).
         let dec = |e: u64, m: u64| -> (i32, u64) {
-            if e == 0 {
-                (self.qmin, m)
-            } else {
-                (e as i32 - self.bias - self.mbits as i32, m | (1 << self.mbits))
-            }
+            let norm = (e != 0) as u64;
+            let exp_norm = e as i32 - self.bias - self.mbits as i32;
+            let exp = (self.qmin & (norm as i32 - 1)) | (exp_norm & -(norm as i32));
+            (exp, m | (norm << self.mbits))
         };
-        let (mut expa, mut siga) = dec(ea, ma);
-        let (mut expb, mut sigb) = dec(eb, mb);
-        let (mut na, mut nb) = (sa, sb);
+        let (expa0, siga0) = dec(ea, ma);
+        let (expb0, sigb0) = dec(eb, mb);
 
         // Magnitude order via the integer-compare trick (same format).
-        if (b & self.magmask) > (a & self.magmask) {
-            std::mem::swap(&mut expa, &mut expb);
-            std::mem::swap(&mut siga, &mut sigb);
-            std::mem::swap(&mut na, &mut nb);
-        } else if (a & self.magmask) == (b & self.magmask) && na != nb {
+        // Select instead of branch: the comparison is data-dependent and
+        // mispredicts constantly in the GEMM inner loop.
+        let amag = a & self.magmask;
+        let bmag = b & self.magmask;
+        let swap = bmag > amag;
+        let (expa, siga, na) = if swap {
+            (expb0, sigb0, sb)
+        } else {
+            (expa0, siga0, sa)
+        };
+        let (expb, sigb, nb) = if swap {
+            (expa0, siga0, sa)
+        } else {
+            (expb0, sigb0, sb)
+        };
+        if amag == bmag && na != nb {
             return 0; // exact cancellation -> +0
         }
         let d = (expa - expb) as u32;
@@ -144,15 +155,13 @@ impl FastAdder {
             }
         };
 
-        let (s, ones, extra_sticky) = if na != nb {
-            if sigma {
-                (x - y - 1, true, false)
-            } else {
-                (x - y, false, false)
-            }
-        } else {
-            (x + y, false, sigma)
-        };
+        // Effective-subtraction select, again branch-free: for a
+        // subtraction the shifted-out tail (sigma) borrows one ULP and
+        // leaves a trail of ones; for an addition it is plain sticky.
+        let sub = na != nb;
+        let s = if sub { x - y - u64::from(sigma) } else { x + y };
+        let ones = sub && sigma;
+        let extra_sticky = !sub && sigma;
         if s == 0 {
             return 0;
         }
@@ -177,9 +186,9 @@ impl FastAdder {
         let mut q = if self.sub { qn.max(self.qmin) } else { qn };
         let drop = q - exp;
 
-        let (mut kept, up, inexact) = if drop <= 0 {
+        let (mut kept, up) = if drop <= 0 {
             debug_assert!(!ones, "trailing ones cannot reach the exact path here");
-            ((s << (-drop) as u32), false, extra_sticky)
+            ((s << (-drop) as u32), false)
         } else {
             let dr = drop as u32;
             debug_assert!(dr < 64);
@@ -188,8 +197,7 @@ impl FastAdder {
             let up = match self.mode {
                 AccumRounding::Nearest => {
                     let guard = (tail >> (dr - 1)) & 1 == 1;
-                    let sticky =
-                        (dr >= 2 && tail & mask(dr - 1) != 0) || ones || extra_sticky;
+                    let sticky = (dr >= 2 && tail & mask(dr - 1) != 0) || ones || extra_sticky;
                     guard && (sticky || kept & 1 == 1)
                 }
                 AccumRounding::Stochastic { r } => {
@@ -201,16 +209,16 @@ impl FastAdder {
                     t + (word & self.rmask) >= 1 << r
                 }
             };
-            (kept, up, tail != 0 || ones || extra_sticky)
+            (kept, up)
         };
-        let _ = inexact;
-        if up {
-            kept += 1;
-            if kept == 1 << p {
-                kept >>= 1;
-                q += 1;
-            }
-        }
+        // Branch-free round-up and carry renormalization: `up` is a
+        // data-dependent coin flip under SR, and the carry (`kept` hitting
+        // `1 << p` exactly) is its rare amplification — both mispredict
+        // badly as branches in the accumulation loop.
+        kept += u64::from(up);
+        let carry = (kept >> p) as u32; // 1 iff kept overflowed to 1 << p
+        kept >>= carry;
+        q += carry as i32;
         let sbit = if neg { self.signbit } else { 0 };
         if kept == 0 {
             return sbit;
@@ -307,7 +315,11 @@ impl FastQuantizer {
         }
         let e = (abs >> 23) as i32;
         let m = u64::from(abs) & 0x7F_FFFF;
-        let (sig, exp) = if e == 0 { (m, -149) } else { (m | 0x80_0000, e - 150) };
+        let (sig, exp) = if e == 0 {
+            (m, -149)
+        } else {
+            (m | 0x80_0000, e - 150)
+        };
 
         // Round-to-nearest-even at the target quantum.
         let msb = 63 - sig.leading_zeros() as i32;
@@ -382,10 +394,7 @@ mod tests {
                             let want = ops::add(fmt, a, b, gold_mode);
                             let got = fast.add(a, b, w);
                             // NaN payloads: both canonicalize.
-                            assert_eq!(
-                                got, want,
-                                "{fmt} {mode:?}: {a:#x}+{b:#x} w={w:#x}"
-                            );
+                            assert_eq!(got, want, "{fmt} {mode:?}: {a:#x}+{b:#x} w={w:#x}");
                         }
                     }
                 }
@@ -396,8 +405,11 @@ mod tests {
     #[test]
     fn fast_add_vs_golden_wider_formats_random() {
         let mut rng = SplitMix64::new(42);
-        for fmt in [FpFormat::e5m10(), FpFormat::e8m7(), FpFormat::e8m7().with_subnormals(false)]
-        {
+        for fmt in [
+            FpFormat::e5m10(),
+            FpFormat::e8m7(),
+            FpFormat::e8m7().with_subnormals(false),
+        ] {
             let r = fmt.precision() + 3;
             let fast = FastAdder::new(fmt, AccumRounding::Stochastic { r });
             for _ in 0..200_000 {
@@ -437,8 +449,21 @@ mod tests {
                 }
             };
             for x in [
-                0.0f32, -0.0, 1.0, -1.0, 0.1, -0.1, 1e9, -1e9, 1e-9, -1e-9, f32::NAN,
-                f32::INFINITY, f32::NEG_INFINITY, f32::MIN_POSITIVE, 6e-8,
+                0.0f32,
+                -0.0,
+                1.0,
+                -1.0,
+                0.1,
+                -0.1,
+                1e9,
+                -1e9,
+                1e-9,
+                -1e-9,
+                f32::NAN,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::MIN_POSITIVE,
+                6e-8,
             ] {
                 check(x);
             }

@@ -14,6 +14,42 @@
 //! under round-to-nearest the whole engine is verified element-by-element
 //! against the RTL-level `srmac_core::MacUnit`.
 //!
+//! # The pack/plan lifecycle
+//!
+//! A `MacGemm` product has two phases, exposed separately through the
+//! [`srmac_tensor::GemmEngine`] trait:
+//!
+//! 1. **Pack** (`pack_a` / `pack_b`): quantize the `f32` operand to
+//!    multiplier-format codes — and, for the B side, materialize the
+//!    column-major transpose so each dot product walks both operands
+//!    contiguously. Packing is a pure function of the operand values and
+//!    the *multiplier* format alone; the accumulator format, rounding
+//!    mode, seed and thread count play no part. A packed operand is
+//!    therefore reusable across any number of products and even across
+//!    engines that share a multiplier format (e.g. an RN and an SR engine
+//!    evaluating the same quantized weights).
+//! 2. **Plan/execute** (`gemm_packed`): run only the bit-exact
+//!    accumulation loops over the prepared codes, parallelized on the
+//!    engine's persistent worker pool. The one-shot `gemm` is the trait's
+//!    default composition — pack on the fly, then execute.
+//!
+//! The training layers in `srmac-tensor` exploit this split by caching
+//! their weights' packed forms between optimizer steps: one weight pack
+//! per step serves the forward product, the data-gradient product and any
+//! number of evaluation batches.
+//!
+//! # The RN/SR determinism contract
+//!
+//! Every output element `(i, j)` owns a counter-seeded `SplitMix64`
+//! stream derived from `(config.seed, i, j)`; the stream advances once per
+//! non-zero product, in `k` order. Consequently results are a pure
+//! function of the operand *values* and the engine configuration —
+//! independent of how operands were packed, how rows were chunked, how
+//! many pool workers ran, and of any previous calls. RN ignores the
+//! streams entirely. This is what makes experiment tables reproducible
+//! and `gemm`/`gemm_packed`/[`MacGemm::gemm_scoped`] bitwise
+//! interchangeable.
+//!
 //! # Example
 //!
 //! ```
@@ -27,9 +63,16 @@
 //!     false,
 //! ));
 //! let (a, b) = ([1.0f32, 2.0, 3.0, 4.0], [0.5f32, -1.0, 0.25, 2.0]);
+//!
+//! // One-shot and prepared-operand paths are bitwise identical.
 //! let mut out = [0.0f32; 4];
 //! engine.gemm(2, 2, 2, &a, &b, &mut out);
 //! assert_eq!(out[0], 1.0); // 1.0*0.5 + 2.0*0.25
+//!
+//! let (pa, pb) = (engine.pack_a(2, 2, &a), engine.pack_b(2, 2, &b));
+//! let mut packed = [0.0f32; 4];
+//! engine.gemm_packed(2, 2, 2, &pa, &pb, &mut packed);
+//! assert_eq!(out, packed);
 //! ```
 
 #![warn(missing_docs)]
@@ -39,7 +82,9 @@
 mod engine;
 mod fastmath;
 mod lut;
+mod pool;
 
 pub use engine::{MacGemm, MacGemmConfig};
 pub use fastmath::{AccumRounding, FastAdder, FastQuantizer};
 pub use lut::ProductLut;
+pub use pool::WorkerPool;

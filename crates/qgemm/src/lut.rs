@@ -24,15 +24,20 @@ impl ProductLut {
     /// wider than 16.
     #[must_use]
     pub fn build(fmt_in: FpFormat, fmt_out: FpFormat) -> Self {
-        assert!(fmt_in.bits() <= 8, "LUT input format must be at most 8 bits");
-        assert!(fmt_out.bits() <= 16, "LUT output format must be at most 16 bits");
+        assert!(
+            fmt_in.bits() <= 8,
+            "LUT input format must be at most 8 bits"
+        );
+        assert!(
+            fmt_out.bits() <= 16,
+            "LUT output format must be at most 16 bits"
+        );
         let n = 1usize << fmt_in.bits();
         let mut table = vec![0u16; n * n];
         if let Ok(mult) = ExactMultiplier::new(fmt_in, fmt_out) {
             for a in 0..n {
                 for b in 0..n {
-                    table[(a << fmt_in.bits()) | b] =
-                        mult.multiply(a as u64, b as u64) as u16;
+                    table[(a << fmt_in.bits()) | b] = mult.multiply(a as u64, b as u64) as u16;
                 }
             }
         } else {
@@ -44,7 +49,12 @@ impl ProductLut {
                 }
             }
         }
-        Self { fmt_in, fmt_out, width: fmt_in.bits(), table }
+        Self {
+            fmt_in,
+            fmt_out,
+            width: fmt_in.bits(),
+            table,
+        }
     }
 
     /// The multiplier input format.
@@ -96,8 +106,13 @@ mod tests {
         let lut = ProductLut::build(fin, fout);
         for a in 0..=255u16 {
             for b in 0..=255u16 {
-                let want =
-                    ops::mul(fin, fout, u64::from(a), u64::from(b), RoundMode::NearestEven);
+                let want = ops::mul(
+                    fin,
+                    fout,
+                    u64::from(a),
+                    u64::from(b),
+                    RoundMode::NearestEven,
+                );
                 assert_eq!(u64::from(lut.product(a as u8, b as u8)), want);
             }
         }

@@ -38,67 +38,67 @@ pub trait RandomBits {
 /// when the shifted-out bit is 1. Source: standard tables of primitive
 /// polynomials over GF(2) (Xilinx XAPP052 and successors).
 const TAPS: [u64; 61] = [
-    0x9,                  // 4: x^4 + x^3 + 1
-    0x12,                 // 5
-    0x21,                 // 6
-    0x41,                 // 7
-    0x8E,                 // 8
-    0x108,                // 9
-    0x204,                // 10
-    0x402,                // 11
-    0x829,                // 12
-    0x100D,               // 13
-    0x2015,               // 14
-    0x4001,               // 15
-    0x8016,               // 16
-    0x10004,              // 17
-    0x20013,              // 18
-    0x40013,              // 19
-    0x80004,              // 20
-    0x100002,             // 21
-    0x200001,             // 22
-    0x400010,             // 23
-    0x80000D,             // 24
-    0x1000004,            // 25
-    0x2000023,            // 26
-    0x4000013,            // 27
-    0x8000004,            // 28
-    0x10000002,           // 29
-    0x20000029,           // 30
-    0x40000004,           // 31
-    0x80000057,           // 32
-    0x100000029,          // 33
-    0x200000073,          // 34
-    0x400000002,          // 35
-    0x80000003B,          // 36
-    0x100000001F,         // 37
-    0x2000000031,         // 38
-    0x4000000008,         // 39
-    0x800000001C,         // 40
-    0x10000000004,        // 41
-    0x2000000001F,        // 42
-    0x4000000002C,        // 43
-    0x80000000032,        // 44
-    0x10000000000D,       // 45
-    0x200000000097,       // 46
-    0x400000000010,       // 47
-    0x80000000005B,       // 48
-    0x1000000000038,      // 49
-    0x200000000000E,      // 50
-    0x4000000000025,      // 51
-    0x8000000000004,      // 52
-    0x10000000000023,     // 53
-    0x2000000000003E,     // 54
-    0x40000000000023,     // 55
-    0x8000000000004A,     // 56
-    0x100000000000016,    // 57
-    0x200000000000031,    // 58
-    0x40000000000003D,    // 59
-    0x800000000000001,    // 60
-    0x1000000000000013,   // 61
-    0x2000000000000034,   // 62
-    0x4000000000000001,   // 63
-    0x800000000000000D,   // 64
+    0x9,                // 4: x^4 + x^3 + 1
+    0x12,               // 5
+    0x21,               // 6
+    0x41,               // 7
+    0x8E,               // 8
+    0x108,              // 9
+    0x204,              // 10
+    0x402,              // 11
+    0x829,              // 12
+    0x100D,             // 13
+    0x2015,             // 14
+    0x4001,             // 15
+    0x8016,             // 16
+    0x10004,            // 17
+    0x20013,            // 18
+    0x40013,            // 19
+    0x80004,            // 20
+    0x100002,           // 21
+    0x200001,           // 22
+    0x400010,           // 23
+    0x80000D,           // 24
+    0x1000004,          // 25
+    0x2000023,          // 26
+    0x4000013,          // 27
+    0x8000004,          // 28
+    0x10000002,         // 29
+    0x20000029,         // 30
+    0x40000004,         // 31
+    0x80000057,         // 32
+    0x100000029,        // 33
+    0x200000073,        // 34
+    0x400000002,        // 35
+    0x80000003B,        // 36
+    0x100000001F,       // 37
+    0x2000000031,       // 38
+    0x4000000008,       // 39
+    0x800000001C,       // 40
+    0x10000000004,      // 41
+    0x2000000001F,      // 42
+    0x4000000002C,      // 43
+    0x80000000032,      // 44
+    0x10000000000D,     // 45
+    0x200000000097,     // 46
+    0x400000000010,     // 47
+    0x80000000005B,     // 48
+    0x1000000000038,    // 49
+    0x200000000000E,    // 50
+    0x4000000000025,    // 51
+    0x8000000000004,    // 52
+    0x10000000000023,   // 53
+    0x2000000000003E,   // 54
+    0x40000000000023,   // 55
+    0x8000000000004A,   // 56
+    0x100000000000016,  // 57
+    0x200000000000031,  // 58
+    0x40000000000003D,  // 59
+    0x800000000000001,  // 60
+    0x1000000000000013, // 61
+    0x2000000000000034, // 62
+    0x4000000000000001, // 63
+    0x800000000000000D, // 64
 ];
 
 /// A Galois linear feedback shift register with maximal-length taps.
@@ -128,7 +128,11 @@ impl GaloisLfsr {
     #[must_use]
     pub fn new(width: u32, seed: u64) -> Self {
         assert!((4..=64).contains(&width), "LFSR width must be in 4..=64");
-        let m = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let m = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let mut state = seed & m;
         if state == 0 {
             state = 0x5A5A_5A5A_5A5A_5A5A & m;
@@ -136,7 +140,11 @@ impl GaloisLfsr {
         if state == 0 {
             state = 1;
         }
-        Self { state, width, taps: TAPS[(width - 4) as usize] }
+        Self {
+            state,
+            width,
+            taps: TAPS[(width - 4) as usize],
+        }
     }
 
     /// The register width in bits.

@@ -3,21 +3,159 @@
 //! backward passes can be swapped between exact `f32` and the bit-exact
 //! low-precision MAC emulation in `srmac-qgemm` — the paper's "software-
 //! based bit-accurate emulation flow" (Sec. IV).
+//!
+//! # Prepared operands
+//!
+//! Engines expose a two-phase *pack/plan* pipeline: [`GemmEngine::pack_a`] /
+//! [`GemmEngine::pack_b`] convert an `f32` matrix into an engine-owned
+//! [`PackedOperand`] (quantized FP8 codes and a transposed layout for the
+//! MAC engine, a plain copy for the `f32` engine), and
+//! [`GemmEngine::gemm_packed`] multiplies two prepared operands. The
+//! one-shot [`GemmEngine::gemm`] remains as a convenience that packs on the
+//! fly. Packing is a pure function of the operand values (never of the
+//! output position or thread count), so a packed operand can be reused
+//! across any number of products — the layers cache their weights' packed
+//! forms and only repack after an optimizer step.
+
+use std::any::Any;
 
 use crate::Tensor;
+
+/// Which side of the product an operand was prepared for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackSide {
+    /// Left operand (`A` in `A * B`), packed row-major.
+    A,
+    /// Right operand (`B` in `A * B`); engines may transpose or retile.
+    B,
+}
+
+/// An engine-owned, opaque prepared operand (see the module docs).
+///
+/// Created by [`GemmEngine::pack_a`] / [`GemmEngine::pack_b`]; consumed by
+/// [`GemmEngine::gemm_packed`] of the *same* engine family. Engines verify
+/// provenance at use time and panic on a mismatched operand rather than
+/// compute garbage.
+pub struct PackedOperand {
+    side: PackSide,
+    rows: usize,
+    cols: usize,
+    payload: Box<dyn Any + Send + Sync>,
+}
+
+impl std::fmt::Debug for PackedOperand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackedOperand({:?}, {}x{})",
+            self.side, self.rows, self.cols
+        )
+    }
+}
+
+impl PackedOperand {
+    /// Wraps an engine-specific payload (for [`GemmEngine`] implementors).
+    #[must_use]
+    pub fn new(
+        side: PackSide,
+        rows: usize,
+        cols: usize,
+        payload: Box<dyn Any + Send + Sync>,
+    ) -> Self {
+        Self {
+            side,
+            rows,
+            cols,
+            payload,
+        }
+    }
+
+    /// The side this operand was packed for.
+    #[must_use]
+    pub fn side(&self) -> PackSide {
+        self.side
+    }
+
+    /// Logical (unpacked) row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical (unpacked) column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Downcasts the payload to a concrete engine payload type.
+    #[must_use]
+    pub fn payload<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
 
 /// A matrix-multiplication backend: `out = A (m x k) * B (k x n)`.
 ///
 /// Implementations must be deterministic for a fixed configuration, because
-/// the experiment tables rely on reproducible runs.
+/// the experiment tables rely on reproducible runs. `gemm_packed` must be
+/// bitwise identical to `gemm` on the same values: packing never changes
+/// results, only where the preparation work happens.
 pub trait GemmEngine: Send + Sync {
-    /// Computes `out = A * B`, overwriting `out` (row-major slices).
+    /// Prepares a row-major `rows x cols` matrix as a left operand.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `a.len() != rows * cols`.
+    fn pack_a(&self, rows: usize, cols: usize, a: &[f32]) -> PackedOperand;
+
+    /// Prepares a row-major `rows x cols` matrix as a right operand.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `b.len() != rows * cols`.
+    fn pack_b(&self, rows: usize, cols: usize, b: &[f32]) -> PackedOperand;
+
+    /// Computes `out = A * B` from prepared operands, overwriting `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations must panic if the operands' sides, shapes or origin
+    /// engine disagree with `m`, `k`, `n`, or if `out.len() != m * n`.
+    fn gemm_packed(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        out: &mut [f32],
+    );
+
+    /// Computes `out = A * B`, overwriting `out` (row-major slices); packs
+    /// both operands on the fly.
     ///
     /// # Panics
     ///
     /// Implementations may panic if slice lengths disagree with
     /// `m * k`, `k * n`, `m * n`.
-    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "A must be m x k");
+        assert_eq!(b.len(), k * n, "B must be k x n");
+        assert_eq!(out.len(), m * n, "out must be m x n");
+        let pa = self.pack_a(m, k, a);
+        let pb = self.pack_b(k, n, b);
+        self.gemm_packed(m, k, n, &pa, &pb, out);
+    }
+
+    /// True when this engine's packing does real preparation work worth
+    /// caching (quantization, retiling). Engines whose `pack_*` is a plain
+    /// copy return `false`, so callers (e.g. the layers' weight-pack
+    /// caches) keep the zero-copy one-shot path instead of paying a
+    /// per-call operand copy for nothing.
+    fn benefits_from_packing(&self) -> bool {
+        true
+    }
 
     /// Short human-readable description (used in experiment tables).
     fn name(&self) -> String;
@@ -43,20 +181,38 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// The [`PackedOperand`] payload of [`F32Engine`]: a plain `f32` copy.
+#[derive(Debug)]
+struct F32Packed(Vec<f32>);
+
 impl F32Engine {
     /// Creates the engine with an explicit thread count (min 1).
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self {
+            threads: threads.max(1),
+        }
     }
-}
 
-impl GemmEngine for F32Engine {
-    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-        assert_eq!(a.len(), m * k, "A must be m x k");
-        assert_eq!(b.len(), k * n, "B must be k x n");
-        assert_eq!(out.len(), m * n, "out must be m x n");
-        let threads = if m * n * k < 64 * 1024 { 1 } else { self.threads };
+    fn unpack(p: &PackedOperand, side: PackSide, rows: usize, cols: usize) -> &[f32] {
+        assert_eq!(p.side(), side, "operand packed for the wrong side");
+        assert_eq!(
+            (p.rows(), p.cols()),
+            (rows, cols),
+            "packed operand shape mismatch"
+        );
+        let payload = p
+            .payload::<F32Packed>()
+            .expect("operand was not packed by an F32Engine");
+        &payload.0
+    }
+
+    fn gemm_slices(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let threads = if m * n * k < 64 * 1024 {
+            1
+        } else {
+            self.threads
+        };
         let chunk = m.div_ceil(threads.max(1)).max(1);
         std::thread::scope(|scope| {
             for (ci, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
@@ -78,6 +234,48 @@ impl GemmEngine for F32Engine {
                 });
             }
         });
+    }
+}
+
+impl GemmEngine for F32Engine {
+    fn pack_a(&self, rows: usize, cols: usize, a: &[f32]) -> PackedOperand {
+        assert_eq!(a.len(), rows * cols, "A must be rows x cols");
+        PackedOperand::new(PackSide::A, rows, cols, Box::new(F32Packed(a.to_vec())))
+    }
+
+    fn pack_b(&self, rows: usize, cols: usize, b: &[f32]) -> PackedOperand {
+        assert_eq!(b.len(), rows * cols, "B must be rows x cols");
+        PackedOperand::new(PackSide::B, rows, cols, Box::new(F32Packed(b.to_vec())))
+    }
+
+    fn gemm_packed(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &PackedOperand,
+        b: &PackedOperand,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), m * n, "out must be m x n");
+        let a = Self::unpack(a, PackSide::A, m, k);
+        let b = Self::unpack(b, PackSide::B, k, n);
+        self.gemm_slices(m, k, n, a, b, out);
+    }
+
+    // Override the default: the f32 engine needs no preparation, so the
+    // one-shot path skips the copies packing would make.
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "A must be m x k");
+        assert_eq!(b.len(), k * n, "B must be k x n");
+        assert_eq!(out.len(), m * n, "out must be m x n");
+        self.gemm_slices(m, k, n, a, b, out);
+    }
+
+    // Packing an f32 operand is a plain copy: reusing one saves nothing,
+    // so the layers should not route their products through it.
+    fn benefits_from_packing(&self) -> bool {
+        false
     }
 
     fn name(&self) -> String {
@@ -155,6 +353,37 @@ mod tests {
         let mut out = vec![0.0f32; m * n];
         F32Engine::new(4).gemm(m, k, n, &a, &b, &mut out);
         assert_eq!(out, naive_gemm(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn f32_packed_is_bitwise_identical_to_one_shot() {
+        let (m, k, n) = (33, 17, 21);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+        let engine = F32Engine::new(3);
+        let mut one_shot = vec![0.0f32; m * n];
+        engine.gemm(m, k, n, &a, &b, &mut one_shot);
+
+        let pa = engine.pack_a(m, k, &a);
+        let pb = engine.pack_b(k, n, &b);
+        let mut packed = vec![0.0f32; m * n];
+        engine.gemm_packed(m, k, n, &pa, &pb, &mut packed);
+        assert_eq!(one_shot, packed);
+
+        // Reuse: a second product from the same packed operands.
+        let mut reused = vec![0.0f32; m * n];
+        engine.gemm_packed(m, k, n, &pa, &pb, &mut reused);
+        assert_eq!(one_shot, reused);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong side")]
+    fn f32_packed_side_mismatch_panics() {
+        let engine = F32Engine::new(1);
+        let pa = engine.pack_a(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let pa2 = engine.pack_a(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![0.0f32; 4];
+        engine.gemm_packed(2, 2, 2, &pa, &pa2, &mut out);
     }
 
     #[test]

@@ -36,8 +36,12 @@ mod tests {
         let t = kaiming_normal(&[64, 144], 144, &mut rng);
         let n = t.numel() as f64;
         let mean: f64 = t.data().iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-        let var: f64 =
-            t.data().iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / n;
         let expect = 2.0 / 144.0;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - expect).abs() / expect < 0.1, "var {var} vs {expect}");

@@ -32,7 +32,11 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(grad.numel(), self.mask.len(), "backward before forward(train=true)");
+        assert_eq!(
+            grad.numel(),
+            self.mask.len(),
+            "backward before forward(train=true)"
+        );
         let mut dx = grad.clone();
         for (g, &m) in dx.data_mut().iter_mut().zip(&self.mask) {
             if !m {
@@ -104,7 +108,11 @@ impl Layer for MaxPool2 {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(grad.numel(), self.argmax.len(), "backward before forward(train=true)");
+        assert_eq!(
+            grad.numel(),
+            self.argmax.len(),
+            "backward before forward(train=true)"
+        );
         let mut dx = Tensor::zeros(&self.in_shape);
         let dxd = dx.data_mut();
         for (g, &i) in grad.data().iter().zip(&self.argmax) {
@@ -225,7 +233,10 @@ mod tests {
     fn maxpool_selects_and_routes() {
         let mut l = MaxPool2::new();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let y = l.forward(&x, true);

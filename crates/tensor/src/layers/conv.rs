@@ -6,12 +6,17 @@
 
 use std::sync::Arc;
 
-use crate::engine::{transpose, GemmEngine};
+use crate::engine::{transpose, GemmEngine, PackedOperand};
 use crate::layers::{Layer, Param};
 use crate::Tensor;
 
 /// A 2-D convolution (square kernel, no bias — a norm layer follows in all
 /// the paper's models).
+///
+/// The forward (`rows · W^T`) and data-gradient (`dY · W`) products run on
+/// cached [`PackedOperand`]s keyed on the weight's version: the engine
+/// quantizes/retiles the kernel once per optimizer step, and evaluation
+/// batches reuse the packed form outright.
 pub struct Conv2d {
     in_c: usize,
     out_c: usize,
@@ -21,6 +26,11 @@ pub struct Conv2d {
     weight: Param, // [out_c, in_c * k * k]
     engine: Arc<dyn GemmEngine>,
     cache: Option<Cache>,
+    pack_weights: bool,
+    /// `pack_b` of `W^T` (`[K, out_c]`) at a weight version.
+    fwd_pack: Option<(u64, PackedOperand)>,
+    /// `pack_b` of `W` (`[out_c, K]`) at a weight version.
+    bwd_pack: Option<(u64, PackedOperand)>,
 }
 
 struct Cache {
@@ -57,7 +67,53 @@ impl Conv2d {
             &[out_c, in_c * k * k],
             "conv weight must be [out_c, in_c*k*k]"
         );
-        Self { in_c, out_c, k, stride, pad, weight: Param::new(weight, true), engine, cache: None }
+        Self {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight: Param::new(weight, true),
+            engine,
+            cache: None,
+            pack_weights: true,
+            fwd_pack: None,
+            bwd_pack: None,
+        }
+    }
+
+    /// Enables/disables weight-pack caching (on by default). The disabled
+    /// path packs on the fly every product; results are bitwise identical.
+    #[must_use]
+    pub fn with_weight_pack_caching(mut self, on: bool) -> Self {
+        self.pack_weights = on;
+        self
+    }
+
+    /// Whether to route products through cached packed weights: requires
+    /// caching to be on *and* an engine whose packing is real work.
+    fn use_packed(&self) -> bool {
+        self.pack_weights && self.engine.benefits_from_packing()
+    }
+
+    fn ensure_forward_pack(&mut self) {
+        let kdim = self.in_c * self.k * self.k;
+        let v = self.weight.version();
+        if self.fwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
+            let wt = transpose(self.weight.value.data(), self.out_c, kdim);
+            self.fwd_pack = Some((v, self.engine.pack_b(kdim, self.out_c, &wt)));
+        }
+    }
+
+    fn ensure_backward_pack(&mut self) {
+        let kdim = self.in_c * self.k * self.k;
+        let v = self.weight.version();
+        if self.bwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
+            let pack = self
+                .engine
+                .pack_b(self.out_c, kdim, self.weight.value.data());
+            self.bwd_pack = Some((v, pack));
+        }
     }
 
     /// Output spatial size for an input of height/width `s`.
@@ -76,8 +132,8 @@ impl Conv2d {
         for img in 0..n {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let row = &mut rows
-                        [((img * oh + oy) * ow + ox) * kdim..((img * oh + oy) * ow + ox + 1) * kdim];
+                    let row = &mut rows[((img * oh + oy) * ow + ox) * kdim
+                        ..((img * oh + oy) * ow + ox + 1) * kdim];
                     let iy0 = (oy * self.stride) as isize - self.pad as isize;
                     let ix0 = (ox * self.stride) as isize - self.pad as isize;
                     for ch in 0..c {
@@ -110,8 +166,8 @@ impl Conv2d {
         for img in 0..n {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let row = &drows
-                        [((img * oh + oy) * ow + ox) * kdim..((img * oh + oy) * ow + ox + 1) * kdim];
+                    let row = &drows[((img * oh + oy) * ow + ox) * kdim
+                        ..((img * oh + oy) * ow + ox + 1) * kdim];
                     let iy0 = (oy * self.stride) as isize - self.pad as isize;
                     let ix0 = (ox * self.stride) as isize - self.pad as isize;
                     for ch in 0..c {
@@ -147,9 +203,17 @@ impl Layer for Conv2d {
         let kdim = self.in_c * self.k * self.k;
 
         // Yt (ns x out_c) = rows (ns x K) * W^T (K x out_c).
-        let wt = transpose(self.weight.value.data(), self.out_c, kdim);
         let mut yt = vec![0.0f32; ns * self.out_c];
-        self.engine.gemm(ns, kdim, self.out_c, &rows, &wt, &mut yt);
+        if self.use_packed() {
+            self.ensure_forward_pack();
+            let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
+            let ra = self.engine.pack_a(ns, kdim, &rows);
+            self.engine
+                .gemm_packed(ns, kdim, self.out_c, &ra, wt_pack, &mut yt);
+        } else {
+            let wt = transpose(self.weight.value.data(), self.out_c, kdim);
+            self.engine.gemm(ns, kdim, self.out_c, &rows, &wt, &mut yt);
+        }
 
         // Scatter [n*oh*ow, out_c] -> [n, out_c, oh, ow].
         let mut y = Tensor::zeros(&[n, self.out_c, oh, ow]);
@@ -165,13 +229,20 @@ impl Layer for Conv2d {
         }
 
         if train {
-            self.cache = Some(Cache { rows, in_shape: [n, self.in_c, h, w], out_hw: (oh, ow) });
+            self.cache = Some(Cache {
+                rows,
+                in_shape: [n, self.in_c, h, w],
+                out_hw: (oh, ow),
+            });
         }
         y
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("backward before forward(train=true)");
+        let cache = self
+            .cache
+            .take()
+            .expect("backward before forward(train=true)");
         let [n, _, _, _] = cache.in_shape;
         let (oh, ow) = cache.out_hw;
         let spatial = oh * ow;
@@ -192,16 +263,33 @@ impl Layer for Conv2d {
             }
         }
 
-        // dW (out_c x K) = dY (out_c x ns) * rows (ns x K).
+        // dW (out_c x K) = dY (out_c x ns) * rows (ns x K) — both operands
+        // are fresh per step, so this product packs on the fly.
         let mut dw = vec![0.0f32; self.out_c * kdim];
-        self.engine.gemm(self.out_c, ns, kdim, &dy_ocns, &cache.rows, &mut dw);
+        self.engine
+            .gemm(self.out_c, ns, kdim, &dy_ocns, &cache.rows, &mut dw);
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
             *g += d;
         }
 
         // dRows (ns x K) = dY (ns x out_c) * W (out_c x K).
         let mut drows = vec![0.0f32; ns * kdim];
-        self.engine.gemm(ns, self.out_c, kdim, &dy_nsoc, self.weight.value.data(), &mut drows);
+        if self.use_packed() {
+            self.ensure_backward_pack();
+            let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
+            let ga = self.engine.pack_a(ns, self.out_c, &dy_nsoc);
+            self.engine
+                .gemm_packed(ns, self.out_c, kdim, &ga, w_pack, &mut drows);
+        } else {
+            self.engine.gemm(
+                ns,
+                self.out_c,
+                kdim,
+                &dy_nsoc,
+                self.weight.value.data(),
+                &mut drows,
+            );
+        }
         self.col2im(&drows, cache.in_shape, oh, ow)
     }
 

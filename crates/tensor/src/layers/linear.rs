@@ -2,11 +2,16 @@
 
 use std::sync::Arc;
 
-use crate::engine::{transpose, GemmEngine};
+use crate::engine::{transpose, GemmEngine, PackedOperand};
 use crate::layers::{Layer, Param};
 use crate::Tensor;
 
 /// `y = x W^T + b` with `W: [out, in]`, `x: [N, in]`.
+///
+/// The two weight-sided products (forward `x W^T`, backward `dY W`) run on
+/// cached [`PackedOperand`]s keyed on the weight's version, so the engine
+/// quantizes/retiles the weight once per optimizer step instead of once per
+/// product — and not at all during evaluation.
 pub struct Linear {
     in_f: usize,
     out_f: usize,
@@ -14,6 +19,11 @@ pub struct Linear {
     bias: Param,
     engine: Arc<dyn GemmEngine>,
     cache: Option<Tensor>,
+    pack_weights: bool,
+    /// `pack_b` of `W^T` (`[in, out]`) at a weight version.
+    fwd_pack: Option<(u64, PackedOperand)>,
+    /// `pack_b` of `W` (`[out, in]`) at a weight version.
+    bwd_pack: Option<(u64, PackedOperand)>,
 }
 
 impl std::fmt::Debug for Linear {
@@ -30,7 +40,11 @@ impl Linear {
     /// Panics on a weight shape mismatch.
     #[must_use]
     pub fn new(in_f: usize, out_f: usize, weight: Tensor, engine: Arc<dyn GemmEngine>) -> Self {
-        assert_eq!(weight.shape(), &[out_f, in_f], "linear weight must be [out, in]");
+        assert_eq!(
+            weight.shape(),
+            &[out_f, in_f],
+            "linear weight must be [out, in]"
+        );
         Self {
             in_f,
             out_f,
@@ -38,6 +52,41 @@ impl Linear {
             bias: Param::new(Tensor::zeros(&[out_f]), false),
             engine,
             cache: None,
+            pack_weights: true,
+            fwd_pack: None,
+            bwd_pack: None,
+        }
+    }
+
+    /// Enables/disables weight-pack caching (on by default). The disabled
+    /// path packs on the fly every product; results are bitwise identical.
+    #[must_use]
+    pub fn with_weight_pack_caching(mut self, on: bool) -> Self {
+        self.pack_weights = on;
+        self
+    }
+
+    /// Whether to route products through cached packed weights: requires
+    /// caching to be on *and* an engine whose packing is real work.
+    fn use_packed(&self) -> bool {
+        self.pack_weights && self.engine.benefits_from_packing()
+    }
+
+    fn ensure_forward_pack(&mut self) {
+        let v = self.weight.version();
+        if self.fwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
+            let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
+            self.fwd_pack = Some((v, self.engine.pack_b(self.in_f, self.out_f, &wt)));
+        }
+    }
+
+    fn ensure_backward_pack(&mut self) {
+        let v = self.weight.version();
+        if self.bwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
+            let pack = self
+                .engine
+                .pack_b(self.out_f, self.in_f, self.weight.value.data());
+            self.bwd_pack = Some((v, pack));
         }
     }
 }
@@ -47,9 +96,18 @@ impl Layer for Linear {
         assert_eq!(x.shape().len(), 2, "linear expects [N, in]");
         assert_eq!(x.shape()[1], self.in_f, "feature mismatch");
         let n = x.shape()[0];
-        let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
         let mut y = Tensor::zeros(&[n, self.out_f]);
-        self.engine.gemm(n, self.in_f, self.out_f, x.data(), &wt, y.data_mut());
+        if self.use_packed() {
+            self.ensure_forward_pack();
+            let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
+            let xa = self.engine.pack_a(n, self.in_f, x.data());
+            self.engine
+                .gemm_packed(n, self.in_f, self.out_f, &xa, wt_pack, y.data_mut());
+        } else {
+            let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
+            self.engine
+                .gemm(n, self.in_f, self.out_f, x.data(), &wt, y.data_mut());
+        }
         let bd = self.bias.value.data().to_vec();
         for row in y.data_mut().chunks_mut(self.out_f) {
             for (v, b) in row.iter_mut().zip(&bd) {
@@ -63,13 +121,18 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let x = self.cache.take().expect("backward before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward before forward(train=true)");
         let n = x.shape()[0];
 
-        // dW (out x in) = dY^T (out x N) * X (N x in).
+        // dW (out x in) = dY^T (out x N) * X (N x in) — both operands are
+        // fresh per step, so this product packs on the fly.
         let dyt = transpose(grad.data(), n, self.out_f);
         let mut dw = vec![0.0f32; self.out_f * self.in_f];
-        self.engine.gemm(self.out_f, n, self.in_f, &dyt, x.data(), &mut dw);
+        self.engine
+            .gemm(self.out_f, n, self.in_f, &dyt, x.data(), &mut dw);
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
             *g += d;
         }
@@ -83,7 +146,22 @@ impl Layer for Linear {
 
         // dX (N x in) = dY (N x out) * W (out x in).
         let mut dx = Tensor::zeros(&[n, self.in_f]);
-        self.engine.gemm(n, self.out_f, self.in_f, grad.data(), self.weight.value.data(), dx.data_mut());
+        if self.use_packed() {
+            self.ensure_backward_pack();
+            let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
+            let ga = self.engine.pack_a(n, self.out_f, grad.data());
+            self.engine
+                .gemm_packed(n, self.out_f, self.in_f, &ga, w_pack, dx.data_mut());
+        } else {
+            self.engine.gemm(
+                n,
+                self.out_f,
+                self.in_f,
+                grad.data(),
+                self.weight.value.data(),
+                dx.data_mut(),
+            );
+        }
         dx
     }
 

@@ -36,6 +36,15 @@ impl Param {
         let grad = Tensor::zeros(value.shape());
         Self { value, grad, decay }
     }
+
+    /// The value's mutation generation (see [`Tensor::generation`]):
+    /// layers key their cached packed operands (see
+    /// [`crate::PackedOperand`]) on it, so an optimizer step — or any other
+    /// write to `value` — invalidates the caches automatically.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.value.generation()
+    }
 }
 
 /// A differentiable module: single input, single output, stateful backward.

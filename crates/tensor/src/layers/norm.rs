@@ -56,20 +56,20 @@ impl Layer for BatchNorm2d {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (img * c + ch) * plane;
-                    for s in 0..plane {
-                        mean[ch] += xd[base + s];
+                    for &x in &xd[base..base + plane] {
+                        *m += x;
                     }
                 }
             }
             mean.iter_mut().for_each(|m| *m /= count);
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, (v, &mu)) in var.iter_mut().zip(&mean).enumerate() {
                     let base = (img * c + ch) * plane;
-                    for s in 0..plane {
-                        let d = xd[base + s] - mean[ch];
-                        var[ch] += d * d;
+                    for &x in &xd[base..base + plane] {
+                        let d = x - mu;
+                        *v += d * d;
                     }
                 }
             }
@@ -105,13 +105,20 @@ impl Layer for BatchNorm2d {
             }
         }
         if train {
-            self.cache = Some(Cache { xhat, inv_std, shape: [n, c, h, w] });
+            self.cache = Some(Cache {
+                xhat,
+                inv_std,
+                shape: [n, c, h, w],
+            });
         }
         y
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("backward before forward(train=true)");
+        let cache = self
+            .cache
+            .take()
+            .expect("backward before forward(train=true)");
         let [n, c, h, w] = cache.shape;
         let plane = h * w;
         let count = (n * plane) as f32;
@@ -143,10 +150,8 @@ impl Layer for BatchNorm2d {
                 let base = (img * c + ch) * plane;
                 let k = g[ch] * cache.inv_std[ch] / count;
                 for s in 0..plane {
-                    dxd[base + s] = k
-                        * (count * gd[base + s]
-                            - sum_dy[ch]
-                            - xh[base + s] * sum_dy_xhat[ch]);
+                    dxd[base + s] =
+                        k * (count * gd[base + s] - sum_dy[ch] - xh[base + s] * sum_dy_xhat[ch]);
                 }
             }
         }

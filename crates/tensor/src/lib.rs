@@ -10,6 +10,11 @@
 //! the forward *and* backward passes dispatches through it, so training can
 //! run on exact `f32` (the paper's FP32 baseline) or on the bit-exact
 //! low-precision MAC emulation from `srmac-qgemm` by swapping one object.
+//! Engines expose a prepared-operand pipeline ([`GemmEngine::pack_a`] /
+//! [`GemmEngine::pack_b`] / [`GemmEngine::gemm_packed`]); the convolution
+//! and linear layers cache their weights' packed form and invalidate it on
+//! parameter updates, so a training step quantizes each weight once and
+//! evaluation batches reuse it for free.
 //!
 //! # Example
 //!
@@ -44,7 +49,9 @@ mod loss;
 pub mod optim;
 mod tensor;
 
-pub use engine::{available_threads, matmul, transpose, F32Engine, GemmEngine};
+pub use engine::{
+    available_threads, matmul, transpose, F32Engine, GemmEngine, PackSide, PackedOperand,
+};
 pub use layers::{Layer, Param, Sequential};
 pub use loss::{count_correct, softmax_cross_entropy};
 pub use optim::{CosineLr, LossScaler, Sgd};

@@ -20,7 +20,11 @@ impl Sgd {
     /// Creates the optimizer.
     #[must_use]
     pub fn new(momentum: f32, weight_decay: f32) -> Self {
-        Self { momentum, weight_decay, velocities: Vec::new() }
+        Self {
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
     }
 
     /// Applies one update with learning rate `lr`, consuming the gradients
@@ -35,15 +39,24 @@ impl Sgd {
                 velocities.push(Tensor::zeros(p.value.shape()));
             }
             let v = &mut velocities[idx];
-            assert_eq!(v.shape(), p.value.shape(), "model structure changed mid-training");
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "model structure changed mid-training"
+            );
             let decay = if p.decay { wd } else { 0.0 };
-            for ((vi, wi), gi) in
-                v.data_mut().iter_mut().zip(p.value.data_mut()).zip(p.grad.data())
+            for ((vi, wi), gi) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.value.data_mut())
+                .zip(p.grad.data())
             {
                 let g = gi * grad_scale + decay * *wi;
                 *vi = mu * *vi + g;
                 *wi -= lr * *vi;
             }
+            // The data_mut() above bumped the value's generation, which
+            // invalidates the layers' packed-operand caches for this weight.
             p.grad.zero_();
             idx += 1;
         });
@@ -71,7 +84,11 @@ impl CosineLr {
     /// Creates the schedule.
     #[must_use]
     pub fn new(base: f32, t_max: usize) -> Self {
-        Self { base, t_max, eta_min: 0.0 }
+        Self {
+            base,
+            t_max,
+            eta_min: 0.0,
+        }
     }
 
     /// Learning rate at time `t`.
@@ -104,7 +121,11 @@ impl LossScaler {
     /// Creates a scaler with an explicit initial factor.
     #[must_use]
     pub fn with_scale(scale: f32) -> Self {
-        Self { scale, good_steps: 0, growth_interval: 2000 }
+        Self {
+            scale,
+            good_steps: 0,
+            growth_interval: 2000,
+        }
     }
 
     /// The current scale.
@@ -161,7 +182,9 @@ mod tests {
 
     #[test]
     fn sgd_momentum_accumulates() {
-        let mut m = OneParam { p: Param::new(Tensor::from_vec(vec![1.0], &[1]), false) };
+        let mut m = OneParam {
+            p: Param::new(Tensor::from_vec(vec![1.0], &[1]), false),
+        };
         let mut opt = Sgd::new(0.9, 0.0);
         m.p.grad.data_mut()[0] = 1.0;
         opt.step(&mut m, 0.1, 1.0);
@@ -175,12 +198,16 @@ mod tests {
 
     #[test]
     fn weight_decay_respects_flag() {
-        let mut m = OneParam { p: Param::new(Tensor::from_vec(vec![1.0], &[1]), true) };
+        let mut m = OneParam {
+            p: Param::new(Tensor::from_vec(vec![1.0], &[1]), true),
+        };
         let mut opt = Sgd::new(0.0, 0.1);
         opt.step(&mut m, 1.0, 1.0);
         assert!((m.p.value.data()[0] - 0.9).abs() < 1e-6);
 
-        let mut m = OneParam { p: Param::new(Tensor::from_vec(vec![1.0], &[1]), false) };
+        let mut m = OneParam {
+            p: Param::new(Tensor::from_vec(vec![1.0], &[1]), false),
+        };
         let mut opt = Sgd::new(0.0, 0.1);
         opt.step(&mut m, 1.0, 1.0);
         assert_eq!(m.p.value.data()[0], 1.0);
@@ -202,6 +229,10 @@ mod tests {
         assert_eq!(s.scale(), 512.0);
         assert!(s.update(true));
         assert!(s.update(true));
-        assert_eq!(s.scale(), 1024.0, "doubled after growth_interval good steps");
+        assert_eq!(
+            s.scale(),
+            1024.0,
+            "doubled after growth_interval good steps"
+        );
     }
 }

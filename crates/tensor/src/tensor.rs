@@ -1,23 +1,53 @@
 //! A minimal dense `f32` tensor.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide generation source: every tensor construction and every
+/// mutation takes a fresh value, so no two distinct tensor states — not
+/// even a freshly constructed tensor assigned over an old one — can ever
+/// share a generation.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A dense row-major `f32` tensor with a dynamic shape.
 ///
 /// Deliberately small: just what the layer zoo needs (storage, shape
 /// bookkeeping, and a few elementwise helpers). All heavy math lives in the
 /// GEMM engines.
-#[derive(Clone, PartialEq)]
+///
+/// Every construction and every mutating access stamps the tensor with a
+/// process-unique [`generation`](Tensor::generation); the layers key their
+/// cached packed GEMM operands on it, so any write through any path
+/// (optimizer step, gradient-check probe, manual weight surgery, even
+/// assigning a brand-new tensor over a parameter) invalidates the caches
+/// without cooperation from the writer.
+#[derive(Clone)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
+    generation: u64,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        // Generations are bookkeeping, not value: equal data is equal.
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
     /// Creates a zero-filled tensor.
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+            generation: next_generation(),
+        }
     }
 
     /// Wraps existing data.
@@ -32,7 +62,22 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "data length must match shape {shape:?}"
         );
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+            generation: next_generation(),
+        }
+    }
+
+    /// Process-unique state stamp: refreshed on construction and by every
+    /// `&mut self` accessor. Two observations of the same generation
+    /// guarantee the data has not changed in between — across *all*
+    /// tensors, not just this one (the converse does not hold — a new
+    /// stamp may cover identical values). Clones share their source's
+    /// generation, which is sound because they also share its data.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The shape.
@@ -53,8 +98,9 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the storage.
+    /// Mutable view of the storage (counts as a mutation).
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.generation = next_generation();
         &mut self.data
     }
 
@@ -76,6 +122,7 @@ impl Tensor {
 
     /// Fills with zeros in place.
     pub fn zero_(&mut self) {
+        self.generation = next_generation();
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
@@ -87,6 +134,7 @@ impl Tensor {
 
     /// In-place scaling.
     pub fn scale_(&mut self, s: f32) {
+        self.generation = next_generation();
         self.data.iter_mut().for_each(|v| *v *= s);
     }
 
@@ -97,6 +145,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        self.generation = next_generation();
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -117,6 +166,28 @@ impl fmt::Debug for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn generations_are_process_unique() {
+        // The packed-weight caches key on generations, so two distinct
+        // tensor states must never share one — in particular a freshly
+        // constructed tensor must not collide with an older tensor's
+        // stamp (the "assign a new Tensor over Param::value" hole).
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        assert_ne!(a.generation(), b.generation());
+        let mut c = b.clone();
+        assert_eq!(b.generation(), c.generation(), "clones share state");
+        c.data_mut()[0] = 1.0;
+        assert_ne!(b.generation(), c.generation());
+        let before = c.generation();
+        c.zero_();
+        c.scale_(2.0);
+        assert!(c.generation() > before);
+        // Replacing a value wholesale also moves the generation.
+        let replacement = Tensor::zeros(&[2]);
+        assert_ne!(replacement.generation(), c.generation());
+    }
 
     #[test]
     fn construction_and_shape() {

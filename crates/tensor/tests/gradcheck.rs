@@ -16,7 +16,11 @@ fn engine() -> Arc<dyn GemmEngine> {
 /// Scalar test loss: sum of `w .* y` for a fixed random `w` (gives a
 /// nontrivial, smooth gradient `w`).
 fn loss_of(y: &Tensor, w: &[f32]) -> f64 {
-    y.data().iter().zip(w).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum()
+    y.data()
+        .iter()
+        .zip(w)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum()
 }
 
 fn rand_tensor(shape: &[usize], rng: &mut SplitMix64) -> Tensor {
@@ -30,7 +34,9 @@ fn rand_tensor(shape: &[usize], rng: &mut SplitMix64) -> Tensor {
 fn check_input_grad<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
     let mut rng = SplitMix64::new(999);
     let y0 = layer.forward(x, true);
-    let w: Vec<f32> = (0..y0.numel()).map(|_| (rng.next_f64() * 2.0 - 1.0) as f32).collect();
+    let w: Vec<f32> = (0..y0.numel())
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
     let grad_out = Tensor::from_vec(w.clone(), y0.shape());
     let dx = layer.backward(&grad_out);
 
@@ -59,7 +65,9 @@ fn check_param_grad<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
     let mut rng = SplitMix64::new(555);
     layer.visit_params(&mut |p| p.grad.zero_());
     let y0 = layer.forward(x, true);
-    let w: Vec<f32> = (0..y0.numel()).map(|_| (rng.next_f64() * 2.0 - 1.0) as f32).collect();
+    let w: Vec<f32> = (0..y0.numel())
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
     let grad_out = Tensor::from_vec(w.clone(), y0.shape());
     layer.backward(&grad_out);
 
@@ -68,14 +76,9 @@ fn check_param_grad<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
     layer.visit_params(&mut |p| analytic.push(p.grad.data().to_vec()));
 
     let eps = 1e-3f32;
-    for pi in 0.. {
+    for (pi, ana_grad) in analytic.iter().enumerate() {
         // Probe parameter pi, a few indices.
-        let mut n_params = 0;
-        layer.visit_params(&mut |_| n_params += 1);
-        if pi >= n_params {
-            break;
-        }
-        let plen = analytic[pi].len();
+        let plen = ana_grad.len();
         for i in (0..plen).step_by((plen / 12).max(1)) {
             let mut probe = |delta: f32| -> f64 {
                 let mut k = 0;
@@ -96,7 +99,7 @@ fn check_param_grad<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
                 l
             };
             let num = (probe(eps) - probe(-eps)) / (2.0 * f64::from(eps));
-            let ana = f64::from(analytic[pi][i]);
+            let ana = f64::from(ana_grad[i]);
             assert!(
                 (num - ana).abs() < tol * (1.0 + num.abs().max(ana.abs())),
                 "param {pi} index {i}: numeric {num:.6} vs analytic {ana:.6}"

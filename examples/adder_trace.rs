@@ -17,7 +17,11 @@ fn show(fmt: FpFormat, adder: &FpAdder, a: u64, b: u64, word: u64) {
         "    path {:?}{}, effective {}, d = {}",
         t.path,
         if t.swapped { " (swapped)" } else { "" },
-        if t.effective_sub { "subtraction" } else { "addition" },
+        if t.effective_sub {
+            "subtraction"
+        } else {
+            "addition"
+        },
         t.d
     );
     println!(
@@ -57,14 +61,24 @@ fn show(fmt: FpFormat, adder: &FpAdder, a: u64, b: u64, word: u64) {
             u8::from(t.round_carry)
         );
     }
-    println!("    result = {:#05x} = {:.6}\n", result, fmt.decode_f64(result));
+    println!(
+        "    result = {:#05x} = {:.6}\n",
+        result,
+        fmt.decode_f64(result)
+    );
 }
 
 fn main() {
     let fmt = FpFormat::e6m5();
     let r = 9;
     let lazy = FpAdder::new(fmt, RoundingDesign::SrLazy { r });
-    let eager = FpAdder::new(fmt, RoundingDesign::SrEager { r, correction: EagerCorrection::Exact });
+    let eager = FpAdder::new(
+        fmt,
+        RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::Exact,
+        },
+    );
 
     let q = |x: f64| fmt.quantize_f64(x, RoundMode::NearestEven).bits;
 

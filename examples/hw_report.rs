@@ -40,8 +40,16 @@ fn main() {
 
     println!("=== full MAC units (exact multiplier + adder + accumulator register) ===\n");
     for (mul, acc, label) in [
-        (FpFormat::e5m2(), FpFormat::e6m5(), "FP8 E5M2 -> FP12 E6M5 (paper)"),
-        (FpFormat::e4m3(), FpFormat::of(5, 8), "FP8 E4M3 -> E5M8 (extension)"),
+        (
+            FpFormat::e5m2(),
+            FpFormat::e6m5(),
+            "FP8 E5M2 -> FP12 E6M5 (paper)",
+        ),
+        (
+            FpFormat::e4m3(),
+            FpFormat::of(5, 8),
+            "FP8 E4M3 -> E5M8 (extension)",
+        ),
     ] {
         for kind in [DesignKind::Rn, DesignKind::SrEager] {
             let cfg = AdderConfig::new(kind, acc.with_subnormals(false), 13);

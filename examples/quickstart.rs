@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact: f64 = 256.0;
 
     println!("dot product of 512 terms of 0.5 — exact sum = {exact}\n");
-    println!("{:<42} {:>10} {:>10}", "MAC configuration", "result", "rel err");
+    println!(
+        "{:<42} {:>10} {:>10}",
+        "MAC configuration", "result", "rel err"
+    );
 
     // FP12 (E6M5) accumulation with round-to-nearest: stagnates once the
     // accumulator ULP exceeds the addend.
@@ -28,10 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same accumulator with the paper's eager SR design and r = 13:
     // unbiased rounding keeps the expected value on track.
-    for (r, label) in [(4, "FP8 x FP8 -> FP12, eager SR, r = 4"),
-                       (9, "FP8 x FP8 -> FP12, eager SR, r = 9"),
-                       (13, "FP8 x FP8 -> FP12, eager SR, r = 13")] {
-        let design = RoundingDesign::SrEager { r, correction: EagerCorrection::Exact };
+    for (r, label) in [
+        (4, "FP8 x FP8 -> FP12, eager SR, r = 4"),
+        (9, "FP8 x FP8 -> FP12, eager SR, r = 9"),
+        (13, "FP8 x FP8 -> FP12, eager SR, r = 13"),
+    ] {
+        let design = RoundingDesign::SrEager {
+            r,
+            correction: EagerCorrection::Exact,
+        };
         let mut sr = MacUnit::new(MacConfig::fp8_fp12(design, true).with_seed(7))?;
         let got = sr.dot_f64(&xs, &ys);
         println!(
@@ -44,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // For reference: what the 12-bit accumulator could represent at best.
     let fp12 = FpFormat::e6m5();
-    let best = fp12.decode_f64(fp12.quantize_f64(exact, srmac::fp::RoundMode::NearestEven).bits);
+    let best = fp12.decode_f64(
+        fp12.quantize_f64(exact, srmac::fp::RoundMode::NearestEven)
+            .bits,
+    );
     println!("\n(best representable answer in E6M5: {best})");
     println!("\nRN freezes near the point where ULP(acc) > addend; SR keeps moving on");
     println!("average — the stagnation-rescue the paper builds its MAC around.");

@@ -32,7 +32,10 @@ fn main() {
             let mut acc = 0.0;
             for seed in 0..5 {
                 acc += accumulate(
-                    RoundingDesign::SrEager { r, correction: EagerCorrection::Exact },
+                    RoundingDesign::SrEager {
+                        r,
+                        correction: EagerCorrection::Exact,
+                    },
                     n,
                     term,
                     10 + seed,

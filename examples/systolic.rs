@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example systolic`
 
-use srmac::unit::{
-    array_throughput, EagerCorrection, MacConfig, RoundingDesign, SystolicArray,
-};
+use srmac::unit::{array_throughput, EagerCorrection, MacConfig, RoundingDesign, SystolicArray};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (m, k, n) = (16, 512, 16);
@@ -22,17 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("RN accumulation", RoundingDesign::Nearest),
         (
             "eager SR, r = 13",
-            RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact },
+            RoundingDesign::SrEager {
+                r: 13,
+                correction: EagerCorrection::Exact,
+            },
         ),
     ] {
-        let mut array = SystolicArray::new(
-            MacConfig::fp8_fp12(design, true).with_seed(3),
-            8,
-            8,
-        )?;
+        let mut array = SystolicArray::new(MacConfig::fp8_fp12(design, true).with_seed(3), 8, 8)?;
         let (c, stats) = array.matmul_f64(m, k, n, &a, &b);
         let mean = c.iter().sum::<f64>() / c.len() as f64;
-        let max_err = c.iter().fold(0.0f64, |acc, &v| acc.max((v - exact).abs() / exact));
+        let max_err = c
+            .iter()
+            .fold(0.0f64, |acc, &v| acc.max((v - exact).abs() / exact));
         println!(
             "{label:<18} mean C = {mean:>8.2} (exact {exact})  max rel err {:>6.2}%  [{} tiles, {} cycles, {} MACs]",
             max_err * 100.0,

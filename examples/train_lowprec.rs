@@ -13,7 +13,10 @@ use srmac::qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac::tensor::{F32Engine, GemmEngine};
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -25,13 +28,21 @@ fn main() {
 
     let train_ds = data::synth_cifar10(train_n, size, 1);
     let test_ds = data::synth_cifar10(test_n, size, 2);
-    let cfg = TrainConfig { epochs, batch_size: 16, lr: 0.1, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        lr: 0.1,
+        ..TrainConfig::default()
+    };
 
     let engines: Vec<(&str, Arc<dyn GemmEngine>)> = vec![
         ("FP32 baseline (f32 GEMM)", Arc::new(F32Engine::default())),
         (
             "FP8 -> FP12 RN W/ Sub",
-            Arc::new(MacGemm::new(MacGemmConfig::fp8_fp12(AccumRounding::Nearest, true))),
+            Arc::new(MacGemm::new(MacGemmConfig::fp8_fp12(
+                AccumRounding::Nearest,
+                true,
+            ))),
         ),
         (
             "FP8 -> FP12 SR r=13 W/O Sub (paper's pick)",

@@ -17,7 +17,10 @@ fn rtl_fast_and_golden_adders_agree_across_stack() {
     // reference (srmac-fp) — must agree on random inputs.
     let fmt = FpFormat::e6m5().with_subnormals(false);
     let r = 13;
-    let design = RoundingDesign::SrEager { r, correction: EagerCorrection::Exact };
+    let design = RoundingDesign::SrEager {
+        r,
+        correction: EagerCorrection::Exact,
+    };
     let rtl = FpAdder::new(fmt, design);
     let fast = FastAdder::new(fmt, AccumRounding::Stochastic { r });
     let mut rng = SplitMix64::new(0x1417);
@@ -107,7 +110,12 @@ fn end_to_end_low_precision_training_learns() {
     let mut net = resnet::resnet20(&engine, 4, 10, 5);
     let train_ds = data::generate(easy, 120, 10, 50);
     let test_ds = data::generate(easy, 60, 10, 51);
-    let cfg = TrainConfig { epochs: 4, batch_size: 16, lr: 0.1, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        lr: 0.1,
+        ..TrainConfig::default()
+    };
     let h = trainer::train(&mut net, &train_ds, &test_ds, &cfg);
     assert!(
         h.best_accuracy() > 25.0,
@@ -177,7 +185,10 @@ fn sr_dot_product_is_unbiased_like_the_theory_says() {
         .map(|seed| {
             let mut mac = MacUnit::new(
                 MacConfig::fp8_fp12(
-                    RoundingDesign::SrEager { r: 13, correction: EagerCorrection::Exact },
+                    RoundingDesign::SrEager {
+                        r: 13,
+                        correction: EagerCorrection::Exact,
+                    },
                     true,
                 )
                 .with_seed(7000 + u64::from(seed)),
@@ -204,4 +215,49 @@ fn sr_dot_product_is_unbiased_like_the_theory_says() {
         rn_result < exact * 0.9,
         "RN should stagnate visibly: got {rn_result} vs exact {exact}"
     );
+}
+
+#[test]
+fn packed_operands_are_pool_size_invariant_across_the_stack() {
+    // The prepared-operand pipeline must honor the determinism contract
+    // end to end: operands packed once feed engines with different worker
+    // pool sizes (including the pool-free single-thread engine) and both
+    // rounding modes, always reproducing the one-shot result bit for bit.
+    let (m, k, n) = (37, 96, 13);
+    let mut rng = SplitMix64::new(0xACED);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+
+    for rounding in [AccumRounding::Nearest, AccumRounding::Stochastic { r: 13 }] {
+        let reference = {
+            let engine = MacGemm::new(MacGemmConfig::fp8_fp12(rounding, false).with_threads(1));
+            let mut out = vec![0.0f32; m * n];
+            engine.gemm(m, k, n, &a, &b, &mut out);
+            out
+        };
+        let packer = MacGemm::new(MacGemmConfig::fp8_fp12(rounding, false).with_threads(1));
+        let pa = packer.pack_a(m, k, &a);
+        let pb = packer.pack_b(k, n, &b);
+        for threads in [1usize, 2, 3, 8] {
+            let engine =
+                MacGemm::new(MacGemmConfig::fp8_fp12(rounding, false).with_threads(threads));
+            let mut out = vec![0.0f32; m * n];
+            engine.gemm_packed(m, k, n, &pa, &pb, &mut out);
+            assert_eq!(reference, out, "{rounding:?} with a {threads}-worker pool");
+        }
+    }
+
+    // The f32 engine honors the same contract.
+    let f32_reference = {
+        let mut out = vec![0.0f32; m * n];
+        F32Engine::new(1).gemm(m, k, n, &a, &b, &mut out);
+        out
+    };
+    let packer = F32Engine::new(1);
+    let (pa, pb) = (packer.pack_a(m, k, &a), packer.pack_b(k, n, &b));
+    for threads in [1usize, 2, 5] {
+        let mut out = vec![0.0f32; m * n];
+        F32Engine::new(threads).gemm_packed(m, k, n, &pa, &pb, &mut out);
+        assert_eq!(f32_reference, out, "f32 engine with {threads} threads");
+    }
 }

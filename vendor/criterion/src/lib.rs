@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the API subset used by this workspace's benches with real
+//! wall-clock measurement: per-benchmark sample collection, median
+//! per-iteration times, and optional throughput reporting. Results are
+//! retained on the [`Criterion`] value so benches can emit
+//! machine-readable summaries (see `crates/bench/benches/gemm.rs`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (from [`Criterion::benchmark_group`]).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median wall-clock time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Throughput annotation active when the benchmark ran, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver: runs benchmarks and collects [`BenchRecord`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// All measurements collected so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Prints a one-line-per-benchmark summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.records.len());
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count, takes
+    /// `sample_size` timed samples, and records the median.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: find an iteration count that makes one sample take
+        // roughly `TARGET` so short benchmarks aren't all timer noise.
+        const TARGET: Duration = Duration::from_millis(20);
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= TARGET || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+
+        let full = format!("{}/{}", self.name, name);
+        // median is ns/iteration; n/median * 1e9 is units/s.
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:.1} Melem/s", n as f64 / median * 1e3),
+            Throughput::Bytes(n) => format!("  {:.1} MB/s", n as f64 / median * 1e3),
+        });
+        println!(
+            "{full:<48} time: [{}]{}",
+            format_time(median),
+            rate.unwrap_or_default()
+        );
+        self.criterion.records.push(BenchRecord {
+            group: self.name.clone(),
+            name: name.to_owned(),
+            median_ns: median,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Timing context passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
