@@ -1,16 +1,26 @@
-//! Criterion benches for the GEMM engines: exact f32 vs the bit-exact
-//! low-precision MAC emulation (RN and SR accumulation), the prepared-
-//! operand pipeline vs the one-shot path, persistent-pool vs per-call
-//! scoped threading, and a ResNet-20-shaped GEMM sequence with weight
-//! operands packed once and reused.
+//! Criterion benches for the GEMM engines and the shared runtime: exact
+//! f32 vs the bit-exact low-precision MAC emulation (RN and SR
+//! accumulation), the prepared-operand pipeline vs the one-shot path,
+//! persistent-pool vs per-call scoped threading, the parallel
+//! data-movement kernels (im2row / col2im / NCHW scatter / transpose)
+//! against their serial baselines, and a ResNet-20-shaped GEMM sequence
+//! with weight operands packed once and reused.
 //!
-//! The sequence results (and the headline packed-vs-seed speedup) are
-//! recorded in `BENCH_gemm.json` at the workspace root.
+//! The sequence results (and the headline packed-vs-seed speedup, plus the
+//! cross-PR comparison against the PR 1 baseline) are recorded in
+//! `BENCH_gemm.json` at the workspace root.
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac_rng::SplitMix64;
-use srmac_tensor::{F32Engine, GemmEngine};
+use srmac_tensor::movement::{col2im, im2row, rows_to_nchw, transpose_into};
+use srmac_tensor::{available_threads, F32Engine, GemmEngine, Runtime};
+
+/// PR 1's recorded `resnet20_train_step/prepared_weight_reuse` median
+/// (ns), kept as the fixed baseline for the cross-PR speedup entry.
+const PR1_PREPARED_TRAIN_STEP_NS: f64 = 171_955_225.0;
 
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = SplitMix64::new(seed);
@@ -110,6 +120,54 @@ fn bench_packed_vs_oneshot(c: &mut Criterion) {
     g.bench_function("both_packed_reused", |bch| {
         bch.iter(|| engine.gemm_packed(m, k, n, black_box(&pa), black_box(&pb), &mut out))
     });
+    g.finish();
+}
+
+/// The data-movement kernels around a batch-8 width-16 conv layer, serial
+/// vs parallel at the machine's thread width. On a single-core box the two
+/// entries coincide (the runtime degrades to inline execution); with more
+/// cores the parallel entries track the pool width while staying bitwise
+/// identical.
+fn bench_data_movement(c: &mut Criterion) {
+    let (n, ch, h, w, k, stride, pad) = (8usize, 16usize, 16usize, 16usize, 3usize, 1usize, 1);
+    let kdim = ch * k * k;
+    let (oh, ow) = (16usize, 16usize);
+    let x: Arc<Vec<f32>> = Arc::new(rand_vec(n * ch * h * w, 41));
+    let drows: Arc<Vec<f32>> = Arc::new(rand_vec(n * oh * ow * kdim, 42));
+    let yt: Arc<Vec<f32>> = Arc::new(rand_vec(n * oh * ow * ch, 43));
+    let wide = Runtime::new(available_threads());
+    let serial = Runtime::serial();
+
+    let mut g = c.benchmark_group("data_movement_conv8x16");
+    g.sample_size(20);
+    let mut rows = vec![0.0f32; n * oh * ow * kdim];
+    let mut dx = vec![0.0f32; n * ch * h * w];
+    let mut nchw = vec![0.0f32; n * ch * oh * ow];
+    let mut t = vec![0.0f32; n * oh * ow * kdim];
+    for (name, rt) in [("serial", &serial), ("parallel", &wide)] {
+        g.bench_function(&format!("im2row_{name}"), |bch| {
+            bch.iter(|| im2row(rt, black_box(&x), [n, ch, h, w], k, stride, pad, &mut rows))
+        });
+        g.bench_function(&format!("col2im_{name}"), |bch| {
+            bch.iter(|| {
+                col2im(
+                    rt,
+                    black_box(&drows),
+                    [n, ch, h, w],
+                    k,
+                    stride,
+                    pad,
+                    &mut dx,
+                )
+            })
+        });
+        g.bench_function(&format!("scatter_nchw_{name}"), |bch| {
+            bch.iter(|| rows_to_nchw(rt, black_box(&yt), n, ch, oh * ow, &mut nchw))
+        });
+        g.bench_function(&format!("transpose_{name}"), |bch| {
+            bch.iter(|| transpose_into(rt, black_box(&drows), n * oh * ow, kdim, &mut t))
+        });
+    }
     g.finish();
 }
 
@@ -267,8 +325,14 @@ fn write_summary(c: &mut Criterion) {
     json.push_str("  ],\n");
     let (train_json, train_speedup) = sequence_entry("resnet20_train_step");
     let (eval_json, eval_speedup) = sequence_entry("resnet20_eval_stream");
+    // Cross-PR acceptance record: this PR's prepared path vs PR 1's.
+    let vs_pr1 = find("resnet20_train_step", "prepared_weight_reuse")
+        .map(|p| PR1_PREPARED_TRAIN_STEP_NS / p);
     json.push_str(&format!(
-        "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json}\n}}\n"
+        "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
+         \"pr1_baseline\": {{\n    \"prepared_weight_reuse_ns\": {PR1_PREPARED_TRAIN_STEP_NS:.1},\n    \
+         \"train_step_speedup_vs_pr1\": {}\n  }}\n}}\n",
+        fmt_opt(vs_pr1, 3),
     ));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
@@ -281,6 +345,9 @@ fn write_summary(c: &mut Criterion) {
         if let Some(s) = eval_speedup {
             println!("resnet20_eval_stream speedup (prepared vs seed): {s:.2}x");
         }
+        if let Some(s) = vs_pr1 {
+            println!("resnet20_train_step speedup vs PR 1 prepared baseline: {s:.2}x");
+        }
         println!("summary -> {path}");
     }
 }
@@ -289,6 +356,7 @@ criterion_group!(
     benches,
     bench_gemm,
     bench_packed_vs_oneshot,
+    bench_data_movement,
     bench_resnet20_sequences,
     write_summary
 );

@@ -1,0 +1,97 @@
+//! Quick cost probe for the shared-runtime paths (not an experiment
+//! table): where does a ResNet-20-shaped training step's GEMM time go
+//! (pack vs accumulate), and what do the parallel data-movement kernels
+//! cost against their serial baselines at this machine's thread count?
+use std::sync::Arc;
+use std::time::Instant;
+
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_rng::SplitMix64;
+use srmac_tensor::movement::{col2im, im2row};
+use srmac_tensor::{available_threads, GemmEngine, Runtime};
+
+fn sparse_vec(n: usize, seed: u64, sparsity: f64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let v = rng.next_f32() - 0.5;
+            if rng.next_f64() < sparsity {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let engine = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
+    );
+    // Representative train-step shapes (forward + data-grad, batch 4,
+    // 16x16, width 8; see the criterion bench for the full sequence).
+    let shapes = [
+        (1024usize, 27usize, 8usize),
+        (1024, 72, 8),
+        (1024, 8, 72),
+        (256, 144, 16),
+        (256, 16, 144),
+        (64, 288, 32),
+        (64, 32, 288),
+    ];
+    let (mut t_pack, mut t_dot) = (0.0f64, 0.0f64);
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        let a = sparse_vec(m * k, 100 + i as u64, 0.6);
+        let b = sparse_vec(k * n, 500 + i as u64, 0.0);
+        let mut out = vec![0.0f32; m * n];
+        let pb = engine.pack_b(k, n, &b);
+        let reps = (60_000_000 / (m * k * n)).max(5);
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.pack_a(m, k, &a));
+        }
+        t_pack += t.elapsed().as_secs_f64() / reps as f64;
+        let pa = engine.pack_a(m, k, &a);
+        let t = Instant::now();
+        for _ in 0..reps {
+            engine.gemm_packed(m, k, n, &pa, &pb, &mut out);
+        }
+        t_dot += t.elapsed().as_secs_f64() / reps as f64;
+    }
+    println!(
+        "train-shape sequence: pack_a {:.2} ms, accumulate {:.2} ms ({:.0}% accumulate)",
+        t_pack * 1e3,
+        t_dot * 1e3,
+        100.0 * t_dot / (t_pack + t_dot)
+    );
+
+    // Data movement: parallel vs serial at the machine's width.
+    let (n_img, c, h, w, k, stride, pad) = (8usize, 16usize, 16usize, 16usize, 3usize, 1usize, 1);
+    let kdim = c * k * k;
+    let (oh, ow) = (16, 16);
+    let x = Arc::new(sparse_vec(n_img * c * h * w, 1, 0.0));
+    let drows = Arc::new(sparse_vec(n_img * oh * ow * kdim, 2, 0.0));
+    let serial = Runtime::serial();
+    let wide = Runtime::new(available_threads());
+    for (name, rt) in [("serial", &serial), ("parallel", &wide)] {
+        let mut rows = vec![0.0f32; n_img * oh * ow * kdim];
+        let mut dx = vec![0.0f32; n_img * c * h * w];
+        let reps = 50;
+        let t = Instant::now();
+        for _ in 0..reps {
+            im2row(rt, &x, [n_img, c, h, w], k, stride, pad, &mut rows);
+        }
+        let t_im2row = t.elapsed().as_secs_f64() / f64::from(reps) * 1e6;
+        let t = Instant::now();
+        for _ in 0..reps {
+            col2im(rt, &drows, [n_img, c, h, w], k, stride, pad, &mut dx);
+        }
+        let t_col2im = t.elapsed().as_secs_f64() / f64::from(reps) * 1e6;
+        println!(
+            "{name} ({} threads): im2row {:.0} us, col2im {:.0} us",
+            rt.threads(),
+            t_im2row,
+            t_col2im
+        );
+    }
+}

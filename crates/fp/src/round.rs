@@ -544,6 +544,75 @@ mod tests {
     }
 
     #[test]
+    fn stochastic_rounding_r64_mask64_edge_case() {
+        // r = MAX_SR_BITS = 64 exercises mask(64) (the n >= 64 branch must
+        // return all-ones, not shift-overflow) and the u128 carry compare
+        // `t + word >= 2^64`, which no u64 arithmetic could represent.
+        let f = FpFormat::e5m2();
+        let r = MAX_SR_BITS;
+        let x = 1.0 + 0.25 * 0.5; // exactly halfway: eps = 1/2
+                                  // word = 0: t + 0 = 2^63 < 2^64 -> rounds down.
+        let q = f.quantize_f64(x, RoundMode::Stochastic { r, word: 0 });
+        assert_eq!(dec(&f, q.bits), 1.0);
+        // word = 2^63: t + word = 2^64 -> carries, rounds up.
+        let q = f.quantize_f64(
+            x,
+            RoundMode::Stochastic {
+                r,
+                word: 1u64 << 63,
+            },
+        );
+        assert_eq!(dec(&f, q.bits), 1.25);
+        // word = u64::MAX (the full mask(64) word) on a tiny eps still
+        // rounds up; on an exact value it must not.
+        let q = f.quantize_f64(
+            1.0 + 0.25 / 64.0,
+            RoundMode::Stochastic { r, word: u64::MAX },
+        );
+        assert_eq!(dec(&f, q.bits), 1.25);
+        let q = f.quantize_f64(1.25, RoundMode::Stochastic { r, word: u64::MAX });
+        assert_eq!(dec(&f, q.bits), 1.25, "exact values ignore the random word");
+        assert!(!q.flags.inexact);
+    }
+
+    #[test]
+    fn stochastic_rounding_r64_threshold_is_exact() {
+        // For eps = k/64, exactly the words with t + word >= 2^64 round up:
+        // the round-up probability measured over word strata must be
+        // eps even at r = 64. Check the threshold word directly.
+        let f = FpFormat::e5m2();
+        for k in [1u64, 13, 32, 63] {
+            let x = 1.0 + 0.25 * k as f64 / 64.0;
+            // t (the top 64 tail bits) is k << 58 for eps = k/64.
+            let t = k << 58;
+            let threshold = t.wrapping_neg(); // smallest word that carries
+            let down = f.quantize_f64(
+                x,
+                RoundMode::Stochastic {
+                    r: 64,
+                    word: threshold - 1,
+                },
+            );
+            assert_eq!(dec(&f, down.bits), 1.0, "eps {k}/64: below threshold");
+            let up = f.quantize_f64(
+                x,
+                RoundMode::Stochastic {
+                    r: 64,
+                    word: threshold,
+                },
+            );
+            assert_eq!(dec(&f, up.bits), 1.25, "eps {k}/64: at threshold");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stochastic rounding needs 1..=64")]
+    fn stochastic_rounding_rejects_r_above_max() {
+        let f = FpFormat::e5m2();
+        let _ = f.quantize_f64(1.1, RoundMode::Stochastic { r: 65, word: 0 });
+    }
+
+    #[test]
     fn negative_values_round_magnitude() {
         let f = FpFormat::e5m2();
         let q = f.quantize_f64(-1.1, RN);

@@ -8,21 +8,45 @@
 //! task that exercises the same convolutional pipelines preserves the
 //! relevant behaviour while staying laptop-scale and fully reproducible.
 
+use std::sync::Arc;
+
 use srmac_rng::SplitMix64;
-use srmac_tensor::Tensor;
+use srmac_tensor::{Runtime, Tensor};
 
 /// Number of classes in both synthetic datasets.
 pub const NUM_CLASSES: usize = 10;
 
 /// An in-memory labelled image dataset (NCHW, 3 channels).
+///
+/// Images live behind an `Arc` so batch assembly can hand them to the
+/// shared parallel runtime's `'static` jobs without copying.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    images: Vec<f32>,
+    images: Arc<Vec<f32>>,
     labels: Vec<usize>,
     size: usize,
 }
 
 impl Dataset {
+    /// Wraps raw NCHW image data (3 channels, square images of side
+    /// `size`) and labels into a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len() * 3 * size * size`.
+    #[must_use]
+    pub fn from_parts(images: Vec<f32>, labels: Vec<usize>, size: usize) -> Self {
+        assert_eq!(
+            images.len(),
+            labels.len() * 3 * size * size,
+            "images must hold labels.len() NCHW samples of side {size}"
+        );
+        Self {
+            images: Arc::new(images),
+            labels,
+            size,
+        }
+    }
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -55,18 +79,56 @@ impl Dataset {
     /// Panics if an index is out of range.
     #[must_use]
     pub fn batch(&self, idx: &[usize]) -> (Tensor, Vec<usize>) {
-        let plane = 3 * self.size * self.size;
-        let mut data = Vec::with_capacity(idx.len() * plane);
+        let mut x = Tensor::zeros(&[idx.len(), 3, self.size, self.size]);
         let mut labels = Vec::with_capacity(idx.len());
+        self.batch_into(Runtime::global(), idx, &mut x, &mut labels);
+        (x, labels)
+    }
+
+    /// Assembles a batch into a caller-owned tensor and label buffer —
+    /// the allocation-free path for streaming loops ([`Tensor::data_mut`]
+    /// reuses the buffer whenever no stale share is alive). The sample
+    /// gather runs on `rt`, partitioned per sample; results are bitwise
+    /// identical to [`Dataset::batch`] at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `x` is not
+    /// `[idx.len(), 3, size, size]`.
+    pub fn batch_into(&self, rt: &Runtime, idx: &[usize], x: &mut Tensor, labels: &mut Vec<usize>) {
+        let plane = 3 * self.size * self.size;
+        assert_eq!(
+            x.shape(),
+            &[idx.len(), 3, self.size, self.size],
+            "batch tensor shape must match the index count"
+        );
+        labels.clear();
         for &i in idx {
-            data.extend_from_slice(&self.images[i * plane..(i + 1) * plane]);
+            assert!(
+                i < self.labels.len(),
+                "sample index {i} out of range (dataset has {} samples)",
+                self.labels.len()
+            );
             labels.push(self.labels[i]);
         }
-        let b = idx.len();
-        (
-            Tensor::from_vec(data, &[b, 3, self.size, self.size]),
-            labels,
-        )
+        if rt.threads() == 1 {
+            // Serial fast path: gather straight into the tensor — no index
+            // copy, no pre-zeroing (every element is overwritten).
+            let out = x.data_mut();
+            for (bi, &i) in idx.iter().enumerate() {
+                out[bi * plane..(bi + 1) * plane]
+                    .copy_from_slice(&self.images[i * plane..(i + 1) * plane]);
+            }
+            return;
+        }
+        let images = Arc::clone(&self.images);
+        let idx: Arc<Vec<usize>> = Arc::new(idx.to_vec());
+        rt.parallel_fill(idx.len(), plane, 2, x.data_mut(), move |range, block| {
+            for (bi, s) in range.enumerate() {
+                let from = idx[s] * plane;
+                block[bi * plane..(bi + 1) * plane].copy_from_slice(&images[from..from + plane]);
+            }
+        });
     }
 }
 
@@ -157,11 +219,7 @@ pub fn generate(profile: Profile, n: usize, size: usize, seed: u64) -> Dataset {
             }
         }
     }
-    Dataset {
-        images,
-        labels,
-        size,
-    }
+    Dataset::from_parts(images, labels, size)
 }
 
 /// SynthCIFAR10: the CIFAR-10 stand-in.
@@ -198,6 +256,46 @@ mod tests {
         assert_eq!(x.shape(), &[3, 3, 8, 8]);
         assert_eq!(y.len(), 3);
         assert!(x.all_finite());
+    }
+
+    #[test]
+    fn batch_into_is_thread_invariant_and_reuses_the_buffer() {
+        let d = synth_cifar10(20, 8, 1);
+        let idx = [4usize, 0, 17, 9];
+        let (want_x, want_y) = d.batch(&idx);
+        let mut labels = Vec::new();
+        for threads in 1..=8 {
+            let rt = Runtime::new(threads);
+            let mut x = Tensor::zeros(&[idx.len(), 3, 8, 8]);
+            d.batch_into(&rt, &idx, &mut x, &mut labels);
+            let same = want_x
+                .data()
+                .iter()
+                .zip(x.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{threads} threads: batch gather diverged");
+            assert_eq!(labels, want_y);
+        }
+        // Reuse without stale shares keeps the same allocation.
+        let rt = Runtime::serial();
+        let mut x = Tensor::zeros(&[idx.len(), 3, 8, 8]);
+        d.batch_into(&rt, &idx, &mut x, &mut labels);
+        let ptr = x.data().as_ptr();
+        d.batch_into(&rt, &[1, 2, 3, 4], &mut x, &mut labels);
+        assert_eq!(x.data().as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_rejects_out_of_range_indices() {
+        let d = synth_cifar10(10, 8, 1);
+        let _ = d.batch(&[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must hold")]
+    fn from_parts_rejects_mismatched_lengths() {
+        let _ = Dataset::from_parts(vec![0.0; 10], vec![0, 1], 8);
     }
 
     #[test]

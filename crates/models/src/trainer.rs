@@ -4,7 +4,9 @@
 
 use srmac_rng::SplitMix64;
 use srmac_tensor::layers::Layer;
-use srmac_tensor::{count_correct, softmax_cross_entropy, CosineLr, LossScaler, Sequential, Sgd};
+use srmac_tensor::{
+    count_correct, softmax_cross_entropy, CosineLr, LossScaler, Sequential, Sgd, Tensor,
+};
 
 use crate::data::Dataset;
 
@@ -48,12 +50,18 @@ impl Default for TrainConfig {
 /// Per-epoch training records.
 #[derive(Debug, Clone, Default)]
 pub struct History {
-    /// Mean training loss per epoch.
+    /// Mean training loss per epoch, over the finite batch losses only: a
+    /// batch that overflowed (and whose step the scaler skipped) must not
+    /// poison the whole epoch's mean with NaN when training recovered. An
+    /// epoch with no finite batch at all records NaN truthfully.
     pub train_loss: Vec<f32>,
     /// Test accuracy (percent) per epoch.
     pub test_acc: Vec<f32>,
     /// Steps skipped by the loss scaler.
     pub skipped_steps: usize,
+    /// Batches whose loss came out non-finite (excluded from the
+    /// `train_loss` means).
+    pub nonfinite_batches: usize,
     /// Final loss scale.
     pub final_scale: f32,
 }
@@ -79,6 +87,7 @@ pub fn train(
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> History {
+    assert!(cfg.batch_size > 0, "training needs a nonzero batch size");
     let mut opt = Sgd::new(cfg.momentum, cfg.weight_decay);
     let schedule = CosineLr::new(cfg.lr, cfg.epochs.max(1));
     let mut scaler = LossScaler::with_scale(cfg.init_loss_scale);
@@ -86,6 +95,12 @@ pub fn train(
     let mut history = History::default();
 
     let mut order: Vec<usize> = (0..train.len()).collect();
+    // One reused batch buffer for the whole run (only the final ragged
+    // batch of an epoch reshapes it); assembled on the shared runtime.
+    let rt = srmac_tensor::Runtime::global();
+    let s = train.image_size();
+    let mut x = Tensor::zeros(&[cfg.batch_size.min(train.len().max(1)), 3, s, s]);
+    let mut labels = Vec::with_capacity(cfg.batch_size);
     for epoch in 0..cfg.epochs {
         let lr = schedule.at(epoch);
         // Fisher-Yates shuffle.
@@ -94,13 +109,20 @@ pub fn train(
             order.swap(i, j);
         }
         let mut epoch_loss = 0.0f64;
-        let mut batches = 0usize;
+        let mut finite_batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let (x, labels) = train.batch(chunk);
+            if x.shape()[0] != chunk.len() {
+                x = Tensor::zeros(&[chunk.len(), 3, s, s]);
+            }
+            train.batch_into(rt, chunk, &mut x, &mut labels);
             let logits = model.forward(&x, true);
             let (loss, mut grad) = softmax_cross_entropy(&logits, &labels);
-            epoch_loss += f64::from(loss);
-            batches += 1;
+            if loss.is_finite() {
+                epoch_loss += f64::from(loss);
+                finite_batches += 1;
+            } else {
+                history.nonfinite_batches += 1;
+            }
             grad.scale_(scaler.scale());
             model.backward(&grad);
 
@@ -116,9 +138,11 @@ pub fn train(
             }
         }
         let acc = evaluate(model, test, cfg.batch_size);
-        history
-            .train_loss
-            .push((epoch_loss / batches.max(1) as f64) as f32);
+        history.train_loss.push(if finite_batches > 0 {
+            (epoch_loss / finite_batches as f64) as f32
+        } else {
+            f32::NAN
+        });
         history.test_acc.push(acc);
         if cfg.verbose {
             eprintln!(
@@ -136,11 +160,30 @@ pub fn train(
 }
 
 /// Evaluates classification accuracy (percent) on a dataset.
+///
+/// Batches stream through one reused batch tensor, assembled in parallel
+/// on the shared runtime (`Dataset::batch_into`): after the first batch
+/// the loop performs no per-batch input allocations. Batch boundaries are
+/// identical to the naive per-batch path, so accuracies are bitwise
+/// unchanged under every engine and rounding mode.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
 pub fn evaluate(model: &mut Sequential, data: &Dataset, batch_size: usize) -> f32 {
+    assert!(batch_size > 0, "evaluate needs a nonzero batch size");
+    let rt = srmac_tensor::Runtime::global();
+    let s = data.image_size();
     let idx: Vec<usize> = (0..data.len()).collect();
+    let mut x = Tensor::zeros(&[batch_size.min(data.len().max(1)), 3, s, s]);
+    let mut labels = Vec::with_capacity(batch_size);
     let mut correct = 0usize;
     for chunk in idx.chunks(batch_size) {
-        let (x, labels) = data.batch(chunk);
+        if x.shape()[0] != chunk.len() {
+            // Only the final ragged batch reshapes the buffer.
+            x = Tensor::zeros(&[chunk.len(), 3, s, s]);
+        }
+        data.batch_into(rt, chunk, &mut x, &mut labels);
         let logits = model.forward(&x, false);
         correct += count_correct(&logits, &labels);
     }
@@ -253,12 +296,62 @@ mod tests {
                 engine.name()
             );
             assert_eq!(
+                cached.nonfinite_batches,
+                uncached.nonfinite_batches,
+                "{}",
+                engine.name()
+            );
+            assert_eq!(
                 cached.final_scale,
                 uncached.final_scale,
                 "{}",
                 engine.name()
             );
         }
+    }
+
+    #[test]
+    fn overflow_batch_does_not_poison_the_epoch_loss() {
+        // One sample with absurd magnitudes overflows its batch: the loss
+        // comes out non-finite and the scaler skips that step. The epoch
+        // mean must stay finite (the old code recorded NaN for the whole
+        // epoch although training recovered), and the poisoned batches
+        // must be counted.
+        let base = synth_cifar10(40, 8, 31);
+        let plane = 3 * 8 * 8;
+        let mut images = Vec::with_capacity(40 * plane);
+        for i in 0..40 {
+            let (x, _) = base.batch(&[i]);
+            images.extend_from_slice(x.data());
+        }
+        // Poison one sample far beyond f32 comfort.
+        images[3 * plane..4 * plane]
+            .iter_mut()
+            .for_each(|v| *v = 1.0e20);
+        let ds = Dataset::from_parts(images, base.labels().to_vec(), 8);
+
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+        let mut net = small_net(&engine, true);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.01,
+            ..TrainConfig::default()
+        };
+        let h = train(&mut net, &ds, &base, &cfg);
+        assert!(
+            h.nonfinite_batches > 0,
+            "the poisoned sample must produce at least one non-finite batch loss"
+        );
+        assert!(
+            h.train_loss.iter().all(|l| l.is_finite()),
+            "finite batches exist in every epoch, so no epoch mean may be NaN: {:?}",
+            h.train_loss
+        );
+        assert!(
+            h.skipped_steps > 0,
+            "the scaler must skip the overflowed steps"
+        );
     }
 
     #[test]

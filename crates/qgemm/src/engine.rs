@@ -26,16 +26,19 @@
 //! a pure function of `(values, config.seed)` — independent of packing,
 //! chunking, the worker-pool size and call order.
 
-use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use srmac_fp::FpFormat;
 use srmac_rng::SplitMix64;
+use srmac_runtime::Runtime;
 use srmac_tensor::{GemmEngine, PackSide, PackedOperand};
 
 use crate::fastmath::{AccumRounding, FastAdder, FastQuantizer};
 use crate::lut::ProductLut;
-use crate::pool::WorkerPool;
+
+/// Column-interleave width of the compacted accumulation loop: enough
+/// independent adder chains to hide the scalar add latency on one core.
+const LANES: usize = 4;
 
 /// Configuration of a [`MacGemm`] engine.
 #[derive(Clone, Copy, Debug)]
@@ -192,41 +195,37 @@ impl MacKernel {
         }
     }
 
-    /// Four independent compacted dot products interleaved (columns
-    /// `j .. j + 4` of the same output row). The accumulation chains are
+    /// `L` independent compacted dot products interleaved (columns
+    /// `j .. j + L` of the same output row). The accumulation chains are
     /// serially dependent within themselves but independent of each other,
     /// so interleaving hides adder latency without touching any element's
     /// operation order — results stay bit-identical to running
-    /// [`MacKernel::dot_compact`] four times.
-    fn dot4_compact(
+    /// [`MacKernel::dot_compact`] `L` times.
+    fn dotn_compact<const L: usize>(
         &self,
         ids: &[u32],
         cods: &[u8],
-        bcols: [&[u8]; 4],
-        rngs: &mut [SplitMix64; 4],
-    ) -> [u16; 4] {
-        let mut acc = [0u64; 4];
+        bcols: [&[u8]; L],
+        rngs: &mut [SplitMix64; L],
+    ) -> [u16; L] {
+        let mut acc = [0u64; L];
         let sr = !matches!(self.rounding, AccumRounding::Nearest);
         for (&ci, &ca) in ids.iter().zip(cods) {
-            let p = [
-                self.lut.product(ca, bcols[0][ci as usize]),
-                self.lut.product(ca, bcols[1][ci as usize]),
-                self.lut.product(ca, bcols[2][ci as usize]),
-                self.lut.product(ca, bcols[3][ci as usize]),
-            ];
-            for lane in 0..4 {
+            let p: [u16; L] =
+                std::array::from_fn(|lane| self.lut.product(ca, bcols[lane][ci as usize]));
+            for lane in 0..L {
                 if !self.is_zero_prod(p[lane]) {
                     let word = if sr { rngs[lane].next_u64() } else { 0 };
                     acc[lane] = self.adder.add(acc[lane], u64::from(p[lane]), word);
                 }
             }
         }
-        [acc[0] as u16, acc[1] as u16, acc[2] as u16, acc[3] as u16]
+        acc.map(|a| a as u16)
     }
 
     /// Compacted-A variant of [`MacKernel::compute_rows`] (requires a
     /// NaN-free B operand; see [`MacKernel::dot_compact`]). Columns are
-    /// processed in latency-hiding groups of four.
+    /// processed in latency-hiding groups of [`LANES`].
     fn compute_rows_compact(
         &self,
         compact: &CompactA,
@@ -242,28 +241,16 @@ impl MacKernel {
             let ids = &compact.idx[s..e];
             let cods = &compact.code[s..e];
             let mut j = 0usize;
-            while j + 3 < n {
-                let mut rngs = [
-                    SplitMix64::new(mix_seed(self.seed, i, j)),
-                    SplitMix64::new(mix_seed(self.seed, i, j + 1)),
-                    SplitMix64::new(mix_seed(self.seed, i, j + 2)),
-                    SplitMix64::new(mix_seed(self.seed, i, j + 3)),
-                ];
-                let accs = self.dot4_compact(
-                    ids,
-                    cods,
-                    [
-                        &bcode_t[j * k..(j + 1) * k],
-                        &bcode_t[(j + 1) * k..(j + 2) * k],
-                        &bcode_t[(j + 2) * k..(j + 3) * k],
-                        &bcode_t[(j + 3) * k..(j + 4) * k],
-                    ],
-                    &mut rngs,
-                );
+            while j + (LANES - 1) < n {
+                let mut rngs: [SplitMix64; LANES] =
+                    std::array::from_fn(|l| SplitMix64::new(mix_seed(self.seed, i, j + l)));
+                let bcols: [&[u8]; LANES] =
+                    std::array::from_fn(|l| &bcode_t[(j + l) * k..(j + l + 1) * k]);
+                let accs = self.dotn_compact(ids, cods, bcols, &mut rngs);
                 for (lane, &a) in accs.iter().enumerate() {
                     out_row[j + lane] = self.decode[a as usize];
                 }
-                j += 4;
+                j += LANES;
             }
             while j < n {
                 let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
@@ -287,13 +274,42 @@ struct CompactA {
     code: Vec<u8>,
 }
 
-/// [`PackedOperand`] payload for the A side: dense row-major codes (for
-/// the NaN-fallback path) plus the zero-skipping compaction.
+/// [`PackedOperand`] payload for the A side: the zero-skipping compaction,
+/// plus dense row-major codes materialized lazily — only the NaN-in-B
+/// fallback ever reads them, so the hot path never builds or stores them.
 #[derive(Debug)]
 struct MacPackedA {
-    codes: Arc<Vec<u8>>,
     compact: Arc<CompactA>,
+    dense: OnceLock<Arc<Vec<u8>>>,
+    cols: usize,
+    zero_code: u8,
     fingerprint: u64,
+}
+
+impl MacPackedA {
+    /// Dense row-major codes rebuilt from the compaction, with every
+    /// zero-magnitude entry as `+0`. Bit-exact for the dense fallback: a
+    /// zero-magnitude A code only ever produces `+/-0` (skipped without
+    /// consuming a rounding word, sign irrelevant) or, against a NaN in B,
+    /// the canonical NaN — identical for `+0` and `-0`. (B cannot hold
+    /// infinities: the quantizer saturates them to the largest finite
+    /// value.)
+    fn dense_codes(&self) -> &Arc<Vec<u8>> {
+        self.dense.get_or_init(|| {
+            let rows = self.compact.row_ptr.len() - 1;
+            let mut codes = vec![self.zero_code; rows * self.cols];
+            for r in 0..rows {
+                let (s, e) = (
+                    self.compact.row_ptr[r] as usize,
+                    self.compact.row_ptr[r + 1] as usize,
+                );
+                for (&c, &cd) in self.compact.idx[s..e].iter().zip(&self.compact.code[s..e]) {
+                    codes[r * self.cols + c as usize] = cd;
+                }
+            }
+            Arc::new(codes)
+        })
+    }
 }
 
 /// [`PackedOperand`] payload for the B side: column-major codes and
@@ -343,20 +359,26 @@ impl AWork {
 /// (Hardware uses the Galois LFSR of `srmac-rng`; both are uniform sources,
 /// and the LFSR-driven `MacUnit` is verified separately.)
 ///
-/// Worker threads are spawned once at construction and reused by every
-/// call (see [`WorkerPool`]); dropping the engine joins them.
+/// Dispatch runs on a shared parallel [`Runtime`] (`srmac-runtime`):
+/// by default the engine builds its own runtime sized to
+/// `config.threads`, but [`MacGemm::with_runtime`] lets it share one pool
+/// with the rest of the stack.
 #[derive(Debug)]
 pub struct MacGemm {
     config: MacGemmConfig,
     quant: FastQuantizer,
     zero_code: u8,
     kernel: Arc<MacKernel>,
-    pool: Option<WorkerPool>,
+    runtime: Arc<Runtime>,
 }
 
 impl MacGemm {
-    /// Builds the engine (precomputes product and decode tables, spawns the
-    /// worker pool when `config.threads > 1`).
+    /// Builds the engine (precomputes product and decode tables). At the
+    /// default thread count the engine dispatches on the process-wide
+    /// [`Runtime::global`] — one worker pool shared with the tensor
+    /// layers' data movement, never a second oversubscribing pool; an
+    /// explicit non-default `config.threads` gets a private runtime of
+    /// that size (results are bitwise identical either way).
     ///
     /// # Panics
     ///
@@ -364,6 +386,24 @@ impl MacGemm {
     /// format wider than 8 bits, accumulator wider than 16).
     #[must_use]
     pub fn new(config: MacGemmConfig) -> Self {
+        let runtime = if config.threads == srmac_runtime::available_threads() {
+            Arc::clone(Runtime::global())
+        } else {
+            Arc::new(Runtime::new(config.threads))
+        };
+        Self::with_runtime(config, runtime)
+    }
+
+    /// Builds the engine on an existing shared [`Runtime`] (the pool size
+    /// of `runtime` supersedes `config.threads` for dispatch). Results are
+    /// bitwise identical for every runtime size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats exceed the fast-path envelope (multiplier
+    /// format wider than 8 bits, accumulator wider than 16).
+    #[must_use]
+    pub fn with_runtime(config: MacGemmConfig, runtime: Arc<Runtime>) -> Self {
         let lut = ProductLut::build(config.mul_fmt, config.acc_fmt);
         let quant = FastQuantizer::new(config.mul_fmt);
         let adder = FastAdder::new(config.acc_fmt, config.rounding);
@@ -380,13 +420,12 @@ impl MacGemm {
             rounding: config.rounding,
             seed: config.seed,
         });
-        let pool = (config.threads > 1).then(|| WorkerPool::new(config.threads));
         Self {
             config,
             quant,
             zero_code,
             kernel,
-            pool,
+            runtime,
         }
     }
 
@@ -452,16 +491,6 @@ impl MacGemm {
         payload
     }
 
-    /// Decides the effective worker count for one call (small products run
-    /// inline: the work is cheaper than a pool round-trip).
-    fn effective_threads(&self, m: usize, k: usize, n: usize) -> usize {
-        if m * n * k < 32 * 1024 {
-            1
-        } else {
-            self.pool.as_ref().map_or(1, WorkerPool::threads)
-        }
-    }
-
     fn gemm_codes(
         &self,
         m: usize,
@@ -471,37 +500,17 @@ impl MacGemm {
         bcode_t: &Arc<Vec<u8>>,
         out: &mut [f32],
     ) {
-        let threads = self.effective_threads(m, k, n);
-        let chunk = m.div_ceil(threads).max(1);
-        if threads == 1 || chunk >= m {
-            awork.compute_rows(&self.kernel, bcode_t, k, n, 0, out);
-            return;
-        }
-        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
-        let (tx, rx) = channel::<(usize, Vec<f32>)>();
-        let jobs = m.div_ceil(chunk);
-        for ci in 0..jobs {
-            let kernel = Arc::clone(&self.kernel);
-            let awork = awork.clone();
-            let bcode_t = Arc::clone(bcode_t);
-            let tx = tx.clone();
-            pool.execute(Box::new(move || {
-                let row0 = ci * chunk;
-                let rows = chunk.min(m - row0);
-                let mut block = vec![0.0f32; rows * n];
-                awork.compute_rows(&kernel, &bcode_t, k, n, row0, &mut block);
-                let _ = tx.send((ci, block));
-            }));
-        }
-        drop(tx);
-        let mut completed = 0usize;
-        for (ci, block) in rx.iter().take(jobs) {
-            out[ci * chunk * n..ci * chunk * n + block.len()].copy_from_slice(&block);
-            completed += 1;
-        }
-        // A job that panics drops its sender without sending; silently
-        // returning a partial result would corrupt training numerics.
-        assert_eq!(completed, jobs, "a GEMM worker job died before completing");
+        // Keep each chunk at least as large as the old small-product
+        // threshold (~32k MAC steps): below it the work is cheaper than a
+        // pool round-trip, and `parallel_fill` then runs inline.
+        let grain = (32 * 1024 / (k * n).max(1)).max(1);
+        let kernel = Arc::clone(&self.kernel);
+        let awork = awork.clone();
+        let bcode_t = Arc::clone(bcode_t);
+        self.runtime
+            .parallel_fill(m, n, grain, out, move |rows, block| {
+                awork.compute_rows(&kernel, &bcode_t, k, n, rows.start, block);
+            });
     }
 
     /// One-shot GEMM through per-call `std::thread::scope` spawning — the
@@ -559,17 +568,17 @@ impl GemmEngine for MacGemm {
     fn pack_a(&self, rows: usize, cols: usize, a: &[f32]) -> PackedOperand {
         assert_eq!(a.len(), rows * cols, "A must be rows x cols");
         // Quantize and CSR-compact the non-zero-magnitude entries in one
-        // pass (packing left operands is per-call work on the hot path).
+        // pass (packing left operands is per-call work on the hot path);
+        // dense codes are only materialized if a NaN-carrying B ever asks
+        // for them (see [`MacPackedA::dense_codes`]).
         let mag_mask = srmac_fp::mask(self.config.mul_fmt.bits() - 1) as u8;
-        let mut codes = Vec::with_capacity(rows * cols);
         let mut row_ptr = Vec::with_capacity(rows + 1);
         row_ptr.push(0u32);
-        let mut idx = Vec::new();
-        let mut code = Vec::new();
+        let mut idx = Vec::with_capacity(a.len());
+        let mut code = Vec::with_capacity(a.len());
         for row in a.chunks(cols.max(1)) {
             for (c, &x) in row.iter().enumerate() {
                 let cd = self.quant.quantize(x) as u8;
-                codes.push(cd);
                 if cd & mag_mask != 0 {
                     idx.push(c as u32);
                     code.push(cd);
@@ -578,8 +587,10 @@ impl GemmEngine for MacGemm {
             row_ptr.push(u32::try_from(idx.len()).expect("operand too large to compact"));
         }
         let payload = MacPackedA {
-            codes: Arc::new(codes),
             compact: Arc::new(CompactA { row_ptr, idx, code }),
+            dense: OnceLock::new(),
+            cols,
+            zero_code: self.zero_code,
             fingerprint: self.fingerprint(),
         };
         PackedOperand::new(PackSide::A, rows, cols, Box::new(payload))
@@ -612,7 +623,7 @@ impl GemmEngine for MacGemm {
         let a = self.unpack_a(a, m, k);
         let b = self.unpack_b(b, k, n);
         let awork = if b.has_nan {
-            AWork::Dense(Arc::clone(&a.codes))
+            AWork::Dense(Arc::clone(a.dense_codes()))
         } else {
             AWork::Compact(Arc::clone(&a.compact))
         };
@@ -778,7 +789,10 @@ mod tests {
         let mut a = rand_vec(m * k, 92, 2.0);
         for v in a.iter_mut() {
             if rng.next_f64() < 0.6 {
-                *v = 0.0;
+                // Mix positive and negative zeros: the lazily rebuilt dense
+                // codes canonicalize skipped entries to +0, which must not
+                // change any result (see MacPackedA::dense_codes).
+                *v = if rng.next_f64() < 0.5 { 0.0 } else { -0.0 };
             }
         }
         for rounding in [AccumRounding::Nearest, AccumRounding::Stochastic { r: 13 }] {

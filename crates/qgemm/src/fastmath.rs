@@ -122,22 +122,22 @@ impl FastAdder {
         let (expa0, siga0) = dec(ea, ma);
         let (expb0, sigb0) = dec(eb, mb);
 
-        // Magnitude order via the integer-compare trick (same format).
-        // Select instead of branch: the comparison is data-dependent and
-        // mispredicts constantly in the GEMM inner loop.
+        // Magnitude order via the integer-compare trick (same format),
+        // selected with explicit arithmetic blends: the comparison is
+        // data-dependent and mispredicts constantly in the GEMM inner
+        // loop, so no branch (and no compiler-chosen conditional-move
+        // lottery) is left on this path.
         let amag = a & self.magmask;
         let bmag = b & self.magmask;
         let swap = bmag > amag;
-        let (expa, siga, na) = if swap {
-            (expb0, sigb0, sb)
-        } else {
-            (expa0, siga0, sa)
-        };
-        let (expb, sigb, nb) = if swap {
-            (expa0, siga0, sa)
-        } else {
-            (expb0, sigb0, sb)
-        };
+        let sm = (swap as u64).wrapping_neg();
+        let smi = -(swap as i32);
+        let expa = expa0 ^ ((expa0 ^ expb0) & smi);
+        let expb = expa0 ^ expb0 ^ expa;
+        let siga = siga0 ^ ((siga0 ^ sigb0) & sm);
+        let sigb = siga0 ^ sigb0 ^ siga;
+        let na = (sa & !swap) | (sb & swap);
+        let nb = sa ^ sb ^ na;
         if amag == bmag && na != nb {
             return 0; // exact cancellation -> +0
         }
@@ -155,11 +155,16 @@ impl FastAdder {
             }
         };
 
-        // Effective-subtraction select, again branch-free: for a
-        // subtraction the shifted-out tail (sigma) borrows one ULP and
+        // Branch-free effective subtraction (the operand signs are just as
+        // data-dependent as the magnitude order):
+        // `x - y - sigma == x + !y + (1 - sigma)` in two's complement. For
+        // a subtraction the shifted-out tail (sigma) borrows one ULP and
         // leaves a trail of ones; for an addition it is plain sticky.
         let sub = na != nb;
-        let s = if sub { x - y - u64::from(sigma) } else { x + y };
+        let subm = (sub as u64).wrapping_neg();
+        let s = x
+            .wrapping_add(y ^ subm)
+            .wrapping_add(subm & (1 - u64::from(sigma)));
         let ones = sub && sigma;
         let extra_sticky = !sub && sigma;
         if s == 0 {
@@ -266,6 +271,17 @@ pub struct FastQuantizer {
     emax: i32,
     bias: i32,
     sub: bool,
+    /// Fast normal-range path: enabled when the target's normal range sits
+    /// inside the `f32` normal range.
+    fast: bool,
+    /// `f32` bit pattern of `2^emin` (smallest normal target magnitude).
+    fast_lo: u32,
+    /// `abs_bits >> fast_shift` of the largest finite target value.
+    fast_hi_t: u64,
+    /// Bits dropped from an `f32` significand at the target's precision.
+    fast_shift: u32,
+    /// Exponent-field rebias from `f32` to the target, pre-shifted.
+    fast_rebias: u64,
 }
 
 impl FastQuantizer {
@@ -277,9 +293,21 @@ impl FastQuantizer {
     #[must_use]
     pub fn new(fmt: FpFormat) -> Self {
         assert!(fmt.precision() <= 12, "fast quantizer supports p <= 12");
+        let p = fmt.precision();
+        let fast = fmt.emin() >= -126 && fmt.emax() <= 127;
+        let fast_shift = 23 - (p - 1);
+        let (fast_lo, fast_hi_t) = if fast {
+            let lo = ((fmt.emin() + 127) as u32) << 23;
+            // Exact: the largest finite target value has p <= 12 < 24
+            // significant bits and an in-range exponent.
+            let hi = (fmt.decode_f64(fmt.max_finite_bits(false)) as f32).to_bits();
+            (lo, u64::from(hi >> fast_shift))
+        } else {
+            (0, 0)
+        };
         Self {
             fmt,
-            p: fmt.precision(),
+            p,
             mbits: fmt.man_bits(),
             mmask: fmt.man_mask(),
             signbit: 1 << (fmt.bits() - 1),
@@ -288,6 +316,11 @@ impl FastQuantizer {
             emax: fmt.emax(),
             bias: fmt.bias(),
             sub: fmt.subnormals(),
+            fast,
+            fast_lo,
+            fast_hi_t,
+            fast_shift,
+            fast_rebias: ((127 - fmt.bias()) as u64) << (p - 1),
         }
     }
 
@@ -301,7 +334,34 @@ impl FastQuantizer {
     #[inline]
     #[must_use]
     pub fn quantize(&self, x: f32) -> u64 {
+        // Fast path for strictly-normal, non-saturating results — the
+        // overwhelmingly common case for activations and weights. With the
+        // target quantum aligned inside the `f32` significand, exponent
+        // and mantissa concatenate monotonically and RN-even reduces to
+        // one add on the raw bit pattern (a mantissa carry increments the
+        // exponent field natively). NaN/infinity bit patterns exceed
+        // `fast_hi_t` and fall through, as do subnormal-range and
+        // saturating magnitudes.
         let b = x.to_bits();
+        if self.fast {
+            let abs = b & 0x7FFF_FFFF;
+            if abs >= self.fast_lo {
+                let t = u64::from(abs >> self.fast_shift);
+                let rem = abs & ((1u32 << self.fast_shift) - 1);
+                let half = 1u32 << (self.fast_shift - 1);
+                let t = t + u64::from(rem > half || (rem == half && t & 1 == 1));
+                if t <= self.fast_hi_t {
+                    let sbit = if b >> 31 == 1 { self.signbit } else { 0 };
+                    return sbit | (t - self.fast_rebias);
+                }
+            }
+        }
+        self.quantize_slow(b)
+    }
+
+    /// The general path: subnormal and flush-to-zero range, saturation,
+    /// NaN, and formats whose range exceeds `f32` normals.
+    fn quantize_slow(&self, b: u32) -> u64 {
         let sbit = if b >> 31 == 1 { self.signbit } else { 0 };
         let abs = b & 0x7FFF_FFFF;
         if abs >= 0x7F80_0000 {

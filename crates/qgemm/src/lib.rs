@@ -29,9 +29,12 @@
 //!    engines that share a multiplier format (e.g. an RN and an SR engine
 //!    evaluating the same quantized weights).
 //! 2. **Plan/execute** (`gemm_packed`): run only the bit-exact
-//!    accumulation loops over the prepared codes, parallelized on the
-//!    engine's persistent worker pool. The one-shot `gemm` is the trait's
-//!    default composition — pack on the fly, then execute.
+//!    accumulation loops over the prepared codes, dispatched through the
+//!    shared parallel runtime (`srmac-runtime`) — the same persistent
+//!    worker pool that drives the tensor layer's im2row/col2im/scatter
+//!    data movement ([`MacGemm::with_runtime`] shares one pool across the
+//!    whole stack). The one-shot `gemm` is the trait's default
+//!    composition — pack on the fly, then execute.
 //!
 //! The training layers in `srmac-tensor` exploit this split by caching
 //! their weights' packed forms between optimizer steps: one weight pack
@@ -45,10 +48,13 @@
 //! non-zero product, in `k` order. Consequently results are a pure
 //! function of the operand *values* and the engine configuration —
 //! independent of how operands were packed, how rows were chunked, how
-//! many pool workers ran, and of any previous calls. RN ignores the
+//! many runtime workers ran, and of any previous calls. RN ignores the
 //! streams entirely. This is what makes experiment tables reproducible
 //! and `gemm`/`gemm_packed`/[`MacGemm::gemm_scoped`] bitwise
-//! interchangeable.
+//! interchangeable, and it is one instance of the runtime-wide contract
+//! (`srmac_runtime`): parallel dispatch never splits an output element
+//! across workers and never reorders a reduction, so thread count changes
+//! wall-clock time, never bits.
 //!
 //! # Example
 //!
@@ -82,9 +88,10 @@
 mod engine;
 mod fastmath;
 mod lut;
-mod pool;
 
 pub use engine::{MacGemm, MacGemmConfig};
 pub use fastmath::{AccumRounding, FastAdder, FastQuantizer};
 pub use lut::ProductLut;
-pub use pool::WorkerPool;
+// The worker pool moved into the shared `srmac-runtime` crate; re-exported
+// here (with the runtime itself) for continuity and convenience.
+pub use srmac_runtime::{Runtime, WorkerPool};

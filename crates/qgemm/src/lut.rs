@@ -5,12 +5,16 @@ use srmac_core::ExactMultiplier;
 use srmac_fp::{ops, FpFormat, RoundMode};
 
 /// A dense product lookup table for 8-bit-or-smaller multiplier formats.
+///
+/// The table is always the full 256 x 256 code plane (inputs are masked to
+/// the format during construction), so [`ProductLut::product`] indexes a
+/// fixed-size array with a provably in-range `u8`-derived index — the
+/// bounds check vanishes from the GEMM inner loop.
 #[derive(Debug, Clone)]
 pub struct ProductLut {
     fmt_in: FpFormat,
     fmt_out: FpFormat,
-    width: u32,
-    table: Vec<u16>,
+    table: Box<[u16; 1 << 16]>,
 }
 
 impl ProductLut {
@@ -32,28 +36,24 @@ impl ProductLut {
             fmt_out.bits() <= 16,
             "LUT output format must be at most 16 bits"
         );
-        let n = 1usize << fmt_in.bits();
-        let mut table = vec![0u16; n * n];
-        if let Ok(mult) = ExactMultiplier::new(fmt_in, fmt_out) {
-            for a in 0..n {
-                for b in 0..n {
-                    table[(a << fmt_in.bits()) | b] = mult.multiply(a as u64, b as u64) as u16;
-                }
-            }
-        } else {
-            for a in 0..n {
-                for b in 0..n {
-                    table[(a << fmt_in.bits()) | b] =
-                        ops::mul(fmt_in, fmt_out, a as u64, b as u64, RoundMode::NearestEven)
-                            as u16;
-                }
+        let code_mask = (1u64 << fmt_in.bits()) - 1;
+        let mut table = vec![0u16; 1 << 16];
+        let mult = ExactMultiplier::new(fmt_in, fmt_out).ok();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                // Out-of-format high bits are masked off, so every index a
+                // `u8` pair can form holds the product of valid codes.
+                let (am, bm) = (a & code_mask, b & code_mask);
+                table[((a as usize) << 8) | b as usize] = match &mult {
+                    Some(m) => m.multiply(am, bm) as u16,
+                    None => ops::mul(fmt_in, fmt_out, am, bm, RoundMode::NearestEven) as u16,
+                };
             }
         }
         Self {
             fmt_in,
             fmt_out,
-            width: fmt_in.bits(),
-            table,
+            table: table.into_boxed_slice().try_into().expect("table is 65536"),
         }
     }
 
@@ -73,7 +73,7 @@ impl ProductLut {
     #[inline]
     #[must_use]
     pub fn product(&self, a: u8, b: u8) -> u16 {
-        self.table[((a as usize) << self.width) | b as usize]
+        self.table[((a as usize) << 8) | b as usize]
     }
 }
 

@@ -190,12 +190,14 @@ pub struct SplitMix64 {
 
 impl SplitMix64 {
     /// Creates a generator from a seed.
+    #[inline]
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
     /// Returns the next 64-bit word.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -205,11 +207,13 @@ impl SplitMix64 {
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * 2f64.powi(-53)
     }
 
     /// Returns a uniform `f32` in `[0, 1)`.
+    #[inline]
     pub fn next_f32(&mut self) -> f32 {
         (self.next_u64() >> 40) as f32 * 2f32.powi(-24)
     }

@@ -1,0 +1,374 @@
+//! # srmac-runtime: the shared parallel runtime
+//!
+//! One persistent worker pool and one chunked data-parallel primitive,
+//! shared by every layer of the stack: the `MacGemm` accumulation loops in
+//! `srmac-qgemm` and the data-movement kernels (`im2row`, `col2im`, the
+//! NCHW scatter/gathers, transposes, batch assembly) in `srmac-tensor` /
+//! `srmac-models` all dispatch through a [`Runtime`].
+//!
+//! # The `parallel_fill` determinism contract
+//!
+//! [`Runtime::parallel_fill`] partitions an output buffer into disjoint,
+//! contiguous chunks of whole items and runs one job per chunk. The
+//! contract every caller relies on (and every test asserts):
+//!
+//! - **Disjoint writes.** A job writes only its own chunk. No two chunks
+//!   overlap, so there are no write races and no need for atomics.
+//! - **Zeroed blocks.** Each chunk arrives zero-filled; a job either
+//!   overwrites every element or accumulates into zeros. The serial path
+//!   zero-fills the whole output first, so both paths start identically.
+//! - **No reduction-order changes.** The runtime never splits an *item*
+//!   across jobs and never reassociates arithmetic: whatever order a job
+//!   uses to compute one item is the same order the serial path uses.
+//!   Consequently results are **bitwise identical** for every thread
+//!   count, including 1 — parallelism changes wall-clock time, never bits.
+//!
+//! # Workspace reuse
+//!
+//! Worker jobs must be `'static` (the pool outlives any one call), so
+//! inputs are shared via `Arc` and each job fills a recycled scratch block
+//! that the runtime copies into the caller's output. Scratch blocks live
+//! in a free list on the runtime: after warm-up, a steady-state training
+//! step performs no transient allocations inside the runtime. The
+//! [`Workspace`] type gives callers the same property for their own
+//! buffers: a persistently owned, cheaply sharable `Arc<Vec<f32>>` whose
+//! exclusive view is recovered without copying once in-flight shares are
+//! dropped.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod pool;
+
+pub use pool::WorkerPool;
+
+use std::ops::Range;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of worker threads to use by default (the machine's available
+/// parallelism).
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A parallel execution context: an optional persistent [`WorkerPool`]
+/// plus a free list of recycled scratch blocks.
+///
+/// A runtime with one thread has no pool at all; every dispatch runs
+/// inline on the caller's thread with zero overhead. Results are bitwise
+/// identical either way (see the module docs).
+#[derive(Debug)]
+pub struct Runtime {
+    pool: Option<WorkerPool>,
+    scratch: Mutex<Vec<Vec<f32>>>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `threads` workers (min 1; 1 means serial).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A strictly serial runtime (no pool, inline execution).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The process-wide shared runtime, sized to [`available_threads`].
+    /// Layers and models use this by default so the whole stack shares one
+    /// pool instead of spawning one per layer.
+    #[must_use]
+    pub fn global() -> &'static Arc<Runtime> {
+        static GLOBAL: OnceLock<Arc<Runtime>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Runtime::new(available_threads())))
+    }
+
+    /// Worker count (1 for a serial runtime).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
+    /// Fills `out` — logically `items` items of `item_len` elements each —
+    /// by running `job(range, block)` over disjoint chunks of whole items.
+    ///
+    /// `out` is treated as fully overwritten: every element the job does
+    /// not write ends up `0.0`. `grain` is the minimum number of items per
+    /// chunk; work smaller than one grain (or a serial runtime) runs
+    /// inline. See the module docs for the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != items * item_len` or if a worker job dies
+    /// (a panicking job would otherwise silently corrupt the output).
+    pub fn parallel_fill<F>(
+        &self,
+        items: usize,
+        item_len: usize,
+        grain: usize,
+        out: &mut [f32],
+        job: F,
+    ) where
+        F: Fn(Range<usize>, &mut [f32]) + Send + Sync + 'static,
+    {
+        assert_eq!(out.len(), items * item_len, "out must be items * item_len");
+        let threads = self.threads();
+        let chunk = items.div_ceil(threads).max(grain.max(1));
+        if threads == 1 || chunk >= items {
+            out.fill(0.0);
+            if items > 0 {
+                job(0..items, out);
+            }
+            return;
+        }
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let jobs = items.div_ceil(chunk);
+        let job = Arc::new(job);
+        let (tx, rx) = channel::<(usize, Vec<f32>)>();
+        for ci in 0..jobs {
+            let start = ci * chunk;
+            let end = (start + chunk).min(items);
+            let mut block = self
+                .scratch
+                .lock()
+                .expect("scratch poisoned")
+                .pop()
+                .unwrap_or_default();
+            let job = Arc::clone(&job);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                block.clear();
+                block.resize((end - start) * item_len, 0.0);
+                job(start..end, &mut block);
+                let _ = tx.send((ci, block));
+            }));
+        }
+        drop(tx);
+        let mut completed = 0usize;
+        for (ci, block) in rx.iter().take(jobs) {
+            out[ci * chunk * item_len..ci * chunk * item_len + block.len()].copy_from_slice(&block);
+            self.recycle(block);
+            completed += 1;
+        }
+        // A job that panics drops its sender without sending; returning a
+        // partial result would silently corrupt downstream numerics.
+        assert_eq!(
+            completed, jobs,
+            "a runtime worker job died before completing"
+        );
+    }
+
+    fn recycle(&self, block: Vec<f32>) {
+        let mut stash = self.scratch.lock().expect("scratch poisoned");
+        // Bound the free list by the only concurrency the pool can reach.
+        if stash.len() < 2 * self.threads() {
+            stash.push(block);
+        }
+    }
+}
+
+/// A persistently owned, cheaply sharable `f32` buffer for layer
+/// workspaces.
+///
+/// [`Workspace::share`] hands an `Arc` clone to `'static` runtime jobs;
+/// [`Workspace::reset`] recovers the exclusive mutable view once those
+/// shares are gone (which [`Runtime::parallel_fill`] guarantees by the
+/// time it returns). If a stale share *is* still alive — e.g. a layer
+/// cached it for a backward pass that has not run yet — `reset` clones
+/// instead of corrupting it, so reuse is an optimization, never a
+/// correctness hazard.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    buf: Arc<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and resizes the buffer to `len` zeros, returning the
+    /// exclusive mutable view. Reuses the existing allocation whenever no
+    /// share is outstanding.
+    pub fn reset(&mut self, len: usize) -> &mut Vec<f32> {
+        let buf = Arc::make_mut(&mut self.buf);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// A shared handle for `'static` runtime jobs.
+    #[must_use]
+    pub fn share(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.buf)
+    }
+
+    /// Read-only view of the current contents.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reference fill: the contract says parallel_fill(out) must equal
+    /// zero-fill + job(0..items, out) bit for bit.
+    fn serial_reference<F>(items: usize, item_len: usize, job: F) -> Vec<f32>
+    where
+        F: Fn(Range<usize>, &mut [f32]),
+    {
+        let mut out = vec![f32::NAN; items * item_len];
+        out.fill(0.0);
+        job(0..items, &mut out);
+        out
+    }
+
+    fn gather_job(
+        src: Arc<Vec<f32>>,
+        item_len: usize,
+    ) -> impl Fn(Range<usize>, &mut [f32]) + Send + Sync {
+        move |range: Range<usize>, block: &mut [f32]| {
+            for (bi, item) in range.clone().enumerate() {
+                for j in 0..item_len {
+                    // A non-trivial, item-dependent computation.
+                    block[bi * item_len + j] = src[item * item_len + j] * 0.5 + (item as f32).sin();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_is_bitwise_thread_invariant() {
+        let (items, item_len) = (37, 13);
+        let src = Arc::new(
+            (0..items * item_len)
+                .map(|i| i as f32 * 0.17 - 3.0)
+                .collect::<Vec<_>>(),
+        );
+        let want = serial_reference(items, item_len, gather_job(Arc::clone(&src), item_len));
+        for threads in 1..=8 {
+            let rt = Runtime::new(threads);
+            let mut out = vec![f32::NAN; items * item_len];
+            rt.parallel_fill(
+                items,
+                item_len,
+                1,
+                &mut out,
+                gather_job(Arc::clone(&src), item_len),
+            );
+            let same = want
+                .iter()
+                .zip(&out)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{threads} threads: parallel fill diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_fill_zeroes_unwritten_elements() {
+        let rt = Runtime::new(3);
+        let mut out = vec![f32::NAN; 12];
+        // Job writes only the first element of each item.
+        rt.parallel_fill(4, 3, 1, &mut out, |range, block| {
+            for (bi, item) in range.enumerate() {
+                block[bi * 3] = item as f32 + 1.0;
+            }
+        });
+        assert_eq!(
+            out,
+            vec![1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 4.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn grain_forces_inline_execution_for_small_work() {
+        let rt = Runtime::new(4);
+        let mut out = vec![0.0f32; 8];
+        // items <= grain: must run inline (observable as a single range).
+        let ranges = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&ranges);
+        rt.parallel_fill(8, 1, 8, &mut out, move |range, block| {
+            seen.lock().unwrap().push(range.clone());
+            for (bi, item) in range.enumerate() {
+                block[bi] = item as f32;
+            }
+        });
+        let seen_ranges = ranges.lock().unwrap();
+        assert_eq!(seen_ranges.len(), 1, "inline execution means one job");
+        assert_eq!(seen_ranges[0], 0..8);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job died")]
+    fn panicking_job_fails_the_fill_loudly() {
+        let rt = Runtime::new(2);
+        let mut out = vec![0.0f32; 64];
+        rt.parallel_fill(64, 1, 1, &mut out, |range, _block| {
+            if range.start >= 32 {
+                panic!("job failure injection");
+            }
+        });
+    }
+
+    #[test]
+    fn scratch_blocks_are_recycled() {
+        let rt = Runtime::new(2);
+        for _ in 0..10 {
+            let mut out = vec![0.0f32; 64 * 4];
+            rt.parallel_fill(64, 4, 1, &mut out, |range, block| {
+                for (bi, item) in range.enumerate() {
+                    block[bi * 4] = item as f32;
+                }
+            });
+        }
+        let stash = rt.scratch.lock().unwrap();
+        assert!(
+            !stash.is_empty() && stash.len() <= 2 * rt.threads(),
+            "free list should hold a bounded number of recycled blocks, has {}",
+            stash.len()
+        );
+    }
+
+    #[test]
+    fn workspace_reuses_allocation_and_respects_stale_shares() {
+        let mut ws = Workspace::new();
+        ws.reset(16)
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = i as f32);
+        let ptr = ws.as_slice().as_ptr();
+        // No outstanding share: same allocation, contents re-zeroed.
+        let buf = ws.reset(16);
+        assert_eq!(buf.as_ptr(), ptr);
+        assert!(buf.iter().all(|&v| v == 0.0));
+
+        // Outstanding share: reset must not corrupt it.
+        ws.reset(4).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let held = ws.share();
+        ws.reset(4).copy_from_slice(&[9.0; 4]);
+        assert_eq!(held.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ws.as_slice(), &[9.0; 4]);
+    }
+
+    #[test]
+    fn global_runtime_is_shared() {
+        let a = Arc::as_ptr(Runtime::global());
+        let b = Arc::as_ptr(Runtime::global());
+        assert_eq!(a, b);
+        assert!(Runtime::global().threads() >= 1);
+    }
+}

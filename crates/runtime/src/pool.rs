@@ -1,7 +1,7 @@
-//! A persistent worker pool for the GEMM engines: threads are spawned once
-//! per engine and reused across every `gemm`/`gemm_packed` call, replacing
-//! the per-call `std::thread::scope` spawning of the original design (OS
-//! thread creation dominated small- and mid-sized products).
+//! A persistent worker pool: threads are spawned once per [`crate::Runtime`]
+//! and reused across every dispatch, replacing the per-call
+//! `std::thread::scope` spawning of the original design (OS thread creation
+//! dominated small- and mid-sized products).
 //!
 //! Jobs are `'static` closures; callers share inputs via `Arc` and collect
 //! owned per-chunk outputs over a channel, which keeps the pool free of
@@ -30,7 +30,7 @@ impl WorkerPool {
             .map(|i| {
                 let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
                 std::thread::Builder::new()
-                    .name(format!("srmac-gemm-{i}"))
+                    .name(format!("srmac-rt-{i}"))
                     .spawn(move || loop {
                         // Holding the lock only while dequeueing; disconnect
                         // (pool drop) ends the loop.
@@ -54,13 +54,13 @@ impl WorkerPool {
                                         .map(ToString::to_string)
                                         .or_else(|| payload.downcast_ref::<String>().cloned())
                                         .unwrap_or_else(|| "non-string panic".to_owned());
-                                    eprintln!("srmac-gemm worker: job panicked: {msg}");
+                                    eprintln!("srmac-runtime worker: job panicked: {msg}");
                                 }
                             }
                             Err(_) => break,
                         }
                     })
-                    .expect("failed to spawn GEMM worker")
+                    .expect("failed to spawn runtime worker")
             })
             .collect();
         Self {
@@ -86,7 +86,7 @@ impl WorkerPool {
             .as_ref()
             .expect("pool already shut down")
             .send(job)
-            .expect("GEMM worker pool disconnected");
+            .expect("runtime worker pool disconnected");
     }
 }
 

@@ -171,14 +171,8 @@ pub struct F32Engine {
 
 impl Default for F32Engine {
     fn default() -> Self {
-        Self::new(available_threads())
+        Self::new(srmac_runtime::available_threads())
     }
-}
-
-/// Number of worker threads to use by default.
-#[must_use]
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// The [`PackedOperand`] payload of [`F32Engine`]: a plain `f32` copy.

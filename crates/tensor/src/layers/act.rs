@@ -69,7 +69,10 @@ impl MaxPool2 {
 impl Layer for MaxPool2 {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even spatial dims");
+        assert!(
+            h >= 2 && w >= 2 && h % 2 == 0 && w % 2 == 0,
+            "MaxPool2 needs even spatial dims of at least 2, got {h}x{w}"
+        );
         let (oh, ow) = (h / 2, w / 2);
         let xd = x.data();
         let mut y = Tensor::zeros(&[n, c, oh, ow]);
@@ -144,6 +147,12 @@ impl Layer for GlobalAvgPool {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let plane = h * w;
+        // An empty plane would average over zero elements (0/0 = NaN
+        // propagating silently into the head); fail with geometry instead.
+        assert!(
+            plane > 0,
+            "GlobalAvgPool needs a nonempty plane, got {h}x{w}"
+        );
         let mut y = Tensor::zeros(&[n, c]);
         {
             let yd = y.data_mut();

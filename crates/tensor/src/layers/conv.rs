@@ -2,13 +2,21 @@
 //! implemented as General Matrix Multiplications" (Sec. II-B). All three
 //! products — forward, weight gradient and data gradient — run on the
 //! session's GEMM engine and therefore on the emulated low-precision MAC
-//! when the experiment configures one.
+//! when the experiment configures one; all the data movement around them
+//! (im2row, col2im, the NCHW scatter/gathers) runs on the shared parallel
+//! [`Runtime`] into reusable per-layer workspaces, so a warmed-up training
+//! step performs no transient layout allocations in this layer.
 
 use std::sync::Arc;
 
-use crate::engine::{transpose, GemmEngine, PackedOperand};
+use srmac_runtime::{Runtime, Workspace};
+
+use crate::engine::{GemmEngine, PackedOperand};
 use crate::layers::{Layer, Param};
-use crate::Tensor;
+use crate::movement::{
+    col2im, conv_out_size, im2row, nchw_to_channel_rows, nchw_to_rows, rows_to_nchw,
+};
+use crate::{transpose, Tensor};
 
 /// A 2-D convolution (square kernel, no bias — a norm layer follows in all
 /// the paper's models).
@@ -25,12 +33,22 @@ pub struct Conv2d {
     pad: usize,
     weight: Param, // [out_c, in_c * k * k]
     engine: Arc<dyn GemmEngine>,
+    runtime: Arc<Runtime>,
     cache: Option<Cache>,
     pack_weights: bool,
     /// `pack_b` of `W^T` (`[K, out_c]`) at a weight version.
     fwd_pack: Option<(u64, PackedOperand)>,
     /// `pack_b` of `W` (`[out_c, K]`) at a weight version.
     bwd_pack: Option<(u64, PackedOperand)>,
+    /// Reusable layout workspaces (see the module docs). `rows` migrates
+    /// into the training cache and returns after `backward`; the
+    /// [`Workspace`] buffers are additionally shared with runtime jobs.
+    rows_scratch: Vec<f32>,
+    yt_ws: Workspace,
+    drows_ws: Workspace,
+    dy_ocns_scratch: Vec<f32>,
+    dy_nsoc_scratch: Vec<f32>,
+    dw_scratch: Vec<f32>,
 }
 
 struct Cache {
@@ -51,7 +69,9 @@ impl Conv2d {
     ///
     /// # Panics
     ///
-    /// Panics on a weight shape mismatch.
+    /// Panics on a weight shape mismatch, a zero kernel size, or a zero
+    /// stride. (Input-size-dependent geometry — padded input at least as
+    /// large as the kernel — is validated per call in `forward`.)
     #[must_use]
     pub fn new(
         in_c: usize,
@@ -62,6 +82,8 @@ impl Conv2d {
         weight: Tensor,
         engine: Arc<dyn GemmEngine>,
     ) -> Self {
+        assert!(k > 0, "conv kernel size must be nonzero");
+        assert!(stride > 0, "conv stride must be nonzero");
         assert_eq!(
             weight.shape(),
             &[out_c, in_c * k * k],
@@ -75,10 +97,17 @@ impl Conv2d {
             pad,
             weight: Param::new(weight, true),
             engine,
+            runtime: Arc::clone(Runtime::global()),
             cache: None,
             pack_weights: true,
             fwd_pack: None,
             bwd_pack: None,
+            rows_scratch: Vec::new(),
+            yt_ws: Workspace::new(),
+            drows_ws: Workspace::new(),
+            dy_ocns_scratch: Vec::new(),
+            dy_nsoc_scratch: Vec::new(),
+            dw_scratch: Vec::new(),
         }
     }
 
@@ -87,6 +116,15 @@ impl Conv2d {
     #[must_use]
     pub fn with_weight_pack_caching(mut self, on: bool) -> Self {
         self.pack_weights = on;
+        self
+    }
+
+    /// Replaces the parallel runtime used for the layer's data movement
+    /// (default: the process-wide [`Runtime::global`]). Results are
+    /// bitwise identical for every runtime size.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -116,80 +154,15 @@ impl Conv2d {
         }
     }
 
-    /// Output spatial size for an input of height/width `s`.
+    /// Output spatial size for an input of height/width `s`, with the
+    /// geometry validated (see [`conv_out_size`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s + 2*pad` is smaller than the kernel.
     #[must_use]
     pub fn out_size(&self, s: usize) -> usize {
-        (s + 2 * self.pad - self.k) / self.stride + 1
-    }
-
-    fn im2row(&self, x: &Tensor) -> (Vec<f32>, (usize, usize)) {
-        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-        let (oh, ow) = (self.out_size(h), self.out_size(w));
-        let kk = self.k;
-        let kdim = c * kk * kk;
-        let mut rows = vec![0.0f32; n * oh * ow * kdim];
-        let xd = x.data();
-        for img in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &mut rows[((img * oh + oy) * ow + ox) * kdim
-                        ..((img * oh + oy) * ow + ox + 1) * kdim];
-                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
-                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
-                    for ch in 0..c {
-                        for ky in 0..kk {
-                            let iy = iy0 + ky as isize;
-                            for kx in 0..kk {
-                                let ix = ix0 + kx as isize;
-                                let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                                {
-                                    xd[((img * c + ch) * h + iy as usize) * w + ix as usize]
-                                } else {
-                                    0.0
-                                };
-                                row[(ch * kk + ky) * kk + kx] = v;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        (rows, (oh, ow))
-    }
-
-    fn col2im(&self, drows: &[f32], shape: [usize; 4], oh: usize, ow: usize) -> Tensor {
-        let [n, c, h, w] = shape;
-        let kk = self.k;
-        let kdim = c * kk * kk;
-        let mut dx = Tensor::zeros(&[n, c, h, w]);
-        let dxd = dx.data_mut();
-        for img in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &drows[((img * oh + oy) * ow + ox) * kdim
-                        ..((img * oh + oy) * ow + ox + 1) * kdim];
-                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
-                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
-                    for ch in 0..c {
-                        for ky in 0..kk {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..kk {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                dxd[((img * c + ch) * h + iy as usize) * w + ix as usize] +=
-                                    row[(ch * kk + ky) * kk + kx];
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        dx
+        conv_out_size(s, self.k, self.stride, self.pad)
     }
 }
 
@@ -198,35 +171,47 @@ impl Layer for Conv2d {
         assert_eq!(x.shape().len(), 4, "conv expects NCHW input");
         assert_eq!(x.shape()[1], self.in_c, "channel mismatch");
         let [n, _, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-        let (rows, (oh, ow)) = self.im2row(x);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
         let ns = n * oh * ow;
         let kdim = self.in_c * self.k * self.k;
 
+        let mut rows = std::mem::take(&mut self.rows_scratch);
+        rows.resize(ns * kdim, 0.0);
+        im2row(
+            &self.runtime,
+            &x.shared_data(),
+            [n, self.in_c, h, w],
+            self.k,
+            self.stride,
+            self.pad,
+            &mut rows,
+        );
+
         // Yt (ns x out_c) = rows (ns x K) * W^T (K x out_c).
-        let mut yt = vec![0.0f32; ns * self.out_c];
+        let mut yt_ws = std::mem::take(&mut self.yt_ws);
+        let yt = yt_ws.reset(ns * self.out_c);
         if self.use_packed() {
             self.ensure_forward_pack();
             let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
             let ra = self.engine.pack_a(ns, kdim, &rows);
             self.engine
-                .gemm_packed(ns, kdim, self.out_c, &ra, wt_pack, &mut yt);
+                .gemm_packed(ns, kdim, self.out_c, &ra, wt_pack, yt);
         } else {
             let wt = transpose(self.weight.value.data(), self.out_c, kdim);
-            self.engine.gemm(ns, kdim, self.out_c, &rows, &wt, &mut yt);
+            self.engine.gemm(ns, kdim, self.out_c, &rows, &wt, yt);
         }
 
         // Scatter [n*oh*ow, out_c] -> [n, out_c, oh, ow].
         let mut y = Tensor::zeros(&[n, self.out_c, oh, ow]);
-        let yd = y.data_mut();
-        let spatial = oh * ow;
-        for img in 0..n {
-            for s in 0..spatial {
-                for oc in 0..self.out_c {
-                    yd[(img * self.out_c + oc) * spatial + s] =
-                        yt[(img * spatial + s) * self.out_c + oc];
-                }
-            }
-        }
+        rows_to_nchw(
+            &self.runtime,
+            &yt_ws.share(),
+            n,
+            self.out_c,
+            oh * ow,
+            y.data_mut(),
+        );
+        self.yt_ws = yt_ws;
 
         if train {
             self.cache = Some(Cache {
@@ -234,6 +219,8 @@ impl Layer for Conv2d {
                 in_shape: [n, self.in_c, h, w],
                 out_hw: (oh, ow),
             });
+        } else {
+            self.rows_scratch = rows;
         }
         y
     }
@@ -248,24 +235,20 @@ impl Layer for Conv2d {
         let spatial = oh * ow;
         let ns = n * spatial;
         let kdim = self.in_c * self.k * self.k;
-        let gd = grad.data();
+        let gd = grad.shared_data();
 
         // Gather grad into both layouts used by the two products.
-        let mut dy_ocns = vec![0.0f32; self.out_c * ns]; // [oc, n*s]
-        let mut dy_nsoc = vec![0.0f32; ns * self.out_c]; // [n*s, oc]
-        for img in 0..n {
-            for oc in 0..self.out_c {
-                for s in 0..spatial {
-                    let v = gd[(img * self.out_c + oc) * spatial + s];
-                    dy_ocns[oc * ns + img * spatial + s] = v;
-                    dy_nsoc[(img * spatial + s) * self.out_c + oc] = v;
-                }
-            }
-        }
+        let mut dy_ocns = std::mem::take(&mut self.dy_ocns_scratch); // [oc, n*s]
+        dy_ocns.resize(self.out_c * ns, 0.0);
+        nchw_to_channel_rows(&self.runtime, &gd, n, self.out_c, spatial, &mut dy_ocns);
+        let mut dy_nsoc = std::mem::take(&mut self.dy_nsoc_scratch); // [n*s, oc]
+        dy_nsoc.resize(ns * self.out_c, 0.0);
+        nchw_to_rows(&self.runtime, &gd, n, self.out_c, spatial, &mut dy_nsoc);
 
         // dW (out_c x K) = dY (out_c x ns) * rows (ns x K) — both operands
         // are fresh per step, so this product packs on the fly.
-        let mut dw = vec![0.0f32; self.out_c * kdim];
+        let mut dw = std::mem::take(&mut self.dw_scratch);
+        dw.resize(self.out_c * kdim, 0.0);
         self.engine
             .gemm(self.out_c, ns, kdim, &dy_ocns, &cache.rows, &mut dw);
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
@@ -273,13 +256,14 @@ impl Layer for Conv2d {
         }
 
         // dRows (ns x K) = dY (ns x out_c) * W (out_c x K).
-        let mut drows = vec![0.0f32; ns * kdim];
+        let mut drows_ws = std::mem::take(&mut self.drows_ws);
+        let drows = drows_ws.reset(ns * kdim);
         if self.use_packed() {
             self.ensure_backward_pack();
             let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
             let ga = self.engine.pack_a(ns, self.out_c, &dy_nsoc);
             self.engine
-                .gemm_packed(ns, self.out_c, kdim, &ga, w_pack, &mut drows);
+                .gemm_packed(ns, self.out_c, kdim, &ga, w_pack, drows);
         } else {
             self.engine.gemm(
                 ns,
@@ -287,10 +271,28 @@ impl Layer for Conv2d {
                 kdim,
                 &dy_nsoc,
                 self.weight.value.data(),
-                &mut drows,
+                drows,
             );
         }
-        self.col2im(&drows, cache.in_shape, oh, ow)
+
+        let mut dx = Tensor::zeros(&cache.in_shape);
+        col2im(
+            &self.runtime,
+            &drows_ws.share(),
+            cache.in_shape,
+            self.k,
+            self.stride,
+            self.pad,
+            dx.data_mut(),
+        );
+
+        // Return every workspace for the next step.
+        self.drows_ws = drows_ws;
+        self.dy_ocns_scratch = dy_ocns;
+        self.dy_nsoc_scratch = dy_nsoc;
+        self.dw_scratch = dw;
+        self.rows_scratch = cache.rows;
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

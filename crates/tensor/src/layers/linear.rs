@@ -2,28 +2,37 @@
 
 use std::sync::Arc;
 
-use crate::engine::{transpose, GemmEngine, PackedOperand};
+use srmac_runtime::Runtime;
+
+use crate::engine::{GemmEngine, PackedOperand};
 use crate::layers::{Layer, Param};
-use crate::Tensor;
+use crate::movement::transpose_into;
+use crate::{transpose, Tensor};
 
 /// `y = x W^T + b` with `W: [out, in]`, `x: [N, in]`.
 ///
 /// The two weight-sided products (forward `x W^T`, backward `dY W`) run on
 /// cached [`PackedOperand`]s keyed on the weight's version, so the engine
 /// quantizes/retiles the weight once per optimizer step instead of once per
-/// product — and not at all during evaluation.
+/// product — and not at all during evaluation. Transposes run on the shared
+/// parallel [`Runtime`] into reused scratch buffers.
 pub struct Linear {
     in_f: usize,
     out_f: usize,
     weight: Param,
     bias: Param,
     engine: Arc<dyn GemmEngine>,
+    runtime: Arc<Runtime>,
     cache: Option<Tensor>,
     pack_weights: bool,
     /// `pack_b` of `W^T` (`[in, out]`) at a weight version.
     fwd_pack: Option<(u64, PackedOperand)>,
     /// `pack_b` of `W` (`[out, in]`) at a weight version.
     bwd_pack: Option<(u64, PackedOperand)>,
+    /// Reusable `dY^T` scratch for the weight-gradient product.
+    dyt_scratch: Vec<f32>,
+    /// Reusable `dW` scratch for the gradient accumulation.
+    dw_scratch: Vec<f32>,
 }
 
 impl std::fmt::Debug for Linear {
@@ -51,10 +60,13 @@ impl Linear {
             weight: Param::new(weight, true),
             bias: Param::new(Tensor::zeros(&[out_f]), false),
             engine,
+            runtime: Arc::clone(Runtime::global()),
             cache: None,
             pack_weights: true,
             fwd_pack: None,
             bwd_pack: None,
+            dyt_scratch: Vec::new(),
+            dw_scratch: Vec::new(),
         }
     }
 
@@ -63,6 +75,15 @@ impl Linear {
     #[must_use]
     pub fn with_weight_pack_caching(mut self, on: bool) -> Self {
         self.pack_weights = on;
+        self
+    }
+
+    /// Replaces the parallel runtime used for the layer's data movement
+    /// (default: the process-wide [`Runtime::global`]). Results are
+    /// bitwise identical for every runtime size.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -129,13 +150,18 @@ impl Layer for Linear {
 
         // dW (out x in) = dY^T (out x N) * X (N x in) — both operands are
         // fresh per step, so this product packs on the fly.
-        let dyt = transpose(grad.data(), n, self.out_f);
-        let mut dw = vec![0.0f32; self.out_f * self.in_f];
+        let mut dyt = std::mem::take(&mut self.dyt_scratch);
+        dyt.resize(n * self.out_f, 0.0);
+        transpose_into(&self.runtime, &grad.shared_data(), n, self.out_f, &mut dyt);
+        let mut dw = std::mem::take(&mut self.dw_scratch);
+        dw.resize(self.out_f * self.in_f, 0.0);
         self.engine
             .gemm(self.out_f, n, self.in_f, &dyt, x.data(), &mut dw);
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
             *g += d;
         }
+        self.dyt_scratch = dyt;
+        self.dw_scratch = dw;
 
         // db = column sums of dY.
         for row in grad.data().chunks(self.out_f) {

@@ -49,6 +49,12 @@ impl Layer for BatchNorm2d {
         let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         assert_eq!(c, self.channels);
         let plane = h * w;
+        // Zero elements per channel would make every statistic 0/0 = NaN;
+        // surface the degenerate geometry instead of training on NaNs.
+        assert!(
+            n * plane > 0,
+            "batchnorm needs a nonempty batch and plane, got n={n}, {h}x{w}"
+        );
         let count = (n * plane) as f32;
         let xd = x.data();
 

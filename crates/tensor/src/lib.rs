@@ -16,6 +16,14 @@
 //! parameter updates, so a training step quantizes each weight once and
 //! evaluation batches reuse it for free.
 //!
+//! The data movement around those products — [`movement::im2row`],
+//! [`movement::col2im`], the NCHW scatter/gathers, transposes — runs on
+//! the shared parallel [`Runtime`] into reusable per-layer workspaces,
+//! under a hard determinism contract: disjoint writes, no
+//! reduction-order changes, bitwise-identical results at every thread
+//! count. [`Tensor`] storage is `Arc`-backed copy-on-write so runtime
+//! jobs share input buffers without copying.
+//!
 //! # Example
 //!
 //! ```
@@ -46,13 +54,15 @@ mod engine;
 pub mod init;
 pub mod layers;
 mod loss;
+pub mod movement;
 pub mod optim;
 mod tensor;
 
-pub use engine::{
-    available_threads, matmul, transpose, F32Engine, GemmEngine, PackSide, PackedOperand,
-};
+pub use engine::{matmul, transpose, F32Engine, GemmEngine, PackSide, PackedOperand};
 pub use layers::{Layer, Param, Sequential};
 pub use loss::{count_correct, softmax_cross_entropy};
 pub use optim::{CosineLr, LossScaler, Sgd};
+// The parallel runtime all data movement (and the qgemm engine) dispatches
+// through; re-exported so downstream crates need no direct dependency.
+pub use srmac_runtime::{available_threads, Runtime, Workspace};
 pub use tensor::Tensor;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Process-wide generation source: every tensor construction and every
 /// mutation takes a fresh value, so no two distinct tensor states — not
@@ -25,9 +26,15 @@ fn next_generation() -> u64 {
 /// (optimizer step, gradient-check probe, manual weight surgery, even
 /// assigning a brand-new tensor over a parameter) invalidates the caches
 /// without cooperation from the writer.
+///
+/// Storage is an `Arc<Vec<f32>>` with copy-on-write mutation: clones are
+/// O(1) and share the buffer, and [`Tensor::shared_data`] hands the same
+/// buffer to the `'static` jobs of the shared parallel runtime
+/// (`srmac_runtime::Runtime`) without copying. A mutable access clones the
+/// storage only when another handle is still alive.
 #[derive(Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Vec<usize>,
     generation: u64,
 }
@@ -44,7 +51,7 @@ impl Tensor {
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
         Self {
-            data: vec![0.0; shape.iter().product()],
+            data: Arc::new(vec![0.0; shape.iter().product()]),
             shape: shape.to_vec(),
             generation: next_generation(),
         }
@@ -63,7 +70,7 @@ impl Tensor {
             "data length must match shape {shape:?}"
         );
         Self {
-            data,
+            data: Arc::new(data),
             shape: shape.to_vec(),
             generation: next_generation(),
         }
@@ -98,10 +105,18 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the storage (counts as a mutation).
+    /// Shared handle to the storage (for `'static` parallel-runtime jobs);
+    /// an O(1) `Arc` clone, no copying.
+    #[must_use]
+    pub fn shared_data(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.data)
+    }
+
+    /// Mutable view of the storage (counts as a mutation). Copies the
+    /// buffer first if another handle still shares it (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [f32] {
         self.generation = next_generation();
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Reinterprets the tensor with a new shape of equal element count.
@@ -123,7 +138,9 @@ impl Tensor {
     /// Fills with zeros in place.
     pub fn zero_(&mut self) {
         self.generation = next_generation();
-        self.data.iter_mut().for_each(|v| *v = 0.0);
+        Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .for_each(|v| *v = 0.0);
     }
 
     /// True if every element is finite.
@@ -135,7 +152,9 @@ impl Tensor {
     /// In-place scaling.
     pub fn scale_(&mut self, s: f32) {
         self.generation = next_generation();
-        self.data.iter_mut().for_each(|v| *v *= s);
+        Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .for_each(|v| *v *= s);
     }
 
     /// Elementwise sum with another tensor of the same shape.
@@ -146,7 +165,10 @@ impl Tensor {
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
         self.generation = next_generation();
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += b;
         }
     }
@@ -187,6 +209,19 @@ mod tests {
         // Replacing a value wholesale also moves the generation.
         let replacement = Tensor::zeros(&[2]);
         assert_ne!(replacement.generation(), c.generation());
+    }
+
+    #[test]
+    fn copy_on_write_isolates_clones_and_shares() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = a.clone();
+        let held = a.shared_data();
+        // Clone and shared handle alias the same buffer until a write.
+        assert_eq!(held.as_ptr(), b.shared_data().as_ptr());
+        a.data_mut()[0] = 9.0;
+        assert_eq!(a.data(), &[9.0, 2.0, 3.0]);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0], "clone must not see the write");
+        assert_eq!(held[0], 1.0, "shared handle must not see the write");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!
 //! - [`fp`] — formats ([`fp::FpFormat`]), golden ops, rounding modes;
 //! - [`rng`] — Galois LFSR and SplitMix64 random sources;
+//! - [`runtime`] — the shared parallel runtime (worker pool,
+//!   deterministic `parallel_fill`, reusable workspaces);
 //! - [`mod@unit`] — the MAC unit models ([`unit::FpAdder`], [`unit::MacUnit`]);
 //! - [`hwcost`] — 28nm and FPGA cost models calibrated on the paper;
 //! - [`tensor`] — the minimal deep-learning framework;
@@ -42,6 +44,7 @@ pub use srmac_hwcost as hwcost;
 pub use srmac_models as models;
 pub use srmac_qgemm as qgemm;
 pub use srmac_rng as rng;
+pub use srmac_runtime as runtime;
 pub use srmac_tensor as tensor;
 /// RTL-faithful MAC unit models (re-export of `srmac-core`).
 pub mod unit {
