@@ -11,8 +11,11 @@
 //! `BENCH_gemm.json` at the workspace root.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use srmac_models::serve::{InferenceServer, ServeConfig};
+use srmac_models::{data, resnet};
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac_rng::SplitMix64;
 use srmac_tensor::movement::{col2im, im2row, rows_to_nchw, transpose_into};
@@ -277,6 +280,67 @@ fn bench_resnet20_sequences(c: &mut Criterion) {
     bench_gemm_sequence(c, "resnet20_eval_stream", &eval);
 }
 
+/// Number of requests pushed through the inference server per timed
+/// iteration of the `serve_resnet20` group.
+const SERVE_STREAM: usize = 32;
+
+/// Micro-batched serving throughput: a width-8 ResNet-20 (16x16 inputs,
+/// the scale of the `resnet20_eval_stream` group) behind the
+/// `InferenceServer` queue on the deterministic inference engine (MAC
+/// RN), measured as a 32-request stream submitted pipelined. `max8`
+/// assembles dynamic batches of up to 8; `batch1` forces singleton
+/// batches (the queue overhead + batch-1 forward baseline). Requests/sec
+/// for both land in `BENCH_gemm.json`. On a single-core box the two
+/// largely coincide — the MAC arithmetic dominates and batching saves
+/// only per-dispatch overhead; the gap opens with the pool width.
+fn bench_serve_resnet20(c: &mut Criterion) {
+    let size = 16usize;
+    let engine: Arc<dyn GemmEngine> = Arc::new(MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Nearest, false).with_threads(1),
+    ));
+    let ds = data::synth_cifar10(SERVE_STREAM, size, 9);
+    let samples: Vec<Vec<f32>> = (0..ds.len())
+        .map(|i| ds.batch(&[i]).0.data().to_vec())
+        .collect();
+
+    let mut g = c.benchmark_group("serve_resnet20");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SERVE_STREAM as u64));
+    for (name, max_batch) in [("stream32_batch1", 1usize), ("stream32_max8", 8)] {
+        let model = resnet::resnet20(&engine, 8, 10, 42);
+        let server = InferenceServer::start(
+            model,
+            size,
+            ServeConfig {
+                max_batch,
+                max_wait_items: max_batch,
+                straggler_wait: Duration::from_micros(200),
+            },
+        );
+        let client = server.client();
+        // Warm-up: populate the packed-weight caches and layer workspaces.
+        let _ = client.predict(samples[0].clone()).expect("warm-up");
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let pending: Vec<_> = samples
+                    .iter()
+                    .map(|s| client.submit(black_box(s.clone())).expect("submit"))
+                    .collect();
+                pending
+                    .into_iter()
+                    .map(|p| p.wait().expect("prediction").argmax)
+                    .sum::<usize>()
+            })
+        });
+        let (_, stats) = server.shutdown();
+        assert!(
+            stats.max_batch_seen <= max_batch,
+            "assembly must respect max_batch"
+        );
+    }
+    g.finish();
+}
+
 /// Writes the collected measurements (and the headline sequence speedup)
 /// to `BENCH_gemm.json` at the workspace root.
 fn write_summary(c: &mut Criterion) {
@@ -328,10 +392,24 @@ fn write_summary(c: &mut Criterion) {
     // Cross-PR acceptance record: this PR's prepared path vs PR 1's.
     let vs_pr1 = find("resnet20_train_step", "prepared_weight_reuse")
         .map(|p| PR1_PREPARED_TRAIN_STEP_NS / p);
+    // Serving throughput: requests/sec for the micro-batched server and
+    // its forced-singleton baseline.
+    let rps = |name: &str| find("serve_resnet20", name).map(|ns| SERVE_STREAM as f64 / (ns * 1e-9));
+    let (rps_batch1, rps_max8) = (rps("stream32_batch1"), rps("stream32_max8"));
+    let serve_speedup = match (rps_batch1, rps_max8) {
+        (Some(b1), Some(m8)) if b1 > 0.0 => Some(m8 / b1),
+        _ => None,
+    };
     json.push_str(&format!(
         "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
+         \"serve_resnet20\": {{\n    \"requests_per_sec_batch1\": {},\n    \
+         \"requests_per_sec_max8\": {},\n    \
+         \"speedup_microbatch_vs_batch1\": {}\n  }},\n  \
          \"pr1_baseline\": {{\n    \"prepared_weight_reuse_ns\": {PR1_PREPARED_TRAIN_STEP_NS:.1},\n    \
          \"train_step_speedup_vs_pr1\": {}\n  }}\n}}\n",
+        fmt_opt(rps_batch1, 1),
+        fmt_opt(rps_max8, 1),
+        fmt_opt(serve_speedup, 3),
         fmt_opt(vs_pr1, 3),
     ));
 
@@ -344,6 +422,12 @@ fn write_summary(c: &mut Criterion) {
         }
         if let Some(s) = eval_speedup {
             println!("resnet20_eval_stream speedup (prepared vs seed): {s:.2}x");
+        }
+        if let (Some(b1), Some(m8)) = (rps_batch1, rps_max8) {
+            println!(
+                "serve_resnet20 throughput: {m8:.1} req/s micro-batched (max 8) \
+                 vs {b1:.1} req/s singleton batches"
+            );
         }
         if let Some(s) = vs_pr1 {
             println!("resnet20_train_step speedup vs PR 1 prepared baseline: {s:.2}x");
@@ -358,6 +442,7 @@ criterion_group!(
     bench_packed_vs_oneshot,
     bench_data_movement,
     bench_resnet20_sequences,
+    bench_serve_resnet20,
     write_summary
 );
 criterion_main!(benches);

@@ -1,0 +1,569 @@
+//! The checkpoint container: capture from / apply to a [`Sequential`]
+//! model, plus the version-1 binary encoding.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset 0   magic            b"SRMC"
+//!        4   u16              format version (currently 1)
+//!        6   u16              reserved flags (must be 0)
+//!        8   u32 La           architecture-tag length
+//!        12  [La]             architecture tag (UTF-8, caller-chosen)
+//!            u8               engine-meta tag: 0 = none, 1 = MacGemmConfig
+//!            [16]             MacGemmConfig wire record (tag 1 only)
+//!            u32 Nl           layer record count
+//!            Nl x layer record:
+//!              u32 Ln ; [Ln]  layer describe() string (UTF-8)
+//!              u32 Np         parameter tensor count
+//!              Np x tensor:   u32 ndim ; ndim x u32 dims ; f32 payload
+//!              u32 Ns         state buffer count
+//!              Ns x state:    u32 len ; f32 payload
+//! end-8      u64              FNV-1a-64 checksum of every preceding byte
+//! ```
+//!
+//! The encoding is a pure function of the captured model state — no
+//! timestamps, pointers, padding or map iteration orders — so identical
+//! models produce identical bytes, and `f32` payloads are carried as raw
+//! bit patterns (`-0.0` and NaN payloads survive). Decoding validates
+//! every length against the bytes actually present *before* allocating,
+//! and verifies the checksum before looking at any record, so corruption
+//! surfaces as a typed [`CheckpointError`], never a panic or garbage
+//! weights.
+
+use std::path::Path;
+
+use srmac_qgemm::MacGemmConfig;
+use srmac_tensor::{Param, Sequential};
+
+use crate::error::CheckpointError;
+
+/// File magic: the first four bytes of every srmac checkpoint.
+pub const MAGIC: [u8; 4] = *b"SRMC";
+
+/// The newest (and currently only) format version this crate writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Maximum tensor rank the format accepts (sanity bound for decoding).
+const MAX_NDIM: u32 = 8;
+
+/// Checkpoint-level metadata.
+#[derive(Debug, Clone)]
+pub struct CheckpointMeta {
+    /// Caller-chosen architecture tag (e.g. `"resnet20-w8-c10"`); checked
+    /// on load via [`Checkpoint::require_arch`], not interpreted.
+    pub arch: String,
+    /// The GEMM engine configuration the model was trained with, when the
+    /// engine was a `MacGemm` (serialized via [`MacGemmConfig::to_wire`]).
+    pub engine: Option<MacGemmConfig>,
+}
+
+/// One captured tensor: logical shape plus row-major values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorRecord {
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Row-major values (bit-exact).
+    pub data: Vec<f32>,
+}
+
+/// One captured layer: its `describe()` string, parameter tensors in
+/// `visit_params` order, and non-parameter state buffers in `visit_state`
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRecord {
+    /// The layer's `describe()` string (doubles as an architecture check).
+    pub name: String,
+    /// Parameter tensors.
+    pub params: Vec<TensorRecord>,
+    /// Non-parameter state buffers (e.g. batch-norm running statistics).
+    pub state: Vec<Vec<f32>>,
+}
+
+/// A fully parsed (or about-to-be-written) checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Checkpoint metadata.
+    pub meta: CheckpointMeta,
+    /// Per-layer records, in model order.
+    pub layers: Vec<LayerRecord>,
+}
+
+impl Checkpoint {
+    /// Captures the full persistable state of `model` (parameters and
+    /// state buffers; gradients are transient and excluded).
+    #[must_use]
+    pub fn capture(model: &mut Sequential, meta: CheckpointMeta) -> Self {
+        let mut layers = Vec::with_capacity(model.len());
+        model.for_each_layer(&mut |layer| {
+            let mut params = Vec::new();
+            layer.visit_params(&mut |p: &mut Param| {
+                params.push(TensorRecord {
+                    shape: p.value.shape().to_vec(),
+                    data: p.value.data().to_vec(),
+                });
+            });
+            let mut state = Vec::new();
+            layer.visit_state(&mut |s: &mut Vec<f32>| state.push(s.clone()));
+            layers.push(LayerRecord {
+                name: layer.describe(),
+                params,
+                state,
+            });
+        });
+        Self { meta, layers }
+    }
+
+    /// Restores this checkpoint's tensors into `model`, which must have
+    /// the same architecture (layer count, layer `describe()` strings,
+    /// parameter shapes, state buffer lengths). Parameter writes go
+    /// through [`srmac_tensor::Tensor::copy_from_slice`], so the layers'
+    /// packed-weight caches invalidate exactly as after an optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ModelMismatch`] on the first structural
+    /// disagreement; the model may be partially written in that case and
+    /// should be discarded.
+    pub fn apply_to(&self, model: &mut Sequential) -> Result<(), CheckpointError> {
+        if model.len() != self.layers.len() {
+            return Err(CheckpointError::ModelMismatch {
+                what: format!(
+                    "checkpoint has {} layer records, model has {} layers",
+                    self.layers.len(),
+                    model.len()
+                ),
+            });
+        }
+        let mut err: Option<String> = None;
+        let mut li = 0usize;
+        model.for_each_layer(&mut |layer| {
+            let rec = &self.layers[li];
+            li += 1;
+            if err.is_some() {
+                return;
+            }
+            let name = layer.describe();
+            if name != rec.name {
+                err = Some(format!(
+                    "layer {} is {name:?} but the record says {:?}",
+                    li - 1,
+                    rec.name
+                ));
+                return;
+            }
+            let mut pi = 0usize;
+            layer.visit_params(&mut |p: &mut Param| {
+                if err.is_some() {
+                    return;
+                }
+                let Some(r) = rec.params.get(pi) else {
+                    err = Some(format!("layer {name:?} has more params than its record"));
+                    return;
+                };
+                pi += 1;
+                if p.value.shape() != r.shape.as_slice() {
+                    err = Some(format!(
+                        "param {} of {name:?}: model shape {:?}, record shape {:?}",
+                        pi - 1,
+                        p.value.shape(),
+                        r.shape
+                    ));
+                    return;
+                }
+                p.value.copy_from_slice(&r.data);
+            });
+            if err.is_none() && pi != rec.params.len() {
+                err = Some(format!(
+                    "layer {name:?}: record has {} params, model visited {pi}",
+                    rec.params.len()
+                ));
+            }
+            let mut si = 0usize;
+            layer.visit_state(&mut |s: &mut Vec<f32>| {
+                if err.is_some() {
+                    return;
+                }
+                let Some(r) = rec.state.get(si) else {
+                    err = Some(format!(
+                        "layer {name:?} has more state buffers than its record"
+                    ));
+                    return;
+                };
+                si += 1;
+                if s.len() != r.len() {
+                    err = Some(format!(
+                        "state buffer {} of {name:?}: model len {}, record len {}",
+                        si - 1,
+                        s.len(),
+                        r.len()
+                    ));
+                    return;
+                }
+                s.copy_from_slice(r);
+            });
+            if err.is_none() && si != rec.state.len() {
+                err = Some(format!(
+                    "layer {name:?}: record has {} state buffers, model visited {si}",
+                    rec.state.len()
+                ));
+            }
+        });
+        match err {
+            Some(what) => Err(CheckpointError::ModelMismatch { what }),
+            None => Ok(()),
+        }
+    }
+
+    /// Verifies the stored architecture tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ModelMismatch`] when the tag differs.
+    pub fn require_arch(&self, expected: &str) -> Result<(), CheckpointError> {
+        if self.meta.arch == expected {
+            Ok(())
+        } else {
+            Err(CheckpointError::ModelMismatch {
+                what: format!(
+                    "architecture tag is {:?}, expected {expected:?}",
+                    self.meta.arch
+                ),
+            })
+        }
+    }
+
+    /// Serializes to the version-1 binary layout (deterministic: equal
+    /// checkpoints produce equal bytes).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len_hint());
+        out.extend_from_slice(&MAGIC);
+        push_u16(&mut out, FORMAT_VERSION);
+        push_u16(&mut out, 0); // reserved flags
+        push_bytes(&mut out, self.meta.arch.as_bytes());
+        match &self.meta.engine {
+            None => out.push(0),
+            Some(cfg) => {
+                out.push(1);
+                out.extend_from_slice(&cfg.to_wire());
+            }
+        }
+        push_u32(&mut out, len_u32(self.layers.len(), "layer count"));
+        for layer in &self.layers {
+            push_bytes(&mut out, layer.name.as_bytes());
+            push_u32(&mut out, len_u32(layer.params.len(), "param count"));
+            for p in &layer.params {
+                push_u32(&mut out, len_u32(p.shape.len(), "tensor rank"));
+                let mut numel = 1usize;
+                for &d in &p.shape {
+                    push_u32(&mut out, len_u32(d, "tensor dim"));
+                    numel = numel.checked_mul(d).expect("tensor too large");
+                }
+                assert_eq!(numel, p.data.len(), "tensor record shape/data mismatch");
+                push_f32s(&mut out, &p.data);
+            }
+            push_u32(&mut out, len_u32(layer.state.len(), "state count"));
+            for s in &layer.state {
+                push_u32(&mut out, len_u32(s.len(), "state len"));
+                push_f32s(&mut out, s);
+            }
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses a version-1 checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] on any structural problem —
+    /// wrong magic, unsupported version, truncation, checksum mismatch,
+    /// impossible field values, or an invalid embedded engine config.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        // The checksum footer is validated first: every later length check
+        // then runs over bytes known to be exactly what the writer wrote.
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(CheckpointError::Truncated {
+                offset: 0,
+                needed: MAGIC.len() + 4 + 8,
+            });
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(footer.try_into().expect("8-byte footer"));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader::new(body);
+        let magic: [u8; 4] = r.take(4)?.try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = r.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let flags = r.u16()?;
+        if flags != 0 {
+            return Err(r.malformed("reserved flags must be 0"));
+        }
+        let arch = r.string()?;
+        let engine = match r.u8()? {
+            0 => None,
+            1 => {
+                let wire: [u8; MacGemmConfig::WIRE_BYTES] = r
+                    .take(MacGemmConfig::WIRE_BYTES)?
+                    .try_into()
+                    .expect("wire record");
+                Some(MacGemmConfig::from_wire(&wire)?)
+            }
+            _ => return Err(r.malformed("engine-meta tag must be 0 or 1")),
+        };
+        let layer_count = r.count()?;
+        let mut layers = Vec::with_capacity(layer_count.min(r.remaining()));
+        for _ in 0..layer_count {
+            let name = r.string()?;
+            let param_count = r.count()?;
+            let mut params = Vec::with_capacity(param_count.min(r.remaining()));
+            for _ in 0..param_count {
+                let ndim = r.u32()?;
+                if ndim > MAX_NDIM {
+                    return Err(r.malformed("tensor rank above the format maximum"));
+                }
+                let mut shape = Vec::with_capacity(ndim as usize);
+                let mut numel = 1usize;
+                for _ in 0..ndim {
+                    let d = r.u32()? as usize;
+                    numel = numel
+                        .checked_mul(d)
+                        .ok_or_else(|| r.malformed("tensor element count overflows"))?;
+                    shape.push(d);
+                }
+                let data = r.f32s(numel)?;
+                params.push(TensorRecord { shape, data });
+            }
+            let state_count = r.count()?;
+            let mut state = Vec::with_capacity(state_count.min(r.remaining()));
+            for _ in 0..state_count {
+                let len = r.u32()? as usize;
+                state.push(r.f32s(len)?);
+            }
+            layers.push(LayerRecord {
+                name,
+                params,
+                state,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(CheckpointError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(Self {
+            meta: CheckpointMeta { arch, engine },
+            layers,
+        })
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        let payload: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.name.len()
+                    + l.params
+                        .iter()
+                        .map(|p| 4 * (p.shape.len() + p.data.len() + 2))
+                        .sum::<usize>()
+                    + l.state.iter().map(|s| 4 * (s.len() + 1)).sum::<usize>()
+            })
+            .sum();
+        64 + self.meta.arch.len() + payload
+    }
+}
+
+/// Captures `model` and writes the checkpoint to `path` (atomically via a
+/// sibling temp file, so a crash cannot leave a half-written checkpoint
+/// under the final name).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failure.
+pub fn save_model(
+    path: impl AsRef<Path>,
+    model: &mut Sequential,
+    meta: CheckpointMeta,
+) -> Result<(), CheckpointError> {
+    // Writer-unique temp name (full target file name + pid + counter):
+    // concurrent saves — to the same path or to sibling paths sharing a
+    // stem — must never interleave through one temp file, or the atomic
+    // rename could land another writer's bytes.
+    static SAVE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let bytes = Checkpoint::capture(model, meta).encode();
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            CheckpointError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "checkpoint path has no file name",
+            ))
+        })?
+        .to_os_string();
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SAVE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &bytes)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Reads and parses a checkpoint file without touching any model.
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] on I/O failure or any structural
+/// problem in the bytes.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    Checkpoint::decode(&std::fs::read(path)?)
+}
+
+/// Reads the checkpoint at `path` and restores it into `model`
+/// (architecture-checked). Returns the checkpoint metadata.
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] on I/O failure, corruption, or a
+/// model/checkpoint mismatch.
+pub fn load_model(
+    path: impl AsRef<Path>,
+    model: &mut Sequential,
+) -> Result<CheckpointMeta, CheckpointError> {
+    let ckpt = read_checkpoint(path)?;
+    ckpt.apply_to(model)?;
+    Ok(ckpt.meta)
+}
+
+/// FNV-1a 64-bit hash (the trailing integrity checksum).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn len_u32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| panic!("{what} {n} exceeds the u32 wire field"))
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    push_u32(out, len_u32(bytes.len(), "string length"));
+    out.extend_from_slice(bytes);
+}
+
+fn push_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+    out.reserve(4 * vals.len());
+    for v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor. Every length read from the stream
+/// is validated against the bytes actually remaining before any
+/// allocation, so hostile length fields cannot trigger huge allocations
+/// or out-of-bounds reads.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn malformed(&self, what: &'static str) -> CheckpointError {
+        CheckpointError::Malformed {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated {
+                offset: self.pos,
+                needed: n,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// A record count: each record needs at least one more byte, so a
+    /// count beyond the remaining length is structurally impossible.
+    fn count(&mut self) -> Result<usize, CheckpointError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(self.malformed("record count exceeds remaining bytes"));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, CheckpointError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.malformed("string is not UTF-8"))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+        let need = n
+            .checked_mul(4)
+            .ok_or_else(|| self.malformed("f32 payload length overflows"))?;
+        let raw = self.take(need)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect())
+    }
+}

@@ -1,0 +1,118 @@
+//! Typed checkpoint errors.
+//!
+//! Every way an untrusted checkpoint can be wrong maps to a variant here:
+//! decoding never panics and never silently loads garbage (the corruption
+//! property tests in `tests/proptests.rs` drive truncations, bit flips,
+//! bad versions and bad checksums through the decoder and assert exactly
+//! that).
+
+use std::fmt;
+
+use srmac_qgemm::ConfigWireError;
+
+/// Error produced while encoding, decoding or applying a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with the `SRMC` magic.
+    BadMagic([u8; 4]),
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The byte stream ended before a field it promised.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// Structurally valid records ended before the checksum footer, leaving
+    /// unaccounted bytes (a sign of a mangled record table).
+    TrailingBytes {
+        /// Number of unconsumed bytes before the checksum.
+        extra: usize,
+    },
+    /// A field holds a structurally impossible value.
+    Malformed {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The embedded engine configuration failed validation.
+    EngineConfig(ConfigWireError),
+    /// The checkpoint is internally valid but does not fit the model it
+    /// was asked to restore (layer count, layer kind, or tensor shape).
+    ModelMismatch {
+        /// Human-readable description of the first mismatch.
+        what: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::BadMagic(m) => {
+                write!(f, "not an srmac checkpoint (magic {m:02x?})")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::Truncated { offset, needed } => {
+                write!(
+                    f,
+                    "checkpoint truncated: needed {needed} bytes at offset {offset}"
+                )
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "checkpoint has {extra} unaccounted bytes before the checksum"
+                )
+            }
+            CheckpointError::Malformed { offset, what } => {
+                write!(f, "malformed checkpoint at offset {offset}: {what}")
+            }
+            CheckpointError::EngineConfig(e) => {
+                write!(f, "invalid engine configuration in checkpoint: {e}")
+            }
+            CheckpointError::ModelMismatch { what } => {
+                write!(f, "checkpoint does not fit the model: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::EngineConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ConfigWireError> for CheckpointError {
+    fn from(e: ConfigWireError) -> Self {
+        CheckpointError::EngineConfig(e)
+    }
+}

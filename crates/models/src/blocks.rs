@@ -154,6 +154,13 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.main.visit_state(f);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_state(f);
+        }
+    }
+
     fn describe(&self) -> String {
         format!(
             "Residual[{}{}]",

@@ -33,9 +33,11 @@
 pub mod blocks;
 pub mod data;
 pub mod resnet;
+pub mod serve;
 pub mod trainer;
 pub mod vgg;
 
 pub use blocks::ResidualBlock;
 pub use data::{synth_cifar10, synth_imagewoof, Dataset, NUM_CLASSES};
+pub use serve::{InferenceServer, Prediction, ServeClient, ServeConfig, ServeError, ServeStats};
 pub use trainer::{evaluate, train, History, TrainConfig};

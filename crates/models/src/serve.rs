@@ -1,0 +1,568 @@
+//! Micro-batched inference serving: single-sample requests enter a queue,
+//! a worker thread assembles them into dynamic batches (up to
+//! [`ServeConfig::max_batch`], dispatching early when the queue runs dry),
+//! runs each batch through the model's prepared-operand GEMM path, and
+//! returns per-request predictions.
+//!
+//! Because every layer routes its products through cached packed weights
+//! (PR 1) and persistent runtime workspaces (PR 2), a batch of `B`
+//! requests costs one forward pass with zero weight re-quantization and,
+//! after warm-up, no transient layout allocations — the amortization that
+//! makes micro-batching worth the queue.
+//!
+//! # The serving determinism contract
+//!
+//! For a **position-invariant** engine, serving any request stream under
+//! *any* batching pattern produces logits bitwise identical to running
+//! that request alone (batch size 1): each output row of every GEMM is a
+//! pure function of that row's inputs and the weights, every non-GEMM
+//! layer is elementwise or per-sample, and evaluation-mode batch norm uses
+//! running statistics. [`srmac_tensor::F32Engine`] and
+//! [`srmac_qgemm::MacGemm`] with `AccumRounding::Nearest` — the inference
+//! configurations — are position-invariant, and the contract is asserted
+//! bit-for-bit in this module's tests across batch patterns.
+//!
+//! `MacGemm` with **stochastic** accumulation is deliberately *not*
+//! position-invariant: its rounding streams are seeded per output
+//! coordinate `(row, column)` so that training runs are reproducible, and
+//! a sample's GEMM rows depend on its position in the batch. SR is the
+//! paper's *training* mechanism; serve with RN (or f32) for deterministic
+//! inference.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use srmac_tensor::layers::Layer;
+use srmac_tensor::{Sequential, Tensor};
+
+/// Batching policy of an [`InferenceServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Hard cap on assembled batch size.
+    pub max_batch: usize,
+    /// When the queue runs dry with fewer than this many requests in the
+    /// batch, the assembler waits [`ServeConfig::straggler_wait`] for more
+    /// before dispatching; at or above it, it dispatches immediately.
+    /// `1` dispatches as soon as the queue empties (latency-first).
+    pub max_wait_items: usize,
+    /// How long to wait for stragglers below `max_wait_items`.
+    pub straggler_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait_items: 1,
+            straggler_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The model's output row for this sample.
+    pub logits: Vec<f32>,
+    /// Index of the largest logit, by exactly the rule of
+    /// `srmac_tensor::count_correct` (ties resolve to the highest index),
+    /// so served accuracy can never diverge from `evaluate`.
+    pub argmax: usize,
+    /// Size of the dynamic batch this request rode in (observability).
+    pub batch_size: usize,
+}
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The sample length does not match the model input `3 * s * s`.
+    BadInput {
+        /// Expected element count.
+        expected: usize,
+        /// Received element count.
+        got: usize,
+    },
+    /// The server has shut down (or the worker died) before replying.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadInput { expected, got } => {
+                write!(f, "sample has {got} elements, model expects {expected}")
+            }
+            ServeError::Closed => write!(f, "inference server is closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Counters the worker keeps while serving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: usize,
+    /// Dynamic batches executed.
+    pub batches: usize,
+    /// Largest batch assembled.
+    pub max_batch_seen: usize,
+}
+
+struct Request {
+    sample: Vec<f32>,
+    reply: mpsc::Sender<Prediction>,
+}
+
+/// Queue protocol: requests, or the explicit stop marker. Clients may
+/// outlive the server (their sender clones keep the channel open), so the
+/// worker stops on this marker — never by waiting for disconnection.
+/// The channel is ordered, so every request submitted before shutdown is
+/// served before the marker is seen.
+enum Msg {
+    Request(Request),
+    Shutdown,
+}
+
+/// A micro-batching inference server: owns the model on a worker thread
+/// and serves cloneable [`ServeClient`] handles.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use srmac_models::serve::{InferenceServer, ServeConfig};
+/// use srmac_models::{data, resnet};
+/// use srmac_tensor::{F32Engine, GemmEngine};
+///
+/// let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+/// let model = resnet::resnet20(&engine, 4, 10, 0);
+/// let server = InferenceServer::start(model, 8, ServeConfig::default());
+/// let client = server.client();
+///
+/// let ds = data::synth_cifar10(4, 8, 1);
+/// let (x, _) = ds.batch(&[0]);
+/// let p = client.predict(x.data().to_vec()).unwrap();
+/// assert_eq!(p.logits.len(), 10);
+/// let (model, stats) = server.shutdown();
+/// assert_eq!(stats.requests, 1);
+/// drop(model);
+/// ```
+#[derive(Debug)]
+pub struct InferenceServer {
+    tx: Option<mpsc::Sender<Msg>>,
+    worker: Option<std::thread::JoinHandle<(Sequential, ServeStats)>>,
+    sample_len: usize,
+}
+
+impl InferenceServer {
+    /// Takes ownership of `model` (expecting `[B, 3, s, s]` inputs with
+    /// `s = image_size`) and starts the batching worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch == 0` or `image_size == 0`.
+    #[must_use]
+    pub fn start(model: Sequential, image_size: usize, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch > 0, "serving needs max_batch >= 1");
+        assert!(image_size > 0, "serving needs a nonzero image size");
+        let sample_len = 3 * image_size * image_size;
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let worker = std::thread::Builder::new()
+            .name("srmac-serve".into())
+            .spawn(move || serve_loop(model, image_size, cfg, &rx))
+            .expect("spawn serve worker");
+        Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            sample_len,
+        }
+    }
+
+    /// A handle for submitting requests (cloneable, usable from any
+    /// thread).
+    #[must_use]
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self.tx.clone().expect("server running"),
+            sample_len: self.sample_len,
+        }
+    }
+
+    /// Stops the worker after every already-submitted request has been
+    /// served (the queue is ordered), and returns the model with the
+    /// serving counters. Clients that submit afterwards get
+    /// [`ServeError::Closed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> (Sequential, ServeStats) {
+        let tx = self.tx.take().expect("server running");
+        let _ = tx.send(Msg::Shutdown);
+        self.worker
+            .take()
+            .expect("server running")
+            .join()
+            .expect("serve worker panicked")
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A request handle onto a running [`InferenceServer`].
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    tx: mpsc::Sender<Msg>,
+    sample_len: usize,
+}
+
+/// An in-flight request: redeem with [`PendingPrediction::wait`].
+#[derive(Debug)]
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server shut down first.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+impl ServeClient {
+    /// Enqueues one sample (row-major `[3, s, s]` pixels) without
+    /// blocking; submitting several before waiting lets the server batch
+    /// them together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] on a wrong-sized sample and
+    /// [`ServeError::Closed`] if the server is gone.
+    pub fn submit(&self, sample: Vec<f32>) -> Result<PendingPrediction, ServeError> {
+        if sample.len() != self.sample_len {
+            return Err(ServeError::BadInput {
+                expected: self.sample_len,
+                got: sample.len(),
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Request(Request { sample, reply }))
+            .map_err(|_| ServeError::Closed)?;
+        Ok(PendingPrediction { rx })
+    }
+
+    /// Submits one sample and blocks for its prediction.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::submit`].
+    pub fn predict(&self, sample: Vec<f32>) -> Result<Prediction, ServeError> {
+        self.submit(sample)?.wait()
+    }
+}
+
+/// The worker: block for the first request, greedily drain the queue up
+/// to `max_batch` (briefly waiting for stragglers below
+/// `max_wait_items`), run the batch, reply per request.
+fn serve_loop(
+    mut model: Sequential,
+    image_size: usize,
+    cfg: ServeConfig,
+    rx: &mpsc::Receiver<Msg>,
+) -> (Sequential, ServeStats) {
+    let mut stats = ServeStats::default();
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.max_batch);
+    // One reused input tensor, exactly like the trainer's evaluate loop:
+    // only a batch-size change reshapes it.
+    let mut x = Tensor::zeros(&[1, 3, image_size, image_size]);
+    let mut stop = false;
+    while !stop {
+        match rx.recv() {
+            Ok(Msg::Request(first)) => batch.push(first),
+            Ok(Msg::Shutdown) | Err(_) => break,
+        }
+        while batch.len() < cfg.max_batch {
+            match rx.try_recv() {
+                Ok(Msg::Request(r)) => batch.push(r),
+                Ok(Msg::Shutdown) | Err(mpsc::TryRecvError::Disconnected) => {
+                    stop = true;
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => {
+                    if batch.len() >= cfg.max_wait_items {
+                        break;
+                    }
+                    match rx.recv_timeout(cfg.straggler_wait) {
+                        Ok(Msg::Request(r)) => batch.push(r),
+                        Ok(Msg::Shutdown) => {
+                            stop = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        run_batch(&mut model, &mut x, image_size, &mut batch, &mut stats);
+    }
+    (model, stats)
+}
+
+fn run_batch(
+    model: &mut Sequential,
+    x: &mut Tensor,
+    image_size: usize,
+    batch: &mut Vec<Request>,
+    stats: &mut ServeStats,
+) {
+    let b = batch.len();
+    let plane = 3 * image_size * image_size;
+    if x.shape()[0] != b {
+        *x = Tensor::zeros(&[b, 3, image_size, image_size]);
+    }
+    {
+        let xd = x.data_mut();
+        for (i, req) in batch.iter().enumerate() {
+            xd[i * plane..(i + 1) * plane].copy_from_slice(&req.sample);
+        }
+    }
+    let logits = model.forward(x, false);
+    let classes = logits.numel() / b;
+    for (row, req) in logits.data().chunks(classes).zip(batch.drain(..)) {
+        // The exact expression of `count_correct`: with the coarse
+        // quantized logits the MAC engines produce, ties are real, and
+        // any other tie rule would let served accuracy diverge from
+        // `evaluate`.
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(i, _)| i);
+        // A dropped client is not an error; the work is already done.
+        let _ = req.reply.send(Prediction {
+            logits: row.to_vec(),
+            argmax,
+            batch_size: b,
+        });
+    }
+    stats.requests += b;
+    stats.batches += 1;
+    stats.max_batch_seen = stats.max_batch_seen.max(b);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+    use srmac_tensor::{F32Engine, GemmEngine};
+
+    use super::*;
+    use crate::data::synth_cifar10;
+    use crate::resnet::resnet20;
+    use crate::{evaluate, Dataset};
+
+    const SIZE: usize = 8;
+
+    fn sample(ds: &Dataset, i: usize) -> Vec<f32> {
+        let (x, _) = ds.batch(&[i]);
+        x.data().to_vec()
+    }
+
+    /// Reference: logits of each sample computed one at a time (batch
+    /// size 1) through a plain forward pass.
+    fn batch1_logits(model: &mut Sequential, ds: &Dataset, n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| {
+                let (x, _) = ds.batch(&[i]);
+                model
+                    .forward(&x, false)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Serves all `n` samples with the given submission pattern and
+    /// returns per-request logit bits plus the stats.
+    fn serve_all(
+        model: Sequential,
+        ds: &Dataset,
+        n: usize,
+        cfg: ServeConfig,
+        pipelined: bool,
+    ) -> (Vec<Vec<u32>>, ServeStats, Sequential) {
+        let server = InferenceServer::start(model, SIZE, cfg);
+        let client = server.client();
+        let logits: Vec<Vec<u32>> = if pipelined {
+            // Submit everything up front: the worker is free to assemble
+            // any batch pattern up to max_batch.
+            let pending: Vec<_> = (0..n)
+                .map(|i| client.submit(sample(ds, i)).expect("submit"))
+                .collect();
+            pending
+                .into_iter()
+                .map(|p| p.wait().expect("prediction"))
+                .map(|p| p.logits.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        } else {
+            // Strictly sequential: every batch has exactly one request.
+            (0..n)
+                .map(|i| client.predict(sample(ds, i)).expect("predict"))
+                .map(|p| p.logits.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+        let (model, stats) = server.shutdown();
+        (logits, stats, model)
+    }
+
+    fn engines() -> Vec<(&'static str, Arc<dyn GemmEngine>)> {
+        vec![
+            ("f32", Arc::new(F32Engine::new(2))),
+            (
+                "mac_rn",
+                Arc::new(MacGemm::new(
+                    MacGemmConfig::fp8_fp12(AccumRounding::Nearest, false).with_threads(2),
+                )),
+            ),
+        ]
+    }
+
+    #[test]
+    fn any_batching_pattern_matches_batch1_bitwise() {
+        // The serving determinism contract, asserted bit for bit for the
+        // position-invariant inference engines: pipelined submission
+        // (dynamic batches up to 5), strictly sequential submission
+        // (all-singleton batches), and a greedy max_batch=32 drain must
+        // all equal the plain batch-1 forward pass.
+        let ds = synth_cifar10(12, SIZE, 31);
+        let n = ds.len();
+        for (label, engine) in engines() {
+            let mut reference_model = resnet20(&engine, 4, 10, 17);
+            let want = batch1_logits(&mut reference_model, &ds, n);
+
+            for (pat, cfg, pipelined) in [
+                (
+                    "pipelined_max5",
+                    ServeConfig {
+                        max_batch: 5,
+                        max_wait_items: 2,
+                        straggler_wait: Duration::from_micros(100),
+                    },
+                    true,
+                ),
+                ("sequential", ServeConfig::default(), false),
+                (
+                    "greedy_max32",
+                    ServeConfig {
+                        max_batch: 32,
+                        ..ServeConfig::default()
+                    },
+                    true,
+                ),
+            ] {
+                let model = resnet20(&engine, 4, 10, 17);
+                let (got, stats, _) = serve_all(model, &ds, n, cfg, pipelined);
+                assert_eq!(stats.requests, n, "{label}/{pat}: request count");
+                assert_eq!(
+                    got, want,
+                    "{label}/{pat}: served logits must be bitwise identical to batch-1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn served_argmax_reproduces_evaluate_accuracy() {
+        let ds = synth_cifar10(30, SIZE, 41);
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(2));
+        let mut model = resnet20(&engine, 4, 10, 5);
+        let want_acc = evaluate(&mut model, &ds, 7);
+
+        let server = InferenceServer::start(model, SIZE, ServeConfig::default());
+        let client = server.client();
+        let pending: Vec<_> = (0..ds.len())
+            .map(|i| client.submit(sample(&ds, i)).unwrap())
+            .collect();
+        let correct = pending
+            .into_iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                let p = p.rx.recv().expect("prediction");
+                p.argmax == ds.labels()[*i]
+            })
+            .count();
+        let got_acc = 100.0 * correct as f32 / ds.len() as f32;
+        assert_eq!(
+            want_acc.to_bits(),
+            got_acc.to_bits(),
+            "served accuracy must equal evaluate()"
+        );
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.requests, ds.len());
+    }
+
+    #[test]
+    fn pipelined_submission_actually_batches() {
+        // With everything queued before the worker starts draining, at
+        // least one multi-request batch must form (the whole point of the
+        // queue). `max_wait_items = max_batch` makes assembly greedy.
+        let ds = synth_cifar10(16, SIZE, 51);
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+        let model = resnet20(&engine, 4, 10, 3);
+        let cfg = ServeConfig {
+            max_batch: 8,
+            max_wait_items: 8,
+            straggler_wait: Duration::from_millis(20),
+        };
+        let (_, stats, _) = serve_all(model, &ds, ds.len(), cfg, true);
+        assert_eq!(stats.requests, 16);
+        assert!(
+            stats.max_batch_seen > 1,
+            "expected at least one multi-request batch, saw max {}",
+            stats.max_batch_seen
+        );
+        assert!(stats.max_batch_seen <= 8, "max_batch must cap assembly");
+        assert!(stats.batches < 16, "batching must reduce dispatch count");
+    }
+
+    #[test]
+    fn bad_input_and_shutdown_are_typed_errors() {
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+        let model = resnet20(&engine, 4, 10, 1);
+        let server = InferenceServer::start(model, SIZE, ServeConfig::default());
+        let client = server.client();
+        assert!(matches!(
+            client.predict(vec![0.0; 5]),
+            Err(ServeError::BadInput {
+                expected,
+                got: 5
+            }) if expected == 3 * SIZE * SIZE
+        ));
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.requests, 0, "rejected requests never reach the model");
+        assert!(matches!(
+            client.predict(vec![0.0; 3 * SIZE * SIZE]),
+            Err(ServeError::Closed)
+        ));
+    }
+}

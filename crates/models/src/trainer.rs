@@ -67,16 +67,47 @@ pub struct History {
 }
 
 impl History {
-    /// Final test accuracy in percent (0 if no epoch ran).
+    /// Number of epochs recorded.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.test_acc.len()
+    }
+
+    /// Final test accuracy in percent. Defined for every history: `0.0`
+    /// when no epoch ran (never panics).
     #[must_use]
     pub fn final_accuracy(&self) -> f32 {
         self.test_acc.last().copied().unwrap_or(0.0)
     }
 
-    /// Best test accuracy in percent across epochs.
+    /// Best test accuracy in percent across epochs. Defined for every
+    /// history: `0.0` when no epoch ran, and NaN entries (degenerate
+    /// evaluations) are ignored rather than poisoning the maximum.
     #[must_use]
     pub fn best_accuracy(&self) -> f32 {
+        // `f32::max` returns the non-NaN operand, so NaNs drop out.
         self.test_acc.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Final epoch's mean training loss. Defined for every history: NaN
+    /// when no epoch ran (matching an epoch with no finite batch) — never
+    /// panics, so callers don't need the `train_loss.last().unwrap()`
+    /// footgun.
+    #[must_use]
+    pub fn final_loss(&self) -> f32 {
+        self.train_loss.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// Lowest *finite* epoch loss across the run. Defined for every
+    /// history: NaN when no epoch recorded a finite loss (zero-epoch runs
+    /// and all-non-finite runs alike).
+    #[must_use]
+    pub fn best_loss(&self) -> f32 {
+        self.train_loss
+            .iter()
+            .copied()
+            .filter(|l| l.is_finite())
+            .fold(f32::NAN, f32::min)
     }
 }
 
@@ -352,6 +383,55 @@ mod tests {
             h.skipped_steps > 0,
             "the scaler must skip the overflowed steps"
         );
+    }
+
+    #[test]
+    fn history_accessors_are_defined_on_empty_runs() {
+        // A zero-epoch run (`epochs: 0` is a legal config — e.g. "just
+        // evaluate a checkpoint") must yield defined accessor values, not
+        // panics or poisoned NaN maxima.
+        let h = History::default();
+        assert_eq!(h.epochs(), 0);
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert!(h.final_loss().is_nan());
+        assert!(h.best_loss().is_nan());
+
+        // And the trainer really produces such a history for epochs = 0.
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+        let mut net = small_net(&engine, true);
+        let ds = synth_cifar10(10, 8, 1);
+        let cfg = TrainConfig {
+            epochs: 0,
+            batch_size: 5,
+            ..TrainConfig::default()
+        };
+        let h = train(&mut net, &ds, &ds, &cfg);
+        assert_eq!(h.epochs(), 0);
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert!(h.final_loss().is_nan());
+    }
+
+    #[test]
+    fn history_accessors_are_defined_on_all_non_finite_runs() {
+        // A run whose every epoch loss came out non-finite (every batch
+        // overflowed) keeps NaN epoch records; the accessors must stay
+        // defined and must not let the NaNs poison the accuracy maximum.
+        let h = History {
+            train_loss: vec![f32::NAN, f32::NAN],
+            test_acc: vec![10.0, f32::NAN],
+            skipped_steps: 2,
+            nonfinite_batches: 4,
+            final_scale: 512.0,
+        };
+        assert_eq!(h.epochs(), 2);
+        assert_eq!(h.best_accuracy(), 10.0, "NaN accuracy must be ignored");
+        assert!(h.final_loss().is_nan());
+        assert!(
+            h.best_loss().is_nan(),
+            "no finite loss exists, so best_loss is NaN by definition"
+        );
+        assert!(h.final_accuracy().is_nan(), "last entry is truthfully NaN");
     }
 
     #[test]

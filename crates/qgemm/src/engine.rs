@@ -94,7 +94,152 @@ impl MacGemmConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Serializes the numerically relevant configuration into a fixed-size
+    /// little-endian record (the checkpoint metadata hook of `srmac-io`).
+    ///
+    /// The thread count is deliberately excluded: results are bitwise
+    /// thread-invariant, and a checkpoint written on one machine must not
+    /// pin the pool size of another. [`MacGemmConfig::from_wire`] restores
+    /// the machine default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration lies outside the [`MacGemm`] engine
+    /// envelope (see [`MacGemmConfig::from_wire`]) — such a config could
+    /// not have built an engine, and silently serializing it would write
+    /// a checkpoint [`MacGemmConfig::from_wire`] must reject.
+    #[must_use]
+    pub fn to_wire(&self) -> [u8; Self::WIRE_BYTES] {
+        Self::check_envelope(self.mul_fmt, self.acc_fmt, self.rounding)
+            .unwrap_or_else(|e| panic!("cannot serialize a config the engine rejects: {e}"));
+        let mut w = [0u8; Self::WIRE_BYTES];
+        w[0] = self.mul_fmt.exp_bits() as u8;
+        w[1] = self.mul_fmt.man_bits() as u8;
+        w[2] = u8::from(self.mul_fmt.subnormals());
+        w[3] = self.acc_fmt.exp_bits() as u8;
+        w[4] = self.acc_fmt.man_bits() as u8;
+        w[5] = u8::from(self.acc_fmt.subnormals());
+        let (tag, r) = match self.rounding {
+            AccumRounding::Nearest => (0u8, 0u8),
+            // Envelope-checked above: r fits u8 losslessly.
+            AccumRounding::Stochastic { r } => (1, u8::try_from(r).expect("r <= 24")),
+        };
+        w[6] = tag;
+        w[7] = r;
+        w[8..16].copy_from_slice(&self.seed.to_le_bytes());
+        w
+    }
+
+    /// The fast-path envelope [`MacGemm::with_runtime`] (via
+    /// [`ProductLut`], [`FastAdder`]) enforces with asserts; the wire
+    /// codec enforces it with typed errors on both directions so no
+    /// decodable checkpoint can panic the engine rebuild.
+    fn check_envelope(
+        mul_fmt: FpFormat,
+        acc_fmt: FpFormat,
+        rounding: AccumRounding,
+    ) -> Result<(), ConfigWireError> {
+        if mul_fmt.bits() > 8 {
+            return Err(ConfigWireError::OutsideEngineEnvelope(
+                "multiplier format wider than 8 bits",
+            ));
+        }
+        if acc_fmt.bits() > 16 || acc_fmt.precision() > 12 {
+            return Err(ConfigWireError::OutsideEngineEnvelope(
+                "accumulator format wider than 16 bits / precision above 12",
+            ));
+        }
+        if let AccumRounding::Stochastic { r } = rounding {
+            if !(1..=24).contains(&r) {
+                return Err(ConfigWireError::BadSrBits(r.min(255) as u8));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a [`MacGemmConfig::to_wire`] record, validating every field
+    /// (an untrusted checkpoint must produce a typed error, never a panic
+    /// or a silently nonsensical engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigWireError`] on invalid formats, an unknown rounding
+    /// tag, or an out-of-range SR bit count.
+    pub fn from_wire(w: &[u8; Self::WIRE_BYTES]) -> Result<Self, ConfigWireError> {
+        let fmt = |exp: u8, man: u8, sub: u8| -> Result<FpFormat, ConfigWireError> {
+            if sub > 1 {
+                return Err(ConfigWireError::BadFlag(sub));
+            }
+            FpFormat::new(u32::from(exp), u32::from(man))
+                .map(|f| f.with_subnormals(sub == 1))
+                .map_err(|_| ConfigWireError::BadFormat {
+                    exp_bits: exp,
+                    man_bits: man,
+                })
+        };
+        let mul_fmt = fmt(w[0], w[1], w[2])?;
+        let acc_fmt = fmt(w[3], w[4], w[5])?;
+        let rounding = match w[6] {
+            0 => AccumRounding::Nearest,
+            1 => AccumRounding::Stochastic { r: u32::from(w[7]) },
+            tag => return Err(ConfigWireError::BadRoundingTag(tag)),
+        };
+        Self::check_envelope(mul_fmt, acc_fmt, rounding)?;
+        Ok(Self {
+            mul_fmt,
+            acc_fmt,
+            rounding,
+            seed: u64::from_le_bytes(w[8..16].try_into().expect("8-byte slice")),
+            threads: srmac_tensor::available_threads(),
+        })
+    }
 }
+
+impl MacGemmConfig {
+    /// Size in bytes of the [`MacGemmConfig::to_wire`] record.
+    pub const WIRE_BYTES: usize = 16;
+}
+
+/// Error decoding a [`MacGemmConfig`] wire record (see
+/// [`MacGemmConfig::from_wire`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigWireError {
+    /// A floating-point format field is outside the supported range.
+    BadFormat {
+        /// Stored exponent width.
+        exp_bits: u8,
+        /// Stored significand width.
+        man_bits: u8,
+    },
+    /// A boolean flag byte was neither 0 nor 1.
+    BadFlag(u8),
+    /// The rounding tag byte was neither 0 (RN) nor 1 (SR).
+    BadRoundingTag(u8),
+    /// The SR random-bit count is outside the fast-adder envelope (1..=24).
+    BadSrBits(u8),
+    /// The formats are individually valid but outside the envelope the
+    /// `MacGemm` engine can actually build (`MacGemm::new` would panic).
+    OutsideEngineEnvelope(&'static str),
+}
+
+impl std::fmt::Display for ConfigWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigWireError::BadFormat { exp_bits, man_bits } => {
+                write!(f, "invalid floating-point format E{exp_bits}M{man_bits}")
+            }
+            ConfigWireError::BadFlag(b) => write!(f, "boolean flag byte must be 0 or 1, got {b}"),
+            ConfigWireError::BadRoundingTag(t) => write!(f, "unknown rounding tag {t}"),
+            ConfigWireError::BadSrBits(r) => write!(f, "SR bit count {r} outside 1..=24"),
+            ConfigWireError::OutsideEngineEnvelope(what) => {
+                write!(f, "outside the MacGemm engine envelope: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigWireError {}
 
 /// The shareable inner accumulation kernel: everything a worker needs to
 /// compute output rows from packed codes. Lives behind an `Arc` so pool
@@ -906,6 +1051,66 @@ mod tests {
                 "{got} vs {want}"
             );
         }
+    }
+
+    #[test]
+    fn config_wire_roundtrip_and_rejects_garbage() {
+        for cfg in [
+            MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_seed(77),
+            MacGemmConfig::fp8_fp12(AccumRounding::Nearest, true),
+            MacGemmConfig::fp8_acc(FpFormat::e5m10(), AccumRounding::Stochastic { r: 9 }, true),
+        ] {
+            let back = MacGemmConfig::from_wire(&cfg.to_wire()).expect("round trip");
+            assert_eq!(back.mul_fmt, cfg.mul_fmt);
+            assert_eq!(back.acc_fmt, cfg.acc_fmt);
+            assert_eq!(back.rounding, cfg.rounding);
+            assert_eq!(back.seed, cfg.seed);
+            // Threads are machine state, not checkpoint state.
+            assert!(back.threads >= 1);
+        }
+        let good = MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).to_wire();
+        for (byte, value, want) in [
+            (
+                0usize,
+                0u8,
+                ConfigWireError::BadFormat {
+                    exp_bits: 0,
+                    man_bits: 2,
+                },
+            ),
+            (2, 7, ConfigWireError::BadFlag(7)),
+            (6, 9, ConfigWireError::BadRoundingTag(9)),
+            (7, 60, ConfigWireError::BadSrBits(60)),
+            (7, 0, ConfigWireError::BadSrBits(0)),
+        ] {
+            let mut w = good;
+            w[byte] = value;
+            assert_eq!(MacGemmConfig::from_wire(&w).unwrap_err(), want);
+        }
+        // Individually valid formats outside the engine envelope must be
+        // typed errors too — `MacGemm::new` would panic on them, and the
+        // loader contract is "no decodable checkpoint panics the rebuild".
+        for (byte, value) in [(1usize, 10u8), (4, 23)] {
+            let mut w = good;
+            w[byte] = value;
+            assert!(matches!(
+                MacGemmConfig::from_wire(&w).unwrap_err(),
+                ConfigWireError::OutsideEngineEnvelope(_)
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serialize a config the engine rejects")]
+    fn to_wire_rejects_configs_the_engine_cannot_build() {
+        // MacGemmConfig's fields are public, so an out-of-envelope config
+        // is constructible; serializing it must fail loudly rather than
+        // write a checkpoint from_wire would refuse to load.
+        let cfg = MacGemmConfig {
+            mul_fmt: FpFormat::e5m10(),
+            ..MacGemmConfig::fp8_fp12(AccumRounding::Nearest, true)
+        };
+        let _ = cfg.to_wire();
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl FastAdder {
         let r = mode.r();
         assert!(p <= 12, "fast adder supports p <= 12");
         assert!(r <= 24, "fast adder supports r <= 24");
+        if let AccumRounding::Stochastic { r } = mode {
+            // r = 0 would make the special-value path (golden ops::add,
+            // which requires 1..=64 random bits) panic mid-GEMM; reject it
+            // at construction like the golden implementation does.
+            assert!(r >= 1, "stochastic rounding needs at least 1 random bit");
+        }
         let f = r.max(2) + p + 4;
         assert!(2 * p + r + 8 < 64, "fast path must fit u64");
         Self {

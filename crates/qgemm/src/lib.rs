@@ -89,7 +89,7 @@ mod engine;
 mod fastmath;
 mod lut;
 
-pub use engine::{MacGemm, MacGemmConfig};
+pub use engine::{ConfigWireError, MacGemm, MacGemmConfig};
 pub use fastmath::{AccumRounding, FastAdder, FastQuantizer};
 pub use lut::ProductLut;
 // The worker pool moved into the shared `srmac-runtime` crate; re-exported

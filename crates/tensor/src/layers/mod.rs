@@ -63,6 +63,13 @@ pub trait Layer: Send {
     /// Visits every parameter (used by optimizers). Default: none.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
+    /// Visits every non-parameter state buffer the layer needs to restore a
+    /// saved model bit-exactly (e.g. batch-norm running statistics) —
+    /// buffers the optimizer never touches but evaluation reads. Containers
+    /// must forward to their children in a deterministic order. Default:
+    /// none.
+    fn visit_state(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+
     /// Human-readable layer description.
     fn describe(&self) -> String {
         "layer".to_owned()
@@ -128,6 +135,15 @@ impl Sequential {
         self.visit_params(&mut |p| count += p.value.numel());
         count
     }
+
+    /// Visits each direct child layer in order (the checkpoint writer walks
+    /// the model per layer; nested containers are reached through each
+    /// child's own `visit_params`/`visit_state`).
+    pub fn for_each_layer(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        for layer in &mut self.layers {
+            f(layer.as_mut());
+        }
+    }
 }
 
 impl Layer for Sequential {
@@ -150,6 +166,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
         }
     }
 

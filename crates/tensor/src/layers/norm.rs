@@ -169,6 +169,14 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta);
     }
 
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        // Running statistics are not parameters but evaluation reads them:
+        // a checkpoint that skipped them could not reproduce eval-mode
+        // outputs bitwise.
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
     fn describe(&self) -> String {
         format!("BatchNorm2d({})", self.channels)
     }

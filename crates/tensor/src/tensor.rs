@@ -119,6 +119,25 @@ impl Tensor {
         Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
+    /// Overwrites the storage with `src` (counts as a mutation). The
+    /// checkpoint loader restores parameters through this: values are
+    /// copied bit-for-bit (NaN payloads included) and the write bumps the
+    /// generation, so cached packed operands keyed on the old state are
+    /// invalidated like any other weight write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the element count.
+    pub fn copy_from_slice(&mut self, src: &[f32]) {
+        assert_eq!(
+            src.len(),
+            self.data.len(),
+            "copy_from_slice length must match the tensor's element count"
+        );
+        self.generation = next_generation();
+        Arc::make_mut(&mut self.data).copy_from_slice(src);
+    }
+
     /// Reinterprets the tensor with a new shape of equal element count.
     ///
     /// # Panics
@@ -237,6 +256,25 @@ mod tests {
     #[should_panic(expected = "data length must match")]
     fn mismatched_shape_panics() {
         let _ = Tensor::from_vec(vec![1.0], &[2]);
+    }
+
+    #[test]
+    fn copy_from_slice_is_bitwise_and_bumps_generation() {
+        let mut t = Tensor::zeros(&[3]);
+        let before = t.generation();
+        // A NaN with a non-canonical payload must survive bit-for-bit.
+        let nan = f32::from_bits(0x7FC0_1234);
+        t.copy_from_slice(&[1.5, -0.0, nan]);
+        assert_ne!(t.generation(), before, "restore must invalidate caches");
+        assert_eq!(t.data()[0].to_bits(), 1.5f32.to_bits());
+        assert_eq!(t.data()[1].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(t.data()[2].to_bits(), 0x7FC0_1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn copy_from_slice_rejects_wrong_length() {
+        Tensor::zeros(&[2]).copy_from_slice(&[0.0; 3]);
     }
 
     #[test]

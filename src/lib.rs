@@ -18,7 +18,9 @@
 //! - [`hwcost`] — 28nm and FPGA cost models calibrated on the paper;
 //! - [`tensor`] — the minimal deep-learning framework;
 //! - [`qgemm`] — the bit-exact low-precision GEMM engine;
-//! - [`models`] — ResNet-20/50, VGG16, synthetic datasets, trainer.
+//! - [`models`] — ResNet-20/50, VGG16, synthetic datasets, trainer, and
+//!   the micro-batching inference server ([`models::serve`]);
+//! - [`io`] — versioned, deterministic binary model checkpoints.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 
 pub use srmac_fp as fp;
 pub use srmac_hwcost as hwcost;
+pub use srmac_io as io;
 pub use srmac_models as models;
 pub use srmac_qgemm as qgemm;
 pub use srmac_rng as rng;
