@@ -6,18 +6,20 @@
 //! against their serial baselines, and a ResNet-20-shaped GEMM sequence
 //! with weight operands packed once and reused.
 //!
-//! The sequence results (and the headline packed-vs-seed speedup, plus the
-//! cross-PR comparison against the PR 1 baseline) are recorded in
-//! `BENCH_gemm.json` at the workspace root.
+//! The sequence results (and the headline packed-vs-seed speedup, plus
+//! the cross-PR comparisons against the PR 1 and PR 3 baselines — the
+//! latter is this PR's lane-batched-kernel acceptance record) are
+//! recorded in `BENCH_gemm.json` at the workspace root, which
+//! `bench_guard` treats as the committed reference.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use srmac_bench::guard::{rand_vec, relu_sparse_vec, resnet20_weight_gemm_shapes};
 use srmac_models::serve::{InferenceServer, ServeConfig};
 use srmac_models::{data, resnet};
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
-use srmac_rng::SplitMix64;
 use srmac_tensor::movement::{col2im, im2row, rows_to_nchw, transpose_into};
 use srmac_tensor::{available_threads, F32Engine, GemmEngine, Runtime};
 
@@ -25,26 +27,11 @@ use srmac_tensor::{available_threads, F32Engine, GemmEngine, Runtime};
 /// (ns), kept as the fixed baseline for the cross-PR speedup entry.
 const PR1_PREPARED_TRAIN_STEP_NS: f64 = 171_955_225.0;
 
-fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = SplitMix64::new(seed);
-    (0..n).map(|_| rng.next_f32() - 0.5).collect()
-}
-
-/// Activation-like data: `sparsity` of the entries are exact zeros, the
-/// profile post-ReLU feature maps (plus im2row padding) actually show.
-fn relu_sparse_vec(n: usize, seed: u64, sparsity: f64) -> Vec<f32> {
-    let mut rng = SplitMix64::new(seed);
-    (0..n)
-        .map(|_| {
-            let v = rng.next_f32() - 0.5;
-            if rng.next_f64() < sparsity {
-                0.0
-            } else {
-                v
-            }
-        })
-        .collect()
-}
+/// PR 3's recorded medians, the fixed baselines for this PR's lane-batched
+/// MAC kernel acceptance: the one-shot SR GEMM and the prepared train
+/// step, both bounded by the then-scalar `FastAdder` chain.
+const PR3_SR_GEMM_NS: f64 = 8_277_775.2;
+const PR3_PREPARED_TRAIN_STEP_NS: f64 = 134_059_004.0;
 
 fn bench_gemm(c: &mut Criterion) {
     let (m, k, n) = (64usize, 128, 64);
@@ -79,6 +66,30 @@ fn bench_gemm(c: &mut Criterion) {
     g.bench_function("mac_fp12_sr13_2threads", |bch| {
         bch.iter(|| sr2.gemm(m, k, n, black_box(&a), black_box(&b), &mut out))
     });
+    g.finish();
+
+    // The lane-batched kernel at selected widths, on prepared operands so
+    // only the accumulation loop is timed: lanes=1 is the scalar
+    // (tail-path) adder, the wider entries show the SWAR/SIMD batching
+    // payoff up to the default width.
+    let mut g = c.benchmark_group("gemm_batched");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements((m * k * n) as u64));
+    for (name, rounding, lanes) in [
+        ("sr13_lanes1", AccumRounding::Stochastic { r: 13 }, 1usize),
+        ("sr13_lanes8", AccumRounding::Stochastic { r: 13 }, 8),
+        ("sr13_lanes64", AccumRounding::Stochastic { r: 13 }, 64),
+        ("rn_lanes64", AccumRounding::Nearest, 64),
+    ] {
+        let subnormals = matches!(rounding, AccumRounding::Nearest);
+        let engine = MacGemm::new(MacGemmConfig::fp8_fp12(rounding, subnormals).with_threads(1))
+            .with_lane_width(lanes);
+        let pa = engine.pack_a(m, k, &a);
+        let pb = engine.pack_b(k, n, &b);
+        g.bench_function(name, |bch| {
+            bch.iter(|| engine.gemm_packed(m, k, n, black_box(&pa), black_box(&pb), &mut out))
+        });
+    }
     g.finish();
 
     let mut g = c.benchmark_group("quantize_f32_to_fp8");
@@ -172,48 +183,6 @@ fn bench_data_movement(c: &mut Criterion) {
         });
     }
     g.finish();
-}
-
-/// The forward GEMM shapes of a (width-scaled) ResNet-20; with
-/// `with_backward`, also the data-gradient products that reuse the same
-/// weights.
-fn resnet20_weight_gemm_shapes(
-    batch: usize,
-    size: usize,
-    width: usize,
-    with_backward: bool,
-) -> Vec<(usize, usize, usize)> {
-    let mut shapes = Vec::new();
-    let mut s = size;
-    // Stem 3x3 conv.
-    shapes.push((batch * s * s, 27, width));
-    let mut in_c = width;
-    for stage in 0..3usize {
-        let out_c = width << stage;
-        for block in 0..3usize {
-            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
-            if stride == 2 {
-                s /= 2;
-            }
-            shapes.push((batch * s * s, in_c * 9, out_c)); // conv1 forward
-            shapes.push((batch * s * s, out_c * 9, out_c)); // conv2 forward
-            if in_c != out_c || stride != 1 {
-                shapes.push((batch * s * s, in_c, out_c)); // 1x1 projection
-            }
-            if with_backward {
-                // Data-gradient products of the two convs (dY * W).
-                shapes.push((batch * s * s, out_c, in_c * 9));
-                shapes.push((batch * s * s, out_c, out_c * 9));
-            }
-            in_c = out_c;
-        }
-    }
-    // Classifier head (and its data gradient when training).
-    shapes.push((batch, in_c, 10));
-    if with_backward {
-        shapes.push((batch, 10, in_c));
-    }
-    shapes
 }
 
 /// Benches one ResNet-20-shaped GEMM sequence with ReLU-sparse
@@ -400,17 +369,29 @@ fn write_summary(c: &mut Criterion) {
         (Some(b1), Some(m8)) if b1 > 0.0 => Some(m8 / b1),
         _ => None,
     };
+    // This PR's acceptance record: the lane-batched kernel vs PR 3's
+    // scalar-chain medians (one-shot SR GEMM and prepared train step).
+    let sr_gemm = find("gemm_64x128x64", "mac_fp12_sr13_1thread");
+    let gemm_vs_pr3 = sr_gemm.map(|ns| PR3_SR_GEMM_NS / ns);
+    let train_vs_pr3 = find("resnet20_train_step", "prepared_weight_reuse")
+        .map(|p| PR3_PREPARED_TRAIN_STEP_NS / p);
     json.push_str(&format!(
         "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
          \"serve_resnet20\": {{\n    \"requests_per_sec_batch1\": {},\n    \
          \"requests_per_sec_max8\": {},\n    \
          \"speedup_microbatch_vs_batch1\": {}\n  }},\n  \
          \"pr1_baseline\": {{\n    \"prepared_weight_reuse_ns\": {PR1_PREPARED_TRAIN_STEP_NS:.1},\n    \
-         \"train_step_speedup_vs_pr1\": {}\n  }}\n}}\n",
+         \"train_step_speedup_vs_pr1\": {}\n  }},\n  \
+         \"pr3_baseline\": {{\n    \"gemm_sr13_1thread_ns\": {PR3_SR_GEMM_NS:.1},\n    \
+         \"prepared_weight_reuse_ns\": {PR3_PREPARED_TRAIN_STEP_NS:.1},\n    \
+         \"gemm_sr13_speedup_vs_pr3\": {},\n    \
+         \"train_step_speedup_vs_pr3\": {}\n  }}\n}}\n",
         fmt_opt(rps_batch1, 1),
         fmt_opt(rps_max8, 1),
         fmt_opt(serve_speedup, 3),
         fmt_opt(vs_pr1, 3),
+        fmt_opt(gemm_vs_pr3, 3),
+        fmt_opt(train_vs_pr3, 3),
     ));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
@@ -431,6 +412,12 @@ fn write_summary(c: &mut Criterion) {
         }
         if let Some(s) = vs_pr1 {
             println!("resnet20_train_step speedup vs PR 1 prepared baseline: {s:.2}x");
+        }
+        if let Some(s) = gemm_vs_pr3 {
+            println!("gemm_64x128x64 SR13 speedup vs PR 3 baseline: {s:.2}x");
+        }
+        if let Some(s) = train_vs_pr3 {
+            println!("resnet20_train_step speedup vs PR 3 prepared baseline: {s:.2}x");
         }
         println!("summary -> {path}");
     }

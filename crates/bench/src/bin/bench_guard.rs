@@ -1,0 +1,257 @@
+//! Bench regression guard: re-measures the headline MAC workloads —
+//! `gemm_64x128x64` (SR and RN, one-shot, 1 thread) and the
+//! `resnet20_train_step/prepared_weight_reuse` GEMM sequence — with the
+//! exact data generation of the criterion benches, and diffs the fresh
+//! medians against the committed `BENCH_gemm.json`. Exits non-zero when
+//! any watched median regresses by more than the tolerance.
+//!
+//! ```text
+//! bench_guard [--samples N] [--tolerance F] [--json PATH]
+//!             [--relative [--min-speedup F]]
+//! ```
+//!
+//! Defaults: 9 samples, 15% tolerance, the workspace `BENCH_gemm.json`.
+//! Absolute mode (the default) compares fresh medians against the
+//! committed ones — a tight gate, valid only on the machine class that
+//! recorded them. `--relative` is the machine-independent gate CI runs:
+//! it measures the lane-batched kernel against the scalar (`lanes = 1`)
+//! kernel *on the same host* and fails if the batching speedup falls
+//! below `--min-speedup` (default 1.2) — catching the regressions that
+//! matter (losing the lane batching, the SIMD-tier dispatch, or the
+//! zero-compaction) without betting on a shared runner's absolute
+//! wall-clock; it also verifies the committed file still contains every
+//! watched entry.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use srmac_bench::guard::{
+    committed_median, parse_bench_medians, rand_vec, relu_sparse_vec, resnet20_weight_gemm_shapes,
+};
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_tensor::GemmEngine;
+
+struct Args {
+    samples: usize,
+    tolerance: f64,
+    json_path: String,
+    relative: bool,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 9,
+        tolerance: 0.15,
+        json_path: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json").to_owned(),
+        relative: false,
+        min_speedup: 1.2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} argument"))
+        };
+        match flag.as_str() {
+            "--samples" => args.samples = value("count").parse().expect("--samples: integer"),
+            "--tolerance" => {
+                args.tolerance = value("fraction").parse().expect("--tolerance: float");
+            }
+            "--json" => args.json_path = value("path"),
+            "--relative" => args.relative = true,
+            "--min-speedup" => {
+                args.min_speedup = value("ratio").parse().expect("--min-speedup: float");
+            }
+            other => panic!(
+                "unknown argument {other} \
+                 (try --samples/--tolerance/--json/--relative/--min-speedup)"
+            ),
+        }
+    }
+    args
+}
+
+fn median_ns(samples: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm-up: caches, pools, lazily built tables
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The `gemm_64x128x64` one-shot workload (same shape, seeds and engine
+/// configs as `benches/gemm.rs`), at an optional explicit lane width.
+fn gemm_median(
+    samples: usize,
+    rounding: AccumRounding,
+    subnormals: bool,
+    lanes: Option<usize>,
+) -> f64 {
+    let (m, k, n) = (64usize, 128, 64);
+    let a = rand_vec(m * k, 1);
+    let b = rand_vec(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+    let mut engine = MacGemm::new(MacGemmConfig::fp8_fp12(rounding, subnormals).with_threads(1));
+    if let Some(lanes) = lanes {
+        engine = engine.with_lane_width(lanes);
+    }
+    median_ns(samples, || engine.gemm(m, k, n, &a, &b, &mut out))
+}
+
+/// The machine-independent gate: lane batching must beat the scalar
+/// kernel on this very host, and the committed file must still carry the
+/// watched entries.
+fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) -> ExitCode {
+    let mut failed = false;
+    for (group, name) in [
+        ("gemm_64x128x64", "mac_fp12_sr13_1thread"),
+        ("gemm_64x128x64", "mac_fp12_rn_1thread"),
+        ("resnet20_train_step", "prepared_weight_reuse"),
+    ] {
+        if committed_median(committed, group, name).is_none() {
+            eprintln!(
+                "bench_guard: {group}/{name} missing from {}",
+                args.json_path
+            );
+            failed = true;
+        }
+    }
+    let sr = AccumRounding::Stochastic { r: 13 };
+    let scalar = gemm_median(args.samples, sr, false, Some(1));
+    let batched = gemm_median(args.samples, sr, false, None);
+    let speedup = scalar / batched;
+    let verdict = if speedup < args.min_speedup {
+        failed = true;
+        "REGRESSION"
+    } else {
+        "ok"
+    };
+    println!(
+        "gemm_64x128x64 SR13: batched {batched:>12.0} ns vs scalar lanes=1 {scalar:>12.0} ns \
+         ({speedup:.2}x, floor {:.2}x) {verdict}",
+        args.min_speedup
+    );
+    if failed {
+        eprintln!(
+            "bench_guard: lane batching no longer pays for itself on this host \
+             (or a watched entry vanished) — a kernel or dispatch regression"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_guard: relative gate passed");
+    ExitCode::SUCCESS
+}
+
+/// The `resnet20_train_step/prepared_weight_reuse` workload: the training
+/// GEMM sequence with weights packed once, activations packed per call.
+fn train_step_median(samples: usize) -> f64 {
+    let shapes = resnet20_weight_gemm_shapes(4, 16, 8, true);
+    let engine = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
+    );
+    let activations: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, k, _))| relu_sparse_vec(m * k, 100 + i as u64, 0.6))
+        .collect();
+    let weights: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, k, n))| rand_vec(k * n, 500 + i as u64))
+        .collect();
+    let mut outs: Vec<Vec<f32>> = shapes
+        .iter()
+        .map(|&(m, _, n)| vec![0.0f32; m * n])
+        .collect();
+    let packed_weights: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, k, n))| engine.pack_b(k, n, &weights[i]))
+        .collect();
+    median_ns(samples, || {
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            let pa = engine.pack_a(m, k, &activations[i]);
+            engine.gemm_packed(m, k, n, &pa, &packed_weights[i], &mut outs[i]);
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let json = match std::fs::read_to_string(&args.json_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {}: {e}", args.json_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed = parse_bench_medians(&json);
+    if args.relative {
+        return run_relative(&args, &committed);
+    }
+
+    let watched: [(&str, &str, f64); 3] = [
+        (
+            "gemm_64x128x64",
+            "mac_fp12_sr13_1thread",
+            gemm_median(
+                args.samples,
+                AccumRounding::Stochastic { r: 13 },
+                false,
+                None,
+            ),
+        ),
+        (
+            "gemm_64x128x64",
+            "mac_fp12_rn_1thread",
+            gemm_median(args.samples, AccumRounding::Nearest, true, None),
+        ),
+        (
+            "resnet20_train_step",
+            "prepared_weight_reuse",
+            train_step_median(args.samples),
+        ),
+    ];
+
+    let mut failed = false;
+    for (group, name, fresh) in watched {
+        let Some(base) = committed_median(&committed, group, name) else {
+            eprintln!(
+                "bench_guard: {group}/{name} missing from {}",
+                args.json_path
+            );
+            failed = true;
+            continue;
+        };
+        let ratio = fresh / base;
+        let verdict = if ratio > 1.0 + args.tolerance {
+            failed = true;
+            "REGRESSION"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{group}/{name}: fresh {fresh:>12.0} ns vs committed {base:>12.0} ns \
+             ({ratio:.2}x) {verdict}"
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: regression beyond {:.0}% (or missing entry) — \
+             investigate before merging, or re-record BENCH_gemm.json via \
+             `cargo bench --bench gemm` if the change is intended",
+            args.tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_guard: all watched medians within tolerance");
+    ExitCode::SUCCESS
+}

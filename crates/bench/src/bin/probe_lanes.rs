@@ -1,0 +1,72 @@
+//! Lane-width sweep of the batched MAC GEMM kernel: medians of the
+//! 64x128x64 benchmark shape at every supported lane width (1 = the
+//! scalar adder, then each batched width up to the default 64), under RN
+//! and SR accumulation, for the one-shot and the fully-packed pipelines.
+//! The quick confirmation harness behind the `gemm_batched` criterion
+//! group — data generation is shared with the benches via
+//! `srmac_bench::guard` so the probe measures exactly their workload.
+
+use std::time::Instant;
+
+use srmac_bench::guard::rand_vec;
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_tensor::GemmEngine;
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let (m, k, n) = (64usize, 128, 64);
+    let a = rand_vec(m * k, 1);
+    let b = rand_vec(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+
+    for (label, rounding) in [
+        ("rn", AccumRounding::Nearest),
+        ("sr13", AccumRounding::Stochastic { r: 13 }),
+    ] {
+        let subnormals = matches!(rounding, AccumRounding::Nearest);
+        let mut base = f64::NAN;
+        for lanes in [1usize, 4, 8, 16, 32, 64] {
+            let engine =
+                MacGemm::new(MacGemmConfig::fp8_fp12(rounding, subnormals).with_threads(1))
+                    .with_lane_width(lanes);
+            let pa = engine.pack_a(m, k, &a);
+            let pb = engine.pack_b(k, n, &b);
+            // Warm up, then time the packed accumulation loop alone.
+            engine.gemm_packed(m, k, n, &pa, &pb, &mut out);
+            let packed = median_ns(
+                (0..samples)
+                    .map(|_| {
+                        let t = Instant::now();
+                        engine.gemm_packed(m, k, n, &pa, &pb, &mut out);
+                        t.elapsed().as_nanos() as f64
+                    })
+                    .collect(),
+            );
+            let oneshot = median_ns(
+                (0..samples)
+                    .map(|_| {
+                        let t = Instant::now();
+                        engine.gemm(m, k, n, &a, &b, &mut out);
+                        t.elapsed().as_nanos() as f64
+                    })
+                    .collect(),
+            );
+            if lanes == 1 {
+                base = packed;
+            }
+            println!(
+                "{label:>4} lanes={lanes}: packed {packed:>10.0} ns  \
+                 one-shot {oneshot:>10.0} ns  speedup vs lanes=1 {:.2}x",
+                base / packed
+            );
+        }
+    }
+}

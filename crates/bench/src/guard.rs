@@ -1,0 +1,171 @@
+//! Bench regression guard: shared workload definitions for the criterion
+//! benches and the `bench_guard` binary, plus the minimal
+//! `BENCH_gemm.json` reader the guard diffs fresh medians against.
+//!
+//! The guard exists so a PR that accidentally slows the MAC hot path
+//! fails loudly: `bench_guard` re-measures the headline workloads with
+//! the *same data generation* as the criterion benches (seeds included)
+//! and exits non-zero when a median regresses past the tolerance against
+//! the committed `BENCH_gemm.json`.
+
+use srmac_rng::SplitMix64;
+
+/// Uniform values in [-0.5, 0.5) — the benches' dense-operand generator.
+#[must_use]
+pub fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+/// Activation-like data: `sparsity` of the entries are exact zeros, the
+/// profile post-ReLU feature maps (plus im2row padding) actually show.
+#[must_use]
+pub fn relu_sparse_vec(n: usize, seed: u64, sparsity: f64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let v = rng.next_f32() - 0.5;
+            if rng.next_f64() < sparsity {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// The forward GEMM shapes of a (width-scaled) ResNet-20; with
+/// `with_backward`, also the data-gradient products that reuse the same
+/// weights. Shared by the `resnet20_train_step`/`resnet20_eval_stream`
+/// criterion groups and the regression guard, so both always measure the
+/// same sequence.
+#[must_use]
+pub fn resnet20_weight_gemm_shapes(
+    batch: usize,
+    size: usize,
+    width: usize,
+    with_backward: bool,
+) -> Vec<(usize, usize, usize)> {
+    let mut shapes = Vec::new();
+    let mut s = size;
+    // Stem 3x3 conv.
+    shapes.push((batch * s * s, 27, width));
+    let mut in_c = width;
+    for stage in 0..3usize {
+        let out_c = width << stage;
+        for block in 0..3usize {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            if stride == 2 {
+                s /= 2;
+            }
+            shapes.push((batch * s * s, in_c * 9, out_c)); // conv1 forward
+            shapes.push((batch * s * s, out_c * 9, out_c)); // conv2 forward
+            if in_c != out_c || stride != 1 {
+                shapes.push((batch * s * s, in_c, out_c)); // 1x1 projection
+            }
+            if with_backward {
+                // Data-gradient products of the two convs (dY * W).
+                shapes.push((batch * s * s, out_c, in_c * 9));
+                shapes.push((batch * s * s, out_c, out_c * 9));
+            }
+            in_c = out_c;
+        }
+    }
+    // Classifier head (and its data gradient when training).
+    shapes.push((batch, in_c, 10));
+    if with_backward {
+        shapes.push((batch, 10, in_c));
+    }
+    shapes
+}
+
+/// One `benchmarks` entry of `BENCH_gemm.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedMedian {
+    /// Criterion group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Recorded median in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Extracts every `{"group": ..., "name": ..., "median_ns": ...}` record
+/// from the committed `BENCH_gemm.json`. A deliberately minimal reader
+/// for the file this workspace itself writes (no dependency on a JSON
+/// crate); entries missing any of the three fields are skipped.
+#[must_use]
+pub fn parse_bench_medians(json: &str) -> Vec<CommittedMedian> {
+    fn str_field(obj: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let rest = obj[obj.find(&pat)? + pat.len()..].trim_start();
+        let rest = rest.strip_prefix('"')?;
+        Some(rest[..rest.find('"')?].to_owned())
+    }
+    fn num_field(obj: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\":");
+        let rest = obj[obj.find(&pat)? + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    json.split('{')
+        .skip(1)
+        .filter_map(|obj| {
+            let obj = &obj[..obj.find('}').unwrap_or(obj.len())];
+            Some(CommittedMedian {
+                group: str_field(obj, "group")?,
+                name: str_field(obj, "name")?,
+                median_ns: num_field(obj, "median_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// Looks up a committed median.
+#[must_use]
+pub fn committed_median(entries: &[CommittedMedian], group: &str, name: &str) -> Option<f64> {
+    entries
+        .iter()
+        .find(|e| e.group == group && e.name == name)
+        .map(|e| e.median_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_committed_layout() {
+        let json = r#"{
+  "benchmarks": [
+    {"group": "gemm_64x128x64", "name": "f32_1thread", "median_ns": 78394.0, "samples": 15, "iters_per_sample": 448},
+    {"group": "resnet20_train_step", "name": "prepared_weight_reuse", "median_ns": 134059004.0, "samples": 10, "iters_per_sample": 1}
+  ],
+  "pr1_baseline": {
+    "prepared_weight_reuse_ns": 171955225.0
+  }
+}"#;
+        let entries = parse_bench_medians(json);
+        assert_eq!(
+            committed_median(&entries, "gemm_64x128x64", "f32_1thread"),
+            Some(78394.0)
+        );
+        assert_eq!(
+            committed_median(&entries, "resnet20_train_step", "prepared_weight_reuse"),
+            Some(134_059_004.0)
+        );
+        assert_eq!(committed_median(&entries, "nope", "nope"), None);
+        // The trailing summary objects have no group/name and are skipped.
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn resnet20_shapes_cover_forward_and_backward() {
+        let fwd = resnet20_weight_gemm_shapes(1, 16, 8, false);
+        let train = resnet20_weight_gemm_shapes(4, 16, 8, true);
+        assert!(train.len() > fwd.len());
+        assert!(fwd.iter().all(|&(m, k, n)| m * k * n > 0));
+    }
+}

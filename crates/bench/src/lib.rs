@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod configs;
+pub mod guard;
 pub mod table;
 
 use std::sync::Arc;

@@ -30,7 +30,7 @@
 use srmac_core::{EagerCorrection, FpAdder, RoundingDesign};
 use srmac_fp::{FpFormat, RoundMode};
 use srmac_qgemm::{AccumRounding, FastAdder, FastQuantizer};
-use srmac_rng::SplitMix64;
+use srmac_rng::{SplitMix64, SrLaneStreams};
 
 /// Formats under test (the paper's multiplier formats and its proposed
 /// accumulator format). Subnormals stay enabled so that every probe value
@@ -216,6 +216,84 @@ fn sr_mean_rounding_error_is_unbiased() {
             mean_err.abs() <= tol,
             "{fmt}: FastAdder SR mean error {mean_err:.5} ulp, want 0 +- {tol:.5}"
         );
+    }
+}
+
+#[test]
+fn sr_lane_streams_round_up_probability_per_lane() {
+    // The lane-batched GEMM path draws its rounding words from
+    // `SrLaneStreams` instead of one `SplitMix64` per element. Statistical
+    // SR semantics must hold *per lane*: each lane's empirical round-up
+    // probability on the 1 + (k/16)*ulp probe equals k/16 within the same
+    // z = 4.8 binomial bound as the scalar stream tests — for the paper's
+    // accumulator format at its default r, through the batch generator's
+    // `fill_block` API (the words the batched kernel actually consumes).
+    const L: usize = 8;
+    let fmt = FpFormat::e6m5();
+    let r = fmt.precision() + 3;
+    let adder = FastAdder::new(fmt, AccumRounding::Stochastic { r });
+    for k in KS {
+        let (lo, hi, addend, _) = probe(fmt, k);
+        let p = k as f64 / 16.0;
+        let mut lanes =
+            SrLaneStreams::new(std::array::from_fn(|l| 0x1A9E + k * 31 + 1000 * l as u64));
+        let mut block = vec![[0u64; L]; N as usize];
+        lanes.fill_block(&mut block);
+        let mut ups = [0u64; L];
+        for words in &block {
+            for l in 0..L {
+                let s = adder.add(lo, addend, words[l]);
+                assert!(s == lo || s == hi, "{fmt}: SR add must land on a neighbor");
+                ups[l] += u64::from(s == hi);
+            }
+        }
+        let tol = binomial_tol(p, r);
+        for (l, &u) in ups.iter().enumerate() {
+            let got = u as f64 / N as f64;
+            assert!(
+                (got - p).abs() <= tol,
+                "{fmt} lane {l} eps={k}/16: round-up frequency {got:.4}, want {p:.4} +- {tol:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sr_lane_streams_lanes_are_mutually_uncorrelated() {
+    // A simple sign test across every lane pair: at the eps = 1/2 probe,
+    // each lane's round-up indicator is a fair coin; if two lanes were
+    // correlated (e.g. sharing a stream, or seeds interacting), their
+    // per-step agreement rate would leave the binomial(N, 1/2) band.
+    // `draw` with all lanes consuming exercises the masked-draw path.
+    const L: usize = 8;
+    let fmt = FpFormat::e6m5();
+    let r = fmt.precision() + 3;
+    let adder = FastAdder::new(fmt, AccumRounding::Stochastic { r });
+    let (lo, hi, addend, _) = probe(fmt, 8);
+    let mut lanes = SrLaneStreams::new(std::array::from_fn(|l| 0xC0FE + 77 * l as u64));
+    let mut agree = [[0u64; L]; L];
+    for _ in 0..N {
+        let words = lanes.draw([true; L]);
+        let ups: [bool; L] = std::array::from_fn(|l| {
+            let s = adder.add(lo, addend, words[l]);
+            assert!(s == lo || s == hi);
+            s == hi
+        });
+        for (i, &up_i) in ups.iter().enumerate() {
+            for (j, &up_j) in ups.iter().enumerate().skip(i + 1) {
+                agree[i][j] += u64::from(up_i == up_j);
+            }
+        }
+    }
+    let tol = Z_BOUND * (0.25 / N as f64).sqrt();
+    for (i, row) in agree.iter().enumerate() {
+        for (j, &n_agree) in row.iter().enumerate().skip(i + 1) {
+            let frac = n_agree as f64 / N as f64;
+            assert!(
+                (frac - 0.5).abs() <= tol,
+                "lanes {i} and {j} agree {frac:.4} of the time, want 0.5 +- {tol:.4}"
+            );
+        }
     }
 }
 

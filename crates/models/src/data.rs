@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use srmac_rng::SplitMix64;
+use srmac_rng::{scalar_math, SplitMix64};
 use srmac_tensor::{Runtime, Tensor};
 
 /// Number of classes in both synthetic datasets.
@@ -197,11 +197,11 @@ pub fn generate(profile: Profile, n: usize, size: usize, seed: u64) -> Dataset {
         let theta = theta0 + rng.next_normal() * profile.jitter;
         let phase = rng.next_f64() * std::f64::consts::TAU;
         let phase2 = rng.next_f64() * std::f64::consts::TAU;
-        let (sin_t, cos_t) = theta.sin_cos();
+        let (sin_t, cos_t) = (scalar_math::sin_f64(theta), scalar_math::cos_f64(theta));
         // Class color mixing of the two texture components.
         let mix = |c: usize, ch: usize| -> f64 {
             let k = (c * 3 + ch) as f64;
-            0.5 + 0.5 * (k * 1.7 + 0.4).sin()
+            0.5 + 0.5 * scalar_math::sin_f64(k * 1.7 + 0.4)
         };
         for ch in 0..3 {
             let (w1, w2) = (mix(class, ch), 1.0 - mix(class, ch));
@@ -211,8 +211,11 @@ pub fn generate(profile: Profile, n: usize, size: usize, seed: u64) -> Dataset {
                     let v = y as f64 / size as f64;
                     let ur = u * cos_t - v * sin_t;
                     let vr = u * sin_t + v * cos_t;
-                    let t1 = (std::f64::consts::TAU * freq * ur + phase).sin();
-                    let t2 = (std::f64::consts::TAU * freq2 * vr + phase2).cos();
+                    // Pinned scalar sin/cos: synthetic pixels are part of
+                    // the golden-vector contract and must not change with
+                    // the build's target features.
+                    let t1 = scalar_math::sin_f64(std::f64::consts::TAU * freq * ur + phase);
+                    let t2 = scalar_math::cos_f64(std::f64::consts::TAU * freq2 * vr + phase2);
                     let val = w1 * t1 + w2 * t2 + profile.noise * rng.next_normal();
                     images.push(val as f32 * 0.5);
                 }

@@ -1,0 +1,867 @@
+//! The lane-batched MAC adder: [`FastAdder`]'s algebra applied to `L`
+//! independent accumulation lanes at once, branch-free.
+//!
+//! # Why lanes, and why this is bit-exact
+//!
+//! The paper's MAC is a parallel datapath — one aligned add per product
+//! per cycle — while the scalar emulation walks one add at a time through
+//! a chain of data-dependent branches (operand swap, alignment, sticky,
+//! round-up, carry) that mispredict constantly. This module restores the
+//! parallel shape in software: `L` output columns of the same GEMM row
+//! are accumulated side by side, every select expressed as SWAR mask
+//! arithmetic (`(t & m) | (e & !m)` blends over `u64` lane words), so the
+//! whole step is straight-line code the CPU can overlap across lanes.
+//!
+//! Vectorizing *across columns* never touches correctness: each output
+//! element's adds stay in `k` order and its SR stream (position-seeded by
+//! `(seed, row, column)`) is consumed identically — lanes only change
+//! *when* independent elements are computed, never *what* each one
+//! computes. The exhaustive `batch_vs_scalar` tests below pin this down
+//! code-for-code against [`FastAdder`].
+//!
+//! # The decoded lane word
+//!
+//! Between adds a lane's accumulator never round-trips through the packed
+//! encoding: it stays in a *decoded* `u64` word holding the ULP-anchored
+//! significand and exponent the adder algebra actually works on —
+//! re-encoding after one add and re-decoding at the next would be pure
+//! overhead. The layout:
+//!
+//! ```text
+//! bit 63      sign (1 = negative)
+//! bit 62      special (infinity / NaN; the raw encoding lives in 16..32)
+//! bit 61      draws (the packed encoding has non-zero magnitude, i.e.
+//!             this value consumes an SR word as a product)
+//! bits 32..48 exponent field: ULP exponent minus `qmin` (zero for
+//!             subnormals and zeros)
+//! bits 16..32 raw encoding (special words only; zero otherwise)
+//! bits  0..16 ULP-anchored significand (implicit bit explicit)
+//! ```
+//!
+//! The low 48 bits form a *magnitude key*: for canonical finite words,
+//! unsigned comparison of keys is exactly magnitude comparison (the
+//! exponent field sits above the significand), and a zero key means a
+//! zero value. That makes the operand swap, the zero tests and the
+//! alignment distance all plain integer arithmetic on one word.
+//!
+//! Special values (exponent field all ones) are rare in training — they
+//! only appear on accumulator overflow or NaN inputs — and fall back to
+//! the scalar adder per lane, preserving golden special semantics.
+
+use srmac_fp::FpFormat;
+
+use crate::fastmath::{AccumRounding, AdderSpec, FastAdder};
+use crate::lut::ProductLut;
+
+/// Sign bit of a decoded lane word.
+pub const LANE_SIGN: u64 = 1 << 63;
+/// Special marker (infinity/NaN) of a decoded lane word.
+pub const LANE_SPECIAL: u64 = 1 << 62;
+/// Draw marker: the encoded value has non-zero magnitude, so as a product
+/// it consumes one SR rounding word (the zero-skip rule's complement).
+pub const LANE_DRAWS: u64 = 1 << 61;
+/// Magnitude-comparison key: exponent field + significand (+ the raw
+/// encoding bits of special words, which never take part in comparisons
+/// but must keep the key non-zero).
+pub const LANE_KEY: u64 = (1 << 48) - 1;
+
+const EF_SHIFT: u32 = 32;
+const ENC_SHIFT: u32 = 16;
+
+/// Branch-free select: `t` where `c`, else `e`.
+#[inline(always)]
+fn sel(c: bool, t: u64, e: u64) -> u64 {
+    let m = (c as u64).wrapping_neg();
+    (t & m) | (e & !m)
+}
+
+/// A lane-batched fixed-format floating-point adder: the same algebra as
+/// [`FastAdder`] (they share one [`AdderSpec`]), evaluated over `L`
+/// decoded lane words at once with every select a SWAR mask blend.
+///
+/// The portable SWAR path below is the default on every architecture and
+/// is written to auto-vectorize; the engine invokes it through
+/// runtime-detected `#[target_feature]` wrappers (see `SimdTier` in
+/// `engine.rs`), so stock builds get AVX2/AVX-512 codegen of this exact
+/// code with no special compiler flags. An explicit `std::arch` AVX2
+/// rendition of the same algebra lives in the `simd` module behind the
+/// opt-in `arch-simd` feature; the exhaustive equivalence tests cover
+/// whichever path is compiled in.
+#[derive(Clone, Copy, Debug)]
+pub struct FastAdderBatch {
+    spec: AdderSpec,
+    scalar: FastAdder,
+    /// Stochastic (`true`) or round-to-nearest-even (`false`).
+    sr: bool,
+    /// `1 << (p - 1)`: smallest normalized significand.
+    half: u64,
+    /// Largest representable exponent field (`emax - (p - 1) - qmin`).
+    ef_max: i64,
+    /// Exponent field of an infinity encoding, pre-shifted.
+    inf_exp: u64,
+    /// Sign-bit position of the packed encoding.
+    enc_sign_shift: u32,
+}
+
+impl FastAdderBatch {
+    /// Creates the batch adder (same envelope as [`FastAdder::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format or `r` exceeds the fast-path envelope.
+    #[must_use]
+    pub fn new(fmt: FpFormat, mode: AccumRounding) -> Self {
+        let scalar = FastAdder::new(fmt, mode);
+        let spec = *scalar.spec();
+        Self {
+            spec,
+            scalar,
+            sr: matches!(mode, AccumRounding::Stochastic { .. }),
+            half: 1 << (spec.p - 1),
+            ef_max: i64::from(spec.emax) - i64::from(spec.p - 1) - i64::from(spec.qmin),
+            inf_exp: spec.emask << spec.mbits,
+            enc_sign_shift: fmt.bits() - 1,
+        }
+    }
+
+    /// The format this adder operates on.
+    #[must_use]
+    pub fn format(&self) -> FpFormat {
+        self.spec.fmt
+    }
+
+    /// Decodes a packed encoding into a lane word.
+    ///
+    /// Finite values become canonical decoded words; special encodings
+    /// (exponent field all ones) are carried verbatim behind
+    /// [`LANE_SPECIAL`]. With subnormals disabled, pseudo-subnormal
+    /// encodings (`e == 0, m != 0`) decode — like everywhere else in the
+    /// stack — to a zero word, though they keep their [`LANE_DRAWS`] bit
+    /// (the scalar GEMM loop draws a rounding word for any non-zero
+    /// *encoded* magnitude before discovering the value is zero).
+    #[must_use]
+    pub fn decode(&self, enc: u64) -> u64 {
+        let spec = &self.spec;
+        let e = (enc >> spec.mbits) & spec.emask;
+        let m = enc & spec.mmask;
+        let sign = (enc >> self.enc_sign_shift) & 1;
+        let draws = sel(enc & spec.magmask != 0, LANE_DRAWS, 0);
+        if e == spec.emask {
+            return LANE_SPECIAL | draws | (enc << ENC_SHIFT);
+        }
+        if e == 0 && (m == 0 || !spec.sub) {
+            return (sign << 63) | draws;
+        }
+        let norm = u64::from(e != 0);
+        let sig = m | (norm << spec.mbits);
+        // ULP exponent minus qmin: `e - 1` for normals (qmin = emin - mbits
+        // and the bias arithmetic cancel), 0 for subnormals (e == 0).
+        let ef = e.saturating_sub(1);
+        (sign << 63) | draws | (ef << EF_SHIFT) | sig
+    }
+
+    /// Encodes a lane word back into the packed format. Inverse of
+    /// [`FastAdderBatch::decode`] on canonical words; special words return
+    /// their carried encoding verbatim.
+    #[must_use]
+    pub fn encode(&self, w: u64) -> u64 {
+        let spec = &self.spec;
+        if w & LANE_SPECIAL != 0 {
+            return (w >> ENC_SHIFT) & srmac_fp::mask(spec.fmt.bits());
+        }
+        let sbit = (w >> 63) << self.enc_sign_shift;
+        let sig = w & 0xFFFF;
+        let ef = (w >> EF_SHIFT) & 0xFFFF;
+        if sig < self.half {
+            // Zero or subnormal: the exponent field of the encoding is 0.
+            debug_assert!(ef == 0, "subnormal lane words sit at the qmin exponent");
+            return sbit | sig;
+        }
+        sbit | ((ef + 1) << spec.mbits) | (sig & spec.mmask)
+    }
+
+    /// One MAC accumulation step over `L` lanes: `acc[l] += prod[l]` in
+    /// the adder's rounding semantics, with the GEMM zero-skip rule
+    /// applied per lane — a zero-magnitude product leaves its accumulator
+    /// word (sign of zero included) completely untouched, exactly as the
+    /// scalar loop's `is_zero_prod` skip does.
+    ///
+    /// `words[l]` is lane `l`'s SR rounding word (ignored under RN); the
+    /// caller advances each lane's stream only when [`LANE_DRAWS`] is set
+    /// on the product, which keeps the per-element SR streams identical
+    /// to the scalar path.
+    ///
+    /// `inline(always)`: the caller's accumulation loop must keep `acc`
+    /// in (vector) registers across `k` steps; an out-of-line call here
+    /// forces a full spill/reload of every lane per step.
+    #[inline(always)]
+    pub fn mac_step<const L: usize>(&self, acc: &mut [u64; L], prods: &[u64; L], words: &[u64; L]) {
+        let mut special = 0u64;
+        for l in 0..L {
+            special |= acc[l] | prods[l];
+        }
+        let mut res = [0u64; L];
+        self.add_lanes(&mut res, acc, prods, words);
+        if special & LANE_SPECIAL != 0 {
+            self.fixup_specials(acc, prods, words, &mut res);
+        }
+        for l in 0..L {
+            // Zero-skip: only non-zero-magnitude products commit.
+            acc[l] = sel(prods[l] & LANE_KEY != 0, res[l], acc[l]);
+        }
+    }
+
+    /// Runs [`FastAdderBatch::add_core`] over all `L` lanes — through the
+    /// `std::arch` fast path where one is compiled in (see the `simd`
+    /// module), through the portable SWAR code otherwise. Both paths are
+    /// the same algebra; the exhaustive equivalence tests run against
+    /// whichever is active in the current build.
+    #[inline(always)]
+    fn add_lanes<const L: usize>(
+        &self,
+        res: &mut [u64; L],
+        acc: &[u64; L],
+        prods: &[u64; L],
+        words: &[u64; L],
+    ) {
+        #[cfg(all(feature = "arch-simd", target_arch = "x86_64", target_feature = "avx2"))]
+        if L.is_multiple_of(4) {
+            // SAFETY: the callee's only requirement is the `avx2` target
+            // feature, which the `cfg` above guarantees is statically
+            // enabled for this build (and therefore on every thread).
+            #[allow(unsafe_code)]
+            unsafe {
+                self.add_lanes_avx2(res, acc, prods, words);
+            }
+            return;
+        }
+        for l in 0..L {
+            res[l] = self.add_core(acc[l], prods[l], words[l]);
+        }
+    }
+
+    /// Adds `L` pairs of packed encodings with their rounding words —
+    /// the encoding-level API, bit-identical lane by lane to
+    /// [`FastAdder::add`] (the equivalence the exhaustive tests assert).
+    #[must_use]
+    pub fn add<const L: usize>(&self, a: &[u64; L], b: &[u64; L], words: &[u64; L]) -> [u64; L] {
+        let mut aw = [0u64; L];
+        let mut bw = [0u64; L];
+        for l in 0..L {
+            aw[l] = self.decode(a[l]);
+            bw[l] = self.decode(b[l]);
+        }
+        let mut res = [0u64; L];
+        self.add_lanes(&mut res, &aw, &bw, words);
+        let mut out = [0u64; L];
+        for l in 0..L {
+            out[l] = if (aw[l] | bw[l]) & LANE_SPECIAL != 0 {
+                self.scalar.add(a[l], b[l], words[l])
+            } else {
+                self.encode(res[l])
+            };
+        }
+        out
+    }
+
+    /// Scalar repair of the rare special lanes of a [`FastAdderBatch::mac_step`].
+    #[cold]
+    fn fixup_specials<const L: usize>(
+        &self,
+        acc: &[u64; L],
+        prods: &[u64; L],
+        words: &[u64; L],
+        res: &mut [u64; L],
+    ) {
+        for l in 0..L {
+            if (acc[l] | prods[l]) & LANE_SPECIAL != 0 {
+                let enc = self
+                    .scalar
+                    .add(self.encode(acc[l]), self.encode(prods[l]), words[l]);
+                res[l] = self.decode(enc);
+            }
+        }
+    }
+
+    /// The branch-free core: adds two *finite* decoded lane words under
+    /// the adder's rounding mode. Special words must be handled by the
+    /// caller (the result for them is garbage, never a panic). This is
+    /// the exact algebra of [`FastAdder::add`] + `round_pack` with every
+    /// branch replaced by a mask blend and every variable shift clamped.
+    #[inline(always)]
+    fn add_core(&self, aw: u64, bw: u64, word: u64) -> u64 {
+        let spec = &self.spec;
+        let f = u64::from(spec.f);
+        let p = spec.p;
+
+        // Operand swap on the magnitude key (ties keep `a`, matching the
+        // scalar `bmag > amag` strict compare).
+        let akey = aw & LANE_KEY;
+        let bkey = bw & LANE_KEY;
+        let sm = ((bkey > akey) as u64).wrapping_neg();
+        let hi = aw ^ ((aw ^ bw) & sm);
+        let lo = aw ^ bw ^ hi;
+        let sign_hi = hi >> 63;
+        let sign_lo = lo >> 63;
+        let ef_hi = (hi >> EF_SHIFT) & 0xFFFF;
+        let ef_lo = (lo >> EF_SHIFT) & 0xFFFF;
+        let sig_hi = hi & 0xFFFF;
+        let sig_lo = lo & 0xFFFF;
+
+        // Alignment. `sig_lo << f >> d` with the shifted-out tail as the
+        // sticky `sigma`; `d` clamps at 63, which is exact because the
+        // pre-shifted significand has at most `p + f < 53` bits.
+        let d = (ef_hi - ef_lo).min(63);
+        let yb = sig_lo << f;
+        let y = yb >> d;
+        let sigma = u64::from(yb & ((1u64 << d) - 1) != 0);
+        let x = sig_hi << f;
+
+        // Branch-free effective subtraction (see `FastAdder::add`):
+        // `x - y - sigma == x + !y + (1 - sigma)` in two's complement.
+        let sub_eff = sign_hi ^ sign_lo;
+        let subm = sub_eff.wrapping_neg();
+        let s = x.wrapping_add(y ^ subm).wrapping_add(subm & (1 - sigma));
+        let ones = sub_eff & sigma;
+        let extra_sticky = (1 - sub_eff) & sigma;
+
+        // Round `(-1)^sign_hi * s * 2^(q_hi - f)` into the format — the
+        // `round_pack` algebra on exponent *fields* (qmin-relative), with
+        // both the exact and the rounding path computed and blended.
+        // `s | 1` keeps `leading_zeros` defined for the cancellation case
+        // (selected to +0 below).
+        let msb = 63 - i64::from((s | 1).leading_zeros());
+        let drop0 = msb - i64::from(p - 1);
+        let drop = if spec.sub {
+            // The qmin clamp: never round below the subnormal quantum.
+            drop0.max(f as i64 - ef_hi as i64)
+        } else {
+            drop0
+        };
+
+        // Exact path (drop <= 0): left-justify; no rounding.
+        let shl = (-drop).max(0) as u32;
+        let kept_e = s << shl;
+
+        // Rounding path (drop >= 1): split kept/tail and decide the
+        // round-up. Shift amounts are clamped so the unselected path
+        // never overshifts.
+        let dr = drop.clamp(1, 63) as u32;
+        let kept_r = s >> dr;
+        let tail = s & ((1u64 << dr) - 1);
+        let up = if self.sr {
+            // Scale the dropped tail to `r` bits; a borrowed trail of
+            // ones (`ones`) fills the upshifted low bits.
+            let r = spec.r;
+            let rs_dn = dr.saturating_sub(r);
+            let rs_up = r.saturating_sub(dr);
+            let t_hi = tail >> rs_dn;
+            let t_lo = (tail << rs_up) | (ones.wrapping_neg() & ((1u64 << rs_up) - 1));
+            let t = sel(dr >= r, t_hi, t_lo);
+            (t + (word & spec.rmask)) >> r
+        } else {
+            // RN-even, branch-free (the same fix as the scalar adder).
+            let guard = (tail >> (dr - 1)) & 1;
+            let rest = u64::from(tail & ((1u64 << (dr - 1)) - 1) != 0) | ones | extra_sticky;
+            guard & (rest | kept_r) & 1
+        };
+
+        let is_round = drop > 0;
+        let mut kept = sel(is_round, kept_r, kept_e) + sel(is_round, up, 0);
+        let carry = kept >> p; // 1 iff kept reached 1 << p
+        kept >>= carry;
+        // Output exponent field: q - qmin = drop + ef_hi - f (+ carry).
+        let ef_out = drop + ef_hi as i64 - f as i64 + carry as i64;
+
+        // Assemble, then apply the packing special cases lowest-precedence
+        // first so each later select overrides the ones before it.
+        let zero_w = sign_hi << 63;
+        let natural = zero_w | ((ef_out as u64) << EF_SHIFT) | kept;
+        let inf_enc = (sign_hi << self.enc_sign_shift) | self.inf_exp;
+        let inf_w = LANE_SPECIAL | LANE_DRAWS | (inf_enc << ENC_SHIFT);
+        let mut w = natural;
+        w = sel(ef_out < 0, zero_w, w); // below emin: flush (!sub only)
+        w = sel(ef_out > self.ef_max, inf_w, w); // overflow -> infinity
+        if !spec.sub {
+            w = sel(kept < self.half, zero_w, w); // subnormal range: flush
+        }
+        w = sel(kept == 0, zero_w, w); // everything rounded away
+        w = sel(s == 0, 0, w); // exact cancellation -> +0
+        w = sel(bkey == 0, aw, w); // zero operands pass the other
+        w = sel(akey == 0, bw, w); //   through unchanged...
+        w = sel((akey | bkey) == 0, aw & bw & LANE_SIGN, w); // ...except -0 + -0
+        w
+    }
+}
+
+/// The explicit `std::arch` lane kernel: the algebra of
+/// [`FastAdderBatch::add_core`], four lanes per `__m256i`, expressed with
+/// AVX2 intrinsics. Compiled in only behind the opt-in `arch-simd` cargo
+/// feature and a statically enabled `avx2` target feature (e.g. the CI
+/// feature-matrix job's `-C target-feature=+avx2`). It is *not* the
+/// default fast path: measured on current compilers, LLVM auto-vectorizes
+/// the portable SWAR code at least as well (and with AVX-512 considerably
+/// better), because autovectorization keeps the lane state in vector
+/// registers across the whole accumulation loop while this kernel's lane
+/// arrays round-trip at each step. It stays in-tree, exhaustively
+/// verified, as the explicit-datapath reference for the SWAR algebra and
+/// as a guard should autovectorization regress. On `aarch64` the portable
+/// SWAR path (NEON-autovectorized) is likewise the default.
+///
+/// Everything here is a 1:1 translation of `add_core` — same variable
+/// names, same clamping, same select order — and the exhaustive
+/// `batch_vs_scalar` tests run against this path whenever it is compiled
+/// in. Intrinsic calls are safe because the target feature is statically
+/// enabled; lane I/O goes through value-based `set`/`extract` intrinsics
+/// (no pointer casts), which the compiler folds into plain vector loads
+/// and stores.
+#[cfg(all(feature = "arch-simd", target_arch = "x86_64", target_feature = "avx2"))]
+mod simd {
+    use std::arch::x86_64::*;
+
+    use super::{FastAdderBatch, LANE_DRAWS, LANE_KEY, LANE_SIGN, LANE_SPECIAL};
+
+    /// `t` where the 64-bit mask lane is all-ones, else `e` (blendv keys
+    /// off each byte's top bit, which a 64-bit compare mask saturates).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn sel(m: __m256i, t: __m256i, e: __m256i) -> __m256i {
+        _mm256_blendv_epi8(e, t, m)
+    }
+
+    /// Signed 64-bit `max(v, 0)` (`cmpgt` is exact at 0: the mask is off
+    /// for `v == 0`, and `max(0, 0) = 0` either way).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn relu64(v: __m256i) -> __m256i {
+        _mm256_and_si256(v, _mm256_cmpgt_epi64(v, _mm256_setzero_si256()))
+    }
+
+    /// `(1 << v) - 1` for per-lane shift counts `0 <= v <= 63`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn low_mask(v: __m256i) -> __m256i {
+        _mm256_sub_epi64(
+            _mm256_sllv_epi64(_mm256_set1_epi64x(1), v),
+            _mm256_set1_epi64x(1),
+        )
+    }
+
+    /// `floor(log2(s))` per lane for `1 <= s < 2^53`, via the exact
+    /// u64 -> f64 conversion trick (split at bit 32, two magic-constant
+    /// doubles) and exponent-field extraction.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn msb53(s: __m256i) -> __m256i {
+        let hi = _mm256_or_si256(
+            _mm256_srli_epi64::<32>(s),
+            _mm256_set1_epi64x(0x4530_0000_0000_0000),
+        );
+        let lo = _mm256_or_si256(
+            _mm256_and_si256(s, _mm256_set1_epi64x(0xFFFF_FFFF)),
+            _mm256_set1_epi64x(0x4330_0000_0000_0000),
+        );
+        // (hi_double - (2^84 + 2^52)) + lo_double == s, exactly, below 2^53.
+        let magic = _mm256_castsi256_pd(_mm256_set1_epi64x(0x4530_0000_0010_0000));
+        let dbl = _mm256_add_pd(
+            _mm256_sub_pd(_mm256_castsi256_pd(hi), magic),
+            _mm256_castsi256_pd(lo),
+        );
+        _mm256_sub_epi64(
+            _mm256_srli_epi64::<52>(_mm256_castpd_si256(dbl)),
+            _mm256_set1_epi64x(1023),
+        )
+    }
+
+    impl FastAdderBatch {
+        /// Four [`FastAdderBatch::add_core`] lanes per step over `L`
+        /// (`L % 4 == 0`) lanes.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub(super) fn add_lanes_avx2<const L: usize>(
+            &self,
+            res: &mut [u64; L],
+            acc: &[u64; L],
+            prods: &[u64; L],
+            words: &[u64; L],
+        ) {
+            for c in (0..L).step_by(4) {
+                let load = |a: &[u64; L]| {
+                    _mm256_set_epi64x(
+                        a[c + 3] as i64,
+                        a[c + 2] as i64,
+                        a[c + 1] as i64,
+                        a[c] as i64,
+                    )
+                };
+                let out = self.add4(load(acc), load(prods), load(words));
+                res[c] = _mm256_extract_epi64::<0>(out) as u64;
+                res[c + 1] = _mm256_extract_epi64::<1>(out) as u64;
+                res[c + 2] = _mm256_extract_epi64::<2>(out) as u64;
+                res[c + 3] = _mm256_extract_epi64::<3>(out) as u64;
+            }
+        }
+
+        /// Four finite decoded lanes at once; see `add_core` for the
+        /// algebra and the per-line invariants.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn add4(&self, aw: __m256i, bw: __m256i, word: __m256i) -> __m256i {
+            let spec = &self.spec;
+            let zero = _mm256_setzero_si256();
+            let one = _mm256_set1_epi64x(1);
+            let f = _mm256_set1_epi64x(i64::from(spec.f));
+            let low16 = _mm256_set1_epi64x(0xFFFF);
+
+            // Operand swap on the magnitude key (keys are < 2^48, so the
+            // signed compare is an unsigned one).
+            let keym = _mm256_set1_epi64x(LANE_KEY as i64);
+            let akey = _mm256_and_si256(aw, keym);
+            let bkey = _mm256_and_si256(bw, keym);
+            let swap = _mm256_cmpgt_epi64(bkey, akey);
+            let hi = sel(swap, bw, aw);
+            let lo = sel(swap, aw, bw);
+            let sign_hi = _mm256_srli_epi64::<63>(hi);
+            let sign_lo = _mm256_srli_epi64::<63>(lo);
+            let ef_hi = _mm256_and_si256(_mm256_srli_epi64::<32>(hi), low16);
+            let ef_lo = _mm256_and_si256(_mm256_srli_epi64::<32>(lo), low16);
+            let sig_hi = _mm256_and_si256(hi, low16);
+            let sig_lo = _mm256_and_si256(lo, low16);
+
+            // Alignment.
+            let c63 = _mm256_set1_epi64x(63);
+            let d0 = _mm256_sub_epi64(ef_hi, ef_lo);
+            let d = sel(_mm256_cmpgt_epi64(d0, c63), c63, d0);
+            let yb = _mm256_sllv_epi64(sig_lo, f);
+            let y = _mm256_srlv_epi64(yb, d);
+            let sigma_m = _mm256_cmpgt_epi64(
+                zero,
+                _mm256_sub_epi64(zero, _mm256_and_si256(yb, low_mask(d))),
+            );
+            let sigma = _mm256_srli_epi64::<63>(sigma_m);
+            let x = _mm256_sllv_epi64(sig_hi, f);
+
+            // Branch-free effective subtraction.
+            let sub_eff = _mm256_xor_si256(sign_hi, sign_lo);
+            let subm = _mm256_sub_epi64(zero, sub_eff);
+            let s = _mm256_add_epi64(
+                _mm256_add_epi64(x, _mm256_xor_si256(y, subm)),
+                _mm256_and_si256(subm, _mm256_sub_epi64(one, sigma)),
+            );
+            let ones = _mm256_and_si256(sub_eff, sigma);
+            let extra_sticky = _mm256_and_si256(_mm256_xor_si256(sub_eff, one), sigma);
+
+            // Round: exponent, drop, exact and rounding paths.
+            let msb = msb53(_mm256_or_si256(s, one));
+            let pm1 = _mm256_set1_epi64x(i64::from(spec.p - 1));
+            let drop0 = _mm256_sub_epi64(msb, pm1);
+            let drop = if spec.sub {
+                let drop_min = _mm256_sub_epi64(f, ef_hi);
+                sel(_mm256_cmpgt_epi64(drop0, drop_min), drop0, drop_min)
+            } else {
+                drop0
+            };
+            let shl = relu64(_mm256_sub_epi64(zero, drop));
+            let kept_e = _mm256_sllv_epi64(s, shl);
+            let dr0 = sel(_mm256_cmpgt_epi64(one, drop), one, drop);
+            let dr = sel(_mm256_cmpgt_epi64(dr0, c63), c63, dr0);
+            let kept_r = _mm256_srlv_epi64(s, dr);
+            let tail = _mm256_and_si256(s, low_mask(dr));
+            let up = if self.sr {
+                let r = _mm256_set1_epi64x(i64::from(spec.r));
+                let rs_dn = relu64(_mm256_sub_epi64(dr, r));
+                let rs_up = relu64(_mm256_sub_epi64(r, dr));
+                let t_hi = _mm256_srlv_epi64(tail, rs_dn);
+                let fill = _mm256_and_si256(_mm256_sub_epi64(zero, ones), low_mask(rs_up));
+                let t_lo = _mm256_or_si256(_mm256_sllv_epi64(tail, rs_up), fill);
+                let t = sel(_mm256_cmpgt_epi64(dr, _mm256_sub_epi64(r, one)), t_hi, t_lo);
+                let rmask = _mm256_set1_epi64x(spec.rmask as i64);
+                _mm256_srlv_epi64(_mm256_add_epi64(t, _mm256_and_si256(word, rmask)), r)
+            } else {
+                let drm1 = _mm256_sub_epi64(dr, one);
+                let guard = _mm256_and_si256(_mm256_srlv_epi64(tail, drm1), one);
+                let rest_nz = _mm256_and_si256(tail, low_mask(drm1));
+                let rest_m = _mm256_cmpgt_epi64(zero, _mm256_sub_epi64(zero, rest_nz));
+                let rest = _mm256_or_si256(
+                    _mm256_or_si256(_mm256_srli_epi64::<63>(rest_m), ones),
+                    extra_sticky,
+                );
+                _mm256_and_si256(_mm256_and_si256(guard, _mm256_or_si256(rest, kept_r)), one)
+            };
+            let is_round = _mm256_cmpgt_epi64(drop, zero);
+            let kept0 = _mm256_add_epi64(
+                sel(is_round, kept_r, kept_e),
+                _mm256_and_si256(up, is_round),
+            );
+            let p = _mm256_set1_epi64x(i64::from(spec.p));
+            let carry = _mm256_srlv_epi64(kept0, p);
+            let kept = _mm256_srlv_epi64(kept0, carry);
+            let ef_out =
+                _mm256_add_epi64(_mm256_add_epi64(_mm256_sub_epi64(drop, f), ef_hi), carry);
+
+            // Assemble and apply the packing special cases, lowest
+            // precedence first (same order as add_core).
+            let zero_w = _mm256_slli_epi64::<63>(sign_hi);
+            let natural = _mm256_or_si256(
+                _mm256_or_si256(zero_w, _mm256_slli_epi64::<32>(ef_out)),
+                kept,
+            );
+            let inf_enc = _mm256_or_si256(
+                _mm256_sllv_epi64(sign_hi, _mm256_set1_epi64x(i64::from(self.enc_sign_shift))),
+                _mm256_set1_epi64x(self.inf_exp as i64),
+            );
+            let inf_w = _mm256_or_si256(
+                _mm256_slli_epi64::<16>(inf_enc),
+                _mm256_set1_epi64x((LANE_SPECIAL | LANE_DRAWS) as i64),
+            );
+            let mut w = natural;
+            w = sel(_mm256_cmpgt_epi64(zero, ef_out), zero_w, w);
+            w = sel(
+                _mm256_cmpgt_epi64(ef_out, _mm256_set1_epi64x(self.ef_max)),
+                inf_w,
+                w,
+            );
+            if !spec.sub {
+                let half = _mm256_set1_epi64x(self.half as i64);
+                w = sel(_mm256_cmpgt_epi64(half, kept), zero_w, w);
+            }
+            w = sel(_mm256_cmpeq_epi64(kept, zero), zero_w, w);
+            w = sel(_mm256_cmpeq_epi64(s, zero), zero, w);
+            let b_zero = _mm256_cmpeq_epi64(bkey, zero);
+            let a_zero = _mm256_cmpeq_epi64(akey, zero);
+            w = sel(b_zero, aw, w);
+            w = sel(a_zero, bw, w);
+            let sign = _mm256_set1_epi64x(LANE_SIGN as i64);
+            let both_zero_w = _mm256_and_si256(_mm256_and_si256(aw, bw), sign);
+            w = sel(_mm256_and_si256(a_zero, b_zero), both_zero_w, w);
+            w
+        }
+    }
+}
+
+/// The decoded-form product table: [`ProductLut`]'s 256 x 256 code plane
+/// with every product stored as a decoded lane word, so the batched inner
+/// loop loads operands ready for [`FastAdderBatch::mac_step`] — no
+/// per-step field extraction at all.
+#[derive(Clone)]
+pub struct DecodedLut {
+    table: Box<[u64; 1 << 16]>,
+}
+
+impl std::fmt::Debug for DecodedLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodedLut").finish_non_exhaustive()
+    }
+}
+
+impl DecodedLut {
+    /// Decodes every entry of `lut` with `batch` (which must share the
+    /// LUT's output format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats disagree.
+    #[must_use]
+    pub fn build(lut: &ProductLut, batch: &FastAdderBatch) -> Self {
+        assert_eq!(
+            lut.output_format(),
+            batch.format(),
+            "decoded LUT must share the adder's format"
+        );
+        let table: Vec<u64> = (0..1usize << 16)
+            .map(|i| batch.decode(u64::from(lut.product((i >> 8) as u8, i as u8))))
+            .collect();
+        Self {
+            table: table.into_boxed_slice().try_into().expect("table is 65536"),
+        }
+    }
+
+    /// The 256-entry decoded product row for left code `ca`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, ca: u8) -> &[u64; 256] {
+        let start = (ca as usize) << 8;
+        self.table[start..start + 256]
+            .try_into()
+            .expect("row is 256")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srmac_fp::mask;
+    use srmac_rng::SplitMix64;
+
+    /// Exhaustive code-for-code equivalence with the scalar adder over the
+    /// full operand plane of the paper's accumulator format, both
+    /// subnormal settings, RN and SR at several word values — the
+    /// load-bearing guarantee that lane batching changes performance and
+    /// nothing else.
+    #[test]
+    fn batch_add_vs_scalar_e6m5_exhaustive() {
+        for sub in [true, false] {
+            let fmt = FpFormat::e6m5().with_subnormals(sub);
+            for (mode, words) in [
+                (AccumRounding::Nearest, vec![0u64]),
+                (AccumRounding::Stochastic { r: 9 }, vec![0u64, 0x0F3, 0x1FF]),
+                (AccumRounding::Stochastic { r: 13 }, vec![0u64, 0x1ACE]),
+            ] {
+                let scalar = FastAdder::new(fmt, mode);
+                let batch = FastAdderBatch::new(fmt, mode);
+                let all: Vec<u64> = fmt.iter_encodings().collect();
+                for a in fmt.iter_encodings() {
+                    for &w in &words {
+                        // Sweep b across lanes, 8 at a time.
+                        for chunk in all.chunks(8) {
+                            let mut bs = [0u64; 8];
+                            bs[..chunk.len()].copy_from_slice(chunk);
+                            let got = batch.add(&[a; 8], &bs, &[w; 8]);
+                            for (l, &b) in chunk.iter().enumerate() {
+                                let want = scalar.add(a, b, w);
+                                assert_eq!(
+                                    got[l], want,
+                                    "{fmt} {mode:?}: {a:#x}+{b:#x} w={w:#x} lane {l}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_add_vs_scalar_wider_formats_random() {
+        let mut rng = SplitMix64::new(4242);
+        for fmt in [
+            FpFormat::e5m10(),
+            FpFormat::e4m3(),
+            FpFormat::e8m7(),
+            FpFormat::e8m7().with_subnormals(false),
+        ] {
+            let r = fmt.precision() + 3;
+            let mode = AccumRounding::Stochastic { r };
+            let scalar = FastAdder::new(fmt, mode);
+            let batch = FastAdderBatch::new(fmt, mode);
+            for _ in 0..60_000 {
+                let mut a = [0u64; 8];
+                let mut b = [0u64; 8];
+                let mut w = [0u64; 8];
+                for l in 0..8 {
+                    a[l] = rng.next_u64() & fmt.bits_mask();
+                    b[l] = rng.next_u64() & fmt.bits_mask();
+                    w[l] = rng.next_u64() & mask(r);
+                }
+                let got = batch.add(&a, &b, &w);
+                for l in 0..8 {
+                    assert_eq!(
+                        got[l],
+                        scalar.add(a[l], b[l], w[l]),
+                        "{fmt}: {:#x}+{:#x} w={:#x}",
+                        a[l],
+                        b[l],
+                        w[l]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_all_encodings() {
+        for sub in [true, false] {
+            let fmt = FpFormat::e6m5().with_subnormals(sub);
+            let batch = FastAdderBatch::new(fmt, AccumRounding::Nearest);
+            for enc in fmt.iter_encodings() {
+                let w = batch.decode(enc);
+                let pseudo_subnormal = !sub && fmt.is_zero(enc) && enc & fmt.man_mask() != 0;
+                if pseudo_subnormal {
+                    // Canonicalized to a (draw-consuming) zero, like every
+                    // other consumer of such encodings in the stack.
+                    assert_eq!(w & LANE_KEY, 0, "{enc:#x} decodes to a zero key");
+                    assert_ne!(w & LANE_DRAWS, 0, "{enc:#x} still consumes a word");
+                } else {
+                    assert_eq!(batch.encode(w), enc, "roundtrip of {enc:#x} (sub={sub})");
+                }
+                // The draws bit mirrors the scalar loop's zero-skip rule.
+                assert_eq!(
+                    w & LANE_DRAWS != 0,
+                    enc & mask(fmt.bits() - 1) != 0,
+                    "{enc:#x} draws"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mac_step_skips_zero_products_verbatim() {
+        let fmt = FpFormat::e6m5();
+        let batch = FastAdderBatch::new(fmt, AccumRounding::Stochastic { r: 13 });
+        // A negative-zero accumulator must survive a +0 product untouched
+        // (the scalar loop never even calls the adder for it).
+        let neg_zero = batch.decode(fmt.zero_bits(true));
+        let one = batch.decode(fmt.quantize_f32(1.0, srmac_fp::RoundMode::NearestEven).bits);
+        let mut acc = [neg_zero, one, 0u64, one];
+        let before = acc;
+        let zero = batch.decode(fmt.zero_bits(false));
+        batch.mac_step(&mut acc, &[zero; 4], &[0u64; 4]);
+        assert_eq!(acc, before);
+        // A non-zero product in one lane commits only that lane.
+        batch.mac_step(&mut acc, &[zero, one, zero, zero], &[0u64; 4]);
+        assert_eq!([acc[0], acc[2], acc[3]], [before[0], before[2], before[3]]);
+        assert_eq!(batch.encode(acc[1]), {
+            let scalar = FastAdder::new(fmt, AccumRounding::Stochastic { r: 13 });
+            scalar.add(batch.encode(one), batch.encode(one), 0)
+        });
+    }
+
+    #[test]
+    fn special_lanes_fall_back_to_golden_semantics() {
+        let fmt = FpFormat::e6m5();
+        let mode = AccumRounding::Stochastic { r: 13 };
+        let batch = FastAdderBatch::new(fmt, mode);
+        let scalar = FastAdder::new(fmt, mode);
+        let inf = fmt.inf_bits(false);
+        let ninf = fmt.inf_bits(true);
+        let nan = fmt.nan_bits();
+        let one = fmt.quantize_f32(1.0, srmac_fp::RoundMode::NearestEven).bits;
+        for (a, b) in [
+            (inf, one),
+            (one, inf),
+            (inf, ninf),
+            (nan, one),
+            (one, nan),
+            (inf, inf),
+        ] {
+            let got = batch.add(&[a; 2], &[b; 2], &[0x123; 2]);
+            let want = scalar.add(a, b, 0x123);
+            assert_eq!(got, [want; 2], "{a:#x}+{b:#x}");
+        }
+        // And through mac_step: an accumulator that overflowed to infinity
+        // stays on the golden special path for the rest of the dot product.
+        let big = fmt.max_finite_bits(false);
+        let mut acc = [batch.decode(big)];
+        let prod = batch.decode(big);
+        batch.mac_step(&mut acc, &[prod], &[0]);
+        assert_eq!(batch.encode(acc[0]), scalar.add(big, big, 0));
+        let after_inf = batch.encode(acc[0]);
+        batch.mac_step(&mut acc, &[batch.decode(one)], &[0]);
+        assert_eq!(batch.encode(acc[0]), scalar.add(after_inf, one, 0));
+    }
+
+    #[test]
+    fn decoded_lut_entries_match_decode_of_products() {
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        let lut = ProductLut::build(fin, fout);
+        let batch = FastAdderBatch::new(fout, AccumRounding::Nearest);
+        let dlut = DecodedLut::build(&lut, &batch);
+        for a in 0..=255u8 {
+            let row = dlut.row(a);
+            for b in 0..=255u8 {
+                assert_eq!(row[b as usize], batch.decode(u64::from(lut.product(a, b))));
+            }
+        }
+    }
+}

@@ -29,16 +29,64 @@
 use std::sync::{Arc, OnceLock};
 
 use srmac_fp::FpFormat;
-use srmac_rng::SplitMix64;
+use srmac_rng::{SplitMix64, SrLaneStreams};
 use srmac_runtime::Runtime;
 use srmac_tensor::{GemmEngine, PackSide, PackedOperand};
 
+use crate::batch::{DecodedLut, FastAdderBatch, LANE_DRAWS};
 use crate::fastmath::{AccumRounding, FastAdder, FastQuantizer};
 use crate::lut::ProductLut;
 
-/// Column-interleave width of the compacted accumulation loop: enough
-/// independent adder chains to hide the scalar add latency on one core.
-const LANES: usize = 4;
+/// Default lane width of the batched compacted accumulation loop: the
+/// number of output columns [`FastAdderBatch`] advances per step. The
+/// per-element accumulation chain is serial in `k`, so wall-clock is
+/// bounded by chain *latency* unless enough independent column chains are
+/// in flight to cover it — 64 lanes (sixteen 4-wide vector chains under
+/// AVX2, eight 8-wide under AVX-512) measure fastest on current cores,
+/// with a cascade down to 8-lane blocks and a scalar tail for narrow
+/// outputs. [`MacGemm::with_lane_width`] narrows it for equivalence
+/// testing and benchmarking.
+const LANES: usize = 64;
+
+/// Vector-ISA tier of the batched accumulation loop, detected at engine
+/// construction. The kernel *code* is identical at every tier — the same
+/// portable SWAR lane algebra — but the annotated wrappers let LLVM
+/// auto-vectorize it with the detected extensions. Function-level
+/// `#[target_feature]` (rather than workspace-wide `-C` flags) confines
+/// the widened vectorizer to this integer-only, exhaustively bit-verified
+/// kernel; see the workspace `Cargo.toml` note on why the flags must not
+/// be global.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SimdTier {
+    /// Baseline codegen (any architecture; NEON on `aarch64` is part of
+    /// the baseline there).
+    Portable,
+    /// AVX2: 4 lanes per `ymm` register.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// AVX-512 (F/BW/DQ/VL): 8 lanes per `zmm` register, masked selects.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+impl SimdTier {
+    fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                return SimdTier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+        }
+        SimdTier::Portable
+    }
+}
 
 /// Configuration of a [`MacGemm`] engine.
 #[derive(Clone, Copy, Debug)]
@@ -244,15 +292,23 @@ impl std::error::Error for ConfigWireError {}
 /// The shareable inner accumulation kernel: everything a worker needs to
 /// compute output rows from packed codes. Lives behind an `Arc` so pool
 /// jobs (which must be `'static`) can hold it without copying tables.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct MacKernel {
     lut: ProductLut,
     adder: FastAdder,
+    /// The lane-batched adder driving the compacted hot path.
+    batch: FastAdderBatch,
+    /// Products pre-decoded into lane words (see `batch.rs`).
+    dlut: DecodedLut,
     decode: Vec<f32>,
     /// Accumulator-format magnitude mask (all bits except the sign).
     acc_mag_mask: u64,
     rounding: AccumRounding,
     seed: u64,
+    /// Column-lane width of the compacted path.
+    lanes: usize,
+    /// Detected vector-ISA tier of the batched loop.
+    tier: SimdTier,
 }
 
 impl MacKernel {
@@ -340,38 +396,158 @@ impl MacKernel {
         }
     }
 
-    /// `L` independent compacted dot products interleaved (columns
-    /// `j .. j + L` of the same output row). The accumulation chains are
-    /// serially dependent within themselves but independent of each other,
-    /// so interleaving hides adder latency without touching any element's
-    /// operation order — results stay bit-identical to running
-    /// [`MacKernel::dot_compact`] `L` times.
-    fn dotn_compact<const L: usize>(
+    /// `L` compacted dot products (columns `j .. j + L` of one output row)
+    /// advanced in lock-step through the lane-batched [`FastAdderBatch`].
+    /// Each lane's adds stay in `k` order and its SR stream is consumed
+    /// exactly as in [`MacKernel::dot_compact`] (one word per product with
+    /// non-zero encoded magnitude), so results are bit-identical to `L`
+    /// scalar dot products — the lanes only buy instruction-level
+    /// parallelism. Accumulators live in decoded lane-word form across the
+    /// whole loop and are packed once at the end.
+    #[inline(always)]
+    fn dotn_compact_batch<const L: usize, const SR: bool>(
         &self,
         ids: &[u32],
         cods: &[u8],
         bcols: [&[u8]; L],
-        rngs: &mut [SplitMix64; L],
+        streams: &mut SrLaneStreams<L>,
     ) -> [u16; L] {
+        let batch = &self.batch;
         let mut acc = [0u64; L];
-        let sr = !matches!(self.rounding, AccumRounding::Nearest);
         for (&ci, &ca) in ids.iter().zip(cods) {
-            let p: [u16; L] =
-                std::array::from_fn(|lane| self.lut.product(ca, bcols[lane][ci as usize]));
-            for lane in 0..L {
-                if !self.is_zero_prod(p[lane]) {
-                    let word = if sr { rngs[lane].next_u64() } else { 0 };
-                    acc[lane] = self.adder.add(acc[lane], u64::from(p[lane]), word);
-                }
+            let row = self.dlut.row(ca);
+            let mut prods = [0u64; L];
+            for l in 0..L {
+                prods[l] = row[usize::from(bcols[l][ci as usize])];
             }
+            let words = if SR {
+                let mut consume = [false; L];
+                for l in 0..L {
+                    consume[l] = prods[l] & LANE_DRAWS != 0;
+                }
+                streams.draw(consume)
+            } else {
+                [0u64; L]
+            };
+            batch.mac_step(&mut acc, &prods, &words);
         }
-        acc.map(|a| a as u16)
+        std::array::from_fn(|l| batch.encode(acc[l]) as u16)
+    }
+
+    /// Runs lane blocks of width `L` over the columns of one output row,
+    /// advancing `j` past every complete block.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn lane_blocks<const L: usize>(
+        &self,
+        ids: &[u32],
+        cods: &[u8],
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        i: usize,
+        j: &mut usize,
+        out_row: &mut [f32],
+    ) {
+        let sr = !matches!(self.rounding, AccumRounding::Nearest);
+        while *j + (L - 1) < n {
+            let base = *j;
+            let bcols: [&[u8]; L] =
+                std::array::from_fn(|l| &bcode_t[(base + l) * k..(base + l + 1) * k]);
+            let mut streams =
+                SrLaneStreams::new(std::array::from_fn(|l| mix_seed(self.seed, i, base + l)));
+            let accs = if sr {
+                self.dotn_compact_batch::<L, true>(ids, cods, bcols, &mut streams)
+            } else {
+                self.dotn_compact_batch::<L, false>(ids, cods, bcols, &mut streams)
+            };
+            for (lane, &a) in accs.iter().enumerate() {
+                out_row[base + lane] = self.decode[a as usize];
+            }
+            *j += L;
+        }
     }
 
     /// Compacted-A variant of [`MacKernel::compute_rows`] (requires a
     /// NaN-free B operand; see [`MacKernel::dot_compact`]). Columns are
-    /// processed in latency-hiding groups of [`LANES`].
+    /// processed in lane-batched groups of `self.lanes`, with the scalar
+    /// adder covering the ragged tail (`n % lanes` columns) — bit-identical
+    /// to the scalar path for every lane width. Dispatches once onto the
+    /// detected [`SimdTier`]'s codegen of the (identical) loop body.
     fn compute_rows_compact(
+        &self,
+        compact: &CompactA,
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        row0: usize,
+        block: &mut [f32],
+    ) {
+        match self.tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => {
+                // SAFETY: `SimdTier::detect` verified at runtime that this
+                // CPU has every feature the callee enables.
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.compute_rows_compact_avx512(compact, bcode_t, k, n, row0, block);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => {
+                // SAFETY: as above — `avx2` was detected at runtime.
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.compute_rows_compact_avx2(compact, bcode_t, k, n, row0, block);
+                }
+            }
+            SimdTier::Portable => {
+                self.compute_rows_compact_body(compact, bcode_t, k, n, row0, block);
+            }
+        }
+    }
+
+    /// AVX-512 codegen of the compacted loop: same source, vectorized by
+    /// the compiler with 8-lane `zmm` arithmetic and masked selects.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx2"
+    )]
+    fn compute_rows_compact_avx512(
+        &self,
+        compact: &CompactA,
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        row0: usize,
+        block: &mut [f32],
+    ) {
+        self.compute_rows_compact_body(compact, bcode_t, k, n, row0, block);
+    }
+
+    /// AVX2 codegen of the compacted loop (4-lane `ymm` arithmetic).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn compute_rows_compact_avx2(
+        &self,
+        compact: &CompactA,
+        bcode_t: &[u8],
+        k: usize,
+        n: usize,
+        row0: usize,
+        block: &mut [f32],
+    ) {
+        self.compute_rows_compact_body(compact, bcode_t, k, n, row0, block);
+    }
+
+    /// The tier-independent loop body (inlined into each tier wrapper so
+    /// every tier gets its own codegen of the whole lane pipeline).
+    #[inline(always)]
+    fn compute_rows_compact_body(
         &self,
         compact: &CompactA,
         bcode_t: &[u8],
@@ -386,16 +562,22 @@ impl MacKernel {
             let ids = &compact.idx[s..e];
             let cods = &compact.code[s..e];
             let mut j = 0usize;
-            while j + (LANES - 1) < n {
-                let mut rngs: [SplitMix64; LANES] =
-                    std::array::from_fn(|l| SplitMix64::new(mix_seed(self.seed, i, j + l)));
-                let bcols: [&[u8]; LANES] =
-                    std::array::from_fn(|l| &bcode_t[(j + l) * k..(j + l + 1) * k]);
-                let accs = self.dotn_compact(ids, cods, bcols, &mut rngs);
-                for (lane, &a) in accs.iter().enumerate() {
-                    out_row[j + lane] = self.decode[a as usize];
+            match self.lanes {
+                64 => {
+                    self.lane_blocks::<64>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+                    self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
                 }
-                j += LANES;
+                32 => {
+                    self.lane_blocks::<32>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+                    self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+                }
+                16 => {
+                    self.lane_blocks::<16>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+                    self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+                }
+                8 => self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row),
+                4 => self.lane_blocks::<4>(ids, cods, bcode_t, k, n, i, &mut j, out_row),
+                _ => {}
             }
             while j < n {
                 let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
@@ -552,6 +734,8 @@ impl MacGemm {
         let lut = ProductLut::build(config.mul_fmt, config.acc_fmt);
         let quant = FastQuantizer::new(config.mul_fmt);
         let adder = FastAdder::new(config.acc_fmt, config.rounding);
+        let batch = FastAdderBatch::new(config.acc_fmt, config.rounding);
+        let dlut = DecodedLut::build(&lut, &batch);
         let decode: Vec<f32> = (0..1u64 << config.acc_fmt.bits())
             .map(|bits| config.acc_fmt.decode_f64(bits) as f32)
             .collect();
@@ -559,11 +743,15 @@ impl MacGemm {
         let kernel = Arc::new(MacKernel {
             lut,
             adder,
+            batch,
+            dlut,
             decode,
             acc_mag_mask: !(1 << (config.acc_fmt.bits() - 1))
                 & srmac_fp::mask(config.acc_fmt.bits()),
             rounding: config.rounding,
             seed: config.seed,
+            lanes: LANES,
+            tier: SimdTier::detect(),
         });
         Self {
             config,
@@ -578,6 +766,25 @@ impl MacGemm {
     #[must_use]
     pub fn config(&self) -> &MacGemmConfig {
         &self.config
+    }
+
+    /// Sets the column-lane width of the batched compacted path
+    /// (default [`LANES`]; widths above 8 cascade down to 8-lane blocks
+    /// before the scalar tail). Results are bitwise identical at every
+    /// width — the knob exists for equivalence tests and benchmarks, not
+    /// for tuning correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not 1, 4, 8, 16, 32 or 64.
+    #[must_use]
+    pub fn with_lane_width(mut self, lanes: usize) -> Self {
+        assert!(
+            matches!(lanes, 1 | 4 | 8 | 16 | 32 | 64),
+            "lane width must be 1, 4, 8, 16, 32 or 64"
+        );
+        Arc::make_mut(&mut self.kernel).lanes = lanes;
+        self
     }
 
     /// Quantizes a slice to multiplier-format codes.

@@ -26,34 +26,55 @@ impl AccumRounding {
     }
 }
 
-/// A fixed-format floating-point adder specialized for narrow formats
-/// (`p <= 12`, `E <= 8`, `r <= 24`), operating on encodings in `u64` words.
+/// Format-derived constants of the fast addition algebra: every field
+/// width, mask, exponent bound and alignment width the scalar
+/// [`FastAdder`] and the lane-batched `FastAdderBatch` (see `batch.rs`)
+/// both work from. Extracting them into one shared spec keeps the two
+/// kernels provably on the same algebra — the batch kernel is the scalar
+/// algebra applied to `L` codes at once, not a reimplementation with its
+/// own constants.
 #[derive(Clone, Copy, Debug)]
-pub struct FastAdder {
-    fmt: FpFormat,
-    mode: AccumRounding,
-    p: u32,
-    mbits: u32,
-    emask: u64,
-    mmask: u64,
-    magmask: u64,
-    signbit: u64,
-    qmin: i32,
-    emin: i32,
-    emax: i32,
-    bias: i32,
-    sub: bool,
-    f: u32,
-    rmask: u64,
+pub(crate) struct AdderSpec {
+    /// The accumulator format.
+    pub fmt: FpFormat,
+    /// Significand precision `p` (implicit bit included).
+    pub p: u32,
+    /// Stored significand width `p - 1`.
+    pub mbits: u32,
+    /// Exponent-field mask (at bit 0).
+    pub emask: u64,
+    /// Significand-field mask.
+    pub mmask: u64,
+    /// Magnitude mask: all encoding bits except the sign.
+    pub magmask: u64,
+    /// The encoding sign bit.
+    pub signbit: u64,
+    /// ULP exponent of the smallest quantum (`emin - (p - 1)`).
+    pub qmin: i32,
+    /// Minimum normal exponent.
+    pub emin: i32,
+    /// Maximum normal exponent.
+    pub emax: i32,
+    /// Exponent bias.
+    pub bias: i32,
+    /// Whether subnormals are honoured.
+    pub sub: bool,
+    /// Alignment width: operand significands are pre-shifted by `f` so
+    /// every sticky/rounding bit of the sum is explicit.
+    pub f: u32,
+    /// Number of stochastic-rounding bits (2 under RN, for the guard +
+    /// round positions).
+    pub r: u32,
+    /// Mask of the `r` rounding bits.
+    pub rmask: u64,
 }
 
-impl FastAdder {
-    /// Creates the adder.
+impl AdderSpec {
+    /// Derives the constants, enforcing the fast-path envelope.
     ///
     /// # Panics
     ///
     /// Panics if the format or `r` exceeds the fast-path envelope.
-    #[must_use]
     pub fn new(fmt: FpFormat, mode: AccumRounding) -> Self {
         let p = fmt.precision();
         let r = mode.r();
@@ -69,7 +90,6 @@ impl FastAdder {
         assert!(2 * p + r + 8 < 64, "fast path must fit u64");
         Self {
             fmt,
-            mode,
             p,
             mbits: fmt.man_bits(),
             emask: mask(fmt.exp_bits()),
@@ -82,14 +102,43 @@ impl FastAdder {
             bias: fmt.bias(),
             sub: fmt.subnormals(),
             f,
+            r,
             rmask: mask(r),
         }
+    }
+}
+
+/// A fixed-format floating-point adder specialized for narrow formats
+/// (`p <= 12`, `E <= 8`, `r <= 24`), operating on encodings in `u64` words.
+#[derive(Clone, Copy, Debug)]
+pub struct FastAdder {
+    spec: AdderSpec,
+    mode: AccumRounding,
+}
+
+impl FastAdder {
+    /// Creates the adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format or `r` exceeds the fast-path envelope.
+    #[must_use]
+    pub fn new(fmt: FpFormat, mode: AccumRounding) -> Self {
+        Self {
+            spec: AdderSpec::new(fmt, mode),
+            mode,
+        }
+    }
+
+    /// The shared algebra constants (also consumed by `FastAdderBatch`).
+    pub(crate) fn spec(&self) -> &AdderSpec {
+        &self.spec
     }
 
     /// The format this adder operates on.
     #[must_use]
     pub fn format(&self) -> FpFormat {
-        self.fmt
+        self.spec.fmt
     }
 
     /// Adds two encodings with the rounding word `word` (ignored for RN).
@@ -98,20 +147,21 @@ impl FastAdder {
     #[inline]
     #[must_use]
     pub fn add(&self, a: u64, b: u64, word: u64) -> u64 {
-        let ea = (a >> self.mbits) & self.emask;
-        let eb = (b >> self.mbits) & self.emask;
-        if ea == self.emask || eb == self.emask {
+        let spec = self.spec;
+        let ea = (a >> spec.mbits) & spec.emask;
+        let eb = (b >> spec.mbits) & spec.emask;
+        if ea == spec.emask || eb == spec.emask {
             return self.add_special(a, b);
         }
-        let ma = a & self.mmask;
-        let mb = b & self.mmask;
-        let sa = a & self.signbit != 0;
-        let sb = b & self.signbit != 0;
-        let a_zero = ea == 0 && (ma == 0 || !self.sub);
-        let b_zero = eb == 0 && (mb == 0 || !self.sub);
+        let ma = a & spec.mmask;
+        let mb = b & spec.mmask;
+        let sa = a & spec.signbit != 0;
+        let sb = b & spec.signbit != 0;
+        let a_zero = ea == 0 && (ma == 0 || !spec.sub);
+        let b_zero = eb == 0 && (mb == 0 || !spec.sub);
         if a_zero || b_zero {
             if a_zero && b_zero {
-                return if sa && sb { self.signbit } else { 0 };
+                return if sa && sb { spec.signbit } else { 0 };
             }
             return if a_zero { b } else { a };
         }
@@ -121,9 +171,9 @@ impl FastAdder {
         // mask-blend — both compile to straight-line code).
         let dec = |e: u64, m: u64| -> (i32, u64) {
             let norm = (e != 0) as u64;
-            let exp_norm = e as i32 - self.bias - self.mbits as i32;
-            let exp = (self.qmin & (norm as i32 - 1)) | (exp_norm & -(norm as i32));
-            (exp, m | (norm << self.mbits))
+            let exp_norm = e as i32 - spec.bias - spec.mbits as i32;
+            let exp = (spec.qmin & (norm as i32 - 1)) | (exp_norm & -(norm as i32));
+            (exp, m | (norm << spec.mbits))
         };
         let (expa0, siga0) = dec(ea, ma);
         let (expb0, sigb0) = dec(eb, mb);
@@ -133,8 +183,8 @@ impl FastAdder {
         // data-dependent and mispredicts constantly in the GEMM inner
         // loop, so no branch (and no compiler-chosen conditional-move
         // lottery) is left on this path.
-        let amag = a & self.magmask;
-        let bmag = b & self.magmask;
+        let amag = a & spec.magmask;
+        let bmag = b & spec.magmask;
         let swap = bmag > amag;
         let sm = (swap as u64).wrapping_neg();
         let smi = -(swap as i32);
@@ -149,11 +199,11 @@ impl FastAdder {
         }
         let d = (expa - expb) as u32;
 
-        let x = siga << self.f;
-        let (y, sigma) = if d <= self.f {
-            (sigb << (self.f - d), false)
+        let x = siga << spec.f;
+        let (y, sigma) = if d <= spec.f {
+            (sigb << (spec.f - d), false)
         } else {
-            let sh = d - self.f;
+            let sh = d - spec.f;
             if sh >= 64 {
                 (0, sigb != 0)
             } else {
@@ -176,7 +226,7 @@ impl FastAdder {
         if s == 0 {
             return 0;
         }
-        self.round_pack(na, expa - self.f as i32, s, ones, extra_sticky, word)
+        self.round_pack(na, expa - spec.f as i32, s, ones, extra_sticky, word)
     }
 
     /// Rounds `(-1)^neg * s * 2^exp` (with optional trailing ones / extra
@@ -191,10 +241,11 @@ impl FastAdder {
         extra_sticky: bool,
         word: u64,
     ) -> u64 {
-        let p = self.p;
+        let spec = self.spec;
+        let p = spec.p;
         let msb = 63 - s.leading_zeros() as i32;
         let qn = exp + msb - (p as i32 - 1);
-        let mut q = if self.sub { qn.max(self.qmin) } else { qn };
+        let mut q = if spec.sub { qn.max(spec.qmin) } else { qn };
         let drop = q - exp;
 
         let (mut kept, up) = if drop <= 0 {
@@ -207,9 +258,19 @@ impl FastAdder {
             let tail = s & mask(dr);
             let up = match self.mode {
                 AccumRounding::Nearest => {
-                    let guard = (tail >> (dr - 1)) & 1 == 1;
-                    let sticky = (dr >= 2 && tail & mask(dr - 1) != 0) || ones || extra_sticky;
-                    guard && (sticky || kept & 1 == 1)
+                    // Branch-free RN-even decision. The guard bit, the
+                    // sticky disjunction and the kept-LSB tiebreak are all
+                    // ~coin flips in the accumulation loop, and the
+                    // short-circuiting `&&`/`||` chain this used to be
+                    // compiled to a ladder of mispredicting branches —
+                    // which made RN measurably *slower* than SR despite
+                    // doing strictly less work. (`mask(0) == 0`, so the
+                    // old `dr >= 2` gate on the sticky term is subsumed.)
+                    let guard = (tail >> (dr - 1)) & 1;
+                    let rest = u64::from(tail & mask(dr - 1) != 0)
+                        | u64::from(ones)
+                        | u64::from(extra_sticky);
+                    guard & (rest | kept) == 1
                 }
                 AccumRounding::Stochastic { r } => {
                     let t = if dr >= r {
@@ -217,7 +278,7 @@ impl FastAdder {
                     } else {
                         (tail << (r - dr)) | if ones { mask(r - dr) } else { 0 }
                     };
-                    t + (word & self.rmask) >= 1 << r
+                    t + (word & spec.rmask) >= 1 << r
                 }
             };
             (kept, up)
@@ -230,24 +291,24 @@ impl FastAdder {
         let carry = (kept >> p) as u32; // 1 iff kept overflowed to 1 << p
         kept >>= carry;
         q += carry as i32;
-        let sbit = if neg { self.signbit } else { 0 };
+        let sbit = if neg { spec.signbit } else { 0 };
         if kept == 0 {
             return sbit;
         }
         if kept < 1 << (p - 1) {
-            if !self.sub {
+            if !spec.sub {
                 return sbit;
             }
             return sbit | kept;
         }
         let e = q + p as i32 - 1;
-        if e > self.emax {
-            return sbit | (self.emask << self.mbits); // infinity
+        if e > spec.emax {
+            return sbit | (spec.emask << spec.mbits); // infinity
         }
-        if e < self.emin {
+        if e < spec.emin {
             return sbit; // flush (only without subnormals)
         }
-        sbit | (((e + self.bias) as u64) << self.mbits) | (kept & self.mmask)
+        sbit | (((e + spec.bias) as u64) << spec.mbits) | (kept & spec.mmask)
     }
 
     #[cold]
@@ -256,7 +317,7 @@ impl FastAdder {
             AccumRounding::Nearest => srmac_fp::RoundMode::NearestEven,
             AccumRounding::Stochastic { r } => srmac_fp::RoundMode::Stochastic { r, word: 0 },
         };
-        srmac_fp::ops::add(self.fmt, a, b, mode)
+        srmac_fp::ops::add(self.spec.fmt, a, b, mode)
     }
 }
 

@@ -33,6 +33,55 @@ pub trait RandomBits {
     fn next_bits(&mut self, n: u32) -> u64;
 }
 
+/// Build-invariant scalar transcendentals.
+///
+/// IEEE-754 pins `+ - * / sqrt` exactly, but `exp`/`ln`/`sin`/`cos` are
+/// library approximations — and when the autovectorizer widens a loop over
+/// them it may substitute the C library's SIMD variants (libmvec), whose
+/// results differ from scalar libm by a few ULPs. That would make f32
+/// training results (and therefore the golden-vector `History` tests)
+/// depend on the build's target features. Every transcendental on a
+/// deterministic data path must go through these `#[inline(never)]`
+/// wrappers instead: an opaque scalar call the vectorizer cannot replace,
+/// so the same seeds produce the same bits under `-C target-cpu=native`,
+/// plain x86-64, or any feature matrix in between.
+pub mod scalar_math {
+    /// Scalar `exp` for `f32`.
+    #[inline(never)]
+    #[must_use]
+    pub fn exp_f32(x: f32) -> f32 {
+        x.exp()
+    }
+
+    /// Scalar `ln` for `f32`.
+    #[inline(never)]
+    #[must_use]
+    pub fn ln_f32(x: f32) -> f32 {
+        x.ln()
+    }
+
+    /// Scalar `ln` for `f64`.
+    #[inline(never)]
+    #[must_use]
+    pub fn ln_f64(x: f64) -> f64 {
+        x.ln()
+    }
+
+    /// Scalar `sin` for `f64`.
+    #[inline(never)]
+    #[must_use]
+    pub fn sin_f64(x: f64) -> f64 {
+        x.sin()
+    }
+
+    /// Scalar `cos` for `f64`.
+    #[inline(never)]
+    #[must_use]
+    pub fn cos_f64(x: f64) -> f64 {
+        x.cos()
+    }
+}
+
 /// Maximal-length feedback polynomials (taps) for Galois LFSRs of width
 /// 4..=64. Entry `w - 4` is the tap mask for width `w`: the XOR mask applied
 /// when the shifted-out bit is 1. Source: standard tables of primitive
@@ -181,6 +230,21 @@ impl RandomBits for GaloisLfsr {
     }
 }
 
+/// The SplitMix64 state increment (Weyl constant, Steele et al.).
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output finalizer: the stateless bijective mix applied to
+/// the Weyl-sequence state. Shared by [`SplitMix64`] and [`SrLaneStreams`]
+/// so both produce bit-identical words from the same seed.
+#[inline]
+#[must_use]
+const fn splitmix_finalize(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// SplitMix64: a tiny, high-quality software PRNG (Steele et al.), used for
 /// seeding LFSRs, synthetic data generation and tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,11 +263,8 @@ impl SplitMix64 {
     /// Returns the next 64-bit word.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(SPLITMIX_GAMMA);
+        splitmix_finalize(self.state)
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
@@ -218,11 +279,12 @@ impl SplitMix64 {
         (self.next_u64() >> 40) as f32 * 2f32.powi(-24)
     }
 
-    /// Returns a standard normal sample (Box–Muller).
+    /// Returns a standard normal sample (Box–Muller). Transcendentals go
+    /// through [`scalar_math`] so the sample bits are build-invariant.
     pub fn next_normal(&mut self) -> f64 {
         let u1 = (self.next_f64()).max(1e-300);
         let u2 = self.next_f64();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        (-2.0 * scalar_math::ln_f64(u1)).sqrt() * scalar_math::cos_f64(std::f64::consts::TAU * u2)
     }
 
     /// Returns a uniform integer in `[0, n)`.
@@ -241,6 +303,92 @@ impl RandomBits for SplitMix64 {
     fn next_bits(&mut self, n: u32) -> u64 {
         assert!((1..=64).contains(&n), "can draw 1..=64 bits");
         self.next_u64() >> (64 - n)
+    }
+}
+
+/// `L` independent SplitMix64-equivalent rounding-word streams advanced
+/// together — the random-bit block generator behind the lane-batched MAC
+/// kernel of `srmac-qgemm`.
+///
+/// Each lane reproduces, bit for bit, the word sequence of
+/// `SplitMix64::new(seeds[lane])`: the SplitMix64 state walk is a Weyl
+/// sequence (`state_n = seed + n * GAMMA`), so the `n`-th word is a pure
+/// function of the seed and a counter. That removes the serial state
+/// dependency a per-draw `next_u64` loop carries: a whole block of words
+/// (across lanes *and* positions) is computed from independent counter
+/// values, which the compiler can unroll and vectorize freely.
+///
+/// Two consumption shapes are offered:
+///
+/// - [`SrLaneStreams::draw`] computes the next word of every lane and
+///   advances only the lanes the caller marks as consuming — the shape of
+///   the GEMM inner loop, where a lane consumes a rounding word only for a
+///   non-zero product (the SR determinism contract: one word per non-zero
+///   product, in `k` order, per output element).
+/// - [`SrLaneStreams::fill_block`] fills a `block[t][lane]` buffer in one
+///   pass with every lane advancing — batch amortization for
+///   always-consuming workloads (statistical tests, the golden rounder).
+///
+/// # Example
+///
+/// ```
+/// use srmac_rng::{SplitMix64, SrLaneStreams};
+///
+/// let mut lanes = SrLaneStreams::new([7u64, 11]);
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(11);
+/// // Lane 0 consumes both draws, lane 1 only the second.
+/// let w0 = lanes.draw([true, false]);
+/// let w1 = lanes.draw([true, true]);
+/// assert_eq!([w0[0], w1[0]], [a.next_u64(), a.next_u64()]);
+/// assert_eq!(w0[1], w1[1]); // an unconsumed word is offered again
+/// assert_eq!(w1[1], b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrLaneStreams<const L: usize> {
+    states: [u64; L],
+}
+
+impl<const L: usize> SrLaneStreams<L> {
+    /// Creates the lane streams; lane `l` replays `SplitMix64::new(seeds[l])`.
+    #[inline]
+    #[must_use]
+    pub fn new(seeds: [u64; L]) -> Self {
+        Self { states: seeds }
+    }
+
+    /// Returns the next word of every lane and advances the lanes with
+    /// `consume[lane]` set. A lane that does not consume is offered the
+    /// same word on the next call — exactly the behaviour of calling
+    /// `next_u64` only on consuming steps.
+    #[inline]
+    pub fn draw(&mut self, consume: [bool; L]) -> [u64; L] {
+        let mut words = [0u64; L];
+        for l in 0..L {
+            let stepped = self.states[l].wrapping_add(SPLITMIX_GAMMA);
+            words[l] = splitmix_finalize(stepped);
+            // Branch-free commit: keep the old state on non-consuming lanes.
+            let keep = (consume[l] as u64).wrapping_neg();
+            self.states[l] = (stepped & keep) | (self.states[l] & !keep);
+        }
+        words
+    }
+
+    /// Fills `block[t][lane]` with the next `block.len()` words of every
+    /// lane (all lanes advance). Each output is computed directly from
+    /// `seed + (t + 1) * GAMMA` — no serial dependency between positions,
+    /// so the whole block is one flat, vectorizable pass.
+    pub fn fill_block(&mut self, block: &mut [[u64; L]]) {
+        for (t, row) in block.iter_mut().enumerate() {
+            let step = (t as u64 + 1).wrapping_mul(SPLITMIX_GAMMA);
+            for (word, state) in row.iter_mut().zip(&self.states) {
+                *word = splitmix_finalize(state.wrapping_add(step));
+            }
+        }
+        let advance = (block.len() as u64).wrapping_mul(SPLITMIX_GAMMA);
+        for state in &mut self.states {
+            *state = state.wrapping_add(advance);
+        }
     }
 }
 
@@ -333,6 +481,57 @@ mod tests {
             (0..16).map(|_| g.next_u64()).collect()
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lane_streams_match_splitmix_when_always_consuming() {
+        let seeds = [1u64, 0xDEAD_BEEF, 42, u64::MAX];
+        let mut lanes = SrLaneStreams::new(seeds);
+        let mut refs: Vec<SplitMix64> = seeds.iter().map(|&s| SplitMix64::new(s)).collect();
+        for _ in 0..1000 {
+            let words = lanes.draw([true; 4]);
+            for (l, r) in refs.iter_mut().enumerate() {
+                assert_eq!(words[l], r.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn lane_streams_masked_draws_match_conditional_consumption() {
+        // A lane that consumes only on selected steps must see exactly the
+        // words a scalar SplitMix64 would hand out on those steps — the SR
+        // determinism contract of the GEMM inner loop.
+        let seeds = [9u64, 10, 11];
+        let mut lanes = SrLaneStreams::new(seeds);
+        let mut refs: Vec<SplitMix64> = seeds.iter().map(|&s| SplitMix64::new(s)).collect();
+        let mut pattern = SplitMix64::new(123);
+        for _ in 0..2000 {
+            let consume = [
+                pattern.next_u64() & 1 == 1,
+                pattern.next_u64() & 3 == 0,
+                true,
+            ];
+            let words = lanes.draw(consume);
+            for l in 0..3 {
+                if consume[l] {
+                    assert_eq!(words[l], refs[l].next_u64(), "lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_streams_fill_block_matches_draws() {
+        let seeds = [3u64, 5];
+        let mut blocked = SrLaneStreams::new(seeds);
+        let mut stepped = SrLaneStreams::new(seeds);
+        let mut block = [[0u64; 2]; 37];
+        blocked.fill_block(&mut block);
+        for row in &block {
+            assert_eq!(*row, stepped.draw([true, true]));
+        }
+        // Both generators continue from the same position.
+        assert_eq!(blocked.draw([true, true]), stepped.draw([true, true]));
     }
 
     #[test]

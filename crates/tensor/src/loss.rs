@@ -1,5 +1,7 @@
 //! Softmax cross-entropy loss.
 
+use srmac_rng::scalar_math;
+
 use crate::Tensor;
 
 /// Mean softmax cross-entropy over a batch.
@@ -30,9 +32,14 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     for (row_i, (row, &label)) in logits.data().chunks(c).zip(labels).enumerate() {
         assert!(label < c, "label {label} out of range");
         let maxv = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let exps: Vec<f32> = row.iter().map(|&v| (v - maxv).exp()).collect();
+        // Pinned scalar exp/ln (`srmac_rng::scalar_math`): the loss bits
+        // must not change with the build's target features.
+        let exps: Vec<f32> = row
+            .iter()
+            .map(|&v| scalar_math::exp_f32(v - maxv))
+            .collect();
         let z: f32 = exps.iter().sum();
-        let logz = z.ln();
+        let logz = scalar_math::ln_f32(z);
         loss += f64::from(logz - (row[label] - maxv));
         let g = &mut grad.data_mut()[row_i * c..(row_i + 1) * c];
         for (j, (gj, &e)) in g.iter_mut().zip(&exps).enumerate() {
