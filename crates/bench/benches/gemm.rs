@@ -16,11 +16,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use srmac_bench::guard::{rand_vec, relu_sparse_vec, resnet20_weight_gemm_shapes};
+use srmac_bench::guard::{
+    mixed_policy_numerics_1thread, rand_vec, relu_sparse_vec, resnet20_role_gemm_shapes,
+    resnet20_weight_gemm_shapes,
+};
 use srmac_models::serve::{InferenceServer, ServeConfig};
 use srmac_models::{data, resnet};
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac_tensor::movement::{col2im, im2row, rows_to_nchw, transpose_into};
+use srmac_tensor::GemmRole;
 use srmac_tensor::{available_threads, F32Engine, GemmEngine, Runtime};
 
 /// PR 1's recorded `resnet20_train_step/prepared_weight_reuse` median
@@ -247,6 +251,56 @@ fn bench_resnet20_sequences(c: &mut Criterion) {
     bench_gemm_sequence(c, "resnet20_train_step", &train);
     let eval = resnet20_weight_gemm_shapes(1, 16, 8, false);
     bench_gemm_sequence(c, "resnet20_eval_stream", &eval);
+    bench_mixed_policy(c);
+}
+
+/// The per-role `mixed_policy` sequence (`fwd=fp8_fp12_rn;bwd=
+/// fp8_fp12_sr13`, 1-thread engines): every training product — forward,
+/// data gradient AND weight gradient — on the engine its GEMM role
+/// resolves to, weights packed once per (shape, role engine). Data
+/// generation and engines are shared with `bench_guard`'s watched
+/// workload of the same name via `srmac_bench::guard`, so regenerating
+/// `BENCH_gemm.json` always carries the entry the guard checks.
+fn bench_mixed_policy(c: &mut Criterion) {
+    let numerics = mixed_policy_numerics_1thread();
+    let shapes = resnet20_role_gemm_shapes(4, 16, 8);
+    let lhs: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(role, m, k, _))| {
+            if role == GemmRole::Forward {
+                relu_sparse_vec(m * k, 100 + i as u64, 0.6)
+            } else {
+                rand_vec(m * k, 300 + i as u64)
+            }
+        })
+        .collect();
+    let weights: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, _, k, n))| rand_vec(k * n, 500 + i as u64))
+        .collect();
+    let mut outs: Vec<Vec<f32>> = shapes
+        .iter()
+        .map(|&(_, m, _, n)| vec![0.0f32; m * n])
+        .collect();
+    let packed_weights: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(role, _, k, n))| numerics.engine(role).pack_b(k, n, &weights[i]))
+        .collect();
+    let mut g = c.benchmark_group("resnet20_train_step");
+    g.sample_size(10);
+    g.bench_function("mixed_policy", |bch| {
+        bch.iter(|| {
+            for (i, &(role, m, k, n)) in shapes.iter().enumerate() {
+                let engine = numerics.engine(role);
+                let pa = engine.pack_a(m, k, &lhs[i]);
+                engine.gemm_packed(m, k, n, &pa, &packed_weights[i], &mut outs[i]);
+            }
+        })
+    });
+    g.finish();
 }
 
 /// Number of requests pushed through the inference server per timed

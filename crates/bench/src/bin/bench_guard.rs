@@ -1,9 +1,11 @@
 //! Bench regression guard: re-measures the headline MAC workloads —
-//! `gemm_64x128x64` (SR and RN, one-shot, 1 thread) and the
-//! `resnet20_train_step/prepared_weight_reuse` GEMM sequence — with the
-//! exact data generation of the criterion benches, and diffs the fresh
-//! medians against the committed `BENCH_gemm.json`. Exits non-zero when
-//! any watched median regresses by more than the tolerance.
+//! `gemm_64x128x64` (SR and RN, one-shot, 1 thread), the
+//! `resnet20_train_step/prepared_weight_reuse` GEMM sequence, and the
+//! per-role `resnet20_train_step/mixed_policy` sequence (RN forward / SR
+//! backward engines resolved through the numerics spec registry) — with
+//! the exact data generation of the criterion benches, and diffs the
+//! fresh medians against the committed `BENCH_gemm.json`. Exits non-zero
+//! when any watched median regresses by more than the tolerance.
 //!
 //! ```text
 //! bench_guard [--samples N] [--tolerance F] [--json PATH]
@@ -26,10 +28,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use srmac_bench::guard::{
-    committed_median, parse_bench_medians, rand_vec, relu_sparse_vec, resnet20_weight_gemm_shapes,
+    committed_median, mixed_policy_numerics_1thread, parse_bench_medians, rand_vec,
+    relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes,
 };
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
-use srmac_tensor::GemmEngine;
+use srmac_tensor::{GemmEngine, GemmRole};
 
 struct Args {
     samples: usize,
@@ -113,6 +116,7 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         ("gemm_64x128x64", "mac_fp12_sr13_1thread"),
         ("gemm_64x128x64", "mac_fp12_rn_1thread"),
         ("resnet20_train_step", "prepared_weight_reuse"),
+        ("resnet20_train_step", "mixed_policy"),
     ] {
         if committed_median(committed, group, name).is_none() {
             eprintln!(
@@ -182,6 +186,50 @@ fn train_step_median(samples: usize) -> f64 {
     })
 }
 
+/// The `resnet20_train_step/mixed_policy` workload: the same training
+/// GEMM sequence, role-tagged, with each product on the engine its role
+/// resolves to under `fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13` (1-thread
+/// engines; see `mixed_policy_numerics_1thread`) — weights packed once
+/// per (shape, role engine), activations/gradients packed per call.
+fn mixed_policy_median(samples: usize) -> f64 {
+    let numerics = mixed_policy_numerics_1thread();
+    let shapes = resnet20_role_gemm_shapes(4, 16, 8);
+    let lhs: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(role, m, k, _))| {
+            // Forward left operands look post-ReLU sparse; gradient left
+            // operands are dense.
+            if role == GemmRole::Forward {
+                relu_sparse_vec(m * k, 100 + i as u64, 0.6)
+            } else {
+                rand_vec(m * k, 300 + i as u64)
+            }
+        })
+        .collect();
+    let weights: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, _, k, n))| rand_vec(k * n, 500 + i as u64))
+        .collect();
+    let mut outs: Vec<Vec<f32>> = shapes
+        .iter()
+        .map(|&(_, m, _, n)| vec![0.0f32; m * n])
+        .collect();
+    let packed_weights: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(role, _, k, n))| numerics.engine(role).pack_b(k, n, &weights[i]))
+        .collect();
+    median_ns(samples, || {
+        for (i, &(role, m, k, n)) in shapes.iter().enumerate() {
+            let engine = numerics.engine(role);
+            let pa = engine.pack_a(m, k, &lhs[i]);
+            engine.gemm_packed(m, k, n, &pa, &packed_weights[i], &mut outs[i]);
+        }
+    })
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let json = match std::fs::read_to_string(&args.json_path) {
@@ -196,7 +244,7 @@ fn main() -> ExitCode {
         return run_relative(&args, &committed);
     }
 
-    let watched: [(&str, &str, f64); 3] = [
+    let watched: [(&str, &str, f64); 4] = [
         (
             "gemm_64x128x64",
             "mac_fp12_sr13_1thread",
@@ -216,6 +264,11 @@ fn main() -> ExitCode {
             "resnet20_train_step",
             "prepared_weight_reuse",
             train_step_median(args.samples),
+        ),
+        (
+            "resnet20_train_step",
+            "mixed_policy",
+            mixed_policy_median(args.samples),
         ),
     ];
 

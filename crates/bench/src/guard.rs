@@ -8,7 +8,12 @@
 //! and exits non-zero when a median regresses past the tolerance against
 //! the committed `BENCH_gemm.json`.
 
+use std::sync::Arc;
+
+use srmac_qgemm::{MacGemm, MacGemmConfig};
 use srmac_rng::SplitMix64;
+use srmac_tensor::numerics::fold_role_seed;
+use srmac_tensor::{GemmRole, Numerics};
 
 /// Uniform values in [-0.5, 0.5) — the benches' dense-operand generator.
 #[must_use]
@@ -77,6 +82,81 @@ pub fn resnet20_weight_gemm_shapes(
         shapes.push((batch, 10, in_c));
     }
     shapes
+}
+
+/// The full role-tagged GEMM sequence of one (width-scaled) ResNet-20
+/// training step: per conv, the forward product (`Forward`), the
+/// data-gradient product (`BackwardData`) and the weight-gradient product
+/// (`BackwardWeight`), plus the classifier head's three products. The
+/// `mixed_policy` guard workload runs each product on the engine its role
+/// resolves to under a per-role `Numerics` policy — the execution shape
+/// of a mixed-precision experiment like `fwd=rn;bwd=sr13`.
+#[must_use]
+pub fn resnet20_role_gemm_shapes(
+    batch: usize,
+    size: usize,
+    width: usize,
+) -> Vec<(GemmRole, usize, usize, usize)> {
+    let mut shapes = Vec::new();
+    let mut s = size;
+    let push3 = |shapes: &mut Vec<_>, m: usize, k: usize, n: usize| {
+        shapes.push((GemmRole::Forward, m, k, n));
+        shapes.push((GemmRole::BackwardData, m, n, k));
+        shapes.push((GemmRole::BackwardWeight, n, m, k));
+    };
+    // Stem 3x3 conv.
+    push3(&mut shapes, batch * s * s, 27, width);
+    let mut in_c = width;
+    for stage in 0..3usize {
+        let out_c = width << stage;
+        for block in 0..3usize {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            if stride == 2 {
+                s /= 2;
+            }
+            push3(&mut shapes, batch * s * s, in_c * 9, out_c); // conv1
+            push3(&mut shapes, batch * s * s, out_c * 9, out_c); // conv2
+            if in_c != out_c || stride != 1 {
+                push3(&mut shapes, batch * s * s, in_c, out_c); // 1x1 proj
+            }
+            in_c = out_c;
+        }
+    }
+    // Classifier head.
+    push3(&mut shapes, batch, in_c, 10);
+    shapes
+}
+
+/// The `mixed_policy` workload's per-role policy — RN forward, SR r=13
+/// on both backward roles — with every engine pinned to **one thread**,
+/// matching the 1-thread pinning of the sibling `gemm_64x128x64` and
+/// `prepared_weight_reuse` workloads so the committed absolute medians
+/// don't embed the recording host's core count. Configs come from the
+/// registry grammar (`FromStr`) and the backward seeds are role-folded
+/// exactly as `numerics_from_spec` would fold them; results are bitwise
+/// identical to the registry-built policy (which differs only in thread
+/// count, and results are thread-invariant). Shared by the criterion
+/// `resnet20_train_step/mixed_policy` bench and the guard so both always
+/// measure the same engines.
+#[must_use]
+pub fn mixed_policy_numerics_1thread() -> Numerics {
+    let fwd: MacGemmConfig = "fp8_fp12_rn".parse().expect("forward atom");
+    let bwd: MacGemmConfig = "fp8_fp12_sr13".parse().expect("backward atom");
+    let engine = |cfg: MacGemmConfig, role: GemmRole| {
+        Arc::new(MacGemm::new(
+            cfg.with_seed(fold_role_seed(cfg.seed, role))
+                .with_threads(1),
+        )) as Arc<dyn srmac_tensor::GemmEngine>
+    };
+    Numerics::builder()
+        .forward(engine(fwd, GemmRole::Forward))
+        .role(GemmRole::BackwardData, engine(bwd, GemmRole::BackwardData))
+        .role(
+            GemmRole::BackwardWeight,
+            engine(bwd, GemmRole::BackwardWeight),
+        )
+        .build()
+        .expect("all roles assigned")
 }
 
 /// One `benchmarks` entry of `BENCH_gemm.json`.
@@ -167,5 +247,40 @@ mod tests {
         let train = resnet20_weight_gemm_shapes(4, 16, 8, true);
         assert!(train.len() > fwd.len());
         assert!(fwd.iter().all(|&(m, k, n)| m * k * n > 0));
+    }
+
+    #[test]
+    fn mixed_policy_1thread_matches_the_registry_engines() {
+        // The thread-pinned bench policy must resolve to exactly the
+        // engines `numerics_from_spec` builds (spec atoms carry the
+        // exact role-folded seeds), so the bench measures the real
+        // mixed-policy numerics.
+        let bench = mixed_policy_numerics_1thread();
+        let registry = srmac_qgemm::numerics_from_spec("fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13")
+            .expect("registry policy");
+        for role in GemmRole::ALL {
+            assert_eq!(
+                bench.engine(role).spec(),
+                registry.engine(role).spec(),
+                "{role}"
+            );
+        }
+    }
+
+    #[test]
+    fn role_shapes_cover_every_role_per_product() {
+        let shapes = resnet20_role_gemm_shapes(4, 16, 8);
+        for role in GemmRole::ALL {
+            assert_eq!(
+                shapes.iter().filter(|(r, ..)| *r == role).count(),
+                shapes.len() / 3,
+                "{role}: one product of each role per layer"
+            );
+        }
+        assert!(shapes.iter().all(|&(_, m, k, n)| m * k * n > 0));
+        // Forward and data-gradient products of one layer share the
+        // weight operand transposed: (m, k, n) vs (m, n, k).
+        assert_eq!(shapes[0].2, shapes[1].3);
+        assert_eq!(shapes[0].3, shapes[1].2);
     }
 }

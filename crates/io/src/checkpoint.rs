@@ -1,16 +1,19 @@
 //! The checkpoint container: capture from / apply to a [`Sequential`]
-//! model, plus the version-1 binary encoding.
+//! model, plus the version-2 binary encoding (version-1 files decode
+//! unchanged).
 //!
-//! # Layout (version 1, all integers little-endian)
+//! # Layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! offset 0   magic            b"SRMC"
-//!        4   u16              format version (currently 1)
+//!        4   u16              format version (currently 2)
 //!        6   u16              reserved flags (must be 0)
 //!        8   u32 La           architecture-tag length
 //!        12  [La]             architecture tag (UTF-8, caller-chosen)
 //!            u8               engine-meta tag: 0 = none, 1 = MacGemmConfig
 //!            [16]             MacGemmConfig wire record (tag 1 only)
+//!            u8               numerics tag: 0 = none, 1 = policy spec   (v2+)
+//!            u32 Lp ; [Lp]    numerics policy spec (UTF-8, tag 1 only) (v2+)
 //!            u32 Nl           layer record count
 //!            Nl x layer record:
 //!              u32 Ln ; [Ln]  layer describe() string (UTF-8)
@@ -20,6 +23,24 @@
 //!              Ns x state:    u32 len ; f32 payload
 //! end-8      u64              FNV-1a-64 checksum of every preceding byte
 //! ```
+//!
+//! The **numerics policy spec** (new in version 2) records the full
+//! per-role engine policy the model was trained with, in the
+//! `srmac_tensor::numerics` spec grammar (e.g.
+//! `fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13`): a loaded checkpoint rebuilds the
+//! exact training numerics — forward *and* both backward roles — via
+//! `srmac_qgemm::numerics_from_spec`, where the single `MacGemmConfig`
+//! record of version 1 could only name one engine. The legacy engine
+//! record remains a first-class field — version-1 files decode it, and
+//! v2 writers may still fill it as a single-engine summary — but the
+//! policy field supersedes it and new writers may leave it `None`.
+//! Decoding validates the spec structurally — policy grammar plus every
+//! atom — so no decodable checkpoint can fail the engine rebuild.
+//! Version-1 files simply decode with no policy. Note the validator
+//! knows the two in-tree atom families (`f32` and the MAC grammar):
+//! engines registered by out-of-tree resolvers cannot ride in checkpoint
+//! metadata yet (matching `GemmEngine::spec`'s contract for spec-less
+//! engines).
 //!
 //! The encoding is a pure function of the captured model state — no
 //! timestamps, pointers, padding or map iteration orders — so identical
@@ -40,21 +61,30 @@ use crate::error::CheckpointError;
 /// File magic: the first four bytes of every srmac checkpoint.
 pub const MAGIC: [u8; 4] = *b"SRMC";
 
-/// The newest (and currently only) format version this crate writes.
-pub const FORMAT_VERSION: u16 = 1;
+/// The newest format version this crate writes.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The oldest format version this crate still decodes.
+pub const MIN_FORMAT_VERSION: u16 = 1;
 
 /// Maximum tensor rank the format accepts (sanity bound for decoding).
 const MAX_NDIM: u32 = 8;
 
 /// Checkpoint-level metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CheckpointMeta {
     /// Caller-chosen architecture tag (e.g. `"resnet20-w8-c10"`); checked
     /// on load via [`Checkpoint::require_arch`], not interpreted.
     pub arch: String,
-    /// The GEMM engine configuration the model was trained with, when the
-    /// engine was a `MacGemm` (serialized via [`MacGemmConfig::to_wire`]).
+    /// The single GEMM engine configuration of the legacy (version-1)
+    /// metadata, when the engine was a `MacGemm` (serialized via
+    /// [`MacGemmConfig::to_wire`]). Kept for old checkpoints and as a
+    /// summary; new writers should also fill [`CheckpointMeta::numerics`].
     pub engine: Option<MacGemmConfig>,
+    /// The full per-role numerics policy spec the model was trained with
+    /// (version 2+; see the module docs) — `Numerics::to_spec()` on the
+    /// way in, `srmac_qgemm::numerics_from_spec` on the way out.
+    pub numerics: Option<String>,
 }
 
 /// One captured tensor: logical shape plus row-major values.
@@ -248,6 +278,18 @@ impl Checkpoint {
                 out.extend_from_slice(&cfg.to_wire());
             }
         }
+        match &self.meta.numerics {
+            None => out.push(0),
+            Some(spec) => {
+                // Refuse to write a policy the decoder would reject: the
+                // whole point of the field is a checkpoint that rebuilds
+                // its engines.
+                validate_policy_spec(spec)
+                    .unwrap_or_else(|e| panic!("cannot serialize numerics spec {spec:?}: {e}"));
+                out.push(1);
+                push_bytes(&mut out, spec.as_bytes());
+            }
+        }
         push_u32(&mut out, len_u32(self.layers.len(), "layer count"));
         for layer in &self.layers {
             push_bytes(&mut out, layer.name.as_bytes());
@@ -302,7 +344,7 @@ impl Checkpoint {
             return Err(CheckpointError::BadMagic(magic));
         }
         let version = r.u16()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         let flags = r.u16()?;
@@ -320,6 +362,24 @@ impl Checkpoint {
                 Some(MacGemmConfig::from_wire(&wire)?)
             }
             _ => return Err(r.malformed("engine-meta tag must be 0 or 1")),
+        };
+        // The per-role numerics policy exists from version 2 on; older
+        // files decode with no policy.
+        let numerics = if version >= 2 {
+            match r.u8()? {
+                0 => None,
+                1 => {
+                    let spec = r.string()?;
+                    validate_policy_spec(&spec).map_err(|what| CheckpointError::BadPolicySpec {
+                        spec: spec.clone(),
+                        what,
+                    })?;
+                    Some(spec)
+                }
+                _ => return Err(r.malformed("numerics tag must be 0 or 1")),
+            }
+        } else {
+            None
         };
         let layer_count = r.count()?;
         let mut layers = Vec::with_capacity(layer_count.min(r.remaining()));
@@ -362,7 +422,11 @@ impl Checkpoint {
             });
         }
         Ok(Self {
-            meta: CheckpointMeta { arch, engine },
+            meta: CheckpointMeta {
+                arch,
+                engine,
+                numerics,
+            },
             layers,
         })
     }
@@ -396,6 +460,15 @@ pub fn save_model(
     model: &mut Sequential,
     meta: CheckpointMeta,
 ) -> Result<(), CheckpointError> {
+    // Caller-supplied policy strings (config files, CLI flags) fail here
+    // as a typed error; the panic inside `encode` stays as the backstop
+    // for direct misuse of the lower-level API.
+    if let Some(spec) = &meta.numerics {
+        validate_policy_spec(spec).map_err(|what| CheckpointError::BadPolicySpec {
+            spec: spec.clone(),
+            what,
+        })?;
+    }
     // Writer-unique temp name (full target file name + pid + counter):
     // concurrent saves — to the same path or to sibling paths sharing a
     // stem — must never interleave through one temp file, or the atomic
@@ -450,6 +523,26 @@ pub fn load_model(
     let ckpt = read_checkpoint(path)?;
     ckpt.apply_to(model)?;
     Ok(ckpt.meta)
+}
+
+/// Structural validation of a numerics policy spec: the policy grammar
+/// of `srmac_tensor::numerics` plus every atom as either `f32` or a valid
+/// MAC atom — the loader contract is that any decodable checkpoint can
+/// rebuild its engines without panicking. (Engines are *not* built here;
+/// validation is cheap.) Deliberate limitation: this knows the in-tree
+/// atom families only, so atoms from out-of-tree `register_engine_resolver`
+/// extensions are rejected — lifting that needs a build-free "validate
+/// atom" hook on the tensor-side registry, not a wider hardcode here.
+fn validate_policy_spec(spec: &str) -> Result<(), String> {
+    let parsed: srmac_tensor::PolicySpec = spec.parse().map_err(|e| format!("{e}"))?;
+    for atom in parsed.atoms() {
+        if atom == "f32" {
+            continue;
+        }
+        atom.parse::<MacGemmConfig>()
+            .map_err(|e| format!("atom {atom:?}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// FNV-1a 64-bit hash (the trailing integrity checksum).

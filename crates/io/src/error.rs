@@ -48,6 +48,14 @@ pub enum CheckpointError {
     },
     /// The embedded engine configuration failed validation.
     EngineConfig(ConfigWireError),
+    /// The embedded numerics policy spec failed structural validation
+    /// (policy grammar or one of its engine atoms).
+    BadPolicySpec {
+        /// The stored spec string.
+        spec: String,
+        /// What was wrong with it.
+        what: String,
+    },
     /// The checkpoint is internally valid but does not fit the model it
     /// was asked to restore (layer count, layer kind, or tensor shape).
     ModelMismatch {
@@ -87,6 +95,12 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::EngineConfig(e) => {
                 write!(f, "invalid engine configuration in checkpoint: {e}")
+            }
+            CheckpointError::BadPolicySpec { spec, what } => {
+                write!(
+                    f,
+                    "invalid numerics policy spec {spec:?} in checkpoint: {what}"
+                )
             }
             CheckpointError::ModelMismatch { what } => {
                 write!(f, "checkpoint does not fit the model: {what}")

@@ -7,7 +7,7 @@
 //! records carrying every parameter tensor and non-parameter state buffer
 //! (batch-norm running statistics included), little-endian `f32` bit
 //! patterns, and a trailing FNV-1a-64 checksum. See
-//! [`checkpoint`](crate::checkpoint) for the exact byte layout.
+//! [`checkpoint`] for the exact byte layout.
 //!
 //! Guarantees:
 //!
@@ -35,7 +35,7 @@
 //! model.push(Linear::new(3, 2, w, engine.clone()));
 //!
 //! // Capture -> encode -> decode -> apply is a bitwise round trip.
-//! let meta = CheckpointMeta { arch: "demo".into(), engine: None };
+//! let meta = CheckpointMeta { arch: "demo".into(), ..Default::default() };
 //! let bytes = Checkpoint::capture(&mut model, meta).encode();
 //! let ckpt = Checkpoint::decode(&bytes).unwrap();
 //! ckpt.require_arch("demo").unwrap();
@@ -94,6 +94,7 @@ mod tests {
                 AccumRounding::Stochastic { r: 13 },
                 false,
             )),
+            numerics: None,
         };
         let a = Checkpoint::capture(&mut small_model(1.0), meta()).encode();
         let b = Checkpoint::capture(&mut small_model(1.0), meta()).encode();
@@ -115,6 +116,7 @@ mod tests {
             CheckpointMeta {
                 arch: "small".into(),
                 engine: Some(cfg),
+                numerics: None,
             },
         )
         .encode();
@@ -140,6 +142,7 @@ mod tests {
             CheckpointMeta {
                 arch: "small".into(),
                 engine: None,
+                numerics: None,
             },
         )
         .encode();
@@ -176,6 +179,7 @@ mod tests {
             CheckpointMeta {
                 arch: "small".into(),
                 engine: None,
+                numerics: None,
             },
         )
         .expect("save");

@@ -31,6 +31,7 @@ fn valid_bytes() -> &'static [u8] {
                     AccumRounding::Stochastic { r: 13 },
                     false,
                 )),
+                numerics: None,
             },
         )
         .encode()

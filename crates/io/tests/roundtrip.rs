@@ -49,6 +49,7 @@ fn roundtrip_case(label: &str, engine: Arc<dyn GemmEngine>, cfg: Option<MacGemmC
         CheckpointMeta {
             arch: "resnet20-w4-c10".into(),
             engine: cfg,
+            numerics: None,
         },
     )
     .expect("save");
@@ -82,6 +83,7 @@ fn roundtrip_case(label: &str, engine: Arc<dyn GemmEngine>, cfg: Option<MacGemmC
         CheckpointMeta {
             arch: "resnet20-w4-c10".into(),
             engine: cfg,
+            numerics: None,
         },
     )
     .expect("re-save");
@@ -124,6 +126,7 @@ fn engine_meta_rebuilds_the_same_engine() {
         CheckpointMeta {
             arch: "resnet20-w4-c10".into(),
             engine: Some(cfg),
+            numerics: None,
         },
     )
     .expect("save");
@@ -163,6 +166,7 @@ fn checkpoint_captures_batchnorm_running_stats() {
     let meta = CheckpointMeta {
         arch: "resnet20-w4-c10".into(),
         engine: None,
+        numerics: None,
     };
     let ckpt = Checkpoint::capture(&mut model, meta);
     let stored_state: Vec<Vec<f32>> = ckpt.layers.iter().flat_map(|l| l.state.clone()).collect();
@@ -177,4 +181,179 @@ fn checkpoint_captures_batchnorm_running_stats() {
     let mut roundtripped: Vec<Vec<f32>> = Vec::new();
     restored.visit_state(&mut |s| roundtripped.push(s.clone()));
     assert_eq!(stored_state, roundtripped);
+}
+
+/// A faithful version-1 writer for back-compat testing: the v1 layout is
+/// exactly the v2 layout minus the numerics field, so we take the v2
+/// bytes of a policy-free checkpoint, drop that field, stamp version 1,
+/// and re-checksum.
+fn downgrade_to_v1(v2: &[u8], arch_len: usize, has_engine: bool) -> Vec<u8> {
+    let mut body = v2[..v2.len() - 8].to_vec();
+    // magic(4) + version(2) + flags(2) + len(4) + arch + engine record.
+    let numerics_tag = 12 + arch_len + 1 + if has_engine { 16 } else { 0 };
+    assert_eq!(body[numerics_tag], 0, "fixture must carry no numerics");
+    body.remove(numerics_tag);
+    body[4..6].copy_from_slice(&1u16.to_le_bytes());
+    let checksum = srmac_io::fnv1a64(&body);
+    body.extend_from_slice(&checksum.to_le_bytes());
+    body
+}
+
+#[test]
+fn v2_stores_and_revalidates_the_numerics_policy() {
+    let spec = "fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13";
+    let numerics = srmac_qgemm::numerics_from_spec(spec).expect("mixed spec");
+    let mut model = resnet::resnet20_with(&numerics, 4, 10, 31);
+    let path = ckpt_path("policy_v2.srmc");
+    save_model(
+        &path,
+        &mut model,
+        CheckpointMeta {
+            arch: "resnet20-w4-c10".into(),
+            engine: None,
+            numerics: Some(spec.into()),
+        },
+    )
+    .expect("save");
+
+    // The policy survives the round trip and rebuilds the exact engines.
+    let ckpt = read_checkpoint(&path).expect("read");
+    assert_eq!(ckpt.meta.numerics.as_deref(), Some(spec));
+    let rebuilt = srmac_qgemm::numerics_from_spec(ckpt.meta.numerics.as_deref().unwrap())
+        .expect("stored spec resolves");
+    for role in srmac_tensor::GemmRole::ALL {
+        assert_eq!(
+            rebuilt.engine(role).spec(),
+            numerics.engine(role).spec(),
+            "{role}: rebuilt engine must match the training engine exactly"
+        );
+    }
+    let mut restored = resnet::resnet20_with(&rebuilt, 4, 10, 999);
+    load_model(&path, &mut restored).expect("load");
+    let (x, _) = data::synth_cifar10(4, 8, 7).batch(&[0, 1, 2, 3]);
+    assert_eq!(logits_bits(&mut model, &x), logits_bits(&mut restored, &x));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn version_1_checkpoints_still_decode() {
+    let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+    let mut model = resnet::resnet20(&engine, 4, 10, 13);
+    let arch = "resnet20-w4-c10";
+    let cfg = MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_seed(9);
+    let v2 = Checkpoint::capture(
+        &mut model,
+        CheckpointMeta {
+            arch: arch.into(),
+            engine: Some(cfg),
+            numerics: None,
+        },
+    )
+    .encode();
+    let v1 = downgrade_to_v1(&v2, arch.len(), true);
+
+    let ckpt = Checkpoint::decode(&v1).expect("v1 decodes");
+    assert_eq!(ckpt.meta.arch, arch);
+    assert_eq!(ckpt.meta.numerics, None, "v1 carries no policy");
+    let eng = ckpt.meta.engine.expect("v1 engine record");
+    assert_eq!(eng.seed, 9);
+    let mut restored = resnet::resnet20(&engine, 4, 10, 999);
+    ckpt.apply_to(&mut restored).expect("apply");
+    let (x, _) = data::synth_cifar10(2, 8, 3).batch(&[0, 1]);
+    assert_eq!(logits_bits(&mut model, &x), logits_bits(&mut restored, &x));
+
+    // Versions beyond the writer's remain typed errors.
+    let mut future = v2.clone();
+    let body_len = future.len() - 8;
+    future[4..6].copy_from_slice(&3u16.to_le_bytes());
+    let checksum = srmac_io::fnv1a64(&future[..body_len]);
+    future[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::decode(&future),
+        Err(srmac_io::CheckpointError::UnsupportedVersion(3))
+    ));
+}
+
+#[test]
+fn hostile_policy_specs_are_typed_errors_never_panics() {
+    let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+    let mut model = resnet::resnet20(&engine, 4, 10, 17);
+    let arch = "a";
+    let good_spec = "fwd=f32;bwd=f32";
+    let bytes = Checkpoint::capture(
+        &mut model,
+        CheckpointMeta {
+            arch: arch.into(),
+            engine: None,
+            numerics: Some(good_spec.into()),
+        },
+    )
+    .encode();
+
+    // Corrupt the spec in place (same length, bad role key) and fix the
+    // checksum: decoding must reject it as a typed policy error.
+    let pos = bytes
+        .windows(good_spec.len())
+        .position(|w| w == good_spec.as_bytes())
+        .expect("spec bytes present");
+    let mut bad = bytes.clone();
+    bad[pos] = b'q'; // "qwd=f32;bwd=f32"
+    let body_len = bad.len() - 8;
+    let checksum = srmac_io::fnv1a64(&bad[..body_len]);
+    bad[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::decode(&bad),
+        Err(srmac_io::CheckpointError::BadPolicySpec { .. })
+    ));
+
+    // Same for a structurally valid policy whose atom is garbage.
+    let mut bad_atom = bytes;
+    bad_atom[pos + 4] = b'g'; // "fwd=g32;bwd=f32"
+    let checksum = srmac_io::fnv1a64(&bad_atom[..body_len]);
+    bad_atom[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::decode(&bad_atom),
+        Err(srmac_io::CheckpointError::BadPolicySpec { .. })
+    ));
+}
+
+#[test]
+fn save_model_rejects_bad_policy_specs_as_typed_errors() {
+    // The fallible save path validates caller-supplied policy strings
+    // up front (the panic inside `encode` is only the backstop for
+    // direct misuse of the lower-level API, tested below).
+    let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+    let mut model = resnet::resnet20(&engine, 4, 10, 23);
+    let path = ckpt_path("never_written.srmc");
+    let err = save_model(
+        &path,
+        &mut model,
+        CheckpointMeta {
+            arch: "a".into(),
+            engine: None,
+            numerics: Some("fwd=warp9;bwd=f32".into()),
+        },
+    )
+    .expect_err("unresolvable spec");
+    assert!(matches!(
+        err,
+        srmac_io::CheckpointError::BadPolicySpec { .. }
+    ));
+    assert!(!path.exists(), "nothing may be written on a rejected spec");
+}
+
+#[test]
+#[should_panic(expected = "cannot serialize numerics spec")]
+fn writer_refuses_unresolvable_policy_specs() {
+    let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+    let mut model = resnet::resnet20(&engine, 4, 10, 19);
+    let _ = Checkpoint::capture(
+        &mut model,
+        CheckpointMeta {
+            arch: "a".into(),
+            engine: None,
+            numerics: Some("fwd=warp9;bwd=f32".into()),
+        },
+    )
+    .encode();
 }

@@ -6,21 +6,23 @@ use std::sync::Arc;
 use srmac_rng::SplitMix64;
 use srmac_tensor::init::kaiming_normal;
 use srmac_tensor::layers::{BatchNorm2d, Conv2d, Layer, Relu};
+use srmac_tensor::numerics::{Numerics, NumericsCursor, RoleEngines};
 use srmac_tensor::{GemmEngine, Param, Sequential, Tensor};
 
-/// Builds `Conv2d(in, out, k, stride, pad)` with Kaiming-initialized weights.
+/// Builds `Conv2d(in, out, k, stride, pad)` with Kaiming-initialized
+/// weights on the given per-role engines.
 pub(crate) fn conv(
     in_c: usize,
     out_c: usize,
     k: usize,
     stride: usize,
     pad: usize,
-    engine: &Arc<dyn GemmEngine>,
+    engines: RoleEngines,
     rng: &mut SplitMix64,
 ) -> Conv2d {
     let fan_in = in_c * k * k;
     let w = kaiming_normal(&[out_c, fan_in], fan_in, rng);
-    Conv2d::new(in_c, out_c, k, stride, pad, w, engine.clone())
+    Conv2d::per_role(in_c, out_c, k, stride, pad, w, engines)
 }
 
 /// A residual block: `out = relu(main(x) + shortcut(x))`.
@@ -40,7 +42,9 @@ impl std::fmt::Debug for ResidualBlock {
 }
 
 impl ResidualBlock {
-    /// A basic (two 3x3 convs) block from `in_c` to `out_c` with `stride`.
+    /// A basic (two 3x3 convs) block from `in_c` to `out_c` with `stride`,
+    /// every conv on `engine` (the [`Numerics::uniform`] shim of
+    /// [`ResidualBlock::basic_with`]).
     #[must_use]
     pub fn basic(
         in_c: usize,
@@ -49,13 +53,28 @@ impl ResidualBlock {
         engine: &Arc<dyn GemmEngine>,
         rng: &mut SplitMix64,
     ) -> Self {
+        let numerics = Numerics::uniform(engine.clone());
+        Self::basic_with(in_c, out_c, stride, &mut numerics.layers(), rng)
+    }
+
+    /// A basic block drawing each conv's per-role engines from the
+    /// model's [`NumericsCursor`] (construction order: conv1, conv2, then
+    /// the projection when one exists).
+    #[must_use]
+    pub fn basic_with(
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+        layers: &mut NumericsCursor<'_>,
+        rng: &mut SplitMix64,
+    ) -> Self {
         let mut main = Sequential::new();
-        main.push(conv(in_c, out_c, 3, stride, 1, engine, rng));
+        main.push(conv(in_c, out_c, 3, stride, 1, layers.next_layer(), rng));
         main.push(BatchNorm2d::new(out_c));
         main.push(Relu::new());
-        main.push(conv(out_c, out_c, 3, 1, 1, engine, rng));
+        main.push(conv(out_c, out_c, 3, 1, 1, layers.next_layer(), rng));
         main.push(BatchNorm2d::new(out_c));
-        let shortcut = Self::projection(in_c, out_c, stride, engine, rng);
+        let shortcut = Self::projection(in_c, out_c, stride, layers, rng);
         Self {
             main,
             shortcut,
@@ -63,7 +82,9 @@ impl ResidualBlock {
         }
     }
 
-    /// A bottleneck (1x1 -> 3x3 -> 1x1, expansion 4) block.
+    /// A bottleneck (1x1 -> 3x3 -> 1x1, expansion 4) block, every conv on
+    /// `engine` (the [`Numerics::uniform`] shim of
+    /// [`ResidualBlock::bottleneck_with`]).
     #[must_use]
     pub fn bottleneck(
         in_c: usize,
@@ -72,17 +93,32 @@ impl ResidualBlock {
         engine: &Arc<dyn GemmEngine>,
         rng: &mut SplitMix64,
     ) -> Self {
+        let numerics = Numerics::uniform(engine.clone());
+        Self::bottleneck_with(in_c, width, stride, &mut numerics.layers(), rng)
+    }
+
+    /// A bottleneck block drawing each conv's per-role engines from the
+    /// model's [`NumericsCursor`] (construction order: the three main
+    /// convs, then the projection when one exists).
+    #[must_use]
+    pub fn bottleneck_with(
+        in_c: usize,
+        width: usize,
+        stride: usize,
+        layers: &mut NumericsCursor<'_>,
+        rng: &mut SplitMix64,
+    ) -> Self {
         let out_c = width * 4;
         let mut main = Sequential::new();
-        main.push(conv(in_c, width, 1, 1, 0, engine, rng));
+        main.push(conv(in_c, width, 1, 1, 0, layers.next_layer(), rng));
         main.push(BatchNorm2d::new(width));
         main.push(Relu::new());
-        main.push(conv(width, width, 3, stride, 1, engine, rng));
+        main.push(conv(width, width, 3, stride, 1, layers.next_layer(), rng));
         main.push(BatchNorm2d::new(width));
         main.push(Relu::new());
-        main.push(conv(width, out_c, 1, 1, 0, engine, rng));
+        main.push(conv(width, out_c, 1, 1, 0, layers.next_layer(), rng));
         main.push(BatchNorm2d::new(out_c));
-        let shortcut = Self::projection(in_c, out_c, stride, engine, rng);
+        let shortcut = Self::projection(in_c, out_c, stride, layers, rng);
         Self {
             main,
             shortcut,
@@ -94,14 +130,14 @@ impl ResidualBlock {
         in_c: usize,
         out_c: usize,
         stride: usize,
-        engine: &Arc<dyn GemmEngine>,
+        layers: &mut NumericsCursor<'_>,
         rng: &mut SplitMix64,
     ) -> Option<Sequential> {
         if in_c == out_c && stride == 1 {
             return None;
         }
         let mut s = Sequential::new();
-        s.push(conv(in_c, out_c, 1, stride, 0, engine, rng));
+        s.push(conv(in_c, out_c, 1, stride, 0, layers.next_layer(), rng));
         s.push(BatchNorm2d::new(out_c));
         Some(s)
     }
@@ -158,6 +194,16 @@ impl Layer for ResidualBlock {
         self.main.visit_state(f);
         if let Some(sc) = &mut self.shortcut {
             sc.visit_state(f);
+        }
+    }
+
+    fn visit_role_engines(
+        &mut self,
+        f: &mut dyn FnMut(srmac_tensor::GemmRole, &Arc<dyn GemmEngine>),
+    ) {
+        self.main.visit_role_engines(f);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_role_engines(f);
         }
     }
 
@@ -237,5 +283,24 @@ mod tests {
         // The identity path alone contributes 1.0 wherever relu was active;
         // dx must therefore be nonzero somewhere.
         assert!(dx.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn per_role_block_draws_layers_in_construction_order() {
+        // conv1, conv2, projection — three GEMM layers for a projecting
+        // basic block, two for an identity one.
+        let numerics = Numerics::uniform(engine());
+        let mut rng = SplitMix64::new(5);
+        let mut cursor = numerics.layers();
+        let _ = ResidualBlock::basic_with(8, 16, 2, &mut cursor, &mut rng);
+        assert_eq!(cursor.assigned(), 3);
+
+        let mut cursor = numerics.layers();
+        let _ = ResidualBlock::basic_with(8, 8, 1, &mut cursor, &mut rng);
+        assert_eq!(cursor.assigned(), 2);
+
+        let mut cursor = numerics.layers();
+        let _ = ResidualBlock::bottleneck_with(16, 4, 2, &mut cursor, &mut rng);
+        assert_eq!(cursor.assigned(), 4);
     }
 }

@@ -1,12 +1,21 @@
 //! ResNet models: the CIFAR-style ResNet-20 and the bottleneck ResNet-50
 //! of the paper's Sec. IV, with a width knob for laptop-scale runs
 //! (`width = 16` reproduces the paper-exact ResNet-20 shape).
+//!
+//! Every builder exists in two forms: the single-engine original
+//! (`resnet20(&engine, ..)`, kept as a [`Numerics::uniform`] shim — bit
+//! for bit the old behavior) and the policy form (`resnet20_with(&numerics,
+//! ..)`) that resolves each GEMM layer's forward/backward engines through
+//! a [`Numerics`] policy, including its per-layer overrides (GEMM layers
+//! are numbered in construction order: the stem conv is layer 0, then each
+//! block's convs in block order, the classifier head last).
 
 use std::sync::Arc;
 
 use srmac_rng::SplitMix64;
 use srmac_tensor::init::uniform_fan_in;
 use srmac_tensor::layers::{BatchNorm2d, GlobalAvgPool, Linear, Relu};
+use srmac_tensor::numerics::Numerics;
 use srmac_tensor::{GemmEngine, Sequential};
 
 use crate::blocks::{conv, ResidualBlock};
@@ -21,7 +30,13 @@ pub fn resnet20(
     classes: usize,
     seed: u64,
 ) -> Sequential {
-    resnet_basic(engine, width, &[3, 3, 3], classes, seed)
+    resnet20_with(&Numerics::uniform(engine.clone()), width, classes, seed)
+}
+
+/// [`resnet20`] on a per-role [`Numerics`] policy.
+#[must_use]
+pub fn resnet20_with(numerics: &Numerics, width: usize, classes: usize, seed: u64) -> Sequential {
+    resnet_basic_with(numerics, width, &[3, 3, 3], classes, seed)
 }
 
 /// A basic-block ResNet with `blocks[i]` blocks in stage `i`.
@@ -33,9 +48,28 @@ pub fn resnet_basic(
     classes: usize,
     seed: u64,
 ) -> Sequential {
+    resnet_basic_with(
+        &Numerics::uniform(engine.clone()),
+        width,
+        blocks,
+        classes,
+        seed,
+    )
+}
+
+/// [`resnet_basic`] on a per-role [`Numerics`] policy.
+#[must_use]
+pub fn resnet_basic_with(
+    numerics: &Numerics,
+    width: usize,
+    blocks: &[usize],
+    classes: usize,
+    seed: u64,
+) -> Sequential {
     let mut rng = SplitMix64::new(seed);
+    let mut layers = numerics.layers();
     let mut net = Sequential::new();
-    net.push(conv(3, width, 3, 1, 1, engine, &mut rng));
+    net.push(conv(3, width, 3, 1, 1, layers.next_layer(), &mut rng));
     net.push(BatchNorm2d::new(width));
     net.push(Relu::new());
     let mut in_c = width;
@@ -43,16 +77,22 @@ pub fn resnet_basic(
         let out_c = width << stage;
         for b in 0..nblocks {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
-            net.push(ResidualBlock::basic(in_c, out_c, stride, engine, &mut rng));
+            net.push(ResidualBlock::basic_with(
+                in_c,
+                out_c,
+                stride,
+                &mut layers,
+                &mut rng,
+            ));
             in_c = out_c;
         }
     }
     net.push(GlobalAvgPool::new());
-    net.push(Linear::new(
+    net.push(Linear::per_role(
         in_c,
         classes,
         uniform_fan_in(&[classes, in_c], in_c, &mut rng),
-        engine.clone(),
+        layers.next_layer(),
     ));
     net
 }
@@ -68,9 +108,16 @@ pub fn resnet50(
     classes: usize,
     seed: u64,
 ) -> Sequential {
+    resnet50_with(&Numerics::uniform(engine.clone()), width, classes, seed)
+}
+
+/// [`resnet50`] on a per-role [`Numerics`] policy.
+#[must_use]
+pub fn resnet50_with(numerics: &Numerics, width: usize, classes: usize, seed: u64) -> Sequential {
     let mut rng = SplitMix64::new(seed);
+    let mut layers = numerics.layers();
     let mut net = Sequential::new();
-    net.push(conv(3, width, 3, 1, 1, engine, &mut rng));
+    net.push(conv(3, width, 3, 1, 1, layers.next_layer(), &mut rng));
     net.push(BatchNorm2d::new(width));
     net.push(Relu::new());
     let stages = [3usize, 4, 6, 3];
@@ -79,16 +126,22 @@ pub fn resnet50(
         let w = width << stage;
         for b in 0..nblocks {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
-            net.push(ResidualBlock::bottleneck(in_c, w, stride, engine, &mut rng));
+            net.push(ResidualBlock::bottleneck_with(
+                in_c,
+                w,
+                stride,
+                &mut layers,
+                &mut rng,
+            ));
             in_c = w * 4;
         }
     }
     net.push(GlobalAvgPool::new());
-    net.push(Linear::new(
+    net.push(Linear::per_role(
         in_c,
         classes,
         uniform_fan_in(&[classes, in_c], in_c, &mut rng),
-        engine.clone(),
+        layers.next_layer(),
     ));
     net
 }
@@ -152,5 +205,23 @@ mod tests {
         assert_eq!(convs, 49, "conv count");
         assert_eq!(projections, 4, "one projection per stage");
         let _ = net.param_count();
+    }
+
+    #[test]
+    fn uniform_policy_builds_the_same_model() {
+        // The policy form with a uniform policy must describe (and
+        // initialize) exactly the model the single-engine shim builds.
+        let e = engine();
+        let numerics = Numerics::uniform(e.clone());
+        let mut a = resnet20(&e, 4, 10, 9);
+        let mut b = resnet20_with(&numerics, 4, 10, 9);
+        assert_eq!(a.describe(), b.describe());
+        let x = Tensor::from_vec(
+            (0..2 * 3 * 8 * 8).map(|i| (i as f32).sin()).collect(),
+            &[2, 3, 8, 8],
+        );
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya.data(), yb.data());
     }
 }

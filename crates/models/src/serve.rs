@@ -18,7 +18,7 @@
 //! pure function of that row's inputs and the weights, every non-GEMM
 //! layer is elementwise or per-sample, and evaluation-mode batch norm uses
 //! running statistics. [`srmac_tensor::F32Engine`] and
-//! [`srmac_qgemm::MacGemm`] with `AccumRounding::Nearest` — the inference
+//! `srmac_qgemm::MacGemm` with `AccumRounding::Nearest` — the inference
 //! configurations — are position-invariant, and the contract is asserted
 //! bit-for-bit in this module's tests across batch patterns.
 //!
@@ -33,6 +33,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use srmac_tensor::layers::Layer;
+use srmac_tensor::numerics::{GemmRole, Numerics};
 use srmac_tensor::{Sequential, Tensor};
 
 /// Batching policy of an [`InferenceServer`].
@@ -72,7 +73,7 @@ pub struct Prediction {
     pub batch_size: usize,
 }
 
-/// Why a request could not be served.
+/// Why a request could not be served (or a server could not start).
 #[derive(Debug)]
 pub enum ServeError {
     /// The sample length does not match the model input `3 * s * s`.
@@ -84,6 +85,15 @@ pub enum ServeError {
     },
     /// The server has shut down (or the worker died) before replying.
     Closed,
+    /// The model's numerics resolve a forward engine that is not
+    /// position-invariant (stochastic-rounding accumulation), which would
+    /// silently break the batch-invariance contract above — serve with an
+    /// RN or f32 forward engine instead (SR is the paper's *training*
+    /// mechanism).
+    StochasticForward {
+        /// `name()` of the offending forward engine.
+        engine: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -93,6 +103,12 @@ impl std::fmt::Display for ServeError {
                 write!(f, "sample has {got} elements, model expects {expected}")
             }
             ServeError::Closed => write!(f, "inference server is closed"),
+            ServeError::StochasticForward { engine } => write!(
+                f,
+                "forward engine {engine:?} is not position-invariant: serving \
+                 through it would make each prediction depend on its batch \
+                 position (serve with an RN or f32 forward engine)"
+            ),
         }
     }
 }
@@ -178,6 +194,47 @@ impl InferenceServer {
             worker: Some(worker),
             sample_len,
         }
+    }
+
+    /// Like [`InferenceServer::start`], but takes the [`Numerics`] policy
+    /// the model was built with and enforces the batch-invariance
+    /// contract up front: every forward engine (inference uses only the
+    /// `Forward` role) must be position-invariant, so a
+    /// stochastic-rounding forward engine is a typed error instead of a
+    /// silent per-position drift in the served logits.
+    ///
+    /// Two things are checked: the declared policy, *and* — authoritative,
+    /// via [`Layer::visit_role_engines`] — the forward engines the model's
+    /// layers actually carry, so passing a policy that does not match the
+    /// model cannot smuggle an SR forward engine past the guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::StochasticForward`] naming the offending
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch == 0` or `image_size == 0`.
+    pub fn start_with_numerics(
+        mut model: Sequential,
+        image_size: usize,
+        cfg: ServeConfig,
+        numerics: &Numerics,
+    ) -> Result<Self, ServeError> {
+        numerics
+            .forward_position_invariant()
+            .map_err(|engine| ServeError::StochasticForward { engine })?;
+        let mut offender: Option<String> = None;
+        model.visit_role_engines(&mut |role, engine| {
+            if role == GemmRole::Forward && offender.is_none() && !engine.position_invariant() {
+                offender = Some(engine.name());
+            }
+        });
+        if let Some(engine) = offender {
+            return Err(ServeError::StochasticForward { engine });
+        }
+        Ok(Self::start(model, image_size, cfg))
     }
 
     /// A handle for submitting requests (cloneable, usable from any
@@ -371,7 +428,7 @@ fn run_batch(
 mod tests {
     use std::sync::Arc;
 
-    use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+    use srmac_qgemm::engine_from_spec;
     use srmac_tensor::{F32Engine, GemmEngine};
 
     use super::*;
@@ -438,12 +495,7 @@ mod tests {
     fn engines() -> Vec<(&'static str, Arc<dyn GemmEngine>)> {
         vec![
             ("f32", Arc::new(F32Engine::new(2))),
-            (
-                "mac_rn",
-                Arc::new(MacGemm::new(
-                    MacGemmConfig::fp8_fp12(AccumRounding::Nearest, false).with_threads(2),
-                )),
-            ),
+            ("mac_rn", engine_from_spec("fp8_fp12_rn").expect("spec")),
         ]
     }
 

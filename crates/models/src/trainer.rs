@@ -1,6 +1,9 @@
 //! The training harness: SGD with momentum, cosine-annealed learning rate,
 //! and dynamic loss scaling — the paper's Sec. IV-A recipe — over any GEMM
-//! engine.
+//! engine or per-role `Numerics` policy (the harness itself is
+//! engine-agnostic: the model's layers carry their role-resolved engines,
+//! so a mixed RN-forward/SR-backward experiment trains through exactly
+//! this code path; see `srmac_tensor::numerics`).
 
 use srmac_rng::SplitMix64;
 use srmac_tensor::layers::Layer;
@@ -226,7 +229,7 @@ mod tests {
     use super::*;
     use crate::data::synth_cifar10;
     use crate::resnet::resnet20;
-    use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+    use srmac_qgemm::engine_from_spec;
     use srmac_rng::SplitMix64;
     use srmac_tensor::init::kaiming_normal;
     use srmac_tensor::layers::{Conv2d, GlobalAvgPool, Linear, Relu};
@@ -296,15 +299,12 @@ mod tests {
         // trajectory) must be bitwise unchanged — on the exact f32 engine
         // and on the paper's SR MAC engine, whose per-element rounding
         // streams must not notice *when* operands were quantized.
+        // Engines by spec name (results are thread-invariant, so the
+        // registry's default thread count changes nothing).
         let engines: Vec<Arc<dyn GemmEngine>> = vec![
             Arc::new(F32Engine::new(2)),
-            Arc::new(MacGemm::new(
-                MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(2),
-            )),
-            Arc::new(MacGemm::new(MacGemmConfig::fp8_fp12(
-                AccumRounding::Nearest,
-                true,
-            ))),
+            engine_from_spec("fp8_fp12_sr13").expect("paper's pick"),
+            engine_from_spec("fp8_fp12_rn_sub").expect("RN reference"),
         ];
         let train_ds = synth_cifar10(48, 8, 21);
         let test_ds = synth_cifar10(32, 8, 22);

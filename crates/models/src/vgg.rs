@@ -6,6 +6,7 @@ use std::sync::Arc;
 use srmac_rng::SplitMix64;
 use srmac_tensor::init::uniform_fan_in;
 use srmac_tensor::layers::{BatchNorm2d, Flatten, Linear, MaxPool2, Relu};
+use srmac_tensor::numerics::Numerics;
 use srmac_tensor::{GemmEngine, Sequential};
 
 use crate::blocks::conv;
@@ -30,6 +31,30 @@ pub fn vgg16(
     size: usize,
     seed: u64,
 ) -> Sequential {
+    vgg16_with(
+        &Numerics::uniform(engine.clone()),
+        width_div,
+        classes,
+        size,
+        seed,
+    )
+}
+
+/// [`vgg16`] on a per-role [`Numerics`] policy (GEMM layers are numbered
+/// in construction order: the 13 convs, then the classifier).
+///
+/// # Panics
+///
+/// Panics if `size` is not a multiple of 32 or `width_div` does not divide
+/// the channel plan.
+#[must_use]
+pub fn vgg16_with(
+    numerics: &Numerics,
+    width_div: usize,
+    classes: usize,
+    size: usize,
+    seed: u64,
+) -> Sequential {
     assert!(
         size.is_multiple_of(32),
         "VGG16 needs input size divisible by 32"
@@ -39,6 +64,7 @@ pub fn vgg16(
         "width_div must divide 64"
     );
     let mut rng = SplitMix64::new(seed);
+    let mut layers = numerics.layers();
     let mut net = Sequential::new();
     let mut in_c = 3usize;
     for &c in &PLAN {
@@ -46,7 +72,7 @@ pub fn vgg16(
             net.push(MaxPool2::new());
         } else {
             let out_c = c / width_div;
-            net.push(conv(in_c, out_c, 3, 1, 1, engine, &mut rng));
+            net.push(conv(in_c, out_c, 3, 1, 1, layers.next_layer(), &mut rng));
             net.push(BatchNorm2d::new(out_c));
             net.push(Relu::new());
             in_c = out_c;
@@ -55,11 +81,11 @@ pub fn vgg16(
     // After 5 pools a 32x32 input is 1x1; larger inputs keep (size/32)^2.
     let feat = in_c * (size / 32) * (size / 32);
     net.push(Flatten::new());
-    net.push(Linear::new(
+    net.push(Linear::per_role(
         feat,
         classes,
         uniform_fan_in(&[classes, feat], feat, &mut rng),
-        engine.clone(),
+        layers.next_layer(),
     ));
     net
 }

@@ -25,8 +25,8 @@
 use std::sync::Arc;
 
 use srmac_models::{data, resnet, train, History, TrainConfig};
-use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
-use srmac_tensor::{F32Engine, GemmEngine};
+use srmac_qgemm::numerics_from_spec;
+use srmac_tensor::{F32Engine, GemmEngine, Numerics};
 
 /// Bit-level snapshot of one training run.
 struct Golden {
@@ -57,17 +57,32 @@ const GOLDEN: &[Golden] = &[
         nonfinite_batches: 0,
         final_scale: 0x44800000,
     },
+    // The per-role policy path: RN forward, SR r=13 on both backward
+    // roles with role-folded stream seeds (numerics::fold_role_seed).
+    Golden {
+        name: "mixed_rn_fwd_sr13_bwd",
+        train_loss: &[0x4016af44, 0x40096d61],
+        test_acc: &[0x41160000, 0x41960000],
+        skipped_steps: 0,
+        nonfinite_batches: 0,
+        final_scale: 0x44800000,
+    },
 ];
 
 fn run(name: &str) -> History {
-    let engine: Arc<dyn GemmEngine> = match name {
-        "f32" => Arc::new(F32Engine::new(2)),
-        "mac_sr13_nosub" => Arc::new(MacGemm::new(
-            MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(2),
-        )),
+    // Engines resolve through the spec registry (results are
+    // thread-invariant, so the registry's default pool size changes no
+    // bits); the mixed case exercises the per-role policy path with its
+    // role-folded backward SR seeds.
+    let numerics = match name {
+        "f32" => Numerics::uniform(Arc::new(F32Engine::new(2)) as Arc<dyn GemmEngine>),
+        "mac_sr13_nosub" => numerics_from_spec("fp8_fp12_sr13").expect("uniform SR spec"),
+        "mixed_rn_fwd_sr13_bwd" => {
+            numerics_from_spec("fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13").expect("mixed spec")
+        }
         other => panic!("unknown golden case {other}"),
     };
-    let mut net = resnet::resnet20(&engine, 4, 10, 77);
+    let mut net = resnet::resnet20_with(&numerics, 4, 10, 77);
     let train_ds = data::synth_cifar10(64, 8, 1234);
     let test_ds = data::synth_cifar10(32, 8, 4321);
     let cfg = TrainConfig {

@@ -76,7 +76,7 @@ fn sel(c: bool, t: u64, e: u64) -> u64 {
 }
 
 /// A lane-batched fixed-format floating-point adder: the same algebra as
-/// [`FastAdder`] (they share one [`AdderSpec`]), evaluated over `L`
+/// [`FastAdder`] (they share one `AdderSpec`), evaluated over `L`
 /// decoded lane words at once with every select a SWAR mask blend.
 ///
 /// The portable SWAR path below is the default on every architecture and

@@ -179,6 +179,20 @@ impl MacGemmConfig {
         w
     }
 
+    /// Validates this configuration against the engine envelope without
+    /// building anything — the typed-error twin of the asserts in
+    /// [`MacGemm::with_runtime`], used by the wire codec and the spec
+    /// registry so no decodable checkpoint or parseable spec can panic
+    /// the engine build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigWireError`] when the formats or SR bit count lie
+    /// outside the envelope.
+    pub fn validate(&self) -> Result<(), ConfigWireError> {
+        Self::check_envelope(self.mul_fmt, self.acc_fmt, self.rounding)
+    }
+
     /// The fast-path envelope [`MacGemm::with_runtime`] (via
     /// [`ProductLut`], [`FastAdder`]) enforces with asserts; the wire
     /// codec enforces it with typed errors on both directions so no
@@ -247,6 +261,11 @@ impl MacGemmConfig {
 impl MacGemmConfig {
     /// Size in bytes of the [`MacGemmConfig::to_wire`] record.
     pub const WIRE_BYTES: usize = 16;
+
+    /// The seed of the named constructors ([`MacGemmConfig::fp8_fp12`],
+    /// [`MacGemmConfig::fp8_acc`]); spec strings omit the `seed…` token
+    /// at this value (see the `spec` module).
+    pub const DEFAULT_SEED: u64 = 0x5EED;
 }
 
 /// Error decoding a [`MacGemmConfig`] wire record (see
@@ -769,7 +788,7 @@ impl MacGemm {
     }
 
     /// Sets the column-lane width of the batched compacted path
-    /// (default [`LANES`]; widths above 8 cascade down to 8-lane blocks
+    /// (default `LANES` = 64; widths above 8 cascade down to 8-lane blocks
     /// before the scalar tail). Results are bitwise identical at every
     /// width — the knob exists for equivalence tests and benchmarks, not
     /// for tuning correctness.
@@ -981,6 +1000,25 @@ impl GemmEngine for MacGemm {
         };
         let bcode_t = Arc::clone(&b.codes_t);
         self.gemm_codes(m, k, n, &awork, &bcode_t, out);
+    }
+
+    // The spec atom of this configuration (`spec` module grammar), with
+    // the seed always explicit: the registry folds role ids only into
+    // *default* seeds, so an atom carrying its exact seed rebuilds
+    // identical numerics in any position of any policy.
+    fn spec(&self) -> Option<String> {
+        let mut atom = self.config.to_string();
+        if self.config.seed == MacGemmConfig::DEFAULT_SEED {
+            atom.push_str(&format!("_seed{:x}", self.config.seed));
+        }
+        Some(atom)
+    }
+
+    // SR accumulation streams are seeded per output coordinate, so a
+    // sample's rows depend on its batch position — the one engine family
+    // that must opt out of the serving determinism contract.
+    fn position_invariant(&self) -> bool {
+        matches!(self.config.rounding, AccumRounding::Nearest)
     }
 
     fn name(&self) -> String {

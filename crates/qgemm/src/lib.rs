@@ -122,11 +122,15 @@ mod batch;
 mod engine;
 mod fastmath;
 mod lut;
+pub mod spec;
 
 pub use batch::{DecodedLut, FastAdderBatch, LANE_DRAWS, LANE_KEY, LANE_SIGN, LANE_SPECIAL};
 pub use engine::{ConfigWireError, MacGemm, MacGemmConfig};
 pub use fastmath::{AccumRounding, FastAdder, FastQuantizer};
 pub use lut::ProductLut;
+pub use spec::{
+    engine_from_spec, numerics_from_spec, register_engine_specs, EngineSpecError, ParsedMacSpec,
+};
 // The worker pool moved into the shared `srmac-runtime` crate; re-exported
 // here (with the runtime itself) for continuity and convenience.
 pub use srmac_runtime::{Runtime, WorkerPool};

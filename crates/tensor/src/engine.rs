@@ -159,6 +159,26 @@ pub trait GemmEngine: Send + Sync {
 
     /// Short human-readable description (used in experiment tables).
     fn name(&self) -> String;
+
+    /// The engine's spec atom for the [`crate::numerics`] registry, when
+    /// it has one: `Engine::spec()` fed back through the registry must
+    /// rebuild an engine with identical numerics (format, rounding, seed
+    /// — never machine state like thread counts). `None` for engines
+    /// without a spec form; such engines cannot ride in a checkpoint's
+    /// numerics metadata.
+    fn spec(&self) -> Option<String> {
+        None
+    }
+
+    /// True when every output row is a pure function of that row's
+    /// inputs and the right-hand operand — so batching requests together
+    /// cannot change any sample's result (the serving determinism
+    /// contract; see `srmac-models`' serve module). Engines whose
+    /// per-element randomness is seeded by output *position* (e.g.
+    /// stochastic-rounding accumulation) must override this to `false`.
+    fn position_invariant(&self) -> bool {
+        true
+    }
 }
 
 /// Exact `f32` GEMM (accumulation in `f32`, i.e. IEEE round-to-nearest at
@@ -274,6 +294,12 @@ impl GemmEngine for F32Engine {
 
     fn name(&self) -> String {
         "f32 (FP32 baseline)".to_owned()
+    }
+
+    // The spec atom of the exact engine; thread count is machine state
+    // and deliberately not part of it (results are thread-invariant).
+    fn spec(&self) -> Option<String> {
+        Some("f32".to_owned())
     }
 }
 

@@ -16,15 +16,20 @@ use crate::layers::{Layer, Param};
 use crate::movement::{
     col2im, conv_out_size, im2row, nchw_to_channel_rows, nchw_to_rows, rows_to_nchw,
 };
+use crate::numerics::{GemmRole, RoleEngines};
 use crate::{transpose, Tensor};
 
 /// A 2-D convolution (square kernel, no bias — a norm layer follows in all
 /// the paper's models).
 ///
-/// The forward (`rows · W^T`) and data-gradient (`dY · W`) products run on
-/// cached [`PackedOperand`]s keyed on the weight's version: the engine
-/// quantizes/retiles the kernel once per optimizer step, and evaluation
-/// batches reuse the packed form outright.
+/// Each product dispatches on the engine its [`GemmRole`] resolves to:
+/// forward `rows · W^T` on `Forward`, `dRows = dY · W` on `BackwardData`,
+/// `dW = dY^T · rows` on `BackwardWeight` — a uniform policy (one shared
+/// engine) reproduces the old single-engine layer bit for bit. The
+/// forward and data-gradient products run on cached [`PackedOperand`]s
+/// keyed on the weight's version; each cache belongs to one role's
+/// engine, so mixed policies may pack the same kernel differently per
+/// role without the caches interfering.
 pub struct Conv2d {
     in_c: usize,
     out_c: usize,
@@ -32,13 +37,15 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     weight: Param, // [out_c, in_c * k * k]
-    engine: Arc<dyn GemmEngine>,
+    engines: RoleEngines,
     runtime: Arc<Runtime>,
     cache: Option<Cache>,
     pack_weights: bool,
-    /// `pack_b` of `W^T` (`[K, out_c]`) at a weight version.
+    /// `pack_b` of `W^T` (`[K, out_c]`) by the `Forward` engine, at a
+    /// weight version.
     fwd_pack: Option<(u64, PackedOperand)>,
-    /// `pack_b` of `W` (`[out_c, K]`) at a weight version.
+    /// `pack_b` of `W` (`[out_c, K]`) by the `BackwardData` engine, at a
+    /// weight version.
     bwd_pack: Option<(u64, PackedOperand)>,
     /// Reusable layout workspaces (see the module docs). `rows` migrates
     /// into the training cache and returns after `backward`; the
@@ -64,8 +71,9 @@ impl std::fmt::Debug for Conv2d {
 }
 
 impl Conv2d {
-    /// Creates a convolution with the given geometry; `weight` must have
-    /// shape `[out_c, in_c * k * k]`.
+    /// Creates a convolution with one engine for every role; `weight`
+    /// must have shape `[out_c, in_c * k * k]`. (The single-engine path,
+    /// kept as the [`RoleEngines::uniform`] shim of [`Conv2d::per_role`].)
     ///
     /// # Panics
     ///
@@ -82,6 +90,33 @@ impl Conv2d {
         weight: Tensor,
         engine: Arc<dyn GemmEngine>,
     ) -> Self {
+        Self::per_role(
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight,
+            RoleEngines::uniform(engine),
+        )
+    }
+
+    /// Creates a convolution with per-role engines (see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a weight shape mismatch, a zero kernel size, or a zero
+    /// stride.
+    #[must_use]
+    pub fn per_role(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        weight: Tensor,
+        engines: RoleEngines,
+    ) -> Self {
         assert!(k > 0, "conv kernel size must be nonzero");
         assert!(stride > 0, "conv stride must be nonzero");
         assert_eq!(
@@ -96,7 +131,7 @@ impl Conv2d {
             stride,
             pad,
             weight: Param::new(weight, true),
-            engine,
+            engines,
             runtime: Arc::clone(Runtime::global()),
             cache: None,
             pack_weights: true,
@@ -128,10 +163,11 @@ impl Conv2d {
         self
     }
 
-    /// Whether to route products through cached packed weights: requires
-    /// caching to be on *and* an engine whose packing is real work.
-    fn use_packed(&self) -> bool {
-        self.pack_weights && self.engine.benefits_from_packing()
+    /// Whether to route a role's products through its cached packed
+    /// weights: requires caching to be on *and* an engine whose packing
+    /// is real work (decided per role now that engines may differ).
+    fn use_packed(&self, role: GemmRole) -> bool {
+        self.pack_weights && self.engines.get(role).benefits_from_packing()
     }
 
     fn ensure_forward_pack(&mut self) {
@@ -139,7 +175,8 @@ impl Conv2d {
         let v = self.weight.version();
         if self.fwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
             let wt = transpose(self.weight.value.data(), self.out_c, kdim);
-            self.fwd_pack = Some((v, self.engine.pack_b(kdim, self.out_c, &wt)));
+            let engine = self.engines.get(GemmRole::Forward);
+            self.fwd_pack = Some((v, engine.pack_b(kdim, self.out_c, &wt)));
         }
     }
 
@@ -147,9 +184,11 @@ impl Conv2d {
         let kdim = self.in_c * self.k * self.k;
         let v = self.weight.version();
         if self.bwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
-            let pack = self
-                .engine
-                .pack_b(self.out_c, kdim, self.weight.value.data());
+            let pack = self.engines.get(GemmRole::BackwardData).pack_b(
+                self.out_c,
+                kdim,
+                self.weight.value.data(),
+            );
             self.bwd_pack = Some((v, pack));
         }
     }
@@ -190,15 +229,17 @@ impl Layer for Conv2d {
         // Yt (ns x out_c) = rows (ns x K) * W^T (K x out_c).
         let mut yt_ws = std::mem::take(&mut self.yt_ws);
         let yt = yt_ws.reset(ns * self.out_c);
-        if self.use_packed() {
+        if self.use_packed(GemmRole::Forward) {
             self.ensure_forward_pack();
+            let engine = self.engines.get(GemmRole::Forward);
             let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
-            let ra = self.engine.pack_a(ns, kdim, &rows);
-            self.engine
-                .gemm_packed(ns, kdim, self.out_c, &ra, wt_pack, yt);
+            let ra = engine.pack_a(ns, kdim, &rows);
+            engine.gemm_packed(ns, kdim, self.out_c, &ra, wt_pack, yt);
         } else {
             let wt = transpose(self.weight.value.data(), self.out_c, kdim);
-            self.engine.gemm(ns, kdim, self.out_c, &rows, &wt, yt);
+            self.engines
+                .get(GemmRole::Forward)
+                .gemm(ns, kdim, self.out_c, &rows, &wt, yt);
         }
 
         // Scatter [n*oh*ow, out_c] -> [n, out_c, oh, ow].
@@ -249,8 +290,14 @@ impl Layer for Conv2d {
         // are fresh per step, so this product packs on the fly.
         let mut dw = std::mem::take(&mut self.dw_scratch);
         dw.resize(self.out_c * kdim, 0.0);
-        self.engine
-            .gemm(self.out_c, ns, kdim, &dy_ocns, &cache.rows, &mut dw);
+        self.engines.get(GemmRole::BackwardWeight).gemm(
+            self.out_c,
+            ns,
+            kdim,
+            &dy_ocns,
+            &cache.rows,
+            &mut dw,
+        );
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
             *g += d;
         }
@@ -258,14 +305,14 @@ impl Layer for Conv2d {
         // dRows (ns x K) = dY (ns x out_c) * W (out_c x K).
         let mut drows_ws = std::mem::take(&mut self.drows_ws);
         let drows = drows_ws.reset(ns * kdim);
-        if self.use_packed() {
+        if self.use_packed(GemmRole::BackwardData) {
             self.ensure_backward_pack();
+            let engine = self.engines.get(GemmRole::BackwardData);
             let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
-            let ga = self.engine.pack_a(ns, self.out_c, &dy_nsoc);
-            self.engine
-                .gemm_packed(ns, self.out_c, kdim, &ga, w_pack, drows);
+            let ga = engine.pack_a(ns, self.out_c, &dy_nsoc);
+            engine.gemm_packed(ns, self.out_c, kdim, &ga, w_pack, drows);
         } else {
-            self.engine.gemm(
+            self.engines.get(GemmRole::BackwardData).gemm(
                 ns,
                 self.out_c,
                 kdim,
@@ -297,6 +344,12 @@ impl Layer for Conv2d {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
+    }
+
+    fn visit_role_engines(&mut self, f: &mut dyn FnMut(GemmRole, &Arc<dyn GemmEngine>)) {
+        for role in GemmRole::ALL {
+            f(role, self.engines.get(role));
+        }
     }
 
     fn describe(&self) -> String {

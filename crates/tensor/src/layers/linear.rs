@@ -7,27 +7,35 @@ use srmac_runtime::Runtime;
 use crate::engine::{GemmEngine, PackedOperand};
 use crate::layers::{Layer, Param};
 use crate::movement::transpose_into;
+use crate::numerics::{GemmRole, RoleEngines};
 use crate::{transpose, Tensor};
 
 /// `y = x W^T + b` with `W: [out, in]`, `x: [N, in]`.
 ///
-/// The two weight-sided products (forward `x W^T`, backward `dY W`) run on
-/// cached [`PackedOperand`]s keyed on the weight's version, so the engine
-/// quantizes/retiles the weight once per optimizer step instead of once per
-/// product — and not at all during evaluation. Transposes run on the shared
-/// parallel [`Runtime`] into reused scratch buffers.
+/// Each of the layer's three products dispatches on the engine its
+/// [`GemmRole`] resolves to: forward `x W^T` on the `Forward` engine,
+/// `dX = dY W` on `BackwardData`, `dW = dY^T X` on `BackwardWeight` — a
+/// uniform policy (one shared engine) reproduces the old single-engine
+/// layer bit for bit. The two weight-sided products (forward, data
+/// gradient) run on cached [`PackedOperand`]s keyed on the weight's
+/// version; each cache belongs to exactly one role's engine, so mixed
+/// policies may pack the same weights differently per role without the
+/// caches interfering. Transposes run on the shared parallel [`Runtime`]
+/// into reused scratch buffers.
 pub struct Linear {
     in_f: usize,
     out_f: usize,
     weight: Param,
     bias: Param,
-    engine: Arc<dyn GemmEngine>,
+    engines: RoleEngines,
     runtime: Arc<Runtime>,
     cache: Option<Tensor>,
     pack_weights: bool,
-    /// `pack_b` of `W^T` (`[in, out]`) at a weight version.
+    /// `pack_b` of `W^T` (`[in, out]`) by the `Forward` engine, at a
+    /// weight version.
     fwd_pack: Option<(u64, PackedOperand)>,
-    /// `pack_b` of `W` (`[out, in]`) at a weight version.
+    /// `pack_b` of `W` (`[out, in]`) by the `BackwardData` engine, at a
+    /// weight version.
     bwd_pack: Option<(u64, PackedOperand)>,
     /// Reusable `dY^T` scratch for the weight-gradient product.
     dyt_scratch: Vec<f32>,
@@ -42,13 +50,25 @@ impl std::fmt::Debug for Linear {
 }
 
 impl Linear {
-    /// Creates the layer; `weight` must be `[out, in]`.
+    /// Creates the layer with one engine for every role; `weight` must be
+    /// `[out, in]`. (The single-engine path, kept as the
+    /// [`RoleEngines::uniform`] shim of [`Linear::per_role`].)
     ///
     /// # Panics
     ///
     /// Panics on a weight shape mismatch.
     #[must_use]
     pub fn new(in_f: usize, out_f: usize, weight: Tensor, engine: Arc<dyn GemmEngine>) -> Self {
+        Self::per_role(in_f, out_f, weight, RoleEngines::uniform(engine))
+    }
+
+    /// Creates the layer with per-role engines (see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a weight shape mismatch.
+    #[must_use]
+    pub fn per_role(in_f: usize, out_f: usize, weight: Tensor, engines: RoleEngines) -> Self {
         assert_eq!(
             weight.shape(),
             &[out_f, in_f],
@@ -59,7 +79,7 @@ impl Linear {
             out_f,
             weight: Param::new(weight, true),
             bias: Param::new(Tensor::zeros(&[out_f]), false),
-            engine,
+            engines,
             runtime: Arc::clone(Runtime::global()),
             cache: None,
             pack_weights: true,
@@ -87,26 +107,30 @@ impl Linear {
         self
     }
 
-    /// Whether to route products through cached packed weights: requires
-    /// caching to be on *and* an engine whose packing is real work.
-    fn use_packed(&self) -> bool {
-        self.pack_weights && self.engine.benefits_from_packing()
+    /// Whether to route a role's products through its cached packed
+    /// weights: requires caching to be on *and* an engine whose packing
+    /// is real work (decided per role now that engines may differ).
+    fn use_packed(&self, role: GemmRole) -> bool {
+        self.pack_weights && self.engines.get(role).benefits_from_packing()
     }
 
     fn ensure_forward_pack(&mut self) {
         let v = self.weight.version();
         if self.fwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
             let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
-            self.fwd_pack = Some((v, self.engine.pack_b(self.in_f, self.out_f, &wt)));
+            let engine = self.engines.get(GemmRole::Forward);
+            self.fwd_pack = Some((v, engine.pack_b(self.in_f, self.out_f, &wt)));
         }
     }
 
     fn ensure_backward_pack(&mut self) {
         let v = self.weight.version();
         if self.bwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
-            let pack = self
-                .engine
-                .pack_b(self.out_f, self.in_f, self.weight.value.data());
+            let pack = self.engines.get(GemmRole::BackwardData).pack_b(
+                self.out_f,
+                self.in_f,
+                self.weight.value.data(),
+            );
             self.bwd_pack = Some((v, pack));
         }
     }
@@ -118,16 +142,22 @@ impl Layer for Linear {
         assert_eq!(x.shape()[1], self.in_f, "feature mismatch");
         let n = x.shape()[0];
         let mut y = Tensor::zeros(&[n, self.out_f]);
-        if self.use_packed() {
+        if self.use_packed(GemmRole::Forward) {
             self.ensure_forward_pack();
+            let engine = self.engines.get(GemmRole::Forward);
             let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
-            let xa = self.engine.pack_a(n, self.in_f, x.data());
-            self.engine
-                .gemm_packed(n, self.in_f, self.out_f, &xa, wt_pack, y.data_mut());
+            let xa = engine.pack_a(n, self.in_f, x.data());
+            engine.gemm_packed(n, self.in_f, self.out_f, &xa, wt_pack, y.data_mut());
         } else {
             let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
-            self.engine
-                .gemm(n, self.in_f, self.out_f, x.data(), &wt, y.data_mut());
+            self.engines.get(GemmRole::Forward).gemm(
+                n,
+                self.in_f,
+                self.out_f,
+                x.data(),
+                &wt,
+                y.data_mut(),
+            );
         }
         let bd = self.bias.value.data().to_vec();
         for row in y.data_mut().chunks_mut(self.out_f) {
@@ -155,8 +185,14 @@ impl Layer for Linear {
         transpose_into(&self.runtime, &grad.shared_data(), n, self.out_f, &mut dyt);
         let mut dw = std::mem::take(&mut self.dw_scratch);
         dw.resize(self.out_f * self.in_f, 0.0);
-        self.engine
-            .gemm(self.out_f, n, self.in_f, &dyt, x.data(), &mut dw);
+        self.engines.get(GemmRole::BackwardWeight).gemm(
+            self.out_f,
+            n,
+            self.in_f,
+            &dyt,
+            x.data(),
+            &mut dw,
+        );
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
             *g += d;
         }
@@ -172,14 +208,14 @@ impl Layer for Linear {
 
         // dX (N x in) = dY (N x out) * W (out x in).
         let mut dx = Tensor::zeros(&[n, self.in_f]);
-        if self.use_packed() {
+        if self.use_packed(GemmRole::BackwardData) {
             self.ensure_backward_pack();
+            let engine = self.engines.get(GemmRole::BackwardData);
             let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
-            let ga = self.engine.pack_a(n, self.out_f, grad.data());
-            self.engine
-                .gemm_packed(n, self.out_f, self.in_f, &ga, w_pack, dx.data_mut());
+            let ga = engine.pack_a(n, self.out_f, grad.data());
+            engine.gemm_packed(n, self.out_f, self.in_f, &ga, w_pack, dx.data_mut());
         } else {
-            self.engine.gemm(
+            self.engines.get(GemmRole::BackwardData).gemm(
                 n,
                 self.out_f,
                 self.in_f,
@@ -194,6 +230,12 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    fn visit_role_engines(&mut self, f: &mut dyn FnMut(GemmRole, &Arc<dyn GemmEngine>)) {
+        for role in GemmRole::ALL {
+            f(role, self.engines.get(role));
+        }
     }
 
     fn describe(&self) -> String {

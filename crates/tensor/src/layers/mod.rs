@@ -2,7 +2,7 @@
 //!
 //! Layers own their parameters and gradients and cache whatever activations
 //! their backward pass needs. Convolutions and linear layers route every
-//! matrix product through the session's [`GemmEngine`](crate::GemmEngine) —
+//! matrix product through the session’s [`GemmEngine`] —
 //! that is the hook the low-precision MAC emulation plugs into.
 
 mod act;
@@ -15,7 +15,10 @@ pub use conv::Conv2d;
 pub use linear::Linear;
 pub use norm::BatchNorm2d;
 
-use crate::Tensor;
+use std::sync::Arc;
+
+use crate::numerics::GemmRole;
+use crate::{GemmEngine, Tensor};
 
 /// A learnable parameter with its gradient accumulator.
 #[derive(Debug, Clone)]
@@ -69,6 +72,15 @@ pub trait Layer: Send {
     /// must forward to their children in a deterministic order. Default:
     /// none.
     fn visit_state(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+
+    /// Visits every `(role, engine)` pair of a GEMM-backed layer, in
+    /// [`GemmRole::ALL`] order per layer; containers forward to their
+    /// children in construction order. This is how code holding only a
+    /// built model (e.g. the inference server's batch-invariance check)
+    /// inspects the engines the model will *actually* run, rather than
+    /// trusting a side-channel policy object. Default: none (non-GEMM
+    /// layers).
+    fn visit_role_engines(&mut self, _f: &mut dyn FnMut(GemmRole, &Arc<dyn GemmEngine>)) {}
 
     /// Human-readable layer description.
     fn describe(&self) -> String {
@@ -172,6 +184,12 @@ impl Layer for Sequential {
     fn visit_state(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
         for layer in &mut self.layers {
             layer.visit_state(f);
+        }
+    }
+
+    fn visit_role_engines(&mut self, f: &mut dyn FnMut(GemmRole, &Arc<dyn GemmEngine>)) {
+        for layer in &mut self.layers {
+            layer.visit_role_engines(f);
         }
     }
 

@@ -9,7 +9,10 @@
 //! Its load-bearing abstraction is [`GemmEngine`]: every matrix product of
 //! the forward *and* backward passes dispatches through it, so training can
 //! run on exact `f32` (the paper's FP32 baseline) or on the bit-exact
-//! low-precision MAC emulation from `srmac-qgemm` by swapping one object.
+//! low-precision MAC emulation from `srmac-qgemm` by swapping one object —
+//! or on a different engine per GEMM *role* (forward / data gradient /
+//! weight gradient) through a [`Numerics`] policy (see [`numerics`]),
+//! which is how the paper's mixed-precision experiments are expressed.
 //! Engines expose a prepared-operand pipeline ([`GemmEngine::pack_a`] /
 //! [`GemmEngine::pack_b`] / [`GemmEngine::gemm_packed`]); the convolution
 //! and linear layers cache their weights' packed form and invalidate it on
@@ -55,12 +58,14 @@ pub mod init;
 pub mod layers;
 mod loss;
 pub mod movement;
+pub mod numerics;
 pub mod optim;
 mod tensor;
 
 pub use engine::{matmul, transpose, F32Engine, GemmEngine, PackSide, PackedOperand};
 pub use layers::{Layer, Param, Sequential};
 pub use loss::{count_correct, softmax_cross_entropy};
+pub use numerics::{GemmRole, Numerics, NumericsBuilder, PolicySpec, RoleEngines, SpecError};
 pub use optim::{CosineLr, LossScaler, Sgd};
 // The parallel runtime all data movement (and the qgemm engine) dispatches
 // through; re-exported so downstream crates need no direct dependency.

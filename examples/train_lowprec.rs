@@ -1,27 +1,77 @@
-//! End-to-end low-precision training demo — now the full production loop:
-//! train a slim ResNet-20 on synthetic CIFAR-10-like data with every GEMM
-//! on the bit-exact FP8xFP8->FP12 MAC emulation (FP32 baseline vs RN vs
-//! the paper's eager-SR configuration), then **save** the best model to a
-//! deterministic binary checkpoint, **load** it back into a fresh model
-//! (verifying the bitwise round trip), and **serve** it through the
-//! micro-batching inference server.
+//! End-to-end low-precision training demo — the full production loop on
+//! the `Numerics` policy API: each experiment is **one spec string**
+//! (FP32 baseline, RN, the paper's eager-SR pick, and a mixed per-role
+//! policy with RN forward / SR backward), trained on a slim ResNet-20
+//! over synthetic CIFAR-10-like data with every GEMM on the bit-exact
+//! FP8xFP8->FP12 MAC emulation. The checkpointable policies then **save**
+//! to a deterministic binary checkpoint carrying the full per-role
+//! policy, **reload** into a fresh model whose engines are rebuilt from
+//! the checkpoint metadata alone (verifying the bitwise round trip), and
+//! **serve** through the micro-batching inference server — which now
+//! *rejects* stochastic-rounding forward engines with a typed error
+//! instead of silently breaking batch invariance (demonstrated on the
+//! uniform SR policy, then worked around by re-serving those weights
+//! through an RN-forward policy).
 //!
 //! Run with: `cargo run --release --example train_lowprec`
 //! (set SRMAC_TRAIN / SRMAC_EPOCHS / ... to scale; see crates/bench docs)
 
-use std::sync::Arc;
-
-use srmac::io::{load_model, save_model, CheckpointMeta};
+use srmac::io::{load_model, read_checkpoint, save_model, CheckpointMeta};
 use srmac::models::serve::{InferenceServer, ServeConfig};
 use srmac::models::{data, resnet, trainer, TrainConfig};
-use srmac::qgemm::{AccumRounding, MacGemm, MacGemmConfig};
-use srmac::tensor::{F32Engine, GemmEngine};
+use srmac::qgemm::numerics_from_spec;
+use srmac::tensor::{Numerics, Sequential};
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Serves `n_serve` test samples through the micro-batching server and
+/// prints throughput + serving accuracy.
+fn serve_model(model: Sequential, numerics: &Numerics, size: usize, ds: &data::Dataset) {
+    let server = InferenceServer::start_with_numerics(
+        model,
+        size,
+        ServeConfig {
+            max_batch: 8,
+            max_wait_items: 8,
+            ..ServeConfig::default()
+        },
+        numerics,
+    )
+    .expect("forward engine is position-invariant");
+    let client = server.client();
+    let n_serve = ds.len().min(64);
+    let started = std::time::Instant::now();
+    let pending: Vec<_> = (0..n_serve)
+        .map(|i| {
+            let (x, _) = ds.batch(&[i]);
+            client.submit(x.data().to_vec()).expect("submit")
+        })
+        .collect();
+    let correct = pending
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let pred = p.wait().expect("prediction");
+            usize::from(pred.argmax == ds.labels()[i])
+        })
+        .sum::<usize>();
+    let elapsed = started.elapsed();
+    let (_, stats) = server.shutdown();
+    println!(
+        "served {} requests in {} dynamic batches (largest {}) in {:.0} ms \
+         ({:.1} req/s, serving accuracy {:.2}%)",
+        stats.requests,
+        stats.batches,
+        stats.max_batch_seen,
+        elapsed.as_secs_f64() * 1e3,
+        stats.requests as f64 / elapsed.as_secs_f64(),
+        100.0 * correct as f32 / n_serve as f32,
+    );
 }
 
 fn main() {
@@ -40,25 +90,20 @@ fn main() {
         ..TrainConfig::default()
     };
 
-    let sr_cfg = MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false);
-    let engines: Vec<(&str, Arc<dyn GemmEngine>, Option<MacGemmConfig>)> = vec![
-        (
-            "FP32 baseline (f32 GEMM)",
-            Arc::new(F32Engine::default()),
-            None,
-        ),
-        (
-            "FP8 -> FP12 RN W/ Sub",
-            Arc::new(MacGemm::new(MacGemmConfig::fp8_fp12(
-                AccumRounding::Nearest,
-                true,
-            ))),
-            None,
-        ),
+    // One spec string per experiment row — the whole mixed-precision
+    // setup, resolvable again from checkpoint metadata.
+    let experiments: [(&str, &str, bool); 4] = [
+        ("FP32 baseline (f32 GEMM)", "f32", false),
+        ("FP8 -> FP12 RN W/ Sub", "fp8_fp12_rn_sub", false),
         (
             "FP8 -> FP12 SR r=13 W/O Sub (paper's pick)",
-            Arc::new(MacGemm::new(sr_cfg)),
-            Some(sr_cfg),
+            "fp8_fp12_sr13",
+            true,
+        ),
+        (
+            "Mixed policy: RN forward, SR r=13 backward",
+            "fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13",
+            true,
         ),
     ];
 
@@ -66,9 +111,10 @@ fn main() {
         "training ResNet-20(width {width}) on SynthCIFAR10 ({train_n} train / {test_n} test, {size}x{size}, {epochs} epochs)\n"
     );
     let ckpt_path = std::env::temp_dir().join("srmac_train_lowprec.srmc");
-    for (label, engine, ckpt_cfg) in engines {
+    for (label, spec, roundtrip) in experiments {
+        let numerics = numerics_from_spec(spec).expect("valid experiment spec");
         let started = std::time::Instant::now();
-        let mut net = resnet::resnet20(&engine, width, data::NUM_CLASSES, 42);
+        let mut net = resnet::resnet20_with(&numerics, width, data::NUM_CLASSES, 42);
         let h = trainer::train(&mut net, &train_ds, &test_ds, &cfg);
         println!(
             "{label:<44} final {:>6.2}%  best {:>6.2}%  ({:.0}s, {} skipped steps)",
@@ -77,31 +123,36 @@ fn main() {
             started.elapsed().as_secs_f64(),
             h.skipped_steps
         );
-        // Every conv/linear product above (forward, weight-grad,
-        // data-grad) went through the bit-exact MAC model of the engine
-        // named on the left. The paper's pick continues into the
-        // save -> load -> serve round trip below.
-        let Some(engine_cfg) = ckpt_cfg else { continue };
+        // Every conv/linear product above ran on the engine its GEMM role
+        // resolved to under `spec`. The checkpointable configurations
+        // continue into the save -> load -> serve round trip below.
+        if !roundtrip {
+            continue;
+        }
 
-        println!("\n-- checkpoint round trip ({label}) --");
+        println!("\n-- checkpoint round trip ({spec}) --");
         let final_acc = h.final_accuracy();
         save_model(
             &ckpt_path,
             &mut net,
             CheckpointMeta {
                 arch: format!("resnet20-w{width}-c{}", data::NUM_CLASSES),
-                engine: Some(engine_cfg),
+                engine: None,
+                numerics: Some(numerics.to_spec().expect("spec-built policy")),
             },
         )
         .expect("save checkpoint");
         let bytes = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
 
-        // A fresh process would rebuild the engine from the checkpoint
-        // metadata; we do exactly that, into a differently-seeded model.
-        let meta = srmac::io::read_checkpoint(&ckpt_path).expect("read checkpoint");
-        let restored_engine: Arc<dyn GemmEngine> =
-            Arc::new(MacGemm::new(meta.meta.engine.expect("engine meta")));
-        let mut restored = resnet::resnet20(&restored_engine, width, data::NUM_CLASSES, 7777);
+        // A fresh process would rebuild the whole per-role policy from the
+        // checkpoint metadata; we do exactly that, into a differently-seeded
+        // model.
+        let meta = read_checkpoint(&ckpt_path).expect("read checkpoint").meta;
+        let restored_numerics =
+            numerics_from_spec(meta.numerics.as_deref().expect("numerics meta"))
+                .expect("checkpointed spec resolves");
+        let mut restored =
+            resnet::resnet20_with(&restored_numerics, width, data::NUM_CLASSES, 7777);
         load_model(&ckpt_path, &mut restored).expect("load checkpoint");
         let restored_acc = trainer::evaluate(&mut restored, &test_ds, cfg.batch_size);
         assert_eq!(
@@ -114,44 +165,33 @@ fn main() {
         );
 
         println!("-- micro-batched serving --");
-        let server = InferenceServer::start(
-            restored,
-            size,
-            ServeConfig {
-                max_batch: 8,
-                max_wait_items: 8,
-                ..ServeConfig::default()
-            },
-        );
-        let client = server.client();
-        let n_serve = test_n.min(64);
-        let started = std::time::Instant::now();
-        let pending: Vec<_> = (0..n_serve)
-            .map(|i| {
-                let (x, _) = test_ds.batch(&[i]);
-                client.submit(x.data().to_vec()).expect("submit")
-            })
-            .collect();
-        let correct = pending
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let pred = p.wait().expect("prediction");
-                usize::from(pred.argmax == test_ds.labels()[i])
-            })
-            .sum::<usize>();
-        let elapsed = started.elapsed();
-        let (_, stats) = server.shutdown();
-        println!(
-            "served {} requests in {} dynamic batches (largest {}) in {:.0} ms \
-             ({:.1} req/s, serving accuracy {:.2}%)",
-            stats.requests,
-            stats.batches,
-            stats.max_batch_seen,
-            elapsed.as_secs_f64() * 1e3,
-            stats.requests as f64 / elapsed.as_secs_f64(),
-            100.0 * correct as f32 / n_serve as f32,
-        );
+        match restored_numerics.forward_position_invariant() {
+            Ok(()) => serve_model(restored, &restored_numerics, size, &test_ds),
+            Err(engine) => {
+                // The uniform SR policy lands here: serving through an SR
+                // forward engine would silently break batch invariance, so
+                // the server refuses it as a typed error...
+                let err = InferenceServer::start_with_numerics(
+                    restored,
+                    size,
+                    ServeConfig::default(),
+                    &restored_numerics,
+                )
+                .expect_err("SR forward engines must be rejected");
+                println!("serving rejected as expected: {err}");
+                // ...and the same checkpointed weights serve deterministically
+                // through an RN-forward policy instead (inference uses only
+                // the forward role).
+                let serve_numerics =
+                    numerics_from_spec("fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13").expect("serving spec");
+                let mut rn_model =
+                    resnet::resnet20_with(&serve_numerics, width, data::NUM_CLASSES, 7777);
+                load_model(&ckpt_path, &mut rn_model).expect("reload for serving");
+                println!("re-serving {engine:?}-trained weights through an RN forward engine:");
+                serve_model(rn_model, &serve_numerics, size, &test_ds);
+            }
+        }
         std::fs::remove_file(&ckpt_path).ok();
+        println!();
     }
 }

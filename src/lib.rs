@@ -16,8 +16,13 @@
 //!   deterministic `parallel_fill`, reusable workspaces);
 //! - [`mod@unit`] — the MAC unit models ([`unit::FpAdder`], [`unit::MacUnit`]);
 //! - [`hwcost`] — 28nm and FPGA cost models calibrated on the paper;
-//! - [`tensor`] — the minimal deep-learning framework;
-//! - [`qgemm`] — the bit-exact low-precision GEMM engine;
+//! - [`tensor`] — the minimal deep-learning framework, including the
+//!   [`tensor::Numerics`] policy that resolves a GEMM engine per role
+//!   (forward / data gradient / weight gradient);
+//! - [`qgemm`] — the bit-exact low-precision GEMM engine and the
+//!   named-spec registry ([`qgemm::numerics_from_spec`]) that turns
+//!   strings like `"fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13"` into whole
+//!   mixed-precision experiment policies;
 //! - [`models`] — ResNet-20/50, VGG16, synthetic datasets, trainer, and
 //!   the micro-batching inference server ([`models::serve`]);
 //! - [`io`] — versioned, deterministic binary model checkpoints.
