@@ -22,7 +22,7 @@ use srmac_bench::guard::{
 };
 use srmac_models::serve::{InferenceServer, ServeConfig};
 use srmac_models::{data, resnet};
-use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
+use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig, TileConfig};
 use srmac_tensor::movement::{col2im, im2row, rows_to_nchw, transpose_into};
 use srmac_tensor::GemmRole;
 use srmac_tensor::{available_threads, F32Engine, GemmEngine, Runtime};
@@ -31,11 +31,19 @@ use srmac_tensor::{available_threads, F32Engine, GemmEngine, Runtime};
 /// (ns), kept as the fixed baseline for the cross-PR speedup entry.
 const PR1_PREPARED_TRAIN_STEP_NS: f64 = 171_955_225.0;
 
-/// PR 3's recorded medians, the fixed baselines for this PR's lane-batched
+/// PR 3's recorded medians, the fixed baselines for PR 4's lane-batched
 /// MAC kernel acceptance: the one-shot SR GEMM and the prepared train
 /// step, both bounded by the then-scalar `FastAdder` chain.
 const PR3_SR_GEMM_NS: f64 = 8_277_775.2;
 const PR3_PREPARED_TRAIN_STEP_NS: f64 = 134_059_004.0;
+
+/// PR 5's recorded medians, the fixed baselines for this PR's tiled,
+/// fused, pair-LUT kernel acceptance: the one-shot SR/RN GEMMs (then on
+/// the wide u64 lane kernel with per-call allocation in pack) and the
+/// prepared train step.
+const PR5_SR_GEMM_NS: f64 = 2_381_012.6;
+const PR5_RN_GEMM_NS: f64 = 2_034_894.5;
+const PR5_PREPARED_TRAIN_STEP_NS: f64 = 61_903_297.0;
 
 fn bench_gemm(c: &mut Criterion) {
     let (m, k, n) = (64usize, 128, 64);
@@ -44,7 +52,9 @@ fn bench_gemm(c: &mut Criterion) {
     let mut out = vec![0.0f32; m * n];
 
     let mut g = c.benchmark_group("gemm_64x128x64");
-    g.sample_size(15);
+    // The recording host has bursty external interference on the order of
+    // hundreds of ms; enough samples for the median to straddle the bursts.
+    g.sample_size(60);
     g.throughput(Throughput::Elements((m * k * n) as u64));
 
     let f32e = F32Engine::new(1);
@@ -77,7 +87,7 @@ fn bench_gemm(c: &mut Criterion) {
     // (tail-path) adder, the wider entries show the SWAR/SIMD batching
     // payoff up to the default width.
     let mut g = c.benchmark_group("gemm_batched");
-    g.sample_size(15);
+    g.sample_size(60);
     g.throughput(Throughput::Elements((m * k * n) as u64));
     for (name, rounding, lanes) in [
         ("sr13_lanes1", AccumRounding::Stochastic { r: 13 }, 1usize),
@@ -92,6 +102,46 @@ fn bench_gemm(c: &mut Criterion) {
         let pb = engine.pack_b(k, n, &b);
         g.bench_function(name, |bch| {
             bch.iter(|| engine.gemm_packed(m, k, n, black_box(&pa), black_box(&pb), &mut out))
+        });
+    }
+    g.finish();
+
+    // Tile/thread scaling of the tiled kernel on prepared operands at a
+    // larger shape (several dispatch rectangles even at the auto tiles).
+    // The thread entries coincide on a single-core box — the runtime
+    // degrades to inline execution — and fan out with the pool width;
+    // the tile entries expose the cache-blocking headroom `probe_tune
+    // kernel` sweeps. All entries are bitwise-identical computations.
+    let (sm, sk, sn) = (128usize, 128, 256);
+    let sa = rand_vec(sm * sk, 5);
+    let sb = rand_vec(sk * sn, 6);
+    let mut sout = vec![0.0f32; sm * sn];
+    let mut g = c.benchmark_group("gemm_scaling");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((sm * sk * sn) as u64));
+    let scaling_engine = |threads: usize| {
+        MacGemm::new(
+            MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false)
+                .with_threads(threads),
+        )
+    };
+    for threads in [1usize, 2, 4] {
+        let engine = scaling_engine(threads);
+        let pa = engine.pack_a(sm, sk, &sa);
+        let pb = engine.pack_b(sk, sn, &sb);
+        g.bench_function(&format!("sr13_t{threads}_auto"), |bch| {
+            bch.iter(|| engine.gemm_packed(sm, sk, sn, black_box(&pa), black_box(&pb), &mut sout))
+        });
+    }
+    for (name, row_tile, col_tile) in [
+        ("sr13_t1_tiles_8x128", 8usize, 128usize),
+        ("sr13_t1_tiles_1x64", 1, 64),
+    ] {
+        let engine = scaling_engine(1).with_tiles(TileConfig { row_tile, col_tile });
+        let pa = engine.pack_a(sm, sk, &sa);
+        let pb = engine.pack_b(sk, sn, &sb);
+        g.bench_function(name, |bch| {
+            bch.iter(|| engine.gemm_packed(sm, sk, sn, black_box(&pa), black_box(&pb), &mut sout))
         });
     }
     g.finish();
@@ -423,12 +473,19 @@ fn write_summary(c: &mut Criterion) {
         (Some(b1), Some(m8)) if b1 > 0.0 => Some(m8 / b1),
         _ => None,
     };
-    // This PR's acceptance record: the lane-batched kernel vs PR 3's
+    // PR 4's acceptance record: the lane-batched kernel vs PR 3's
     // scalar-chain medians (one-shot SR GEMM and prepared train step).
     let sr_gemm = find("gemm_64x128x64", "mac_fp12_sr13_1thread");
     let gemm_vs_pr3 = sr_gemm.map(|ns| PR3_SR_GEMM_NS / ns);
     let train_vs_pr3 = find("resnet20_train_step", "prepared_weight_reuse")
         .map(|p| PR3_PREPARED_TRAIN_STEP_NS / p);
+    // This PR's acceptance record: the tiled + fused + pair-LUT kernel vs
+    // PR 5's medians (one-shot SR/RN GEMMs and prepared train step).
+    let rn_gemm = find("gemm_64x128x64", "mac_fp12_rn_1thread");
+    let gemm_sr_vs_pr5 = sr_gemm.map(|ns| PR5_SR_GEMM_NS / ns);
+    let gemm_rn_vs_pr5 = rn_gemm.map(|ns| PR5_RN_GEMM_NS / ns);
+    let train_vs_pr5 = find("resnet20_train_step", "prepared_weight_reuse")
+        .map(|p| PR5_PREPARED_TRAIN_STEP_NS / p);
     json.push_str(&format!(
         "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
          \"serve_resnet20\": {{\n    \"requests_per_sec_batch1\": {},\n    \
@@ -439,13 +496,22 @@ fn write_summary(c: &mut Criterion) {
          \"pr3_baseline\": {{\n    \"gemm_sr13_1thread_ns\": {PR3_SR_GEMM_NS:.1},\n    \
          \"prepared_weight_reuse_ns\": {PR3_PREPARED_TRAIN_STEP_NS:.1},\n    \
          \"gemm_sr13_speedup_vs_pr3\": {},\n    \
-         \"train_step_speedup_vs_pr3\": {}\n  }}\n}}\n",
+         \"train_step_speedup_vs_pr3\": {}\n  }},\n  \
+         \"pr5_baseline\": {{\n    \"gemm_sr13_1thread_ns\": {PR5_SR_GEMM_NS:.1},\n    \
+         \"gemm_rn_1thread_ns\": {PR5_RN_GEMM_NS:.1},\n    \
+         \"prepared_weight_reuse_ns\": {PR5_PREPARED_TRAIN_STEP_NS:.1},\n    \
+         \"gemm_sr13_speedup_vs_pr5\": {},\n    \
+         \"gemm_rn_speedup_vs_pr5\": {},\n    \
+         \"train_step_speedup_vs_pr5\": {}\n  }}\n}}\n",
         fmt_opt(rps_batch1, 1),
         fmt_opt(rps_max8, 1),
         fmt_opt(serve_speedup, 3),
         fmt_opt(vs_pr1, 3),
         fmt_opt(gemm_vs_pr3, 3),
         fmt_opt(train_vs_pr3, 3),
+        fmt_opt(gemm_sr_vs_pr5, 3),
+        fmt_opt(gemm_rn_vs_pr5, 3),
+        fmt_opt(train_vs_pr5, 3),
     ));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
@@ -472,6 +538,15 @@ fn write_summary(c: &mut Criterion) {
         }
         if let Some(s) = train_vs_pr3 {
             println!("resnet20_train_step speedup vs PR 3 prepared baseline: {s:.2}x");
+        }
+        if let Some(s) = gemm_sr_vs_pr5 {
+            println!("gemm_64x128x64 SR13 speedup vs PR 5 baseline: {s:.2}x");
+        }
+        if let Some(s) = gemm_rn_vs_pr5 {
+            println!("gemm_64x128x64 RN speedup vs PR 5 baseline: {s:.2}x");
+        }
+        if let Some(s) = train_vs_pr5 {
+            println!("resnet20_train_step speedup vs PR 5 prepared baseline: {s:.2}x");
         }
         println!("summary -> {path}");
     }

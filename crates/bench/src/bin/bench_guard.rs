@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! bench_guard [--samples N] [--tolerance F] [--json PATH]
-//!             [--relative [--min-speedup F]]
+//!             [--relative [--min-speedup F]] [--threads N]
 //! ```
 //!
 //! Defaults: 9 samples, 15% tolerance, the workspace `BENCH_gemm.json`.
@@ -22,7 +22,13 @@
 //! matter (losing the lane batching, the SIMD-tier dispatch, or the
 //! zero-compaction) without betting on a shared runner's absolute
 //! wall-clock; it also verifies the committed file still contains every
-//! watched entry.
+//! watched entry. `--threads N` (default 1) runs the GEMM workloads on
+//! N-thread engines — CI's second relative leg uses it to drive the
+//! tiled kernel through the multi-core rectangle dispatch (results are
+//! bitwise identical by contract; only the wall-clock moves), so a
+//! dispatch-layer regression can't hide behind the 1-thread path.
+//! `--threads` above 1 is restricted to `--relative`: the committed
+//! absolute medians are 1-thread measurements.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -40,6 +46,7 @@ struct Args {
     json_path: String,
     relative: bool,
     min_speedup: f64,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +56,7 @@ fn parse_args() -> Args {
         json_path: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json").to_owned(),
         relative: false,
         min_speedup: 1.2,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,12 +74,18 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 args.min_speedup = value("ratio").parse().expect("--min-speedup: float");
             }
+            "--threads" => args.threads = value("count").parse().expect("--threads: integer"),
             other => panic!(
                 "unknown argument {other} \
-                 (try --samples/--tolerance/--json/--relative/--min-speedup)"
+                 (try --samples/--tolerance/--json/--relative/--min-speedup/--threads)"
             ),
         }
     }
+    assert!(args.threads >= 1, "--threads must be at least 1");
+    assert!(
+        args.threads == 1 || args.relative,
+        "--threads above 1 needs --relative: the committed absolute medians are 1-thread"
+    );
     args
 }
 
@@ -95,16 +109,35 @@ fn gemm_median(
     rounding: AccumRounding,
     subnormals: bool,
     lanes: Option<usize>,
+    threads: usize,
 ) -> f64 {
     let (m, k, n) = (64usize, 128, 64);
     let a = rand_vec(m * k, 1);
     let b = rand_vec(k * n, 2);
     let mut out = vec![0.0f32; m * n];
-    let mut engine = MacGemm::new(MacGemmConfig::fp8_fp12(rounding, subnormals).with_threads(1));
+    let mut engine =
+        MacGemm::new(MacGemmConfig::fp8_fp12(rounding, subnormals).with_threads(threads));
     if let Some(lanes) = lanes {
         engine = engine.with_lane_width(lanes);
     }
     median_ns(samples, || engine.gemm(m, k, n, &a, &b, &mut out))
+}
+
+/// The `gemm_scaling/sr13_t1_auto` workload (same shape, seeds and
+/// engine config as `benches/gemm.rs`): the tiled kernel on prepared
+/// operands at 128x128x256, where the auto tile grid spans several
+/// dispatch rectangles.
+fn scaling_median(samples: usize, threads: usize) -> f64 {
+    let (m, k, n) = (128usize, 128, 256);
+    let a = rand_vec(m * k, 5);
+    let b = rand_vec(k * n, 6);
+    let mut out = vec![0.0f32; m * n];
+    let engine = MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(threads),
+    );
+    let pa = engine.pack_a(m, k, &a);
+    let pb = engine.pack_b(k, n, &b);
+    median_ns(samples, || engine.gemm_packed(m, k, n, &pa, &pb, &mut out))
 }
 
 /// The machine-independent gate: lane batching must beat the scalar
@@ -115,6 +148,8 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
     for (group, name) in [
         ("gemm_64x128x64", "mac_fp12_sr13_1thread"),
         ("gemm_64x128x64", "mac_fp12_rn_1thread"),
+        ("gemm_scaling", "sr13_t1_auto"),
+        ("gemm_scaling", "sr13_t2_auto"),
         ("resnet20_train_step", "prepared_weight_reuse"),
         ("resnet20_train_step", "mixed_policy"),
     ] {
@@ -127,8 +162,8 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         }
     }
     let sr = AccumRounding::Stochastic { r: 13 };
-    let scalar = gemm_median(args.samples, sr, false, Some(1));
-    let batched = gemm_median(args.samples, sr, false, None);
+    let scalar = gemm_median(args.samples, sr, false, Some(1), args.threads);
+    let batched = gemm_median(args.samples, sr, false, None, args.threads);
     let speedup = scalar / batched;
     let verdict = if speedup < args.min_speedup {
         failed = true;
@@ -137,9 +172,9 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         "ok"
     };
     println!(
-        "gemm_64x128x64 SR13: batched {batched:>12.0} ns vs scalar lanes=1 {scalar:>12.0} ns \
-         ({speedup:.2}x, floor {:.2}x) {verdict}",
-        args.min_speedup
+        "gemm_64x128x64 SR13 ({} thread(s)): batched {batched:>12.0} ns vs scalar lanes=1 \
+         {scalar:>12.0} ns ({speedup:.2}x, floor {:.2}x) {verdict}",
+        args.threads, args.min_speedup
     );
     if failed {
         eprintln!(
@@ -244,7 +279,7 @@ fn main() -> ExitCode {
         return run_relative(&args, &committed);
     }
 
-    let watched: [(&str, &str, f64); 4] = [
+    let watched: [(&str, &str, f64); 5] = [
         (
             "gemm_64x128x64",
             "mac_fp12_sr13_1thread",
@@ -253,12 +288,24 @@ fn main() -> ExitCode {
                 AccumRounding::Stochastic { r: 13 },
                 false,
                 None,
+                args.threads,
             ),
         ),
         (
             "gemm_64x128x64",
             "mac_fp12_rn_1thread",
-            gemm_median(args.samples, AccumRounding::Nearest, true, None),
+            gemm_median(
+                args.samples,
+                AccumRounding::Nearest,
+                true,
+                None,
+                args.threads,
+            ),
+        ),
+        (
+            "gemm_scaling",
+            "sr13_t1_auto",
+            scaling_median(args.samples, args.threads),
         ),
         (
             "resnet20_train_step",

@@ -47,6 +47,28 @@
 //! Special values (exponent field all ones) are rare in training — they
 //! only appear on accumulator overflow or NaN inputs — and fall back to
 //! the scalar adder per lane, preserving golden special semantics.
+//!
+//! # The narrow (u32) lane word
+//!
+//! When the adder algebra fits 32 bits (`AdderSpec::fits_narrow`: the
+//! pre-shifted significand sum needs `p + f + 1 <= 32` bits — true for
+//! the paper's E6M5 accumulator at every supported `r`), the same
+//! algebra runs on *narrow* lane words, doubling SIMD width (8 lanes
+//! per 256-bit register instead of 4) and halving the product-LUT
+//! footprint (the 256 KiB [`crate::lut::PairLut`] vs the 512 KiB
+//! [`DecodedLut`]):
+//!
+//! ```text
+//! bit 31      sign            bit 30  special        bit 29  draws
+//! bits 16..29 exponent field (13 bits)
+//! bits  0..16 ULP-anchored significand, or the raw encoding verbatim
+//!             for special words (formats of <= 16 bits only)
+//! ```
+//!
+//! `mac_step32`/`add_core32` are a field-for-field transliteration of
+//! the u64 kernel with every 16-bit field shift halved; the exhaustive
+//! `narrow_*` tests pin them bit-for-bit against [`FastAdder`] exactly
+//! as the wide tests do.
 
 use srmac_fp::FpFormat;
 
@@ -68,10 +90,28 @@ pub const LANE_KEY: u64 = (1 << 48) - 1;
 const EF_SHIFT: u32 = 32;
 const ENC_SHIFT: u32 = 16;
 
+/// Sign bit of a *narrow* (u32) decoded lane word.
+pub const LANE32_SIGN: u32 = 1 << 31;
+/// Special marker of a narrow lane word (raw encoding in bits 0..16).
+pub const LANE32_SPECIAL: u32 = 1 << 30;
+/// Draw marker of a narrow lane word (see [`LANE_DRAWS`]).
+pub const LANE32_DRAWS: u32 = 1 << 29;
+/// Magnitude-comparison key of a narrow lane word.
+pub const LANE32_KEY: u32 = (1 << 29) - 1;
+
+const EF32_SHIFT: u32 = 16;
+
 /// Branch-free select: `t` where `c`, else `e`.
 #[inline(always)]
 fn sel(c: bool, t: u64, e: u64) -> u64 {
     let m = (c as u64).wrapping_neg();
+    (t & m) | (e & !m)
+}
+
+/// Branch-free select over narrow lane words.
+#[inline(always)]
+fn sel32(c: bool, t: u32, e: u32) -> u32 {
+    let m = (c as u32).wrapping_neg();
     (t & m) | (e & !m)
 }
 
@@ -394,6 +434,940 @@ impl FastAdderBatch {
     }
 }
 
+/// The narrow (u32 lane word) rendition of the kernel — same algebra,
+/// half the word width, twice the lanes per vector register. Engaged by
+/// the engine through [`crate::lut::PairLut`] when
+/// [`FastAdderBatch::narrow_ok`] holds.
+impl FastAdderBatch {
+    /// Whether this adder's algebra fits the narrow lane word (see
+    /// `AdderSpec::fits_narrow`). True for the paper's E6M5 accumulator
+    /// under RN and every supported SR `r`; false e.g. for an E5M10
+    /// accumulator at SR13, which stays on the u64 kernel.
+    #[must_use]
+    pub fn narrow_ok(&self) -> bool {
+        self.spec.fits_narrow()
+    }
+
+    /// [`FastAdderBatch::decode`] into a narrow lane word.
+    ///
+    /// Callers must have checked [`FastAdderBatch::narrow_ok`]; the
+    /// conversion is lossy otherwise (debug-asserted).
+    #[must_use]
+    pub fn decode32(&self, enc: u64) -> u32 {
+        debug_assert!(self.narrow_ok(), "narrow decode outside the u32 envelope");
+        Self::narrow_word(self.decode(enc))
+    }
+
+    /// Encodes a narrow lane word back into the packed format. Inverse
+    /// of [`FastAdderBatch::decode32`] on canonical words.
+    #[must_use]
+    pub fn encode32(&self, w: u32) -> u64 {
+        self.encode(Self::widen_word(w))
+    }
+
+    /// Narrows a wide lane word (field-for-field; the flag bits move
+    /// from 63/62/61 to 31/30/29 and the exponent field from bit 32 to
+    /// bit 16).
+    fn narrow_word(w: u64) -> u32 {
+        let flags = ((w >> 32) as u32) & (LANE32_SIGN | LANE32_SPECIAL | LANE32_DRAWS);
+        let payload = if w & LANE_SPECIAL != 0 {
+            // Specials carry the raw encoding in the low 16 bits, unshifted.
+            ((w >> ENC_SHIFT) & 0xFFFF) as u32
+        } else {
+            let ef = ((w >> EF_SHIFT) & 0xFFFF) as u32;
+            debug_assert!(ef <= 0x1FFF, "exponent field overflows the narrow word");
+            (ef << EF32_SHIFT) | (w & 0xFFFF) as u32
+        };
+        flags | payload
+    }
+
+    /// Widens a narrow lane word; exact inverse of `narrow_word`.
+    fn widen_word(w: u32) -> u64 {
+        let flags = u64::from(w & (LANE32_SIGN | LANE32_SPECIAL | LANE32_DRAWS)) << 32;
+        let payload = if w & LANE32_SPECIAL != 0 {
+            u64::from(w & 0xFFFF) << ENC_SHIFT
+        } else {
+            let ef = u64::from((w >> EF32_SHIFT) & 0x1FFF);
+            (ef << EF_SHIFT) | u64::from(w & 0xFFFF)
+        };
+        flags | payload
+    }
+
+    /// Narrow rendition of [`FastAdderBatch::mac_step`]: identical
+    /// zero-skip, draw and special semantics, on u32 lane words.
+    /// `words[l]` is the full SR word; only the low `r` bits matter, so
+    /// truncating it into the narrow arithmetic is exact.
+    #[inline(always)]
+    pub fn mac_step32<const L: usize>(
+        &self,
+        acc: &mut [u32; L],
+        prods: &[u32; L],
+        words: &[u64; L],
+    ) {
+        let mut special = 0u32;
+        for l in 0..L {
+            special |= acc[l] | prods[l];
+        }
+        let mut res = [0u32; L];
+        for l in 0..L {
+            res[l] = self.add_core32(acc[l], prods[l], words[l] as u32);
+        }
+        if special & LANE32_SPECIAL != 0 {
+            self.fixup_specials32(acc, prods, words, &mut res);
+        }
+        for l in 0..L {
+            // Zero-skip: only non-zero-magnitude products commit.
+            acc[l] = sel32(prods[l] & LANE32_KEY != 0, res[l], acc[l]);
+        }
+    }
+
+    /// Encoding-level narrow add over `L` lanes — the test API mirroring
+    /// [`FastAdderBatch::add`], bit-identical lane by lane to
+    /// [`FastAdder::add`].
+    #[must_use]
+    pub fn add32<const L: usize>(&self, a: &[u64; L], b: &[u64; L], words: &[u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for l in 0..L {
+            let aw = self.decode32(a[l]);
+            let bw = self.decode32(b[l]);
+            out[l] = if (aw | bw) & LANE32_SPECIAL != 0 {
+                self.scalar.add(a[l], b[l], words[l])
+            } else {
+                self.encode32(self.add_core32(aw, bw, words[l] as u32))
+            };
+        }
+        out
+    }
+
+    /// Scalar repair of the rare special lanes of a narrow `mac_step32`.
+    #[cold]
+    fn fixup_specials32<const L: usize>(
+        &self,
+        acc: &[u32; L],
+        prods: &[u32; L],
+        words: &[u64; L],
+        res: &mut [u32; L],
+    ) {
+        for l in 0..L {
+            if (acc[l] | prods[l]) & LANE32_SPECIAL != 0 {
+                let enc = self
+                    .scalar
+                    .add(self.encode32(acc[l]), self.encode32(prods[l]), words[l]);
+                res[l] = self.decode32(enc);
+            }
+        }
+    }
+
+    /// [`FastAdderBatch::add_core`] on narrow words. Line-for-line the
+    /// same algebra; shift clamps drop from 63 to 31, which is exact
+    /// under the `fits_narrow` envelope (`p + f <= 31`, so pre-shifted
+    /// significands never reach bit 31 and the sum never wraps).
+    #[inline(always)]
+    fn add_core32(&self, aw: u32, bw: u32, word: u32) -> u32 {
+        let spec = &self.spec;
+        let f = spec.f;
+        let p = spec.p;
+
+        let akey = aw & LANE32_KEY;
+        let bkey = bw & LANE32_KEY;
+        let sm = ((bkey > akey) as u32).wrapping_neg();
+        let hi = aw ^ ((aw ^ bw) & sm);
+        let lo = aw ^ bw ^ hi;
+        let sign_hi = hi >> 31;
+        let sign_lo = lo >> 31;
+        let ef_hi = (hi >> EF32_SHIFT) & 0x1FFF;
+        let ef_lo = (lo >> EF32_SHIFT) & 0x1FFF;
+        let sig_hi = hi & 0xFFFF;
+        let sig_lo = lo & 0xFFFF;
+
+        // Alignment; the clamp at 31 is exact because `yb < 2^(p+f) <= 2^31`.
+        let d = (ef_hi - ef_lo).min(31);
+        let yb = sig_lo << f;
+        let y = yb >> d;
+        let sigma = u32::from(yb & ((1u32 << d) - 1) != 0);
+        let x = sig_hi << f;
+
+        // Branch-free effective subtraction; `x + y < 2^(p+f+1) <= 2^32`
+        // never wraps on the addition side, and on the subtraction side
+        // `x >= y + sigma` exactly as in the wide kernel.
+        let sub_eff = sign_hi ^ sign_lo;
+        let subm = sub_eff.wrapping_neg();
+        let s = x.wrapping_add(y ^ subm).wrapping_add(subm & (1 - sigma));
+        let ones = sub_eff & sigma;
+        let extra_sticky = (1 - sub_eff) & sigma;
+
+        let msb = 31 - (s | 1).leading_zeros() as i32;
+        let drop0 = msb - (p - 1) as i32;
+        let drop = if spec.sub {
+            drop0.max(f as i32 - ef_hi as i32)
+        } else {
+            drop0
+        };
+
+        let shl = (-drop).max(0) as u32;
+        let kept_e = s << shl;
+
+        let dr = drop.clamp(1, 31) as u32;
+        let kept_r = s >> dr;
+        let tail = s & ((1u32 << dr) - 1);
+        let up = if self.sr {
+            let r = spec.r;
+            let rs_dn = dr.saturating_sub(r);
+            let rs_up = r.saturating_sub(dr);
+            let t_hi = tail >> rs_dn;
+            let t_lo = (tail << rs_up) | (ones.wrapping_neg() & ((1u32 << rs_up) - 1));
+            let t = sel32(dr >= r, t_hi, t_lo);
+            (t + (word & spec.rmask as u32)) >> r
+        } else {
+            let guard = (tail >> (dr - 1)) & 1;
+            let rest = u32::from(tail & ((1u32 << (dr - 1)) - 1) != 0) | ones | extra_sticky;
+            guard & (rest | kept_r) & 1
+        };
+
+        let is_round = drop > 0;
+        let mut kept = sel32(is_round, kept_r, kept_e) + sel32(is_round, up, 0);
+        let carry = kept >> p;
+        kept >>= carry;
+        let ef_out = drop + ef_hi as i32 - f as i32 + carry as i32;
+
+        let zero_w = sign_hi << 31;
+        let natural = zero_w | ((ef_out as u32 & 0x1FFF) << EF32_SHIFT) | kept;
+        let inf_enc = (sign_hi << self.enc_sign_shift) | self.inf_exp as u32;
+        let inf_w = LANE32_SPECIAL | LANE32_DRAWS | inf_enc;
+        let mut w = natural;
+        w = sel32(ef_out < 0, zero_w, w);
+        w = sel32(i64::from(ef_out) > self.ef_max, inf_w, w);
+        if !spec.sub {
+            w = sel32(u64::from(kept) < self.half, zero_w, w);
+        }
+        w = sel32(kept == 0, zero_w, w);
+        w = sel32(s == 0, 0, w);
+        w = sel32(bkey == 0, aw, w);
+        w = sel32(akey == 0, bw, w);
+        w = sel32((akey | bkey) == 0, aw & bw & LANE32_SIGN, w);
+        w
+    }
+}
+
+/// The explicit AVX-512 rendition of the narrow kernel: 16 u32 lanes per
+/// `zmm`, the full dot-product loop in one function so the accumulator
+/// vector provably stays in a register across every `k` step (the
+/// property the auto-vectorized array loops cannot guarantee — their
+/// 64-lane state round-trips through the stack each step).
+///
+/// This *is* the default fast path on AVX-512 hardware: the engine's
+/// runtime tier dispatch (`SimdTier::detect`) routes 64-wide panel
+/// blocks here in chunks of 16 columns. Everything is a 1:1 translation
+/// of [`FastAdderBatch::add_core32`] — same variable names, same
+/// clamping, same select order — plus the draw/zero-skip/special
+/// semantics of `mac_step32`, and the randomized cross-check in this
+/// module's tests pins it lane-for-lane against those scalar-verified
+/// kernels. Special lanes take the same `#[cold]` scalar fixup.
+///
+/// Masked compares/blends replace the SWAR `sel32` ladders; the one
+/// pointer-based operation is the product gather, whose indices are
+/// zero-extended bytes into the 65536-entry pair table (in-bounds by
+/// construction).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod z16 {
+    use std::arch::x86_64::*;
+
+    use super::{
+        FastAdderBatch, EF32_SHIFT, LANE32_DRAWS, LANE32_KEY, LANE32_SIGN, LANE32_SPECIAL,
+    };
+    use srmac_rng::SPLITMIX_GAMMA;
+
+    /// Loop-invariant broadcast constants of one adder configuration.
+    struct Consts {
+        key: __m512i,
+        special: __m512i,
+        draws: __m512i,
+        sign: __m512i,
+        efmask: __m512i,
+        sigmask: __m512i,
+        zero: __m512i,
+        one: __m512i,
+        c32: __m512i,
+        f: __m512i,
+        p: __m512i,
+        /// `32 - p`: folds the `31 - lzcnt - (p - 1)` normalization.
+        c31mp: __m512i,
+        r: __m512i,
+        rmask: __m512i,
+        /// `32 - r`: the right-shift that realigns the register-justified
+        /// rounding tail (see the SR path in [`add_core`]).
+        c32mr: __m512i,
+        /// `1 << r`, for deriving the low sticky-fill mask by shift.
+        rp1: __m512i,
+        half: __m512i,
+        efmax: __m512i,
+        inf_base: __m512i,
+        /// `31 - enc_sign_shift`: moves the sign bit from the lane MSB
+        /// straight to its encoded position.
+        iss: __m512i,
+        /// The even dword indices of a `(lo, hi)` u64-lane vector pair:
+        /// one `vpermt2v` gathers the low 32 bits of 16 finalized draws.
+        evens: __m512i,
+        /// Whether `sig << f` self-clears the exponent/flag bits
+        /// (`f >= EF32_SHIFT`), letting the shift skip the sig mask.
+        fsig: bool,
+        sub: bool,
+    }
+
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    fn consts(batch: &FastAdderBatch) -> Consts {
+        let spec = &batch.spec;
+        let b32 = |v: u32| _mm512_set1_epi32(v as i32);
+        Consts {
+            key: b32(LANE32_KEY),
+            special: b32(LANE32_SPECIAL),
+            draws: b32(LANE32_DRAWS),
+            sign: b32(LANE32_SIGN),
+            efmask: b32(0x1FFF),
+            sigmask: b32(0xFFFF),
+            zero: _mm512_setzero_si512(),
+            one: b32(1),
+            c32: b32(32),
+            f: b32(spec.f),
+            p: b32(spec.p),
+            c31mp: b32(32 - spec.p),
+            r: b32(spec.r),
+            rmask: b32(spec.rmask as u32),
+            c32mr: b32(32 - spec.r),
+            rp1: b32(1 << spec.r),
+            half: b32(batch.half as u32),
+            efmax: b32(batch.ef_max as u32),
+            inf_base: b32(LANE32_SPECIAL | LANE32_DRAWS | batch.inf_exp as u32),
+            iss: b32(31 - batch.enc_sign_shift),
+            evens: _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30),
+            fsig: spec.f >= EF32_SHIFT,
+            sub: spec.sub,
+        }
+    }
+
+    /// [`consts`] with every field a compile-time literal: the paper's
+    /// headline E6M5 accumulator (RN `r = 2`, SR `r = 13`).
+    ///
+    /// This exists purely for register allocation: literal constants are
+    /// folded into embedded-broadcast memory operands (`{1to16}`), so
+    /// ~15 `zmm` registers that the generic body pins (or spills, once
+    /// the interleaved chains join in) come free. [`is_e6m5`] guards
+    /// every use by checking the runtime spec field-for-field — the
+    /// literals are asserted, never assumed, and a mismatch falls back
+    /// to the generic-constant body.
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    fn consts_e6m5<const SR: bool, const SUB: bool>() -> Consts {
+        let b32 = |v: u32| _mm512_set1_epi32(v as i32);
+        let (f, r, rmask) = if SR { (23, 13, 0x1FFF) } else { (12, 2, 0x3) };
+        Consts {
+            key: b32(LANE32_KEY),
+            special: b32(LANE32_SPECIAL),
+            draws: b32(LANE32_DRAWS),
+            sign: b32(LANE32_SIGN),
+            efmask: b32(0x1FFF),
+            sigmask: b32(0xFFFF),
+            zero: _mm512_setzero_si512(),
+            one: b32(1),
+            c32: b32(32),
+            f: b32(f),
+            p: b32(6),
+            c31mp: b32(32 - 6),
+            r: b32(r),
+            rmask: b32(rmask),
+            c32mr: b32(32 - r),
+            rp1: b32(1 << r),
+            half: b32(32),
+            efmax: b32(61),
+            inf_base: b32(LANE32_SPECIAL | LANE32_DRAWS | 0x7E0),
+            iss: b32(31 - 11),
+            evens: _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30),
+            fsig: f >= EF32_SHIFT,
+            sub: SUB,
+        }
+    }
+
+    /// Whether `batch` is exactly the algebra that the literals in
+    /// `consts_e6m5::<SR, _>` describe; returns the subnormal flag when
+    /// it is.
+    fn is_e6m5<const SR: bool>(batch: &FastAdderBatch) -> Option<bool> {
+        let spec = &batch.spec;
+        let (f, r, rmask) = if SR { (23, 13, 0x1FFF) } else { (12, 2, 0x3) };
+        (batch.sr == SR
+            && spec.p == 6
+            && spec.f == f
+            && spec.r == r
+            && spec.rmask == rmask
+            && batch.half == 32
+            && batch.ef_max == 61
+            && batch.inf_exp == 0x7E0
+            && batch.enc_sign_shift == 11)
+            .then_some(spec.sub)
+    }
+
+    /// [`FastAdderBatch::add_core32`], 16 lanes per instruction. Every
+    /// `sel32` becomes a masked move, every data-dependent shift a
+    /// `vps{l,r}lvd`, the normalization `leading_zeros` a `vplzcntd`.
+    #[inline]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    #[allow(clippy::similar_names)]
+    fn add_core<const SR: bool>(c: &Consts, aw: __m512i, bw: __m512i, word: __m512i) -> __m512i {
+        let akey = _mm512_and_si512(aw, c.key);
+        let bkey = _mm512_and_si512(bw, c.key);
+        let kswap = _mm512_cmpgt_epu32_mask(bkey, akey);
+        let hi = _mm512_mask_blend_epi32(kswap, aw, bw);
+        let lo = _mm512_mask_blend_epi32(kswap, bw, aw);
+        let ef_hi = _mm512_and_si512(_mm512_srli_epi32::<16>(hi), c.efmask);
+        let ef_lo = _mm512_and_si512(_mm512_srli_epi32::<16>(lo), c.efmask);
+        // When `f >= 16` the sig shift self-clears the exponent and flag
+        // bits, so the sig mask is folded into it.
+        let x = if c.fsig {
+            _mm512_sllv_epi32(hi, c.f)
+        } else {
+            _mm512_sllv_epi32(_mm512_and_si512(hi, c.sigmask), c.f)
+        };
+        let yb = if c.fsig {
+            _mm512_sllv_epi32(lo, c.f)
+        } else {
+            _mm512_sllv_epi32(_mm512_and_si512(lo, c.sigmask), c.f)
+        };
+
+        // Alignment. `d` is unclamped: `vpsrlvd`/`vpsllvd` already yield 0
+        // for counts >= 32, which is exactly the all-bits-shifted-out case
+        // the scalar kernel's clamp emulates. The sticky bit falls out of
+        // a round trip: bits were lost iff `(y << d) != yb`.
+        let d = _mm512_sub_epi32(ef_hi, ef_lo);
+        let y = _mm512_srlv_epi32(yb, d);
+        let ksig = _mm512_cmpneq_epu32_mask(_mm512_sllv_epi32(y, d), yb);
+
+        // Branch-free effective subtraction: `subm` is the all-ones lane
+        // mask of differing signs, the `+1` two's-complement correction
+        // lands only where no sticky bit was lost.
+        let xhl = _mm512_xor_si512(hi, lo);
+        let ksub = _mm512_test_epi32_mask(xhl, c.sign);
+        let subm = _mm512_srai_epi32::<31>(xhl);
+        let t0 = _mm512_add_epi32(x, _mm512_xor_si512(y, subm));
+        let s = _mm512_mask_add_epi32(t0, !ksig & ksub, t0, c.one);
+        let kones = ksub & ksig;
+
+        // Normalization and the qmin clamp (`31 - lzcnt - (p - 1)` folds
+        // to one subtraction from the `c31mp = 32 - p` constant).
+        let drop0 = _mm512_sub_epi32(c.c31mp, _mm512_lzcnt_epi32(_mm512_or_si512(s, c.one)));
+        let drop = if c.sub {
+            _mm512_max_epi32(drop0, _mm512_sub_epi32(c.f, ef_hi))
+        } else {
+            drop0
+        };
+
+        // Exact path.
+        let shl = _mm512_max_epi32(_mm512_sub_epi32(c.zero, drop), c.zero);
+        let kept_e = _mm512_sllv_epi32(s, shl);
+
+        // Rounding path. `drop <= 31 - (p - 1)` and (subnormal clamp)
+        // `f <= 27`, so `dr` needs no upper clamp.
+        let dr = _mm512_max_epi32(drop, c.one);
+        let kept_r = _mm512_srlv_epi32(s, dr);
+        let up = if SR {
+            // Align the tail at the `r`-bit draw in one shift pair:
+            // `s << (32 - dr)` top-justifies exactly the `dr` tail bits
+            // (no mask needed), and `>> (32 - r)` lands them at the draw,
+            // covering both `tail >> (dr - r)` and `tail << (r - dr)`.
+            // Subtracted sticky ones fill the low `r - dr` bits only when
+            // the tail was up-shifted.
+            let t1 = _mm512_srlv_epi32(_mm512_sllv_epi32(s, _mm512_sub_epi32(c.c32, dr)), c.c32mr);
+            let kfill = kones & _mm512_cmplt_epu32_mask(dr, c.r);
+            let fill = _mm512_sub_epi32(_mm512_srlv_epi32(c.rp1, dr), c.one);
+            let t = _mm512_mask_or_epi32(t1, kfill, t1, fill);
+            _mm512_srlv_epi32(_mm512_add_epi32(t, _mm512_and_si512(word, c.rmask)), c.r)
+        } else {
+            let drm1 = _mm512_sub_epi32(dr, c.one);
+            let guard = _mm512_and_si512(_mm512_srlv_epi32(s, drm1), c.one);
+            let m2 = _mm512_sub_epi32(_mm512_sllv_epi32(c.one, drm1), c.one);
+            // Sticky union: bits below the guard, or any alignment loss
+            // (`ones | extra_sticky` in the scalar kernel is just sigma).
+            let ksticky = _mm512_test_epi32_mask(s, m2) | ksig;
+            let rok = _mm512_or_si512(_mm512_maskz_mov_epi32(ksticky, c.one), kept_r);
+            _mm512_and_si512(guard, rok)
+        };
+
+        let kround = _mm512_cmpgt_epi32_mask(drop, c.zero);
+        let mut kept = _mm512_mask_add_epi32(kept_e, kround, kept_r, up);
+        let carry = _mm512_srlv_epi32(kept, c.p);
+        kept = _mm512_srlv_epi32(kept, carry);
+        let ef_out = _mm512_add_epi32(_mm512_add_epi32(drop, _mm512_sub_epi32(ef_hi, c.f)), carry);
+
+        // Assemble, lowest-precedence first (same select order as the
+        // scalar kernel). `ef_out` is left unmasked in `natural`: every
+        // lane where it strays outside `0..=ef_max` is overwritten by the
+        // selects directly below.
+        let zero_w = _mm512_and_si512(hi, c.sign);
+        let natural = _mm512_or_si512(
+            _mm512_or_si512(zero_w, _mm512_slli_epi32::<16>(ef_out)),
+            kept,
+        );
+        let inf_w = _mm512_or_si512(c.inf_base, _mm512_srlv_epi32(zero_w, c.iss));
+        let mut w = natural;
+        w = _mm512_mask_mov_epi32(w, _mm512_cmplt_epi32_mask(ef_out, c.zero), zero_w);
+        w = _mm512_mask_mov_epi32(w, _mm512_cmpgt_epi32_mask(ef_out, c.efmax), inf_w);
+        // `kept == 0` implies `kept < half`, so one select covers both
+        // flush conditions in flush-to-zero mode.
+        if c.sub {
+            w = _mm512_mask_mov_epi32(w, _mm512_testn_epi32_mask(kept, kept), zero_w);
+        } else {
+            w = _mm512_mask_mov_epi32(w, _mm512_cmplt_epu32_mask(kept, c.half), zero_w);
+        }
+        w = _mm512_mask_mov_epi32(w, _mm512_testn_epi32_mask(s, s), c.zero);
+        let kb0 = _mm512_testn_epi32_mask(bkey, bkey);
+        w = _mm512_mask_mov_epi32(w, kb0, aw);
+        let ka0 = _mm512_testn_epi32_mask(akey, akey);
+        w = _mm512_mask_mov_epi32(w, ka0, bw);
+        w = _mm512_mask_mov_epi32(
+            w,
+            ka0 & kb0,
+            _mm512_and_si512(_mm512_and_si512(aw, bw), c.sign),
+        );
+        w
+    }
+
+    /// `splitmix_finalize` over 8 u64 lanes.
+    #[inline]
+    #[target_feature(enable = "avx512f", enable = "avx512dq")]
+    fn finalize(z: __m512i) -> __m512i {
+        let c1 = _mm512_set1_epi64(0xBF58_476D_1CE4_E5B9_u64 as i64);
+        let c2 = _mm512_set1_epi64(0x94D0_49BB_1331_11EB_u64 as i64);
+        let z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64::<30>(z)), c1);
+        let z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64::<27>(z)), c2);
+        _mm512_xor_si512(z, _mm512_srli_epi64::<31>(z))
+    }
+
+    /// Scalar repair of the rare special lanes of one step — identical
+    /// semantics to [`FastAdderBatch::fixup_specials32`].
+    #[cold]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    fn fixup(
+        batch: &FastAdderBatch,
+        kspec: __mmask16,
+        acc: __m512i,
+        prods: __m512i,
+        words: __m512i,
+        res: __m512i,
+    ) -> __m512i {
+        let (av, pv, wv, mut rv) = (to_u32s(acc), to_u32s(prods), to_u32s(words), to_u32s(res));
+        for l in 0..16 {
+            if kspec & (1 << l) != 0 {
+                // Only the low `r` bits of the rounding word matter, so
+                // the u32-truncated word is the word (r <= 27).
+                let enc = batch.scalar.add(
+                    batch.encode32(av[l]),
+                    batch.encode32(pv[l]),
+                    u64::from(wv[l]),
+                );
+                rv[l] = batch.decode32(enc);
+            }
+        }
+        from_u32s(rv)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn to_u32s(v: __m512i) -> [u32; 16] {
+        let mut out = [0u32; 16];
+        // SAFETY: `out` is exactly 64 bytes; unaligned store is allowed.
+        #[allow(unsafe_code)]
+        unsafe {
+            _mm512_storeu_si512(out.as_mut_ptr().cast(), v);
+        }
+        out
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn from_u32s(a: [u32; 16]) -> __m512i {
+        // SAFETY: `a` is exactly 64 bytes and outlives the load.
+        #[allow(unsafe_code)]
+        unsafe {
+            _mm512_loadu_si512(a.as_ptr().cast())
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn from_u64s(a: [u64; 8]) -> __m512i {
+        // SAFETY: `a` is exactly 64 bytes and outlives the load.
+        #[allow(unsafe_code)]
+        unsafe {
+            _mm512_loadu_si512(a.as_ptr().cast())
+        }
+    }
+
+    /// One 16-column narrow dot product: columns `lane0 .. lane0 + 16`
+    /// of a lane-interleaved panel block with row stride `stride`,
+    /// accumulated over the compacted A entries `(ids, cods)`. Returns
+    /// the final decoded narrow accumulator words (encode with
+    /// [`FastAdderBatch::encode32`]).
+    ///
+    /// Bit-identical to 16 scalar dot products: per-lane draws advance
+    /// exactly as [`srmac_rng::SrLaneStreams::draw`] (`seeds[l]` replays
+    /// `SplitMix64::new(seeds[l])`), adds run in `k` order through
+    /// [`add_core`], special lanes divert to the scalar adder, and
+    /// zero-magnitude products neither touch the accumulator nor consume
+    /// a draw.
+    ///
+    /// Callers discharge the `#[target_feature]` obligation: the CPU must
+    /// support AVX-512 F/BW/DQ/VL/CD (the engine checks via
+    /// `SimdTier::detect` before routing here).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    pub(crate) fn dot16_narrow<const SR: bool>(
+        batch: &FastAdderBatch,
+        table: &[u32; 1 << 16],
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        stride: usize,
+        lane0: usize,
+        seeds: &[u64; 16],
+    ) -> [u32; 16] {
+        let c = consts(batch);
+        let gamma = _mm512_set1_epi64(SPLITMIX_GAMMA as i64);
+        let mut st_lo = from_u64s(seeds[..8].try_into().expect("8 seeds"));
+        let mut st_hi = from_u64s(seeds[8..].try_into().expect("8 seeds"));
+        let mut acc = _mm512_setzero_si512();
+        for (&ci, &ca) in ids.iter().zip(cods) {
+            let base = ci as usize * stride + lane0;
+            let bc: [u8; 16] = pan[base..base + 16].try_into().expect("panel chunk");
+            // SAFETY: the indices are zero-extended bytes (< 256) into a
+            // 256-entry row of the 65536-entry table selected by `ca`.
+            #[allow(unsafe_code)]
+            let prods = unsafe {
+                let idx = _mm512_cvtepu8_epi32(_mm_loadu_si128(bc.as_ptr().cast()));
+                let row = table.as_ptr().add(usize::from(ca) << 8);
+                _mm512_i32gather_epi32::<4>(idx, row.cast::<i32>())
+            };
+            let words = if SR {
+                let kconsume = _mm512_test_epi32_mask(prods, c.draws);
+                let sl = _mm512_add_epi64(st_lo, gamma);
+                let sh = _mm512_add_epi64(st_hi, gamma);
+                let wl = _mm512_cvtepi64_epi32(finalize(sl));
+                let wh = _mm512_cvtepi64_epi32(finalize(sh));
+                st_lo = _mm512_mask_mov_epi64(st_lo, kconsume as __mmask8, sl);
+                st_hi = _mm512_mask_mov_epi64(st_hi, (kconsume >> 8) as __mmask8, sh);
+                _mm512_inserti64x4::<1>(_mm512_castsi256_si512(wl), wh)
+            } else {
+                c.zero
+            };
+            // The step: add, rare scalar special repair, zero-skip.
+            let kspec = _mm512_test_epi32_mask(_mm512_or_si512(acc, prods), c.special);
+            let mut res = add_core::<SR>(&c, acc, prods, words);
+            if kspec != 0 {
+                res = fixup(batch, kspec, acc, prods, words, res);
+            }
+            let kkey = _mm512_test_epi32_mask(prods, c.key);
+            acc = _mm512_mask_mov_epi32(acc, kkey, res);
+        }
+        to_u32s(acc)
+    }
+
+    /// One 16-lane chain step: gather the pre-decoded products for the
+    /// chain's columns, draw rounding words (SR only, masked commit so
+    /// non-consuming lanes re-offer the word), run [`add_core`], repair
+    /// rare special lanes through the scalar adder, and commit under the
+    /// zero-skip mask.
+    ///
+    /// A macro rather than a helper fn so the interleaved kernels unroll
+    /// over *named locals*: a `for q in 0..N` loop over `[__m512i; N]`
+    /// arrays is left rolled by the compiler and round-trips every chain
+    /// through the stack at each `k` step.
+    macro_rules! chain_step {
+        ($sr:expr, $c:expr, $batch:expr, $gamma:expr, $bc:expr, $row:expr,
+         $acc:ident, $slo:ident, $shi:ident, $q:literal) => {{
+            // SAFETY: the indices are zero-extended bytes (< 256) into a
+            // 256-entry row of the 65536-entry table.
+            #[allow(unsafe_code)]
+            let prods = unsafe {
+                let idx = _mm512_cvtepu8_epi32(_mm_loadu_si128($bc[$q * 16..].as_ptr().cast()));
+                _mm512_i32gather_epi32::<4>(idx, $row.cast::<i32>())
+            };
+            let words = if $sr {
+                let kconsume = _mm512_test_epi32_mask(prods, $c.draws);
+                let sl = _mm512_add_epi64($slo, $gamma);
+                let sh = _mm512_add_epi64($shi, $gamma);
+                let w = _mm512_permutex2var_epi32(finalize(sl), $c.evens, finalize(sh));
+                // Dense blocks consume on every lane; the masked re-offer
+                // commit is only paid when some product was zero.
+                if kconsume == 0xFFFF {
+                    $slo = sl;
+                    $shi = sh;
+                } else {
+                    $slo = _mm512_mask_mov_epi64($slo, kconsume as __mmask8, sl);
+                    $shi = _mm512_mask_mov_epi64($shi, (kconsume >> 8) as __mmask8, sh);
+                }
+                w
+            } else {
+                $c.zero
+            };
+            let kspec = _mm512_test_epi32_mask(_mm512_or_si512($acc, prods), $c.special);
+            let mut res = add_core::<$sr>(&$c, $acc, prods, words);
+            if kspec != 0 {
+                res = fixup($batch, kspec, $acc, prods, words, res);
+            }
+            let kkey = _mm512_test_epi32_mask(prods, $c.key);
+            $acc = if kkey == 0xFFFF {
+                res
+            } else {
+                _mm512_mask_mov_epi32($acc, kkey, res)
+            };
+        }};
+    }
+
+    /// The full interleaved dot-product body — a macro (not a fn) so it
+    /// expands textually into each instantiation: a function boundary
+    /// here would pass `Consts` by reference and un-fold the literal
+    /// constants that `consts_e6m5` exists to provide.
+    macro_rules! dot_body {
+        ($sr:expr, $c:expr, $batch:expr, $table:expr, $ids:expr, $cods:expr, $pan:expr,
+         $stride:expr, $lane0:expr, $seeds:expr, $w:literal,
+         [$(($acc:ident, $slo:ident, $shi:ident, $q:literal)),+]) => {{
+            let c = $c;
+            let gamma = _mm512_set1_epi64(SPLITMIX_GAMMA as i64);
+            let seed8 =
+                |q: usize| from_u64s($seeds[q * 8..q * 8 + 8].try_into().expect("8 seeds"));
+            $(
+                let mut $slo = seed8(2 * $q);
+                let mut $shi = seed8(2 * $q + 1);
+                let mut $acc = _mm512_setzero_si512();
+            )+
+            for (&ci, &ca) in $ids.iter().zip($cods) {
+                let base = ci as usize * $stride + $lane0;
+                let bc: &[u8; $w] = $pan[base..base + $w].try_into().expect("panel block");
+                let row = $table.as_ptr().wrapping_add(usize::from(ca) << 8);
+                $(chain_step!($sr, c, $batch, gamma, bc, row, $acc, $slo, $shi, $q);)+
+            }
+            let mut out = [0u32; $w];
+            $(out[$q * 16..$q * 16 + 16].copy_from_slice(&to_u32s($acc));)+
+            out
+        }};
+    }
+
+    /// A full 64-column panel block in one `k` pass: four interleaved
+    /// 16-lane chains, bit-identical to four [`dot16_narrow`] calls at
+    /// `lane0 + 0/16/32/48`.
+    ///
+    /// Interleaving is the point: one 16-lane chain is a serial
+    /// `add_core` dependency per `k` step, so a lone chain is bound by
+    /// its latency. Four independent accumulator chains in the same loop
+    /// body give the out-of-order core ~4x the exploitable parallelism,
+    /// and the per-step scalars (`ci`, `ca`, the LUT row pointer) are
+    /// computed once instead of four times.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    pub(crate) fn dot64_narrow<const SR: bool>(
+        batch: &FastAdderBatch,
+        table: &[u32; 1 << 16],
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        stride: usize,
+        lane0: usize,
+        seeds: &[u64; 64],
+    ) -> [u32; 64] {
+        match is_e6m5::<SR>(batch) {
+            Some(true) => {
+                dot64_e6m5::<SR, true>(batch, table, ids, cods, pan, stride, lane0, seeds)
+            }
+            Some(false) => {
+                dot64_e6m5::<SR, false>(batch, table, ids, cods, pan, stride, lane0, seeds)
+            }
+            None => {
+                let c = consts(batch);
+                dot_body!(
+                    SR,
+                    c,
+                    batch,
+                    table,
+                    ids,
+                    cods,
+                    pan,
+                    stride,
+                    lane0,
+                    seeds,
+                    64,
+                    [
+                        (a0, s0, s1, 0),
+                        (a1, s2, s3, 1),
+                        (a2, s4, s5, 2),
+                        (a3, s6, s7, 3)
+                    ]
+                )
+            }
+        }
+    }
+
+    /// The literal-constant E6M5 instantiation of [`dot64_narrow`] (a
+    /// single `dot64_body` call site, so the body inlines and every
+    /// `Consts` field constant-folds).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    fn dot64_e6m5<const SR: bool, const SUB: bool>(
+        batch: &FastAdderBatch,
+        table: &[u32; 1 << 16],
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        stride: usize,
+        lane0: usize,
+        seeds: &[u64; 64],
+    ) -> [u32; 64] {
+        let c = consts_e6m5::<SR, SUB>();
+        dot_body!(
+            SR,
+            c,
+            batch,
+            table,
+            ids,
+            cods,
+            pan,
+            stride,
+            lane0,
+            seeds,
+            64,
+            [
+                (a0, s0, s1, 0),
+                (a1, s2, s3, 1),
+                (a2, s4, s5, 2),
+                (a3, s6, s7, 3)
+            ]
+        )
+    }
+
+    /// Two interleaved 16-lane chains: columns `lane0 .. lane0 + 32`.
+    /// Bit-identical to two [`dot16_narrow`] calls at `lane0 + 0/16`.
+    /// The half-width sibling of [`dot64_narrow`]: lower register
+    /// pressure at half the per-call amortization, for 32-wide callers
+    /// and A/B comparison of interleave depth.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    pub(crate) fn dot32_narrow<const SR: bool>(
+        batch: &FastAdderBatch,
+        table: &[u32; 1 << 16],
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        stride: usize,
+        lane0: usize,
+        seeds: &[u64; 32],
+    ) -> [u32; 32] {
+        match is_e6m5::<SR>(batch) {
+            Some(true) => {
+                dot32_e6m5::<SR, true>(batch, table, ids, cods, pan, stride, lane0, seeds)
+            }
+            Some(false) => {
+                dot32_e6m5::<SR, false>(batch, table, ids, cods, pan, stride, lane0, seeds)
+            }
+            None => {
+                let c = consts(batch);
+                dot_body!(
+                    SR,
+                    c,
+                    batch,
+                    table,
+                    ids,
+                    cods,
+                    pan,
+                    stride,
+                    lane0,
+                    seeds,
+                    32,
+                    [(a0, s0, s1, 0), (a1, s2, s3, 1)]
+                )
+            }
+        }
+    }
+
+    /// The literal-constant E6M5 instantiation of [`dot32_narrow`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vl",
+        enable = "avx512cd"
+    )]
+    fn dot32_e6m5<const SR: bool, const SUB: bool>(
+        batch: &FastAdderBatch,
+        table: &[u32; 1 << 16],
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        stride: usize,
+        lane0: usize,
+        seeds: &[u64; 32],
+    ) -> [u32; 32] {
+        let c = consts_e6m5::<SR, SUB>();
+        dot_body!(
+            SR,
+            c,
+            batch,
+            table,
+            ids,
+            cods,
+            pan,
+            stride,
+            lane0,
+            seeds,
+            32,
+            [(a0, s0, s1, 0), (a1, s2, s3, 1)]
+        )
+    }
+}
+
 /// The explicit `std::arch` lane kernel: the algebra of
 /// [`FastAdderBatch::add_core`], four lanes per `__m256i`, expressed with
 /// AVX2 intrinsics. Compiled in only behind the opt-in `arch-simd` cargo
@@ -690,8 +1664,9 @@ impl DecodedLut {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lut::PairLut;
     use srmac_fp::mask;
-    use srmac_rng::SplitMix64;
+    use srmac_rng::{SplitMix64, SrLaneStreams};
 
     /// Exhaustive code-for-code equivalence with the scalar adder over the
     /// full operand plane of the paper's accumulator format, both
@@ -850,6 +1825,159 @@ mod tests {
         assert_eq!(batch.encode(acc[0]), scalar.add(after_inf, one, 0));
     }
 
+    /// The narrow kernel's counterpart of the exhaustive wide test: the
+    /// u32 algebra must be bit-identical to the scalar adder over the
+    /// whole E6M5 operand plane, both subnormal settings, RN and SR.
+    #[test]
+    fn narrow_add_vs_scalar_e6m5_exhaustive() {
+        for sub in [true, false] {
+            let fmt = FpFormat::e6m5().with_subnormals(sub);
+            for (mode, words) in [
+                (AccumRounding::Nearest, vec![0u64]),
+                (AccumRounding::Stochastic { r: 9 }, vec![0u64, 0x0F3, 0x1FF]),
+                (AccumRounding::Stochastic { r: 13 }, vec![0u64, 0x1ACE]),
+            ] {
+                let scalar = FastAdder::new(fmt, mode);
+                let batch = FastAdderBatch::new(fmt, mode);
+                assert!(batch.narrow_ok(), "{fmt} {mode:?} fits the narrow word");
+                let all: Vec<u64> = fmt.iter_encodings().collect();
+                for a in fmt.iter_encodings() {
+                    for &w in &words {
+                        for chunk in all.chunks(8) {
+                            let mut bs = [0u64; 8];
+                            bs[..chunk.len()].copy_from_slice(chunk);
+                            let got = batch.add32(&[a; 8], &bs, &[w; 8]);
+                            for (l, &b) in chunk.iter().enumerate() {
+                                let want = scalar.add(a, b, w);
+                                assert_eq!(
+                                    got[l], want,
+                                    "{fmt} {mode:?}: {a:#x}+{b:#x} w={w:#x} lane {l}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A second narrow-capable format (E8M7 at SR11: p + f = 8 + 23 = 31,
+    /// exactly at the envelope edge), random-sampled against the scalar
+    /// adder to cover exponent fields wider than E6M5's.
+    #[test]
+    fn narrow_add_vs_scalar_e8m7_random() {
+        let mut rng = SplitMix64::new(777);
+        for fmt in [FpFormat::e8m7(), FpFormat::e8m7().with_subnormals(false)] {
+            let mode = AccumRounding::Stochastic { r: 11 };
+            let scalar = FastAdder::new(fmt, mode);
+            let batch = FastAdderBatch::new(fmt, mode);
+            assert!(batch.narrow_ok());
+            for _ in 0..60_000 {
+                let mut a = [0u64; 8];
+                let mut b = [0u64; 8];
+                let mut w = [0u64; 8];
+                for l in 0..8 {
+                    a[l] = rng.next_u64() & fmt.bits_mask();
+                    b[l] = rng.next_u64() & fmt.bits_mask();
+                    w[l] = rng.next_u64() & mask(11);
+                }
+                let got = batch.add32(&a, &b, &w);
+                for l in 0..8 {
+                    assert_eq!(
+                        got[l],
+                        scalar.add(a[l], b[l], w[l]),
+                        "{fmt}: {:#x}+{:#x} w={:#x}",
+                        a[l],
+                        b[l],
+                        w[l]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_gate_matches_the_envelope() {
+        // The paper's accumulator fits up to r = 15 (p + f = 6 + 25 = 31,
+        // the envelope edge)...
+        for mode in [
+            AccumRounding::Nearest,
+            AccumRounding::Stochastic { r: 13 },
+            AccumRounding::Stochastic { r: 15 },
+        ] {
+            assert!(FastAdderBatch::new(FpFormat::e6m5(), mode).narrow_ok());
+        }
+        // ...but not beyond (r = 16 -> p + f = 32), and a p=11
+        // accumulator at SR13 (p + f = 39) does not either.
+        let r16 = FastAdderBatch::new(FpFormat::e6m5(), AccumRounding::Stochastic { r: 16 });
+        assert!(!r16.narrow_ok());
+        let wide = FastAdderBatch::new(FpFormat::e5m10(), AccumRounding::Stochastic { r: 13 });
+        assert!(!wide.narrow_ok());
+    }
+
+    /// Narrow words are a faithful re-coding of wide words: decode32 is
+    /// narrow(decode), widening inverts narrowing, and flags line up.
+    #[test]
+    fn narrow_word_roundtrips_and_mirrors_wide_flags() {
+        for sub in [true, false] {
+            let fmt = FpFormat::e6m5().with_subnormals(sub);
+            let batch = FastAdderBatch::new(fmt, AccumRounding::Stochastic { r: 13 });
+            for enc in fmt.iter_encodings() {
+                let wide = batch.decode(enc);
+                let narrow = batch.decode32(enc);
+                assert_eq!(FastAdderBatch::widen_word(narrow), wide, "{enc:#x}");
+                assert_eq!(batch.encode32(narrow), batch.encode(wide), "{enc:#x}");
+                assert_eq!(
+                    narrow & LANE32_DRAWS != 0,
+                    wide & LANE_DRAWS != 0,
+                    "{enc:#x} draws"
+                );
+                assert_eq!(
+                    narrow & LANE32_KEY == 0,
+                    wide & LANE_KEY == 0,
+                    "{enc:#x} zero key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mac_step32_skips_zero_products_verbatim() {
+        let fmt = FpFormat::e6m5();
+        let batch = FastAdderBatch::new(fmt, AccumRounding::Stochastic { r: 13 });
+        let neg_zero = batch.decode32(fmt.zero_bits(true));
+        let one = batch.decode32(fmt.quantize_f32(1.0, srmac_fp::RoundMode::NearestEven).bits);
+        let mut acc = [neg_zero, one, 0u32, one];
+        let before = acc;
+        let zero = batch.decode32(fmt.zero_bits(false));
+        batch.mac_step32(&mut acc, &[zero; 4], &[0u64; 4]);
+        assert_eq!(acc, before);
+        batch.mac_step32(&mut acc, &[zero, one, zero, zero], &[0u64; 4]);
+        assert_eq!([acc[0], acc[2], acc[3]], [before[0], before[2], before[3]]);
+        assert_eq!(batch.encode32(acc[1]), {
+            let scalar = FastAdder::new(fmt, AccumRounding::Stochastic { r: 13 });
+            scalar.add(batch.encode32(one), batch.encode32(one), 0)
+        });
+    }
+
+    #[test]
+    fn narrow_special_lanes_fall_back_to_golden_semantics() {
+        let fmt = FpFormat::e6m5();
+        let mode = AccumRounding::Stochastic { r: 13 };
+        let batch = FastAdderBatch::new(fmt, mode);
+        let scalar = FastAdder::new(fmt, mode);
+        let big = fmt.max_finite_bits(false);
+        let one = fmt.quantize_f32(1.0, srmac_fp::RoundMode::NearestEven).bits;
+        // Overflow to infinity inside mac_step32, then keep accumulating:
+        // golden special semantics all the way through.
+        let mut acc = [batch.decode32(big)];
+        batch.mac_step32(&mut acc, &[batch.decode32(big)], &[0]);
+        assert_eq!(batch.encode32(acc[0]), scalar.add(big, big, 0));
+        let after_inf = batch.encode32(acc[0]);
+        batch.mac_step32(&mut acc, &[batch.decode32(one)], &[0]);
+        assert_eq!(batch.encode32(acc[0]), scalar.add(after_inf, one, 0));
+    }
+
     #[test]
     fn decoded_lut_entries_match_decode_of_products() {
         let fin = FpFormat::e5m2();
@@ -861,6 +1989,238 @@ mod tests {
             let row = dlut.row(a);
             for b in 0..=255u8 {
                 assert_eq!(row[b as usize], batch.decode(u64::from(lut.product(a, b))));
+            }
+        }
+    }
+
+    /// The AVX-512 16-lane dot kernel against a reference loop of the
+    /// (scalar-verified) `mac_step32` + `SrLaneStreams` machinery: random
+    /// compacted-A streams and panel bytes over the full e5m2 code plane —
+    /// zeros (zero-skip + no draw), NaN/Inf codes (the `#[cold]` scalar
+    /// fixup), both halves of a 32-wide panel block, RN and SR13.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn z16_dot_matches_scalar_mac_loop() {
+        if !(is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+            && is_x86_feature_detected!("avx512dq")
+            && is_x86_feature_detected!("avx512vl")
+            && is_x86_feature_detected!("avx512cd"))
+        {
+            eprintln!("skipping z16 equivalence test: no AVX-512 at runtime");
+            return;
+        }
+        let lut = ProductLut::build(FpFormat::e5m2(), FpFormat::e6m5());
+        let mut rng = SplitMix64::new(0xD0716);
+        for mode in [AccumRounding::Nearest, AccumRounding::Stochastic { r: 13 }] {
+            let sr = matches!(mode, AccumRounding::Stochastic { .. });
+            let batch = FastAdderBatch::new(FpFormat::e6m5(), mode);
+            let plut = PairLut::build(&lut, &batch).expect("e6m5 fits the narrow envelope");
+            for case in 0..160 {
+                let stride = [16usize, 32, 64][case % 3];
+                let lane0 = (case / 3 % (stride / 16)) * 16;
+                let rows = 1 + (rng.next_u64() % 48) as usize;
+                let pan: Vec<u8> = (0..rows * stride).map(|_| rng.next_u64() as u8).collect();
+                // Compacted A: ascending ids, codes across the whole
+                // plane — specials included every few steps.
+                let mut ids = Vec::new();
+                let mut cods = Vec::new();
+                let mut ci = 0usize;
+                while ci < rows {
+                    ids.push(ci as u32);
+                    cods.push(if rng.next_u64().is_multiple_of(11) {
+                        [0x7D, 0x7C, 0x00][(rng.next_u64() % 3) as usize]
+                    } else {
+                        rng.next_u64() as u8
+                    });
+                    ci += 1 + (rng.next_u64() % 3) as usize;
+                }
+                let seeds: [u64; 16] = std::array::from_fn(|_| rng.next_u64());
+
+                // Reference: the scalar-verified narrow step machinery.
+                let mut streams = SrLaneStreams::new(seeds);
+                let mut acc = [0u32; 16];
+                for (&id, &ca) in ids.iter().zip(&cods) {
+                    let row = plut.row(ca);
+                    let prods: [u32; 16] = std::array::from_fn(|l| {
+                        row[pan[id as usize * stride + lane0 + l] as usize]
+                    });
+                    let words = if sr {
+                        streams.draw(std::array::from_fn(|l| prods[l] & LANE32_DRAWS != 0))
+                    } else {
+                        [0u64; 16]
+                    };
+                    batch.mac_step32(&mut acc, &prods, &words);
+                }
+
+                // SAFETY: AVX-512 F/BW/DQ/VL/CD verified at runtime above.
+                #[allow(unsafe_code)]
+                let got = unsafe {
+                    if sr {
+                        z16::dot16_narrow::<true>(
+                            &batch,
+                            plut.table(),
+                            &ids,
+                            &cods,
+                            &pan,
+                            stride,
+                            lane0,
+                            &seeds,
+                        )
+                    } else {
+                        z16::dot16_narrow::<false>(
+                            &batch,
+                            plut.table(),
+                            &ids,
+                            &cods,
+                            &pan,
+                            stride,
+                            lane0,
+                            &seeds,
+                        )
+                    }
+                };
+                for l in 0..16 {
+                    assert_eq!(
+                        got[l], acc[l],
+                        "{mode:?} case {case}: lane {l} (stride {stride}, lane0 {lane0})"
+                    );
+                }
+
+                // The interleaved 64-wide kernel == four 16-wide calls
+                // (themselves pinned to the scalar loop above).
+                if stride == 64 {
+                    let seeds64: [u64; 64] = std::array::from_fn(|_| rng.next_u64());
+                    // SAFETY: AVX-512 F/BW/DQ/VL/CD verified at runtime above.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        let (wide, quads) = if sr {
+                            (
+                                z16::dot64_narrow::<true>(
+                                    &batch,
+                                    plut.table(),
+                                    &ids,
+                                    &cods,
+                                    &pan,
+                                    64,
+                                    0,
+                                    &seeds64,
+                                ),
+                                std::array::from_fn::<_, 4, _>(|q| {
+                                    z16::dot16_narrow::<true>(
+                                        &batch,
+                                        plut.table(),
+                                        &ids,
+                                        &cods,
+                                        &pan,
+                                        64,
+                                        q * 16,
+                                        seeds64[q * 16..q * 16 + 16].try_into().unwrap(),
+                                    )
+                                }),
+                            )
+                        } else {
+                            (
+                                z16::dot64_narrow::<false>(
+                                    &batch,
+                                    plut.table(),
+                                    &ids,
+                                    &cods,
+                                    &pan,
+                                    64,
+                                    0,
+                                    &seeds64,
+                                ),
+                                std::array::from_fn::<_, 4, _>(|q| {
+                                    z16::dot16_narrow::<false>(
+                                        &batch,
+                                        plut.table(),
+                                        &ids,
+                                        &cods,
+                                        &pan,
+                                        64,
+                                        q * 16,
+                                        seeds64[q * 16..q * 16 + 16].try_into().unwrap(),
+                                    )
+                                }),
+                            )
+                        };
+                        for q in 0..4 {
+                            assert_eq!(
+                                wide[q * 16..q * 16 + 16],
+                                quads[q],
+                                "{mode:?} case {case}: 64-wide chain {q}"
+                            );
+                        }
+                    }
+                }
+
+                // Likewise the 32-wide kernel == two 16-wide calls.
+                if stride == 32 {
+                    let seeds32: [u64; 32] = std::array::from_fn(|_| rng.next_u64());
+                    // SAFETY: AVX-512 F/BW/DQ/VL/CD verified at runtime above.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        let (wide, pairs) = if sr {
+                            (
+                                z16::dot32_narrow::<true>(
+                                    &batch,
+                                    plut.table(),
+                                    &ids,
+                                    &cods,
+                                    &pan,
+                                    32,
+                                    0,
+                                    &seeds32,
+                                ),
+                                std::array::from_fn::<_, 2, _>(|q| {
+                                    z16::dot16_narrow::<true>(
+                                        &batch,
+                                        plut.table(),
+                                        &ids,
+                                        &cods,
+                                        &pan,
+                                        32,
+                                        q * 16,
+                                        seeds32[q * 16..q * 16 + 16].try_into().unwrap(),
+                                    )
+                                }),
+                            )
+                        } else {
+                            (
+                                z16::dot32_narrow::<false>(
+                                    &batch,
+                                    plut.table(),
+                                    &ids,
+                                    &cods,
+                                    &pan,
+                                    32,
+                                    0,
+                                    &seeds32,
+                                ),
+                                std::array::from_fn::<_, 2, _>(|q| {
+                                    z16::dot16_narrow::<false>(
+                                        &batch,
+                                        plut.table(),
+                                        &ids,
+                                        &cods,
+                                        &pan,
+                                        32,
+                                        q * 16,
+                                        seeds32[q * 16..q * 16 + 16].try_into().unwrap(),
+                                    )
+                                }),
+                            )
+                        };
+                        for q in 0..2 {
+                            assert_eq!(
+                                wide[q * 16..q * 16 + 16],
+                                pairs[q],
+                                "{mode:?} case {case}: 32-wide chain {q}"
+                            );
+                        }
+                    }
+                }
             }
         }
     }

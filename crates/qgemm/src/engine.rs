@@ -26,16 +26,19 @@
 //! a pure function of `(values, config.seed)` — independent of packing,
 //! chunking, the worker-pool size and call order.
 
-use std::sync::{Arc, OnceLock};
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use srmac_fp::FpFormat;
 use srmac_rng::{SplitMix64, SrLaneStreams};
 use srmac_runtime::Runtime;
 use srmac_tensor::{GemmEngine, PackSide, PackedOperand};
 
-use crate::batch::{DecodedLut, FastAdderBatch, LANE_DRAWS};
+#[cfg(target_arch = "x86_64")]
+use crate::batch::z16;
+use crate::batch::{DecodedLut, FastAdderBatch, LANE32_DRAWS, LANE_DRAWS};
 use crate::fastmath::{AccumRounding, FastAdder, FastQuantizer};
-use crate::lut::ProductLut;
+use crate::lut::{PairLut, ProductLut};
 
 /// Default lane width of the batched compacted accumulation loop: the
 /// number of output columns [`FastAdderBatch`] advances per step. The
@@ -47,6 +50,51 @@ use crate::lut::ProductLut;
 /// outputs. [`MacGemm::with_lane_width`] narrows it for equivalence
 /// testing and benchmarking.
 const LANES: usize = 64;
+
+/// Cache-blocking tile sizes of the tiled execution path.
+///
+/// The output matrix is cut into a fixed grid of `row_tile x col_tile`
+/// rectangles for multi-core dispatch (one pool job per rectangle), and
+/// inside each rectangle the loop walks `col_tile` columns at a time
+/// across all of the rectangle's rows, so one lane-interleaved B panel
+/// slice (`col_tile * k` bytes) is reused across every row before the
+/// next slice is touched. The grid is a pure function of the shape and
+/// the tile sizes — never of the thread count — which together with the
+/// per-output-element accumulation order (unchanged) and position-seeded
+/// SR streams keeps results bitwise identical for every tile/thread
+/// combination.
+///
+/// `col_tile` must be a multiple of the 64-lane block width so tile
+/// boundaries never split a lane block. Defaults come from
+/// [`TileConfig::auto`], derived with `probe_tune kernel`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Output rows per dispatch rectangle.
+    pub row_tile: usize,
+    /// Output columns per dispatch rectangle and per in-job column tile
+    /// (multiple of 64).
+    pub col_tile: usize,
+}
+
+impl TileConfig {
+    /// The tuned defaults (see `probe_tune kernel`): 32 rows keeps ~8
+    /// dispatch rectangles per core on training shapes, 512 columns
+    /// bounds the active B panel slice at `512 * k` bytes — L2-resident
+    /// alongside the 256 KiB pair LUT for every ResNet-20 shape.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self {
+            row_tile: 32,
+            col_tile: 512,
+        }
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
 
 /// Vector-ISA tier of the batched accumulation loop, detected at engine
 /// construction. The kernel *code* is identical at every tier — the same
@@ -64,7 +112,9 @@ enum SimdTier {
     /// AVX2: 4 lanes per `ymm` register.
     #[cfg(target_arch = "x86_64")]
     Avx2,
-    /// AVX-512 (F/BW/DQ/VL): 8 lanes per `zmm` register, masked selects.
+    /// AVX-512 (F/BW/DQ/VL/CD): 8 lanes per `zmm` register, masked
+    /// selects, and — load-bearing for the adder's normalization step —
+    /// `vplzcnt` vector leading-zero counts.
     #[cfg(target_arch = "x86_64")]
     Avx512,
 }
@@ -77,6 +127,7 @@ impl SimdTier {
                 && std::arch::is_x86_feature_detected!("avx512bw")
                 && std::arch::is_x86_feature_detected!("avx512dq")
                 && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512cd")
             {
                 return SimdTier::Avx512;
             }
@@ -319,6 +370,12 @@ struct MacKernel {
     batch: FastAdderBatch,
     /// Products pre-decoded into lane words (see `batch.rs`).
     dlut: DecodedLut,
+    /// Products pre-decoded into *narrow* lane words (256 KiB) — the
+    /// hot-path table whenever the accumulator algebra fits u32 words
+    /// (`None` otherwise; the wide `dlut` then serves the panel loop).
+    plut: Option<PairLut>,
+    /// Cache-blocking tile sizes of the panel loop and the dispatch grid.
+    tiles: TileConfig,
     decode: Vec<f32>,
     /// Accumulator-format magnitude mask (all bits except the sign).
     acc_mag_mask: u64,
@@ -453,8 +510,250 @@ impl MacKernel {
         std::array::from_fn(|l| batch.encode(acc[l]) as u16)
     }
 
-    /// Runs lane blocks of width `L` over the columns of one output row,
-    /// advancing `j` past every complete block.
+    /// [`MacKernel::dotn_compact_batch`] over a lane-interleaved B panel
+    /// block (`pan[ci * L + l]` is column `l`'s code at k-index `ci`):
+    /// one contiguous `L`-byte load per k-step instead of `L` strided
+    /// column touches. Same adds, same streams — bit-identical.
+    #[inline(always)]
+    fn dotn_panel_wide<const L: usize, const SR: bool>(
+        &self,
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        streams: &mut SrLaneStreams<L>,
+    ) -> [u16; L] {
+        let batch = &self.batch;
+        let mut acc = [0u64; L];
+        for (&ci, &ca) in ids.iter().zip(cods) {
+            let row = self.dlut.row(ca);
+            let base = ci as usize * L;
+            let bc: &[u8; L] = pan[base..base + L].try_into().expect("panel block");
+            let mut prods = [0u64; L];
+            for l in 0..L {
+                prods[l] = row[usize::from(bc[l])];
+            }
+            let words = if SR {
+                let mut consume = [false; L];
+                for l in 0..L {
+                    consume[l] = prods[l] & LANE_DRAWS != 0;
+                }
+                streams.draw(consume)
+            } else {
+                [0u64; L]
+            };
+            batch.mac_step(&mut acc, &prods, &words);
+        }
+        std::array::from_fn(|l| batch.encode(acc[l]) as u16)
+    }
+
+    /// The narrow-word panel loop: products come pre-decoded as u32 lane
+    /// words from the [`PairLut`] and accumulate through `mac_step32` —
+    /// half the word width, the same algebra, bit-identical results (the
+    /// exhaustive suites in `batch.rs` pin the kernels against each
+    /// other via the scalar adder).
+    #[inline(always)]
+    fn dotn_panel_narrow<const L: usize, const SR: bool>(
+        &self,
+        plut: &PairLut,
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        streams: &mut SrLaneStreams<L>,
+    ) -> [u16; L] {
+        let batch = &self.batch;
+        let mut acc = [0u32; L];
+        for (&ci, &ca) in ids.iter().zip(cods) {
+            let row = plut.row(ca);
+            let base = ci as usize * L;
+            let bc: &[u8; L] = pan[base..base + L].try_into().expect("panel block");
+            let mut prods = [0u32; L];
+            for l in 0..L {
+                prods[l] = row[usize::from(bc[l])];
+            }
+            let words = if SR {
+                let mut consume = [false; L];
+                for l in 0..L {
+                    consume[l] = prods[l] & LANE32_DRAWS != 0;
+                }
+                streams.draw(consume)
+            } else {
+                [0u64; L]
+            };
+            batch.mac_step32(&mut acc, &prods, &words);
+        }
+        std::array::from_fn(|l| batch.encode32(acc[l]) as u16)
+    }
+
+    /// One `L`-wide panel block of output row `i`, columns
+    /// `base .. base + L`, through the narrow loop when the pair LUT is
+    /// engaged and the wide loop otherwise. `out` is the block's slice of
+    /// the output row.
+    ///
+    /// Under the AVX-512 tier the narrow loop runs through the explicit
+    /// `z16` kernel (16 u32 lanes per `zmm`, accumulators
+    /// register-resident across the whole `k` loop); elsewhere it is the
+    /// portable SWAR loop above, auto-vectorized.
+    #[inline(always)]
+    fn panel_block<const L: usize>(
+        &self,
+        ids: &[u32],
+        cods: &[u8],
+        pan: &[u8],
+        i: usize,
+        base: usize,
+        out: &mut [f32],
+    ) {
+        let sr = !matches!(self.rounding, AccumRounding::Nearest);
+        if let Some(plut) = &self.plut {
+            #[cfg(target_arch = "x86_64")]
+            if self.tier == SimdTier::Avx512 && L.is_multiple_of(16) {
+                if L.is_multiple_of(64) {
+                    let mut l0 = 0;
+                    while l0 < L {
+                        let seeds: [u64; 64] =
+                            std::array::from_fn(|l| mix_seed(self.seed, i, base + l0 + l));
+                        // SAFETY: `SimdTier::detect` verified every feature
+                        // the z16 kernel enables.
+                        #[allow(unsafe_code)]
+                        let accs = unsafe {
+                            if sr {
+                                z16::dot64_narrow::<true>(
+                                    &self.batch,
+                                    plut.table(),
+                                    ids,
+                                    cods,
+                                    pan,
+                                    L,
+                                    l0,
+                                    &seeds,
+                                )
+                            } else {
+                                z16::dot64_narrow::<false>(
+                                    &self.batch,
+                                    plut.table(),
+                                    ids,
+                                    cods,
+                                    pan,
+                                    L,
+                                    l0,
+                                    &seeds,
+                                )
+                            }
+                        };
+                        for (lane, &a) in accs.iter().enumerate() {
+                            out[l0 + lane] = self.decode[self.batch.encode32(a) as usize];
+                        }
+                        l0 += 64;
+                    }
+                    return;
+                }
+                if L.is_multiple_of(32) {
+                    let mut l0 = 0;
+                    while l0 < L {
+                        let seeds: [u64; 32] =
+                            std::array::from_fn(|l| mix_seed(self.seed, i, base + l0 + l));
+                        // SAFETY: `SimdTier::detect` verified every feature
+                        // the z16 kernel enables.
+                        #[allow(unsafe_code)]
+                        let accs = unsafe {
+                            if sr {
+                                z16::dot32_narrow::<true>(
+                                    &self.batch,
+                                    plut.table(),
+                                    ids,
+                                    cods,
+                                    pan,
+                                    L,
+                                    l0,
+                                    &seeds,
+                                )
+                            } else {
+                                z16::dot32_narrow::<false>(
+                                    &self.batch,
+                                    plut.table(),
+                                    ids,
+                                    cods,
+                                    pan,
+                                    L,
+                                    l0,
+                                    &seeds,
+                                )
+                            }
+                        };
+                        for (lane, &a) in accs.iter().enumerate() {
+                            out[l0 + lane] = self.decode[self.batch.encode32(a) as usize];
+                        }
+                        l0 += 32;
+                    }
+                    return;
+                }
+                let mut l0 = 0;
+                while l0 < L {
+                    let seeds: [u64; 16] =
+                        std::array::from_fn(|l| mix_seed(self.seed, i, base + l0 + l));
+                    // SAFETY: `SimdTier::detect` verified every feature
+                    // the z16 kernel enables.
+                    #[allow(unsafe_code)]
+                    let accs = unsafe {
+                        if sr {
+                            z16::dot16_narrow::<true>(
+                                &self.batch,
+                                plut.table(),
+                                ids,
+                                cods,
+                                pan,
+                                L,
+                                l0,
+                                &seeds,
+                            )
+                        } else {
+                            z16::dot16_narrow::<false>(
+                                &self.batch,
+                                plut.table(),
+                                ids,
+                                cods,
+                                pan,
+                                L,
+                                l0,
+                                &seeds,
+                            )
+                        }
+                    };
+                    for (lane, &a) in accs.iter().enumerate() {
+                        out[l0 + lane] = self.decode[self.batch.encode32(a) as usize];
+                    }
+                    l0 += 16;
+                }
+                return;
+            }
+            let mut streams =
+                SrLaneStreams::new(std::array::from_fn(|l| mix_seed(self.seed, i, base + l)));
+            let accs = if sr {
+                self.dotn_panel_narrow::<L, true>(plut, ids, cods, pan, &mut streams)
+            } else {
+                self.dotn_panel_narrow::<L, false>(plut, ids, cods, pan, &mut streams)
+            };
+            for (lane, &a) in accs.iter().enumerate() {
+                out[lane] = self.decode[a as usize];
+            }
+            return;
+        }
+        let mut streams =
+            SrLaneStreams::new(std::array::from_fn(|l| mix_seed(self.seed, i, base + l)));
+        let accs = if sr {
+            self.dotn_panel_wide::<L, true>(ids, cods, pan, &mut streams)
+        } else {
+            self.dotn_panel_wide::<L, false>(ids, cods, pan, &mut streams)
+        };
+        for (lane, &a) in accs.iter().enumerate() {
+            out[lane] = self.decode[a as usize];
+        }
+    }
+
+    /// Runs lane blocks of width `L` over columns `*j .. cols.end` of one
+    /// output row, gathering from column-major `bcode_t` and advancing
+    /// `j` past every complete block (the legacy, non-panel loop kept for
+    /// explicit lane widths below 64).
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn lane_blocks<const L: usize>(
@@ -463,13 +762,13 @@ impl MacKernel {
         cods: &[u8],
         bcode_t: &[u8],
         k: usize,
-        n: usize,
+        cols: &Range<usize>,
         i: usize,
         j: &mut usize,
         out_row: &mut [f32],
     ) {
         let sr = !matches!(self.rounding, AccumRounding::Nearest);
-        while *j + (L - 1) < n {
+        while *j + L <= cols.end {
             let base = *j;
             let bcols: [&[u8]; L] =
                 std::array::from_fn(|l| &bcode_t[(base + l) * k..(base + l + 1) * k]);
@@ -481,25 +780,29 @@ impl MacKernel {
                 self.dotn_compact_batch::<L, false>(ids, cods, bcols, &mut streams)
             };
             for (lane, &a) in accs.iter().enumerate() {
-                out_row[base + lane] = self.decode[a as usize];
+                out_row[base - cols.start + lane] = self.decode[a as usize];
             }
             *j += L;
         }
     }
 
-    /// Compacted-A variant of [`MacKernel::compute_rows`] (requires a
-    /// NaN-free B operand; see [`MacKernel::dot_compact`]). Columns are
-    /// processed in lane-batched groups of `self.lanes`, with the scalar
-    /// adder covering the ragged tail (`n % lanes` columns) — bit-identical
-    /// to the scalar path for every lane width. Dispatches once onto the
-    /// detected [`SimdTier`]'s codegen of the (identical) loop body.
-    fn compute_rows_compact(
+    /// Compacted-A rectangle kernel (requires a NaN-free B operand; see
+    /// [`MacKernel::dot_compact`]): fills output rows `rows` x columns
+    /// `cols` into `block` (row-major, stride `cols.len()`). Bit-identical
+    /// to the scalar path for every lane width, tile shape and column
+    /// range — the tiling only reorders *which independent element* is
+    /// computed when. Dispatches once onto the detected [`SimdTier`]'s
+    /// codegen of the (identical) loop body.
+    #[allow(clippy::too_many_arguments)] // internal dispatch seam: shape + operand views
+    fn compute_rect_compact(
         &self,
         compact: &CompactA,
         bcode_t: &[u8],
+        panel: &[u8],
         k: usize,
         n: usize,
-        row0: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
         block: &mut [f32],
     ) {
         match self.tier {
@@ -509,7 +812,9 @@ impl MacKernel {
                 // CPU has every feature the callee enables.
                 #[allow(unsafe_code)]
                 unsafe {
-                    self.compute_rows_compact_avx512(compact, bcode_t, k, n, row0, block);
+                    self.compute_rect_compact_avx512(
+                        compact, bcode_t, panel, k, n, rows, cols, block,
+                    );
                 }
             }
             #[cfg(target_arch = "x86_64")]
@@ -517,11 +822,13 @@ impl MacKernel {
                 // SAFETY: as above — `avx2` was detected at runtime.
                 #[allow(unsafe_code)]
                 unsafe {
-                    self.compute_rows_compact_avx2(compact, bcode_t, k, n, row0, block);
+                    self.compute_rect_compact_avx2(
+                        compact, bcode_t, panel, k, n, rows, cols, block,
+                    );
                 }
             }
             SimdTier::Portable => {
-                self.compute_rows_compact_body(compact, bcode_t, k, n, row0, block);
+                self.compute_rect_compact_body(compact, bcode_t, panel, k, n, rows, cols, block);
             }
         }
     }
@@ -534,75 +841,164 @@ impl MacKernel {
         enable = "avx512bw",
         enable = "avx512dq",
         enable = "avx512vl",
+        enable = "avx512cd",
         enable = "avx2"
     )]
-    fn compute_rows_compact_avx512(
+    #[allow(clippy::too_many_arguments)]
+    fn compute_rect_compact_avx512(
         &self,
         compact: &CompactA,
         bcode_t: &[u8],
+        panel: &[u8],
         k: usize,
         n: usize,
-        row0: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
         block: &mut [f32],
     ) {
-        self.compute_rows_compact_body(compact, bcode_t, k, n, row0, block);
+        self.compute_rect_compact_body(compact, bcode_t, panel, k, n, rows, cols, block);
     }
 
     /// AVX2 codegen of the compacted loop (4-lane `ymm` arithmetic).
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    fn compute_rows_compact_avx2(
+    #[allow(clippy::too_many_arguments)]
+    fn compute_rect_compact_avx2(
         &self,
         compact: &CompactA,
         bcode_t: &[u8],
+        panel: &[u8],
         k: usize,
         n: usize,
-        row0: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
         block: &mut [f32],
     ) {
-        self.compute_rows_compact_body(compact, bcode_t, k, n, row0, block);
+        self.compute_rect_compact_body(compact, bcode_t, panel, k, n, rows, cols, block);
     }
 
-    /// The tier-independent loop body (inlined into each tier wrapper so
-    /// every tier gets its own codegen of the whole lane pipeline).
+    /// The tier-independent rectangle body (inlined into each tier wrapper
+    /// so every tier gets its own codegen of the whole lane pipeline).
+    ///
+    /// At the production lane width (64) with a panel available, this is
+    /// the tiled loop: column tiles of `self.tiles.col_tile` outermost,
+    /// the rectangle's rows next, lane blocks innermost — every row of
+    /// the rectangle reuses one `col_tile * k`-byte panel slice before
+    /// the loop moves on. Panel regions (64-wide blocks, then 8-wide
+    /// blocks, then a scalar tail from `bcode_t`) partition the columns;
+    /// tile and dispatch boundaries are 64-aligned, so they never split
+    /// a block. Explicit narrower lane widths take the legacy gather
+    /// loop over `bcode_t`, which keeps the equivalence suites
+    /// exercising both layouts against each other.
     #[inline(always)]
-    fn compute_rows_compact_body(
+    #[allow(clippy::too_many_arguments)]
+    fn compute_rect_compact_body(
         &self,
         compact: &CompactA,
         bcode_t: &[u8],
+        panel: &[u8],
         k: usize,
         n: usize,
-        row0: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
         block: &mut [f32],
     ) {
-        for (ri, out_row) in block.chunks_mut(n).enumerate() {
-            let i = row0 + ri;
+        let w = cols.len();
+        let row_of = |i: usize| {
             let (s, e) = (compact.row_ptr[i] as usize, compact.row_ptr[i + 1] as usize);
-            let ids = &compact.idx[s..e];
-            let cods = &compact.code[s..e];
-            let mut j = 0usize;
-            match self.lanes {
-                64 => {
-                    self.lane_blocks::<64>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
-                    self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+            (&compact.idx[s..e], &compact.code[s..e])
+        };
+        if self.lanes != LANES || panel.is_empty() {
+            for (ri, out_row) in block.chunks_mut(w).enumerate() {
+                let i = rows.start + ri;
+                let (ids, cods) = row_of(i);
+                let mut j = cols.start;
+                match self.lanes {
+                    64 => {
+                        self.lane_blocks::<64>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                    }
+                    32 => {
+                        self.lane_blocks::<32>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                    }
+                    16 => {
+                        self.lane_blocks::<16>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                    }
+                    8 => self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row),
+                    4 => self.lane_blocks::<4>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row),
+                    _ => {}
                 }
-                32 => {
-                    self.lane_blocks::<32>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
-                    self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
+                while j < cols.end {
+                    let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                    let acc = self.dot_compact(ids, cods, &bcode_t[j * k..(j + 1) * k], &mut rng);
+                    out_row[j - cols.start] = self.decode[acc as usize];
+                    j += 1;
                 }
-                16 => {
-                    self.lane_blocks::<16>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
-                    self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row);
-                }
-                8 => self.lane_blocks::<8>(ids, cods, bcode_t, k, n, i, &mut j, out_row),
-                4 => self.lane_blocks::<4>(ids, cods, bcode_t, k, n, i, &mut j, out_row),
-                _ => {}
             }
-            while j < n {
+            return;
+        }
+        // The tiled panel loop. Column-region boundaries of the panel:
+        // 64-wide blocks cover [0, n64), 8-wide blocks [n64, n8), and the
+        // scalar tail [n8, n) reads column-major codes directly.
+        let n64 = n - n % 64;
+        let n8 = n64 + ((n - n64) & !7usize);
+        let ct = self.tiles.col_tile.max(64);
+        let mut c0 = cols.start;
+        while c0 < cols.end {
+            let c1 = cols.end.min(c0 + ct);
+            for (ri, out_row) in block.chunks_mut(w).enumerate() {
+                let i = rows.start + ri;
+                let (ids, cods) = row_of(i);
+                let mut j = c0;
+                let lim64 = c1.min(n64);
+                while j + 64 <= lim64 {
+                    let pan = &panel[j * k..(j + 64) * k];
+                    let o = j - cols.start;
+                    self.panel_block::<64>(ids, cods, pan, i, j, &mut out_row[o..o + 64]);
+                    j += 64;
+                }
+                let lim8 = c1.min(n8);
+                while j >= n64 && j + 8 <= lim8 {
+                    let off = n64 * k + (j - n64) * k;
+                    let pan = &panel[off..off + 8 * k];
+                    let o = j - cols.start;
+                    self.panel_block::<8>(ids, cods, pan, i, j, &mut out_row[o..o + 8]);
+                    j += 8;
+                }
+                while j < c1 {
+                    let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                    let acc = self.dot_compact(ids, cods, &bcode_t[j * k..(j + 1) * k], &mut rng);
+                    out_row[j - cols.start] = self.decode[acc as usize];
+                    j += 1;
+                }
+            }
+            c0 = c1;
+        }
+    }
+
+    /// Dense rectangle kernel — the NaN-fallback counterpart of
+    /// [`MacKernel::compute_rect_compact`] (scalar dots, golden special
+    /// semantics).
+    fn compute_rect_dense(
+        &self,
+        acode: &[u8],
+        bcode_t: &[u8],
+        k: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        block: &mut [f32],
+    ) {
+        let w = cols.len();
+        for (ri, out_row) in block.chunks_mut(w).enumerate() {
+            let i = rows.start + ri;
+            let arow = &acode[i * k..(i + 1) * k];
+            for (jo, o) in out_row.iter_mut().enumerate() {
+                let j = cols.start + jo;
                 let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
-                let acc = self.dot_compact(ids, cods, &bcode_t[j * k..(j + 1) * k], &mut rng);
-                out_row[j] = self.decode[acc as usize];
-                j += 1;
+                let acc = self.dot(arow, &bcode_t[j * k..(j + 1) * k], &mut rng);
+                *o = self.decode[acc as usize];
             }
         }
     }
@@ -658,14 +1054,52 @@ impl MacPackedA {
     }
 }
 
-/// [`PackedOperand`] payload for the B side: column-major codes and
-/// whether any of them is a NaN (which forces the dense A path to keep
-/// `0 * NaN = NaN` propagation bit-exact).
+/// [`PackedOperand`] payload for the B side: column-major codes, the
+/// lane-interleaved panel rebuilt from them, and whether any code is a
+/// NaN (which forces the dense A path to keep `0 * NaN = NaN`
+/// propagation bit-exact).
 #[derive(Debug)]
 struct MacPackedB {
     codes_t: Arc<Vec<u8>>,
+    /// Lane-interleaved panel of the full-width column blocks (see
+    /// [`build_panel`]); the column-major `codes_t` still serves the
+    /// scalar tail, the dense fallback and narrower lane widths.
+    panel: Arc<Vec<u8>>,
     has_nan: bool,
     fingerprint: u64,
+}
+
+/// Builds the lane-interleaved B panel from column-major `k x n` codes:
+///
+/// - bytes `[0, n64 * k)`: 64-wide column blocks; block `b` (columns
+///   `64b .. 64b + 64`) stores code `(ci, l)` at `b*64*k + ci*64 + l`,
+///   so a k-step loads its 64 operand codes as one contiguous line;
+/// - bytes `[n64 * k, n8 * k)`: 8-wide blocks covering the next
+///   `(n - n64) & !7` columns, laid out the same way at stride 8;
+/// - the ragged tail (`n - n8 < 8` columns) has no panel entry — the
+///   scalar loop reads `codes_t` directly.
+///
+/// `n64 = n - n % 64`. Tile and dispatch boundaries are multiples of 64,
+/// so no block ever straddles a job boundary.
+fn build_panel(codes_t: &[u8], k: usize, n: usize) -> Vec<u8> {
+    let n64 = n - n % 64;
+    let n8 = n64 + ((n - n64) & !7usize);
+    let mut panel = vec![0u8; n8 * k];
+    let mut interleave = |dst0: usize, col0: usize, width: usize| {
+        for l in 0..width {
+            let col = &codes_t[(col0 + l) * k..(col0 + l + 1) * k];
+            for (ci, &cd) in col.iter().enumerate() {
+                panel[dst0 + ci * width + l] = cd;
+            }
+        }
+    };
+    for b in 0..n64 / 64 {
+        interleave(b * 64 * k, b * 64, 64);
+    }
+    for t in 0..(n8 - n64) / 8 {
+        interleave(n64 * k + t * 8 * k, n64 + t * 8, 8);
+    }
+    panel
 }
 
 /// The A-side execution plan of one product: compacted when B is NaN-free
@@ -677,19 +1111,22 @@ enum AWork {
 }
 
 impl AWork {
-    fn compute_rows(
+    #[allow(clippy::too_many_arguments)]
+    fn compute_rect(
         &self,
         kernel: &MacKernel,
         bcode_t: &[u8],
+        panel: &[u8],
         k: usize,
         n: usize,
-        row0: usize,
+        rows: Range<usize>,
+        cols: Range<usize>,
         block: &mut [f32],
     ) {
         match self {
-            AWork::Dense(codes) => kernel.compute_rows(codes, bcode_t, k, n, row0, block),
+            AWork::Dense(codes) => kernel.compute_rect_dense(codes, bcode_t, k, rows, cols, block),
             AWork::Compact(compact) => {
-                kernel.compute_rows_compact(compact, bcode_t, k, n, row0, block);
+                kernel.compute_rect_compact(compact, bcode_t, panel, k, n, rows, cols, block);
             }
         }
     }
@@ -716,6 +1153,10 @@ pub struct MacGemm {
     zero_code: u8,
     kernel: Arc<MacKernel>,
     runtime: Arc<Runtime>,
+    /// Recycled byte buffers for the code-transposition scratch of
+    /// [`MacGemm::gemm_scoped`] and the `_into` quantization helpers —
+    /// steady-state reference-path calls allocate nothing.
+    codes_scratch: Mutex<Vec<Vec<u8>>>,
 }
 
 impl MacGemm {
@@ -759,11 +1200,14 @@ impl MacGemm {
             .map(|bits| config.acc_fmt.decode_f64(bits) as f32)
             .collect();
         let zero_code = config.mul_fmt.zero_bits(false) as u8;
+        let plut = PairLut::build(&lut, &batch);
         let kernel = Arc::new(MacKernel {
             lut,
             adder,
             batch,
             dlut,
+            plut,
+            tiles: TileConfig::auto(),
             decode,
             acc_mag_mask: !(1 << (config.acc_fmt.bits() - 1))
                 & srmac_fp::mask(config.acc_fmt.bits()),
@@ -778,6 +1222,7 @@ impl MacGemm {
             zero_code,
             kernel,
             runtime,
+            codes_scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -806,10 +1251,87 @@ impl MacGemm {
         self
     }
 
+    /// Sets the cache-blocking tile sizes of the tiled execution path
+    /// (default [`TileConfig::auto`]). Results are bitwise identical for
+    /// every tile shape — the knob trades locality against dispatch
+    /// granularity, never bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_tile` is 0 or `col_tile` is not a positive
+    /// multiple of 64 (tile boundaries must never split a lane block).
+    #[must_use]
+    pub fn with_tiles(mut self, tiles: TileConfig) -> Self {
+        assert!(tiles.row_tile >= 1, "row_tile must be at least 1");
+        assert!(
+            tiles.col_tile >= 64 && tiles.col_tile.is_multiple_of(64),
+            "col_tile must be a positive multiple of 64"
+        );
+        Arc::make_mut(&mut self.kernel).tiles = tiles;
+        self
+    }
+
+    /// The engine's tile configuration.
+    #[must_use]
+    pub fn tiles(&self) -> TileConfig {
+        self.kernel.tiles
+    }
+
+    /// Enables or disables the narrow product-pair LUT (enabled by
+    /// default whenever the accumulator algebra fits u32 lane words;
+    /// see [`crate::lut::PairLut`]). Results are bitwise identical
+    /// either way — the knob exists for equivalence tests and perf
+    /// probes.
+    #[must_use]
+    pub fn with_pair_lut(mut self, enabled: bool) -> Self {
+        let kernel = Arc::make_mut(&mut self.kernel);
+        kernel.plut = if enabled {
+            PairLut::build(&kernel.lut, &kernel.batch)
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Whether the narrow product-pair LUT is engaged.
+    #[must_use]
+    pub fn pair_lut_active(&self) -> bool {
+        self.kernel.plut.is_some()
+    }
+
     /// Quantizes a slice to multiplier-format codes.
     #[must_use]
     pub fn quantize_codes(&self, xs: &[f32]) -> Vec<u8> {
-        xs.iter().map(|&x| self.quant.quantize(x) as u8).collect()
+        let mut out = self.take_codes_buf();
+        self.quantize_codes_into(xs, &mut out);
+        out
+    }
+
+    /// [`MacGemm::quantize_codes`] into a caller-owned buffer (cleared
+    /// and refilled) — the workspace-reuse variant for paths that
+    /// quantize repeatedly.
+    pub fn quantize_codes_into(&self, xs: &[f32], out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(xs.len(), 0);
+        self.quant.quantize_block(xs, out);
+    }
+
+    /// Pops a recycled byte buffer (or a fresh empty one).
+    fn take_codes_buf(&self) -> Vec<u8> {
+        self.codes_scratch
+            .lock()
+            .expect("codes scratch poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a byte buffer to the bounded free list.
+    fn recycle_codes_buf(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut stash = self.codes_scratch.lock().expect("codes scratch poisoned");
+        if stash.len() < 8 {
+            stash.push(buf);
+        }
     }
 
     /// One full dot product in MAC semantics (exposed for tests and the
@@ -862,6 +1384,7 @@ impl MacGemm {
         payload
     }
 
+    #[allow(clippy::too_many_arguments)] // internal dispatch seam: shape + operand views
     fn gemm_codes(
         &self,
         m: usize,
@@ -869,19 +1392,31 @@ impl MacGemm {
         n: usize,
         awork: &AWork,
         bcode_t: &Arc<Vec<u8>>,
+        panel: &Arc<Vec<u8>>,
         out: &mut [f32],
     ) {
-        // Keep each chunk at least as large as the old small-product
-        // threshold (~32k MAC steps): below it the work is cheaper than a
-        // pool round-trip, and `parallel_fill` then runs inline.
-        let grain = (32 * 1024 / (k * n).max(1)).max(1);
+        // Small products are cheaper than a pool round-trip: collapse the
+        // grid to a single job (below ~32k MAC steps), which
+        // `parallel_fill_blocks` then runs inline on the caller.
+        let (row_tile, col_tile) = if m * k * n < 32 * 1024 {
+            (m.max(1), n.max(64))
+        } else {
+            (self.kernel.tiles.row_tile, self.kernel.tiles.col_tile)
+        };
         let kernel = Arc::clone(&self.kernel);
         let awork = awork.clone();
         let bcode_t = Arc::clone(bcode_t);
-        self.runtime
-            .parallel_fill(m, n, grain, out, move |rows, block| {
-                awork.compute_rows(&kernel, &bcode_t, k, n, rows.start, block);
-            });
+        let panel = Arc::clone(panel);
+        self.runtime.parallel_fill_blocks(
+            m,
+            n,
+            row_tile,
+            col_tile,
+            out,
+            move |rows, cols, block| {
+                awork.compute_rect(&kernel, &bcode_t, &panel, k, n, rows, cols, block);
+            },
+        );
     }
 
     /// One-shot GEMM through per-call `std::thread::scope` spawning — the
@@ -896,8 +1431,12 @@ impl MacGemm {
         assert_eq!(a.len(), m * k, "A must be m x k");
         assert_eq!(b.len(), k * n, "B must be k x n");
         assert_eq!(out.len(), m * n, "out must be m x n");
-        let acode = self.quantize_codes(a);
-        let bcode_t = self.transpose_codes(&self.quantize_codes(b), k, n);
+        let mut acode = self.take_codes_buf();
+        self.quantize_codes_into(a, &mut acode);
+        let mut bcode = self.take_codes_buf();
+        self.quantize_codes_into(b, &mut bcode);
+        let mut bcode_t = self.take_codes_buf();
+        self.transpose_codes_into(&bcode, k, n, &mut bcode_t);
         let threads = if m * n * k < 32 * 1024 {
             1
         } else {
@@ -914,17 +1453,21 @@ impl MacGemm {
                 });
             }
         });
+        self.recycle_codes_buf(acode);
+        self.recycle_codes_buf(bcode);
+        self.recycle_codes_buf(bcode_t);
     }
 
-    /// Transposes row-major `rows x cols` codes into column-major order.
-    fn transpose_codes(&self, codes: &[u8], rows: usize, cols: usize) -> Vec<u8> {
-        let mut t = vec![self.zero_code; rows * cols];
+    /// Transposes row-major `rows x cols` codes into column-major order,
+    /// into a caller-owned buffer (cleared and refilled).
+    fn transpose_codes_into(&self, codes: &[u8], rows: usize, cols: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(rows * cols, self.zero_code);
         for l in 0..rows {
             for j in 0..cols {
-                t[j * rows + l] = codes[l * cols + j];
+                out[j * rows + l] = codes[l * cols + j];
             }
         }
-        t
     }
 }
 
@@ -938,18 +1481,20 @@ fn mix_seed(seed: u64, i: usize, j: usize) -> u64 {
 impl GemmEngine for MacGemm {
     fn pack_a(&self, rows: usize, cols: usize, a: &[f32]) -> PackedOperand {
         assert_eq!(a.len(), rows * cols, "A must be rows x cols");
-        // Quantize and CSR-compact the non-zero-magnitude entries in one
-        // pass (packing left operands is per-call work on the hot path);
-        // dense codes are only materialized if a NaN-carrying B ever asks
-        // for them (see [`MacPackedA::dense_codes`]).
+        // Block-quantize into reusable scratch, then CSR-compact the
+        // non-zero-magnitude entries; dense codes are only materialized if
+        // a NaN-carrying B ever asks for them (see
+        // [`MacPackedA::dense_codes`]).
         let mag_mask = srmac_fp::mask(self.config.mul_fmt.bits() - 1) as u8;
+        let mut codes = self.take_codes_buf();
+        codes.resize(a.len(), 0);
+        self.quant.quantize_block(a, &mut codes);
         let mut row_ptr = Vec::with_capacity(rows + 1);
         row_ptr.push(0u32);
         let mut idx = Vec::with_capacity(a.len());
         let mut code = Vec::with_capacity(a.len());
-        for row in a.chunks(cols.max(1)) {
-            for (c, &x) in row.iter().enumerate() {
-                let cd = self.quant.quantize(x) as u8;
+        for row in codes.chunks(cols.max(1)) {
+            for (c, &cd) in row.iter().enumerate() {
                 if cd & mag_mask != 0 {
                     idx.push(c as u32);
                     code.push(cd);
@@ -957,6 +1502,7 @@ impl GemmEngine for MacGemm {
             }
             row_ptr.push(u32::try_from(idx.len()).expect("operand too large to compact"));
         }
+        self.recycle_codes_buf(codes);
         let payload = MacPackedA {
             compact: Arc::new(CompactA { row_ptr, idx, code }),
             dense: OnceLock::new(),
@@ -969,12 +1515,29 @@ impl GemmEngine for MacGemm {
 
     fn pack_b(&self, rows: usize, cols: usize, b: &[f32]) -> PackedOperand {
         assert_eq!(b.len(), rows * cols, "B must be rows x cols");
-        let codes = self.quantize_codes(b);
+        // Block-quantize into reusable scratch (16 values per instruction
+        // on AVX-512), then scatter to column-major slots with NaN
+        // detection inlined on the code (a NaN is any magnitude above
+        // infinity's).
         let fmt = self.config.mul_fmt;
-        let has_nan = codes.iter().any(|&c| fmt.is_nan(u64::from(c)));
-        let codes_t = self.transpose_codes(&codes, rows, cols);
+        let mag_mask = srmac_fp::mask(fmt.bits() - 1) as u8;
+        let inf_mag = (fmt.inf_bits(false) & srmac_fp::mask(fmt.bits() - 1)) as u8;
+        let mut codes = self.take_codes_buf();
+        codes.resize(b.len(), 0);
+        self.quant.quantize_block(b, &mut codes);
+        let mut codes_t = vec![self.zero_code; rows * cols];
+        let mut has_nan = false;
+        for (l, row) in codes.chunks(cols.max(1)).enumerate() {
+            for (j, &cd) in row.iter().enumerate() {
+                has_nan |= (cd & mag_mask) > inf_mag;
+                codes_t[j * rows + l] = cd;
+            }
+        }
+        self.recycle_codes_buf(codes);
+        let panel = build_panel(&codes_t, rows, cols);
         let payload = MacPackedB {
             codes_t: Arc::new(codes_t),
+            panel: Arc::new(panel),
             has_nan,
             fingerprint: self.fingerprint(),
         };
@@ -999,7 +1562,8 @@ impl GemmEngine for MacGemm {
             AWork::Compact(Arc::clone(&a.compact))
         };
         let bcode_t = Arc::clone(&b.codes_t);
-        self.gemm_codes(m, k, n, &awork, &bcode_t, out);
+        let panel = Arc::clone(&b.panel);
+        self.gemm_codes(m, k, n, &awork, &bcode_t, &panel, out);
     }
 
     // The spec atom of this configuration (`spec` module grammar), with

@@ -81,6 +81,36 @@
 //! operand-level exhaustive equivalence in `batch.rs`), and the golden
 //! training histories did not move when the default width changed.
 //!
+//! # The tiled, fused execution pipeline
+//!
+//! On top of the lane-batched adder, `gemm_packed` executes a
+//! cache-blocked tile grid ([`TileConfig`], runtime-tunable through
+//! [`MacGemm::with_tiles`]): the output plane is cut into
+//! `row_tile x col_tile` rectangles, each rectangle walks one
+//! column-major B-panel slice to completion before the next slice is
+//! touched, and the rectangles are the units handed to the shared
+//! worker pool for multi-core dispatch. The grid is a pure function of
+//! the shape and the tile sizes — never of the thread count — and no
+//! rectangle splits an output element, so every tile/thread combination
+//! is bitwise identical (asserted across shapes in
+//! `tests/tiled_kernel.rs`).
+//!
+//! Two fusions keep the per-call constant work off the measured path:
+//!
+//! * **Quantize+pack fusion** — `pack_a`/`pack_b` quantize straight
+//!   into recycled workspace buffers (a vectorized block quantizer under
+//!   AVX-512) and compact/transpose from there; the one-shot `gemm`
+//!   allocates nothing per call beyond its packed outputs.
+//! * **Product-pair decode LUT** — when the accumulator algebra fits the
+//!   *narrow* u32 lane word (`ef_max + p + 2 <= 29` with the `LANE32_*`
+//!   layout, true for the paper's E6M5 family), a 256 KiB [`PairLut`]
+//!   maps each `(code_a, code_b)` pair directly to the pre-decoded
+//!   product word, and the inner loop runs a fully vectorized
+//!   AVX-512 chain over u32 lanes — no per-step decode, no u64
+//!   widening. Formats outside the envelope (or
+//!   [`MacGemm::with_pair_lut`]`(false)`) fall back to the wide u64
+//!   path; both paths are bit-identical by construction and by test.
+//!
 //! # Example
 //!
 //! ```
@@ -124,10 +154,13 @@ mod fastmath;
 mod lut;
 pub mod spec;
 
-pub use batch::{DecodedLut, FastAdderBatch, LANE_DRAWS, LANE_KEY, LANE_SIGN, LANE_SPECIAL};
-pub use engine::{ConfigWireError, MacGemm, MacGemmConfig};
+pub use batch::{
+    DecodedLut, FastAdderBatch, LANE32_DRAWS, LANE32_KEY, LANE32_SIGN, LANE32_SPECIAL, LANE_DRAWS,
+    LANE_KEY, LANE_SIGN, LANE_SPECIAL,
+};
+pub use engine::{ConfigWireError, MacGemm, MacGemmConfig, TileConfig};
 pub use fastmath::{AccumRounding, FastAdder, FastQuantizer};
-pub use lut::ProductLut;
+pub use lut::{PairLut, ProductLut};
 pub use spec::{
     engine_from_spec, numerics_from_spec, register_engine_specs, EngineSpecError, ParsedMacSpec,
 };

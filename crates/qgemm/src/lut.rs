@@ -4,6 +4,8 @@
 use srmac_core::ExactMultiplier;
 use srmac_fp::{ops, FpFormat, RoundMode};
 
+use crate::batch::FastAdderBatch;
+
 /// A dense product lookup table for 8-bit-or-smaller multiplier formats.
 ///
 /// The table is always the full 256 x 256 code plane (inputs are masked to
@@ -77,9 +79,109 @@ impl ProductLut {
     }
 }
 
+/// The product-pair decode LUT: the 256 x 256 code plane with every
+/// product stored as a pre-decoded *narrow* (u32) lane word, so the
+/// tiled inner loop loads operands ready for
+/// [`FastAdderBatch::mac_step32`] with no per-element decode at all.
+///
+/// At 256 KiB it is half the footprint of the wide
+/// [`crate::batch::DecodedLut`], which together with the column-tiled B
+/// panel (see `engine.rs`) keeps the whole working set of the hot loop
+/// L2-resident. Construction is gated on the narrow-word envelope:
+/// [`PairLut::build`] returns `None` when the adder's algebra does not
+/// fit u32 lane words, and the engine falls back to the wide path.
+#[derive(Clone)]
+pub struct PairLut {
+    table: Box<[u32; 1 << 16]>,
+}
+
+impl std::fmt::Debug for PairLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairLut").finish_non_exhaustive()
+    }
+}
+
+impl PairLut {
+    /// Decodes every entry of `lut` into a narrow lane word, or `None`
+    /// when the adder's algebra exceeds the narrow envelope
+    /// ([`FastAdderBatch::narrow_ok`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LUT's output format and the adder's format disagree.
+    #[must_use]
+    pub fn build(lut: &ProductLut, batch: &FastAdderBatch) -> Option<Self> {
+        assert_eq!(
+            lut.output_format(),
+            batch.format(),
+            "pair LUT must share the adder's format"
+        );
+        if !batch.narrow_ok() {
+            return None;
+        }
+        let table: Vec<u32> = (0..1usize << 16)
+            .map(|i| batch.decode32(u64::from(lut.product((i >> 8) as u8, i as u8))))
+            .collect();
+        Some(Self {
+            table: table.into_boxed_slice().try_into().expect("table is 65536"),
+        })
+    }
+
+    /// The full 256 x 256 table, indexed `(ca << 8) | cb` — the raw form
+    /// the vector gather kernel addresses directly.
+    #[inline]
+    #[must_use]
+    pub(crate) fn table(&self) -> &[u32; 1 << 16] {
+        &self.table
+    }
+
+    /// The 256-entry narrow decoded product row for left code `ca`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, ca: u8) -> &[u32; 256] {
+        let start = (ca as usize) << 8;
+        self.table[start..start + 256]
+            .try_into()
+            .expect("row is 256")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fastmath::AccumRounding;
+
+    #[test]
+    fn pair_lut_entries_match_narrow_decode_of_products() {
+        let fin = FpFormat::e5m2();
+        let fout = FpFormat::e6m5();
+        let lut = ProductLut::build(fin, fout);
+        for mode in [AccumRounding::Nearest, AccumRounding::Stochastic { r: 13 }] {
+            let batch = FastAdderBatch::new(fout, mode);
+            let plut = PairLut::build(&lut, &batch).expect("e6m5 fits the narrow envelope");
+            for a in 0..=255u8 {
+                let row = plut.row(a);
+                for b in 0..=255u8 {
+                    let enc = u64::from(lut.product(a, b));
+                    assert_eq!(row[b as usize], batch.decode32(enc), "{a:#x}*{b:#x}");
+                    // And the narrow word is faithful: re-encoding gives
+                    // back the product encoding.
+                    assert_eq!(batch.encode32(row[b as usize]), enc, "{a:#x}*{b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lut_is_gated_by_the_narrow_envelope() {
+        // E5M10 at SR13 needs p + f = 11 + 28 bits: over the u32 budget,
+        // so the narrow LUT must refuse and the engine stays wide.
+        let fout = FpFormat::e5m10();
+        let lut = ProductLut::build(FpFormat::e5m2(), fout);
+        let batch = FastAdderBatch::new(fout, AccumRounding::Stochastic { r: 13 });
+        assert!(!batch.narrow_ok());
+        assert!(PairLut::build(&lut, &batch).is_none());
+    }
 
     #[test]
     fn lut_matches_multiplier_exhaustively() {

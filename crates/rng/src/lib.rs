@@ -231,7 +231,10 @@ impl RandomBits for GaloisLfsr {
 }
 
 /// The SplitMix64 state increment (Weyl constant, Steele et al.).
-const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+///
+/// Public so that vectorized reimplementations of the stream (the AVX-512
+/// MAC kernel in `srmac-qgemm`) stay pinned to the exact same sequence.
+pub const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The SplitMix64 output finalizer: the stateless bijective mix applied to
 /// the Weyl-sequence state. Shared by [`SplitMix64`] and [`SrLaneStreams`]

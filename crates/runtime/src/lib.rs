@@ -1,10 +1,13 @@
 //! # srmac-runtime: the shared parallel runtime
 //!
-//! One persistent worker pool and one chunked data-parallel primitive,
-//! shared by every layer of the stack: the `MacGemm` accumulation loops in
-//! `srmac-qgemm` and the data-movement kernels (`im2row`, `col2im`, the
-//! NCHW scatter/gathers, transposes, batch assembly) in `srmac-tensor` /
-//! `srmac-models` all dispatch through a [`Runtime`].
+//! One persistent worker pool and two data-parallel fill primitives —
+//! chunked ([`Runtime::parallel_fill`]) and 2D-tiled
+//! ([`Runtime::parallel_fill_blocks`]) — shared by every layer of the
+//! stack: the `MacGemm` accumulation loops in `srmac-qgemm` dispatch
+//! tile rectangles through the blocked primitive, and the data-movement
+//! kernels (`im2row`, `col2im`, the NCHW scatter/gathers, transposes,
+//! batch assembly) in `srmac-tensor` / `srmac-models` dispatch item
+//! chunks through the chunked one.
 //!
 //! # The `parallel_fill` determinism contract
 //!
@@ -22,6 +25,10 @@
 //!   uses to compute one item is the same order the serial path uses.
 //!   Consequently results are **bitwise identical** for every thread
 //!   count, including 1 — parallelism changes wall-clock time, never bits.
+//!
+//! [`Runtime::parallel_fill_blocks`] extends the same contract to 2D: the
+//! tile grid is a pure function of the shape and the tile sizes, never of
+//! the thread count, and an output element belongs to exactly one tile.
 //!
 //! # Workspace reuse
 //!
@@ -160,6 +167,96 @@ impl Runtime {
         }
         // A job that panics drops its sender without sending; returning a
         // partial result would silently corrupt downstream numerics.
+        assert_eq!(
+            completed, jobs,
+            "a runtime worker job died before completing"
+        );
+    }
+
+    /// Fills `out` — a row-major `rows x cols` matrix — by running
+    /// `job(row_range, col_range, block)` over a fixed grid of disjoint
+    /// rectangles of `row_tile x col_tile` (edge tiles smaller). The
+    /// block handed to the job is the rectangle in row-major order with
+    /// stride `col_range.len()`; the runtime copies it back into `out`
+    /// row segment by row segment.
+    ///
+    /// This is the 2D counterpart of [`Runtime::parallel_fill`] with the
+    /// same determinism contract: the grid is a pure function of
+    /// `(rows, cols, row_tile, col_tile)` — **never** of the thread
+    /// count — and no output element is ever split across jobs, so
+    /// results are bitwise identical for every thread count. A serial
+    /// runtime (or a single-tile grid) runs the job inline over the
+    /// whole matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows * cols` or if a worker job dies.
+    pub fn parallel_fill_blocks<F>(
+        &self,
+        rows: usize,
+        cols: usize,
+        row_tile: usize,
+        col_tile: usize,
+        out: &mut [f32],
+        job: F,
+    ) where
+        F: Fn(Range<usize>, Range<usize>, &mut [f32]) + Send + Sync + 'static,
+    {
+        assert_eq!(out.len(), rows * cols, "out must be rows * cols");
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        let rt = row_tile.max(1);
+        let ct = col_tile.max(1);
+        let row_jobs = rows.div_ceil(rt);
+        let col_jobs = cols.div_ceil(ct);
+        let threads = self.threads();
+        if threads == 1 || row_jobs * col_jobs <= 1 {
+            out.fill(0.0);
+            job(0..rows, 0..cols, out);
+            return;
+        }
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let jobs = row_jobs * col_jobs;
+        let job = Arc::new(job);
+        let (tx, rx) = channel::<(usize, Vec<f32>)>();
+        for ji in 0..jobs {
+            let (jr, jc) = (ji / col_jobs, ji % col_jobs);
+            let r0 = jr * rt;
+            let r1 = (r0 + rt).min(rows);
+            let c0 = jc * ct;
+            let c1 = (c0 + ct).min(cols);
+            let mut block = self
+                .scratch
+                .lock()
+                .expect("scratch poisoned")
+                .pop()
+                .unwrap_or_default();
+            let job = Arc::clone(&job);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                block.clear();
+                block.resize((r1 - r0) * (c1 - c0), 0.0);
+                job(r0..r1, c0..c1, &mut block);
+                let _ = tx.send((ji, block));
+            }));
+        }
+        drop(tx);
+        let mut completed = 0usize;
+        for (ji, block) in rx.iter().take(jobs) {
+            let (jr, jc) = (ji / col_jobs, ji % col_jobs);
+            let r0 = jr * rt;
+            let c0 = jc * ct;
+            let w = (c0 + ct).min(cols) - c0;
+            for (bi, brow) in block.chunks_exact(w).enumerate() {
+                let dst = (r0 + bi) * cols + c0;
+                out[dst..dst + w].copy_from_slice(brow);
+            }
+            self.recycle(block);
+            completed += 1;
+        }
+        // Same loud-failure rule as parallel_fill: a partial result would
+        // silently corrupt downstream numerics.
         assert_eq!(
             completed, jobs,
             "a runtime worker job died before completing"
@@ -341,6 +438,88 @@ mod tests {
             "free list should hold a bounded number of recycled blocks, has {}",
             stash.len()
         );
+    }
+
+    /// A rectangle job for the blocked primitive with an output that
+    /// depends on the absolute (row, col) position, so any partition or
+    /// copy-back mistake shows up as a bit difference.
+    fn rect_job() -> impl Fn(Range<usize>, Range<usize>, &mut [f32]) + Send + Sync {
+        |rows: Range<usize>, cols: Range<usize>, block: &mut [f32]| {
+            let w = cols.len();
+            for (bi, r) in rows.enumerate() {
+                for (bj, c) in cols.clone().enumerate() {
+                    block[bi * w + bj] = (r as f32 * 1.7 - 3.0) * (c as f32).cos() + c as f32;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_blocks_is_bitwise_thread_and_tile_invariant() {
+        let (rows, cols) = (23, 37);
+        let mut want = vec![f32::NAN; rows * cols];
+        want.fill(0.0);
+        rect_job()(0..rows, 0..cols, &mut want);
+        for threads in [1, 2, 3, 8] {
+            let rt = Runtime::new(threads);
+            for (row_tile, col_tile) in [(1, 64), (5, 7), (8, 16), (64, 64)] {
+                let mut out = vec![f32::NAN; rows * cols];
+                rt.parallel_fill_blocks(rows, cols, row_tile, col_tile, &mut out, rect_job());
+                let same = want
+                    .iter()
+                    .zip(&out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    same,
+                    "{threads} threads, {row_tile}x{col_tile} tiles: blocked fill diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_blocks_zeroes_unwritten_elements() {
+        let rt = Runtime::new(3);
+        let mut out = vec![f32::NAN; 4 * 6];
+        // Job writes only the first column of its rectangle.
+        rt.parallel_fill_blocks(4, 6, 2, 3, &mut out, |rows, cols, block| {
+            let w = cols.len();
+            for (bi, r) in rows.enumerate() {
+                block[bi * w] = r as f32 + 1.0;
+            }
+        });
+        for r in 0..4 {
+            for c in 0..6 {
+                let want = if c % 3 == 0 { r as f32 + 1.0 } else { 0.0 };
+                assert_eq!(out[r * 6 + c], want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_runs_inline() {
+        let rt = Runtime::new(4);
+        let ranges = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&ranges);
+        let mut out = vec![0.0f32; 5 * 9];
+        rt.parallel_fill_blocks(5, 9, 8, 16, &mut out, move |rows, cols, _block| {
+            seen.lock().unwrap().push((rows.clone(), cols.clone()));
+        });
+        let seen_ranges = ranges.lock().unwrap();
+        assert_eq!(seen_ranges.len(), 1, "one tile means inline execution");
+        assert_eq!(seen_ranges[0], (0..5, 0..9));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job died")]
+    fn panicking_block_job_fails_the_fill_loudly() {
+        let rt = Runtime::new(2);
+        let mut out = vec![0.0f32; 64 * 8];
+        rt.parallel_fill_blocks(64, 8, 4, 8, &mut out, |rows, _cols, _block| {
+            if rows.start >= 32 {
+                panic!("job failure injection");
+            }
+        });
     }
 
     #[test]

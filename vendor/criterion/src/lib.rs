@@ -102,7 +102,15 @@ impl BenchmarkGroup<'_> {
     {
         // Calibration: find an iteration count that makes one sample take
         // roughly `TARGET` so short benchmarks aren't all timer noise.
-        const TARGET: Duration = Duration::from_millis(20);
+        // TARGET trades timer overhead against interference rejection:
+        // each sample is an *average* over its window, so one external
+        // interference burst poisons every iteration sharing that window.
+        // Short windows quarantine bursts into few samples where the
+        // median ignores them (measured on the shared recording host:
+        // 2ms windows reproduce quiet-machine medians within noise while
+        // 20ms windows read up to ~10% high), and 2ms is still ~1e5 x
+        // the `Instant` read cost, so timer noise stays irrelevant.
+        const TARGET: Duration = Duration::from_millis(2);
         let mut iters = 1u64;
         loop {
             let mut b = Bencher {
