@@ -18,7 +18,7 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use srmac_bench::guard::{
     mixed_policy_numerics_1thread, rand_vec, relu_sparse_vec, resnet20_role_gemm_shapes,
-    resnet20_weight_gemm_shapes,
+    resnet20_weight_gemm_shapes, train_scaling_step,
 };
 use srmac_models::serve::{InferenceServer, ServeConfig};
 use srmac_models::{data, resnet};
@@ -414,6 +414,29 @@ fn bench_serve_resnet20(c: &mut Criterion) {
     g.finish();
 }
 
+/// Deterministic data-parallel scaling: the full `Trainer` step (shard,
+/// CoW-replicate, per-replica forward/backward on the shared pool,
+/// bitwise tree reduction, one SGD step) at 1 vs 4 replicas with the
+/// gradient-shard count pinned at 4. By the trainer's invariance
+/// contract both variants produce *identical bits*, so the ratio is pure
+/// scheduling fan-out; each replica count runs on a pool of that many
+/// threads. On a single-core host the two largely coincide (the
+/// 4-replica variant additionally pays clone + dispatch overhead); the
+/// `bench_guard --relative` train-scaling gate enforces the speedup
+/// floor only on hosts with at least 4 hardware threads.
+fn bench_train_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_scaling");
+    g.sample_size(10);
+    for (name, replicas, threads) in [
+        ("resnet20_step_r1_s4", 1usize, 1usize),
+        ("resnet20_step_r4_s4", 4, 4),
+    ] {
+        let mut step = train_scaling_step(replicas, threads);
+        g.bench_function(name, |b| b.iter(|| black_box(step())));
+    }
+    g.finish();
+}
+
 /// Writes the collected measurements (and the headline sequence speedup)
 /// to `BENCH_gemm.json` at the workspace root.
 fn write_summary(c: &mut Criterion) {
@@ -486,11 +509,23 @@ fn write_summary(c: &mut Criterion) {
     let gemm_rn_vs_pr5 = rn_gemm.map(|ns| PR5_RN_GEMM_NS / ns);
     let train_vs_pr5 = find("resnet20_train_step", "prepared_weight_reuse")
         .map(|p| PR5_PREPARED_TRAIN_STEP_NS / p);
+    // This PR's acceptance record: data-parallel fan-out of the full
+    // trainer step (identical bits by contract; the ratio is scheduling).
+    let ts_r1 = find("train_scaling", "resnet20_step_r1_s4");
+    let ts_r4 = find("train_scaling", "resnet20_step_r4_s4");
+    let replica_speedup = match (ts_r1, ts_r4) {
+        (Some(r1), Some(r4)) if r4 > 0.0 => Some(r1 / r4),
+        _ => None,
+    };
     json.push_str(&format!(
         "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
          \"serve_resnet20\": {{\n    \"requests_per_sec_batch1\": {},\n    \
          \"requests_per_sec_max8\": {},\n    \
          \"speedup_microbatch_vs_batch1\": {}\n  }},\n  \
+         \"train_scaling\": {{\n    \"resnet20_step_r1_s4_ns\": {},\n    \
+         \"resnet20_step_r4_s4_ns\": {},\n    \
+         \"replica_speedup_r4_vs_r1\": {},\n    \
+         \"recording_host_threads\": {}\n  }},\n  \
          \"pr1_baseline\": {{\n    \"prepared_weight_reuse_ns\": {PR1_PREPARED_TRAIN_STEP_NS:.1},\n    \
          \"train_step_speedup_vs_pr1\": {}\n  }},\n  \
          \"pr3_baseline\": {{\n    \"gemm_sr13_1thread_ns\": {PR3_SR_GEMM_NS:.1},\n    \
@@ -506,6 +541,10 @@ fn write_summary(c: &mut Criterion) {
         fmt_opt(rps_batch1, 1),
         fmt_opt(rps_max8, 1),
         fmt_opt(serve_speedup, 3),
+        fmt_opt(ts_r1, 1),
+        fmt_opt(ts_r4, 1),
+        fmt_opt(replica_speedup, 3),
+        available_threads(),
         fmt_opt(vs_pr1, 3),
         fmt_opt(gemm_vs_pr3, 3),
         fmt_opt(train_vs_pr3, 3),
@@ -548,6 +587,12 @@ fn write_summary(c: &mut Criterion) {
         if let Some(s) = train_vs_pr5 {
             println!("resnet20_train_step speedup vs PR 5 prepared baseline: {s:.2}x");
         }
+        if let Some(s) = replica_speedup {
+            println!(
+                "train_scaling replica speedup (4 vs 1, identical bits, {} host thread(s)): {s:.2}x",
+                available_threads()
+            );
+        }
         println!("summary -> {path}");
     }
 }
@@ -559,6 +604,7 @@ criterion_group!(
     bench_data_movement,
     bench_resnet20_sequences,
     bench_serve_resnet20,
+    bench_train_scaling,
     write_summary
 );
 criterion_main!(benches);

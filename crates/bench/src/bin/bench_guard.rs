@@ -1,15 +1,17 @@
 //! Bench regression guard: re-measures the headline MAC workloads —
 //! `gemm_64x128x64` (SR and RN, one-shot, 1 thread), the
-//! `resnet20_train_step/prepared_weight_reuse` GEMM sequence, and the
+//! `resnet20_train_step/prepared_weight_reuse` GEMM sequence, the
 //! per-role `resnet20_train_step/mixed_policy` sequence (RN forward / SR
-//! backward engines resolved through the numerics spec registry) — with
-//! the exact data generation of the criterion benches, and diffs the
-//! fresh medians against the committed `BENCH_gemm.json`. Exits non-zero
-//! when any watched median regresses by more than the tolerance.
+//! backward engines resolved through the numerics spec registry), and
+//! the `train_scaling` full data-parallel trainer step — with the exact
+//! data generation of the criterion benches, and diffs the fresh medians
+//! against the committed `BENCH_gemm.json`. Exits non-zero when any
+//! watched median regresses by more than the tolerance.
 //!
 //! ```text
 //! bench_guard [--samples N] [--tolerance F] [--json PATH]
-//!             [--relative [--min-speedup F]] [--threads N]
+//!             [--relative [--min-speedup F] [--min-train-speedup F]]
+//!             [--threads N]
 //! ```
 //!
 //! Defaults: 9 samples, 15% tolerance, the workspace `BENCH_gemm.json`.
@@ -22,7 +24,11 @@
 //! matter (losing the lane batching, the SIMD-tier dispatch, or the
 //! zero-compaction) without betting on a shared runner's absolute
 //! wall-clock; it also verifies the committed file still contains every
-//! watched entry. `--threads N` (default 1) runs the GEMM workloads on
+//! watched entry, and gates the data-parallel trainer step's replica
+//! fan-out (4 replicas vs 1 at pinned `grad_shards = 4` — identical bits
+//! by the trainer's contract, so only scheduling can move) at
+//! `--min-train-speedup` (default 1.8), enforced only on hosts with at
+//! least 4 hardware threads. `--threads N` (default 1) runs the GEMM workloads on
 //! N-thread engines — CI's second relative leg uses it to drive the
 //! tiled kernel through the multi-core rectangle dispatch (results are
 //! bitwise identical by contract; only the wall-clock moves), so a
@@ -35,10 +41,10 @@ use std::time::Instant;
 
 use srmac_bench::guard::{
     committed_median, mixed_policy_numerics_1thread, parse_bench_medians, rand_vec,
-    relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes,
+    relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes, train_scaling_step,
 };
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
-use srmac_tensor::{GemmEngine, GemmRole};
+use srmac_tensor::{available_threads, GemmEngine, GemmRole};
 
 struct Args {
     samples: usize,
@@ -46,6 +52,7 @@ struct Args {
     json_path: String,
     relative: bool,
     min_speedup: f64,
+    min_train_speedup: f64,
     threads: usize,
 }
 
@@ -56,6 +63,7 @@ fn parse_args() -> Args {
         json_path: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json").to_owned(),
         relative: false,
         min_speedup: 1.2,
+        min_train_speedup: 1.8,
         threads: 1,
     };
     let mut it = std::env::args().skip(1);
@@ -74,10 +82,15 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 args.min_speedup = value("ratio").parse().expect("--min-speedup: float");
             }
+            "--min-train-speedup" => {
+                args.min_train_speedup =
+                    value("ratio").parse().expect("--min-train-speedup: float");
+            }
             "--threads" => args.threads = value("count").parse().expect("--threads: integer"),
             other => panic!(
                 "unknown argument {other} \
-                 (try --samples/--tolerance/--json/--relative/--min-speedup/--threads)"
+                 (try --samples/--tolerance/--json/--relative/--min-speedup/\
+                 --min-train-speedup/--threads)"
             ),
         }
     }
@@ -140,9 +153,21 @@ fn scaling_median(samples: usize, threads: usize) -> f64 {
     median_ns(samples, || engine.gemm_packed(m, k, n, &pa, &pb, &mut out))
 }
 
+/// The `train_scaling` workload: the full data-parallel trainer step
+/// (see `guard::train_scaling_step`) at the given replica count on a
+/// pool of `threads` threads, gradient shards pinned at 4. Steps are
+/// slow, so the caller bounds the sample count separately.
+fn train_scaling_median(samples: usize, replicas: usize, threads: usize) -> f64 {
+    let mut step = train_scaling_step(replicas, threads);
+    median_ns(samples, || {
+        step();
+    })
+}
+
 /// The machine-independent gate: lane batching must beat the scalar
-/// kernel on this very host, and the committed file must still carry the
-/// watched entries.
+/// kernel on this very host, the data-parallel trainer step must scale
+/// with replicas (enforced only on hosts with >= 4 hardware threads),
+/// and the committed file must still carry the watched entries.
 fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) -> ExitCode {
     let mut failed = false;
     for (group, name) in [
@@ -152,6 +177,8 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         ("gemm_scaling", "sr13_t2_auto"),
         ("resnet20_train_step", "prepared_weight_reuse"),
         ("resnet20_train_step", "mixed_policy"),
+        ("train_scaling", "resnet20_step_r1_s4"),
+        ("train_scaling", "resnet20_step_r4_s4"),
     ] {
         if committed_median(committed, group, name).is_none() {
             eprintln!(
@@ -176,10 +203,37 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
          {scalar:>12.0} ns ({speedup:.2}x, floor {:.2}x) {verdict}",
         args.threads, args.min_speedup
     );
+    // Replica scaling of the full trainer step: the 4-replica variant
+    // computes the same bits as the 1-replica one (grad_shards pinned at
+    // 4), so wall-clock is the only thing that may move. Trainer steps
+    // are slow; a handful of samples is enough for a >= 1.8x gate. The
+    // floor is only meaningful with real cores behind the pool — on
+    // hosts with fewer than 4 hardware threads the measurement is
+    // reported but not enforced.
+    let host_threads = available_threads();
+    let enforce_train = host_threads >= 4;
+    let train_samples = args.samples.min(5);
+    let ts_r1 = train_scaling_median(train_samples, 1, 1);
+    let ts_r4 = train_scaling_median(train_samples, 4, 4);
+    let train_speedup = ts_r1 / ts_r4;
+    let train_verdict = if !enforce_train {
+        "informational (host has < 4 threads)"
+    } else if train_speedup < args.min_train_speedup {
+        failed = true;
+        "REGRESSION"
+    } else {
+        "ok"
+    };
+    println!(
+        "train_scaling ({host_threads} host thread(s)): 4 replicas {ts_r4:>12.0} ns vs \
+         1 replica {ts_r1:>12.0} ns ({train_speedup:.2}x, floor {:.2}x) {train_verdict}",
+        args.min_train_speedup
+    );
     if failed {
         eprintln!(
-            "bench_guard: lane batching no longer pays for itself on this host \
-             (or a watched entry vanished) — a kernel or dispatch regression"
+            "bench_guard: a relative gate failed on this host — lane batching no \
+             longer pays for itself, replica fan-out stopped scaling, or a \
+             watched entry vanished"
         );
         return ExitCode::FAILURE;
     }
@@ -279,7 +333,7 @@ fn main() -> ExitCode {
         return run_relative(&args, &committed);
     }
 
-    let watched: [(&str, &str, f64); 5] = [
+    let watched: [(&str, &str, f64); 6] = [
         (
             "gemm_64x128x64",
             "mac_fp12_sr13_1thread",
@@ -316,6 +370,14 @@ fn main() -> ExitCode {
             "resnet20_train_step",
             "mixed_policy",
             mixed_policy_median(args.samples),
+        ),
+        // The 1-replica data-parallel step (the 4-replica median is
+        // host-core-dependent, so only the sequential variant gets an
+        // absolute gate; the fan-out is gated relatively above).
+        (
+            "train_scaling",
+            "resnet20_step_r1_s4",
+            train_scaling_median(args.samples.min(5), 1, 1),
         ),
     ];
 

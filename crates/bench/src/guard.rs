@@ -10,10 +10,11 @@
 
 use std::sync::Arc;
 
+use srmac_models::{data, resnet, TrainConfig, Trainer};
 use srmac_qgemm::{MacGemm, MacGemmConfig};
 use srmac_rng::SplitMix64;
 use srmac_tensor::numerics::fold_role_seed;
-use srmac_tensor::{GemmRole, Numerics};
+use srmac_tensor::{GemmEngine, GemmRole, Numerics, Runtime};
 
 /// Uniform values in [-0.5, 0.5) — the benches' dense-operand generator.
 #[must_use]
@@ -159,6 +160,40 @@ pub fn mixed_policy_numerics_1thread() -> Numerics {
         .expect("all roles assigned")
 }
 
+/// Minibatch size of the `train_scaling` workload — sharded 4 ways, so
+/// every replica count sees shards of 8 samples.
+pub const TRAIN_SCALING_BATCH: usize = 32;
+
+/// The `train_scaling` workload: one full data-parallel `Trainer` step —
+/// shard, CoW-replicate, per-replica forward/backward, bitwise tree
+/// reduction, one SGD step — on a slim ResNet-20 with a **1-thread** SR
+/// MAC engine, so replica fan-out across the trainer's pool is the only
+/// parallelism in play. The gradient-shard count is pinned at 4 for
+/// every replica count; by the trainer's invariance contract all replica
+/// counts then compute the *same bits*, and a timing ratio between them
+/// measures pure scheduling. Returns a closure running one step per call
+/// (optimizer and loss-scaler state carry across calls, like real
+/// training) and yielding the step loss. Shared by the `train_scaling`
+/// criterion group and `bench_guard`, so both always measure the same
+/// model, data and engine.
+pub fn train_scaling_step(replicas: usize, threads: usize) -> impl FnMut() -> f32 {
+    let atom: MacGemmConfig = "fp8_fp12_sr13".parse().expect("engine atom");
+    let engine = Arc::new(MacGemm::new(atom.with_threads(1))) as Arc<dyn GemmEngine>;
+    let numerics = Numerics::uniform(engine);
+    let mut model = resnet::resnet20_with(&numerics, 4, 10, 42);
+    let ds = data::synth_cifar10(TRAIN_SCALING_BATCH, 12, 9);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (x, labels) = ds.batch(&idx);
+    let cfg = TrainConfig {
+        batch_size: TRAIN_SCALING_BATCH,
+        replicas,
+        grad_shards: 4,
+        ..TrainConfig::default()
+    };
+    let mut trainer = Trainer::new(&cfg).with_runtime(Arc::new(Runtime::new(threads)));
+    move || trainer.train_step(&mut model, &x, &labels, 0.05)
+}
+
 /// One `benchmarks` entry of `BENCH_gemm.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommittedMedian {
@@ -265,6 +300,21 @@ mod tests {
                 "{role}"
             );
         }
+    }
+
+    #[test]
+    fn train_scaling_variants_compute_the_same_bits() {
+        // The bench's speedup ratio is only meaningful if the replica
+        // counts really run identical numerics — pinned grad_shards = 4
+        // must make the 1- and 4-replica steps bitwise equal.
+        let l1 = train_scaling_step(1, 1)();
+        let l4 = train_scaling_step(4, 4)();
+        assert_eq!(
+            l1.to_bits(),
+            l4.to_bits(),
+            "train_scaling replica counts diverged: {l1} vs {l4}"
+        );
+        assert!(l1.is_finite());
     }
 
     #[test]

@@ -92,6 +92,8 @@ impl Scale {
             init_loss_scale: 1024.0,
             seed: self.seed.wrapping_mul(0x9E37_79B9) + 7,
             verbose: self.verbose,
+            replicas: 1,
+            grad_shards: 0,
         }
     }
 }

@@ -298,6 +298,96 @@ fn sr_lane_streams_lanes_are_mutually_uncorrelated() {
 }
 
 #[test]
+fn summed_reduction_sr_error_obeys_the_sqrt_n_bound() {
+    // Drineas & Ipsen, *Stochastic Rounding 2.0 (with a View towards
+    // Complexity Analysis)*: the forward error of an n-term SR summation
+    // is O(sqrt(n) * u) with high probability — a martingale (Azuma)
+    // bound on the zero-mean per-op rounding errors — versus the O(n * u)
+    // deterministic worst case that RN actually *attains* under
+    // stagnation. This is the gradient-accumulation scenario behind the
+    // paper's training claim and the data-parallel trainer's summed
+    // gradients: many small per-sample contributions accumulating into a
+    // large low-precision total.
+    //
+    // The probe drives the GEMM hot-path accumulator (E6M5, eager SR,
+    // r = 13) through n = 4096 adds of a = 2^-8 — an addend that falls to
+    // a quarter-ulp and below as the sum grows, so RN-even drops every
+    // single one (the sum never leaves 1.0; error n*a = 16, the full
+    // O(n * u) worst case), while SR must stay inside the per-trial
+    // martingale bound Z * sqrt(sum_k ulp(s_k)^2 * eps_k (1 - eps_k)),
+    // accumulated from the exact per-step variances. Across trials the
+    // summed SR error must also be mean-zero (the unbiasedness that makes
+    // the bound a convergence argument, not just a tail estimate).
+    let fmt = FpFormat::e6m5();
+    let r = 13u32;
+    let a = 2.0f64.powi(-8);
+    let a_bits = {
+        let q = fmt.quantize_f64(a, RoundMode::NearestEven);
+        assert!(!q.flags.inexact, "probe addend must be exact in {fmt}");
+        q.bits
+    };
+    let one = fmt.quantize_f64(1.0, RoundMode::NearestEven).bits;
+    let n = 4096u64;
+    let true_sum = 1.0 + n as f64 * a;
+
+    // RN stagnates: a quarter-ulp addend never survives round-to-nearest.
+    let rn = FastAdder::new(fmt, AccumRounding::Nearest);
+    let mut acc = one;
+    for _ in 0..n {
+        acc = rn.add(acc, a_bits, 0);
+    }
+    let rn_err = (fmt.decode_f64(acc) - true_sum).abs();
+    assert_eq!(
+        fmt.decode_f64(acc),
+        1.0,
+        "{fmt}: RN must drop every sub-half-ulp addend (stagnation)"
+    );
+
+    let trials = 8u64;
+    let mut mean_err = 0.0f64;
+    let mut bound = 0.0f64;
+    for t in 0..trials {
+        let sr = FastAdder::new(fmt, AccumRounding::Stochastic { r });
+        let mut rng = SplitMix64::new(0xD155 + 0x9E37 * t);
+        let mut acc = one;
+        let mut var = 0.0f64;
+        for _ in 0..n {
+            // Exact per-step SR variance: ulp(acc)^2 * eps * (1 - eps),
+            // with eps the addend's fractional distance in the current
+            // binade (plus the 2^-r probability granularity, folded into
+            // the tolerance below).
+            let v = fmt.decode_f64(acc);
+            let ulp = 2.0f64.powi(v.log2().floor() as i32 - fmt.man_bits() as i32);
+            let eps = (a / ulp).min(1.0);
+            var += ulp * ulp * eps * (1.0 - eps);
+            acc = sr.add(acc, a_bits, rng.next_u64());
+        }
+        let err = fmt.decode_f64(acc) - true_sum;
+        // Azuma bound on the martingale of per-op errors, plus the r-bit
+        // probability granularity's worst-case drift.
+        let tol = Z_BOUND * var.sqrt() + n as f64 * 2.0f64.powi(-(r as i32)) * 0.5;
+        assert!(
+            err.abs() <= tol,
+            "{fmt} trial {t}: summed SR error {err:.3}, want |err| <= {tol:.3} \
+             (sqrt(n)-scale bound)"
+        );
+        assert!(
+            err.abs() < rn_err / 2.0,
+            "{fmt} trial {t}: SR error {err:.3} should beat RN stagnation error {rn_err:.3}"
+        );
+        mean_err += err / trials as f64;
+        bound = bound.max(tol);
+    }
+    // Unbiasedness of the whole reduction: the trial mean tightens by
+    // sqrt(trials).
+    let mean_tol = bound / (trials as f64).sqrt();
+    assert!(
+        mean_err.abs() <= mean_tol,
+        "{fmt}: mean summed SR error {mean_err:.3} over {trials} trials, want 0 +- {mean_tol:.3}"
+    );
+}
+
+#[test]
 fn fast_quantizer_rounds_to_nearest_with_balanced_direction() {
     // The FastQuantizer is RN-even, not SR: its "round-up probability"
     // over a seeded uniform stream inside one ULP interval must be the

@@ -218,6 +218,34 @@ impl Layer for ResidualBlock {
             }
         )
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        let main = self.main.try_clone()?;
+        let shortcut = match &self.shortcut {
+            Some(sc) => Some(sc.try_clone()?),
+            None => None,
+        };
+        Some(Box::new(ResidualBlock {
+            main,
+            shortcut,
+            // Backward-pass state; forward(train) rebuilds it per replica.
+            relu_mask: Vec::new(),
+        }))
+    }
+
+    fn set_batch_offset(&mut self, offset: usize) {
+        self.main.set_batch_offset(offset);
+        if let Some(sc) = &mut self.shortcut {
+            sc.set_batch_offset(offset);
+        }
+    }
+
+    fn warm_weight_packs(&mut self) {
+        self.main.warm_weight_packs();
+        if let Some(sc) = &mut self.shortcut {
+            sc.warm_weight_packs();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! task that exercises the same convolutional pipelines preserves the
 //! relevant behaviour while staying laptop-scale and fully reproducible.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use srmac_rng::{scalar_math, SplitMix64};
@@ -15,6 +16,29 @@ use srmac_tensor::{Runtime, Tensor};
 
 /// Number of classes in both synthetic datasets.
 pub const NUM_CLASSES: usize = 10;
+
+/// Contiguous equal-prefix spans of `n` items over `shards` shards: the
+/// first `shards - 1` spans hold exactly `n / shards` items and the last
+/// takes the remainder (`n / shards + n % shards`). A pure function of
+/// `(n, shards)` — never of thread or replica count — so every consumer
+/// (batch sharding in the trainer, [`Dataset::shard`]) splits
+/// identically. Spans may be empty when `n < shards`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn shard_spans(n: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0, "shard count must be nonzero");
+    let base = n / shards;
+    (0..shards)
+        .map(|s| {
+            let start = s * base;
+            let end = if s + 1 == shards { n } else { start + base };
+            start..end
+        })
+        .collect()
+}
 
 /// An in-memory labelled image dataset (NCHW, 3 channels).
 ///
@@ -129,6 +153,28 @@ impl Dataset {
                 block[bi * plane..(bi + 1) * plane].copy_from_slice(&images[from..from + plane]);
             }
         });
+    }
+
+    /// Splits the dataset into `shards` contiguous shards along the
+    /// sample axis, per [`shard_spans`]: equal-prefix split, remainder to
+    /// the last shard. Deterministic — a pure function of
+    /// `(self.len(), shards)`. Shards may be empty when the dataset has
+    /// fewer samples than shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn shard(&self, shards: usize) -> Vec<Dataset> {
+        let plane = 3 * self.size * self.size;
+        shard_spans(self.len(), shards)
+            .into_iter()
+            .map(|span| Dataset {
+                images: Arc::new(self.images[span.start * plane..span.end * plane].to_vec()),
+                labels: self.labels[span].to_vec(),
+                size: self.size,
+            })
+            .collect()
     }
 }
 
@@ -299,6 +345,67 @@ mod tests {
     #[should_panic(expected = "must hold")]
     fn from_parts_rejects_mismatched_lengths() {
         let _ = Dataset::from_parts(vec![0.0; 10], vec![0, 1], 8);
+    }
+
+    #[test]
+    fn shard_spans_are_equal_prefix_with_remainder_last() {
+        assert_eq!(shard_spans(10, 4), vec![0..2, 2..4, 4..6, 6..10]);
+        assert_eq!(shard_spans(12, 4), vec![0..3, 3..6, 6..9, 9..12]);
+        assert_eq!(shard_spans(7, 1), vec![0..7]);
+        // Fewer items than shards: every prefix span is empty, the last
+        // takes everything.
+        assert_eq!(shard_spans(3, 5), vec![0..0, 0..0, 0..0, 0..0, 0..3]);
+        assert_eq!(shard_spans(0, 3), vec![0..0, 0..0, 0..0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn shard_spans_reject_zero_shards() {
+        let _ = shard_spans(4, 0);
+    }
+
+    #[test]
+    fn dataset_shards_partition_samples_in_order() {
+        let d = synth_cifar10(10, 8, 1);
+        let shards = d.shard(4);
+        assert_eq!(
+            shards.iter().map(Dataset::len).collect::<Vec<_>>(),
+            vec![2, 2, 2, 4],
+            "ragged split puts the remainder in the last shard"
+        );
+        // Every sample lands in exactly one shard, order preserved,
+        // pixels and labels bit-identical to batching the original.
+        let plane = 3 * 8 * 8;
+        let mut global = 0usize;
+        for shard in &shards {
+            for local in 0..shard.len() {
+                assert_eq!(shard.labels()[local], d.labels()[global]);
+                let (sx, _) = shard.batch(&[local]);
+                let (dx, _) = d.batch(&[global]);
+                assert_eq!(sx.data().len(), plane);
+                let same = sx
+                    .data()
+                    .iter()
+                    .zip(dx.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "shard sample {global} changed bits");
+                global += 1;
+            }
+        }
+        assert_eq!(global, d.len());
+    }
+
+    #[test]
+    fn sharding_below_shard_count_yields_empty_prefix_shards() {
+        let d = synth_cifar10(3, 8, 2);
+        let shards = d.shard(5);
+        assert_eq!(
+            shards.iter().map(Dataset::len).collect::<Vec<_>>(),
+            vec![0, 0, 0, 0, 3]
+        );
+        assert!(shards[0].is_empty());
+        // Empty shards are structurally valid datasets.
+        assert_eq!(shards[0].image_size(), 8);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod trainer;
 pub mod vgg;
 
 pub use blocks::ResidualBlock;
-pub use data::{synth_cifar10, synth_imagewoof, Dataset, NUM_CLASSES};
+pub use data::{shard_spans, synth_cifar10, synth_imagewoof, Dataset, NUM_CLASSES};
 pub use serve::{InferenceServer, Prediction, ServeClient, ServeConfig, ServeError, ServeStats};
-pub use trainer::{evaluate, train, History, TrainConfig};
+pub use trainer::{evaluate, train, History, TrainConfig, Trainer};

@@ -4,14 +4,23 @@
 //! engine-agnostic: the model's layers carry their role-resolved engines,
 //! so a mixed RN-forward/SR-backward experiment trains through exactly
 //! this code path; see `srmac_tensor::numerics`).
+//!
+//! The step-wise core is [`Trainer`]: deterministic data-parallel
+//! training over CoW model replicas with bitwise tree-reduced gradients.
+//! At a fixed gradient-shard count, training bits are invariant to the
+//! replica count and the pool size (see the [`Trainer`] docs for the full
+//! contract); [`train`] remains the one-call entry point.
+
+use std::sync::Arc;
 
 use srmac_rng::SplitMix64;
 use srmac_tensor::layers::Layer;
 use srmac_tensor::{
-    count_correct, softmax_cross_entropy, CosineLr, LossScaler, Sequential, Sgd, Tensor,
+    count_correct, flatten_grads, scatter_grads, softmax_cross_entropy, CosineLr, LossScaler,
+    Runtime, Sequential, Sgd, Tensor,
 };
 
-use crate::data::Dataset;
+use crate::data::{shard_spans, Dataset};
 
 /// Hyperparameters (defaults follow the paper's ResNet-20 settings:
 /// momentum 0.9, initial loss scale 1024, cosine annealing).
@@ -33,6 +42,21 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print one line per epoch when set.
     pub verbose: bool,
+    /// Data-parallel replica count: how many model replicas run a step's
+    /// forward/backward concurrently, each over a contiguous slice of the
+    /// gradient shards. A pure scheduling knob — at a fixed
+    /// [`TrainConfig::grad_shards`], every replica count produces bitwise
+    /// identical training.
+    pub replicas: usize,
+    /// Gradient shard count `S`: how many contiguous sub-batches each
+    /// minibatch splits into before the fixed binary-tree gradient
+    /// reduction. `S` *defines the step's numerics* (per-shard products,
+    /// per-shard batch-norm statistics, the reduction-tree shape); `0`
+    /// (the default) resolves to `replicas`, which keeps single-replica
+    /// runs on the classic `S = 1` path but means the *default* numerics
+    /// follow the replica count. Pin `grad_shards` explicitly to scale
+    /// replicas without changing a bit.
+    pub grad_shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -46,6 +70,8 @@ impl Default for TrainConfig {
             init_loss_scale: 1024.0,
             seed: 0xC0FFEE,
             verbose: false,
+            replicas: 1,
+            grad_shards: 0,
         }
     }
 }
@@ -114,83 +140,387 @@ impl History {
     }
 }
 
-/// Trains `model` on `train`, evaluating on `test` after every epoch.
+/// Trains `model` on `train`, evaluating on `test` after every epoch — a
+/// shim over [`Trainer`], kept as the stable entry point. With the default
+/// `replicas = 1` / `grad_shards = 0` config this runs the classic
+/// single-model step bit-for-bit.
 pub fn train(
     model: &mut Sequential,
     train: &Dataset,
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> History {
-    assert!(cfg.batch_size > 0, "training needs a nonzero batch size");
-    let mut opt = Sgd::new(cfg.momentum, cfg.weight_decay);
-    let schedule = CosineLr::new(cfg.lr, cfg.epochs.max(1));
-    let mut scaler = LossScaler::with_scale(cfg.init_loss_scale);
-    let mut rng = SplitMix64::new(cfg.seed);
-    let mut history = History::default();
+    Trainer::new(cfg).run(model, train, test)
+}
 
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    // One reused batch buffer for the whole run (only the final ragged
-    // batch of an epoch reshapes it); assembled on the shared runtime.
-    let rt = srmac_tensor::Runtime::global();
-    let s = train.image_size();
-    let mut x = Tensor::zeros(&[cfg.batch_size.min(train.len().max(1)), 3, s, s]);
-    let mut labels = Vec::with_capacity(cfg.batch_size);
-    for epoch in 0..cfg.epochs {
-        let lr = schedule.at(epoch);
-        // Fisher-Yates shuffle.
-        for i in (1..order.len()).rev() {
-            let j = rng.next_below(i as u64 + 1) as usize;
-            order.swap(i, j);
-        }
-        let mut epoch_loss = 0.0f64;
-        let mut finite_batches = 0usize;
-        for chunk in order.chunks(cfg.batch_size) {
-            if x.shape()[0] != chunk.len() {
-                x = Tensor::zeros(&[chunk.len(), 3, s, s]);
-            }
-            train.batch_into(rt, chunk, &mut x, &mut labels);
-            let logits = model.forward(&x, true);
-            let (loss, mut grad) = softmax_cross_entropy(&logits, &labels);
-            if loss.is_finite() {
-                epoch_loss += f64::from(loss);
-                finite_batches += 1;
-            } else {
-                history.nonfinite_batches += 1;
-            }
-            grad.scale_(scaler.scale());
-            model.backward(&grad);
+/// One shard's step result: shard index, sub-batch loss, sample count,
+/// flattened (loss-scaled) gradients, and flattened layer state
+/// (batch-norm running statistics after the shard's forward).
+type ShardResult = (usize, f32, usize, Vec<f32>, Vec<f32>);
 
-            let mut finite = loss.is_finite();
-            if finite {
-                model.visit_params(&mut |p| finite &= p.grad.all_finite());
-            }
-            if scaler.update(finite) {
-                opt.step(model, lr, 1.0 / scaler.scale());
-            } else {
-                Sgd::zero_grad(model);
-                history.skipped_steps += 1;
-            }
-        }
-        let acc = evaluate(model, test, cfg.batch_size);
-        history.train_loss.push(if finite_batches > 0 {
-            (epoch_loss / finite_batches as f64) as f32
+/// Runs one shard's forward/backward on its replica. Pure in its inputs:
+/// the same shard on the same replica yields the same bits no matter
+/// which job or thread runs it.
+fn run_shard(
+    idx: usize,
+    mut replica: Sequential,
+    x: Tensor,
+    labels: Vec<usize>,
+    grad_scale: f32,
+) -> ShardResult {
+    let logits = replica.forward(&x, true);
+    let (loss, mut grad) = softmax_cross_entropy(&logits, &labels);
+    grad.scale_(grad_scale);
+    replica.backward(&grad);
+    let mut flat = Vec::new();
+    flatten_grads(&mut replica, &mut flat);
+    let state = flatten_state(&mut replica);
+    (idx, loss, labels.len(), flat, state)
+}
+
+/// Concatenates every [`Layer::visit_state`] buffer in visit order.
+fn flatten_state(model: &mut Sequential) -> Vec<f32> {
+    let mut out = Vec::new();
+    model.visit_state(&mut |s| out.extend_from_slice(s));
+    out
+}
+
+/// Writes a [`flatten_state`]-shaped vector back through `visit_state`.
+fn write_state(model: &mut Sequential, flat: &[f32]) {
+    let mut off = 0usize;
+    model.visit_state(&mut |s| {
+        let len = s.len();
+        s.copy_from_slice(&flat[off..off + len]);
+        off += len;
+    });
+    assert_eq!(off, flat.len(), "state layout differs between replicas");
+}
+
+/// The step-wise, data-parallel training core behind [`train`].
+///
+/// Owns the optimizer, learning-rate schedule, loss scaler, shuffling RNG,
+/// and the accumulating [`History`]. [`Trainer::run`] drives whole epochs;
+/// [`Trainer::train_step`] executes exactly one optimizer step on an
+/// already-assembled minibatch.
+///
+/// # Determinism contract
+///
+/// A step at gradient-shard count `S > 1` proceeds in fixed phases:
+///
+/// 1. **Shard** — the minibatch splits into `S` contiguous sub-batches
+///    ([`shard_spans`]: equal prefix, remainder to the last shard; empty
+///    shards are skipped).
+/// 2. **Replicate** — the model is CoW-cloned per non-empty shard
+///    ([`Sequential::try_clone`]; weight tensors and packed-weight caches
+///    are shared, gradients start fresh), and each clone is told its
+///    shard's sample offset within the full batch
+///    ([`Layer::set_batch_offset`]) so position-seeded SR engines draw
+///    the same per-sample rounding streams the full batch would.
+/// 3. **Compute** — replicas run forward/backward on the runtime pool.
+///    `TrainConfig::replicas` controls only how shards are grouped onto
+///    concurrent jobs; every grouping computes identical shard results.
+/// 4. **Reduce** — per-shard gradient vectors combine through a fixed
+///    binary tree in shard order ([`Runtime::tree_reduce`]); the tree
+///    shape is a pure function of `S`, never of thread or replica count.
+///    The batch loss and batch-norm running statistics combine
+///    count-weighted in `f64`, also in shard order.
+/// 5. **Step** — one [`Sgd::step`] on the primary model (or one skip,
+///    when the scaler saw a non-finite loss or gradient).
+///
+/// Training bits therefore depend on `S` (and the usual numerics knobs)
+/// but **not** on `replicas` or pool size. `S == 1` bypasses all of the
+/// above and runs the classic single-model inline step — bit-for-bit the
+/// pre-data-parallel trainer, with no cloning.
+#[derive(Debug)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    grad_shards: usize,
+    opt: Sgd,
+    schedule: CosineLr,
+    scaler: LossScaler,
+    rng: SplitMix64,
+    history: History,
+    runtime: Arc<Runtime>,
+}
+
+impl Trainer {
+    /// Creates a trainer from `cfg` (resolving `grad_shards = 0` to the
+    /// replica count) on the process-global runtime.
+    #[must_use]
+    pub fn new(cfg: &TrainConfig) -> Self {
+        let grad_shards = if cfg.grad_shards == 0 {
+            cfg.replicas.max(1)
         } else {
-            f32::NAN
-        });
-        history.test_acc.push(acc);
-        if cfg.verbose {
-            eprintln!(
-                "  epoch {:>3}: lr {:.4}  loss {:.4}  test acc {:.2}%  (scale {})",
-                epoch + 1,
-                lr,
-                history.train_loss.last().unwrap(),
-                acc,
-                scaler.scale(),
-            );
+            cfg.grad_shards
+        };
+        Self {
+            cfg: *cfg,
+            grad_shards,
+            opt: Sgd::new(cfg.momentum, cfg.weight_decay),
+            schedule: CosineLr::new(cfg.lr, cfg.epochs.max(1)),
+            scaler: LossScaler::with_scale(cfg.init_loss_scale),
+            rng: SplitMix64::new(cfg.seed),
+            history: History::default(),
+            runtime: Arc::clone(Runtime::global()),
         }
     }
-    history.final_scale = scaler.scale();
-    history
+
+    /// Replaces the runtime used for batch assembly, replica dispatch,
+    /// gradient reduction, and the optimizer's chunked update (default:
+    /// [`Runtime::global`]). Training bits never depend on the choice.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.opt =
+            Sgd::new(self.cfg.momentum, self.cfg.weight_decay).with_runtime(Arc::clone(&runtime));
+        self.runtime = runtime;
+        self
+    }
+
+    /// The resolved gradient-shard count `S` (after `0 -> replicas`).
+    #[must_use]
+    pub fn grad_shards(&self) -> usize {
+        self.grad_shards
+    }
+
+    /// The history accumulated so far (epoch records from [`Trainer::run`]
+    /// plus counters from stand-alone [`Trainer::train_step`] calls).
+    #[must_use]
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Runs the full training loop: per epoch, a Fisher-Yates shuffle,
+    /// one [`Trainer::train_step`] per minibatch, then an [`evaluate`]
+    /// pass — and returns the completed [`History`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`, or (at `S > 1`) if a model layer does
+    /// not support replication.
+    pub fn run(mut self, model: &mut Sequential, train: &Dataset, test: &Dataset) -> History {
+        let cfg = self.cfg;
+        assert!(cfg.batch_size > 0, "training needs a nonzero batch size");
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        // One reused batch buffer for the whole run (only the final ragged
+        // batch of an epoch reshapes it); assembled on the trainer's
+        // runtime.
+        let rt = Arc::clone(&self.runtime);
+        let s = train.image_size();
+        let mut x = Tensor::zeros(&[cfg.batch_size.min(train.len().max(1)), 3, s, s]);
+        let mut labels = Vec::with_capacity(cfg.batch_size);
+        for epoch in 0..cfg.epochs {
+            let lr = self.schedule.at(epoch);
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = self.rng.next_below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f64;
+            let mut finite_batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                if x.shape()[0] != chunk.len() {
+                    x = Tensor::zeros(&[chunk.len(), 3, s, s]);
+                }
+                train.batch_into(&rt, chunk, &mut x, &mut labels);
+                let loss = self.train_step(model, &x, &labels, lr);
+                if loss.is_finite() {
+                    epoch_loss += f64::from(loss);
+                    finite_batches += 1;
+                }
+            }
+            let acc = evaluate(model, test, cfg.batch_size);
+            self.history.train_loss.push(if finite_batches > 0 {
+                (epoch_loss / finite_batches as f64) as f32
+            } else {
+                f32::NAN
+            });
+            self.history.test_acc.push(acc);
+            if cfg.verbose {
+                eprintln!(
+                    "  epoch {:>3}: lr {:.4}  loss {:.4}  test acc {:.2}%  (scale {})",
+                    epoch + 1,
+                    lr,
+                    self.history.train_loss.last().unwrap(),
+                    acc,
+                    self.scaler.scale(),
+                );
+            }
+        }
+        self.history.final_scale = self.scaler.scale();
+        self.history
+    }
+
+    /// Executes one optimizer step on an assembled minibatch (`x` holds
+    /// `labels.len()` samples in row order) at learning rate `lr`, and
+    /// returns the batch loss (possibly non-finite; already recorded in
+    /// the trainer's counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, a `x`/`labels` row-count mismatch, or
+    /// (at `S > 1`) a model layer that does not support replication.
+    pub fn train_step(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        if self.grad_shards == 1 {
+            self.inline_step(model, x, labels, lr)
+        } else {
+            self.sharded_step(model, x, labels, lr)
+        }
+    }
+
+    /// The classic `S == 1` step: forward/backward on the primary model
+    /// itself. Kept verbatim from the pre-data-parallel trainer so default
+    /// configs reproduce pinned histories bit-for-bit.
+    fn inline_step(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        let logits = model.forward(x, true);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, labels);
+        if !loss.is_finite() {
+            self.history.nonfinite_batches += 1;
+        }
+        grad.scale_(self.scaler.scale());
+        model.backward(&grad);
+
+        let mut finite = loss.is_finite();
+        if finite {
+            model.visit_params(&mut |p| finite &= p.grad.all_finite());
+        }
+        if self.scaler.update(finite) {
+            self.opt.step(model, lr, 1.0 / self.scaler.scale());
+        } else {
+            Sgd::zero_grad(model);
+            self.history.skipped_steps += 1;
+        }
+        loss
+    }
+
+    /// The `S > 1` data-parallel step (see the type-level contract).
+    fn sharded_step(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        let n = labels.len();
+        assert!(n > 0, "train_step needs a nonempty batch");
+        assert_eq!(x.shape()[0], n, "batch tensor rows must match labels");
+        let plane = x.numel() / n;
+
+        // Phase 1: shard. Batches smaller than S leave the leading shards
+        // empty; they contribute nothing and are skipped.
+        let spans: Vec<_> = shard_spans(n, self.grad_shards)
+            .into_iter()
+            .filter(|sp| !sp.is_empty())
+            .collect();
+
+        // Phase 2: replicate. Warm the primary's weight packs first so
+        // every clone shares ready packs instead of re-packing per shard.
+        model.warm_weight_packs();
+        let scale = self.scaler.scale();
+        let mut shard_work = Vec::with_capacity(spans.len());
+        for (idx, sp) in spans.iter().enumerate() {
+            let mut replica = model
+                .try_clone()
+                .expect("data-parallel training needs every layer to support clone_layer");
+            replica.set_batch_offset(sp.start);
+            let mut shape = x.shape().to_vec();
+            shape[0] = sp.len();
+            let xs = Tensor::from_vec(x.data()[sp.start * plane..sp.end * plane].to_vec(), &shape);
+            let ls = labels[sp.clone()].to_vec();
+            // Pre-scale the shard's loss gradient by its batch fraction:
+            // the loss divides by the shard's rows, so n_s/N turns the
+            // tree-reduced sum into the full batch's 1/N mean scaling.
+            let gs = scale * (sp.len() as f32 / n as f32);
+            shard_work.push((idx, replica, xs, ls, gs));
+        }
+
+        // Phase 3: compute. Group shards into at most `replicas`
+        // contiguous jobs; grouping affects scheduling only — each shard's
+        // result is the same bits under every grouping.
+        let groups = shard_spans(
+            shard_work.len(),
+            self.cfg.replicas.max(1).min(shard_work.len()),
+        );
+        let mut work_iter = shard_work.into_iter();
+        let jobs: Vec<_> = groups
+            .into_iter()
+            .map(|g| {
+                let batch: Vec<_> = work_iter.by_ref().take(g.len()).collect();
+                move || {
+                    batch
+                        .into_iter()
+                        .map(|(idx, replica, xs, ls, gs)| run_shard(idx, replica, xs, ls, gs))
+                        .collect::<Vec<ShardResult>>()
+                }
+            })
+            .collect();
+        let mut results: Vec<ShardResult> =
+            self.runtime.run_jobs(jobs).into_iter().flatten().collect();
+        // Job order already equals shard order (contiguous ascending
+        // groups); the sort pins that invariant structurally.
+        results.sort_by_key(|r| r.0);
+
+        // Phase 4: reduce — fixed binary tree in shard order.
+        let mut bufs: Vec<Vec<f32>> = results
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.3))
+            .collect();
+        self.runtime.tree_reduce(&mut bufs);
+        let reduced = &bufs[0];
+
+        // Count-weighted batch loss in f64 (a non-finite shard loss
+        // propagates into the batch loss, exactly as it would inline).
+        let mut loss_acc = 0.0f64;
+        for r in &results {
+            loss_acc += f64::from(r.1) * r.2 as f64;
+        }
+        let loss = (loss_acc / n as f64) as f32;
+
+        // Batch-norm running statistics advance during forward whether or
+        // not the step proceeds (as a single-model forward would). The
+        // count-weighted f64 combine equals a momentum update against the
+        // pooled per-shard batch statistics.
+        if !results[0].4.is_empty() {
+            let mut acc = vec![0.0f64; results[0].4.len()];
+            for r in &results {
+                let w = r.2 as f64 / n as f64;
+                for (a, &v) in acc.iter_mut().zip(&r.4) {
+                    *a += w * f64::from(v);
+                }
+            }
+            let combined: Vec<f32> = acc.iter().map(|&v| v as f32).collect();
+            write_state(model, &combined);
+        }
+
+        if !loss.is_finite() {
+            self.history.nonfinite_batches += 1;
+        }
+        let mut finite = loss.is_finite();
+        if finite {
+            finite = reduced.iter().all(|g| g.is_finite());
+        }
+
+        // Phase 5: one optimizer step on the primary (or one skip).
+        if self.scaler.update(finite) {
+            scatter_grads(model, reduced);
+            self.opt.step(model, lr, 1.0 / self.scaler.scale());
+        } else {
+            Sgd::zero_grad(model);
+            self.history.skipped_steps += 1;
+        }
+        loss
+    }
 }
 
 /// Evaluates classification accuracy (percent) on a dataset.
@@ -432,6 +762,143 @@ mod tests {
             "no finite loss exists, so best_loss is NaN by definition"
         );
         assert!(h.final_accuracy().is_nan(), "last entry is truthfully NaN");
+    }
+
+    #[test]
+    fn grad_shards_zero_resolves_to_replica_count() {
+        let t = Trainer::new(&TrainConfig::default());
+        assert_eq!(t.grad_shards(), 1, "defaults stay on the legacy path");
+        let t = Trainer::new(&TrainConfig {
+            replicas: 4,
+            ..TrainConfig::default()
+        });
+        assert_eq!(t.grad_shards(), 4, "auto shards follow the replicas");
+        let t = Trainer::new(&TrainConfig {
+            replicas: 2,
+            grad_shards: 3,
+            ..TrainConfig::default()
+        });
+        assert_eq!(t.grad_shards(), 3, "explicit shards win");
+        let t = Trainer::new(&TrainConfig {
+            replicas: 0,
+            ..TrainConfig::default()
+        });
+        assert_eq!(t.grad_shards(), 1, "zero replicas clamp to one");
+    }
+
+    #[test]
+    fn replica_count_does_not_change_training_bits() {
+        // The core data-parallel contract on the f32 engine: at a pinned
+        // gradient-shard count, every replica count — and every pool size —
+        // produces the identical History. Batch 16 with a ragged final
+        // batch of 12 exercises uneven shards; resnet20 brings batch-norm
+        // state recombination into the picture.
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(2));
+        let run = |replicas: usize, threads: usize| {
+            let mut net = resnet20(&engine, 4, 10, 7);
+            let train_ds = synth_cifar10(60, 8, 3);
+            let test_ds = synth_cifar10(40, 8, 4);
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                replicas,
+                grad_shards: 4,
+                ..TrainConfig::default()
+            };
+            let rt = Arc::new(srmac_tensor::Runtime::new(threads));
+            Trainer::new(&cfg)
+                .with_runtime(rt)
+                .run(&mut net, &train_ds, &test_ds)
+        };
+        let baseline = run(1, 1);
+        assert!(
+            baseline.train_loss.iter().all(|l| l.is_finite()),
+            "sharded training must still train: {:?}",
+            baseline.train_loss
+        );
+        for (replicas, threads) in [(2, 4), (4, 4), (8, 2), (3, 1)] {
+            let h = run(replicas, threads);
+            assert_eq!(
+                baseline
+                    .train_loss
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                h.train_loss.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                "losses changed at replicas={replicas} threads={threads}"
+            );
+            assert_eq!(
+                baseline.test_acc, h.test_acc,
+                "accuracy changed at replicas={replicas} threads={threads}"
+            );
+            assert_eq!(baseline.skipped_steps, h.skipped_steps);
+            assert_eq!(baseline.final_scale, h.final_scale);
+        }
+    }
+
+    #[test]
+    fn single_nonempty_shard_matches_the_inline_step() {
+        // A batch no larger than one shard's span leaves S-1 shards empty:
+        // the sharded step degenerates to one full-batch replica, whose
+        // loss-gradient scaling (n_s/N = 1) and single-buffer reduction
+        // reproduce the inline path's numbers exactly.
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+        let run = |grad_shards: usize| {
+            let mut net = small_net(&engine, true);
+            let train_ds = synth_cifar10(12, 8, 9);
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 12,
+                // 12 samples, shard span 12: every batch is one shard.
+                grad_shards,
+                ..TrainConfig::default()
+            };
+            Trainer::new(&cfg).run(&mut net, &train_ds, &train_ds)
+        };
+        let inline = run(1);
+        // S = 13 > 12 samples: the first 12 spans are empty, the last
+        // holds the whole batch — one replica, full batch.
+        let degenerate = run(13);
+        assert_eq!(
+            inline
+                .train_loss
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            degenerate
+                .train_loss
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "single-shard sharded step must equal the inline step"
+        );
+        assert_eq!(inline.test_acc, degenerate.test_acc);
+        assert_eq!(inline.final_scale, degenerate.final_scale);
+    }
+
+    #[test]
+    #[should_panic(expected = "clone_layer")]
+    fn sharded_training_rejects_unreplicable_layers() {
+        // A layer without clone support must fail loudly, not silently
+        // train on something else.
+        struct Opaque;
+        impl Layer for Opaque {
+            fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+                x.clone()
+            }
+            fn backward(&mut self, grad: &Tensor) -> Tensor {
+                grad.clone()
+            }
+        }
+        let mut net = Sequential::new();
+        net.push(Opaque);
+        let cfg = TrainConfig {
+            grad_shards: 2,
+            ..TrainConfig::default()
+        };
+        let x = Tensor::zeros(&[2, 1, 1, 1]);
+        let mut t = Trainer::new(&cfg);
+        t.train_step(&mut net, &x, &[0, 1], 0.1);
     }
 
     #[test]

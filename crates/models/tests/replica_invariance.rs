@@ -1,0 +1,138 @@
+//! Replica-count invariance: the data-parallel determinism contract.
+//!
+//! At a *pinned* gradient-shard count `S`, the full training `History`
+//! must be bitwise identical for every replica count and every runtime
+//! pool size — under the exact f32 engine, the paper's SR MAC engine
+//! (whose position-seeded rounding streams are the hard part: replicas
+//! see sub-batches, yet every sample must draw the stream its position
+//! in the *full* batch dictates), and the mixed per-role policy path.
+//!
+//! `grad_shards` itself is a numerics knob (per-shard products, per-shard
+//! batch-norm statistics, reduction-tree shape); these tests vary only
+//! `replicas`/threads and hold `S` fixed, which is exactly the knife-edge
+//! the trainer promises.
+
+use std::sync::Arc;
+
+use srmac_models::{data, resnet, History, TrainConfig, Trainer};
+use srmac_qgemm::numerics_from_spec;
+use srmac_tensor::{F32Engine, GemmEngine, Numerics, Runtime};
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Everything a `History` records, as comparable bits.
+fn fingerprint(h: &History) -> (Vec<u32>, Vec<u32>, usize, usize, u32) {
+    (
+        bits(&h.train_loss),
+        bits(&h.test_acc),
+        h.skipped_steps,
+        h.nonfinite_batches,
+        h.final_scale.to_bits(),
+    )
+}
+
+/// A fixed-seed 2-epoch slim ResNet-20 run with the given scheduling
+/// knobs. `batch_size` 16 over 56 samples leaves a ragged final batch of
+/// 8, so shards are uneven within an epoch.
+fn run_case(spec: &str, replicas: usize, grad_shards: usize, threads: usize) -> History {
+    let numerics = match spec {
+        "f32" => Numerics::uniform(Arc::new(F32Engine::new(2)) as Arc<dyn GemmEngine>),
+        s => numerics_from_spec(s).expect("engine spec"),
+    };
+    let mut net = resnet::resnet20_with(&numerics, 4, 10, 77);
+    let train_ds = data::synth_cifar10(56, 8, 1234);
+    let test_ds = data::synth_cifar10(32, 8, 4321);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 0.05,
+        replicas,
+        grad_shards,
+        ..TrainConfig::default()
+    };
+    Trainer::new(&cfg)
+        .with_runtime(Arc::new(Runtime::new(threads)))
+        .run(&mut net, &train_ds, &test_ds)
+}
+
+/// Runs the R x threads matrix at pinned S = 4 for one engine spec and
+/// demands bit-identical histories throughout.
+fn assert_replica_invariant(spec: &str) {
+    let base = run_case(spec, 1, 4, 1);
+    assert!(
+        base.train_loss.iter().all(|l| l.is_finite()),
+        "[{spec}] sharded baseline must train: {:?}",
+        base.train_loss
+    );
+    for (replicas, threads) in [(2, 4), (4, 4), (4, 1), (8, 4)] {
+        let h = run_case(spec, replicas, 4, threads);
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&h),
+            "[{spec}] history changed at replicas={replicas} threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn f32_history_is_replica_invariant() {
+    assert_replica_invariant("f32");
+}
+
+#[test]
+fn sr_mac_history_is_replica_invariant() {
+    // The paper's pick: E6M5 accumulation, eager SR, r = 13. Position-
+    // seeded streams make this the strongest case — a wrong row base on
+    // any sub-batch product flips bits immediately.
+    assert_replica_invariant("fp8_fp12_sr13");
+}
+
+#[test]
+fn rn_mac_history_is_replica_invariant() {
+    // RN accumulation is position-invariant; replicas skip engine
+    // derivation entirely and must still agree.
+    assert_replica_invariant("fp8_fp12_rn_sub");
+}
+
+#[test]
+fn mixed_policy_history_is_replica_invariant() {
+    // Per-role policy: RN forward, SR r=13 on both backward roles — the
+    // derived-engine cache has to key role and row base independently.
+    assert_replica_invariant("fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13");
+}
+
+#[test]
+fn empty_and_ragged_shards_keep_replica_invariance() {
+    // batch_size 6 at S = 4 shards as 1+1+1+3; the epoch's ragged final
+    // batch of 2 leaves two leading shards *empty* (spans 0,0,0,2). The
+    // skip-empty rule and the count-weighted combines must keep every
+    // replica count on the same bits.
+    let numerics = numerics_from_spec("fp8_fp12_sr13").expect("engine spec");
+    let run = |replicas: usize, threads: usize| {
+        let mut net = resnet::resnet20_with(&numerics, 4, 10, 9);
+        let train_ds = data::synth_cifar10(14, 8, 77);
+        let test_ds = data::synth_cifar10(8, 8, 78);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 6,
+            lr: 0.05,
+            replicas,
+            grad_shards: 4,
+            ..TrainConfig::default()
+        };
+        Trainer::new(&cfg)
+            .with_runtime(Arc::new(Runtime::new(threads)))
+            .run(&mut net, &train_ds, &test_ds)
+    };
+    let base = run(1, 1);
+    for (replicas, threads) in [(2, 4), (4, 4), (8, 1)] {
+        let h = run(replicas, threads);
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&h),
+            "ragged/empty shards broke invariance at replicas={replicas} threads={threads}"
+        );
+    }
+}

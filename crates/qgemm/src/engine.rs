@@ -452,6 +452,10 @@ impl MacKernel {
     }
 
     /// Computes output rows `row0 .. row0 + rows` into `block` (rows x n).
+    /// SR streams are seeded at row `row_base + i` — the row's position in
+    /// the logical full batch when the engine is a row-offset derivation
+    /// (see [`GemmEngine::with_row_base`]); 0 otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn compute_rows(
         &self,
         acode: &[u8],
@@ -459,13 +463,14 @@ impl MacKernel {
         k: usize,
         n: usize,
         row0: usize,
+        row_base: usize,
         block: &mut [f32],
     ) {
         for (ri, out_row) in block.chunks_mut(n).enumerate() {
             let i = row0 + ri;
             let arow = &acode[i * k..(i + 1) * k];
             for (j, o) in out_row.iter_mut().enumerate() {
-                let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                let mut rng = SplitMix64::new(mix_seed(self.seed, row_base + i, j));
                 let acc = self.dot(arow, &bcode_t[j * k..(j + 1) * k], &mut rng);
                 *o = self.decode[acc as usize];
             }
@@ -801,6 +806,7 @@ impl MacKernel {
         panel: &[u8],
         k: usize,
         n: usize,
+        row_base: usize,
         rows: Range<usize>,
         cols: Range<usize>,
         block: &mut [f32],
@@ -813,7 +819,7 @@ impl MacKernel {
                 #[allow(unsafe_code)]
                 unsafe {
                     self.compute_rect_compact_avx512(
-                        compact, bcode_t, panel, k, n, rows, cols, block,
+                        compact, bcode_t, panel, k, n, row_base, rows, cols, block,
                     );
                 }
             }
@@ -823,12 +829,14 @@ impl MacKernel {
                 #[allow(unsafe_code)]
                 unsafe {
                     self.compute_rect_compact_avx2(
-                        compact, bcode_t, panel, k, n, rows, cols, block,
+                        compact, bcode_t, panel, k, n, row_base, rows, cols, block,
                     );
                 }
             }
             SimdTier::Portable => {
-                self.compute_rect_compact_body(compact, bcode_t, panel, k, n, rows, cols, block);
+                self.compute_rect_compact_body(
+                    compact, bcode_t, panel, k, n, row_base, rows, cols, block,
+                );
             }
         }
     }
@@ -852,11 +860,12 @@ impl MacKernel {
         panel: &[u8],
         k: usize,
         n: usize,
+        row_base: usize,
         rows: Range<usize>,
         cols: Range<usize>,
         block: &mut [f32],
     ) {
-        self.compute_rect_compact_body(compact, bcode_t, panel, k, n, rows, cols, block);
+        self.compute_rect_compact_body(compact, bcode_t, panel, k, n, row_base, rows, cols, block);
     }
 
     /// AVX2 codegen of the compacted loop (4-lane `ymm` arithmetic).
@@ -870,11 +879,12 @@ impl MacKernel {
         panel: &[u8],
         k: usize,
         n: usize,
+        row_base: usize,
         rows: Range<usize>,
         cols: Range<usize>,
         block: &mut [f32],
     ) {
-        self.compute_rect_compact_body(compact, bcode_t, panel, k, n, rows, cols, block);
+        self.compute_rect_compact_body(compact, bcode_t, panel, k, n, row_base, rows, cols, block);
     }
 
     /// The tier-independent rectangle body (inlined into each tier wrapper
@@ -899,6 +909,7 @@ impl MacKernel {
         panel: &[u8],
         k: usize,
         n: usize,
+        row_base: usize,
         rows: Range<usize>,
         cols: Range<usize>,
         block: &mut [f32],
@@ -908,30 +919,34 @@ impl MacKernel {
             let (s, e) = (compact.row_ptr[i] as usize, compact.row_ptr[i + 1] as usize);
             (&compact.idx[s..e], &compact.code[s..e])
         };
+        // Operand data indexes at the local row `i`; SR streams seed at the
+        // full-batch row `si = row_base + i` (`lane_blocks`/`panel_block`
+        // take the row index for seeding only).
         if self.lanes != LANES || panel.is_empty() {
             for (ri, out_row) in block.chunks_mut(w).enumerate() {
                 let i = rows.start + ri;
+                let si = row_base + i;
                 let (ids, cods) = row_of(i);
                 let mut j = cols.start;
                 match self.lanes {
                     64 => {
-                        self.lane_blocks::<64>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
-                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                        self.lane_blocks::<64>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row);
+                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row);
                     }
                     32 => {
-                        self.lane_blocks::<32>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
-                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                        self.lane_blocks::<32>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row);
+                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row);
                     }
                     16 => {
-                        self.lane_blocks::<16>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
-                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row);
+                        self.lane_blocks::<16>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row);
+                        self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row);
                     }
-                    8 => self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row),
-                    4 => self.lane_blocks::<4>(ids, cods, bcode_t, k, &cols, i, &mut j, out_row),
+                    8 => self.lane_blocks::<8>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row),
+                    4 => self.lane_blocks::<4>(ids, cods, bcode_t, k, &cols, si, &mut j, out_row),
                     _ => {}
                 }
                 while j < cols.end {
-                    let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                    let mut rng = SplitMix64::new(mix_seed(self.seed, si, j));
                     let acc = self.dot_compact(ids, cods, &bcode_t[j * k..(j + 1) * k], &mut rng);
                     out_row[j - cols.start] = self.decode[acc as usize];
                     j += 1;
@@ -950,13 +965,14 @@ impl MacKernel {
             let c1 = cols.end.min(c0 + ct);
             for (ri, out_row) in block.chunks_mut(w).enumerate() {
                 let i = rows.start + ri;
+                let si = row_base + i;
                 let (ids, cods) = row_of(i);
                 let mut j = c0;
                 let lim64 = c1.min(n64);
                 while j + 64 <= lim64 {
                     let pan = &panel[j * k..(j + 64) * k];
                     let o = j - cols.start;
-                    self.panel_block::<64>(ids, cods, pan, i, j, &mut out_row[o..o + 64]);
+                    self.panel_block::<64>(ids, cods, pan, si, j, &mut out_row[o..o + 64]);
                     j += 64;
                 }
                 let lim8 = c1.min(n8);
@@ -964,11 +980,11 @@ impl MacKernel {
                     let off = n64 * k + (j - n64) * k;
                     let pan = &panel[off..off + 8 * k];
                     let o = j - cols.start;
-                    self.panel_block::<8>(ids, cods, pan, i, j, &mut out_row[o..o + 8]);
+                    self.panel_block::<8>(ids, cods, pan, si, j, &mut out_row[o..o + 8]);
                     j += 8;
                 }
                 while j < c1 {
-                    let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                    let mut rng = SplitMix64::new(mix_seed(self.seed, si, j));
                     let acc = self.dot_compact(ids, cods, &bcode_t[j * k..(j + 1) * k], &mut rng);
                     out_row[j - cols.start] = self.decode[acc as usize];
                     j += 1;
@@ -981,11 +997,13 @@ impl MacKernel {
     /// Dense rectangle kernel — the NaN-fallback counterpart of
     /// [`MacKernel::compute_rect_compact`] (scalar dots, golden special
     /// semantics).
+    #[allow(clippy::too_many_arguments)]
     fn compute_rect_dense(
         &self,
         acode: &[u8],
         bcode_t: &[u8],
         k: usize,
+        row_base: usize,
         rows: Range<usize>,
         cols: Range<usize>,
         block: &mut [f32],
@@ -996,7 +1014,7 @@ impl MacKernel {
             let arow = &acode[i * k..(i + 1) * k];
             for (jo, o) in out_row.iter_mut().enumerate() {
                 let j = cols.start + jo;
-                let mut rng = SplitMix64::new(mix_seed(self.seed, i, j));
+                let mut rng = SplitMix64::new(mix_seed(self.seed, row_base + i, j));
                 let acc = self.dot(arow, &bcode_t[j * k..(j + 1) * k], &mut rng);
                 *o = self.decode[acc as usize];
             }
@@ -1119,14 +1137,19 @@ impl AWork {
         panel: &[u8],
         k: usize,
         n: usize,
+        row_base: usize,
         rows: Range<usize>,
         cols: Range<usize>,
         block: &mut [f32],
     ) {
         match self {
-            AWork::Dense(codes) => kernel.compute_rect_dense(codes, bcode_t, k, rows, cols, block),
+            AWork::Dense(codes) => {
+                kernel.compute_rect_dense(codes, bcode_t, k, row_base, rows, cols, block);
+            }
             AWork::Compact(compact) => {
-                kernel.compute_rect_compact(compact, bcode_t, panel, k, n, rows, cols, block);
+                kernel.compute_rect_compact(
+                    compact, bcode_t, panel, k, n, row_base, rows, cols, block,
+                );
             }
         }
     }
@@ -1157,6 +1180,11 @@ pub struct MacGemm {
     /// [`MacGemm::gemm_scoped`] and the `_into` quantization helpers —
     /// steady-state reference-path calls allocate nothing.
     codes_scratch: Mutex<Vec<Vec<u8>>>,
+    /// SR streams seed at output row `row_base + i` instead of `i`: 0 for
+    /// ordinary engines, the first-row offset for the derived engines of
+    /// [`GemmEngine::with_row_base`] (data-parallel sub-batches drawing
+    /// their full-batch streams).
+    row_base: usize,
 }
 
 impl MacGemm {
@@ -1223,6 +1251,7 @@ impl MacGemm {
             kernel,
             runtime,
             codes_scratch: Mutex::new(Vec::new()),
+            row_base: 0,
         }
     }
 
@@ -1407,6 +1436,7 @@ impl MacGemm {
         let awork = awork.clone();
         let bcode_t = Arc::clone(bcode_t);
         let panel = Arc::clone(panel);
+        let row_base = self.row_base;
         self.runtime.parallel_fill_blocks(
             m,
             n,
@@ -1414,7 +1444,7 @@ impl MacGemm {
             col_tile,
             out,
             move |rows, cols, block| {
-                awork.compute_rect(&kernel, &bcode_t, &panel, k, n, rows, cols, block);
+                awork.compute_rect(&kernel, &bcode_t, &panel, k, n, row_base, rows, cols, block);
             },
         );
     }
@@ -1448,8 +1478,9 @@ impl MacGemm {
                 let acode = &acode;
                 let bcode_t = &bcode_t;
                 let kernel = &self.kernel;
+                let row_base = self.row_base;
                 scope.spawn(move || {
-                    kernel.compute_rows(acode, bcode_t, k, n, ci * chunk, out_chunk);
+                    kernel.compute_rows(acode, bcode_t, k, n, ci * chunk, row_base, out_chunk);
                 });
             }
         });
@@ -1583,6 +1614,28 @@ impl GemmEngine for MacGemm {
     // that must opt out of the serving determinism contract.
     fn position_invariant(&self) -> bool {
         matches!(self.config.rounding, AccumRounding::Nearest)
+    }
+
+    // The derived engine shares the kernel (LUTs, adders — behind one
+    // `Arc`) and the runtime; only the stream row origin differs, so row
+    // `i` of its output is bit-identical to row `first_row + i` of the
+    // base engine's output over the same operand rows. Offsets compose:
+    // deriving from a derived engine adds the bases. Packed operands
+    // carry no position state and transfer freely between base and
+    // derived engines.
+    fn with_row_base(&self, first_row: usize) -> Option<Arc<dyn GemmEngine>> {
+        if first_row == 0 || self.position_invariant() {
+            return None;
+        }
+        Some(Arc::new(Self {
+            config: self.config,
+            quant: FastQuantizer::new(self.config.mul_fmt),
+            zero_code: self.zero_code,
+            kernel: Arc::clone(&self.kernel),
+            runtime: Arc::clone(&self.runtime),
+            codes_scratch: Mutex::new(Vec::new()),
+            row_base: self.row_base + first_row,
+        }))
     }
 
     fn name(&self) -> String {

@@ -29,6 +29,15 @@
 //! [`Runtime::parallel_fill_blocks`] extends the same contract to 2D: the
 //! tile grid is a pure function of the shape and the tile sizes, never of
 //! the thread count, and an output element belongs to exactly one tile.
+//! [`Runtime::parallel_fill_pair`] is the lock-step two-output variant
+//! used by the optimizer, and [`Runtime::tree_reduce`] extends the
+//! discipline to *reductions*: a binary tree over equal-length buffers
+//! whose association order is a pure function of the buffer count —
+//! never of the pool size — so a gradient sum over R replicas is bitwise
+//! pinned. [`Runtime::run_jobs`] runs heterogeneous `'static` jobs and
+//! hands their results back in job order (the trainer's replica seam);
+//! all primitives detect calls from inside a pool worker and run inline
+//! then, so nested dispatch can never deadlock the pool.
 //!
 //! # Workspace reuse
 //!
@@ -129,7 +138,7 @@ impl Runtime {
         assert_eq!(out.len(), items * item_len, "out must be items * item_len");
         let threads = self.threads();
         let chunk = items.div_ceil(threads).max(grain.max(1));
-        if threads == 1 || chunk >= items {
+        if threads == 1 || chunk >= items || pool::in_worker() {
             out.fill(0.0);
             if items > 0 {
                 job(0..items, out);
@@ -211,7 +220,7 @@ impl Runtime {
         let row_jobs = rows.div_ceil(rt);
         let col_jobs = cols.div_ceil(ct);
         let threads = self.threads();
-        if threads == 1 || row_jobs * col_jobs <= 1 {
+        if threads == 1 || row_jobs * col_jobs <= 1 || pool::in_worker() {
             out.fill(0.0);
             job(0..rows, 0..cols, out);
             return;
@@ -261,6 +270,200 @@ impl Runtime {
             completed, jobs,
             "a runtime worker job died before completing"
         );
+    }
+
+    /// Fills two parallel outputs — each logically `items` scalar elements
+    /// — by running `job(range, block_a, block_b)` over disjoint chunks.
+    /// The two blocks handed to a job cover the *same* item range of the
+    /// two outputs, which is exactly the shape of an optimizer update
+    /// (velocity and weight written in lock-step from shared inputs).
+    ///
+    /// Same determinism contract as [`Runtime::parallel_fill`]: disjoint
+    /// whole-item chunks, zeroed blocks, no reassociation — bitwise
+    /// identical results at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_a.len() != items`, `out_b.len() != items`, or a
+    /// worker job dies.
+    pub fn parallel_fill_pair<F>(
+        &self,
+        items: usize,
+        grain: usize,
+        out_a: &mut [f32],
+        out_b: &mut [f32],
+        job: F,
+    ) where
+        F: Fn(Range<usize>, &mut [f32], &mut [f32]) + Send + Sync + 'static,
+    {
+        assert_eq!(out_a.len(), items, "out_a must hold items elements");
+        assert_eq!(out_b.len(), items, "out_b must hold items elements");
+        let threads = self.threads();
+        let chunk = items.div_ceil(threads).max(grain.max(1));
+        if threads == 1 || chunk >= items || pool::in_worker() {
+            out_a.fill(0.0);
+            out_b.fill(0.0);
+            if items > 0 {
+                job(0..items, out_a, out_b);
+            }
+            return;
+        }
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let jobs = items.div_ceil(chunk);
+        let job = Arc::new(job);
+        let (tx, rx) = channel::<(usize, Vec<f32>, Vec<f32>)>();
+        for ci in 0..jobs {
+            let start = ci * chunk;
+            let end = (start + chunk).min(items);
+            let (mut block_a, mut block_b) = {
+                let mut stash = self.scratch.lock().expect("scratch poisoned");
+                (
+                    stash.pop().unwrap_or_default(),
+                    stash.pop().unwrap_or_default(),
+                )
+            };
+            let job = Arc::clone(&job);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                block_a.clear();
+                block_a.resize(end - start, 0.0);
+                block_b.clear();
+                block_b.resize(end - start, 0.0);
+                job(start..end, &mut block_a, &mut block_b);
+                let _ = tx.send((ci, block_a, block_b));
+            }));
+        }
+        drop(tx);
+        let mut completed = 0usize;
+        for (ci, block_a, block_b) in rx.iter().take(jobs) {
+            let dst = ci * chunk;
+            out_a[dst..dst + block_a.len()].copy_from_slice(&block_a);
+            out_b[dst..dst + block_b.len()].copy_from_slice(&block_b);
+            self.recycle(block_a);
+            self.recycle(block_b);
+            completed += 1;
+        }
+        assert_eq!(
+            completed, jobs,
+            "a runtime worker job died before completing"
+        );
+    }
+
+    /// Reduces `bufs` — equal-length `f32` buffers, one per replica —
+    /// into `bufs[0]` by a **fixed binary tree**: level one adds buffer
+    /// `i + 1` into buffer `i` for every even `i`, level two adds
+    /// `i + 2` into `i` for every `i` divisible by 4, and so on with
+    /// doubling strides. The reduction order is a pure function of
+    /// `bufs.len()` — **never** of the pool size — in the same
+    /// discipline as [`Runtime::parallel_fill`]: 3 buffers always reduce
+    /// as `(b0 + b1) + b2` element-wise, 4 as `(b0 + b1) + (b2 + b3)`,
+    /// so results are bitwise identical at every thread count.
+    ///
+    /// Within one level the pairs are disjoint and run concurrently on
+    /// the pool; levels are barriers. On return `bufs[0]` holds the
+    /// reduction; the other buffers are clobbered with intermediate
+    /// partial sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have unequal lengths or a worker job dies.
+    pub fn tree_reduce(&self, bufs: &mut [Vec<f32>]) {
+        fn add_into(dst: &mut [f32], src: &[f32]) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += *s;
+            }
+        }
+        let n = bufs.len();
+        if n <= 1 {
+            return;
+        }
+        let len = bufs[0].len();
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(b.len(), len, "tree_reduce buffer {i} length mismatch");
+        }
+        let mut stride = 1;
+        while stride < n {
+            let pairs: Vec<usize> = (0..n)
+                .step_by(2 * stride)
+                .filter(|i| i + stride < n)
+                .collect();
+            if self.threads() == 1 || pairs.len() <= 1 || pool::in_worker() || len == 0 {
+                for &i in &pairs {
+                    let (left, right) = bufs.split_at_mut(i + stride);
+                    add_into(&mut left[i], &right[0]);
+                }
+            } else {
+                let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+                let (tx, rx) = channel::<(usize, Vec<f32>, Vec<f32>)>();
+                for &i in &pairs {
+                    let mut dst = std::mem::take(&mut bufs[i]);
+                    let src = std::mem::take(&mut bufs[i + stride]);
+                    let tx = tx.clone();
+                    pool.execute(Box::new(move || {
+                        add_into(&mut dst, &src);
+                        let _ = tx.send((i, dst, src));
+                    }));
+                }
+                drop(tx);
+                let mut completed = 0usize;
+                for (i, dst, src) in rx.iter().take(pairs.len()) {
+                    bufs[i] = dst;
+                    bufs[i + stride] = src;
+                    completed += 1;
+                }
+                assert_eq!(
+                    completed,
+                    pairs.len(),
+                    "a runtime worker job died before completing"
+                );
+            }
+            stride *= 2;
+        }
+    }
+
+    /// Runs independent `'static` closures on the pool and returns their
+    /// results **in job order**. A serial runtime — or a call from inside
+    /// a pool worker — runs them inline in order; provided each job is
+    /// deterministic in isolation, results are identical either way
+    /// (scheduling changes wall-clock time, never values).
+    ///
+    /// This is the replica-dispatch seam of the data-parallel trainer:
+    /// each job owns its replica's model and returns that replica's
+    /// flattened gradients and state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker job dies before returning a result.
+    pub fn run_jobs<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        if self.threads() == 1 || n <= 1 || pool::in_worker() {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let (tx, rx) = channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                let out = job();
+                let _ = tx.send((i, out));
+            }));
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut completed = 0usize;
+        for (i, out) in rx.iter().take(n) {
+            slots[i] = Some(out);
+            completed += 1;
+        }
+        assert_eq!(completed, n, "a runtime worker job died before completing");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job completed"))
+            .collect()
     }
 
     fn recycle(&self, block: Vec<f32>) {
@@ -541,6 +744,190 @@ mod tests {
         ws.reset(4).copy_from_slice(&[9.0; 4]);
         assert_eq!(held.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(ws.as_slice(), &[9.0; 4]);
+    }
+
+    #[test]
+    fn parallel_fill_pair_matches_the_serial_reference() {
+        let items = 103;
+        let gi: Vec<f32> = (0..items).map(|i| i as f32 * 0.13 - 2.0).collect();
+        let src = Arc::new(gi);
+        let job = |src: Arc<Vec<f32>>| {
+            move |range: Range<usize>, a: &mut [f32], b: &mut [f32]| {
+                for (bi, i) in range.enumerate() {
+                    a[bi] = src[i] * 0.9 + 0.5;
+                    b[bi] = src[i] - a[bi] * 0.25;
+                }
+            }
+        };
+        let mut want_a = vec![0.0f32; items];
+        let mut want_b = vec![0.0f32; items];
+        job(Arc::clone(&src))(0..items, &mut want_a, &mut want_b);
+        for threads in 1..=8 {
+            let rt = Runtime::new(threads);
+            let mut out_a = vec![f32::NAN; items];
+            let mut out_b = vec![f32::NAN; items];
+            rt.parallel_fill_pair(items, 1, &mut out_a, &mut out_b, job(Arc::clone(&src)));
+            let same = want_a
+                .iter()
+                .zip(&out_a)
+                .chain(want_b.iter().zip(&out_b))
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "{threads} threads: pair fill diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job died")]
+    fn panicking_pair_job_fails_loudly() {
+        let rt = Runtime::new(2);
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        rt.parallel_fill_pair(64, 1, &mut a, &mut b, |range, _a, _b| {
+            if range.start >= 32 {
+                panic!("job failure injection");
+            }
+        });
+    }
+
+    /// The serial oracle of the fixed tree order: adjacent pairing with
+    /// doubling strides, written independently of the implementation.
+    fn tree_reference(bufs: &[Vec<f32>]) -> Vec<f32> {
+        let mut work: Vec<Vec<f32>> = bufs.to_vec();
+        let n = work.len();
+        let mut stride = 1;
+        while stride < n {
+            let mut i = 0;
+            while i + stride < n {
+                let src = work[i + stride].clone();
+                for (d, s) in work[i].iter_mut().zip(&src) {
+                    *d += *s;
+                }
+                i += 2 * stride;
+            }
+            stride *= 2;
+        }
+        work.into_iter().next().unwrap_or_default()
+    }
+
+    #[test]
+    fn tree_reduce_is_bitwise_pool_invariant() {
+        for count in [2usize, 3, 4, 5, 7, 8] {
+            let bufs: Vec<Vec<f32>> = (0..count)
+                .map(|r| {
+                    (0..97)
+                        .map(|i| ((i * 31 + r * 7) as f32).sin() * 3.0)
+                        .collect()
+                })
+                .collect();
+            let want = tree_reference(&bufs);
+            for threads in [1, 2, 3, 8] {
+                let rt = Runtime::new(threads);
+                let mut work = bufs.clone();
+                rt.tree_reduce(&mut work);
+                let same = want
+                    .iter()
+                    .zip(&work[0])
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{count} buffers, {threads} threads: tree diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_three_buffers_is_left_pair_first() {
+        // Non-associativity witness: values chosen so (b0 + b1) + b2 and
+        // b0 + (b1 + b2) differ in f32. Under the pinned order,
+        // (1e8 + -1e8) + 1.25 == 1.25 exactly; right-first would compute
+        // -1e8 + 1.25 -> -1e8 (1.25 is below the half-ulp of 4 at that
+        // magnitude), so 1e8 + (…) == 0.0 — a different bit pattern.
+        let rt = Runtime::serial();
+        let mut bufs = vec![vec![1.0e8f32], vec![-1.0e8f32], vec![1.25f32]];
+        rt.tree_reduce(&mut bufs);
+        assert_eq!(bufs[0][0].to_bits(), 1.25f32.to_bits());
+        let right_first = 1.0e8f32 + (-1.0e8f32 + 1.25f32);
+        assert_ne!(
+            right_first.to_bits(),
+            1.25f32.to_bits(),
+            "witness must actually be non-associative"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn tree_reduce_rejects_unequal_lengths() {
+        let rt = Runtime::serial();
+        let mut bufs = vec![vec![0.0f32; 4], vec![0.0f32; 5]];
+        rt.tree_reduce(&mut bufs);
+    }
+
+    #[test]
+    fn run_jobs_returns_results_in_job_order() {
+        for threads in [1, 2, 4] {
+            let rt = Runtime::new(threads);
+            let jobs: Vec<_> = (0..9usize)
+                .map(|i| {
+                    move || {
+                        // Stagger completion so out-of-order arrival is
+                        // likely on a real pool.
+                        std::thread::sleep(std::time::Duration::from_millis(((9 - i) % 3) as u64));
+                        i * i
+                    }
+                })
+                .collect();
+            let got = rt.run_jobs(jobs);
+            let want: Vec<usize> = (0..9).map(|i| i * i).collect();
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job died")]
+    fn panicking_run_job_fails_loudly() {
+        let rt = Runtime::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 2, "job failure injection");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let _ = rt.run_jobs(jobs);
+    }
+
+    #[test]
+    fn nested_dispatch_from_a_worker_runs_inline_and_matches() {
+        // A run_jobs job that itself calls parallel_fill and tree_reduce:
+        // with a pool of 2 and 2 such jobs, every worker is busy, so the
+        // nested dispatches can only complete via the in-worker inline
+        // path — and must still match the serial bits.
+        let serial = Runtime::serial();
+        let compute = |rt: &Runtime| -> Vec<f32> {
+            let mut out = vec![0.0f32; 64];
+            rt.parallel_fill(64, 1, 1, &mut out, |range, block| {
+                for (bi, i) in range.enumerate() {
+                    block[bi] = (i as f32).cos() * 2.0;
+                }
+            });
+            let mut bufs = vec![out.clone(), out.clone(), out];
+            rt.tree_reduce(&mut bufs);
+            bufs.swap_remove(0)
+        };
+        let want = compute(&serial);
+        let rt = Arc::new(Runtime::new(2));
+        let jobs: Vec<_> = (0..2)
+            .map(|_| {
+                let rt = Arc::clone(&rt);
+                move || compute(&rt)
+            })
+            .collect();
+        for got in rt.run_jobs(jobs) {
+            let same = want
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "nested dispatch changed bits");
+        }
     }
 
     #[test]

@@ -7,11 +7,27 @@
 //! owned per-chunk outputs over a channel, which keeps the pool free of
 //! `unsafe` lifetime laundering (`#![forbid(unsafe_code)]` holds).
 
+use std::cell::Cell;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    /// True on threads spawned by a [`WorkerPool`]. Dispatch primitives
+    /// consult this to run *nested* dispatches inline: a pool job that
+    /// itself dispatched to the pool and blocked on the results could
+    /// deadlock once every worker is such a job (all waiting, none
+    /// computing). Inline nested execution is bit-identical by the
+    /// thread-invariance contract, so this only changes scheduling.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the calling thread is a [`WorkerPool`] worker.
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
 
 /// A fixed-size pool of worker threads executing boxed jobs in FIFO order.
 #[derive(Debug)]
@@ -31,33 +47,36 @@ impl WorkerPool {
                 let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("srmac-rt-{i}"))
-                    .spawn(move || loop {
-                        // Holding the lock only while dequeueing; disconnect
-                        // (pool drop) ends the loop.
-                        let job = {
-                            let rx = receiver.lock().expect("pool receiver poisoned");
-                            rx.recv()
-                        };
-                        match job {
-                            // Isolate panics so one bad job cannot kill the
-                            // worker: the pool keeps its full size, and the
-                            // job's result-sender drops during unwinding, so
-                            // the dispatching call observes a missing block
-                            // and fails loudly instead of hanging on a
-                            // channel that never disconnects.
-                            Ok(job) => {
-                                let outcome =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                                if let Err(payload) = outcome {
-                                    let msg = payload
-                                        .downcast_ref::<&str>()
-                                        .map(ToString::to_string)
-                                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                                        .unwrap_or_else(|| "non-string panic".to_owned());
-                                    eprintln!("srmac-runtime worker: job panicked: {msg}");
+                    .spawn(move || {
+                        IN_WORKER.with(|flag| flag.set(true));
+                        loop {
+                            // Holding the lock only while dequeueing;
+                            // disconnect (pool drop) ends the loop.
+                            let job = {
+                                let rx = receiver.lock().expect("pool receiver poisoned");
+                                rx.recv()
+                            };
+                            match job {
+                                // Isolate panics so one bad job cannot kill
+                                // the worker: the pool keeps its full size,
+                                // and the job's result-sender drops during
+                                // unwinding, so the dispatching call observes
+                                // a missing block and fails loudly instead of
+                                // hanging on a channel that never disconnects.
+                                Ok(job) => {
+                                    let outcome =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                                    if let Err(payload) = outcome {
+                                        let msg = payload
+                                            .downcast_ref::<&str>()
+                                            .map(ToString::to_string)
+                                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                                            .unwrap_or_else(|| "non-string panic".to_owned());
+                                        eprintln!("srmac-runtime worker: job panicked: {msg}");
+                                    }
                                 }
+                                Err(_) => break,
                             }
-                            Err(_) => break,
                         }
                     })
                     .expect("failed to spawn runtime worker")

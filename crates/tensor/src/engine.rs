@@ -179,6 +179,23 @@ pub trait GemmEngine: Send + Sync {
     fn position_invariant(&self) -> bool {
         true
     }
+
+    /// A derived engine whose per-output-position randomness is offset by
+    /// `first_row` output rows — the sub-batch position-offset contract
+    /// of data-parallel training: a replica computing rows
+    /// `first_row ..` of a logically larger product draws the *same*
+    /// stochastic-rounding streams those rows would see in the full
+    /// product, so sharding a batch never changes any sample's bits.
+    ///
+    /// `None` (the default, and the only sensible answer for
+    /// [position-invariant](GemmEngine::position_invariant) engines or
+    /// `first_row == 0`) means the caller should use `self` unchanged.
+    /// Derived engines must accept packed operands produced by the base
+    /// engine (packing is position-independent by contract).
+    fn with_row_base(&self, first_row: usize) -> Option<std::sync::Arc<dyn GemmEngine>> {
+        let _ = first_row;
+        None
+    }
 }
 
 /// Exact `f32` GEMM (accumulation in `f32`, i.e. IEEE round-to-nearest at

@@ -49,6 +49,12 @@ impl Layer for Relu {
     fn describe(&self) -> String {
         "ReLU".to_owned()
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        // Stateless apart from the backward mask, which forward(train)
+        // rebuilds — a fresh layer is a faithful replica.
+        Some(Box::new(Self::new()))
+    }
 }
 
 /// 2x2 max pooling with stride 2.
@@ -127,6 +133,10 @@ impl Layer for MaxPool2 {
     fn describe(&self) -> String {
         "MaxPool2".to_owned()
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self::new()))
+    }
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
@@ -189,6 +199,10 @@ impl Layer for GlobalAvgPool {
     fn describe(&self) -> String {
         "GlobalAvgPool".to_owned()
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self::new()))
+    }
 }
 
 /// Flattens `[N, ...]` to `[N, prod(...)]`.
@@ -221,6 +235,10 @@ impl Layer for Flatten {
 
     fn describe(&self) -> String {
         "Flatten".to_owned()
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self::new()))
     }
 }
 

@@ -42,11 +42,20 @@ pub struct Conv2d {
     cache: Option<Cache>,
     pack_weights: bool,
     /// `pack_b` of `W^T` (`[K, out_c]`) by the `Forward` engine, at a
-    /// weight version.
-    fwd_pack: Option<(u64, PackedOperand)>,
+    /// weight version. `Arc`-shared so data-parallel replicas (see
+    /// [`Layer::clone_layer`]) reuse one pack instead of re-quantizing.
+    fwd_pack: Option<(u64, Arc<PackedOperand>)>,
     /// `pack_b` of `W` (`[out_c, K]`) by the `BackwardData` engine, at a
-    /// weight version.
-    bwd_pack: Option<(u64, PackedOperand)>,
+    /// weight version. `Arc`-shared like `fwd_pack`.
+    bwd_pack: Option<(u64, Arc<PackedOperand>)>,
+    /// Sample offset of this replica's sub-batch within the logical full
+    /// batch (see [`Layer::set_batch_offset`]); 0 outside data-parallel
+    /// replicas.
+    batch_offset: usize,
+    /// Cache of row-offset engines derived via [`GemmEngine::with_row_base`],
+    /// keyed `(role id, row base)`. Tiny: one entry per (role, offset) this
+    /// replica ever runs at.
+    derived: Vec<(u64, usize, Arc<dyn GemmEngine>)>,
     /// Reusable layout workspaces (see the module docs). `rows` migrates
     /// into the training cache and returns after `backward`; the
     /// [`Workspace`] buffers are additionally shared with runtime jobs.
@@ -137,6 +146,8 @@ impl Conv2d {
             pack_weights: true,
             fwd_pack: None,
             bwd_pack: None,
+            batch_offset: 0,
+            derived: Vec::new(),
             rows_scratch: Vec::new(),
             yt_ws: Workspace::new(),
             drows_ws: Workspace::new(),
@@ -176,7 +187,7 @@ impl Conv2d {
         if self.fwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
             let wt = transpose(self.weight.value.data(), self.out_c, kdim);
             let engine = self.engines.get(GemmRole::Forward);
-            self.fwd_pack = Some((v, engine.pack_b(kdim, self.out_c, &wt)));
+            self.fwd_pack = Some((v, Arc::new(engine.pack_b(kdim, self.out_c, &wt))));
         }
     }
 
@@ -189,8 +200,31 @@ impl Conv2d {
                 kdim,
                 self.weight.value.data(),
             );
-            self.bwd_pack = Some((v, pack));
+            self.bwd_pack = Some((v, Arc::new(pack)));
         }
+    }
+
+    /// The engine for `role`, row-offset by `row_base` output rows (see
+    /// [`GemmEngine::with_row_base`]) so a replica's products draw the same
+    /// per-position randomness those rows would in the full batch. Derived
+    /// engines are cached per `(role, row base)`; position-invariant
+    /// engines (and `row_base == 0`) resolve to the base engine itself.
+    fn role_engine(&mut self, role: GemmRole, row_base: usize) -> Arc<dyn GemmEngine> {
+        let base = Arc::clone(self.engines.get(role));
+        if row_base == 0 {
+            return base;
+        }
+        if let Some((_, _, engine)) = self
+            .derived
+            .iter()
+            .find(|(r, b, _)| *r == role.id() && *b == row_base)
+        {
+            return Arc::clone(engine);
+        }
+        let engine = base.with_row_base(row_base).unwrap_or(base);
+        self.derived
+            .push((role.id(), row_base, Arc::clone(&engine)));
+        engine
     }
 
     /// Output spatial size for an input of height/width `s`, with the
@@ -226,19 +260,21 @@ impl Layer for Conv2d {
             &mut rows,
         );
 
-        // Yt (ns x out_c) = rows (ns x K) * W^T (K x out_c).
+        // Yt (ns x out_c) = rows (ns x K) * W^T (K x out_c). Output row
+        // r belongs to sample batch_offset + r/(oh*ow) of the logical full
+        // batch, so the product runs on the row-offset engine.
+        let row_base = self.batch_offset * oh * ow;
         let mut yt_ws = std::mem::take(&mut self.yt_ws);
         let yt = yt_ws.reset(ns * self.out_c);
         if self.use_packed(GemmRole::Forward) {
             self.ensure_forward_pack();
-            let engine = self.engines.get(GemmRole::Forward);
+            let engine = self.role_engine(GemmRole::Forward, row_base);
             let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
             let ra = engine.pack_a(ns, kdim, &rows);
             engine.gemm_packed(ns, kdim, self.out_c, &ra, wt_pack, yt);
         } else {
             let wt = transpose(self.weight.value.data(), self.out_c, kdim);
-            self.engines
-                .get(GemmRole::Forward)
+            self.role_engine(GemmRole::Forward, row_base)
                 .gemm(ns, kdim, self.out_c, &rows, &wt, yt);
         }
 
@@ -302,17 +338,20 @@ impl Layer for Conv2d {
             *g += d;
         }
 
-        // dRows (ns x K) = dY (ns x out_c) * W (out_c x K).
+        // dRows (ns x K) = dY (ns x out_c) * W (out_c x K); row-offset like
+        // the forward product (wgrad above is not: its output positions are
+        // weight coordinates, identical for every sub-batch).
+        let row_base = self.batch_offset * spatial;
         let mut drows_ws = std::mem::take(&mut self.drows_ws);
         let drows = drows_ws.reset(ns * kdim);
         if self.use_packed(GemmRole::BackwardData) {
             self.ensure_backward_pack();
-            let engine = self.engines.get(GemmRole::BackwardData);
+            let engine = self.role_engine(GemmRole::BackwardData, row_base);
             let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
             let ga = engine.pack_a(ns, self.out_c, &dy_nsoc);
             engine.gemm_packed(ns, self.out_c, kdim, &ga, w_pack, drows);
         } else {
-            self.engines.get(GemmRole::BackwardData).gemm(
+            self.role_engine(GemmRole::BackwardData, row_base).gemm(
                 ns,
                 self.out_c,
                 kdim,
@@ -357,5 +396,44 @@ impl Layer for Conv2d {
             "Conv2d({}->{}, k{}, s{}, p{})",
             self.in_c, self.out_c, self.k, self.stride, self.pad
         )
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_c: self.in_c,
+            out_c: self.out_c,
+            k: self.k,
+            stride: self.stride,
+            pad: self.pad,
+            // CoW value share (no weight data copied), fresh zero gradient.
+            weight: Param::new(self.weight.value.clone(), self.weight.decay),
+            engines: self.engines.clone(),
+            runtime: Arc::clone(&self.runtime),
+            cache: None,
+            pack_weights: self.pack_weights,
+            fwd_pack: self.fwd_pack.clone(),
+            bwd_pack: self.bwd_pack.clone(),
+            batch_offset: 0,
+            derived: Vec::new(),
+            rows_scratch: Vec::new(),
+            yt_ws: Workspace::new(),
+            drows_ws: Workspace::new(),
+            dy_ocns_scratch: Vec::new(),
+            dy_nsoc_scratch: Vec::new(),
+            dw_scratch: Vec::new(),
+        }))
+    }
+
+    fn set_batch_offset(&mut self, offset: usize) {
+        self.batch_offset = offset;
+    }
+
+    fn warm_weight_packs(&mut self) {
+        if self.use_packed(GemmRole::Forward) {
+            self.ensure_forward_pack();
+        }
+        if self.use_packed(GemmRole::BackwardData) {
+            self.ensure_backward_pack();
+        }
     }
 }

@@ -32,11 +32,20 @@ pub struct Linear {
     cache: Option<Tensor>,
     pack_weights: bool,
     /// `pack_b` of `W^T` (`[in, out]`) by the `Forward` engine, at a
-    /// weight version.
-    fwd_pack: Option<(u64, PackedOperand)>,
+    /// weight version. `Arc`-shared so data-parallel replicas (see
+    /// [`Layer::clone_layer`]) reuse one pack instead of re-quantizing.
+    fwd_pack: Option<(u64, Arc<PackedOperand>)>,
     /// `pack_b` of `W` (`[out, in]`) by the `BackwardData` engine, at a
-    /// weight version.
-    bwd_pack: Option<(u64, PackedOperand)>,
+    /// weight version. `Arc`-shared like `fwd_pack`.
+    bwd_pack: Option<(u64, Arc<PackedOperand>)>,
+    /// Sample offset of this replica's sub-batch within the logical full
+    /// batch (see [`Layer::set_batch_offset`]); 0 outside data-parallel
+    /// replicas. For a linear layer one output row is one sample, so this
+    /// is the row base directly.
+    batch_offset: usize,
+    /// Cache of row-offset engines derived via [`GemmEngine::with_row_base`],
+    /// keyed `(role id, row base)`.
+    derived: Vec<(u64, usize, Arc<dyn GemmEngine>)>,
     /// Reusable `dY^T` scratch for the weight-gradient product.
     dyt_scratch: Vec<f32>,
     /// Reusable `dW` scratch for the gradient accumulation.
@@ -85,6 +94,8 @@ impl Linear {
             pack_weights: true,
             fwd_pack: None,
             bwd_pack: None,
+            batch_offset: 0,
+            derived: Vec::new(),
             dyt_scratch: Vec::new(),
             dw_scratch: Vec::new(),
         }
@@ -119,7 +130,7 @@ impl Linear {
         if self.fwd_pack.as_ref().is_none_or(|(ver, _)| *ver != v) {
             let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
             let engine = self.engines.get(GemmRole::Forward);
-            self.fwd_pack = Some((v, engine.pack_b(self.in_f, self.out_f, &wt)));
+            self.fwd_pack = Some((v, Arc::new(engine.pack_b(self.in_f, self.out_f, &wt))));
         }
     }
 
@@ -131,8 +142,30 @@ impl Linear {
                 self.in_f,
                 self.weight.value.data(),
             );
-            self.bwd_pack = Some((v, pack));
+            self.bwd_pack = Some((v, Arc::new(pack)));
         }
+    }
+
+    /// The engine for `role`, row-offset by `row_base` output rows (see
+    /// [`GemmEngine::with_row_base`]); cached per `(role, row base)`.
+    /// Position-invariant engines (and `row_base == 0`) resolve to the
+    /// base engine itself.
+    fn role_engine(&mut self, role: GemmRole, row_base: usize) -> Arc<dyn GemmEngine> {
+        let base = Arc::clone(self.engines.get(role));
+        if row_base == 0 {
+            return base;
+        }
+        if let Some((_, _, engine)) = self
+            .derived
+            .iter()
+            .find(|(r, b, _)| *r == role.id() && *b == row_base)
+        {
+            return Arc::clone(engine);
+        }
+        let engine = base.with_row_base(row_base).unwrap_or(base);
+        self.derived
+            .push((role.id(), row_base, Arc::clone(&engine)));
+        engine
     }
 }
 
@@ -141,16 +174,19 @@ impl Layer for Linear {
         assert_eq!(x.shape().len(), 2, "linear expects [N, in]");
         assert_eq!(x.shape()[1], self.in_f, "feature mismatch");
         let n = x.shape()[0];
+        // Output row r is sample batch_offset + r of the logical full
+        // batch, so the product runs on the row-offset engine.
+        let row_base = self.batch_offset;
         let mut y = Tensor::zeros(&[n, self.out_f]);
         if self.use_packed(GemmRole::Forward) {
             self.ensure_forward_pack();
-            let engine = self.engines.get(GemmRole::Forward);
+            let engine = self.role_engine(GemmRole::Forward, row_base);
             let (_, wt_pack) = self.fwd_pack.as_ref().expect("just ensured");
             let xa = engine.pack_a(n, self.in_f, x.data());
             engine.gemm_packed(n, self.in_f, self.out_f, &xa, wt_pack, y.data_mut());
         } else {
             let wt = transpose(self.weight.value.data(), self.out_f, self.in_f);
-            self.engines.get(GemmRole::Forward).gemm(
+            self.role_engine(GemmRole::Forward, row_base).gemm(
                 n,
                 self.in_f,
                 self.out_f,
@@ -206,16 +242,19 @@ impl Layer for Linear {
             }
         }
 
-        // dX (N x in) = dY (N x out) * W (out x in).
+        // dX (N x in) = dY (N x out) * W (out x in); row-offset like the
+        // forward product (wgrad and bias above are not: their output
+        // positions are weight coordinates, identical for every sub-batch).
+        let row_base = self.batch_offset;
         let mut dx = Tensor::zeros(&[n, self.in_f]);
         if self.use_packed(GemmRole::BackwardData) {
             self.ensure_backward_pack();
-            let engine = self.engines.get(GemmRole::BackwardData);
+            let engine = self.role_engine(GemmRole::BackwardData, row_base);
             let (_, w_pack) = self.bwd_pack.as_ref().expect("just ensured");
             let ga = engine.pack_a(n, self.out_f, grad.data());
             engine.gemm_packed(n, self.out_f, self.in_f, &ga, w_pack, dx.data_mut());
         } else {
-            self.engines.get(GemmRole::BackwardData).gemm(
+            self.role_engine(GemmRole::BackwardData, row_base).gemm(
                 n,
                 self.out_f,
                 self.in_f,
@@ -240,5 +279,38 @@ impl Layer for Linear {
 
     fn describe(&self) -> String {
         format!("Linear({}->{})", self.in_f, self.out_f)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_f: self.in_f,
+            out_f: self.out_f,
+            // CoW value shares (no data copied), fresh zero gradients.
+            weight: Param::new(self.weight.value.clone(), self.weight.decay),
+            bias: Param::new(self.bias.value.clone(), self.bias.decay),
+            engines: self.engines.clone(),
+            runtime: Arc::clone(&self.runtime),
+            cache: None,
+            pack_weights: self.pack_weights,
+            fwd_pack: self.fwd_pack.clone(),
+            bwd_pack: self.bwd_pack.clone(),
+            batch_offset: 0,
+            derived: Vec::new(),
+            dyt_scratch: Vec::new(),
+            dw_scratch: Vec::new(),
+        }))
+    }
+
+    fn set_batch_offset(&mut self, offset: usize) {
+        self.batch_offset = offset;
+    }
+
+    fn warm_weight_packs(&mut self) {
+        if self.use_packed(GemmRole::Forward) {
+            self.ensure_forward_pack();
+        }
+        if self.use_packed(GemmRole::BackwardData) {
+            self.ensure_backward_pack();
+        }
     }
 }

@@ -86,6 +86,33 @@ pub trait Layer: Send {
     fn describe(&self) -> String {
         "layer".to_owned()
     }
+
+    /// An O(parameters-count) copy-on-write clone for data-parallel
+    /// replicas: parameter *values* share storage with `self` (their
+    /// [`Tensor`]s are `Arc`-backed, so no weight data is copied), while
+    /// gradients and activation caches start fresh per clone. Engine-
+    /// backed layers also share their cached packed weights (call
+    /// [`Layer::warm_weight_packs`] on the original first so clones do
+    /// not each re-pack).
+    ///
+    /// `None` (the default) marks a layer that does not support
+    /// replication; containers propagate a child's `None`.
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
+
+    /// Sets the sample offset of this replica's sub-batch within the
+    /// logical full batch, so position-seeded engines (SR accumulation)
+    /// draw the same per-sample streams the full batch would — see
+    /// [`GemmEngine::with_row_base`]. Default: no-op (layers without
+    /// position-seeded arithmetic).
+    fn set_batch_offset(&mut self, _offset: usize) {}
+
+    /// Ensures cached packed weights are current (forward and
+    /// backward-data packs rebuilt if stale), so a subsequent
+    /// [`Layer::clone_layer`] hands every replica a ready pack instead
+    /// of letting each replica re-pack the same weights. Default: no-op.
+    fn warm_weight_packs(&mut self) {}
 }
 
 /// A sequential container.
@@ -156,6 +183,18 @@ impl Sequential {
             f(layer.as_mut());
         }
     }
+
+    /// The typed counterpart of [`Layer::clone_layer`] for a whole model:
+    /// a CoW replica of every child, or `None` if any child does not
+    /// support replication.
+    #[must_use]
+    pub fn try_clone(&self) -> Option<Sequential> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            layers.push(layer.clone_layer()?);
+        }
+        Some(Sequential { layers })
+    }
 }
 
 impl Layer for Sequential {
@@ -196,5 +235,21 @@ impl Layer for Sequential {
     fn describe(&self) -> String {
         let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
         format!("Sequential[{}]", inner.join(", "))
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn Layer>)
+    }
+
+    fn set_batch_offset(&mut self, offset: usize) {
+        for layer in &mut self.layers {
+            layer.set_batch_offset(offset);
+        }
+    }
+
+    fn warm_weight_packs(&mut self) {
+        for layer in &mut self.layers {
+            layer.warm_weight_packs();
+        }
     }
 }

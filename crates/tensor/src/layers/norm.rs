@@ -180,4 +180,20 @@ impl Layer for BatchNorm2d {
     fn describe(&self) -> String {
         format!("BatchNorm2d({})", self.channels)
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            channels: self.channels,
+            eps: self.eps,
+            momentum: self.momentum,
+            // CoW value shares (no data copied), fresh zero gradients; the
+            // running statistics are copied so replicas update them
+            // independently (the trainer recombines them per step).
+            gamma: Param::new(self.gamma.value.clone(), self.gamma.decay),
+            beta: Param::new(self.beta.value.clone(), self.beta.decay),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            cache: None,
+        }))
+    }
 }

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+pub mod grads;
 pub mod init;
 pub mod layers;
 mod loss;
@@ -63,6 +64,7 @@ pub mod optim;
 mod tensor;
 
 pub use engine::{matmul, transpose, F32Engine, GemmEngine, PackSide, PackedOperand};
+pub use grads::{flatten_grads, grad_len, scatter_grads};
 pub use layers::{Layer, Param, Sequential};
 pub use loss::{count_correct, softmax_cross_entropy};
 pub use numerics::{GemmRole, Numerics, NumericsBuilder, PolicySpec, RoleEngines, SpecError};

@@ -18,7 +18,7 @@
 
 use srmac::io::{load_model, read_checkpoint, save_model, CheckpointMeta};
 use srmac::models::serve::{InferenceServer, ServeConfig};
-use srmac::models::{data, resnet, trainer, TrainConfig};
+use srmac::models::{data, resnet, trainer, TrainConfig, Trainer};
 use srmac::qgemm::numerics_from_spec;
 use srmac::tensor::{Numerics, Sequential};
 
@@ -74,12 +74,58 @@ fn serve_model(model: Sequential, numerics: &Numerics, size: usize, ds: &data::D
     );
 }
 
+/// Demonstrates the data-parallel determinism contract on a scaled-down
+/// run of the paper's pick: at a pinned gradient-shard count, a
+/// single-replica and a four-replica trainer must produce the *same
+/// bits* — the replica count is pure scheduling.
+fn replica_determinism_demo(width: usize, size: usize) {
+    println!("-- data-parallel determinism (fp8_fp12_sr13, grad_shards=4) --");
+    let run = |replicas: usize| {
+        let numerics = numerics_from_spec("fp8_fp12_sr13").expect("paper's pick");
+        let mut net = resnet::resnet20_with(&numerics, width, data::NUM_CLASSES, 42);
+        let train_ds = data::synth_cifar10(96, size, 5);
+        let test_ds = data::synth_cifar10(48, size, 6);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.1,
+            replicas,
+            grad_shards: 4,
+            ..TrainConfig::default()
+        };
+        Trainer::new(&cfg).run(&mut net, &train_ds, &test_ds)
+    };
+    let (h1, h4) = (run(1), run(4));
+    let bits = |h: &trainer::History| {
+        h.train_loss
+            .iter()
+            .chain(&h.test_acc)
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        bits(&h1),
+        bits(&h4),
+        "replica count must not change training bits at fixed grad_shards"
+    );
+    println!(
+        "1 replica and 4 replicas agree bit-for-bit: losses {:?}, final acc {:.2}%\n",
+        h1.train_loss,
+        h4.final_accuracy()
+    );
+}
+
 fn main() {
     let train_n: usize = env_or("SRMAC_TRAIN", 300);
     let test_n: usize = env_or("SRMAC_TEST", 150);
     let epochs: usize = env_or("SRMAC_EPOCHS", 6);
     let size: usize = env_or("SRMAC_SIZE", 12);
     let width: usize = env_or("SRMAC_WIDTH", 4);
+    // Data-parallel knobs: replicas fan the step out; grad_shards pins the
+    // numerics (0 = follow replicas; pin it to compare replica counts
+    // bit-for-bit).
+    let replicas: usize = env_or("SRMAC_REPLICAS", 1);
+    let grad_shards: usize = env_or("SRMAC_GRAD_SHARDS", 0);
 
     let train_ds = data::synth_cifar10(train_n, size, 1);
     let test_ds = data::synth_cifar10(test_n, size, 2);
@@ -87,6 +133,8 @@ fn main() {
         epochs,
         batch_size: 16,
         lr: 0.1,
+        replicas,
+        grad_shards,
         ..TrainConfig::default()
     };
 
@@ -108,8 +156,9 @@ fn main() {
     ];
 
     println!(
-        "training ResNet-20(width {width}) on SynthCIFAR10 ({train_n} train / {test_n} test, {size}x{size}, {epochs} epochs)\n"
+        "training ResNet-20(width {width}) on SynthCIFAR10 ({train_n} train / {test_n} test, {size}x{size}, {epochs} epochs, {replicas} replica(s))\n"
     );
+    replica_determinism_demo(width, size);
     let ckpt_path = std::env::temp_dir().join("srmac_train_lowprec.srmc");
     for (label, spec, roundtrip) in experiments {
         let numerics = numerics_from_spec(spec).expect("valid experiment spec");
