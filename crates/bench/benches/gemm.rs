@@ -18,7 +18,7 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use srmac_bench::guard::{
     mixed_policy_numerics_1thread, rand_vec, relu_sparse_vec, resnet20_role_gemm_shapes,
-    resnet20_weight_gemm_shapes, train_scaling_step,
+    resnet20_weight_gemm_shapes, serve_scaling_stream, train_scaling_step, SERVE_SCALING_STREAM,
 };
 use srmac_models::serve::{InferenceServer, ServeConfig};
 use srmac_models::{data, resnet};
@@ -388,8 +388,10 @@ fn bench_serve_resnet20(c: &mut Criterion) {
                 max_batch,
                 max_wait_items: max_batch,
                 straggler_wait: Duration::from_micros(200),
+                ..ServeConfig::default()
             },
-        );
+        )
+        .expect("RN forward engine serves");
         let client = server.client();
         // Warm-up: populate the packed-weight caches and layer workspaces.
         let _ = client.predict(samples[0].clone()).expect("warm-up");
@@ -405,11 +407,31 @@ fn bench_serve_resnet20(c: &mut Criterion) {
                     .sum::<usize>()
             })
         });
-        let (_, stats) = server.shutdown();
+        let (_, stats) = server.shutdown().expect("clean shutdown");
         assert!(
             stats.max_batch_seen <= max_batch,
             "assembly must respect max_batch"
         );
+    }
+    g.finish();
+}
+
+/// Replicated serving scale-out: the same pipelined 32-request stream as
+/// `serve_resnet20` (width-8 ResNet-20, 16x16 inputs, 1-thread MAC RN
+/// engine) against 1 vs 4 worker replicas, router-sharded over CoW
+/// clones of one model. By the serving batch-invariance contract every
+/// worker count answers the same bits per request, so the ratio is pure
+/// serving fan-out; on a single-core host the two largely coincide (the
+/// 4-worker variant additionally pays routing overhead) and the
+/// `bench_guard --relative` serve-scaling gate enforces the speedup
+/// floor only on hosts with at least 4 hardware threads.
+fn bench_serve_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_scaling");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SERVE_SCALING_STREAM as u64));
+    for (name, workers) in [("stream32_w1", 1usize), ("stream32_w4", 4)] {
+        let mut stream = serve_scaling_stream(workers);
+        g.bench_function(name, |b| b.iter(|| black_box(stream())));
     }
     g.finish();
 }
@@ -517,6 +539,17 @@ fn write_summary(c: &mut Criterion) {
         (Some(r1), Some(r4)) if r4 > 0.0 => Some(r1 / r4),
         _ => None,
     };
+    // This PR's acceptance record: worker fan-out of the replicated
+    // inference server (identical bits per request by the serving
+    // batch-invariance contract; the ratio is pure routing/scale-out).
+    let serve_rps = |name: &str| {
+        find("serve_scaling", name).map(|ns| SERVE_SCALING_STREAM as f64 / (ns * 1e-9))
+    };
+    let (sv_w1, sv_w4) = (serve_rps("stream32_w1"), serve_rps("stream32_w4"));
+    let worker_speedup = match (sv_w1, sv_w4) {
+        (Some(w1), Some(w4)) if w1 > 0.0 => Some(w4 / w1),
+        _ => None,
+    };
     json.push_str(&format!(
         "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
          \"serve_resnet20\": {{\n    \"requests_per_sec_batch1\": {},\n    \
@@ -525,6 +558,10 @@ fn write_summary(c: &mut Criterion) {
          \"train_scaling\": {{\n    \"resnet20_step_r1_s4_ns\": {},\n    \
          \"resnet20_step_r4_s4_ns\": {},\n    \
          \"replica_speedup_r4_vs_r1\": {},\n    \
+         \"recording_host_threads\": {}\n  }},\n  \
+         \"serve_scaling\": {{\n    \"requests_per_sec_w1\": {},\n    \
+         \"requests_per_sec_w4\": {},\n    \
+         \"worker_speedup_w4_vs_w1\": {},\n    \
          \"recording_host_threads\": {}\n  }},\n  \
          \"pr1_baseline\": {{\n    \"prepared_weight_reuse_ns\": {PR1_PREPARED_TRAIN_STEP_NS:.1},\n    \
          \"train_step_speedup_vs_pr1\": {}\n  }},\n  \
@@ -544,6 +581,10 @@ fn write_summary(c: &mut Criterion) {
         fmt_opt(ts_r1, 1),
         fmt_opt(ts_r4, 1),
         fmt_opt(replica_speedup, 3),
+        available_threads(),
+        fmt_opt(sv_w1, 1),
+        fmt_opt(sv_w4, 1),
+        fmt_opt(worker_speedup, 3),
         available_threads(),
         fmt_opt(vs_pr1, 3),
         fmt_opt(gemm_vs_pr3, 3),
@@ -593,6 +634,12 @@ fn write_summary(c: &mut Criterion) {
                 available_threads()
             );
         }
+        if let Some(s) = worker_speedup {
+            println!(
+                "serve_scaling worker speedup (4 vs 1, identical bits, {} host thread(s)): {s:.2}x",
+                available_threads()
+            );
+        }
         println!("summary -> {path}");
     }
 }
@@ -604,6 +651,7 @@ criterion_group!(
     bench_data_movement,
     bench_resnet20_sequences,
     bench_serve_resnet20,
+    bench_serve_scaling,
     bench_train_scaling,
     write_summary
 );

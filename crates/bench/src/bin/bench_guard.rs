@@ -2,15 +2,17 @@
 //! `gemm_64x128x64` (SR and RN, one-shot, 1 thread), the
 //! `resnet20_train_step/prepared_weight_reuse` GEMM sequence, the
 //! per-role `resnet20_train_step/mixed_policy` sequence (RN forward / SR
-//! backward engines resolved through the numerics spec registry), and
-//! the `train_scaling` full data-parallel trainer step — with the exact
+//! backward engines resolved through the numerics spec registry), the
+//! `train_scaling` full data-parallel trainer step, and the
+//! `serve_scaling` replicated-inference stream — with the exact
 //! data generation of the criterion benches, and diffs the fresh medians
 //! against the committed `BENCH_gemm.json`. Exits non-zero when any
 //! watched median regresses by more than the tolerance.
 //!
 //! ```text
 //! bench_guard [--samples N] [--tolerance F] [--json PATH]
-//!             [--relative [--min-speedup F] [--min-train-speedup F]]
+//!             [--relative [--min-speedup F] [--min-train-speedup F]
+//!                         [--min-serve-speedup F]]
 //!             [--threads N]
 //! ```
 //!
@@ -27,8 +29,12 @@
 //! watched entry, and gates the data-parallel trainer step's replica
 //! fan-out (4 replicas vs 1 at pinned `grad_shards = 4` — identical bits
 //! by the trainer's contract, so only scheduling can move) at
-//! `--min-train-speedup` (default 1.8), enforced only on hosts with at
-//! least 4 hardware threads. `--threads N` (default 1) runs the GEMM workloads on
+//! `--min-train-speedup` (default 1.8), and the replicated inference
+//! server's worker fan-out (a pipelined 32-request stream against 4
+//! workers vs 1 — identical bits by the serving batch-invariance
+//! contract) at `--min-serve-speedup` (default 1.8); both scaling gates
+//! are enforced only on hosts with at least 4 hardware threads.
+//! `--threads N` (default 1) runs the GEMM workloads on
 //! N-thread engines — CI's second relative leg uses it to drive the
 //! tiled kernel through the multi-core rectangle dispatch (results are
 //! bitwise identical by contract; only the wall-clock moves), so a
@@ -41,7 +47,8 @@ use std::time::Instant;
 
 use srmac_bench::guard::{
     committed_median, mixed_policy_numerics_1thread, parse_bench_medians, rand_vec,
-    relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes, train_scaling_step,
+    relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes, serve_scaling_stream,
+    train_scaling_step,
 };
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac_tensor::{available_threads, GemmEngine, GemmRole};
@@ -53,6 +60,7 @@ struct Args {
     relative: bool,
     min_speedup: f64,
     min_train_speedup: f64,
+    min_serve_speedup: f64,
     threads: usize,
 }
 
@@ -64,6 +72,7 @@ fn parse_args() -> Args {
         relative: false,
         min_speedup: 1.2,
         min_train_speedup: 1.8,
+        min_serve_speedup: 1.8,
         threads: 1,
     };
     let mut it = std::env::args().skip(1);
@@ -86,11 +95,15 @@ fn parse_args() -> Args {
                 args.min_train_speedup =
                     value("ratio").parse().expect("--min-train-speedup: float");
             }
+            "--min-serve-speedup" => {
+                args.min_serve_speedup =
+                    value("ratio").parse().expect("--min-serve-speedup: float");
+            }
             "--threads" => args.threads = value("count").parse().expect("--threads: integer"),
             other => panic!(
                 "unknown argument {other} \
                  (try --samples/--tolerance/--json/--relative/--min-speedup/\
-                 --min-train-speedup/--threads)"
+                 --min-train-speedup/--min-serve-speedup/--threads)"
             ),
         }
     }
@@ -164,10 +177,22 @@ fn train_scaling_median(samples: usize, replicas: usize, threads: usize) -> f64 
     })
 }
 
+/// The `serve_scaling` workload: one pipelined 32-request stream against
+/// a replicated inference server (see `guard::serve_scaling_stream`) at
+/// the given worker count. Streams are slow, so the caller bounds the
+/// sample count separately.
+fn serve_scaling_median(samples: usize, workers: usize) -> f64 {
+    let mut stream = serve_scaling_stream(workers);
+    median_ns(samples, || {
+        stream();
+    })
+}
+
 /// The machine-independent gate: lane batching must beat the scalar
-/// kernel on this very host, the data-parallel trainer step must scale
-/// with replicas (enforced only on hosts with >= 4 hardware threads),
-/// and the committed file must still carry the watched entries.
+/// kernel on this very host, the data-parallel trainer step and the
+/// replicated inference server must scale with replicas/workers
+/// (enforced only on hosts with >= 4 hardware threads), and the
+/// committed file must still carry the watched entries.
 fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) -> ExitCode {
     let mut failed = false;
     for (group, name) in [
@@ -179,6 +204,8 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         ("resnet20_train_step", "mixed_policy"),
         ("train_scaling", "resnet20_step_r1_s4"),
         ("train_scaling", "resnet20_step_r4_s4"),
+        ("serve_scaling", "stream32_w1"),
+        ("serve_scaling", "stream32_w4"),
     ] {
         if committed_median(committed, group, name).is_none() {
             eprintln!(
@@ -229,11 +256,32 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
          1 replica {ts_r1:>12.0} ns ({train_speedup:.2}x, floor {:.2}x) {train_verdict}",
         args.min_train_speedup
     );
+    // Worker scaling of the replicated inference server: every worker
+    // count serves the same bits per request (the batch-invariance
+    // contract), so only req/s may move. Same host-thread proviso as
+    // the trainer gate.
+    let serve_samples = args.samples.min(5);
+    let sv_w1 = serve_scaling_median(serve_samples, 1);
+    let sv_w4 = serve_scaling_median(serve_samples, 4);
+    let serve_speedup = sv_w1 / sv_w4;
+    let serve_verdict = if !enforce_train {
+        "informational (host has < 4 threads)"
+    } else if serve_speedup < args.min_serve_speedup {
+        failed = true;
+        "REGRESSION"
+    } else {
+        "ok"
+    };
+    println!(
+        "serve_scaling ({host_threads} host thread(s)): 4 workers {sv_w4:>12.0} ns vs \
+         1 worker {sv_w1:>12.0} ns ({serve_speedup:.2}x, floor {:.2}x) {serve_verdict}",
+        args.min_serve_speedup
+    );
     if failed {
         eprintln!(
             "bench_guard: a relative gate failed on this host — lane batching no \
-             longer pays for itself, replica fan-out stopped scaling, or a \
-             watched entry vanished"
+             longer pays for itself, replica/worker fan-out stopped scaling, or \
+             a watched entry vanished"
         );
         return ExitCode::FAILURE;
     }
@@ -333,7 +381,7 @@ fn main() -> ExitCode {
         return run_relative(&args, &committed);
     }
 
-    let watched: [(&str, &str, f64); 6] = [
+    let watched: [(&str, &str, f64); 7] = [
         (
             "gemm_64x128x64",
             "mac_fp12_sr13_1thread",
@@ -378,6 +426,14 @@ fn main() -> ExitCode {
             "train_scaling",
             "resnet20_step_r1_s4",
             train_scaling_median(args.samples.min(5), 1, 1),
+        ),
+        // The 1-worker serving stream (the 4-worker median is
+        // host-core-dependent, so only the single-replica variant gets
+        // an absolute gate; the fan-out is gated relatively above).
+        (
+            "serve_scaling",
+            "stream32_w1",
+            serve_scaling_median(args.samples.min(5), 1),
         ),
     ];
 

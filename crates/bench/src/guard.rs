@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use srmac_models::{data, resnet, TrainConfig, Trainer};
+use srmac_models::{data, resnet, InferenceServer, ServeConfig, TrainConfig, Trainer};
 use srmac_qgemm::{MacGemm, MacGemmConfig};
 use srmac_rng::SplitMix64;
 use srmac_tensor::numerics::fold_role_seed;
@@ -194,6 +194,72 @@ pub fn train_scaling_step(replicas: usize, threads: usize) -> impl FnMut() -> f3
     move || trainer.train_step(&mut model, &x, &labels, 0.05)
 }
 
+/// Requests per stream of the `serve_scaling` workload.
+pub const SERVE_SCALING_STREAM: usize = 32;
+
+/// The `serve_scaling` workload: one pipelined 32-request stream against
+/// a replicated [`InferenceServer`] — every request submitted up front,
+/// then all replies awaited — on a slim ResNet-20 with a **1-thread** RN
+/// MAC engine, so worker fan-out across replicas is the only parallelism
+/// in play. By the serving batch-invariance contract every worker count
+/// computes the *same bits* per request, so a timing ratio between
+/// worker counts measures pure serving scale-out. Returns a closure
+/// running one stream per call (the server persists across calls, like a
+/// real deployment) and yielding the number of predictions served.
+/// Shared by the `serve_scaling` criterion group and `bench_guard`, so
+/// both always measure the same model, data and engine.
+///
+/// # Panics
+///
+/// Panics if the server cannot start (the RN forward engine is
+/// position-invariant and ResNet-20 is CoW-replicable, so it can).
+pub fn serve_scaling_stream(workers: usize) -> impl FnMut() -> usize {
+    let atom: MacGemmConfig = "fp8_fp12_rn".parse().expect("engine atom");
+    let engine = Arc::new(MacGemm::new(atom.with_threads(1))) as Arc<dyn GemmEngine>;
+    let model = resnet::resnet20(&engine, 8, 10, 42);
+    let size = 16;
+    let ds = data::synth_cifar10(SERVE_SCALING_STREAM, size, 9);
+    let samples: Vec<Vec<f32>> = (0..ds.len())
+        .map(|i| {
+            let (x, _) = ds.batch(&[i]);
+            x.data().to_vec()
+        })
+        .collect();
+    let server = InferenceServer::start(
+        model,
+        size,
+        ServeConfig {
+            workers,
+            max_batch: 4,
+            max_wait_items: 1,
+            queue_depth: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("RN forward engine serves");
+    let client = server.client();
+    // Warm every replica's packed-weight path before timing.
+    for s in samples.iter().take(workers.max(1)) {
+        client.predict(s.clone()).expect("warmup prediction");
+    }
+    move || {
+        // Owning the server keeps it (and its workers) alive across
+        // closure calls; the stream is pipelined so batches form and
+        // the router spreads requests over every replica.
+        debug_assert_eq!(server.workers(), workers);
+        let pending: Vec<_> = samples
+            .iter()
+            .map(|s| client.submit(s.clone()).expect("submit"))
+            .collect();
+        let mut served = 0usize;
+        for p in pending {
+            p.wait().expect("prediction");
+            served += 1;
+        }
+        served
+    }
+}
+
 /// One `benchmarks` entry of `BENCH_gemm.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommittedMedian {
@@ -315,6 +381,19 @@ mod tests {
             "train_scaling replica counts diverged: {l1} vs {l4}"
         );
         assert!(l1.is_finite());
+    }
+
+    #[test]
+    fn serve_scaling_stream_serves_every_request() {
+        // The bench's req/s ratio is only meaningful if every worker
+        // count actually answers the whole stream.
+        let mut stream = serve_scaling_stream(2);
+        assert_eq!(stream(), SERVE_SCALING_STREAM);
+        assert_eq!(
+            stream(),
+            SERVE_SCALING_STREAM,
+            "server survives across calls"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod blocks;
 pub mod data;
+pub mod diag;
 pub mod resnet;
 pub mod serve;
 pub mod trainer;
@@ -39,5 +40,8 @@ pub mod vgg;
 
 pub use blocks::ResidualBlock;
 pub use data::{shard_spans, synth_cifar10, synth_imagewoof, Dataset, NUM_CLASSES};
-pub use serve::{InferenceServer, Prediction, ServeClient, ServeConfig, ServeError, ServeStats};
+pub use diag::{DiagCode, DiagSink, Diagnostic, Severity};
+pub use serve::{
+    InferenceServer, LatencyHistogram, Prediction, ServeClient, ServeConfig, ServeError, ServeStats,
+};
 pub use trainer::{evaluate, train, History, TrainConfig, Trainer};

@@ -1,61 +1,142 @@
-//! Micro-batched inference serving: single-sample requests enter a queue,
-//! a worker thread assembles them into dynamic batches (up to
-//! [`ServeConfig::max_batch`], dispatching early when the queue runs dry),
-//! runs each batch through the model's prepared-operand GEMM path, and
-//! returns per-request predictions.
+//! Replicated, micro-batched inference serving with admission control
+//! and latency observability.
 //!
-//! Because every layer routes its products through cached packed weights
-//! (PR 1) and persistent runtime workspaces (PR 2), a batch of `B`
-//! requests costs one forward pass with zero weight re-quantization and,
-//! after warm-up, no transient layout allocations — the amortization that
-//! makes micro-batching worth the queue.
+//! A single [`InferenceServer`] owns `N` worker replicas of one model
+//! ([`ServeConfig::workers`]): a **router** thread pulls requests off a
+//! **bounded** admission queue and shards them across per-worker queues;
+//! each worker assembles its own dynamic batches (up to
+//! [`ServeConfig::max_batch`], dispatching early when its queue runs
+//! dry), runs each batch through the model's prepared-operand GEMM path,
+//! and answers every request with its logits/argmax. Replicas are
+//! copy-on-write clones ([`Sequential::try_clone`]): parameter tensors
+//! are `Arc`-shared and the packed-weight caches are warmed on the
+//! original before cloning, so `N` workers serve one model with **zero
+//! weight duplication** — on a multi-core host, req/s scales with the
+//! worker count because the MAC arithmetic is the bottleneck and each
+//! replica owns a core's worth of it.
 //!
-//! # The serving determinism contract
+//! # Admission control and deadlines
+//!
+//! The admission queue is bounded at [`ServeConfig::queue_depth`]:
+//! when it is full, [`ServeClient::submit`] fails *immediately* with
+//! [`ServeError::Overloaded`] instead of queueing without bound — the
+//! shed-load contract that keeps tail latency and memory flat when
+//! offered load exceeds capacity. A request may also carry a deadline
+//! ([`ServeClient::submit_within`]): a request whose deadline passes
+//! while it queues is answered with [`ServeError::DeadlineExceeded`]
+//! **without touching a model** — serving an answer the client has
+//! already given up on would only steal capacity from requests that can
+//! still make theirs.
+//!
+//! # Observability
+//!
+//! Every request is timed through three stages — queue wait (submit →
+//! joined a batch), batch assembly (joined → dispatch) and inference
+//! (dispatch → reply) — aggregated into log2-bucketed
+//! [`LatencyHistogram`]s with p50/p95/p99 in [`ServeStats`], which also
+//! counts shed and expired requests and per-worker request totals.
+//! Operational events (worker panics, lost workers, shutdown) become
+//! structured, code-tagged [`Diagnostic`]s (see [`codes`]) collected in
+//! a [`DiagSink`] whose handle survives the server — a crashed worker is
+//! *recorded*, never silently swallowed, and additionally flips the
+//! server's poisoned flag ([`InferenceServer::poisoned`]).
+//!
+//! # The serving determinism contract (unchanged)
 //!
 //! For a **position-invariant** engine, serving any request stream under
-//! *any* batching pattern produces logits bitwise identical to running
-//! that request alone (batch size 1): each output row of every GEMM is a
-//! pure function of that row's inputs and the weights, every non-GEMM
-//! layer is elementwise or per-sample, and evaluation-mode batch norm uses
-//! running statistics. [`srmac_tensor::F32Engine`] and
-//! `srmac_qgemm::MacGemm` with `AccumRounding::Nearest` — the inference
-//! configurations — are position-invariant, and the contract is asserted
-//! bit-for-bit in this module's tests across batch patterns.
+//! *any* batching pattern — and now, through *any* replica — produces
+//! logits bitwise identical to running that request alone (batch size
+//! 1): each output row of every GEMM is a pure function of that row's
+//! inputs and the weights, every non-GEMM layer is elementwise or
+//! per-sample, evaluation-mode batch norm uses running statistics, and
+//! every replica shares the very same weight storage.
+//! [`srmac_tensor::F32Engine`] and `srmac_qgemm::MacGemm` with
+//! `AccumRounding::Nearest` — the inference configurations — are
+//! position-invariant, and the contract is asserted bit-for-bit in this
+//! module's tests across batch patterns and replica counts.
 //!
 //! `MacGemm` with **stochastic** accumulation is deliberately *not*
 //! position-invariant: its rounding streams are seeded per output
-//! coordinate `(row, column)` so that training runs are reproducible, and
-//! a sample's GEMM rows depend on its position in the batch. SR is the
-//! paper's *training* mechanism; serve with RN (or f32) for deterministic
-//! inference.
+//! coordinate `(row, column)` so that training runs are reproducible,
+//! and a sample's GEMM rows depend on its position in the batch. SR is
+//! the paper's *training* mechanism; serve with RN (or f32) for
+//! deterministic inference. **Every** construction path enforces this:
+//! [`InferenceServer::start`] inspects the engines the model actually
+//! carries ([`Sequential::stochastic_forward_engine`]), and
+//! [`InferenceServer::start_with_numerics`] additionally checks the
+//! declared policy.
 
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use srmac_tensor::layers::Layer;
-use srmac_tensor::numerics::{GemmRole, Numerics};
+use srmac_tensor::numerics::Numerics;
 use srmac_tensor::{Sequential, Tensor};
 
-/// Batching policy of an [`InferenceServer`].
+use crate::diag::{DiagCode, DiagSink, Diagnostic, Severity};
+
+/// Stable diagnostic codes emitted by the serving subsystem (see
+/// [`crate::diag`] for the taxonomy and renderers).
+pub mod codes {
+    use crate::diag::DiagCode;
+
+    /// A sample of the wrong length was rejected at submission.
+    pub const BAD_INPUT: DiagCode = DiagCode::new("serve", 1, "bad-input");
+    /// The server is gone (shut down, or every worker died).
+    pub const CLOSED: DiagCode = DiagCode::new("serve", 2, "closed");
+    /// A stochastic-rounding forward engine was refused at construction.
+    pub const STOCHASTIC_FORWARD: DiagCode = DiagCode::new("serve", 3, "stochastic-forward");
+    /// The bounded admission queue was full; the request was shed.
+    pub const OVERLOADED: DiagCode = DiagCode::new("serve", 4, "overloaded");
+    /// A request's deadline passed while it queued; no model was run.
+    pub const DEADLINE_EXCEEDED: DiagCode = DiagCode::new("serve", 5, "deadline-exceeded");
+    /// The model cannot be CoW-replicated for `workers > 1`.
+    pub const NOT_REPLICABLE: DiagCode = DiagCode::new("serve", 6, "not-replicable");
+    /// A worker (or the router) thread panicked; recorded at join.
+    pub const WORKER_PANIC: DiagCode = DiagCode::new("serve", 7, "worker-panic");
+    /// The router found a worker's queue disconnected mid-serve (the
+    /// worker died without a shutdown marker) and rerouted around it.
+    pub const WORKER_LOST: DiagCode = DiagCode::new("serve", 8, "worker-lost");
+    /// A worker's queue disconnected without a shutdown marker — the
+    /// router vanished; the worker served what it had and stopped.
+    pub const ROUTER_VANISHED: DiagCode = DiagCode::new("serve", 9, "router-vanished");
+    /// Clean shutdown: totals for the whole serving session.
+    pub const SHUTDOWN: DiagCode = DiagCode::new("serve", 10, "shutdown");
+}
+
+/// Batching, replication and admission policy of an [`InferenceServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Hard cap on assembled batch size.
+    /// Number of model replicas serving in parallel. Replica 0 is the
+    /// original model; replicas beyond it are CoW clones
+    /// ([`Sequential::try_clone`]) sharing the same weight storage and
+    /// packed-weight caches, so memory stays flat in `workers`.
+    pub workers: usize,
+    /// Hard cap on assembled batch size (per worker).
     pub max_batch: usize,
-    /// When the queue runs dry with fewer than this many requests in the
-    /// batch, the assembler waits [`ServeConfig::straggler_wait`] for more
-    /// before dispatching; at or above it, it dispatches immediately.
-    /// `1` dispatches as soon as the queue empties (latency-first).
+    /// When a worker's queue runs dry with fewer than this many requests
+    /// in the batch, the assembler waits [`ServeConfig::straggler_wait`]
+    /// for more before dispatching; at or above it, it dispatches
+    /// immediately. `1` dispatches as soon as the queue empties
+    /// (latency-first).
     pub max_wait_items: usize,
     /// How long to wait for stragglers below `max_wait_items`.
     pub straggler_wait: Duration,
+    /// Capacity of the bounded admission queue. When it is full,
+    /// [`ServeClient::submit`] sheds the request with
+    /// [`ServeError::Overloaded`] instead of queueing without bound.
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
+            workers: 1,
             max_batch: 8,
             max_wait_items: 1,
             straggler_wait: Duration::from_micros(200),
+            queue_depth: 1024,
         }
     }
 }
@@ -83,17 +164,93 @@ pub enum ServeError {
         /// Received element count.
         got: usize,
     },
-    /// The server has shut down (or the worker died) before replying.
+    /// The server has shut down (or every worker died) before replying.
     Closed,
-    /// The model's numerics resolve a forward engine that is not
-    /// position-invariant (stochastic-rounding accumulation), which would
-    /// silently break the batch-invariance contract above — serve with an
-    /// RN or f32 forward engine instead (SR is the paper's *training*
-    /// mechanism).
+    /// The model carries (or the policy declares) a forward engine that
+    /// is not position-invariant (stochastic-rounding accumulation),
+    /// which would silently break the batch-invariance contract above —
+    /// serve with an RN or f32 forward engine instead (SR is the paper's
+    /// *training* mechanism).
     StochasticForward {
         /// `name()` of the offending forward engine.
         engine: String,
     },
+    /// The bounded admission queue is full; the request was shed without
+    /// queueing (admission control). Retry after a backoff, or raise
+    /// [`ServeConfig::queue_depth`] / [`ServeConfig::workers`].
+    Overloaded {
+        /// The configured [`ServeConfig::queue_depth`].
+        depth: usize,
+    },
+    /// The request's deadline passed while it queued; it was answered
+    /// without touching a model.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when shed.
+        missed_by: Duration,
+    },
+    /// `workers > 1` was requested but the model has a layer without
+    /// CoW-replication support ([`srmac_tensor::layers::Layer::clone_layer`]).
+    NotReplicable,
+    /// A serving thread panicked; the panic was recorded in the server's
+    /// diagnostics (code `serve::worker-panic`) rather than swallowed.
+    WorkerPanicked {
+        /// Thread name (`srmac-serve-3`, `srmac-serve-router`).
+        thread: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// The stable diagnostic code classifying this error.
+    #[must_use]
+    pub fn code(&self) -> DiagCode {
+        match self {
+            ServeError::BadInput { .. } => codes::BAD_INPUT,
+            ServeError::Closed => codes::CLOSED,
+            ServeError::StochasticForward { .. } => codes::STOCHASTIC_FORWARD,
+            ServeError::Overloaded { .. } => codes::OVERLOADED,
+            ServeError::DeadlineExceeded { .. } => codes::DEADLINE_EXCEEDED,
+            ServeError::NotReplicable => codes::NOT_REPLICABLE,
+            ServeError::WorkerPanicked { .. } => codes::WORKER_PANIC,
+        }
+    }
+
+    /// Severity of this error as a diagnostic: client-side conditions
+    /// the server handled by design (bad input, shed load, a missed
+    /// deadline) are warnings; structural failures are errors.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            ServeError::BadInput { .. }
+            | ServeError::Overloaded { .. }
+            | ServeError::DeadlineExceeded { .. } => Severity::Warning,
+            ServeError::Closed
+            | ServeError::StochasticForward { .. }
+            | ServeError::NotReplicable
+            | ServeError::WorkerPanicked { .. } => Severity::Error,
+        }
+    }
+
+    /// This error as a structured, code-tagged [`Diagnostic`].
+    #[must_use]
+    pub fn diagnostic(&self) -> Diagnostic {
+        let d = Diagnostic::new(self.severity(), self.code(), self.to_string());
+        match self {
+            ServeError::BadInput { expected, got } => d
+                .field("expected", expected.to_string())
+                .field("got", got.to_string()),
+            ServeError::StochasticForward { engine } => d.field("engine", engine.clone()),
+            ServeError::Overloaded { depth } => d.field("queue_depth", depth.to_string()),
+            ServeError::DeadlineExceeded { missed_by } => {
+                d.field("missed_by_us", missed_by.as_micros().to_string())
+            }
+            ServeError::WorkerPanicked { thread, message } => d
+                .field("thread", thread.clone())
+                .field("payload", message.clone()),
+            ServeError::Closed | ServeError::NotReplicable => d,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -109,40 +266,324 @@ impl std::fmt::Display for ServeError {
                  through it would make each prediction depend on its batch \
                  position (serve with an RN or f32 forward engine)"
             ),
+            ServeError::Overloaded { depth } => write!(
+                f,
+                "admission queue is full ({depth} requests deep): request shed \
+                 (retry after a backoff, or raise queue_depth/workers)"
+            ),
+            ServeError::DeadlineExceeded { missed_by } => write!(
+                f,
+                "deadline passed {missed_by:?} before the request reached a \
+                 model; answered without running inference"
+            ),
+            ServeError::NotReplicable => write!(
+                f,
+                "workers > 1 needs a CoW-replicable model, but a layer has no \
+                 clone_layer support"
+            ),
+            ServeError::WorkerPanicked { thread, message } => {
+                write!(f, "serving thread {thread} panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Counters the worker keeps while serving.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// A latency histogram with power-of-two (log2) buckets: bucket `i`
+/// covers `[2^i, 2^(i+1))` nanoseconds (bucket 0 also holds 0 ns), so 64
+/// buckets span every representable duration with constant memory and a
+/// bounded relative error of 2x — the classic shape for serving tail
+/// latency, where p99 matters and microsecond exactness does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of a duration: `floor(log2(ns))`, clamped.
+    fn bucket_of(d: Duration) -> usize {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper edge of bucket `i` in nanoseconds
+    /// (`2^(i+1) - 1`; the last bucket saturates at `u64::MAX`).
+    fn upper_edge_ns(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        self.buckets[Self::bucket_of(d)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+    }
+
+    /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) as the **upper edge** of
+    /// the log2 bucket containing the `ceil(p/100 * count)`-th smallest
+    /// observation — a conservative (never underestimating by more than
+    /// the 2x bucket width) tail-latency estimate. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(Duration::from_nanos(Self::upper_edge_ns(i)));
+            }
+        }
+        // count > 0 guarantees the cumulative walk crosses every rank.
+        unreachable!("rank {rank} beyond {} recorded observations", self.count)
+    }
+
+    /// Median (see [`LatencyHistogram::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile (see [`LatencyHistogram::percentile`]).
+    #[must_use]
+    pub fn p95(&self) -> Option<Duration> {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile (see [`LatencyHistogram::percentile`]).
+    #[must_use]
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(99.0)
+    }
+
+    /// `{"count":N,"p50_us":x,"p95_us":y,"p99_us":z}` (percentiles in
+    /// microseconds; `0` when empty).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let us = |p: Option<Duration>| p.map_or(0.0, |d| d.as_secs_f64() * 1e6);
+        format!(
+            "{{\"count\":{},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1}}}",
+            self.count,
+            us(self.p50()),
+            us(self.p95()),
+            us(self.p99())
+        )
+    }
+}
+
+/// Counters and latency histograms for one serving session, merged
+/// across the router and every worker at shutdown.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
-    /// Requests answered.
+    /// Requests answered with a prediction.
     pub requests: usize,
-    /// Dynamic batches executed.
+    /// Dynamic batches executed (across all workers).
     pub batches: usize,
-    /// Largest batch assembled.
+    /// Largest batch assembled by any worker.
     pub max_batch_seen: usize,
+    /// Number of worker replicas that served.
+    pub workers: usize,
+    /// Requests shed by admission control ([`ServeError::Overloaded`]).
+    pub shed: usize,
+    /// Requests whose deadline expired before reaching a model
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub expired: usize,
+    /// Requests answered per worker (index = worker id; sums to
+    /// [`ServeStats::requests`]).
+    pub worker_requests: Vec<usize>,
+    /// Submit → joined a worker's batch.
+    pub queue_wait: LatencyHistogram,
+    /// Joined a batch → batch dispatched (straggler/assembly time).
+    pub batch_assembly: LatencyHistogram,
+    /// Batch dispatched → prediction ready (the forward pass).
+    pub inference: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// One JSON object with every counter and per-stage p50/p95/p99 —
+    /// the machine-readable stats surface, rendered with the same
+    /// conventions as [`Diagnostic::render_json`].
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let workers: Vec<String> = self
+            .worker_requests
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        format!(
+            "{{\"requests\":{},\"batches\":{},\"max_batch_seen\":{},\"workers\":{},\
+             \"shed\":{},\"expired\":{},\"worker_requests\":[{}],\
+             \"latency\":{{\"queue_wait\":{},\"batch_assembly\":{},\"inference\":{}}}}}",
+            self.requests,
+            self.batches,
+            self.max_batch_seen,
+            self.workers,
+            self.shed,
+            self.expired,
+            workers.join(","),
+            self.queue_wait.render_json(),
+            self.batch_assembly.render_json(),
+            self.inference.render_json()
+        )
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = |p: Option<Duration>| p.map_or(0.0, |d| d.as_secs_f64() * 1e6);
+        write!(
+            f,
+            "{} requests in {} batches (largest {}) across {} worker(s); \
+             shed {}, expired {}; queue p50/p95/p99 {:.0}/{:.0}/{:.0} us; \
+             inference p50/p95/p99 {:.0}/{:.0}/{:.0} us",
+            self.requests,
+            self.batches,
+            self.max_batch_seen,
+            self.workers,
+            self.shed,
+            self.expired,
+            us(self.queue_wait.p50()),
+            us(self.queue_wait.p95()),
+            us(self.queue_wait.p99()),
+            us(self.inference.p50()),
+            us(self.inference.p95()),
+            us(self.inference.p99()),
+        )
+    }
 }
 
 struct Request {
     sample: Vec<f32>,
-    reply: mpsc::Sender<Prediction>,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+    submitted: Instant,
+    deadline: Option<Instant>,
 }
 
-/// Queue protocol: requests, or the explicit stop marker. Clients may
-/// outlive the server (their sender clones keep the channel open), so the
-/// worker stops on this marker — never by waiting for disconnection.
-/// The channel is ordered, so every request submitted before shutdown is
-/// served before the marker is seen.
+/// Admission-queue protocol: requests, or the explicit stop marker.
+/// Clients may outlive the server (their sender clones keep the channel
+/// open), so the router stops on this marker — never by waiting for
+/// disconnection. The channel is ordered, so every request admitted
+/// before shutdown is routed (and served) before the marker is seen.
 enum Msg {
     Request(Request),
     Shutdown,
 }
 
-/// A micro-batching inference server: owns the model on a worker thread
-/// and serves cloneable [`ServeClient`] handles.
+/// Per-worker queue protocol: the router forwards requests and fans the
+/// shutdown marker out to every worker lane. A worker that sees its lane
+/// *disconnect* without a marker knows the router died abnormally — the
+/// two conditions are deliberately distinct (see [`StopReason`]).
+enum WorkerMsg {
+    Request(Request),
+    Shutdown,
+}
+
+/// Why a worker's serve loop ended. `Marker` is the deliberate path;
+/// `Disconnected` means the lane hung up without a marker (the router
+/// vanished mid-serve) — reported as a `serve::router-vanished` warning
+/// so an abnormal stop is never mistaken for a clean one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopReason {
+    Marker,
+    Disconnected,
+}
+
+/// One request staged in a worker's batch, stamped when it joined.
+struct Pending {
+    req: Request,
+    joined: Instant,
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    requests: usize,
+    batches: usize,
+    max_batch_seen: usize,
+    expired: usize,
+    queue_wait: LatencyHistogram,
+    batch_assembly: LatencyHistogram,
+    inference: LatencyHistogram,
+}
+
+/// What a worker thread hands back at join: its model (worker 0 owns
+/// the original; others own CoW replicas), its local stats, and why it
+/// stopped.
+struct WorkerExit {
+    model: Sequential,
+    stats: WorkerStats,
+    reason: StopReason,
+}
+
+#[derive(Default)]
+struct RouterOutcome {
+    /// Requests answered `DeadlineExceeded` by the router before
+    /// reaching any worker lane.
+    expired: usize,
+    /// Requests answered `Closed` because no live worker remained.
+    refused: usize,
+}
+
+/// A replicated, micro-batching inference server: owns `workers` model
+/// replicas behind a router and a bounded admission queue, and serves
+/// cloneable [`ServeClient`] handles.
 ///
 /// # Example
 ///
@@ -154,70 +595,143 @@ enum Msg {
 ///
 /// let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
 /// let model = resnet::resnet20(&engine, 4, 10, 0);
-/// let server = InferenceServer::start(model, 8, ServeConfig::default());
+/// let server = InferenceServer::start(model, 8, ServeConfig {
+///     workers: 2,
+///     ..ServeConfig::default()
+/// })
+/// .expect("f32 forward engines are position-invariant");
 /// let client = server.client();
 ///
 /// let ds = data::synth_cifar10(4, 8, 1);
 /// let (x, _) = ds.batch(&[0]);
 /// let p = client.predict(x.data().to_vec()).unwrap();
 /// assert_eq!(p.logits.len(), 10);
-/// let (model, stats) = server.shutdown();
+/// let (model, stats) = server.shutdown().expect("clean shutdown");
 /// assert_eq!(stats.requests, 1);
+/// assert_eq!(stats.workers, 2);
 /// drop(model);
 /// ```
 #[derive(Debug)]
 pub struct InferenceServer {
-    tx: Option<mpsc::Sender<Msg>>,
-    worker: Option<std::thread::JoinHandle<(Sequential, ServeStats)>>,
+    tx: Option<mpsc::SyncSender<Msg>>,
+    router: Option<std::thread::JoinHandle<RouterOutcome>>,
+    workers: Vec<std::thread::JoinHandle<WorkerExit>>,
     sample_len: usize,
+    worker_count: usize,
+    queue_depth: usize,
+    sink: DiagSink,
+    shed: Arc<AtomicUsize>,
+    poisoned: Arc<AtomicBool>,
 }
 
 impl InferenceServer {
     /// Takes ownership of `model` (expecting `[B, 3, s, s]` inputs with
-    /// `s = image_size`) and starts the batching worker.
+    /// `s = image_size`), builds `cfg.workers - 1` CoW replicas, and
+    /// starts the router and worker threads.
+    ///
+    /// The batch-invariance guard runs on **this** path too: the engines
+    /// the model actually carries are inspected via
+    /// [`Sequential::stochastic_forward_engine`], so no construction
+    /// path can serve a stochastic-rounding forward model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::StochasticForward`] when a forward engine is not
+    /// position-invariant; [`ServeError::NotReplicable`] when
+    /// `cfg.workers > 1` but a layer has no CoW-clone support.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.max_batch == 0` or `image_size == 0`.
-    #[must_use]
-    pub fn start(model: Sequential, image_size: usize, cfg: ServeConfig) -> Self {
+    /// Panics if `cfg.workers == 0`, `cfg.max_batch == 0`,
+    /// `cfg.queue_depth == 0` or `image_size == 0`.
+    pub fn start(
+        mut model: Sequential,
+        image_size: usize,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        assert!(cfg.workers > 0, "serving needs at least one worker");
         assert!(cfg.max_batch > 0, "serving needs max_batch >= 1");
+        assert!(
+            cfg.queue_depth > 0,
+            "admission control needs queue_depth >= 1"
+        );
         assert!(image_size > 0, "serving needs a nonzero image size");
-        let sample_len = 3 * image_size * image_size;
-        let (tx, rx) = mpsc::channel::<Msg>();
-        let worker = std::thread::Builder::new()
-            .name("srmac-serve".into())
-            .spawn(move || serve_loop(model, image_size, cfg, &rx))
-            .expect("spawn serve worker");
-        Self {
-            tx: Some(tx),
-            worker: Some(worker),
-            sample_len,
+        if let Some(engine) = model.stochastic_forward_engine() {
+            return Err(ServeError::StochasticForward { engine });
         }
+        let sample_len = 3 * image_size * image_size;
+        let sink = DiagSink::default();
+        let shed = Arc::new(AtomicUsize::new(0));
+        let poisoned = Arc::new(AtomicBool::new(false));
+
+        // Replicate before moving the original into worker 0. Warming
+        // the packed-weight caches first means every replica shares one
+        // pack per layer instead of each re-quantizing the same weights.
+        let mut models = Vec::with_capacity(cfg.workers);
+        if cfg.workers > 1 {
+            model.warm_weight_packs();
+            for _ in 1..cfg.workers {
+                models.push(model.try_clone().ok_or(ServeError::NotReplicable)?);
+            }
+        }
+        models.insert(0, model);
+
+        // Worker lanes are bounded too, so admission-queue backpressure
+        // propagates instead of evaporating into unbounded lane queues.
+        let lane_depth = cfg.max_batch.max(cfg.queue_depth.div_ceil(cfg.workers));
+        let mut lanes = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for (i, m) in models.into_iter().enumerate() {
+            let (ltx, lrx) = mpsc::sync_channel::<WorkerMsg>(lane_depth);
+            let worker_sink = sink.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("srmac-serve-{i}"))
+                .spawn(move || worker_loop(m, image_size, cfg, &lrx, &worker_sink, i))
+                .expect("spawn serve worker");
+            lanes.push(ltx);
+            workers.push(handle);
+        }
+
+        let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_depth);
+        let router_sink = sink.clone();
+        let router_poisoned = Arc::clone(&poisoned);
+        let router = std::thread::Builder::new()
+            .name("srmac-serve-router".into())
+            .spawn(move || router_loop(&rx, lanes, &router_sink, &router_poisoned))
+            .expect("spawn serve router");
+
+        Ok(Self {
+            tx: Some(tx),
+            router: Some(router),
+            workers,
+            sample_len,
+            worker_count: cfg.workers,
+            queue_depth: cfg.queue_depth,
+            sink,
+            shed,
+            poisoned,
+        })
     }
 
-    /// Like [`InferenceServer::start`], but takes the [`Numerics`] policy
-    /// the model was built with and enforces the batch-invariance
-    /// contract up front: every forward engine (inference uses only the
-    /// `Forward` role) must be position-invariant, so a
-    /// stochastic-rounding forward engine is a typed error instead of a
-    /// silent per-position drift in the served logits.
-    ///
-    /// Two things are checked: the declared policy, *and* — authoritative,
-    /// via [`Layer::visit_role_engines`] — the forward engines the model's
-    /// layers actually carry, so passing a policy that does not match the
-    /// model cannot smuggle an SR forward engine past the guard.
+    /// Like [`InferenceServer::start`], but additionally checks the
+    /// declared [`Numerics`] policy up front: every forward engine
+    /// (inference uses only the `Forward` role) must be
+    /// position-invariant. The model's *actual* engines are checked by
+    /// [`InferenceServer::start`] regardless — authoritative, via
+    /// [`Sequential::stochastic_forward_engine`] — so passing a policy
+    /// that does not match the model cannot smuggle an SR forward engine
+    /// past the guard.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::StochasticForward`] naming the offending
-    /// engine.
+    /// engine (plus everything [`InferenceServer::start`] can return).
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.max_batch == 0` or `image_size == 0`.
+    /// See [`InferenceServer::start`].
     pub fn start_with_numerics(
-        mut model: Sequential,
+        model: Sequential,
         image_size: usize,
         cfg: ServeConfig,
         numerics: &Numerics,
@@ -225,16 +739,7 @@ impl InferenceServer {
         numerics
             .forward_position_invariant()
             .map_err(|engine| ServeError::StochasticForward { engine })?;
-        let mut offender: Option<String> = None;
-        model.visit_role_engines(&mut |role, engine| {
-            if role == GemmRole::Forward && offender.is_none() && !engine.position_invariant() {
-                offender = Some(engine.name());
-            }
-        });
-        if let Some(engine) = offender {
-            return Err(ServeError::StochasticForward { engine });
-        }
-        Ok(Self::start(model, image_size, cfg))
+        Self::start(model, image_size, cfg)
     }
 
     /// A handle for submitting requests (cloneable, usable from any
@@ -244,74 +749,199 @@ impl InferenceServer {
         ServeClient {
             tx: self.tx.clone().expect("server running"),
             sample_len: self.sample_len,
+            queue_depth: self.queue_depth,
+            shed: Arc::clone(&self.shed),
         }
     }
 
-    /// Stops the worker after every already-submitted request has been
-    /// served (the queue is ordered), and returns the model with the
-    /// serving counters. Clients that submit afterwards get
+    /// Number of worker replicas this server runs.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// A handle onto the server's diagnostic sink. The handle shares the
+    /// underlying buffer and **outlives the server**, so diagnostics
+    /// recorded during `Drop` (a worker panic, for instance) stay
+    /// observable.
+    #[must_use]
+    pub fn diag_sink(&self) -> DiagSink {
+        self.sink.clone()
+    }
+
+    /// A snapshot of every diagnostic recorded so far.
+    #[must_use]
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.sink.snapshot()
+    }
+
+    /// True once any serving thread has died abnormally (a panicked
+    /// worker detected by the router mid-serve, or recorded at join).
+    /// The corresponding `serve::worker-panic` / `serve::worker-lost`
+    /// diagnostics carry the details.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Stops every worker after all already-admitted requests have been
+    /// served (the admission and lane queues are ordered, and the
+    /// shutdown marker trails them), and returns the original model with
+    /// the merged serving stats. Clients that submit afterwards get
     /// [`ServeError::Closed`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the worker thread itself panicked.
-    #[must_use]
-    pub fn shutdown(mut self) -> (Sequential, ServeStats) {
-        let tx = self.tx.take().expect("server running");
-        let _ = tx.send(Msg::Shutdown);
-        self.worker
-            .take()
-            .expect("server running")
-            .join()
-            .expect("serve worker panicked")
+    /// [`ServeError::WorkerPanicked`] when any serving thread panicked;
+    /// the panic is also recorded as a `serve::worker-panic` diagnostic
+    /// (grab [`InferenceServer::diag_sink`] first to inspect it).
+    pub fn shutdown(mut self) -> Result<(Sequential, ServeStats), ServeError> {
+        let (model, stats, failure) = self.reap();
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        Ok((model.expect("worker 0 returns the model"), stats))
+    }
+
+    /// Records a panic payload from a joined thread: flips the poisoned
+    /// flag, emits a `serve::worker-panic` diagnostic, mirrors it to
+    /// stderr (a crashed worker must be visible even when nobody reads
+    /// the sink), and returns the typed error.
+    fn record_panic(&self, thread: &str, payload: &(dyn std::any::Any + Send)) -> ServeError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        self.poisoned.store(true, Ordering::SeqCst);
+        let err = ServeError::WorkerPanicked {
+            thread: thread.to_owned(),
+            message,
+        };
+        let diag = err.diagnostic();
+        eprintln!("{}", diag.render_short());
+        self.sink.emit(diag);
+        err
+    }
+
+    /// Sends the shutdown marker, joins the router and every worker,
+    /// merges their stats, and records (never swallows) any panic.
+    /// Idempotent: both [`InferenceServer::shutdown`] and `Drop` call
+    /// it; the second call finds nothing left to do.
+    fn reap(&mut self) -> (Option<Sequential>, ServeStats, Option<ServeError>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        let mut stats = ServeStats {
+            workers: self.worker_count,
+            worker_requests: vec![0; self.worker_count],
+            ..ServeStats::default()
+        };
+        let mut failure: Option<ServeError> = None;
+        if let Some(router) = self.router.take() {
+            match router.join() {
+                Ok(outcome) => stats.expired += outcome.expired,
+                Err(payload) => {
+                    let err = self.record_panic("srmac-serve-router", payload.as_ref());
+                    failure.get_or_insert(err);
+                }
+            }
+        }
+        let mut model = None;
+        let handles: Vec<_> = self.workers.drain(..).collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(exit) => {
+                    stats.requests += exit.stats.requests;
+                    stats.batches += exit.stats.batches;
+                    stats.max_batch_seen = stats.max_batch_seen.max(exit.stats.max_batch_seen);
+                    stats.expired += exit.stats.expired;
+                    stats.worker_requests[i] = exit.stats.requests;
+                    stats.queue_wait.merge(&exit.stats.queue_wait);
+                    stats.batch_assembly.merge(&exit.stats.batch_assembly);
+                    stats.inference.merge(&exit.stats.inference);
+                    debug_assert!(matches!(
+                        exit.reason,
+                        StopReason::Marker | StopReason::Disconnected
+                    ));
+                    if i == 0 {
+                        model = Some(exit.model);
+                    }
+                }
+                Err(payload) => {
+                    let err = self.record_panic(&format!("srmac-serve-{i}"), payload.as_ref());
+                    failure.get_or_insert(err);
+                }
+            }
+        }
+        stats.shed = self.shed.load(Ordering::SeqCst);
+        if stats.requests > 0 || stats.shed > 0 || stats.expired > 0 {
+            self.sink.emit(
+                Diagnostic::new(
+                    Severity::Info,
+                    codes::SHUTDOWN,
+                    format!(
+                        "served {} requests across {} worker(s)",
+                        stats.requests, stats.workers
+                    ),
+                )
+                .field("requests", stats.requests.to_string())
+                .field("shed", stats.shed.to_string())
+                .field("expired", stats.expired.to_string()),
+            );
+        }
+        (model, stats, failure)
     }
 }
 
 impl Drop for InferenceServer {
+    /// Joins every serving thread. A worker panic discovered here is
+    /// **recorded** — poisoned flag set, `serve::worker-panic`
+    /// diagnostic emitted (observable through a previously taken
+    /// [`InferenceServer::diag_sink`] handle), short rendering mirrored
+    /// to stderr — never silently discarded.
     fn drop(&mut self) {
-        if let Some(tx) = self.tx.take() {
-            let _ = tx.send(Msg::Shutdown);
-        }
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        let _ = self.reap();
     }
 }
 
 /// A request handle onto a running [`InferenceServer`].
 #[derive(Debug, Clone)]
 pub struct ServeClient {
-    tx: mpsc::Sender<Msg>,
+    tx: mpsc::SyncSender<Msg>,
     sample_len: usize,
+    queue_depth: usize,
+    shed: Arc<AtomicUsize>,
 }
 
 /// An in-flight request: redeem with [`PendingPrediction::wait`].
 #[derive(Debug)]
 pub struct PendingPrediction {
-    rx: mpsc::Receiver<Prediction>,
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
 }
 
 impl PendingPrediction {
-    /// Blocks until the prediction arrives.
+    /// Blocks until the prediction (or its typed failure) arrives.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Closed`] if the server shut down first.
+    /// [`ServeError::DeadlineExceeded`] if the request's deadline passed
+    /// in queue, and [`ServeError::Closed`] if the server shut down (or
+    /// its worker died) first.
     pub fn wait(self) -> Result<Prediction, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Closed)
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err(ServeError::Closed),
+        }
     }
 }
 
 impl ServeClient {
-    /// Enqueues one sample (row-major `[3, s, s]` pixels) without
-    /// blocking; submitting several before waiting lets the server batch
-    /// them together.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::BadInput`] on a wrong-sized sample and
-    /// [`ServeError::Closed`] if the server is gone.
-    pub fn submit(&self, sample: Vec<f32>) -> Result<PendingPrediction, ServeError> {
+    fn submit_request(
+        &self,
+        sample: Vec<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<PendingPrediction, ServeError> {
         if sample.len() != self.sample_len {
             return Err(ServeError::BadInput {
                 expected: self.sample_len,
@@ -319,75 +949,310 @@ impl ServeClient {
             });
         }
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Msg::Request(Request { sample, reply }))
-            .map_err(|_| ServeError::Closed)?;
-        Ok(PendingPrediction { rx })
+        let req = Request {
+            sample,
+            reply,
+            submitted: Instant::now(),
+            deadline,
+        };
+        match self.tx.try_send(Msg::Request(req)) {
+            Ok(()) => Ok(PendingPrediction { rx }),
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.shed.fetch_add(1, Ordering::SeqCst);
+                Err(ServeError::Overloaded {
+                    depth: self.queue_depth,
+                })
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Enqueues one sample (row-major `[3, s, s]` pixels) without
+    /// blocking; submitting several before waiting lets the server batch
+    /// them together and spread them across replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] on a wrong-sized sample,
+    /// [`ServeError::Overloaded`] when the bounded admission queue is
+    /// full (the request was shed, not queued), and
+    /// [`ServeError::Closed`] if the server is gone.
+    pub fn submit(&self, sample: Vec<f32>) -> Result<PendingPrediction, ServeError> {
+        self.submit_request(sample, None)
+    }
+
+    /// Like [`ServeClient::submit`], with a deadline: if `budget`
+    /// elapses before the request reaches a model, it is answered with
+    /// [`ServeError::DeadlineExceeded`] instead of running inference the
+    /// client no longer wants.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::submit`]; the returned
+    /// [`PendingPrediction::wait`] may additionally yield
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn submit_within(
+        &self,
+        sample: Vec<f32>,
+        budget: Duration,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_request(sample, Some(Instant::now() + budget))
     }
 
     /// Submits one sample and blocks for its prediction.
     ///
     /// # Errors
     ///
-    /// See [`ServeClient::submit`].
+    /// See [`ServeClient::submit`] and [`PendingPrediction::wait`].
     pub fn predict(&self, sample: Vec<f32>) -> Result<Prediction, ServeError> {
         self.submit(sample)?.wait()
     }
+
+    /// Submits one sample with a deadline and blocks for its prediction
+    /// (or typed expiry).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::submit_within`].
+    pub fn predict_within(
+        &self,
+        sample: Vec<f32>,
+        budget: Duration,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_within(sample, budget)?.wait()
+    }
 }
 
-/// The worker: block for the first request, greedily drain the queue up
-/// to `max_batch` (briefly waiting for stragglers below
-/// `max_wait_items`), run the batch, reply per request.
-fn serve_loop(
+/// The router: pulls admitted requests off the bounded queue and shards
+/// them across worker lanes round-robin, skipping full lanes (and, when
+/// every live lane is full, blocking on one so backpressure propagates
+/// to admission instead of evaporating). Expired deadlines are answered
+/// here without touching any lane; a disconnected lane means its worker
+/// died — the router records the loss, poisons the server, and reroutes.
+fn router_loop(
+    rx: &mpsc::Receiver<Msg>,
+    lanes: Vec<mpsc::SyncSender<WorkerMsg>>,
+    sink: &DiagSink,
+    poisoned: &AtomicBool,
+) -> RouterOutcome {
+    let mut lanes: Vec<Option<mpsc::SyncSender<WorkerMsg>>> = lanes.into_iter().map(Some).collect();
+    let mut outcome = RouterOutcome::default();
+    let mut next = 0usize;
+    // The marker is the deliberate stop; a disconnect of every admission
+    // sender (server and all clients gone) is treated the same — nothing
+    // can submit anymore.
+    while let Ok(Msg::Request(req)) = rx.recv() {
+        route(req, &mut lanes, &mut next, &mut outcome, sink, poisoned);
+    }
+    for lane in lanes.iter().flatten() {
+        let _ = lane.send(WorkerMsg::Shutdown);
+    }
+    outcome
+}
+
+/// Marks a worker lane dead (its receiver disconnected without a
+/// shutdown marker: the worker panicked mid-serve).
+fn lose_lane(
+    lanes: &mut [Option<mpsc::SyncSender<WorkerMsg>>],
+    idx: usize,
+    sink: &DiagSink,
+    poisoned: &AtomicBool,
+) {
+    lanes[idx] = None;
+    poisoned.store(true, Ordering::SeqCst);
+    sink.emit(
+        Diagnostic::new(
+            Severity::Error,
+            codes::WORKER_LOST,
+            format!("worker {idx} queue disconnected mid-serve (worker died); rerouting"),
+        )
+        .field("worker", idx.to_string()),
+    );
+}
+
+fn route(
+    mut req: Request,
+    lanes: &mut [Option<mpsc::SyncSender<WorkerMsg>>],
+    next: &mut usize,
+    outcome: &mut RouterOutcome,
+    sink: &DiagSink,
+    poisoned: &AtomicBool,
+) {
+    let now = Instant::now();
+    if let Some(deadline) = req.deadline {
+        if now > deadline {
+            outcome.expired += 1;
+            let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
+                missed_by: now - deadline,
+            }));
+            return;
+        }
+    }
+    let n = lanes.len();
+    loop {
+        // Pass 1: round-robin try_send over live lanes.
+        let mut first_full = None;
+        for i in 0..n {
+            let idx = (*next + i) % n;
+            if lanes[idx].is_none() {
+                continue;
+            }
+            match lanes[idx]
+                .as_ref()
+                .expect("live lane")
+                .try_send(WorkerMsg::Request(req))
+            {
+                Ok(()) => {
+                    *next = (idx + 1) % n;
+                    return;
+                }
+                Err(mpsc::TrySendError::Full(WorkerMsg::Request(r))) => {
+                    req = r;
+                    if first_full.is_none() {
+                        first_full = Some(idx);
+                    }
+                }
+                Err(mpsc::TrySendError::Disconnected(WorkerMsg::Request(r))) => {
+                    req = r;
+                    lose_lane(lanes, idx, sink, poisoned);
+                }
+                Err(_) => unreachable!("router only forwards requests"),
+            }
+        }
+        // Pass 2: every live lane is full — block on one, so the
+        // admission queue (and with it the clients) feels backpressure.
+        match first_full {
+            Some(idx) => {
+                match lanes[idx]
+                    .as_ref()
+                    .expect("live lane")
+                    .send(WorkerMsg::Request(req))
+                {
+                    Ok(()) => {
+                        *next = (idx + 1) % n;
+                        return;
+                    }
+                    Err(mpsc::SendError(WorkerMsg::Request(r))) => {
+                        req = r;
+                        lose_lane(lanes, idx, sink, poisoned);
+                        // Retry the surviving lanes.
+                    }
+                    Err(_) => unreachable!("router only forwards requests"),
+                }
+            }
+            None => {
+                // No live worker remains: refuse rather than strand.
+                outcome.refused += 1;
+                let _ = req.reply.send(Err(ServeError::Closed));
+                return;
+            }
+        }
+    }
+}
+
+/// One worker: block for the first request on its lane, greedily drain
+/// up to `max_batch` (briefly waiting for stragglers below
+/// `max_wait_items`), run the batch through its replica, reply per
+/// request — and stop *deliberately*: on the shutdown marker
+/// ([`StopReason::Marker`]), or on lane disconnect without a marker
+/// ([`StopReason::Disconnected`], reported as `serve::router-vanished`).
+/// A straggler-wait timeout dispatches the partial batch and keeps
+/// serving; it is never conflated with disconnection.
+fn worker_loop(
     mut model: Sequential,
     image_size: usize,
     cfg: ServeConfig,
-    rx: &mpsc::Receiver<Msg>,
-) -> (Sequential, ServeStats) {
-    let mut stats = ServeStats::default();
-    let mut batch: Vec<Request> = Vec::with_capacity(cfg.max_batch);
+    rx: &mpsc::Receiver<WorkerMsg>,
+    sink: &DiagSink,
+    worker: usize,
+) -> WorkerExit {
+    let mut stats = WorkerStats::default();
+    let mut batch: Vec<Pending> = Vec::with_capacity(cfg.max_batch);
     // One reused input tensor, exactly like the trainer's evaluate loop:
     // only a batch-size change reshapes it.
     let mut x = Tensor::zeros(&[1, 3, image_size, image_size]);
-    let mut stop = false;
-    while !stop {
+    let mut reason = None;
+    while reason.is_none() {
         match rx.recv() {
-            Ok(Msg::Request(first)) => batch.push(first),
-            Ok(Msg::Shutdown) | Err(_) => break,
+            Ok(WorkerMsg::Request(r)) => admit(r, &mut batch, &mut stats),
+            Ok(WorkerMsg::Shutdown) => reason = Some(StopReason::Marker),
+            Err(_) => reason = Some(StopReason::Disconnected),
         }
-        while batch.len() < cfg.max_batch {
+        while batch.len() < cfg.max_batch && reason.is_none() {
             match rx.try_recv() {
-                Ok(Msg::Request(r)) => batch.push(r),
-                Ok(Msg::Shutdown) | Err(mpsc::TryRecvError::Disconnected) => {
-                    stop = true;
-                    break;
+                Ok(WorkerMsg::Request(r)) => admit(r, &mut batch, &mut stats),
+                Ok(WorkerMsg::Shutdown) => reason = Some(StopReason::Marker),
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    reason = Some(StopReason::Disconnected);
                 }
                 Err(mpsc::TryRecvError::Empty) => {
                     if batch.len() >= cfg.max_wait_items {
                         break;
                     }
                     match rx.recv_timeout(cfg.straggler_wait) {
-                        Ok(Msg::Request(r)) => batch.push(r),
-                        Ok(Msg::Shutdown) => {
-                            stop = true;
-                            break;
+                        Ok(WorkerMsg::Request(r)) => admit(r, &mut batch, &mut stats),
+                        Ok(WorkerMsg::Shutdown) => reason = Some(StopReason::Marker),
+                        // A timeout dispatches what we have and keeps
+                        // serving; a disconnect is an explicit stop.
+                        // The two are distinct on purpose — the old loop
+                        // collapsed them (`Err(_) => break`) and relied
+                        // on the next outer recv to notice the hangup.
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            reason = Some(StopReason::Disconnected);
                         }
-                        Err(_) => break,
                     }
                 }
             }
         }
-        run_batch(&mut model, &mut x, image_size, &mut batch, &mut stats);
+        if !batch.is_empty() {
+            run_batch(&mut model, &mut x, image_size, &mut batch, &mut stats);
+        }
     }
-    (model, stats)
+    let reason = reason.expect("loop exits with a reason");
+    if reason == StopReason::Disconnected {
+        sink.emit(
+            Diagnostic::new(
+                Severity::Warning,
+                codes::ROUTER_VANISHED,
+                format!(
+                    "worker {worker} stopping: lane disconnected without a shutdown marker \
+                     (router vanished)"
+                ),
+            )
+            .field("worker", worker.to_string()),
+        );
+    }
+    WorkerExit {
+        model,
+        stats,
+        reason,
+    }
+}
+
+/// Stages one routed request into the batch — unless its deadline has
+/// already passed, in which case it is answered right here, without
+/// touching the model.
+fn admit(req: Request, batch: &mut Vec<Pending>, stats: &mut WorkerStats) {
+    let now = Instant::now();
+    if let Some(deadline) = req.deadline {
+        if now > deadline {
+            stats.expired += 1;
+            let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
+                missed_by: now - deadline,
+            }));
+            return;
+        }
+    }
+    batch.push(Pending { req, joined: now });
 }
 
 fn run_batch(
     model: &mut Sequential,
     x: &mut Tensor,
     image_size: usize,
-    batch: &mut Vec<Request>,
-    stats: &mut ServeStats,
+    batch: &mut Vec<Pending>,
+    stats: &mut WorkerStats,
 ) {
     let b = batch.len();
     let plane = 3 * image_size * image_size;
@@ -396,13 +1261,15 @@ fn run_batch(
     }
     {
         let xd = x.data_mut();
-        for (i, req) in batch.iter().enumerate() {
-            xd[i * plane..(i + 1) * plane].copy_from_slice(&req.sample);
+        for (i, p) in batch.iter().enumerate() {
+            xd[i * plane..(i + 1) * plane].copy_from_slice(&p.req.sample);
         }
     }
+    let dispatched = Instant::now();
     let logits = model.forward(x, false);
+    let inference = dispatched.elapsed();
     let classes = logits.numel() / b;
-    for (row, req) in logits.data().chunks(classes).zip(batch.drain(..)) {
+    for (row, p) in logits.data().chunks(classes).zip(batch.drain(..)) {
         // The exact expression of `count_correct`: with the coarse
         // quantized logits the MAC engines produce, ties are real, and
         // any other tie rule would let served accuracy diverge from
@@ -412,12 +1279,19 @@ fn run_batch(
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map_or(0, |(i, _)| i);
+        stats
+            .queue_wait
+            .record(p.joined.saturating_duration_since(p.req.submitted));
+        stats
+            .batch_assembly
+            .record(dispatched.saturating_duration_since(p.joined));
+        stats.inference.record(inference);
         // A dropped client is not an error; the work is already done.
-        let _ = req.reply.send(Prediction {
+        let _ = p.req.reply.send(Ok(Prediction {
             logits: row.to_vec(),
             argmax,
             batch_size: b,
-        });
+        }));
     }
     stats.requests += b;
     stats.batches += 1;
@@ -428,12 +1302,12 @@ fn run_batch(
 mod tests {
     use std::sync::Arc;
 
-    use srmac_qgemm::engine_from_spec;
+    use srmac_qgemm::{engine_from_spec, numerics_from_spec};
     use srmac_tensor::{F32Engine, GemmEngine};
 
     use super::*;
     use crate::data::synth_cifar10;
-    use crate::resnet::resnet20;
+    use crate::resnet::{resnet20, resnet20_with};
     use crate::{evaluate, Dataset};
 
     const SIZE: usize = 8;
@@ -468,11 +1342,11 @@ mod tests {
         cfg: ServeConfig,
         pipelined: bool,
     ) -> (Vec<Vec<u32>>, ServeStats, Sequential) {
-        let server = InferenceServer::start(model, SIZE, cfg);
+        let server = InferenceServer::start(model, SIZE, cfg).expect("position-invariant");
         let client = server.client();
         let logits: Vec<Vec<u32>> = if pipelined {
-            // Submit everything up front: the worker is free to assemble
-            // any batch pattern up to max_batch.
+            // Submit everything up front: the workers are free to
+            // assemble any batch pattern up to max_batch.
             let pending: Vec<_> = (0..n)
                 .map(|i| client.submit(sample(ds, i)).expect("submit"))
                 .collect();
@@ -488,7 +1362,7 @@ mod tests {
                 .map(|p| p.logits.iter().map(|v| v.to_bits()).collect())
                 .collect()
         };
-        let (model, stats) = server.shutdown();
+        let (model, stats) = server.shutdown().expect("clean shutdown");
         (logits, stats, model)
     }
 
@@ -504,8 +1378,9 @@ mod tests {
         // The serving determinism contract, asserted bit for bit for the
         // position-invariant inference engines: pipelined submission
         // (dynamic batches up to 5), strictly sequential submission
-        // (all-singleton batches), and a greedy max_batch=32 drain must
-        // all equal the plain batch-1 forward pass.
+        // (all-singleton batches), a greedy max_batch=32 drain, and a
+        // 3-replica server must all equal the plain batch-1 forward
+        // pass.
         let ds = synth_cifar10(12, SIZE, 31);
         let n = ds.len();
         for (label, engine) in engines() {
@@ -519,6 +1394,7 @@ mod tests {
                         max_batch: 5,
                         max_wait_items: 2,
                         straggler_wait: Duration::from_micros(100),
+                        ..ServeConfig::default()
                     },
                     true,
                 ),
@@ -531,10 +1407,25 @@ mod tests {
                     },
                     true,
                 ),
+                (
+                    "replicated_w3",
+                    ServeConfig {
+                        workers: 3,
+                        max_batch: 4,
+                        max_wait_items: 2,
+                        ..ServeConfig::default()
+                    },
+                    true,
+                ),
             ] {
                 let model = resnet20(&engine, 4, 10, 17);
                 let (got, stats, _) = serve_all(model, &ds, n, cfg, pipelined);
                 assert_eq!(stats.requests, n, "{label}/{pat}: request count");
+                assert_eq!(
+                    stats.worker_requests.iter().sum::<usize>(),
+                    n,
+                    "{label}/{pat}: per-worker totals must sum to the request count"
+                );
                 assert_eq!(
                     got, want,
                     "{label}/{pat}: served logits must be bitwise identical to batch-1"
@@ -544,13 +1435,96 @@ mod tests {
     }
 
     #[test]
+    fn start_rejects_stochastic_forward_on_every_path() {
+        // The doc-example path (`start`) used to skip the batch-
+        // invariance guard entirely — only `start_with_numerics` checked
+        // the layer engines, so a plain `start` happily served an SR
+        // forward model with silently position-dependent logits. Both
+        // construction paths must refuse.
+        let sr = numerics_from_spec("fp8_fp12_sr13").expect("uniform SR policy");
+        let model = resnet20_with(&sr, 4, 10, 3);
+        let err = InferenceServer::start(model, SIZE, ServeConfig::default())
+            .expect_err("start must enforce the layer-engine guard");
+        assert!(
+            matches!(&err, ServeError::StochasticForward { engine } if engine.contains("SR")),
+            "got {err:?}"
+        );
+        assert_eq!(err.code(), codes::STOCHASTIC_FORWARD);
+
+        let model = resnet20_with(&sr, 4, 10, 3);
+        let err = InferenceServer::start_with_numerics(model, SIZE, ServeConfig::default(), &sr)
+            .expect_err("the policy path must also refuse");
+        assert!(matches!(err, ServeError::StochasticForward { .. }));
+    }
+
+    #[test]
+    fn worker_distinguishes_disconnect_from_straggler_timeout() {
+        // Regression for the straggler-wait disconnect bug: the old loop
+        // treated `RecvTimeoutError::Disconnected` as a timeout
+        // (`Err(_) => break`), leaving the worker to discover the hangup
+        // on its next outer recv. The worker must (a) still serve the
+        // batch it was assembling, and (b) stop *because of the
+        // disconnect* — promptly, not after the straggler timeout, and
+        // with the abnormal stop recorded.
+        let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
+        let model = resnet20(&engine, 4, 10, 1);
+        let cfg = ServeConfig {
+            max_batch: 8,
+            max_wait_items: 8,                       // always wait for stragglers
+            straggler_wait: Duration::from_secs(30), // a timeout would hang the test
+            ..ServeConfig::default()
+        };
+        let (ltx, lrx) = mpsc::sync_channel::<WorkerMsg>(16);
+        let sink = DiagSink::default();
+        let worker_sink = sink.clone();
+        let handle =
+            std::thread::spawn(move || worker_loop(model, SIZE, cfg, &lrx, &worker_sink, 0));
+
+        let ds = synth_cifar10(2, SIZE, 5);
+        let pending: Vec<_> = (0..2)
+            .map(|i| {
+                let (reply, rx) = mpsc::channel();
+                ltx.send(WorkerMsg::Request(Request {
+                    sample: sample(&ds, i),
+                    reply,
+                    submitted: Instant::now(),
+                    deadline: None,
+                }))
+                .expect("send");
+                rx
+            })
+            .collect();
+        // Hang up mid-straggler-wait, with no shutdown marker.
+        drop(ltx);
+        let exit = handle.join().expect("worker exits cleanly");
+        assert_eq!(
+            exit.reason,
+            StopReason::Disconnected,
+            "a hangup without a marker is an explicit disconnect stop"
+        );
+        // The in-flight batch was still served before stopping.
+        for rx in pending {
+            let got = rx.recv().expect("reply").expect("prediction");
+            assert_eq!(got.logits.len(), 10);
+        }
+        assert_eq!(exit.stats.requests, 2);
+        // The abnormal stop is recorded, not silent.
+        let diags = sink.snapshot();
+        assert!(
+            diags.iter().any(|d| d.code == codes::ROUTER_VANISHED),
+            "expected a serve::router-vanished diagnostic, got {diags:?}"
+        );
+    }
+
+    #[test]
     fn served_argmax_reproduces_evaluate_accuracy() {
         let ds = synth_cifar10(30, SIZE, 41);
         let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(2));
         let mut model = resnet20(&engine, 4, 10, 5);
         let want_acc = evaluate(&mut model, &ds, 7);
 
-        let server = InferenceServer::start(model, SIZE, ServeConfig::default());
+        let server = InferenceServer::start(model, SIZE, ServeConfig::default())
+            .expect("position-invariant");
         let client = server.client();
         let pending: Vec<_> = (0..ds.len())
             .map(|i| client.submit(sample(&ds, i)).unwrap())
@@ -559,7 +1533,7 @@ mod tests {
             .into_iter()
             .enumerate()
             .filter(|(i, p)| {
-                let p = p.rx.recv().expect("prediction");
+                let p = p.rx.recv().expect("reply").expect("prediction");
                 p.argmax == ds.labels()[*i]
             })
             .count();
@@ -569,7 +1543,7 @@ mod tests {
             got_acc.to_bits(),
             "served accuracy must equal evaluate()"
         );
-        let (_, stats) = server.shutdown();
+        let (_, stats) = server.shutdown().expect("clean shutdown");
         assert_eq!(stats.requests, ds.len());
     }
 
@@ -585,6 +1559,7 @@ mod tests {
             max_batch: 8,
             max_wait_items: 8,
             straggler_wait: Duration::from_millis(20),
+            ..ServeConfig::default()
         };
         let (_, stats, _) = serve_all(model, &ds, ds.len(), cfg, true);
         assert_eq!(stats.requests, 16);
@@ -595,13 +1570,20 @@ mod tests {
         );
         assert!(stats.max_batch_seen <= 8, "max_batch must cap assembly");
         assert!(stats.batches < 16, "batching must reduce dispatch count");
+        // The observability contract: every served request is timed
+        // through all three stages.
+        assert_eq!(stats.queue_wait.count(), 16);
+        assert_eq!(stats.batch_assembly.count(), 16);
+        assert_eq!(stats.inference.count(), 16);
+        assert!(stats.inference.p50().expect("recorded") > Duration::ZERO);
     }
 
     #[test]
     fn bad_input_and_shutdown_are_typed_errors() {
         let engine: Arc<dyn GemmEngine> = Arc::new(F32Engine::new(1));
         let model = resnet20(&engine, 4, 10, 1);
-        let server = InferenceServer::start(model, SIZE, ServeConfig::default());
+        let server = InferenceServer::start(model, SIZE, ServeConfig::default())
+            .expect("position-invariant");
         let client = server.client();
         assert!(matches!(
             client.predict(vec![0.0; 5]),
@@ -610,11 +1592,124 @@ mod tests {
                 got: 5
             }) if expected == 3 * SIZE * SIZE
         ));
-        let (_, stats) = server.shutdown();
+        let (_, stats) = server.shutdown().expect("clean shutdown");
         assert_eq!(stats.requests, 0, "rejected requests never reach the model");
         assert!(matches!(
             client.predict(vec![0.0; 3 * SIZE * SIZE]),
             Err(ServeError::Closed)
         ));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(0)), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(2)), 1);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(3)), 1);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(4)), 2);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(1023)), 9);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(1024)), 10);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_secs(10_000)), 43);
+        // Durations beyond u64 nanoseconds clamp into the last bucket.
+        assert_eq!(
+            LatencyHistogram::bucket_of(Duration::from_secs(u64::MAX)),
+            63
+        );
+        assert_eq!(LatencyHistogram::upper_edge_ns(0), 1);
+        assert_eq!(LatencyHistogram::upper_edge_ns(9), 1023);
+        assert_eq!(LatencyHistogram::upper_edge_ns(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles_report_bucket_upper_edges() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(
+            h.percentile(50.0),
+            None,
+            "empty histogram has no percentiles"
+        );
+
+        // One observation: every percentile is its bucket's upper edge.
+        h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(Duration::from_nanos(127)));
+        }
+
+        // 98 fast + 2 slow: the median stays in the fast bucket, the
+        // p99 lands in the slow one.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..98 {
+            h.record(Duration::from_micros(1)); // bucket 9: [512, 1024)
+        }
+        for _ in 0..2 {
+            h.record(Duration::from_millis(1)); // bucket 19
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), Some(Duration::from_nanos(1023)));
+        assert_eq!(h.p95(), Some(Duration::from_nanos(1023)));
+        // rank = ceil(0.99 * 100) = 99 > 98 -> the slow bucket.
+        assert_eq!(h.p99(), Some(Duration::from_nanos((1 << 20) - 1)));
+        assert_eq!(
+            h.percentile(100.0),
+            Some(Duration::from_nanos((1 << 20) - 1))
+        );
+
+        // Monotone in p.
+        let p = [h.p50().unwrap(), h.p95().unwrap(), h.p99().unwrap()];
+        assert!(p[0] <= p[1] && p[1] <= p[2]);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..=8u64 {
+            a.record(Duration::from_nanos(i * 100));
+            b.record(Duration::from_micros(i * 100));
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), 16);
+        let mut direct = LatencyHistogram::new();
+        for i in 1..=8u64 {
+            direct.record(Duration::from_nanos(i * 100));
+            direct.record(Duration::from_micros(i * 100));
+        }
+        assert_eq!(merged, direct, "merge must equal recording everything once");
+        assert_eq!(merged.p50(), direct.p50());
+    }
+
+    #[test]
+    fn stats_render_json_is_balanced_and_complete() {
+        let mut stats = ServeStats {
+            requests: 3,
+            batches: 2,
+            max_batch_seen: 2,
+            workers: 2,
+            shed: 1,
+            expired: 1,
+            worker_requests: vec![2, 1],
+            ..ServeStats::default()
+        };
+        stats.queue_wait.record(Duration::from_micros(5));
+        stats.inference.record(Duration::from_millis(2));
+        let json = stats.render_json();
+        for key in [
+            "\"requests\":3",
+            "\"workers\":2",
+            "\"shed\":1",
+            "\"expired\":1",
+            "\"worker_requests\":[2,1]",
+            "\"queue_wait\":",
+            "\"batch_assembly\":",
+            "\"inference\":",
+            "\"p99_us\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let human = stats.to_string();
+        assert!(human.contains("3 requests"));
+        assert!(human.contains("shed 1"));
     }
 }

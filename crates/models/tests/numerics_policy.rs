@@ -153,6 +153,6 @@ fn serving_rejects_stochastic_forward_engines_with_a_typed_error() {
     let (x, _) = ds.batch(&[0]);
     let p = server.client().predict(x.data().to_vec()).expect("predict");
     assert_eq!(p.logits.len(), 10);
-    let (_, stats) = server.shutdown();
+    let (_, stats) = server.shutdown().expect("clean shutdown");
     assert_eq!(stats.requests, 1);
 }

@@ -184,6 +184,24 @@ impl Sequential {
         }
     }
 
+    /// The name of the first `Forward`-role engine this model actually
+    /// carries that is **not** position-invariant (stochastic-rounding
+    /// accumulation), or `None` when every forward engine is safe to
+    /// batch. This is the authoritative serving guard: it inspects the
+    /// built model via [`Layer::visit_role_engines`], so no side-channel
+    /// policy object can smuggle an SR forward engine past a server's
+    /// batch-invariance check.
+    #[must_use]
+    pub fn stochastic_forward_engine(&mut self) -> Option<String> {
+        let mut offender: Option<String> = None;
+        self.visit_role_engines(&mut |role, engine| {
+            if role == GemmRole::Forward && offender.is_none() && !engine.position_invariant() {
+                offender = Some(engine.name());
+            }
+        });
+        offender
+    }
+
     /// The typed counterpart of [`Layer::clone_layer`] for a whole model:
     /// a CoW replica of every child, or `None` if any child does not
     /// support replication.

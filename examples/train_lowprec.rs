@@ -29,13 +29,17 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// Serves `n_serve` test samples through the micro-batching server and
-/// prints throughput + serving accuracy.
+/// Serves `n_serve` test samples through the replicated micro-batching
+/// server (`SRMAC_SERVE_WORKERS` replicas, default 2 — CoW clones
+/// sharing one set of weights) and prints throughput, latency
+/// percentiles and serving accuracy.
 fn serve_model(model: Sequential, numerics: &Numerics, size: usize, ds: &data::Dataset) {
+    let workers = env_or("SRMAC_SERVE_WORKERS", 2usize);
     let server = InferenceServer::start_with_numerics(
         model,
         size,
         ServeConfig {
+            workers,
             max_batch: 8,
             max_wait_items: 8,
             ..ServeConfig::default()
@@ -61,17 +65,21 @@ fn serve_model(model: Sequential, numerics: &Numerics, size: usize, ds: &data::D
         })
         .sum::<usize>();
     let elapsed = started.elapsed();
-    let (_, stats) = server.shutdown();
+    let (_, stats) = server.shutdown().expect("no worker panicked");
     println!(
-        "served {} requests in {} dynamic batches (largest {}) in {:.0} ms \
-         ({:.1} req/s, serving accuracy {:.2}%)",
+        "served {} requests in {} dynamic batches (largest {}) across {} worker(s) \
+         in {:.0} ms ({:.1} req/s, serving accuracy {:.2}%)",
         stats.requests,
         stats.batches,
         stats.max_batch_seen,
+        stats.workers,
         elapsed.as_secs_f64() * 1e3,
         stats.requests as f64 / elapsed.as_secs_f64(),
         100.0 * correct as f32 / n_serve as f32,
     );
+    // The observability surface: per-stage latency percentiles from the
+    // server's log2-bucketed histograms.
+    println!("  {stats}");
 }
 
 /// Demonstrates the data-parallel determinism contract on a scaled-down
