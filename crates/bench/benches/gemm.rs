@@ -17,8 +17,9 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use srmac_bench::guard::{
-    mixed_policy_numerics_1thread, rand_vec, relu_sparse_vec, resnet20_role_gemm_shapes,
-    resnet20_weight_gemm_shapes, serve_scaling_stream, train_scaling_step, SERVE_SCALING_STREAM,
+    checkpoint_save_segment, mixed_policy_numerics_1thread, rand_vec, relu_sparse_vec,
+    resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes, serve_scaling_stream,
+    train_scaling_step, SERVE_SCALING_STREAM,
 };
 use srmac_models::serve::{InferenceServer, ServeConfig};
 use srmac_models::{data, resnet};
@@ -459,6 +460,28 @@ fn bench_train_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// The crash-tolerance tax: a segment of 10 training steps, plain vs
+/// with one keep-K rotation save (model + full trainer state) at the
+/// segment's end — the `ckpt`/`plain` median ratio is the amortized
+/// per-step cost of auto-checkpointing at `every = 10`. `bench_guard`
+/// gates that overhead at <= 1.05 (the <5% acceptance bar) with its own
+/// *paired* re-measurement (plain and saving segments interleaved
+/// sample-by-sample, so machine-load drift cancels); these two recorded
+/// medians are measured minutes apart during a full bench run, so their
+/// ratio carries that drift and is informational. Measured on the fast
+/// exact-f32 engine so the fraction is a conservative worst case: the
+/// save cost is engine-independent, and slower MAC-emulation steps only
+/// shrink it.
+fn bench_checkpoint_save(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_save");
+    g.sample_size(10);
+    for (name, with_ckpt) in [("train10_plain", false), ("train10_ckpt", true)] {
+        let mut segment = checkpoint_save_segment(with_ckpt);
+        g.bench_function(name, |b| b.iter(|| black_box(segment())));
+    }
+    g.finish();
+}
+
 /// Writes the collected measurements (and the headline sequence speedup)
 /// to `BENCH_gemm.json` at the workspace root.
 fn write_summary(c: &mut Criterion) {
@@ -550,6 +573,14 @@ fn write_summary(c: &mut Criterion) {
         (Some(w1), Some(w4)) if w1 > 0.0 => Some(w4 / w1),
         _ => None,
     };
+    // This PR's acceptance record: the amortized auto-checkpointing tax
+    // on the training loop (<5% by the bench_guard gate).
+    let cs_plain = find("checkpoint_save", "train10_plain");
+    let cs_ckpt = find("checkpoint_save", "train10_ckpt");
+    let ckpt_overhead = match (cs_plain, cs_ckpt) {
+        (Some(p), Some(k)) if p > 0.0 => Some(k / p),
+        _ => None,
+    };
     json.push_str(&format!(
         "  \"resnet20_train_step\": {train_json},\n  \"resnet20_eval_stream\": {eval_json},\n  \
          \"serve_resnet20\": {{\n    \"requests_per_sec_batch1\": {},\n    \
@@ -563,6 +594,9 @@ fn write_summary(c: &mut Criterion) {
          \"requests_per_sec_w4\": {},\n    \
          \"worker_speedup_w4_vs_w1\": {},\n    \
          \"recording_host_threads\": {}\n  }},\n  \
+         \"checkpoint_save\": {{\n    \"train10_plain_ns\": {},\n    \
+         \"train10_ckpt_ns\": {},\n    \
+         \"amortized_overhead_ratio\": {}\n  }},\n  \
          \"pr1_baseline\": {{\n    \"prepared_weight_reuse_ns\": {PR1_PREPARED_TRAIN_STEP_NS:.1},\n    \
          \"train_step_speedup_vs_pr1\": {}\n  }},\n  \
          \"pr3_baseline\": {{\n    \"gemm_sr13_1thread_ns\": {PR3_SR_GEMM_NS:.1},\n    \
@@ -586,6 +620,9 @@ fn write_summary(c: &mut Criterion) {
         fmt_opt(sv_w4, 1),
         fmt_opt(worker_speedup, 3),
         available_threads(),
+        fmt_opt(cs_plain, 1),
+        fmt_opt(cs_ckpt, 1),
+        fmt_opt(ckpt_overhead, 3),
         fmt_opt(vs_pr1, 3),
         fmt_opt(gemm_vs_pr3, 3),
         fmt_opt(train_vs_pr3, 3),
@@ -640,6 +677,12 @@ fn write_summary(c: &mut Criterion) {
                 available_threads()
             );
         }
+        if let Some(r) = ckpt_overhead {
+            println!(
+                "checkpoint_save amortized overhead (every=10): {:.2}%",
+                (r - 1.0) * 100.0
+            );
+        }
         println!("summary -> {path}");
     }
 }
@@ -653,6 +696,7 @@ criterion_group!(
     bench_serve_resnet20,
     bench_serve_scaling,
     bench_train_scaling,
+    bench_checkpoint_save,
     write_summary
 );
 criterion_main!(benches);

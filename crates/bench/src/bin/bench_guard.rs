@@ -3,8 +3,9 @@
 //! `resnet20_train_step/prepared_weight_reuse` GEMM sequence, the
 //! per-role `resnet20_train_step/mixed_policy` sequence (RN forward / SR
 //! backward engines resolved through the numerics spec registry), the
-//! `train_scaling` full data-parallel trainer step, and the
-//! `serve_scaling` replicated-inference stream — with the exact
+//! `train_scaling` full data-parallel trainer step, the
+//! `serve_scaling` replicated-inference stream, and the
+//! `checkpoint_save` auto-checkpointing segment — with the exact
 //! data generation of the criterion benches, and diffs the fresh medians
 //! against the committed `BENCH_gemm.json`. Exits non-zero when any
 //! watched median regresses by more than the tolerance.
@@ -13,7 +14,7 @@
 //! bench_guard [--samples N] [--tolerance F] [--json PATH]
 //!             [--relative [--min-speedup F] [--min-train-speedup F]
 //!                         [--min-serve-speedup F]]
-//!             [--threads N]
+//!             [--max-ckpt-overhead F] [--threads N]
 //! ```
 //!
 //! Defaults: 9 samples, 15% tolerance, the workspace `BENCH_gemm.json`.
@@ -33,7 +34,14 @@
 //! server's worker fan-out (a pipelined 32-request stream against 4
 //! workers vs 1 — identical bits by the serving batch-invariance
 //! contract) at `--min-serve-speedup` (default 1.8); both scaling gates
-//! are enforced only on hosts with at least 4 hardware threads.
+//! are enforced only on hosts with at least 4 hardware threads. Both
+//! modes also gate the crash-tolerance tax: a 10-step training segment
+//! with one keep-K rotation save at its end vs the same segment plain,
+//! whose median ratio — the amortized per-step cost of
+//! auto-checkpointing at `every = 10` — must stay at or below
+//! `--max-ckpt-overhead` (default 1.05, the <5% acceptance bar). The
+//! ratio compares two single-threaded runs on the same host, so it is
+//! machine-independent and enforced unconditionally.
 //! `--threads N` (default 1) runs the GEMM workloads on
 //! N-thread engines — CI's second relative leg uses it to drive the
 //! tiled kernel through the multi-core rectangle dispatch (results are
@@ -46,9 +54,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use srmac_bench::guard::{
-    committed_median, mixed_policy_numerics_1thread, parse_bench_medians, rand_vec,
-    relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes, serve_scaling_stream,
-    train_scaling_step,
+    checkpoint_save_segment, committed_median, mixed_policy_numerics_1thread, parse_bench_medians,
+    rand_vec, relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes,
+    serve_scaling_stream, train_scaling_step,
 };
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac_tensor::{available_threads, GemmEngine, GemmRole};
@@ -61,6 +69,7 @@ struct Args {
     min_speedup: f64,
     min_train_speedup: f64,
     min_serve_speedup: f64,
+    max_ckpt_overhead: f64,
     threads: usize,
 }
 
@@ -73,6 +82,7 @@ fn parse_args() -> Args {
         min_speedup: 1.2,
         min_train_speedup: 1.8,
         min_serve_speedup: 1.8,
+        max_ckpt_overhead: 1.05,
         threads: 1,
     };
     let mut it = std::env::args().skip(1);
@@ -99,11 +109,15 @@ fn parse_args() -> Args {
                 args.min_serve_speedup =
                     value("ratio").parse().expect("--min-serve-speedup: float");
             }
+            "--max-ckpt-overhead" => {
+                args.max_ckpt_overhead =
+                    value("ratio").parse().expect("--max-ckpt-overhead: float");
+            }
             "--threads" => args.threads = value("count").parse().expect("--threads: integer"),
             other => panic!(
                 "unknown argument {other} \
                  (try --samples/--tolerance/--json/--relative/--min-speedup/\
-                 --min-train-speedup/--min-serve-speedup/--threads)"
+                 --min-train-speedup/--min-serve-speedup/--max-ckpt-overhead/--threads)"
             ),
         }
     }
@@ -188,6 +202,61 @@ fn serve_scaling_median(samples: usize, workers: usize) -> f64 {
     })
 }
 
+/// The `checkpoint_save` workload, measured *paired*: each sample times
+/// a plain 10-step training segment and a saving one back-to-back (see
+/// `guard::checkpoint_save_segment`), and the reported overhead is the
+/// median of the per-pair ratios. The save costs ~1 ms against a
+/// ~200 ms segment, so two independently-timed medians would drown the
+/// signal in slow machine-load drift; adjacent pairs cancel the drift
+/// and leave the actual checkpointing tax. Returns
+/// `(plain_median_ns, ckpt_median_ns, median_pair_ratio)`.
+fn checkpoint_save_measure(samples: usize) -> (f64, f64, f64) {
+    let mut plain_seg = checkpoint_save_segment(false);
+    let mut ckpt_seg = checkpoint_save_segment(true);
+    plain_seg(); // warm-up: caches, pools, the rotation scratch file
+    ckpt_seg();
+    let mut plain_ns = Vec::with_capacity(samples.max(1));
+    let mut ckpt_ns = Vec::with_capacity(samples.max(1));
+    let mut ratios = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        plain_seg();
+        let p = t.elapsed().as_nanos() as f64;
+        let t = Instant::now();
+        ckpt_seg();
+        let k = t.elapsed().as_nanos() as f64;
+        plain_ns.push(p);
+        ckpt_ns.push(k);
+        ratios.push(k / p);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    (
+        median(&mut plain_ns),
+        median(&mut ckpt_ns),
+        median(&mut ratios),
+    )
+}
+
+/// Gates the amortized auto-checkpointing tax (the paired-median
+/// `ckpt`/`plain` segment ratio) against `--max-ckpt-overhead`. Both
+/// single-thread runs land interleaved on the same host, so the ratio is
+/// machine-independent and both guard modes enforce it. Returns true
+/// when the gate fails.
+fn ckpt_overhead_gate(args: &Args) -> bool {
+    let (plain, ckpt, ratio) = checkpoint_save_measure(args.samples.min(5));
+    let failed = ratio > args.max_ckpt_overhead;
+    let verdict = if failed { "REGRESSION" } else { "ok" };
+    println!(
+        "checkpoint_save: 10-step segment with save {ckpt:>12.0} ns vs plain \
+         {plain:>12.0} ns (paired ratio {ratio:.3}x, ceiling {:.3}x) {verdict}",
+        args.max_ckpt_overhead
+    );
+    failed
+}
+
 /// The machine-independent gate: lane batching must beat the scalar
 /// kernel on this very host, the data-parallel trainer step and the
 /// replicated inference server must scale with replicas/workers
@@ -206,6 +275,8 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         ("train_scaling", "resnet20_step_r4_s4"),
         ("serve_scaling", "stream32_w1"),
         ("serve_scaling", "stream32_w4"),
+        ("checkpoint_save", "train10_plain"),
+        ("checkpoint_save", "train10_ckpt"),
     ] {
         if committed_median(committed, group, name).is_none() {
             eprintln!(
@@ -277,11 +348,12 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
          1 worker {sv_w1:>12.0} ns ({serve_speedup:.2}x, floor {:.2}x) {serve_verdict}",
         args.min_serve_speedup
     );
+    failed |= ckpt_overhead_gate(args);
     if failed {
         eprintln!(
             "bench_guard: a relative gate failed on this host — lane batching no \
-             longer pays for itself, replica/worker fan-out stopped scaling, or \
-             a watched entry vanished"
+             longer pays for itself, replica/worker fan-out stopped scaling, \
+             auto-checkpointing got too expensive, or a watched entry vanished"
         );
         return ExitCode::FAILURE;
     }
@@ -381,7 +453,13 @@ fn main() -> ExitCode {
         return run_relative(&args, &committed);
     }
 
-    let watched: [(&str, &str, f64); 7] = [
+    // The checkpoint_save pair is measured once (paired, see
+    // checkpoint_save_measure) and used twice: each median diffs against
+    // its committed value below, and the paired ratio feeds the
+    // machine-independent overhead gate after the loop.
+    let (cs_plain, cs_ckpt, cs_ratio) = checkpoint_save_measure(args.samples.min(5));
+
+    let watched: [(&str, &str, f64); 9] = [
         (
             "gemm_64x128x64",
             "mac_fp12_sr13_1thread",
@@ -435,6 +513,8 @@ fn main() -> ExitCode {
             "stream32_w1",
             serve_scaling_median(args.samples.min(5), 1),
         ),
+        ("checkpoint_save", "train10_plain", cs_plain),
+        ("checkpoint_save", "train10_ckpt", cs_ckpt),
     ];
 
     let mut failed = false;
@@ -461,11 +541,25 @@ fn main() -> ExitCode {
              ({ratio:.2}x) {verdict}"
         );
     }
+    // The amortized auto-checkpointing tax, from the paired measurement
+    // above (machine-independent, so it holds in both modes).
+    let ckpt_ratio = cs_ratio;
+    let ckpt_verdict = if ckpt_ratio > args.max_ckpt_overhead {
+        failed = true;
+        "REGRESSION"
+    } else {
+        "ok"
+    };
+    println!(
+        "checkpoint_save overhead: {ckpt_ratio:.3}x (ceiling {:.3}x) {ckpt_verdict}",
+        args.max_ckpt_overhead
+    );
     if failed {
         eprintln!(
-            "bench_guard: regression beyond {:.0}% (or missing entry) — \
-             investigate before merging, or re-record BENCH_gemm.json via \
-             `cargo bench --bench gemm` if the change is intended",
+            "bench_guard: regression beyond {:.0}% (or missing entry, or the \
+             auto-checkpointing overhead ceiling) — investigate before merging, \
+             or re-record BENCH_gemm.json via `cargo bench --bench gemm` if the \
+             change is intended",
             args.tolerance * 100.0
         );
         return ExitCode::FAILURE;

@@ -10,11 +10,12 @@
 
 use std::sync::Arc;
 
+use srmac_io::CheckpointMeta;
 use srmac_models::{data, resnet, InferenceServer, ServeConfig, TrainConfig, Trainer};
 use srmac_qgemm::{MacGemm, MacGemmConfig};
 use srmac_rng::SplitMix64;
 use srmac_tensor::numerics::fold_role_seed;
-use srmac_tensor::{GemmEngine, GemmRole, Numerics, Runtime};
+use srmac_tensor::{F32Engine, GemmEngine, GemmRole, Numerics, Runtime};
 
 /// Uniform values in [-0.5, 0.5) — the benches' dense-operand generator.
 #[must_use]
@@ -192,6 +193,63 @@ pub fn train_scaling_step(replicas: usize, threads: usize) -> impl FnMut() -> f3
     };
     let mut trainer = Trainer::new(&cfg).with_runtime(Arc::new(Runtime::new(threads)));
     move || trainer.train_step(&mut model, &x, &labels, 0.05)
+}
+
+/// Steps per call of the `checkpoint_save` workload: the checkpoint
+/// cadence fires once per segment, so the `ckpt`/`plain` timing ratio is
+/// the *amortized* per-step overhead of auto-checkpointing at
+/// `every = CKPT_SEGMENT_STEPS` — the quantity the <5% overhead gate in
+/// `bench_guard` watches.
+pub const CKPT_SEGMENT_STEPS: usize = 10;
+
+/// The `checkpoint_save` workload: a segment of [`CKPT_SEGMENT_STEPS`]
+/// training steps on a slim ResNet-20, either plain (`with_ckpt =
+/// false`) or with one keep-K rotation save of the model plus the full
+/// trainer state at the segment's end (`with_ckpt = true`) — exactly
+/// what [`Trainer::run`]'s cadence does every `CKPT_SEGMENT_STEPS`
+/// steps. The engine is the exact 1-thread f32 GEMM: the checkpoint cost
+/// is engine-independent and the guard gates a *ratio*, so the fast
+/// engine keeps the workload cheap while making the overhead fraction a
+/// conservative (worst-case) estimate — slower MAC-emulation steps only
+/// shrink it. Returns a closure running one segment per call and
+/// yielding the last step's loss. Shared by the `checkpoint_save`
+/// criterion group and `bench_guard`, so both always measure the same
+/// model, data and save path.
+pub fn checkpoint_save_segment(with_ckpt: bool) -> impl FnMut() -> f32 {
+    let engine = Arc::new(F32Engine::new(1)) as Arc<dyn GemmEngine>;
+    let numerics = Numerics::uniform(engine);
+    let mut model = resnet::resnet20_with(&numerics, 4, 10, 42);
+    let ds = data::synth_cifar10(16, 12, 9);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (x, labels) = ds.batch(&idx);
+    let cfg = TrainConfig {
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    let mut trainer = Trainer::new(&cfg);
+    if with_ckpt {
+        let path =
+            std::env::temp_dir().join(format!("srmac_bench_ckpt_{}.srmc", std::process::id()));
+        trainer = trainer.checkpoint_every(
+            CKPT_SEGMENT_STEPS,
+            path,
+            CheckpointMeta {
+                arch: "resnet20-w4-c10".into(),
+                engine: None,
+                numerics: Some("f32".into()),
+            },
+        );
+    }
+    move || {
+        let mut loss = 0.0;
+        for _ in 0..CKPT_SEGMENT_STEPS {
+            loss = trainer.train_step(&mut model, &x, &labels, 0.05);
+        }
+        if with_ckpt {
+            trainer.checkpoint_now(&mut model).expect("bench save");
+        }
+        loss
+    }
 }
 
 /// Requests per stream of the `serve_scaling` workload.
@@ -381,6 +439,40 @@ mod tests {
             "train_scaling replica counts diverged: {l1} vs {l4}"
         );
         assert!(l1.is_finite());
+    }
+
+    #[test]
+    fn checkpoint_save_variants_compute_the_same_bits() {
+        // The bench's overhead ratio is only meaningful if the saving
+        // variant really trains the same bits as the plain one — the
+        // checkpoint cadence must be pure I/O, never touching the loop's
+        // arithmetic. The saving variant must also leave a loadable
+        // rotation head behind (otherwise it timed a failed write).
+        let plain = checkpoint_save_segment(false)();
+        let ckpt = checkpoint_save_segment(true)();
+        assert_eq!(
+            plain.to_bits(),
+            ckpt.to_bits(),
+            "auto-checkpointing changed the training bits: {plain} vs {ckpt}"
+        );
+        assert!(plain.is_finite());
+        let path =
+            std::env::temp_dir().join(format!("srmac_bench_ckpt_{}.srmc", std::process::id()));
+        let ckpt = srmac_io::read_checkpoint(&path).expect("the segment saved a valid head");
+        assert!(ckpt.train.is_some(), "the save carries the trainer state");
+        // Best-effort scratch cleanup (the rotation set shares the stem).
+        if let Some(dir) = path.parent() {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    if e.file_name()
+                        .to_string_lossy()
+                        .starts_with(&format!("srmac_bench_ckpt_{}", std::process::id()))
+                    {
+                        std::fs::remove_file(e.path()).ok();
+                    }
+                }
+            }
+        }
     }
 
     #[test]

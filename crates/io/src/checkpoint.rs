@@ -1,12 +1,12 @@
 //! The checkpoint container: capture from / apply to a [`Sequential`]
-//! model, plus the version-2 binary encoding (version-1 files decode
-//! unchanged).
+//! model, plus the version-3 binary encoding (version-1 and version-2
+//! files decode unchanged).
 //!
-//! # Layout (version 2, all integers little-endian)
+//! # Layout (version 3, all integers little-endian)
 //!
 //! ```text
 //! offset 0   magic            b"SRMC"
-//!        4   u16              format version (currently 2)
+//!        4   u16              format version (currently 3)
 //!        6   u16              reserved flags (must be 0)
 //!        8   u32 La           architecture-tag length
 //!        12  [La]             architecture tag (UTF-8, caller-chosen)
@@ -14,6 +14,19 @@
 //!            [16]             MacGemmConfig wire record (tag 1 only)
 //!            u8               numerics tag: 0 = none, 1 = policy spec   (v2+)
 //!            u32 Lp ; [Lp]    numerics policy spec (UTF-8, tag 1 only) (v2+)
+//!            u8               train-state tag: 0 = none, 1 = present    (v3+)
+//!            train state record (tag 1 only, v3+):
+//!              u32 epoch ; u32 step ; u64 rng_state
+//!              u32 scaler scale bits ; u32 good_steps ; u32 growth_interval
+//!              u64 epoch-loss f64 bits ; u32 finite_batches
+//!              config: u32 epochs ; u32 batch_size ;
+//!                      u32 x4 lr/momentum/weight_decay/init_loss_scale bits ;
+//!                      u64 seed ; u32 replicas ; u32 grad_shards (resolved) ;
+//!                      u64 train_len
+//!              history: u32 Ne ; Ne x f32 loss ; u32 Na ; Na x f32 acc ;
+//!                       u64 skipped ; u64 nonfinite ; u32 final-scale bits ;
+//!                       u64 ckpt_save_failures
+//!              optimizer: u32 Nv ; Nv x (u32 len ; len x f32 velocity)
 //!            u32 Nl           layer record count
 //!            Nl x layer record:
 //!              u32 Ln ; [Ln]  layer describe() string (UTF-8)
@@ -42,6 +55,15 @@
 //! metadata yet (matching `GemmEngine::spec`'s contract for spec-less
 //! engines).
 //!
+//! The **train-state record** (new in version 3; see
+//! [`crate::train_state::TrainState`]) carries the full trainer snapshot —
+//! epoch/step cursor, shuffle-RNG position, loss-scaler trajectory,
+//! mid-epoch loss partials, resolved training configuration, accumulated
+//! history, and SGD momentum buffers — so a crashed run resumes bitwise
+//! identical to an uninterrupted one. Version-1/2 files decode with
+//! `train: None` (weights-only checkpoints remain first-class; the field
+//! is optional in v3 too).
+//!
 //! The encoding is a pure function of the captured model state — no
 //! timestamps, pointers, padding or map iteration orders — so identical
 //! models produce identical bytes, and `f32` payloads are carried as raw
@@ -57,12 +79,14 @@ use srmac_qgemm::MacGemmConfig;
 use srmac_tensor::{Param, Sequential};
 
 use crate::error::CheckpointError;
+use crate::storage::{write_atomic, FsStorage, Storage};
+use crate::train_state::TrainState;
 
 /// File magic: the first four bytes of every srmac checkpoint.
 pub const MAGIC: [u8; 4] = *b"SRMC";
 
 /// The newest format version this crate writes.
-pub const FORMAT_VERSION: u16 = 2;
+pub const FORMAT_VERSION: u16 = 3;
 
 /// The oldest format version this crate still decodes.
 pub const MIN_FORMAT_VERSION: u16 = 1;
@@ -114,6 +138,9 @@ pub struct LayerRecord {
 pub struct Checkpoint {
     /// Checkpoint metadata.
     pub meta: CheckpointMeta,
+    /// The trainer snapshot for crash-tolerant resume (version 3+;
+    /// `None` for weights-only checkpoints and for v1/v2 files).
+    pub train: Option<TrainState>,
     /// Per-layer records, in model order.
     pub layers: Vec<LayerRecord>,
 }
@@ -140,7 +167,19 @@ impl Checkpoint {
                 state,
             });
         });
-        Self { meta, layers }
+        Self {
+            meta,
+            train: None,
+            layers,
+        }
+    }
+
+    /// Attaches a trainer snapshot (builder style) — the resumable-
+    /// checkpoint writer's hook.
+    #[must_use]
+    pub fn with_train_state(mut self, train: TrainState) -> Self {
+        self.train = Some(train);
+        self
     }
 
     /// Restores this checkpoint's tensors into `model`, which must have
@@ -262,7 +301,7 @@ impl Checkpoint {
         }
     }
 
-    /// Serializes to the version-1 binary layout (deterministic: equal
+    /// Serializes to the current binary layout (deterministic: equal
     /// checkpoints produce equal bytes).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
@@ -290,6 +329,13 @@ impl Checkpoint {
                 push_bytes(&mut out, spec.as_bytes());
             }
         }
+        match &self.train {
+            None => out.push(0),
+            Some(train) => {
+                out.push(1);
+                train.encode_into(&mut out);
+            }
+        }
         push_u32(&mut out, len_u32(self.layers.len(), "layer count"));
         for layer in &self.layers {
             push_bytes(&mut out, layer.name.as_bytes());
@@ -315,7 +361,7 @@ impl Checkpoint {
         out
     }
 
-    /// Parses a version-1 checkpoint.
+    /// Parses a checkpoint of any supported version.
     ///
     /// # Errors
     ///
@@ -381,6 +427,17 @@ impl Checkpoint {
         } else {
             None
         };
+        // The trainer snapshot exists from version 3 on; older files (and
+        // v3 weights-only files) decode with no train state.
+        let train = if version >= 3 {
+            match r.u8()? {
+                0 => None,
+                1 => Some(TrainState::decode_from(&mut r)?),
+                _ => return Err(r.malformed("train-state tag must be 0 or 1")),
+            }
+        } else {
+            None
+        };
         let layer_count = r.count()?;
         let mut layers = Vec::with_capacity(layer_count.min(r.remaining()));
         for _ in 0..layer_count {
@@ -427,6 +484,7 @@ impl Checkpoint {
                 engine,
                 numerics,
             },
+            train,
             layers,
         })
     }
@@ -460,6 +518,23 @@ pub fn save_model(
     model: &mut Sequential,
     meta: CheckpointMeta,
 ) -> Result<(), CheckpointError> {
+    save_model_with(&FsStorage, path.as_ref(), model, meta)
+}
+
+/// [`save_model`] over an explicit [`Storage`] — the hook the
+/// fault-injection suite and the trainer's auto-checkpointing use.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on storage failure (the temp file is
+/// removed on every failure path) and [`CheckpointError::BadPolicySpec`]
+/// for an invalid numerics policy string.
+pub fn save_model_with(
+    storage: &dyn Storage,
+    path: &Path,
+    model: &mut Sequential,
+    meta: CheckpointMeta,
+) -> Result<(), CheckpointError> {
     // Caller-supplied policy strings (config files, CLI flags) fail here
     // as a typed error; the panic inside `encode` stays as the backstop
     // for direct misuse of the lower-level API.
@@ -469,33 +544,8 @@ pub fn save_model(
             what,
         })?;
     }
-    // Writer-unique temp name (full target file name + pid + counter):
-    // concurrent saves — to the same path or to sibling paths sharing a
-    // stem — must never interleave through one temp file, or the atomic
-    // rename could land another writer's bytes.
-    static SAVE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let path = path.as_ref();
     let bytes = Checkpoint::capture(model, meta).encode();
-    let mut tmp_name = path
-        .file_name()
-        .ok_or_else(|| {
-            CheckpointError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "checkpoint path has no file name",
-            ))
-        })?
-        .to_os_string();
-    tmp_name.push(format!(
-        ".{}.{}.tmp",
-        std::process::id(),
-        SAVE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-    ));
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, &bytes)?;
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        std::fs::remove_file(&tmp).ok();
-        return Err(e.into());
-    }
+    write_atomic(storage, path, &bytes)?;
     Ok(())
 }
 
@@ -506,7 +556,38 @@ pub fn save_model(
 /// Returns a typed [`CheckpointError`] on I/O failure or any structural
 /// problem in the bytes.
 pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
-    Checkpoint::decode(&std::fs::read(path)?)
+    read_checkpoint_with(&FsStorage, path.as_ref())
+}
+
+/// [`read_checkpoint`] over an explicit [`Storage`].
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] on I/O failure or any structural
+/// problem in the bytes.
+pub fn read_checkpoint_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<Checkpoint, CheckpointError> {
+    Checkpoint::decode(&storage.read(path)?)
+}
+
+/// Peeks the wire-format version out of a checkpoint header without
+/// decoding the body — cheap provenance for resume diagnostics.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] or [`CheckpointError::Truncated`]
+/// when the bytes do not start with a checkpoint header.
+pub fn wire_version(bytes: &[u8]) -> Result<u16, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(
+            magic.try_into().expect("4 bytes"),
+        ));
+    }
+    r.u16()
 }
 
 /// Reads the checkpoint at `path` and restores it into `model`
@@ -564,7 +645,7 @@ fn push_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -573,7 +654,7 @@ fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
-fn push_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+pub(crate) fn push_f32s(out: &mut Vec<u8>, vals: &[f32]) {
     out.reserve(4 * vals.len());
     for v in vals {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -584,28 +665,28 @@ fn push_f32s(out: &mut Vec<u8>, vals: &[f32]) {
 /// is validated against the bytes actually remaining before any
 /// allocation, so hostile length fields cannot trigger huge allocations
 /// or out-of-bounds reads.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn malformed(&self, what: &'static str) -> CheckpointError {
+    pub(crate) fn malformed(&self, what: &'static str) -> CheckpointError {
         CheckpointError::Malformed {
             offset: self.pos,
             what,
         }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         if self.remaining() < n {
             return Err(CheckpointError::Truncated {
                 offset: self.pos,
@@ -617,7 +698,7 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
 
@@ -627,15 +708,21 @@ impl<'a> Reader<'a> {
         ))
     }
 
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
     /// A record count: each record needs at least one more byte, so a
     /// count beyond the remaining length is structurally impossible.
-    fn count(&mut self) -> Result<usize, CheckpointError> {
+    pub(crate) fn count(&mut self) -> Result<usize, CheckpointError> {
         let n = self.u32()? as usize;
         if n > self.remaining() {
             return Err(self.malformed("record count exceeds remaining bytes"));
@@ -649,7 +736,7 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| self.malformed("string is not UTF-8"))
     }
 
-    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+    pub(crate) fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
         let need = n
             .checked_mul(4)
             .ok_or_else(|| self.malformed("f32 payload length overflows"))?;

@@ -62,6 +62,15 @@ pub enum CheckpointError {
         /// Human-readable description of the first mismatch.
         what: String,
     },
+    /// Recovery scanned the whole keep-K rotation set and found no slot
+    /// that decodes to a valid checkpoint.
+    NoValidCheckpoint {
+        /// How many rotation slots were examined.
+        scanned: usize,
+    },
+    /// Resume was asked to continue from a checkpoint that carries no
+    /// trainer-state record (a weights-only save, or a pre-v3 file).
+    MissingTrainState,
 }
 
 impl fmt::Display for CheckpointError {
@@ -104,6 +113,15 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::ModelMismatch { what } => {
                 write!(f, "checkpoint does not fit the model: {what}")
+            }
+            CheckpointError::NoValidCheckpoint { scanned } => {
+                write!(
+                    f,
+                    "no valid checkpoint in the rotation set ({scanned} slots scanned)"
+                )
+            }
+            CheckpointError::MissingTrainState => {
+                write!(f, "checkpoint carries no trainer state to resume from")
             }
         }
     }

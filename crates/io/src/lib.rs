@@ -3,11 +3,19 @@
 //! A hand-rolled, versioned binary checkpoint format (no external
 //! dependencies) that round-trips any [`srmac_tensor::Sequential`] model
 //! **bitwise**: magic/version header, an architecture tag, the
-//! [`srmac_qgemm::MacGemmConfig`] the model was trained with, per-layer
-//! records carrying every parameter tensor and non-parameter state buffer
-//! (batch-norm running statistics included), little-endian `f32` bit
-//! patterns, and a trailing FNV-1a-64 checksum. See
+//! [`srmac_qgemm::MacGemmConfig`] the model was trained with, an optional
+//! numerics policy, an optional trainer-state record ([`TrainState`],
+//! format v3 — everything a resumed run needs to continue bitwise),
+//! per-layer records carrying every parameter tensor and non-parameter
+//! state buffer (batch-norm running statistics included), little-endian
+//! `f32` bit patterns, and a trailing FNV-1a-64 checksum. See
 //! [`checkpoint`] for the exact byte layout.
+//!
+//! Around the format sit the crash-tolerance layers: [`storage`] (the
+//! [`Storage`] trait, the real filesystem, and a fault-injecting
+//! failpoint wrapper for deterministic disk-failure tests) and
+//! [`rotation`] (atomic keep-K checkpoint rotation with bounded
+//! retry-with-backoff and a newest-valid-generation recovery scan).
 //!
 //! Guarantees:
 //!
@@ -20,6 +28,9 @@
 //!   version, bad checksum) yields a [`CheckpointError`], never a panic
 //!   and never silently-wrong weights (property-tested in
 //!   `tests/proptests.rs`).
+//! - **No partial files** — saves land via a writer-unique temp file and
+//!   an atomic rename, and the temp is removed on every failure path
+//!   (pinned by the fault-injection suite in `tests/fault_injection.rs`).
 //!
 //! # Example
 //!
@@ -57,12 +68,20 @@
 
 pub mod checkpoint;
 mod error;
+pub mod rotation;
+pub mod storage;
+pub mod train_state;
 
 pub use checkpoint::{
-    fnv1a64, load_model, read_checkpoint, save_model, Checkpoint, CheckpointMeta, LayerRecord,
-    TensorRecord, FORMAT_VERSION, MAGIC,
+    fnv1a64, load_model, read_checkpoint, read_checkpoint_with, save_model, save_model_with,
+    wire_version, Checkpoint, CheckpointMeta, LayerRecord, TensorRecord, FORMAT_VERSION, MAGIC,
 };
 pub use error::CheckpointError;
+pub use rotation::{recover_latest, save_rotating, slot_path, Recovery, RetryPolicy, SaveReport};
+pub use storage::{
+    unique_tmp_path, write_atomic, FailpointStorage, FaultKind, FaultOp, FsStorage, Storage,
+};
+pub use train_state::{HistoryRecord, TrainConfigRecord, TrainState};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,431 @@
+//! The storage abstraction checkpoint I/O runs on: a small [`Storage`]
+//! trait over the five primitives a checkpoint writer needs (write,
+//! rename, read, remove, exists), the real-filesystem implementation
+//! [`FsStorage`], and a fault-injecting wrapper [`FailpointStorage`] that
+//! turns "what if the disk fails mid-save?" into a deterministic unit
+//! test: injected errors on any primitive, torn (partial) writes, and a
+//! simulated mid-write process crash after which every operation fails.
+//!
+//! [`write_atomic`] is the one correct save sequence — write a
+//! writer-unique sibling temp file, then rename over the target — and it
+//! removes the temp file on **every** failure path (the legacy
+//! `save_model` leaked the partial `.tmp` when the write itself failed;
+//! the fault-injection suite pins the fix).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The checkpoint I/O primitives, object-safe so the trainer can hold an
+/// `Arc<dyn Storage>` and tests can substitute a failpoint layer. All
+/// methods are `&self`: implementations carry interior mutability where
+/// they need it (the filesystem itself is the mutable state for
+/// [`FsStorage`]).
+pub trait Storage: Send + Sync + std::fmt::Debug {
+    /// Writes `bytes` to `path`, creating or truncating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the file may be partially
+    /// written in that case (exactly like a real disk).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (POSIX rename semantics: `to` is
+    /// replaced if present).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Reads the full contents of `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (`NotFound` included).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Removes `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (`NotFound` included).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether `path` currently exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStorage;
+
+impl Storage for FsStorage {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Which storage primitive a fault attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// [`Storage::write`].
+    Write,
+    /// [`Storage::rename`].
+    Rename,
+    /// [`Storage::read`].
+    Read,
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails cleanly with an injected I/O error (nothing
+    /// written for writes).
+    Error,
+    /// A torn write: only the first `keep` bytes land on the underlying
+    /// storage, then the operation reports failure — the shape of a disk
+    /// filling up or a kernel buffer lost in a power cut. Only meaningful
+    /// on [`FaultOp::Write`]; on other ops it behaves like
+    /// [`FaultKind::Error`].
+    Torn(usize),
+    /// A simulated process crash mid-write: the first half of the bytes
+    /// land, and from then on **every** operation on this storage fails —
+    /// the process is "dead". Recovery is exercised by opening a fresh
+    /// storage over the same directory, exactly like a restarted process.
+    Crash,
+}
+
+#[derive(Debug)]
+struct FailState {
+    /// Armed faults: (op, zero-based op index at which to fire, kind).
+    faults: Vec<(FaultOp, u64, FaultKind)>,
+    /// Per-op call counters.
+    writes: u64,
+    renames: u64,
+    reads: u64,
+    /// Set once a [`FaultKind::Crash`] fired.
+    crashed: bool,
+}
+
+/// A [`Storage`] decorator that injects failures at scripted points —
+/// the failpoint layer behind the crash-tolerance test suite.
+///
+/// Faults are armed with [`FailpointStorage::fail_nth`] against the
+/// zero-based invocation index of a primitive ("the 2nd write fails
+/// torn"). Un-armed operations pass through to the inner storage.
+#[derive(Debug)]
+pub struct FailpointStorage<S: Storage> {
+    inner: S,
+    state: Mutex<FailState>,
+}
+
+impl<S: Storage> FailpointStorage<S> {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(FailState {
+                faults: Vec::new(),
+                writes: 0,
+                renames: 0,
+                reads: 0,
+                crashed: false,
+            }),
+        }
+    }
+
+    /// Arms a fault: the `n`-th invocation (zero-based) of `op` fires
+    /// `kind`. Multiple faults may be armed, including several on the
+    /// same op at different indices.
+    pub fn fail_nth(&self, op: FaultOp, n: u64, kind: FaultKind) {
+        self.lock().faults.push((op, n, kind));
+    }
+
+    /// Whether a [`FaultKind::Crash`] has fired (after which every
+    /// operation fails).
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Total invocations of `op` so far (fired faults included).
+    pub fn op_count(&self, op: FaultOp) -> u64 {
+        let s = self.lock();
+        match op {
+            FaultOp::Write => s.writes,
+            FaultOp::Rename => s.renames,
+            FaultOp::Read => s.reads,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FailState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Bumps the op counter and returns the fault armed for this
+    /// invocation, if any. Errors immediately when already crashed.
+    fn check(&self, op: FaultOp) -> io::Result<Option<FaultKind>> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(injected("storage crashed (simulated)"));
+        }
+        let n = match op {
+            FaultOp::Write => {
+                s.writes += 1;
+                s.writes - 1
+            }
+            FaultOp::Rename => {
+                s.renames += 1;
+                s.renames - 1
+            }
+            FaultOp::Read => {
+                s.reads += 1;
+                s.reads - 1
+            }
+        };
+        let hit = s
+            .faults
+            .iter()
+            .position(|&(fop, fn_, _)| fop == op && fn_ == n);
+        Ok(hit.map(|i| {
+            let (_, _, kind) = s.faults.remove(i);
+            if kind == FaultKind::Crash {
+                s.crashed = true;
+            }
+            kind
+        }))
+    }
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl<S: Storage> Storage for FailpointStorage<S> {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.check(FaultOp::Write)? {
+            None => self.inner.write(path, bytes),
+            Some(FaultKind::Error) => Err(injected("write error")),
+            Some(FaultKind::Torn(keep)) => {
+                let keep = keep.min(bytes.len());
+                self.inner.write(path, &bytes[..keep])?;
+                Err(injected("torn write"))
+            }
+            Some(FaultKind::Crash) => {
+                // Half the payload lands, then the "process" dies.
+                let keep = bytes.len() / 2;
+                self.inner.write(path, &bytes[..keep]).ok();
+                Err(injected("crash during write"))
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.check(FaultOp::Rename)? {
+            None => self.inner.rename(from, to),
+            Some(FaultKind::Crash) => Err(injected("crash during rename")),
+            Some(_) => Err(injected("rename error")),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.check(FaultOp::Read)? {
+            None => self.inner.read(path),
+            Some(FaultKind::Crash) => Err(injected("crash during read")),
+            Some(_) => Err(injected("read error")),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        // Removes are not fault-injectable (rotation treats them as
+        // best-effort), but a crashed storage stays dead for them too.
+        if self.lock().crashed {
+            return Err(injected("storage crashed (simulated)"));
+        }
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+/// Builds a writer-unique sibling temp path for `path`: the full target
+/// file name plus pid plus a process-global counter, so concurrent saves
+/// (to the same path or to siblings sharing a stem) never interleave
+/// through one temp file.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` when `path` has no file name.
+pub fn unique_tmp_path(path: &Path) -> io::Result<PathBuf> {
+    static SAVE_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint path has no file name",
+            )
+        })?
+        .to_os_string();
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SAVE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    Ok(path.with_file_name(tmp_name))
+}
+
+/// Writes `bytes` to `path` atomically: a writer-unique sibling temp file
+/// first, then a rename over the target — a crash between the two cannot
+/// leave a half-written file under the final name. The temp file is
+/// removed on **both** failure paths (write and rename), so a failed save
+/// leaves no `.tmp` litter behind.
+///
+/// # Errors
+///
+/// Returns the first I/O error (the temp-file cleanup itself is
+/// best-effort: on a dead disk there is nothing more to do).
+pub fn write_atomic(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = unique_tmp_path(path)?;
+    if let Err(e) = storage.write(&tmp, bytes) {
+        storage.remove(&tmp).ok();
+        return Err(e);
+    }
+    if let Err(e) = storage.rename(&tmp, path) {
+        storage.remove(&tmp).ok();
+        return Err(e);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("srmac_storage_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fs_storage_roundtrips() {
+        let dir = tmp_dir("fs");
+        let p = dir.join("a.bin");
+        let s = FsStorage;
+        s.write(&p, b"hello").unwrap();
+        assert!(s.exists(&p));
+        assert_eq!(s.read(&p).unwrap(), b"hello");
+        let q = dir.join("b.bin");
+        s.rename(&p, &q).unwrap();
+        assert!(!s.exists(&p));
+        assert_eq!(s.read(&q).unwrap(), b"hello");
+        s.remove(&q).unwrap();
+        assert!(!s.exists(&q));
+    }
+
+    #[test]
+    fn failpoint_fires_on_the_armed_invocation_only() {
+        let dir = tmp_dir("nth");
+        let s = FailpointStorage::new(FsStorage);
+        s.fail_nth(FaultOp::Write, 1, FaultKind::Error);
+        s.write(&dir.join("w0"), b"x").unwrap();
+        assert!(s.write(&dir.join("w1"), b"x").is_err());
+        s.write(&dir.join("w2"), b"x").unwrap();
+        assert_eq!(s.op_count(FaultOp::Write), 3);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let dir = tmp_dir("torn");
+        let p = dir.join("t.bin");
+        let s = FailpointStorage::new(FsStorage);
+        s.fail_nth(FaultOp::Write, 0, FaultKind::Torn(3));
+        assert!(s.write(&p, b"abcdef").is_err());
+        assert_eq!(std::fs::read(&p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn crash_poisons_every_later_operation() {
+        let dir = tmp_dir("crash");
+        let p = dir.join("c.bin");
+        let s = FailpointStorage::new(FsStorage);
+        s.fail_nth(FaultOp::Write, 0, FaultKind::Crash);
+        assert!(s.write(&p, b"abcdefgh").is_err());
+        assert!(s.crashed());
+        assert_eq!(std::fs::read(&p).unwrap(), b"abcd", "half landed");
+        assert!(s.read(&p).is_err(), "dead storage cannot read");
+        assert!(s.write(&dir.join("d"), b"x").is_err());
+        assert!(s.rename(&p, &dir.join("e")).is_err());
+    }
+
+    #[test]
+    fn write_atomic_cleans_up_on_write_failure() {
+        // The regression test for the save_model temp-file leak: a failed
+        // *write* (not just a failed rename) must remove the partial temp.
+        let dir = tmp_dir("leak");
+        let p = dir.join("model.srmc");
+        let s = FailpointStorage::new(FsStorage);
+        s.fail_nth(FaultOp::Write, 0, FaultKind::Torn(2));
+        assert!(write_atomic(&s, &p, b"payload").is_err());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "torn write must leave no temp litter: {leftovers:?}"
+        );
+    }
+
+    #[test]
+    fn write_atomic_cleans_up_on_rename_failure() {
+        let dir = tmp_dir("leak2");
+        let p = dir.join("model.srmc");
+        let s = FailpointStorage::new(FsStorage);
+        s.fail_nth(FaultOp::Rename, 0, FaultKind::Error);
+        assert!(write_atomic(&s, &p, b"payload").is_err());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "failed rename must leave no temp litter: {leftovers:?}"
+        );
+    }
+
+    #[test]
+    fn write_atomic_never_exposes_a_partial_target() {
+        // A torn write of the *temp* file must leave the target either
+        // absent or fully intact — never half-written.
+        let dir = tmp_dir("atomic");
+        let p = dir.join("model.srmc");
+        write_atomic(&FsStorage, &p, b"version-one").unwrap();
+        let s = FailpointStorage::new(FsStorage);
+        s.fail_nth(FaultOp::Write, 0, FaultKind::Torn(4));
+        assert!(write_atomic(&s, &p, b"version-two!").is_err());
+        assert_eq!(std::fs::read(&p).unwrap(), b"version-one");
+    }
+}

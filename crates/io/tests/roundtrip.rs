@@ -184,16 +184,45 @@ fn checkpoint_captures_batchnorm_running_stats() {
 }
 
 /// A faithful version-1 writer for back-compat testing: the v1 layout is
-/// exactly the v2 layout minus the numerics field, so we take the v2
-/// bytes of a policy-free checkpoint, drop that field, stamp version 1,
-/// and re-checksum.
-fn downgrade_to_v1(v2: &[u8], arch_len: usize, has_engine: bool) -> Vec<u8> {
-    let mut body = v2[..v2.len() - 8].to_vec();
+/// exactly the current layout minus the numerics field (v2) and the
+/// train-state field (v3), so we take the current bytes of a policy-free,
+/// state-free checkpoint, drop those two tag bytes, stamp version 1, and
+/// re-checksum.
+fn downgrade_to_v1(cur: &[u8], arch_len: usize, has_engine: bool) -> Vec<u8> {
+    let mut body = cur[..cur.len() - 8].to_vec();
     // magic(4) + version(2) + flags(2) + len(4) + arch + engine record.
     let numerics_tag = 12 + arch_len + 1 + if has_engine { 16 } else { 0 };
     assert_eq!(body[numerics_tag], 0, "fixture must carry no numerics");
+    assert_eq!(
+        body[numerics_tag + 1],
+        0,
+        "fixture must carry no train state"
+    );
+    body.remove(numerics_tag + 1);
     body.remove(numerics_tag);
     body[4..6].copy_from_slice(&1u16.to_le_bytes());
+    let checksum = srmac_io::fnv1a64(&body);
+    body.extend_from_slice(&checksum.to_le_bytes());
+    body
+}
+
+/// The v2 layout is the current one minus the train-state field.
+fn downgrade_to_v2(cur: &[u8], arch_len: usize, has_engine: bool) -> Vec<u8> {
+    let mut body = cur[..cur.len() - 8].to_vec();
+    let numerics_tag = 12 + arch_len + 1 + if has_engine { 16 } else { 0 };
+    let numerics_len = match body[numerics_tag] {
+        0 => 1,
+        _ => {
+            let len =
+                u32::from_le_bytes(body[numerics_tag + 1..numerics_tag + 5].try_into().unwrap())
+                    as usize;
+            1 + 4 + len
+        }
+    };
+    let train_tag = numerics_tag + numerics_len;
+    assert_eq!(body[train_tag], 0, "fixture must carry no train state");
+    body.remove(train_tag);
+    body[4..6].copy_from_slice(&2u16.to_le_bytes());
     let checksum = srmac_io::fnv1a64(&body);
     body.extend_from_slice(&checksum.to_le_bytes());
     body
@@ -255,6 +284,7 @@ fn version_1_checkpoints_still_decode() {
     let ckpt = Checkpoint::decode(&v1).expect("v1 decodes");
     assert_eq!(ckpt.meta.arch, arch);
     assert_eq!(ckpt.meta.numerics, None, "v1 carries no policy");
+    assert!(ckpt.train.is_none(), "v1 carries no train state");
     let eng = ckpt.meta.engine.expect("v1 engine record");
     assert_eq!(eng.seed, 9);
     let mut restored = resnet::resnet20(&engine, 4, 10, 999);
@@ -262,15 +292,22 @@ fn version_1_checkpoints_still_decode() {
     let (x, _) = data::synth_cifar10(2, 8, 3).batch(&[0, 1]);
     assert_eq!(logits_bits(&mut model, &x), logits_bits(&mut restored, &x));
 
+    // v2 (numerics, no train state) decodes as well.
+    let v2_bytes = downgrade_to_v2(&v2, arch.len(), true);
+    let ckpt2 = Checkpoint::decode(&v2_bytes).expect("v2 decodes");
+    assert_eq!(ckpt2.meta.arch, arch);
+    assert!(ckpt2.train.is_none(), "v2 carries no train state");
+    assert_eq!(srmac_io::wire_version(&v2_bytes).unwrap(), 2);
+
     // Versions beyond the writer's remain typed errors.
     let mut future = v2.clone();
     let body_len = future.len() - 8;
-    future[4..6].copy_from_slice(&3u16.to_le_bytes());
+    future[4..6].copy_from_slice(&4u16.to_le_bytes());
     let checksum = srmac_io::fnv1a64(&future[..body_len]);
     future[body_len..].copy_from_slice(&checksum.to_le_bytes());
     assert!(matches!(
         Checkpoint::decode(&future),
-        Err(srmac_io::CheckpointError::UnsupportedVersion(3))
+        Err(srmac_io::CheckpointError::UnsupportedVersion(4))
     ));
 }
 

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod blocks;
+pub mod ckpt;
 pub mod data;
 pub mod diag;
 pub mod resnet;
@@ -39,6 +40,7 @@ pub mod trainer;
 pub mod vgg;
 
 pub use blocks::ResidualBlock;
+pub use ckpt::{CkptOptions, DEFAULT_KEEP};
 pub use data::{shard_spans, synth_cifar10, synth_imagewoof, Dataset, NUM_CLASSES};
 pub use diag::{DiagCode, DiagSink, Diagnostic, Severity};
 pub use serve::{

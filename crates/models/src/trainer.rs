@@ -10,9 +10,24 @@
 //! At a fixed gradient-shard count, training bits are invariant to the
 //! replica count and the pool size (see the [`Trainer`] docs for the full
 //! contract); [`train`] remains the one-call entry point.
+//!
+//! Training is also **crash-tolerant**: [`Trainer::checkpoint_every`]
+//! auto-saves the model *and* the full trainer state (optimizer momentum,
+//! loss-scaler trajectory, shuffle-RNG position, epoch/step cursor,
+//! mid-epoch loss partials, accumulated history) into an atomic keep-K
+//! rotation, and [`Trainer::resume`] reconstructs a trainer that
+//! continues the run such that the completed [`History`] is **bitwise
+//! identical** to an uninterrupted one — under the exact-f32 engine, the
+//! paper's SR MACs, and mixed per-role policies alike (pinned by
+//! `tests/resume.rs`).
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use srmac_io::{
+    recover_latest, save_rotating, CheckpointError, CheckpointMeta, FsStorage, RetryPolicy,
+    SaveReport, Storage, TrainState,
+};
 use srmac_rng::SplitMix64;
 use srmac_tensor::layers::Layer;
 use srmac_tensor::{
@@ -20,7 +35,12 @@ use srmac_tensor::{
     Runtime, Sequential, Sgd, Tensor,
 };
 
+use crate::ckpt::{
+    codes, config_from_record, config_record, history_from_record, history_record, CkptOptions,
+    DEFAULT_KEEP,
+};
 use crate::data::{shard_spans, Dataset};
+use crate::diag::{DiagSink, Diagnostic, Severity};
 
 /// Hyperparameters (defaults follow the paper's ResNet-20 settings:
 /// momentum 0.9, initial loss scale 1024, cosine annealing).
@@ -93,6 +113,10 @@ pub struct History {
     pub nonfinite_batches: usize,
     /// Final loss scale.
     pub final_scale: f32,
+    /// Checkpoint saves that exhausted their retry budget (graceful
+    /// degradation: training continued, the failures are counted here and
+    /// diagnosed as `ckpt::retry-exhausted`).
+    pub ckpt_save_failures: usize,
 }
 
 impl History {
@@ -241,6 +265,28 @@ pub struct Trainer {
     rng: SplitMix64,
     history: History,
     runtime: Arc<Runtime>,
+    /// The run cursor: (epoch, optimizer steps completed inside it).
+    /// `(cfg.epochs, 0)` marks a completed run.
+    cursor: (usize, usize),
+    /// Mid-epoch running loss sum over finite batches (f64, like the
+    /// epoch mean it feeds).
+    epoch_loss: f64,
+    /// Mid-epoch finite-batch count.
+    finite_batches: usize,
+    /// Training-set length of the run (pinned at `run` start; a resumed
+    /// trainer checks the dataset it is handed against it).
+    train_len: u64,
+    /// Auto-checkpoint policy, when armed.
+    ckpt: Option<CkptOptions>,
+    /// Diagnostic sink for `ckpt::*` / `train::*` events.
+    diag: Option<DiagSink>,
+    /// Stop after this many total optimizer steps (test/interrupt hook).
+    halt_after: Option<usize>,
+    /// Expected RNG state after replaying the resumed run's shuffles —
+    /// verified once, at the resume epoch's shuffle.
+    resume_rng_state: Option<u64>,
+    /// Expected training-set length for a resumed run.
+    resume_train_len: Option<u64>,
 }
 
 impl Trainer {
@@ -262,18 +308,112 @@ impl Trainer {
             rng: SplitMix64::new(cfg.seed),
             history: History::default(),
             runtime: Arc::clone(Runtime::global()),
+            cursor: (0, 0),
+            epoch_loss: 0.0,
+            finite_batches: 0,
+            train_len: 0,
+            ckpt: None,
+            diag: None,
+            halt_after: None,
+            resume_rng_state: None,
+            resume_train_len: None,
         }
     }
 
     /// Replaces the runtime used for batch assembly, replica dispatch,
     /// gradient reduction, and the optimizer's chunked update (default:
     /// [`Runtime::global`]). Training bits never depend on the choice.
+    /// Restored optimizer state (a resumed trainer's momentum buffers)
+    /// survives the swap.
     #[must_use]
     pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
-        self.opt =
-            Sgd::new(self.cfg.momentum, self.cfg.weight_decay).with_runtime(Arc::clone(&runtime));
+        self.opt.set_runtime(Arc::clone(&runtime));
         self.runtime = runtime;
         self
+    }
+
+    /// Arms auto-checkpointing: every `every` optimizer steps (counted
+    /// across epochs), the model and the full trainer state are saved to
+    /// the keep-K rotation at `path` (`ckpt.srmc`, `ckpt.1.srmc`, …)
+    /// atomically, with bounded retry; one final save lands at run
+    /// completion regardless of cadence. `meta` is stamped on every save
+    /// — give it the architecture tag and numerics/engine info a resumer
+    /// needs to rebuild the model. Defaults: keep 3 generations
+    /// ([`DEFAULT_KEEP`]), [`RetryPolicy::default`], the real filesystem.
+    #[must_use]
+    pub fn checkpoint_every(
+        mut self,
+        every: usize,
+        path: impl Into<PathBuf>,
+        meta: CheckpointMeta,
+    ) -> Self {
+        self.ckpt = Some(CkptOptions {
+            every,
+            path: path.into(),
+            meta,
+            keep: DEFAULT_KEEP,
+            retry: RetryPolicy::default(),
+            storage: Arc::new(FsStorage),
+        });
+        self
+    }
+
+    /// Sets the rotation depth (generations kept, head included).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Trainer::checkpoint_every`] was called first.
+    #[must_use]
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.ckpt_options_mut().keep = keep;
+        self
+    }
+
+    /// Sets the per-save retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Trainer::checkpoint_every`] was called first.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.ckpt_options_mut().retry = retry;
+        self
+    }
+
+    /// Routes checkpoint I/O through an explicit [`Storage`] — the
+    /// fault-injection hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Trainer::checkpoint_every`] was called first.
+    #[must_use]
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.ckpt_options_mut().storage = storage;
+        self
+    }
+
+    /// Attaches a diagnostic sink; checkpoint saves, failures, and
+    /// resume provenance are reported as `ckpt::*` / `train::*` events.
+    #[must_use]
+    pub fn with_diag(mut self, diag: DiagSink) -> Self {
+        self.diag = Some(diag);
+        self
+    }
+
+    /// Stops [`Trainer::run`] after `n` total optimizer steps (counted
+    /// across epochs), returning the partial history — the deterministic
+    /// "kill the process here" hook the crash-recovery tests and the
+    /// interrupt demo are built on.
+    #[must_use]
+    pub fn halt_after(mut self, n: usize) -> Self {
+        self.halt_after = Some(n);
+        self
+    }
+
+    fn ckpt_options_mut(&mut self) -> &mut CkptOptions {
+        self.ckpt
+            .as_mut()
+            .expect("configure checkpointing with checkpoint_every(..) first")
     }
 
     /// The resolved gradient-shard count `S` (after `0 -> replicas`).
@@ -293,14 +433,47 @@ impl Trainer {
     /// one [`Trainer::train_step`] per minibatch, then an [`evaluate`]
     /// pass — and returns the completed [`History`].
     ///
+    /// A trainer built by [`Trainer::resume`] continues from its saved
+    /// epoch/step cursor instead of the beginning: the shuffles the
+    /// interrupted run already consumed are replayed from the seed (the
+    /// RNG is touched only by the shuffle, so the permutation and the RNG
+    /// state at any epoch are pure functions of seed × epoch index), the
+    /// landing state is verified against the checkpoint, and the
+    /// already-completed steps of the resume epoch are skipped. The
+    /// completed [`History`] is bitwise identical to the uninterrupted
+    /// run's.
+    ///
     /// # Panics
     ///
-    /// Panics if `batch_size == 0`, or (at `S > 1`) if a model layer does
+    /// Panics if `batch_size == 0`, if a resumed run is handed a training
+    /// set whose length differs from the checkpointed one, if the
+    /// replayed shuffle RNG does not land on the checkpointed state
+    /// (dataset or seed changed), or (at `S > 1`) if a model layer does
     /// not support replication.
     pub fn run(mut self, model: &mut Sequential, train: &Dataset, test: &Dataset) -> History {
         let cfg = self.cfg;
         assert!(cfg.batch_size > 0, "training needs a nonzero batch size");
+        if let Some(expected) = self.resume_train_len {
+            assert_eq!(
+                train.len() as u64,
+                expected,
+                "resumed run must see the training set it was checkpointed with \
+                 ({expected} samples)"
+            );
+        }
+        self.train_len = train.len() as u64;
+        let steps_per_epoch = train.len().div_ceil(cfg.batch_size);
+        let (start_epoch, start_step) = self.cursor;
         let mut order: Vec<usize> = (0..train.len()).collect();
+        // Replay the shuffles a resumed run already consumed.
+        for _ in 0..start_epoch.min(cfg.epochs) {
+            self.shuffle(&mut order);
+        }
+        if start_epoch >= cfg.epochs {
+            // Resumed a run that had already completed (final checkpoint).
+            self.verify_resume_rng();
+            return self.history;
+        }
         // One reused batch buffer for the whole run (only the final ragged
         // batch of an epoch reshapes it); assembled on the trainer's
         // runtime.
@@ -308,29 +481,45 @@ impl Trainer {
         let s = train.image_size();
         let mut x = Tensor::zeros(&[cfg.batch_size.min(train.len().max(1)), 3, s, s]);
         let mut labels = Vec::with_capacity(cfg.batch_size);
-        for epoch in 0..cfg.epochs {
+        for epoch in start_epoch..cfg.epochs {
             let lr = self.schedule.at(epoch);
-            // Fisher-Yates shuffle.
-            for i in (1..order.len()).rev() {
-                let j = self.rng.next_below(i as u64 + 1) as usize;
-                order.swap(i, j);
+            self.shuffle(&mut order);
+            if epoch == start_epoch {
+                // The checkpointed RNG state was captured after the resume
+                // epoch's shuffle — the replay must land exactly on it.
+                self.verify_resume_rng();
             }
-            let mut epoch_loss = 0.0f64;
-            let mut finite_batches = 0usize;
-            for chunk in order.chunks(cfg.batch_size) {
+            let skip = if epoch == start_epoch { start_step } else { 0 };
+            self.cursor = (epoch, skip);
+            for chunk in order.chunks(cfg.batch_size).skip(skip) {
                 if x.shape()[0] != chunk.len() {
                     x = Tensor::zeros(&[chunk.len(), 3, s, s]);
                 }
                 train.batch_into(&rt, chunk, &mut x, &mut labels);
                 let loss = self.train_step(model, &x, &labels, lr);
                 if loss.is_finite() {
-                    epoch_loss += f64::from(loss);
-                    finite_batches += 1;
+                    self.epoch_loss += f64::from(loss);
+                    self.finite_batches += 1;
+                }
+                self.cursor.1 += 1;
+                let total = epoch * steps_per_epoch + self.cursor.1;
+                if self
+                    .ckpt
+                    .as_ref()
+                    .is_some_and(|c| c.every > 0 && total.is_multiple_of(c.every))
+                {
+                    self.autosave(model);
+                }
+                if self.halt_after.is_some_and(|h| total >= h) {
+                    // The deterministic interrupt: the partial history goes
+                    // back as-is. Resume recomputes any steps past the last
+                    // save — the halt need not coincide with one.
+                    return self.history;
                 }
             }
             let acc = evaluate(model, test, cfg.batch_size);
-            self.history.train_loss.push(if finite_batches > 0 {
-                (epoch_loss / finite_batches as f64) as f32
+            self.history.train_loss.push(if self.finite_batches > 0 {
+                (self.epoch_loss / self.finite_batches as f64) as f32
             } else {
                 f32::NAN
             });
@@ -345,9 +534,218 @@ impl Trainer {
                     self.scaler.scale(),
                 );
             }
+            self.cursor = (epoch + 1, 0);
+            self.epoch_loss = 0.0;
+            self.finite_batches = 0;
         }
         self.history.final_scale = self.scaler.scale();
+        if self.ckpt.is_some() {
+            // Final save at cursor (epochs, 0): a resume of a finished run
+            // returns the completed history without touching the model.
+            self.autosave(model);
+        }
         self.history
+    }
+
+    /// One Fisher-Yates pass over `order` driven by the trainer's RNG —
+    /// the **only** consumer of `self.rng`, which is what makes shuffle
+    /// replay on resume sound.
+    fn shuffle(&mut self, order: &mut [usize]) {
+        for i in (1..order.len()).rev() {
+            let j = self.rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+    }
+
+    /// Checks the replayed RNG against the checkpointed state, once.
+    fn verify_resume_rng(&mut self) {
+        if let Some(expected) = self.resume_rng_state.take() {
+            assert_eq!(
+                self.rng.state(),
+                expected,
+                "replayed shuffle RNG diverged from the checkpoint — the training \
+                 set or the seed changed since the save"
+            );
+        }
+    }
+
+    /// Snapshots the full trainer state for persistence.
+    fn capture_train_state(&self) -> TrainState {
+        TrainState {
+            epoch: self.cursor.0 as u32,
+            step: self.cursor.1 as u32,
+            rng_state: self.rng.state(),
+            scaler_scale: self.scaler.scale(),
+            scaler_good_steps: self.scaler.good_steps(),
+            scaler_growth_interval: self.scaler.growth_interval,
+            epoch_loss: self.epoch_loss,
+            finite_batches: self.finite_batches as u32,
+            config: config_record(&self.cfg, self.grad_shards, self.train_len),
+            history: history_record(&self.history),
+            velocities: self.opt.velocity_state(),
+        }
+    }
+
+    /// Saves the model plus the full trainer state to the configured
+    /// keep-K rotation right now, regardless of cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's error when every retry failed; older
+    /// rotation generations stay intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Trainer::checkpoint_every`] was called first.
+    pub fn checkpoint_now(
+        &mut self,
+        model: &mut Sequential,
+    ) -> Result<SaveReport, CheckpointError> {
+        let state = self.capture_train_state();
+        let opts = self
+            .ckpt
+            .as_ref()
+            .expect("configure checkpointing with checkpoint_every(..) first");
+        let bytes = srmac_io::Checkpoint::capture(model, opts.meta.clone())
+            .with_train_state(state)
+            .encode();
+        save_rotating(
+            opts.storage.as_ref(),
+            &opts.path,
+            &bytes,
+            opts.keep,
+            opts.retry,
+        )
+    }
+
+    /// The cadence save: never fatal. A save that needed retries is
+    /// surfaced as a `ckpt::save-failed` warning; one that exhausted them
+    /// is counted in [`History::ckpt_save_failures`] and diagnosed as
+    /// `ckpt::retry-exhausted`, and training continues.
+    fn autosave(&mut self, model: &mut Sequential) {
+        match self.checkpoint_now(model) {
+            Ok(report) => {
+                if report.attempts > 1 {
+                    if let Some(d) = &self.diag {
+                        d.emit(
+                            Diagnostic::new(
+                                Severity::Warning,
+                                codes::SAVE_FAILED,
+                                "checkpoint save attempt failed; a retry landed it",
+                            )
+                            .field("attempts", report.attempts.to_string()),
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                self.history.ckpt_save_failures += 1;
+                if let Some(d) = &self.diag {
+                    d.emit(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::RETRY_EXHAUSTED,
+                            "checkpoint save exhausted its retry budget; training continues",
+                        )
+                        .field("error", e.to_string()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reconstructs a trainer (and `model`'s weights) from the newest
+    /// valid checkpoint in the rotation set at `path`, such that
+    /// [`Trainer::run`] continues the interrupted run **bitwise
+    /// identically** to an uninterrupted one.
+    ///
+    /// The caller supplies a model of the same architecture (same layers,
+    /// same engines — the checkpoint's metadata records which); weights,
+    /// optimizer momentum, loss-scaler trajectory, RNG position, cursor,
+    /// and history all come from the checkpoint. Re-arm auto-checkpointing
+    /// with [`Trainer::checkpoint_every`] if the continued run should keep
+    /// saving.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoValidCheckpoint`] when no rotation slot
+    /// decodes; [`CheckpointError::MissingTrainState`] when the newest
+    /// valid one is a plain model checkpoint (pre-v3 or saved without a
+    /// trainer); [`CheckpointError::ModelMismatch`] when `model` does not
+    /// match the checkpointed architecture.
+    pub fn resume(path: impl AsRef<Path>, model: &mut Sequential) -> Result<Self, CheckpointError> {
+        Self::resume_with(&FsStorage, path.as_ref(), model, None)
+    }
+
+    /// [`Trainer::resume`] through an explicit [`Storage`], optionally
+    /// reporting provenance to `diag`: a `train::resume-version` info
+    /// event always, plus a `ckpt::corrupt-head-fallback` warning when
+    /// the rotation head was unusable and an older generation was used.
+    pub fn resume_with(
+        storage: &dyn Storage,
+        path: &Path,
+        model: &mut Sequential,
+        diag: Option<&DiagSink>,
+    ) -> Result<Self, CheckpointError> {
+        let rec = recover_latest(storage, path)?;
+        let state = rec
+            .checkpoint
+            .train
+            .clone()
+            .ok_or(CheckpointError::MissingTrainState)?;
+        rec.checkpoint.apply_to(model)?;
+        let cfg = config_from_record(&state.config);
+        let mut t = Trainer::new(&cfg);
+        t.scaler = LossScaler::from_parts(
+            state.scaler_scale,
+            state.scaler_good_steps,
+            state.scaler_growth_interval,
+        );
+        t.opt
+            .restore_velocities(model, &state.velocities)
+            .map_err(|what| CheckpointError::ModelMismatch { what })?;
+        t.history = history_from_record(&state.history);
+        t.cursor = (state.epoch as usize, state.step as usize);
+        t.epoch_loss = state.epoch_loss;
+        t.finite_batches = state.finite_batches as usize;
+        t.resume_rng_state = Some(state.rng_state);
+        t.resume_train_len = Some(state.config.train_len);
+        if let Some(d) = diag {
+            if rec.slot > 0 {
+                let mut diag_fallback = Diagnostic::new(
+                    Severity::Warning,
+                    codes::CORRUPT_HEAD_FALLBACK,
+                    "rotation head unusable; resumed from an older generation",
+                )
+                .field("slot", rec.slot.to_string());
+                if let Some((p, e)) = rec.rejected.first() {
+                    diag_fallback = diag_fallback
+                        .field("head", p.display().to_string())
+                        .field("head_error", e.to_string());
+                }
+                d.emit(diag_fallback);
+            }
+            let version = storage
+                .read(&rec.path)
+                .ok()
+                .and_then(|b| srmac_io::wire_version(&b).ok());
+            d.emit(
+                Diagnostic::new(
+                    Severity::Info,
+                    codes::RESUME,
+                    "training resumed from checkpoint",
+                )
+                .field("path", rec.path.display().to_string())
+                .field(
+                    "wire_version",
+                    version.map_or_else(|| "?".into(), |v| v.to_string()),
+                )
+                .field("epoch", state.epoch.to_string())
+                .field("step", state.step.to_string()),
+            );
+            t.diag = Some(d.clone());
+        }
+        Ok(t)
     }
 
     /// Executes one optimizer step on an assembled minibatch (`x` holds
@@ -753,6 +1151,7 @@ mod tests {
             skipped_steps: 2,
             nonfinite_batches: 4,
             final_scale: 512.0,
+            ckpt_save_failures: 0,
         };
         assert_eq!(h.epochs(), 2);
         assert_eq!(h.best_accuracy(), 10.0, "NaN accuracy must be ignored");

@@ -1,0 +1,285 @@
+//! The crash-tolerance matrix: training interrupted at an arbitrary step
+//! and resumed from the keep-K rotation must complete with a [`History`]
+//! **bitwise identical** to the uninterrupted run's — under the exact-f32
+//! engine, the paper's stochastic-rounding MAC, and a mixed per-role
+//! policy alike — and checkpoint I/O failures must degrade gracefully
+//! (counted and diagnosed, never fatal, never changing the training
+//! bits).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use srmac_io::{
+    CheckpointError, CheckpointMeta, FailpointStorage, FaultKind, FaultOp, FsStorage, RetryPolicy,
+};
+use srmac_models::ckpt::codes;
+use srmac_models::diag::{DiagSink, Severity};
+use srmac_models::{data, resnet, History, TrainConfig, Trainer};
+use srmac_qgemm::numerics_from_spec;
+use srmac_tensor::Sequential;
+
+const WIDTH: usize = 2;
+const SIZE: usize = 8;
+
+/// The three numerics regimes the bitwise-resume guarantee is pinned
+/// under: exact f32, the paper's eager-SR pick, and a mixed per-role
+/// policy (RN forward, SR backward).
+const POLICIES: [&str; 3] = ["f32", "fp8_fp12_sr13", "fwd=fp8_fp12_rn;bwd=fp8_fp12_sr13"];
+
+fn net(spec: &str) -> Sequential {
+    let numerics = numerics_from_spec(spec).expect("valid policy spec");
+    resnet::resnet20_with(&numerics, WIDTH, data::NUM_CLASSES, 42)
+}
+
+fn datasets() -> (data::Dataset, data::Dataset) {
+    (
+        data::synth_cifar10(30, SIZE, 3),
+        data::synth_cifar10(20, SIZE, 4),
+    )
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 10, // 3 steps per epoch, 6 total
+        lr: 0.05,
+        ..TrainConfig::default()
+    }
+}
+
+fn meta(spec: &str) -> CheckpointMeta {
+    CheckpointMeta {
+        arch: format!("resnet20-w{WIDTH}-c{}", data::NUM_CLASSES),
+        engine: None,
+        numerics: Some(spec.to_string()),
+    }
+}
+
+/// A unique scratch directory per test (best-effort cleanup).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srmac_resume_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Everything the bitwise guarantee covers, as raw bits.
+fn bits(h: &History) -> (Vec<u32>, Vec<u32>, usize, usize, u32) {
+    (
+        h.train_loss.iter().map(|l| l.to_bits()).collect(),
+        h.test_acc.iter().map(|a| a.to_bits()).collect(),
+        h.skipped_steps,
+        h.nonfinite_batches,
+        h.final_scale.to_bits(),
+    )
+}
+
+#[test]
+fn kill_at_any_step_resumes_bitwise_under_every_policy() {
+    let (train_ds, test_ds) = datasets();
+    let dir = scratch("matrix");
+    for spec in POLICIES {
+        // The golden, uninterrupted run.
+        let mut golden_net = net(spec);
+        let golden = Trainer::new(&cfg()).run(&mut golden_net, &train_ds, &test_ds);
+        assert!(
+            golden.train_loss.iter().all(|l| l.is_finite()),
+            "{spec}: golden run must train"
+        );
+
+        // Kill at the first step, mid-run, and after the last step of an
+        // epoch (checkpoint taken before the evaluation pass — the
+        // nastiest cursor position).
+        for k in [1usize, 3, 5] {
+            let path = dir.join(format!(
+                "{}_{k}.srmc",
+                spec.replace(|c: char| !c.is_alphanumeric(), "_")
+            ));
+            let mut victim = net(spec);
+            let partial = Trainer::new(&cfg())
+                .checkpoint_every(1, &path, meta(spec))
+                .halt_after(k)
+                .run(&mut victim, &train_ds, &test_ds);
+            assert!(
+                partial.epochs() < golden.epochs() || k >= 6,
+                "{spec}: halting at step {k} must interrupt the run"
+            );
+
+            // A "restarted process": fresh same-seeded model, trainer
+            // rebuilt purely from the rotation set.
+            let mut revived = net(spec);
+            let resumed = Trainer::resume(&path, &mut revived)
+                .expect("rotation set holds a valid checkpoint")
+                .run(&mut revived, &train_ds, &test_ds);
+            assert_eq!(
+                bits(&golden),
+                bits(&resumed),
+                "{spec}: resume after kill at step {k} must be bitwise identical"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_recomputes_steps_past_the_last_checkpoint() {
+    // The halt need not coincide with a save: with a cadence of 2 and a
+    // kill at step 3, the head checkpoint sits at step 2 and the resumed
+    // run recomputes step 3 — deterministically, so the history is still
+    // bit-equal.
+    let (train_ds, test_ds) = datasets();
+    let dir = scratch("stale_head");
+    let path = dir.join("ckpt.srmc");
+
+    let mut golden_net = net("f32");
+    let golden = Trainer::new(&cfg()).run(&mut golden_net, &train_ds, &test_ds);
+
+    let mut victim = net("f32");
+    Trainer::new(&cfg())
+        .checkpoint_every(2, &path, meta("f32"))
+        .halt_after(3)
+        .run(&mut victim, &train_ds, &test_ds);
+
+    let mut revived = net("f32");
+    let resumed = Trainer::resume(&path, &mut revived)
+        .expect("checkpoint at step 2 exists")
+        .run(&mut revived, &train_ds, &test_ds);
+    assert_eq!(bits(&golden), bits(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resuming_a_completed_run_returns_its_history_untouched() {
+    // The final save lands at cursor (epochs, 0); resuming it replays the
+    // shuffles, verifies the RNG landing, and hands back the completed
+    // history without running a single step.
+    let (train_ds, test_ds) = datasets();
+    let dir = scratch("completed");
+    let path = dir.join("ckpt.srmc");
+
+    let mut model = net("f32");
+    let done = Trainer::new(&cfg())
+        .checkpoint_every(0, &path, meta("f32")) // cadence off: final save only
+        .run(&mut model, &train_ds, &test_ds);
+
+    let mut revived = net("f32");
+    let resumed = Trainer::resume(&path, &mut revived)
+        .expect("final checkpoint exists")
+        .run(&mut revived, &train_ds, &test_ds);
+    assert_eq!(bits(&done), bits(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_save_retries_degrade_gracefully() {
+    // Every write fails: each cadence save exhausts its retries. Training
+    // must run to completion anyway, with the failures counted in the
+    // history and diagnosed as ckpt::retry-exhausted — and the training
+    // bits identical to a run with no checkpointing at all.
+    let (train_ds, test_ds) = datasets();
+    let dir = scratch("degraded");
+    let path = dir.join("ckpt.srmc");
+
+    let mut plain_net = net("f32");
+    let plain = Trainer::new(&cfg()).run(&mut plain_net, &train_ds, &test_ds);
+
+    let storage = Arc::new(FailpointStorage::new(FsStorage));
+    for n in 0..256 {
+        storage.fail_nth(FaultOp::Write, n, FaultKind::Error);
+    }
+    let diag = DiagSink::with_capacity(64);
+    let mut victim = net("f32");
+    let h = Trainer::new(&cfg())
+        .checkpoint_every(1, &path, meta("f32"))
+        .with_storage(storage)
+        .with_retry(RetryPolicy {
+            attempts: 2,
+            backoff: std::time::Duration::ZERO,
+        })
+        .with_diag(diag.clone())
+        .run(&mut victim, &train_ds, &test_ds);
+
+    assert_eq!(h.ckpt_save_failures, 7, "6 cadence saves + the final save");
+    assert_eq!(
+        (bits(&plain).0, bits(&plain).1),
+        (bits(&h).0, bits(&h).1),
+        "failing checkpoint I/O must not change the training bits"
+    );
+    let snapshot = diag.snapshot();
+    assert!(
+        snapshot
+            .iter()
+            .any(|d| d.code == codes::RETRY_EXHAUSTED && d.severity == Severity::Error),
+        "retry exhaustion must be diagnosed: {snapshot:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_head_resumes_from_an_older_generation_with_a_diagnostic() {
+    let (train_ds, test_ds) = datasets();
+    let dir = scratch("corrupt_head");
+    let path = dir.join("ckpt.srmc");
+
+    let mut victim = net("f32");
+    Trainer::new(&cfg())
+        .checkpoint_every(1, &path, meta("f32"))
+        .halt_after(4)
+        .run(&mut victim, &train_ds, &test_ds);
+
+    // Flip a byte in the head: its checksum breaks, the previous
+    // generation (step 3) takes over.
+    let mut head = std::fs::read(&path).expect("head exists");
+    let mid = head.len() / 2;
+    head[mid] ^= 0x40;
+    std::fs::write(&path, &head).expect("corrupt the head");
+
+    let diag = DiagSink::with_capacity(16);
+    let mut revived = net("f32");
+    let trainer = Trainer::resume_with(&FsStorage, &path, &mut revived, Some(&diag))
+        .expect("an older generation is still valid");
+    let snapshot = diag.snapshot();
+    assert!(
+        snapshot
+            .iter()
+            .any(|d| d.code == codes::CORRUPT_HEAD_FALLBACK && d.severity == Severity::Warning),
+        "the fallback must be diagnosed: {snapshot:?}"
+    );
+    assert!(
+        snapshot.iter().any(|d| d.code == codes::RESUME),
+        "resume provenance must be diagnosed: {snapshot:?}"
+    );
+
+    // And the resumed run still completes bit-identically: the fallback
+    // generation is one step older, so one extra step is recomputed.
+    let mut golden_net = net("f32");
+    let golden = Trainer::new(&cfg()).run(&mut golden_net, &train_ds, &test_ds);
+    let resumed = trainer.run(&mut revived, &train_ds, &test_ds);
+    assert_eq!(bits(&golden), bits(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_failures_are_typed() {
+    let dir = scratch("typed_errors");
+    let mut model = net("f32");
+
+    // No rotation set at all.
+    let err = Trainer::resume(dir.join("nothing.srmc"), &mut model)
+        .expect_err("empty rotation set cannot resume");
+    assert!(
+        matches!(err, CheckpointError::NoValidCheckpoint { .. }),
+        "got {err:?}"
+    );
+
+    // A weights-only checkpoint (no trainer snapshot) is loadable but not
+    // resumable.
+    let weights_only = dir.join("weights.srmc");
+    srmac_io::save_model(&weights_only, &mut model, meta("f32")).expect("save");
+    let err = Trainer::resume(&weights_only, &mut model)
+        .expect_err("a plain model checkpoint carries no trainer state");
+    assert!(
+        matches!(err, CheckpointError::MissingTrainState),
+        "got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -263,6 +263,15 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The current generator state. `SplitMix64::new(state)` reconstructs
+    /// a generator that continues the exact same word sequence — the hook
+    /// checkpoint/resume paths use to persist and verify RNG positions.
+    #[inline]
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next 64-bit word.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -50,6 +50,13 @@ impl Sgd {
         self
     }
 
+    /// In-place variant of [`Sgd::with_runtime`]: swaps the runtime while
+    /// keeping the accumulated momentum buffers — a resumed trainer moving
+    /// onto a private pool must not lose its restored optimizer state.
+    pub fn set_runtime(&mut self, runtime: Arc<Runtime>) {
+        self.runtime = runtime;
+    }
+
     /// Applies one update with learning rate `lr`, consuming the gradients
     /// currently stored in the model (scaled by `grad_scale`), then zeroes
     /// them. Velocity slots are keyed by parameter visit order.
@@ -117,6 +124,58 @@ impl Sgd {
     pub fn zero_grad(model: &mut dyn Layer) {
         model.visit_params(&mut |p| p.grad.zero_());
     }
+
+    /// Snapshots the momentum buffers as flat `f32` vectors in parameter
+    /// visit order — the persistable half of the optimizer state.
+    /// Parameters that have not yet seen a step have no slot (the slots
+    /// are created lazily by [`Sgd::step`]), so the returned vector may be
+    /// shorter than the parameter count.
+    #[must_use]
+    pub fn velocity_state(&self) -> Vec<Vec<f32>> {
+        self.velocities.iter().map(|v| v.data().to_vec()).collect()
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::velocity_state`],
+    /// shaping each flat buffer against the corresponding parameter of
+    /// `model` (visit order). Restoring fewer buffers than parameters is
+    /// legal — the missing slots recreate lazily, exactly as in the run
+    /// that was checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch (more
+    /// buffers than parameters, or a buffer whose length is not the
+    /// parameter's element count); the optimizer is unchanged on error.
+    pub fn restore_velocities(
+        &mut self,
+        model: &mut dyn Layer,
+        state: &[Vec<f32>],
+    ) -> Result<(), String> {
+        let mut shapes: Vec<Vec<usize>> = Vec::new();
+        model.visit_params(&mut |p| shapes.push(p.value.shape().to_vec()));
+        if state.len() > shapes.len() {
+            return Err(format!(
+                "{} velocity buffers for {} parameters",
+                state.len(),
+                shapes.len()
+            ));
+        }
+        for (i, (buf, shape)) in state.iter().zip(&shapes).enumerate() {
+            let numel: usize = shape.iter().product();
+            if buf.len() != numel {
+                return Err(format!(
+                    "velocity buffer {i} has {} elements, parameter wants {numel}",
+                    buf.len()
+                ));
+            }
+        }
+        self.velocities = state
+            .iter()
+            .zip(&shapes)
+            .map(|(buf, shape)| Tensor::from_vec(buf.clone(), shape))
+            .collect();
+        Ok(())
+    }
 }
 
 /// Cosine annealing schedule: `lr(t) = eta_min + (lr0 - eta_min) *
@@ -179,10 +238,29 @@ impl LossScaler {
         }
     }
 
+    /// Reconstructs a scaler from persisted state (see
+    /// [`LossScaler::scale`] and [`LossScaler::good_steps`]): the
+    /// checkpoint/resume hook. A scaler rebuilt from its own parts
+    /// continues the exact growth/backoff trajectory.
+    #[must_use]
+    pub fn from_parts(scale: f32, good_steps: u32, growth_interval: u32) -> Self {
+        Self {
+            scale,
+            good_steps,
+            growth_interval,
+        }
+    }
+
     /// The current scale.
     #[must_use]
     pub fn scale(&self) -> f32 {
         self.scale
+    }
+
+    /// Consecutive good steps since the last scale change.
+    #[must_use]
+    pub fn good_steps(&self) -> u32 {
+        self.good_steps
     }
 
     /// Reports whether the gradients of the scaled backward pass were all

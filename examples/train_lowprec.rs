@@ -13,6 +13,15 @@
 //! uniform SR policy, then worked around by re-serving those weights
 //! through an RN-forward policy).
 //!
+//! Training is also **crash-tolerant**: a default in-process demo
+//! interrupts an SR run mid-epoch, resumes it from the keep-K checkpoint
+//! rotation, and verifies the completed history is bit-identical to an
+//! uninterrupted run. The same path is drivable across real process
+//! boundaries: `SRMAC_CKPT_EVERY=2 SRMAC_HALT_AFTER=4` trains and
+//! hard-exits with code 42 (the simulated crash), then `SRMAC_RESUME=1`
+//! in a fresh process resumes from the rotation set and re-verifies the
+//! bits (the CI `train_resume` leg does exactly this).
+//!
 //! Run with: `cargo run --release --example train_lowprec`
 //! (set SRMAC_TRAIN / SRMAC_EPOCHS / ... to scale; see crates/bench docs)
 
@@ -123,7 +132,149 @@ fn replica_determinism_demo(width: usize, size: usize) {
     );
 }
 
+/// The fixed scaled-down run the crash-recovery paths share: the paper's
+/// SR pick on a slim ResNet-20, small enough to interrupt and resume in
+/// seconds, stochastic enough that bit-equality is a real claim.
+fn recovery_setup(
+    width: usize,
+    size: usize,
+) -> (Sequential, data::Dataset, data::Dataset, TrainConfig) {
+    let numerics = numerics_from_spec("fp8_fp12_sr13").expect("paper's pick");
+    let net = resnet::resnet20_with(&numerics, width, data::NUM_CLASSES, 42);
+    let train_ds = data::synth_cifar10(60, size, 7);
+    let test_ds = data::synth_cifar10(30, size, 8);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 10,
+        lr: 0.05,
+        ..TrainConfig::default()
+    };
+    (net, train_ds, test_ds, cfg)
+}
+
+fn recovery_meta(width: usize) -> CheckpointMeta {
+    CheckpointMeta {
+        arch: format!("resnet20-w{width}-c{}", data::NUM_CLASSES),
+        engine: None,
+        numerics: Some("fp8_fp12_sr13".into()),
+    }
+}
+
+fn history_bits(h: &trainer::History) -> Vec<u32> {
+    h.train_loss
+        .iter()
+        .chain(&h.test_acc)
+        .chain(std::iter::once(&h.final_scale))
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// In-process interrupt -> resume -> bit-equal demo (runs by default).
+fn crash_recovery_demo(width: usize, size: usize) {
+    println!("-- crash-tolerant training (fp8_fp12_sr13, kill at step 4) --");
+    let path = std::env::temp_dir().join("srmac_train_lowprec_demo_ckpt.srmc");
+    let (mut golden_net, train_ds, test_ds, cfg) = recovery_setup(width, size);
+    let golden = Trainer::new(&cfg).run(&mut golden_net, &train_ds, &test_ds);
+
+    let (mut victim, _, _, _) = recovery_setup(width, size);
+    Trainer::new(&cfg)
+        .checkpoint_every(2, &path, recovery_meta(width))
+        .halt_after(4)
+        .run(&mut victim, &train_ds, &test_ds);
+
+    let (mut revived, _, _, _) = recovery_setup(width, size);
+    let resumed = Trainer::resume(&path, &mut revived)
+        .expect("rotation set holds a valid checkpoint")
+        .run(&mut revived, &train_ds, &test_ds);
+    assert_eq!(
+        history_bits(&golden),
+        history_bits(&resumed),
+        "resumed history must be bitwise identical to the uninterrupted run"
+    );
+    println!(
+        "interrupted at step 4, resumed from the rotation set: {} epochs, final acc {:.2}% — \
+         bit-identical to the uninterrupted run\n",
+        resumed.epochs(),
+        resumed.final_accuracy()
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(std::env::temp_dir().join("srmac_train_lowprec_demo_ckpt.1.srmc")).ok();
+    std::fs::remove_file(std::env::temp_dir().join("srmac_train_lowprec_demo_ckpt.2.srmc")).ok();
+}
+
+/// The cross-process crash/resume driver behind SRMAC_CKPT_EVERY /
+/// SRMAC_HALT_AFTER / SRMAC_RESUME (see the module docs). Returns the
+/// process exit code.
+fn crash_recovery_cli(
+    every: usize,
+    keep: usize,
+    halt: usize,
+    resume: bool,
+    width: usize,
+    size: usize,
+) -> i32 {
+    let path = std::env::temp_dir().join("srmac_train_lowprec_ckpt.srmc");
+    let (_, train_ds, test_ds, cfg) = recovery_setup(width, size);
+    if resume {
+        let (mut revived, _, _, _) = recovery_setup(width, size);
+        let resumed = match Trainer::resume(&path, &mut revived) {
+            Ok(t) => t.run(&mut revived, &train_ds, &test_ds),
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                return 1;
+            }
+        };
+        // The golden run, recomputed in this process: the resumed history
+        // crossed a real process boundary and must still match its bits.
+        let (mut golden_net, _, _, _) = recovery_setup(width, size);
+        let golden = Trainer::new(&cfg).run(&mut golden_net, &train_ds, &test_ds);
+        if history_bits(&golden) != history_bits(&resumed) {
+            eprintln!("resumed history diverged from the uninterrupted run");
+            return 1;
+        }
+        println!(
+            "resumed across the process boundary: {} epochs, final acc {:.2}% — bit-identical",
+            resumed.epochs(),
+            resumed.final_accuracy()
+        );
+        return 0;
+    }
+    let (mut model, _, _, _) = recovery_setup(width, size);
+    let t = Trainer::new(&cfg)
+        .checkpoint_every(every.max(1), &path, recovery_meta(width))
+        .with_keep(keep.max(1));
+    let t = if halt > 0 { t.halt_after(halt) } else { t };
+    let h = t.run(&mut model, &train_ds, &test_ds);
+    if halt > 0 {
+        println!("halted after {halt} steps (simulated crash, exit 42)");
+        return 42;
+    }
+    println!(
+        "trained to completion: final acc {:.2}%",
+        h.final_accuracy()
+    );
+    0
+}
+
 fn main() {
+    // Cross-process crash/resume mode (the CI train_resume leg).
+    let ckpt_every: usize = env_or("SRMAC_CKPT_EVERY", 0);
+    let ckpt_keep: usize = env_or("SRMAC_CKPT_KEEP", 3);
+    let halt_after: usize = env_or("SRMAC_HALT_AFTER", 0);
+    let resume: usize = env_or("SRMAC_RESUME", 0);
+    if ckpt_every > 0 || resume > 0 {
+        let width: usize = env_or("SRMAC_WIDTH", 4);
+        let size: usize = env_or("SRMAC_SIZE", 12);
+        std::process::exit(crash_recovery_cli(
+            ckpt_every,
+            ckpt_keep,
+            halt_after,
+            resume > 0,
+            width,
+            size,
+        ));
+    }
+
     let train_n: usize = env_or("SRMAC_TRAIN", 300);
     let test_n: usize = env_or("SRMAC_TEST", 150);
     let epochs: usize = env_or("SRMAC_EPOCHS", 6);
@@ -167,6 +318,7 @@ fn main() {
         "training ResNet-20(width {width}) on SynthCIFAR10 ({train_n} train / {test_n} test, {size}x{size}, {epochs} epochs, {replicas} replica(s))\n"
     );
     replica_determinism_demo(width, size);
+    crash_recovery_demo(width, size);
     let ckpt_path = std::env::temp_dir().join("srmac_train_lowprec.srmc");
     for (label, spec, roundtrip) in experiments {
         let numerics = numerics_from_spec(spec).expect("valid experiment spec");
