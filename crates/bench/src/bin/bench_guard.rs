@@ -3,8 +3,10 @@
 //! `resnet20_train_step/prepared_weight_reuse` GEMM sequence, the
 //! per-role `resnet20_train_step/mixed_policy` sequence (RN forward / SR
 //! backward engines resolved through the numerics spec registry), the
+//! batch-1 forward-only `resnet20_eval_stream` sequence, the
 //! `train_scaling` full data-parallel trainer step, the
-//! `serve_scaling` replicated-inference stream, and the
+//! `serve_scaling` replicated-inference stream, the micro-batched
+//! single-worker `serve_resnet20` stream, and the
 //! `checkpoint_save` auto-checkpointing segment — with the exact
 //! data generation of the criterion benches, and diffs the fresh medians
 //! against the committed `BENCH_gemm.json`. Exits non-zero when any
@@ -56,7 +58,7 @@ use std::time::Instant;
 use srmac_bench::guard::{
     checkpoint_save_segment, committed_median, mixed_policy_numerics_1thread, parse_bench_medians,
     rand_vec, relu_sparse_vec, resnet20_role_gemm_shapes, resnet20_weight_gemm_shapes,
-    serve_scaling_stream, train_scaling_step,
+    serve_microbatch_stream, serve_scaling_stream, train_scaling_step,
 };
 use srmac_qgemm::{AccumRounding, MacGemm, MacGemmConfig};
 use srmac_tensor::{available_threads, GemmEngine, GemmRole};
@@ -202,6 +204,17 @@ fn serve_scaling_median(samples: usize, workers: usize) -> f64 {
     })
 }
 
+/// The `serve_resnet20` workload: one pipelined 32-request micro-batched
+/// stream against the single-worker inference server (see
+/// `guard::serve_microbatch_stream`) at the given dynamic-batch ceiling.
+/// Streams are slow, so the caller bounds the sample count separately.
+fn serve_resnet20_median(samples: usize, max_batch: usize) -> f64 {
+    let mut stream = serve_microbatch_stream(max_batch);
+    median_ns(samples, || {
+        stream();
+    })
+}
+
 /// The `checkpoint_save` workload, measured *paired*: each sample times
 /// a plain 10-step training segment and a saving one back-to-back (see
 /// `guard::checkpoint_save_segment`), and the reported overhead is the
@@ -271,6 +284,10 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
         ("gemm_scaling", "sr13_t2_auto"),
         ("resnet20_train_step", "prepared_weight_reuse"),
         ("resnet20_train_step", "mixed_policy"),
+        ("resnet20_eval_stream", "seed_scoped_repack"),
+        ("resnet20_eval_stream", "prepared_weight_reuse"),
+        ("serve_resnet20", "stream32_batch1"),
+        ("serve_resnet20", "stream32_max8"),
         ("train_scaling", "resnet20_step_r1_s4"),
         ("train_scaling", "resnet20_step_r4_s4"),
         ("serve_scaling", "stream32_w1"),
@@ -361,10 +378,12 @@ fn run_relative(args: &Args, committed: &[srmac_bench::guard::CommittedMedian]) 
     ExitCode::SUCCESS
 }
 
-/// The `resnet20_train_step/prepared_weight_reuse` workload: the training
-/// GEMM sequence with weights packed once, activations packed per call.
-fn train_step_median(samples: usize) -> f64 {
-    let shapes = resnet20_weight_gemm_shapes(4, 16, 8, true);
+/// The `prepared_weight_reuse` workload of the two GEMM-sequence groups
+/// (`resnet20_train_step` at batch 4 with backward products,
+/// `resnet20_eval_stream` at batch 1 forward-only): the sequence with
+/// weights packed once, activations packed per call — same SR13 1-thread
+/// engine, seeds and sparsity as `benches/gemm.rs`.
+fn gemm_sequence_median(samples: usize, shapes: &[(usize, usize, usize)]) -> f64 {
     let engine = MacGemm::new(
         MacGemmConfig::fp8_fp12(AccumRounding::Stochastic { r: 13 }, false).with_threads(1),
     );
@@ -459,7 +478,7 @@ fn main() -> ExitCode {
     // machine-independent overhead gate after the loop.
     let (cs_plain, cs_ckpt, cs_ratio) = checkpoint_save_measure(args.samples.min(5));
 
-    let watched: [(&str, &str, f64); 9] = [
+    let watched: [(&str, &str, f64); 11] = [
         (
             "gemm_64x128x64",
             "mac_fp12_sr13_1thread",
@@ -490,12 +509,28 @@ fn main() -> ExitCode {
         (
             "resnet20_train_step",
             "prepared_weight_reuse",
-            train_step_median(args.samples),
+            gemm_sequence_median(args.samples, &resnet20_weight_gemm_shapes(4, 16, 8, true)),
         ),
         (
             "resnet20_train_step",
             "mixed_policy",
             mixed_policy_median(args.samples),
+        ),
+        // The batch-1 forward-only inference sequence (the seed-scoped
+        // repack variant only differs by when packing happens, so the
+        // prepared-weight median is the representative absolute gate).
+        (
+            "resnet20_eval_stream",
+            "prepared_weight_reuse",
+            gemm_sequence_median(args.samples, &resnet20_weight_gemm_shapes(1, 16, 8, false)),
+        ),
+        // The micro-batched single-worker serving stream (batch1 is the
+        // slow baseline; max8 is what serving actually runs, so it gets
+        // the absolute gate).
+        (
+            "serve_resnet20",
+            "stream32_max8",
+            serve_resnet20_median(args.samples.min(5), 8),
         ),
         // The 1-replica data-parallel step (the 4-replica median is
         // host-core-dependent, so only the sequential variant gets an

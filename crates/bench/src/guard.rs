@@ -318,6 +318,71 @@ pub fn serve_scaling_stream(workers: usize) -> impl FnMut() -> usize {
     }
 }
 
+/// Requests per stream of the `serve_resnet20` workload (the criterion
+/// group's `SERVE_STREAM`).
+pub const SERVE_RESNET20_STREAM: usize = 32;
+
+/// The `serve_resnet20` workload: the micro-batched serving stream — a
+/// width-8 ResNet-20 (16x16 inputs) behind the `InferenceServer` queue
+/// on the deterministic inference engine (1-thread MAC RN), one
+/// pipelined [`SERVE_RESNET20_STREAM`]-request stream per call, with
+/// dynamic batches of up to `max_batch` (`max_wait_items = max_batch`,
+/// 200 us straggler wait) — exactly the `serve_resnet20` criterion
+/// group's model, data, engine and queue settings, so the guard and the
+/// bench always measure the same thing. Returns a closure running one
+/// stream per call (the server persists across calls) and yielding the
+/// number of predictions served.
+///
+/// # Panics
+///
+/// Panics if the server cannot start (the RN forward engine is
+/// position-invariant, so it can).
+pub fn serve_microbatch_stream(max_batch: usize) -> impl FnMut() -> usize {
+    use srmac_qgemm::AccumRounding;
+    let engine = Arc::new(MacGemm::new(
+        MacGemmConfig::fp8_fp12(AccumRounding::Nearest, false).with_threads(1),
+    )) as Arc<dyn GemmEngine>;
+    let size = 16usize;
+    let model = resnet::resnet20(&engine, 8, 10, 42);
+    let ds = data::synth_cifar10(SERVE_RESNET20_STREAM, size, 9);
+    let samples: Vec<Vec<f32>> = (0..ds.len())
+        .map(|i| {
+            let (x, _) = ds.batch(&[i]);
+            x.data().to_vec()
+        })
+        .collect();
+    let server = InferenceServer::start(
+        model,
+        size,
+        ServeConfig {
+            max_batch,
+            max_wait_items: max_batch,
+            straggler_wait: std::time::Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("RN forward engine serves");
+    let client = server.client();
+    // Warm-up: populate the packed-weight caches and layer workspaces.
+    client
+        .predict(samples[0].clone())
+        .expect("warmup prediction");
+    move || {
+        // Owning the server keeps its worker alive across closure calls.
+        debug_assert!(server.workers() >= 1);
+        let pending: Vec<_> = samples
+            .iter()
+            .map(|s| client.submit(s.clone()).expect("submit"))
+            .collect();
+        let mut served = 0usize;
+        for p in pending {
+            p.wait().expect("prediction");
+            served += 1;
+        }
+        served
+    }
+}
+
 /// One `benchmarks` entry of `BENCH_gemm.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommittedMedian {
@@ -484,6 +549,19 @@ mod tests {
         assert_eq!(
             stream(),
             SERVE_SCALING_STREAM,
+            "server survives across calls"
+        );
+    }
+
+    #[test]
+    fn serve_microbatch_stream_serves_every_request() {
+        // The bench's req/s figure is only meaningful if the stream
+        // really answers all 32 requests, batched or not.
+        let mut stream = serve_microbatch_stream(8);
+        assert_eq!(stream(), SERVE_RESNET20_STREAM);
+        assert_eq!(
+            stream(),
+            SERVE_RESNET20_STREAM,
             "server survives across calls"
         );
     }

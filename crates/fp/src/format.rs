@@ -88,7 +88,7 @@ impl FpFormat {
     /// Panics if the widths are outside the supported range.
     #[must_use]
     pub fn of(exp_bits: u32, man_bits: u32) -> Self {
-        Self::new(exp_bits, man_bits).expect("invalid floating-point format")
+        Self::new(exp_bits, man_bits).expect("invalid floating-point format") // PANIC-OK: of() is the documented panicking constructor; fallible callers use new().
     }
 
     /// Returns a copy of this format with subnormal support set to `enabled`.

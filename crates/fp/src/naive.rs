@@ -82,7 +82,7 @@ impl Grid {
                 .filter(|(_, e)| e.is_some())
                 .map(|(v, _)| *v)
                 .max()
-                .expect("grid has finite values"),
+                .expect("grid has finite values"), // PANIC-OK: every format encodes at least one finite value.
         );
         let (values, encodings) = pairs.into_iter().unzip();
         Self {
@@ -193,8 +193,8 @@ impl Grid {
             (false, true) => return b,
             _ => {}
         }
-        let xa = self.exact(a).expect("finite");
-        let xb = self.exact(b).expect("finite");
+        let xa = self.exact(a).expect("finite"); // PANIC-OK: non-finite operands were handled by the match above.
+        let xb = self.exact(b).expect("finite"); // PANIC-OK: same.
         if xa == 0 && xb == 0 {
             let (sa, _, _) = f.unpack(a);
             let (sb, _, _) = f.unpack(b);
@@ -220,7 +220,7 @@ fn scaled(exp: i32, sig: u128) -> i128 {
     let sh = exp + SCALE;
     assert!(sh >= 0, "value finer than the oracle scale");
     assert!(sh < 100, "value beyond the oracle range");
-    i128::try_from(sig).expect("significand fits") << sh
+    i128::try_from(sig).expect("significand fits") << sh // PANIC-OK: the asserts above bound sh, and the significand fits i128.
 }
 
 #[cfg(test)]

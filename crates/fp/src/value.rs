@@ -307,7 +307,7 @@ mod tests {
     fn roundtrip_all_encodings_to_f64_and_back_is_injective() {
         // Distinct finite encodings (modulo -0/+0) map to distinct f64s.
         for fmt in [FpFormat::e5m2(), FpFormat::e4m3(), FpFormat::e6m5()] {
-            let mut seen = std::collections::HashMap::new();
+            let mut seen = std::collections::BTreeMap::new();
             for bits in fmt.iter_encodings() {
                 if fmt.is_nan(bits) {
                     continue;

@@ -345,7 +345,7 @@ impl Checkpoint {
                 let mut numel = 1usize;
                 for &d in &p.shape {
                     push_u32(&mut out, len_u32(d, "tensor dim"));
-                    numel = numel.checked_mul(d).expect("tensor too large");
+                    numel = numel.checked_mul(d).expect("tensor too large"); // PANIC-OK: refusing to save a >usize-element tensor; aborting beats silent truncation.
                 }
                 assert_eq!(numel, p.data.len(), "tensor record shape/data mismatch");
                 push_f32s(&mut out, &p.data);
@@ -378,14 +378,14 @@ impl Checkpoint {
             });
         }
         let (body, footer) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(footer.try_into().expect("8-byte footer"));
+        let stored = u64::from_le_bytes(footer.try_into().expect("8-byte footer")); // PANIC-OK: split_at(len - 8) makes the footer exactly 8 bytes.
         let computed = fnv1a64(body);
         if stored != computed {
             return Err(CheckpointError::ChecksumMismatch { stored, computed });
         }
 
         let mut r = Reader::new(body);
-        let magic: [u8; 4] = r.take(4)?.try_into().expect("4 bytes");
+        let magic: [u8; 4] = r.take(4)?.try_into().expect("4 bytes"); // PANIC-OK: take(4) returned exactly 4 bytes.
         if magic != MAGIC {
             return Err(CheckpointError::BadMagic(magic));
         }
@@ -404,7 +404,7 @@ impl Checkpoint {
                 let wire: [u8; MacGemmConfig::WIRE_BYTES] = r
                     .take(MacGemmConfig::WIRE_BYTES)?
                     .try_into()
-                    .expect("wire record");
+                    .expect("wire record"); // PANIC-OK: take(WIRE_BYTES) returned exactly that many bytes.
                 Some(MacGemmConfig::from_wire(&wire)?)
             }
             _ => return Err(r.malformed("engine-meta tag must be 0 or 1")),
@@ -584,7 +584,7 @@ pub fn wire_version(bytes: &[u8]) -> Result<u16, CheckpointError> {
     let magic = r.take(4)?;
     if magic != MAGIC {
         return Err(CheckpointError::BadMagic(
-            magic.try_into().expect("4 bytes"),
+            magic.try_into().expect("4 bytes"), // PANIC-OK: the magic slice is exactly 4 bytes.
         ));
     }
     r.u16()
@@ -704,19 +704,19 @@ impl<'a> Reader<'a> {
 
     fn u16(&mut self) -> Result<u16, CheckpointError> {
         Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
+            self.take(2)?.try_into().expect("2 bytes"), // PANIC-OK: take(2) returned exactly 2 bytes.
         ))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
+            self.take(4)?.try_into().expect("4 bytes"), // PANIC-OK: take(4) returned exactly 4 bytes.
         ))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
+            self.take(8)?.try_into().expect("8 bytes"), // PANIC-OK: take(8) returned exactly 8 bytes.
         ))
     }
 
@@ -743,7 +743,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(need)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes")))) // PANIC-OK: chunks_exact(4) yields 4-byte chunks.
             .collect())
     }
 }

@@ -148,6 +148,8 @@ pub fn save_rotating(
             Err(e) => last_err = Some(e),
         }
     }
+    // PANIC-OK: the retry loop runs at least once, so a failure to
+    // return above always recorded an error here.
     Err(CheckpointError::Io(last_err.expect("at least one attempt")))
 }
 

@@ -1,0 +1,431 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis: it
+//! splits source text into identifiers, literals, punctuation and
+//! comments, with a line number on every token.
+//!
+//! Fidelity goals (and non-goals):
+//!
+//! - Comments and string/char literals are tokenized, never scanned as
+//!   code — `let x = "thread::spawn";` contains no `spawn` identifier,
+//!   and code shown inside `///` doc-tests is comment text, not code.
+//! - Nested block comments, raw strings (`r#"…"#`), byte strings and
+//!   lifetimes-vs-char-literals are handled, because the workspace uses
+//!   all of them.
+//! - No parsing beyond tokens: passes that need structure (attributes,
+//!   `#[cfg(test)]` item extents) do their own small token-pattern
+//!   matching on top (see [`crate::workspace`]).
+
+/// What a token is. String-like literals keep their *body* (delimiters
+/// and prefixes stripped) so passes can match exact contents; comments
+/// keep their full text so annotation markers (`// SAFETY:`,
+/// `// PANIC-OK:`) can be found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `spawn`, `HashMap`, ...).
+    Ident,
+    /// A numeric literal; `text` is the raw spelling (`0x3C`, `7u16`).
+    Num,
+    /// A string literal (plain, raw, byte or C); `text` is the body.
+    Str,
+    /// A character or byte-character literal.
+    Char,
+    /// A lifetime (`'a`, `'static`), including the quote.
+    Lifetime,
+    /// One punctuation character (`.`), never fused into multi-char ops.
+    Punct,
+    /// A `//` comment (doc or not); `text` includes the slashes.
+    Comment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw text (see [`TokKind`] for what each kind carries).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes Rust source. Unterminated literals/comments are tolerated
+/// (the rest of the file becomes one token): the linter must keep
+/// producing findings on files the compiler would reject.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident_or_prefixed(),
+                _ => {
+                    self.push(TokKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..end.min(self.src.len())]).into_owned();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::Comment, start, self.pos, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::Comment, start, self.pos, line);
+    }
+
+    /// A plain (escaped) string starting at the opening quote; the token
+    /// body excludes the quotes.
+    fn string(&mut self, _prefix_start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        let body_start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    // A `\` line continuation escapes the newline itself;
+                    // count it or every later token's line drifts.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, body_start, self.pos, line);
+        self.pos += 1; // closing quote (or EOF no-op)
+    }
+
+    /// A raw string starting at the first `#` or `"` after the `r`/`br`
+    /// prefix. Returns after the closing delimiter.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let body_start = self.pos;
+        let mut body_end = self.src.len();
+        'scan: while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.src.get(self.pos + 1 + i) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    body_end = self.pos;
+                    self.pos += 1 + hashes;
+                    break 'scan;
+                }
+            }
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[body_start..body_end.min(self.src.len())])
+            .into_owned();
+        self.out.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+        });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // 'x' / '\n' are char literals; 'ident not followed by a closing
+        // quote is a lifetime. A lifetime is ident-like after the quote.
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(c) if c != b'\'' => self.peek(2) == Some(b'\''),
+            _ => true, // '' or '\'' — treat as char, tolerant
+        };
+        if is_char {
+            self.pos += 1;
+            if self.peek(0) == Some(b'\\') {
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.push(TokKind::Char, start, self.pos.min(self.src.len()), line);
+        } else {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start, self.pos, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // Digits, underscores, type suffixes, hex/oct/bin bodies; a `.`
+        // joins only when followed by a digit (so `0..10` stays a range).
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            let joins_number = c == b'_'
+                || c.is_ascii_alphanumeric()
+                || (c == b'.'
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    && !self.src[start..self.pos].contains(&b'.'));
+            if !joins_number {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Num, start, self.pos, line);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        // String/char prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…", b'…'.
+        match self.peek(0) {
+            Some(b'"') if matches!(word, b"b" | b"c") => {
+                self.string(start);
+                return;
+            }
+            Some(b'"' | b'#') if matches!(word, b"r" | b"br" | b"cr") => {
+                // `r#ident` (raw identifier) vs `r#"…"#` (raw string):
+                // a raw string's `#`s are followed by `"`.
+                let mut ahead = 0;
+                while self.peek(ahead) == Some(b'#') {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'"') {
+                    self.raw_string();
+                    return;
+                }
+                // Raw identifier: skip the `#` and lex the word.
+                self.pos += 1;
+                let id_start = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                self.push(TokKind::Ident, id_start, self.pos, line);
+                return;
+            }
+            Some(b'\'') if word == b"b" => {
+                self.char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, start, self.pos, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_code() {
+        let toks = lex(r#"let x = "thread::spawn"; // thread::spawn here"#);
+        assert!(!toks.iter().any(|t| t.is_ident("spawn")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "thread::spawn"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Comment && t.text.contains("spawn")));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = lex("/// let m = HashMap::new();\nfn f() {}");
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!toks.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = lex(r##"let j = r#"{"unsafe": "yes"}"#; let k = 1;"##);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("k")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("unsafe")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_ranges_split() {
+        let toks = kinds("0x3C 7u16 1.5 0..10");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0x3C", "7u16", "1.5", "0", "10"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "fn a() {}\n/* two\nlines */\nfn b() {}\nlet s = \"x\ny\";\nfn c() {}";
+        let toks = lex(src);
+        let line_of = |name: &str| toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("b"), Some(4));
+        assert_eq!(line_of("c"), Some(7));
+    }
+
+    #[test]
+    fn backslash_line_continuations_count_their_newline() {
+        let src = "let s = \"one \\\n    two \\\n    three\";\nfn after() {}";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after"));
+        assert_eq!(after.map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let toks = lex(r#"let s = "a\"unsafe\"b"; fn f() {}"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let m = b"SRMC"; let c = b'\n'; fn g() {}"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "SRMC"));
+        assert!(toks.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn unterminated_input_still_lexes_prefix() {
+        let toks = lex("fn f() {} /* never closed");
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+        let toks = lex("fn g() {} let s = \"open");
+        assert!(toks.iter().any(|t| t.is_ident("g")));
+    }
+}

@@ -1,0 +1,157 @@
+#![forbid(unsafe_code)]
+//! The `srmac-lint` CLI.
+//!
+//! ```text
+//! srmac-lint [--ci] [--format human|short|json] [--root PATH]
+//!            [--baseline PATH] [--write-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (all findings baselined or none), 1 fresh
+//! findings, 2 usage / IO error. `--ci` selects the one-line `short`
+//! format (unless `--format` overrides) — semantics are otherwise
+//! identical, so local runs see exactly what CI gates on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use srmac_lint::findings::Baseline;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Short,
+    Json,
+}
+
+struct Args {
+    ci: bool,
+    format: Option<Format>,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+const USAGE: &str = "usage: srmac-lint [--ci] [--format human|short|json] [--root PATH] \
+                     [--baseline PATH] [--write-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ci: false,
+        format: None,
+        root: None,
+        baseline: None,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("human") => Some(Format::Human),
+                    Some("short") => Some(Format::Short),
+                    Some("json") => Some(Format::Json),
+                    other => return Err(format!("--format human|short|json, got {other:?}")),
+                }
+            }
+            "--root" => match it.next() {
+                Some(p) => args.root = Some(PathBuf::from(p)),
+                None => return Err("--root needs a path".to_owned()),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline = Some(PathBuf::from(p)),
+                None => return Err("--baseline needs a path".to_owned()),
+            },
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: `--root`, else the CWD when its `Cargo.toml`
+/// declares a workspace, else two levels up from this crate (so
+/// `cargo run -p srmac-lint` works from anywhere in the tree).
+fn resolve_root(args: &Args) -> PathBuf {
+    if let Some(r) = &args.root {
+        return r.clone();
+    }
+    if let Ok(manifest) = std::fs::read_to_string("Cargo.toml") {
+        if manifest.contains("[workspace]") {
+            return PathBuf::from(".");
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("srmac-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = resolve_root(&args);
+    let format = args.format.unwrap_or(if args.ci {
+        Format::Short
+    } else {
+        Format::Human
+    });
+    let findings = match srmac_lint::run(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("srmac-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+    if args.write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("srmac-lint: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "srmac-lint: wrote {} finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("srmac-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(), // no baseline file = empty baseline
+    };
+    let (fresh, accepted) = baseline.apply(findings);
+    for (i, f) in fresh.iter().enumerate() {
+        match format {
+            Format::Human => {
+                if i > 0 {
+                    println!();
+                }
+                println!("{}", f.render_human());
+            }
+            Format::Short => println!("{}", f.render_short()),
+            Format::Json => println!("{}", f.render_json()),
+        }
+    }
+    eprintln!(
+        "srmac-lint: {} finding(s), {} baselined",
+        fresh.len(),
+        accepted.len()
+    );
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,200 @@
+//! Pass 5 — cross-artifact guard coverage.
+//!
+//! The perf story lives in two artifacts that nothing ties together:
+//! `BENCH_gemm.json` (the committed medians — what the repo *claims*)
+//! and `bench_guard` (the regression gate — what CI *checks*). A new
+//! headline benchmark group added to the JSON without a matching guard
+//! workload is a claim nobody defends; it can silently regress forever.
+//!
+//! This pass parses the JSON's top-level groups (everything except the
+//! raw `benchmarks` list and the `pr<N>_…` history blocks) and requires
+//! each group name to appear in a string literal of a guard source file
+//! — the mechanical trace that *some* workload watches it.
+
+use crate::findings::{codes, Finding};
+use crate::lexer::TokKind;
+use crate::policy;
+use crate::workspace::SourceFile;
+
+/// A top-level key of the committed bench JSON, with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonKey {
+    /// The key string.
+    pub name: String,
+    /// 1-based line in the JSON file.
+    pub line: u32,
+}
+
+/// Extracts the top-level object keys from JSON text. Minimal scanner:
+/// tracks string/escape state and `{}`/`[]` depth; a string at depth 1
+/// followed by `:` is a root key. Tolerant of malformed input (returns
+/// what it saw).
+#[must_use]
+pub fn top_level_keys(json: &str) -> Vec<JsonKey> {
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut line = 1u32;
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            '"' => {
+                let key_line = line;
+                let mut s = String::new();
+                let mut escaped = false;
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                    if escaped {
+                        escaped = false;
+                        s.push(c2);
+                    } else if c2 == '\\' {
+                        escaped = true;
+                    } else if c2 == '"' {
+                        break;
+                    } else {
+                        s.push(c2);
+                    }
+                }
+                if depth == 1 {
+                    // A root key iff the next non-space char is `:`.
+                    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                        if chars.next() == Some('\n') {
+                            line += 1;
+                        }
+                    }
+                    if chars.peek() == Some(&':') {
+                        keys.push(JsonKey {
+                            name: s,
+                            line: key_line,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    keys
+}
+
+/// True for the top-level keys that are *headline groups*: not the raw
+/// `benchmarks` sample list and not a `pr<N>…` history block.
+#[must_use]
+pub fn is_headline(key: &str) -> bool {
+    if key == "benchmarks" {
+        return false;
+    }
+    let mut c = key.chars();
+    !(c.next() == Some('p')
+        && c.next() == Some('r')
+        && c.next().is_some_and(|d| d.is_ascii_digit()))
+}
+
+/// Checks every headline group in `bench_json` appears in a string
+/// literal of one of the lexed guard sources.
+#[must_use]
+pub fn check(bench_json: &str, guard_files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for key in top_level_keys(bench_json) {
+        if !is_headline(&key.name) {
+            continue;
+        }
+        let watched = guard_files.iter().any(|f| {
+            f.toks
+                .iter()
+                .any(|t| t.kind == TokKind::Str && t.text.contains(&key.name))
+        });
+        if !watched {
+            out.push(Finding::new(
+                codes::GUARD_UNWATCHED_GROUP,
+                policy::BENCH_JSON,
+                key.line,
+                format!(
+                    "headline group `{}` has no watching workload in {} — add a guard \
+                     workload or it can regress silently",
+                    key.name,
+                    policy::GUARD_SOURCES.join(" / ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JSON: &str = r#"{
+  "benchmarks": [{"group": "x", "nested": {"deep_key": 1}}],
+  "resnet20_train_step": {"median_ns": 12},
+  "serve_resnet20": {"p50": 3},
+  "pr3_baseline": {"old": true}
+}"#;
+
+    #[test]
+    fn scanner_finds_root_keys_only_with_lines() {
+        let keys = top_level_keys(JSON);
+        let names: Vec<&str> = keys.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "benchmarks",
+                "resnet20_train_step",
+                "serve_resnet20",
+                "pr3_baseline"
+            ]
+        );
+        assert_eq!(keys[2].line, 4);
+    }
+
+    #[test]
+    fn headline_filter_drops_benchmarks_and_pr_history() {
+        assert!(is_headline("resnet20_train_step"));
+        assert!(is_headline("primes_group")); // `pr` needs a digit after
+        assert!(!is_headline("benchmarks"));
+        assert!(!is_headline("pr3_baseline"));
+        assert!(!is_headline("pr12_baseline"));
+    }
+
+    #[test]
+    fn unwatched_group_is_flagged_at_its_json_line() {
+        let guard = SourceFile::parse(
+            "crates/bench/src/guard.rs",
+            "const G: &str = \"resnet20_train_step\";\n",
+        );
+        let got = check(JSON, &[guard]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].code, codes::GUARD_UNWATCHED_GROUP);
+        assert_eq!(got[0].line, 4);
+        assert!(got[0].message.contains("serve_resnet20"));
+    }
+
+    #[test]
+    fn substring_in_a_longer_literal_counts_as_watched() {
+        let guard = SourceFile::parse(
+            "crates/bench/src/bin/bench_guard.rs",
+            "let w = [(\"resnet20_train_step\", \"a\"), (\"serve_resnet20\", \"stream32_max8\")];\n",
+        );
+        assert!(check(JSON, &[guard]).is_empty());
+    }
+
+    #[test]
+    fn group_named_only_in_a_comment_does_not_count() {
+        let guard = SourceFile::parse(
+            "crates/bench/src/guard.rs",
+            "// serve_resnet20 is watched elsewhere\nconst G: &str = \"resnet20_train_step\";\n",
+        );
+        assert_eq!(check(JSON, &[guard]).len(), 1);
+    }
+
+    #[test]
+    fn escaped_quotes_in_json_do_not_desync_the_scanner() {
+        let json = r#"{"a\"b": 1, "real": {"inner": 2}}"#;
+        let names: Vec<String> = top_level_keys(json).into_iter().map(|k| k.name).collect();
+        assert_eq!(names, ["a\"b", "real"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pass 3 — panic hygiene.
+//!
+//! The decode/serving surfaces sell a *typed-never-panic* contract
+//! (hostile checkpoint bytes, overload, deadlines — all typed errors).
+//! A stray `.unwrap()` in library code converts a recoverable condition
+//! into a process abort, and nothing but a code-path-complete test
+//! suite would notice. This pass demands every `.unwrap()` / `.expect(`
+//! in non-test library code carry a `// PANIC-OK:` justification —
+//! either a trailing comment on the same line or a comment directly
+//! above — stating the invariant that makes the panic unreachable (or
+//! why aborting is the correct response, e.g. a poisoned lock).
+//!
+//! Test items are exempt; so is the `bench` crate (operator tools).
+
+use crate::findings::{codes, Finding};
+use crate::policy;
+use crate::workspace::SourceFile;
+
+/// Flags unjustified `.unwrap()` / `.expect(` in one file.
+#[must_use]
+pub fn check_file(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let code: Vec<(usize, &crate::lexer::Tok)> = f.code_toks().collect();
+    for (ci, &(ti, t)) in code.iter().enumerate() {
+        if f.in_test[ti] || !t.is_punct('.') {
+            continue;
+        }
+        let Some(&(_, name)) = code.get(ci + 1) else {
+            continue;
+        };
+        if !(name.is_ident("unwrap") || name.is_ident("expect")) {
+            continue;
+        }
+        if !code.get(ci + 2).is_some_and(|&(_, n)| n.is_punct('(')) {
+            continue;
+        }
+        if f.marker_above(name.line, policy::PANIC_MARKER) {
+            continue;
+        }
+        out.push(Finding::new(
+            codes::PANIC_UNWRAP,
+            &f.rel_path,
+            name.line,
+            format!(
+                "`.{}(` in library code without a `// PANIC-OK:` justification — return a typed \
+                 error, or state the invariant that makes this unreachable",
+                name.text
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on(src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::parse("crates/io/src/x.rs", src))
+    }
+
+    #[test]
+    fn bare_unwrap_and_expect_are_flagged() {
+        let got = on("fn f() { a.unwrap(); b.expect(\"msg\"); }\n");
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|f| f.code == codes::PANIC_UNWRAP));
+        assert_eq!((got[0].line, got[1].line), (1, 1));
+    }
+
+    #[test]
+    fn panic_ok_trailing_or_above_waives() {
+        let src = "\
+fn f() {
+    // PANIC-OK: the mutex only poisons if a worker already panicked.
+    let g = m.lock().unwrap();
+    let h = n.lock().unwrap(); // PANIC-OK: same.
+}
+";
+        assert!(on(src).is_empty());
+    }
+
+    #[test]
+    fn marker_does_not_cover_the_next_statement() {
+        let src = "\
+fn f() {
+    // PANIC-OK: only this one.
+    a.unwrap();
+    b.unwrap();
+}
+";
+        let got = on(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 4);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_unwrap() {
+        assert!(
+            on("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_err(); }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn expect_in_test_items_is_exempt() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn h() { b.expect(\"x\"); } }\n";
+        assert!(on(src).is_empty());
+    }
+
+    #[test]
+    fn doc_example_unwrap_is_comment_text() {
+        assert!(on("/// let x = path.parse().unwrap();\nfn f() {}\n").is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Pass 1 — unsafe hygiene.
+//!
+//! The workspace's `unsafe` policy has three mechanical parts:
+//!
+//! 1. Only the files in [`crate::policy::UNSAFE_ALLOWED_FILES`] (the
+//!    qgemm SIMD dispatch and kernels) may contain `unsafe` at all.
+//! 2. Every `unsafe` there must sit directly under a `// SAFETY:`
+//!    comment (attribute lines like `#[allow(unsafe_code)]` may come
+//!    between; a blank line breaks the attachment).
+//! 3. Every crate root must carry the `#![forbid(unsafe_code)]` or
+//!    `#![deny(unsafe_code)]` header its policy row declares — so the
+//!    compiler enforces (1) too, and this pass catches the header
+//!    silently weakening.
+
+use crate::findings::{codes, Finding};
+use crate::policy::{self, UnsafeHeader};
+use crate::workspace::SourceFile;
+
+/// Flags `unsafe` tokens per the allowlist + SAFETY protocol.
+#[must_use]
+pub fn check_file(f: &SourceFile) -> Vec<Finding> {
+    let allowed = policy::UNSAFE_ALLOWED_FILES.contains(&f.rel_path.as_str());
+    let mut out = Vec::new();
+    for (_, t) in f.code_toks() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !allowed {
+            out.push(Finding::new(
+                codes::UNSAFE_OUTSIDE_ALLOWLIST,
+                &f.rel_path,
+                t.line,
+                "`unsafe` outside the allowlisted SIMD kernel files — extend the policy \
+                 deliberately or stay safe",
+            ));
+        } else if !f.marker_above(t.line, policy::SAFETY_MARKER) {
+            out.push(Finding::new(
+                codes::UNSAFE_MISSING_SAFETY,
+                &f.rel_path,
+                t.line,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment",
+            ));
+        }
+    }
+    out
+}
+
+/// Checks one crate root for its declared `#![forbid/deny(unsafe_code)]`
+/// header.
+#[must_use]
+pub fn check_header(root_file: &SourceFile, expected: UnsafeHeader) -> Option<Finding> {
+    let code: Vec<_> = root_file.code_toks().map(|(_, t)| t).collect();
+    for w in code.windows(7) {
+        if w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(expected.ident())
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+        {
+            return None;
+        }
+    }
+    Some(Finding::new(
+        codes::MISSING_POLICY_HEADER,
+        &root_file.rel_path,
+        1,
+        format!(
+            "crate root must declare `#![{}(unsafe_code)]` per the lint policy table",
+            expected.ident()
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_accepts_exact_level_only() {
+        let forbid = SourceFile::parse("crates/fp/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert!(check_header(&forbid, UnsafeHeader::Forbid).is_none());
+        assert!(check_header(&forbid, UnsafeHeader::Deny).is_some());
+        let deny = SourceFile::parse("crates/qgemm/src/lib.rs", "#![deny(unsafe_code)]\n");
+        assert!(check_header(&deny, UnsafeHeader::Deny).is_none());
+        assert!(check_header(&deny, UnsafeHeader::Forbid).is_some());
+    }
+
+    #[test]
+    fn header_in_a_comment_does_not_count() {
+        let f = SourceFile::parse("crates/fp/src/lib.rs", "// #![forbid(unsafe_code)]\n");
+        assert!(check_header(&f, UnsafeHeader::Forbid).is_some());
+    }
+
+    #[test]
+    fn unsafe_in_allowed_file_needs_safety() {
+        let src = "// SAFETY: ok.\n#[allow(unsafe_code)]\nunsafe { a(); }\nunsafe { b(); }\n";
+        let f = SourceFile::parse("crates/qgemm/src/engine.rs", src);
+        let got = check_file(&f);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].code, codes::UNSAFE_MISSING_SAFETY);
+        assert_eq!(got[0].line, 4);
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged_even_with_safety() {
+        let src = "// SAFETY: still not allowed here.\nunsafe { a(); }\n";
+        let f = SourceFile::parse("crates/fp/src/round.rs", src);
+        let got = check_file(&f);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].code, codes::UNSAFE_OUTSIDE_ALLOWLIST);
+    }
+
+    #[test]
+    fn unsafe_code_ident_in_attr_is_not_unsafe() {
+        let f = SourceFile::parse(
+            "crates/fp/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn safe_fn() {}\n",
+        );
+        assert!(check_file(&f).is_empty());
+    }
+}

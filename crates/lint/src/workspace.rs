@@ -1,0 +1,333 @@
+//! Workspace discovery and per-file analysis context: each `.rs` file
+//! under a policed crate's `src/` becomes a [`SourceFile`] carrying its
+//! token stream, `#[cfg(test)]`/`#[test]` item extents (so test code is
+//! exempt from the hygiene passes), and the comment-marker lookup the
+//! annotation pragmas (`// SAFETY:`, `// PANIC-OK:`,
+//! `// DETERMINISM-OK:`) rely on.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Parallel to `toks`: true when the token sits inside a
+    /// `#[cfg(test)]` or `#[test]` item.
+    pub in_test: Vec<bool>,
+    /// Per source line: does the line hold only comments (and
+    /// whitespace)?
+    comment_only_lines: Vec<bool>,
+    /// Per source line: does an attribute token (`#`) start it, with
+    /// nothing but attribute/comment tokens on it?
+    attr_only_lines: Vec<bool>,
+    /// Per source line: concatenated comment text on that line.
+    line_comments: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    #[must_use]
+    pub fn parse(rel_path: &str, src: &str) -> Self {
+        let toks = lex(src);
+        let in_test = test_extents(&toks);
+        let n_lines = src.lines().count() + 1;
+        let mut comment_only = vec![true; n_lines + 1];
+        let mut has_any = vec![false; n_lines + 1];
+        let mut attr_start = vec![false; n_lines + 1];
+        let mut line_comments = vec![String::new(); n_lines + 1];
+        let mut prev_code_line = 0usize;
+        for t in &toks {
+            let l = t.line as usize;
+            if l > n_lines {
+                continue;
+            }
+            if t.kind == TokKind::Comment {
+                if !line_comments[l].is_empty() {
+                    line_comments[l].push(' ');
+                }
+                line_comments[l].push_str(&t.text);
+            } else {
+                if !has_any[l] && t.is_punct('#') {
+                    attr_start[l] = true;
+                }
+                comment_only[l] = false;
+                has_any[l] = true;
+                prev_code_line = prev_code_line.max(l);
+            }
+        }
+        let _ = prev_code_line;
+        // A line with no tokens at all is "comment only" for the marker
+        // walk's purposes only if it is genuinely blank — treat blank
+        // lines as walk stoppers by marking them non-comment.
+        for (l, co) in comment_only.iter_mut().enumerate() {
+            if *co && line_comments[l].is_empty() {
+                *co = false;
+            }
+        }
+        Self {
+            rel_path: rel_path.to_owned(),
+            toks,
+            in_test,
+            comment_only_lines: comment_only,
+            attr_only_lines: attr_start,
+            line_comments,
+        }
+    }
+
+    /// True when `marker` appears in a comment attached to `line`: as a
+    /// trailing comment on the line itself, or in the contiguous block
+    /// of comment-only / attribute-only lines immediately above it.
+    /// Blank lines break the attachment — a justification must touch
+    /// the code it justifies.
+    #[must_use]
+    pub fn marker_above(&self, line: u32, marker: &str) -> bool {
+        let line = line as usize;
+        if self
+            .line_comments
+            .get(line)
+            .is_some_and(|c| c.contains(marker))
+        {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let comment_only = self.comment_only_lines.get(l).copied().unwrap_or(false);
+            let attr_only = self.attr_only_lines.get(l).copied().unwrap_or(false);
+            if !comment_only && !attr_only {
+                return false;
+            }
+            if self.line_comments[l].contains(marker) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// Non-comment tokens with their index and test flag.
+    pub fn code_toks(&self) -> impl Iterator<Item = (usize, &Tok)> {
+        self.toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+    }
+}
+
+/// Computes, for every token, whether it lies inside an item annotated
+/// `#[cfg(test)]` (or any `cfg` whose predicate mentions `test` without
+/// a `not`) or `#[test]`. An item extends over subsequent attributes to
+/// either a top-level `;` (before any brace) or its matching `{ … }`.
+fn test_extents(toks: &[Tok]) -> Vec<bool> {
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+    let mut in_test = vec![false; toks.len()];
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if let Some((attr_end, is_test)) = parse_attr(toks, &code, ci) {
+            if is_test {
+                // Extend over any further attributes to the item itself.
+                let mut cj = attr_end;
+                while let Some((next_end, _)) = parse_attr(toks, &code, cj) {
+                    cj = next_end;
+                }
+                let item_end = item_extent(toks, &code, cj);
+                for &k in &code[ci..item_end.min(code.len())] {
+                    in_test[k] = true;
+                }
+                ci = item_end;
+            } else {
+                ci = attr_end;
+            }
+            continue;
+        }
+        ci += 1;
+    }
+    in_test
+}
+
+/// If `code[ci]` starts an attribute (`#` or `#!`), returns the code
+/// index one past its closing `]` and whether its predicate marks test
+/// code (`test` mentioned, `not` absent).
+fn parse_attr(toks: &[Tok], code: &[usize], ci: usize) -> Option<(usize, bool)> {
+    let t = toks.get(*code.get(ci)?)?;
+    if !t.is_punct('#') {
+        return None;
+    }
+    let mut cj = ci + 1;
+    if toks.get(*code.get(cj)?)?.is_punct('!') {
+        cj += 1;
+    }
+    if !toks.get(*code.get(cj)?)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    while cj < code.len() {
+        let tok = &toks[code[cj]];
+        match tok {
+            t if t.is_punct('[') => depth += 1,
+            t if t.is_punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((cj + 1, saw_test && !saw_not));
+                }
+            }
+            t if t.is_ident("test") => saw_test = true,
+            t if t.is_ident("not") => saw_not = true,
+            _ => {}
+        }
+        cj += 1;
+    }
+    Some((code.len(), saw_test && !saw_not))
+}
+
+/// The extent (exclusive code index) of the item starting at `code[ci]`:
+/// to a `;` before any `{`, or to the close of the first brace pair.
+fn item_extent(toks: &[Tok], code: &[usize], ci: usize) -> usize {
+    let mut depth = 0i32;
+    let mut cj = ci;
+    while cj < code.len() {
+        let t = &toks[code[cj]];
+        if depth == 0 && t.is_punct(';') {
+            return cj + 1;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return cj + 1;
+            }
+        }
+        cj += 1;
+    }
+    code.len()
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output). Returns workspace-relative paths.
+pub fn rust_files_under(root: &Path, dir: &str) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let entries = match std::fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(_) => continue, // a policed crate may lack e.g. tests/
+        };
+        for entry in entries {
+            let entry = entry?;
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(rel_to(root, &p));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `root`-relative path with forward slashes.
+fn rel_to(root: &Path, p: &Path) -> String {
+    let rel: PathBuf = p.strip_prefix(root).unwrap_or(p).to_path_buf();
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_extent_covers_the_whole_module() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let flag = |name: &str| {
+            f.toks
+                .iter()
+                .zip(&f.in_test)
+                .find(|(t, _)| t.is_ident(name))
+                .map(|(_, &b)| b)
+        };
+        assert_eq!(flag("live"), Some(false));
+        assert_eq!(flag("y"), Some(true));
+        assert_eq!(flag("live2"), Some(false));
+    }
+
+    #[test]
+    fn test_attr_fn_and_stacked_attrs() {
+        let src = "#[test]\n#[allow(dead_code)]\nfn a_test() { q.unwrap(); }\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let flag = |name: &str| {
+            f.toks
+                .iter()
+                .zip(&f.in_test)
+                .find(|(t, _)| t.is_ident(name))
+                .map(|(_, &b)| b)
+        };
+        assert_eq!(flag("q"), Some(true));
+        assert_eq!(flag("live"), Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn shipped() { x.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn cfg_all_test_is_test_code() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod t { fn f() {} }\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let flag = |name: &str| {
+            f.toks
+                .iter()
+                .zip(&f.in_test)
+                .find(|(t, _)| t.is_ident(name))
+                .map(|(_, &b)| b)
+        };
+        assert_eq!(flag("f"), Some(true));
+        assert_eq!(flag("live"), Some(false));
+    }
+
+    #[test]
+    fn marker_walks_over_comments_and_attributes_only() {
+        let src = "\
+// SAFETY: justified here.
+#[allow(unsafe_code)]
+unsafe { a(); }
+let gap = 1;
+
+// SAFETY: detached by the blank line below.
+
+unsafe { b(); }
+let c = 3; // PANIC-OK: trailing marker
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.marker_above(3, "SAFETY:"));
+        assert!(!f.marker_above(8, "SAFETY:"));
+        assert!(f.marker_above(9, "PANIC-OK:"));
+        assert!(!f.marker_above(4, "SAFETY:"));
+    }
+
+    #[test]
+    fn marker_does_not_leak_through_code_lines() {
+        let src = "// SAFETY: for the first only\nunsafe { a(); }\nunsafe { b(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.marker_above(2, "SAFETY:"));
+        assert!(!f.marker_above(3, "SAFETY:"));
+    }
+}

@@ -1,0 +1,36 @@
+//! The workspace must be lint-clean: `srmac_lint::run` over the real
+//! tree reports zero findings, and the committed baseline is empty —
+//! so `cargo run -p srmac-lint -- --ci` exiting 0 is re-proven by
+//! `cargo test`, without shelling out.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_has_zero_findings() {
+    let findings = srmac_lint::run(&workspace_root()).expect("lint run");
+    let rendered: Vec<String> = findings.iter().map(|f| f.render_short()).collect();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn the_committed_baseline_is_empty() {
+    let text = std::fs::read_to_string(workspace_root().join("lint-baseline.txt"))
+        .expect("committed lint-baseline.txt");
+    let base = srmac_lint::findings::Baseline::parse(&text).expect("well-formed baseline");
+    // Applying the baseline to zero findings must produce zero stale
+    // entries — i.e. the file carries no accepted findings at all.
+    let (fresh, accepted) = base.apply(Vec::new());
+    assert!(accepted.is_empty());
+    assert!(
+        fresh.is_empty(),
+        "lint-baseline.txt still accepts findings — the merge target is an empty baseline"
+    );
+}

@@ -1,0 +1,22 @@
+//! Determinism fixture: a hash collection, a wall-clock read, an
+//! unstructured spawn — plus a waived scoped spawn and string/comment
+//! mentions that must stay silent.
+
+use std::collections::HashMap;
+
+pub fn wall() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}
+
+pub fn waived() {
+    std::thread::scope(|_s| {}); // DETERMINISM-OK: fixture — fixed partition.
+}
+
+pub fn silent() -> &'static str {
+    // A HashMap mention in a comment is not a use.
+    "Instant::now and spawn("
+}

@@ -1,0 +1,7 @@
+//! Diag-registry fixture: id 2 is declared twice (duplicate id), name
+//! `beta` twice (duplicate name), and id 3 is missing (gap).
+
+pub const A: DiagCode = DiagCode::new("fix", 1, "alpha");
+pub const B: DiagCode = DiagCode::new("fix", 2, "beta");
+pub const C: DiagCode = DiagCode::new("fix", 2, "gamma");
+pub const D: DiagCode = DiagCode::new("fix", 4, "beta");

@@ -1,0 +1,4 @@
+//! Guard-coverage fixture: watches `alpha_group` in a string literal;
+//! beta_group is named only in this comment, which must not count.
+
+pub const WATCHED: [(&str, &str); 1] = [("alpha_group", "a")];

@@ -1,0 +1,18 @@
+//! Panic-hygiene fixture: two unannotated panic sites, one `PANIC-OK`
+//! waiver, and the non-panicking `unwrap_or` family.
+
+pub fn bad(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn also_bad(v: Option<u8>) -> u8 {
+    v.expect("fixture")
+}
+
+pub fn waived(v: Option<u8>) -> u8 {
+    v.unwrap() // PANIC-OK: fixture — the caller guarantees `Some`.
+}
+
+pub fn fine(v: Option<u8>) -> u8 {
+    v.unwrap_or(0)
+}

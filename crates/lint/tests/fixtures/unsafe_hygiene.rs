@@ -1,0 +1,12 @@
+//! Unsafe-hygiene fixture: one `// SAFETY:`-annotated `unsafe` (clean
+//! under an allowlisted path), one bare `unsafe` (LINT0001 there; both
+//! become LINT0002 under any non-allowlisted path).
+
+pub fn annotated(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller proved `p` valid for reads.
+    unsafe { *p }
+}
+
+pub fn bare(p: *const u8) -> u8 {
+    unsafe { *p }
+}

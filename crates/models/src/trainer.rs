@@ -413,7 +413,7 @@ impl Trainer {
     fn ckpt_options_mut(&mut self) -> &mut CkptOptions {
         self.ckpt
             .as_mut()
-            .expect("configure checkpointing with checkpoint_every(..) first")
+            .expect("configure checkpointing with checkpoint_every(..) first") // PANIC-OK: documented API-misuse panic — checkpoint_every(..) must be configured first.
     }
 
     /// The resolved gradient-shard count `S` (after `0 -> replicas`).
@@ -529,7 +529,7 @@ impl Trainer {
                     "  epoch {:>3}: lr {:.4}  loss {:.4}  test acc {:.2}%  (scale {})",
                     epoch + 1,
                     lr,
-                    self.history.train_loss.last().unwrap(),
+                    self.history.train_loss.last().unwrap(), // PANIC-OK: this epoch's loss was pushed just above.
                     acc,
                     self.scaler.scale(),
                 );
@@ -605,7 +605,7 @@ impl Trainer {
         let opts = self
             .ckpt
             .as_ref()
-            .expect("configure checkpointing with checkpoint_every(..) first");
+            .expect("configure checkpointing with checkpoint_every(..) first"); // PANIC-OK: only reached from the checkpointing path, where ckpt is configured.
         let bytes = srmac_io::Checkpoint::capture(model, opts.meta.clone())
             .with_train_state(state)
             .encode();
@@ -830,7 +830,7 @@ impl Trainer {
         for (idx, sp) in spans.iter().enumerate() {
             let mut replica = model
                 .try_clone()
-                .expect("data-parallel training needs every layer to support clone_layer");
+                .expect("data-parallel training needs every layer to support clone_layer"); // PANIC-OK: documented contract — data-parallel training requires replicable layers.
             replica.set_batch_offset(sp.start);
             let mut shape = x.shape().to_vec();
             shape[0] = sp.len();

@@ -6,6 +6,10 @@
 //! model so the tests control *when* a forward pass runs (or whether it
 //! ever does) — the determinism assertions use the real ResNet-20.
 
+// Serving tests time out against real deadlines (clippy.toml bans
+// wall-clock only for numerics code).
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};

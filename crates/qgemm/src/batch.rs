@@ -1059,14 +1059,14 @@ pub(crate) mod z16 {
     ) -> [u32; 16] {
         let c = consts(batch);
         let gamma = _mm512_set1_epi64(SPLITMIX_GAMMA as i64);
-        let mut st_lo = from_u64s(seeds[..8].try_into().expect("8 seeds"));
-        let mut st_hi = from_u64s(seeds[8..].try_into().expect("8 seeds"));
+        let mut st_lo = from_u64s(seeds[..8].try_into().expect("8 seeds")); // PANIC-OK: seeds is exactly 16 lanes; [..8] is 8.
+        let mut st_hi = from_u64s(seeds[8..].try_into().expect("8 seeds")); // PANIC-OK: and [8..] is the other 8.
         let mut acc = _mm512_setzero_si512();
         for (&ci, &ca) in ids.iter().zip(cods) {
             let base = ci as usize * stride + lane0;
-            let bc: [u8; 16] = pan[base..base + 16].try_into().expect("panel chunk");
-            // SAFETY: the indices are zero-extended bytes (< 256) into a
-            // 256-entry row of the 65536-entry table selected by `ca`.
+            let bc: [u8; 16] = pan[base..base + 16].try_into().expect("panel chunk"); // PANIC-OK: base + 16 <= panel len by the packer's row stride.
+                                                                                      // SAFETY: the indices are zero-extended bytes (< 256) into a
+                                                                                      // 256-entry row of the 65536-entry table selected by `ca`.
             #[allow(unsafe_code)]
             let prods = unsafe {
                 let idx = _mm512_cvtepu8_epi32(_mm_loadu_si128(bc.as_ptr().cast()));
@@ -1160,7 +1160,7 @@ pub(crate) mod z16 {
             let c = $c;
             let gamma = _mm512_set1_epi64(SPLITMIX_GAMMA as i64);
             let seed8 =
-                |q: usize| from_u64s($seeds[q * 8..q * 8 + 8].try_into().expect("8 seeds"));
+                |q: usize| from_u64s($seeds[q * 8..q * 8 + 8].try_into().expect("8 seeds")); // PANIC-OK: q indexes whole 8-lane groups of the seed array.
             $(
                 let mut $slo = seed8(2 * $q);
                 let mut $shi = seed8(2 * $q + 1);
@@ -1168,7 +1168,7 @@ pub(crate) mod z16 {
             )+
             for (&ci, &ca) in $ids.iter().zip($cods) {
                 let base = ci as usize * $stride + $lane0;
-                let bc: &[u8; $w] = $pan[base..base + $w].try_into().expect("panel block");
+                let bc: &[u8; $w] = $pan[base..base + $w].try_into().expect("panel block"); // PANIC-OK: base + $w <= panel len by the packer's row stride.
                 let row = $table.as_ptr().wrapping_add(usize::from(ca) << 8);
                 $(chain_step!($sr, c, $batch, gamma, bc, row, $acc, $slo, $shi, $q);)+
             }
@@ -1646,7 +1646,7 @@ impl DecodedLut {
             .map(|i| batch.decode(u64::from(lut.product((i >> 8) as u8, i as u8))))
             .collect();
         Self {
-            table: table.into_boxed_slice().try_into().expect("table is 65536"),
+            table: table.into_boxed_slice().try_into().expect("table is 65536"), // PANIC-OK: the collect above produced exactly 65536 entries.
         }
     }
 
@@ -1657,7 +1657,7 @@ impl DecodedLut {
         let start = (ca as usize) << 8;
         self.table[start..start + 256]
             .try_into()
-            .expect("row is 256")
+            .expect("row is 256") // PANIC-OK: start + 256 <= 65536 for any u8 row index.
     }
 }
 

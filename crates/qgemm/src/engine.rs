@@ -222,7 +222,7 @@ impl MacGemmConfig {
         let (tag, r) = match self.rounding {
             AccumRounding::Nearest => (0u8, 0u8),
             // Envelope-checked above: r fits u8 losslessly.
-            AccumRounding::Stochastic { r } => (1, u8::try_from(r).expect("r <= 24")),
+            AccumRounding::Stochastic { r } => (1, u8::try_from(r).expect("r <= 24")), // PANIC-OK: envelope-checked above — r fits u8 losslessly.
         };
         w[6] = tag;
         w[7] = r;
@@ -303,7 +303,7 @@ impl MacGemmConfig {
             mul_fmt,
             acc_fmt,
             rounding,
-            seed: u64::from_le_bytes(w[8..16].try_into().expect("8-byte slice")),
+            seed: u64::from_le_bytes(w[8..16].try_into().expect("8-byte slice")), // PANIC-OK: w[8..16] is exactly 8 bytes.
             threads: srmac_tensor::available_threads(),
         })
     }
@@ -532,7 +532,7 @@ impl MacKernel {
         for (&ci, &ca) in ids.iter().zip(cods) {
             let row = self.dlut.row(ca);
             let base = ci as usize * L;
-            let bc: &[u8; L] = pan[base..base + L].try_into().expect("panel block");
+            let bc: &[u8; L] = pan[base..base + L].try_into().expect("panel block"); // PANIC-OK: base + L <= panel len by the packer's row stride.
             let mut prods = [0u64; L];
             for l in 0..L {
                 prods[l] = row[usize::from(bc[l])];
@@ -570,7 +570,7 @@ impl MacKernel {
         for (&ci, &ca) in ids.iter().zip(cods) {
             let row = plut.row(ca);
             let base = ci as usize * L;
-            let bc: &[u8; L] = pan[base..base + L].try_into().expect("panel block");
+            let bc: &[u8; L] = pan[base..base + L].try_into().expect("panel block"); // PANIC-OK: same stride bound as the dense path.
             let mut prods = [0u32; L];
             for l in 0..L {
                 prods[l] = row[usize::from(bc[l])];
@@ -1349,7 +1349,7 @@ impl MacGemm {
     fn take_codes_buf(&self) -> Vec<u8> {
         self.codes_scratch
             .lock()
-            .expect("codes scratch poisoned")
+            .expect("codes scratch poisoned") // PANIC-OK: a poisoned stash means a worker already panicked — propagate the abort.
             .pop()
             .unwrap_or_default()
     }
@@ -1357,7 +1357,7 @@ impl MacGemm {
     /// Returns a byte buffer to the bounded free list.
     fn recycle_codes_buf(&self, mut buf: Vec<u8>) {
         buf.clear();
-        let mut stash = self.codes_scratch.lock().expect("codes scratch poisoned");
+        let mut stash = self.codes_scratch.lock().expect("codes scratch poisoned"); // PANIC-OK: same poisoning policy.
         if stash.len() < 8 {
             stash.push(buf);
         }
@@ -1386,7 +1386,7 @@ impl MacGemm {
         );
         let payload = p
             .payload::<MacPackedA>()
-            .expect("operand was not packed by a MacGemm engine");
+            .expect("operand was not packed by a MacGemm engine"); // PANIC-OK: documented contract — operands must come from this engine's pack_a/pack_b.
         assert_eq!(
             payload.fingerprint,
             self.fingerprint(),
@@ -1404,7 +1404,7 @@ impl MacGemm {
         );
         let payload = p
             .payload::<MacPackedB>()
-            .expect("operand was not packed by a MacGemm engine");
+            .expect("operand was not packed by a MacGemm engine"); // PANIC-OK: same pack-type contract.
         assert_eq!(
             payload.fingerprint,
             self.fingerprint(),
@@ -1473,12 +1473,14 @@ impl MacGemm {
             self.config.threads.max(1)
         };
         let chunk = m.div_ceil(threads).max(1);
+        // DETERMINISM-OK: fixed row partition into disjoint chunks — bitwise thread-invariant.
         std::thread::scope(|scope| {
             for (ci, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
                 let acode = &acode;
                 let bcode_t = &bcode_t;
                 let kernel = &self.kernel;
                 let row_base = self.row_base;
+                // DETERMINISM-OK: same fixed partition.
                 scope.spawn(move || {
                     kernel.compute_rows(acode, bcode_t, k, n, ci * chunk, row_base, out_chunk);
                 });
@@ -1531,6 +1533,7 @@ impl GemmEngine for MacGemm {
                     code.push(cd);
                 }
             }
+            // PANIC-OK: compacted operands are bounded far below u32::MAX entries.
             row_ptr.push(u32::try_from(idx.len()).expect("operand too large to compact"));
         }
         self.recycle_codes_buf(codes);

@@ -55,7 +55,7 @@ impl ProductLut {
         Self {
             fmt_in,
             fmt_out,
-            table: table.into_boxed_slice().try_into().expect("table is 65536"),
+            table: table.into_boxed_slice().try_into().expect("table is 65536"), // PANIC-OK: the collect above produced exactly 65536 entries.
         }
     }
 
@@ -123,7 +123,7 @@ impl PairLut {
             .map(|i| batch.decode32(u64::from(lut.product((i >> 8) as u8, i as u8))))
             .collect();
         Some(Self {
-            table: table.into_boxed_slice().try_into().expect("table is 65536"),
+            table: table.into_boxed_slice().try_into().expect("table is 65536"), // PANIC-OK: same 65536-entry construction.
         })
     }
 
@@ -142,7 +142,7 @@ impl PairLut {
         let start = (ca as usize) << 8;
         self.table[start..start + 256]
             .try_into()
-            .expect("row is 256")
+            .expect("row is 256") // PANIC-OK: start + 256 <= 65536 for any u8 row index.
     }
 }
 

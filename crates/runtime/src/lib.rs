@@ -145,7 +145,7 @@ impl Runtime {
             }
             return;
         }
-        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool"); // PANIC-OK: threads > 1 implies new() built the pool.
         let jobs = items.div_ceil(chunk);
         let job = Arc::new(job);
         let (tx, rx) = channel::<(usize, Vec<f32>)>();
@@ -155,7 +155,7 @@ impl Runtime {
             let mut block = self
                 .scratch
                 .lock()
-                .expect("scratch poisoned")
+                .expect("scratch poisoned") // PANIC-OK: a poisoned stash means a worker already panicked — propagate the abort.
                 .pop()
                 .unwrap_or_default();
             let job = Arc::clone(&job);
@@ -225,7 +225,7 @@ impl Runtime {
             job(0..rows, 0..cols, out);
             return;
         }
-        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool"); // PANIC-OK: threads > 1 implies new() built the pool.
         let jobs = row_jobs * col_jobs;
         let job = Arc::new(job);
         let (tx, rx) = channel::<(usize, Vec<f32>)>();
@@ -238,7 +238,7 @@ impl Runtime {
             let mut block = self
                 .scratch
                 .lock()
-                .expect("scratch poisoned")
+                .expect("scratch poisoned") // PANIC-OK: poisoned stash — propagate the abort.
                 .pop()
                 .unwrap_or_default();
             let job = Arc::clone(&job);
@@ -308,7 +308,7 @@ impl Runtime {
             }
             return;
         }
-        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool"); // PANIC-OK: threads > 1 implies new() built the pool.
         let jobs = items.div_ceil(chunk);
         let job = Arc::new(job);
         let (tx, rx) = channel::<(usize, Vec<f32>, Vec<f32>)>();
@@ -316,7 +316,7 @@ impl Runtime {
             let start = ci * chunk;
             let end = (start + chunk).min(items);
             let (mut block_a, mut block_b) = {
-                let mut stash = self.scratch.lock().expect("scratch poisoned");
+                let mut stash = self.scratch.lock().expect("scratch poisoned"); // PANIC-OK: poisoned stash — propagate the abort.
                 (
                     stash.pop().unwrap_or_default(),
                     stash.pop().unwrap_or_default(),
@@ -393,7 +393,7 @@ impl Runtime {
                     add_into(&mut left[i], &right[0]);
                 }
             } else {
-                let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+                let pool = self.pool.as_ref().expect("threads > 1 implies a pool"); // PANIC-OK: threads > 1 implies new() built the pool.
                 let (tx, rx) = channel::<(usize, Vec<f32>, Vec<f32>)>();
                 for &i in &pairs {
                     let mut dst = std::mem::take(&mut bufs[i]);
@@ -443,7 +443,7 @@ impl Runtime {
         if self.threads() == 1 || n <= 1 || pool::in_worker() {
             return jobs.into_iter().map(|job| job()).collect();
         }
-        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool"); // PANIC-OK: threads > 1 implies new() built the pool.
         let (tx, rx) = channel::<(usize, T)>();
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
@@ -462,13 +462,13 @@ impl Runtime {
         assert_eq!(completed, n, "a runtime worker job died before completing");
         slots
             .into_iter()
-            .map(|s| s.expect("every job completed"))
+            .map(|s| s.expect("every job completed")) // PANIC-OK: the pool ran every job; each slot was filled exactly once.
             .collect()
     }
 
     fn recycle(&self, block: Vec<f32>) {
-        let mut stash = self.scratch.lock().expect("scratch poisoned");
-        // Bound the free list by the only concurrency the pool can reach.
+        let mut stash = self.scratch.lock().expect("scratch poisoned"); // PANIC-OK: poisoned stash — propagate the abort.
+                                                                        // Bound the free list by the only concurrency the pool can reach.
         if stash.len() < 2 * self.threads() {
             stash.push(block);
         }

@@ -53,7 +53,7 @@ impl WorkerPool {
                             // Holding the lock only while dequeueing;
                             // disconnect (pool drop) ends the loop.
                             let job = {
-                                let rx = receiver.lock().expect("pool receiver poisoned");
+                                let rx = receiver.lock().expect("pool receiver poisoned"); // PANIC-OK: a poisoned receiver means a worker already panicked — propagate the abort.
                                 rx.recv()
                             };
                             match job {
@@ -79,7 +79,7 @@ impl WorkerPool {
                             }
                         }
                     })
-                    .expect("failed to spawn runtime worker")
+                    .expect("failed to spawn runtime worker") // PANIC-OK: failing to spawn pool workers at construction is unrecoverable.
             })
             .collect();
         Self {
@@ -103,9 +103,9 @@ impl WorkerPool {
     pub fn execute(&self, job: Job) {
         self.sender
             .as_ref()
-            .expect("pool already shut down")
+            .expect("pool already shut down") // PANIC-OK: submitting after shutdown() is an API-misuse bug worth aborting on.
             .send(job)
-            .expect("runtime worker pool disconnected");
+            .expect("runtime worker pool disconnected"); // PANIC-OK: workers only disconnect after a panic — propagate the abort.
     }
 }
 

@@ -124,7 +124,7 @@ impl Layer for BatchNorm2d {
         let cache = self
             .cache
             .take()
-            .expect("backward before forward(train=true)");
+            .expect("backward before forward(train=true)"); // PANIC-OK: documented contract — backward requires a prior forward(train=true).
         let [n, c, h, w] = cache.shape;
         let plane = h * w;
         let count = (n * plane) as f32;

@@ -349,7 +349,7 @@ static RESOLVERS: Mutex<Vec<EngineResolver>> = Mutex::new(Vec::new());
 /// (idempotent per function pointer). Resolvers are tried in
 /// registration order, after the built-in `"f32"` atom.
 pub fn register_engine_resolver(resolver: EngineResolver) {
-    let mut resolvers = RESOLVERS.lock().expect("resolver registry poisoned");
+    let mut resolvers = RESOLVERS.lock().expect("resolver registry poisoned"); // PANIC-OK: a poisoned registry means a registrant panicked — propagate the abort.
     if !resolvers.iter().any(|r| std::ptr::fn_addr_eq(*r, resolver)) {
         resolvers.push(resolver);
     }
@@ -362,7 +362,7 @@ fn resolve_atom(atom: &str, role: Option<GemmRole>) -> Result<Arc<dyn GemmEngine
     }
     let resolvers: Vec<EngineResolver> = RESOLVERS
         .lock()
-        .expect("resolver registry poisoned")
+        .expect("resolver registry poisoned") // PANIC-OK: same poisoning policy.
         .clone();
     for resolver in resolvers {
         if let Some(result) = resolver(atom, role) {

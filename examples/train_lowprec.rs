@@ -1,3 +1,6 @@
+// The demo reports wall-clock per experiment (clippy.toml bans
+// wall-clock only for numerics code).
+#![allow(clippy::disallowed_methods)]
 //! End-to-end low-precision training demo — the full production loop on
 //! the `Numerics` policy API: each experiment is **one spec string**
 //! (FP32 baseline, RN, the paper's eager-SR pick, and a mixed per-role
